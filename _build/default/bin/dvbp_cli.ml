@@ -1,0 +1,220 @@
+(* dvbp — command-line front end for the MinUsageTime DVBP library.
+
+   Subcommands:
+     run       simulate one policy on a workload or a CSV trace
+     figure4   regenerate the paper's Figure 4 sweep
+     table1    regenerate Table 1 (theory + gadget verification + UB fuzz)
+     table2    print the experimental parameter table
+     figures   regenerate Figures 1-3 from live runs
+     adversary build and execute one lower-bound gadget
+     describe  summary statistics of a workload or trace
+     opt       exact optimal cost of a (small) CSV trace *)
+
+open Cmdliner
+module Rng = Dvbp_prelude.Rng
+module Core = Dvbp_core
+module Engine = Dvbp_engine.Engine
+module Bounds = Dvbp_lowerbound.Bounds
+module Opt = Dvbp_lowerbound.Opt
+module W = Dvbp_workload
+module X = Dvbp_experiments
+module A = Dvbp_adversary
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc:"Root random seed.")
+
+let instances_arg default =
+  Arg.(value & opt int default & info [ "instances"; "m" ] ~docv:"INT"
+         ~doc:"Random instances per configuration.")
+
+(* ---------- run ---------- *)
+
+module Cli = Dvbp_cli_lib
+
+let workload_arg =
+  Arg.(value & opt string "uniform"
+       & info [ "workload" ] ~docv:"NAME"
+           ~doc:"Workload: uniform, gaming, vm, correlated, or bursty.")
+
+let trace_arg =
+  Arg.(value & opt (some file) None
+       & info [ "trace" ] ~docv:"FILE" ~doc:"Replay a CSV trace instead of generating.")
+
+let policy_arg =
+  Arg.(value & opt string "mtf"
+       & info [ "policy" ] ~docv:"NAME"
+           ~doc:"Packing policy: mtf, ff, bf, nf, wf, lf, rf or daf (clairvoyant).")
+
+let d_arg = Arg.(value & opt int 2 & info [ "d" ] ~docv:"INT" ~doc:"Dimensions.")
+let mu_arg = Arg.(value & opt int 10 & info [ "mu" ] ~docv:"INT" ~doc:"Max duration.")
+let n_arg = Arg.(value & opt int 1000 & info [ "n" ] ~docv:"INT" ~doc:"Item count.")
+let rho_arg =
+  Arg.(value & opt float 0.5 & info [ "rho" ] ~docv:"FLOAT" ~doc:"Dimension correlation.")
+let gantt_arg = Arg.(value & flag & info [ "gantt" ] ~doc:"Render an ASCII Gantt chart.")
+let export_arg =
+  Arg.(value & opt (some string) None
+       & info [ "export" ] ~docv:"FILE" ~doc:"Write the final assignment as CSV.")
+let trajectory_arg =
+  Arg.(value & flag
+       & info [ "trajectory" ] ~doc:"Plot the live cost/lower-bound ratio over time.")
+
+let build_instance ~workload ~trace ~d ~mu ~n ~rho ~seed =
+  Cli.Workload_select.build
+    { Cli.Workload_select.workload; trace; d; mu; n; rho; seed }
+
+let run_cmd =
+  let action workload trace policy d mu n rho seed gantt export trajectory =
+    match build_instance ~workload ~trace ~d ~mu ~n ~rho ~seed with
+    | Error e -> prerr_endline e; 1
+    | Ok instance -> (
+        match
+          Cli.Run_report.run_one ?export ~trajectory ~policy ~seed instance ~gantt
+        with
+        | Error e -> prerr_endline e; 1
+        | Ok () -> 0)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate one policy on a workload or trace")
+    Term.(const action $ workload_arg $ trace_arg $ policy_arg $ d_arg $ mu_arg
+          $ n_arg $ rho_arg $ seed_arg $ gantt_arg $ export_arg $ trajectory_arg)
+
+(* ---------- figure4 ---------- *)
+
+let figure4_cmd =
+  let full_arg =
+    Arg.(value & flag
+         & info [ "full" ] ~doc:"Paper-scale run: 1000 instances per point (slow).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write long-format CSV here.")
+  in
+  let action full m seed csv =
+    let config =
+      if full then X.Figure4.paper
+      else { X.Figure4.default with X.Figure4.instances = m; seed }
+    in
+    print_string (X.Table2.render ~instances:config.X.Figure4.instances ());
+    print_newline ();
+    let cells = X.Figure4.run ~progress:prerr_endline config in
+    print_string (X.Figure4.render_table cells);
+    print_newline ();
+    print_string (X.Figure4.render_plots cells);
+    (match csv with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (X.Figure4.to_csv cells));
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    0
+  in
+  Cmd.v (Cmd.info "figure4" ~doc:"Regenerate the Figure 4 average-case sweep")
+    Term.(const action $ full_arg $ instances_arg 60 $ seed_arg $ csv_arg)
+
+(* ---------- table1 / table2 / figures ---------- *)
+
+let table1_cmd =
+  let action d mu fuzz seed =
+    print_string (X.Table1.render_theory ());
+    print_newline ();
+    print_string
+      (X.Table1.render_verification
+         (X.Table1.verify_gadgets ~d ~mu:(float_of_int mu) ~ks:[ 2; 4; 8 ] ()));
+    print_newline ();
+    print_string (X.Table1.render_fuzz (X.Table1.fuzz_upper_bounds ~instances:fuzz ~seed ()));
+    0
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate Table 1 with live verification")
+    Term.(const action $ d_arg $ mu_arg $ instances_arg 200 $ seed_arg)
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Print the experimental parameter table")
+    Term.(const (fun () -> print_string (X.Table2.render ()); 0) $ const ())
+
+let figures_cmd =
+  let action () =
+    print_string (X.Proof_figures.figure1 ());
+    print_newline ();
+    print_string (X.Proof_figures.figure2 ());
+    print_newline ();
+    print_string (X.Proof_figures.figure3 ());
+    0
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Regenerate Figures 1-3 from live runs")
+    Term.(const action $ const ())
+
+(* ---------- adversary ---------- *)
+
+let adversary_cmd =
+  let family_arg =
+    Arg.(value & opt string "anyfit"
+         & info [ "family" ] ~docv:"NAME" ~doc:"Gadget: anyfit, nextfit, mtf or bestfit.")
+  in
+  let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~docv:"INT" ~doc:"Growth parameter.") in
+  let action family d k mu policy gantt =
+    let gadget =
+      match family with
+      | "anyfit" -> Ok (A.Anyfit_lb.construct ~d ~k ~mu:(float_of_int mu))
+      | "nextfit" ->
+          let k = if k mod 2 = 0 then k else k + 1 in
+          Ok (A.Nextfit_lb.construct ~d ~k ~mu:(float_of_int mu))
+      | "mtf" -> Ok (A.Mtf_lb.construct ~n:k ~mu:(float_of_int mu))
+      | "bestfit" -> Ok (A.Bestfit_lb.construct ~k ~t_end:(float_of_int (4 * k * k)))
+      | other -> Error (Printf.sprintf "unknown gadget family %S" other)
+    in
+    match gadget with
+    | Error e -> prerr_endline e; 1
+    | Ok g -> (
+        Format.printf "%a@." A.Gadget.pp g;
+        let target = Option.value ~default:policy g.A.Gadget.target in
+        match Cli.Run_report.run_one ~policy:target ~seed:1 g.A.Gadget.instance ~gantt with
+        | Error e -> prerr_endline e; 1
+        | Ok () -> 0)
+  in
+  Cmd.v (Cmd.info "adversary" ~doc:"Build and execute a lower-bound gadget")
+    Term.(const action $ family_arg $ d_arg $ k_arg $ mu_arg $ policy_arg $ gantt_arg)
+
+(* ---------- describe ---------- *)
+
+let describe_cmd =
+  let action workload trace d mu n rho seed =
+    match build_instance ~workload ~trace ~d ~mu ~n ~rho ~seed with
+    | Error e -> prerr_endline e; 1
+    | Ok instance ->
+        print_string (W.Describe.render (W.Describe.measure instance));
+        0
+  in
+  Cmd.v (Cmd.info "describe" ~doc:"Summary statistics of a workload or trace")
+    Term.(const action $ workload_arg $ trace_arg $ d_arg $ mu_arg $ n_arg
+          $ rho_arg $ seed_arg)
+
+(* ---------- opt ---------- *)
+
+let opt_cmd =
+  let trace_pos =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.CSV")
+  in
+  let action path =
+    match W.Trace_io.read_file path with
+    | Error e -> prerr_endline e; 1
+    | Ok instance -> (
+        Printf.printf "span lower bound:    %.4f\n" (Bounds.span instance);
+        Printf.printf "utilisation bound:   %.4f\n" (Bounds.utilisation instance);
+        Printf.printf "height bound (i):    %.4f\n" (Bounds.height_integral instance);
+        Printf.printf "DFF bound:           %.4f\n" (Dvbp_lowerbound.Dff.integral instance);
+        match Opt.exact instance with
+        | Ok opt -> Printf.printf "exact OPT (eq. 2):   %.4f\n" opt; 0
+        | Error (`Node_limit n) ->
+            Printf.printf "exact OPT: node limit %d exceeded (instance too large)\n" n;
+            1)
+  in
+  Cmd.v (Cmd.info "opt" ~doc:"Lower bounds and exact OPT of a CSV trace")
+    Term.(const action $ trace_pos)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "dvbp" ~version:"1.0.0"
+       ~doc:"MinUsageTime Dynamic Vector Bin Packing — simulator and experiments")
+    [ run_cmd; figure4_cmd; table1_cmd; table2_cmd; figures_cmd; adversary_cmd;
+      describe_cmd; opt_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

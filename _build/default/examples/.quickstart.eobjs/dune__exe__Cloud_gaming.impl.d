@@ -1,0 +1,1 @@
+examples/cloud_gaming.ml: Dvbp_analysis Dvbp_core Dvbp_engine Dvbp_lowerbound Dvbp_prelude Dvbp_report Dvbp_workload List Printf String

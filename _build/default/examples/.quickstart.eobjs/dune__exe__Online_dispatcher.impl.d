@@ -1,0 +1,1 @@
+examples/online_dispatcher.ml: Dvbp_core Dvbp_engine Dvbp_prelude Dvbp_vec Float List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dvbp_analysis Dvbp_core Dvbp_engine Dvbp_lowerbound Dvbp_vec List Printf

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Dvbp_core Dvbp_engine Dvbp_prelude Dvbp_workload Printf String

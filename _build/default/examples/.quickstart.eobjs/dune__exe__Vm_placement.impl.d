@@ -1,0 +1,1 @@
+examples/vm_placement.ml: Dvbp_core Dvbp_engine Dvbp_lowerbound Dvbp_prelude Dvbp_report Dvbp_vec Dvbp_workload List Printf String

@@ -1,0 +1,17 @@
+(* Runs the §6 lower-bound constructions through the simulator and prints
+   measured vs certified vs limiting competitive ratios for growing
+   instance families.
+
+   Run with: dune exec examples/adversarial_analysis.exe *)
+
+let () =
+  print_endline "Table 1 (theory):";
+  print_string (Dvbp_experiments.Table1.render_theory ());
+  print_newline ();
+  print_endline "Lower-bound gadgets, executed (d=2, mu=5, k in {2,4,8}):";
+  let rows = Dvbp_experiments.Table1.verify_gadgets ~d:2 ~mu:5.0 ~ks:[ 2; 4; 8 ] () in
+  print_string (Dvbp_experiments.Table1.render_verification rows);
+  print_newline ();
+  print_endline "Upper-bound fuzz against exact OPT (small random instances):";
+  let fuzz = Dvbp_experiments.Table1.fuzz_upper_bounds ~instances:100 ~seed:5 () in
+  print_string (Dvbp_experiments.Table1.render_fuzz fuzz)

@@ -1,0 +1,12 @@
+(* Regenerates the paper's illustrative Figures 1-3 from live engine runs:
+   the Move To Front leading/non-leading decomposition, the First Fit P/Q
+   decomposition, and the Theorem 5 adversarial execution.
+
+   Run with: dune exec examples/proof_decomposition.exe *)
+
+let () =
+  print_string (Dvbp_experiments.Proof_figures.figure1 ());
+  print_newline ();
+  print_string (Dvbp_experiments.Proof_figures.figure2 ());
+  print_newline ();
+  print_string (Dvbp_experiments.Proof_figures.figure3 ())

@@ -1,0 +1,34 @@
+(* Quickstart: pack a handful of jobs online with Move To Front, inspect
+   the resulting packing and compare against the exact optimum.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Policy = Dvbp_core.Policy
+module Packing = Dvbp_core.Packing
+module Engine = Dvbp_engine.Engine
+
+let () =
+  (* A server has 100% CPU and 100% memory; five jobs arrive online. *)
+  let capacity = Vec.of_list [ 100; 100 ] in
+  let instance =
+    Instance.of_specs_exn ~capacity
+      [
+        (0.0, 4.0, Vec.of_list [ 60; 20 ]);   (* long, CPU-heavy *)
+        (0.0, 2.0, Vec.of_list [ 30; 70 ]);   (* short, memory-heavy *)
+        (1.0, 5.0, Vec.of_list [ 50; 30 ]);
+        (2.0, 3.0, Vec.of_list [ 20; 20 ]);
+        (4.0, 6.0, Vec.of_list [ 80; 60 ]);
+      ]
+  in
+  let run = Engine.run ~policy:(Policy.move_to_front ()) instance in
+  Printf.printf "Move To Front used %d servers for a total of %.1f server-hours\n\n"
+    run.Engine.bins_opened (Engine.cost run);
+  print_string (Dvbp_analysis.Gantt.render ~width:60 run.Engine.packing);
+  let opt = Dvbp_lowerbound.Opt.exact_exn instance in
+  Printf.printf "\nexact optimum (with repacking): %.1f server-hours\n" opt;
+  Printf.printf "competitive ratio on this input: %.3f\n" (Engine.cost run /. opt);
+  match Packing.validate instance run.Engine.packing with
+  | Ok () -> print_endline "packing validated: no server ever over capacity"
+  | Error es -> List.iter print_endline es

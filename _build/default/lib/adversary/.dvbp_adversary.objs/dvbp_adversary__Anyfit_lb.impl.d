@@ -1,0 +1,1 @@
+lib/adversary/anyfit_lb.ml: Dvbp_core Dvbp_vec Gadget List Printf

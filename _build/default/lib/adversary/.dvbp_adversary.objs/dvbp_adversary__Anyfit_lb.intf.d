@@ -1,0 +1,1 @@
+lib/adversary/anyfit_lb.mli: Gadget

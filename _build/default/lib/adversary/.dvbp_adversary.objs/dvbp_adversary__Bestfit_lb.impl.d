@@ -1,0 +1,1 @@
+lib/adversary/bestfit_lb.ml: Dvbp_core Dvbp_vec Gadget Int List Printf

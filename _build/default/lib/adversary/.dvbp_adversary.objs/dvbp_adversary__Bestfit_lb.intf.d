@@ -1,0 +1,1 @@
+lib/adversary/bestfit_lb.mli: Gadget

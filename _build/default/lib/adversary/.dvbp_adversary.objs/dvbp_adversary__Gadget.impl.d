@@ -1,0 +1,1 @@
+lib/adversary/gadget.ml: Dvbp_core Format Option

@@ -1,0 +1,1 @@
+lib/adversary/gadget.mli: Dvbp_core Format

@@ -1,0 +1,1 @@
+lib/adversary/mtf_lb.mli: Gadget

@@ -1,0 +1,1 @@
+lib/adversary/nextfit_lb.mli: Gadget

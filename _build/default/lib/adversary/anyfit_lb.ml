@@ -1,0 +1,37 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+
+let construct ~d ~k ~mu =
+  if d < 1 then invalid_arg "Anyfit_lb: d >= 1 required";
+  if k < 1 then invalid_arg "Anyfit_lb: k >= 1 required";
+  if mu < 1.0 then invalid_arg "Anyfit_lb: mu >= 1 required";
+  let c = 6 * d * d * k in
+  let capacity = Vec.make ~dim:d c in
+  (* Scaled constants: C·ε = 3, C·ε' = 1. *)
+  let big axis = Vec.unit_scaled ~dim:d ~axis ~on_axis:(c - (3 * d)) ~off_axis:3 in
+  let small = Vec.make ~dim:d ((3 * d) - 1) in
+  let probe = Vec.make ~dim:d 1 in
+  let r0 =
+    List.concat
+      (List.init (d * k) (fun m ->
+           let axis = m / k in
+           [ (0.0, 1.0, big axis); (0.0, 1.0, small) ]))
+  in
+  let probe_arrival = 1.0 -. (1.0 /. float_of_int k) in
+  let r1 =
+    List.init (d * k) (fun _ -> (probe_arrival, probe_arrival +. mu, probe))
+  in
+  let instance = Instance.of_specs_exn ~capacity (r0 @ r1) in
+  let dk = float_of_int (d * k) in
+  let bin_lifetime = probe_arrival +. mu in
+  {
+    Gadget.name = Printf.sprintf "anyfit-lb(d=%d,k=%d,mu=%g)" d k mu;
+    description =
+      "Thm 5 construction: every Any Fit policy opens d*k bins that a probe \
+       item then pins for mu time units";
+    instance;
+    target = None;
+    opt_upper = float_of_int k +. bin_lifetime;
+    alg_cost_lower = dk *. bin_lifetime;
+    cr_limit = (mu +. 1.0) *. float_of_int d;
+  }

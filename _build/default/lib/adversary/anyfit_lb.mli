@@ -1,0 +1,16 @@
+(** Theorem 5: a [(µ+1)d] lower bound against {e every} Any Fit policy.
+
+    The paper's construction with [ε = 1/(2d²k)] and [ε' = ε/3], realised
+    in exact integers by scaling the bin capacity to [C = 6d²k]:
+    - [dk] "big" items (one axis at [C − 3d], elsewhere [3]) interleaved
+      with [dk] "small" items ([3d − 1] everywhere), all active [\[0, 1)];
+      any Any Fit run opens [dk] bins, each full to [C − 1] in one axis;
+    - [dk] "probe" items ([1] everywhere) arriving at [1 − 1/k] and staying
+      for [µ]: each lands in a distinct still-open bin and pins it for the
+      whole [µ] window.
+    OPT instead isolates the small+probe items in one bin and packs the big
+    items [d] to a bin. The certified ratio approaches [(µ+1)d] as [k]
+    grows. *)
+
+val construct : d:int -> k:int -> mu:float -> Gadget.t
+(** @raise Invalid_argument unless [d >= 1], [k >= 1] and [mu >= 1]. *)

@@ -1,0 +1,32 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+
+let construct ~k ~t_end =
+  if k < 1 then invalid_arg "Bestfit_lb: k >= 1 required";
+  if t_end < (2.0 *. float_of_int k) +. 1.0 then
+    invalid_arg "Bestfit_lb: t_end >= 2k + 1 required";
+  let c = Int.max k 2 in
+  let capacity = Vec.of_list [ c ] in
+  let filler = Vec.of_list [ c - 1 ] and pin = Vec.of_list [ 1 ] in
+  let phase p =
+    let t = 2.0 *. float_of_int p in
+    List.init p (fun _ -> (t, t +. 1.0, filler)) @ [ (t, t_end, pin) ]
+  in
+  let items = List.concat (List.init k phase) in
+  let instance = Instance.of_specs_exn ~capacity items in
+  let kf = float_of_int k in
+  (* Best Fit keeps bin p open on [2p, t_end): Σ_p (t_end − 2p). *)
+  let alg_cost_lower = (kf *. t_end) -. (kf *. (kf -. 1.0)) in
+  (* OPT: all pins in one bin on [0, t_end); each filler alone for 1. *)
+  let opt_upper = t_end +. (kf *. (kf -. 1.0) /. 2.0) in
+  {
+    Gadget.name = Printf.sprintf "bestfit-lb(k=%d,t_end=%g)" k t_end;
+    description =
+      "Thm 7 family (reconstruction): fillers plug every bin before each new \
+       pin arrives, so Best Fit strands one bin per phase until t_end";
+    instance;
+    target = Some "bf";
+    opt_upper;
+    alg_cost_lower;
+    cr_limit = infinity;
+  }

@@ -1,0 +1,19 @@
+(** Theorem 7 (cited from Li–Tang–Cai): Best Fit's competitive ratio is
+    unbounded.
+
+    The paper only cites the result; this is a reconstruction exhibiting a
+    family whose ratio grows without bound. [k] phases at times
+    [0, 2, 4, ...]: phase [p] first sends [p] "filler" items of size [C−1]
+    (duration 1) that plug every existing bin — each holds exactly one
+    size-1 "pin" item — and then one new pin (size [1]) that lives until
+    [t_end]. Nothing fits anywhere, so Best Fit opens a fresh bin for every
+    pin and ends with [k] bins alive until [t_end]. OPT stacks all pins in
+    one bin ([k <= C]) and pays the fillers one bin-hour each. With
+    [t_end ≫ k²] the ratio is ≈ [k·t_end / t_end = k] — unbounded in [k].
+
+    Every strict Any Fit policy behaves identically here (all bins are
+    always either exactly full or tied), so the gadget targets [bf] but also
+    demonstrates the family's effect on First Fit etc. *)
+
+val construct : k:int -> t_end:float -> Gadget.t
+(** @raise Invalid_argument unless [k >= 1] and [t_end >= 2k + 1]. *)

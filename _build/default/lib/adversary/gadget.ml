@@ -1,0 +1,19 @@
+type t = {
+  name : string;
+  description : string;
+  instance : Dvbp_core.Instance.t;
+  target : string option;
+  opt_upper : float;
+  alg_cost_lower : float;
+  cr_limit : float;
+}
+
+let cr_lower t = t.alg_cost_lower /. t.opt_upper
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: n=%d, target=%s, opt<=%.3f, alg>=%.3f, certified CR>=%.3f (limit %.3f)"
+    t.name
+    (Dvbp_core.Instance.size t.instance)
+    (Option.value ~default:"any-fit" t.target)
+    t.opt_upper t.alg_cost_lower (cr_lower t) t.cr_limit

@@ -1,0 +1,28 @@
+(** A lower-bound gadget: an adversarial instance packaged with its
+    analysis.
+
+    Each construction in §6 of the paper yields a family of instances,
+    indexed by a growth parameter, together with (a) an upper bound on the
+    optimal cost — certified by an explicit feasible packing described in the
+    proof — and (b) a lower bound on the cost the targeted online algorithm
+    incurs. The measured competitive ratio of a run on the gadget can then
+    be compared against [cr_lower] and the limiting [cr_limit]. *)
+
+type t = {
+  name : string;
+  description : string;
+  instance : Dvbp_core.Instance.t;
+  target : string option;
+      (** policy short-name the bound targets; [None] = every {e strict} Any
+          Fit policy (one whose open-bin list is all open bins — Next Fit is
+          not strict and has its own gadget) *)
+  opt_upper : float;  (** analytic upper bound on [OPT] *)
+  alg_cost_lower : float;  (** analytic lower bound on the target's cost *)
+  cr_limit : float;  (** the theorem's limiting bound as the parameter grows *)
+}
+
+val cr_lower : t -> float
+(** The ratio this concrete instance certifies:
+    [alg_cost_lower / opt_upper]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+
+let construct ~n ~mu =
+  if n < 1 then invalid_arg "Mtf_lb: n >= 1 required";
+  if mu < 1.0 then invalid_arg "Mtf_lb: mu >= 1 required";
+  let capacity = Vec.of_list [ 2 * n ] in
+  let half = Vec.of_list [ n ] and crumb = Vec.of_list [ 1 ] in
+  let items =
+    List.concat
+      (List.init (2 * n) (fun _ -> [ (0.0, 1.0, half); (0.0, mu, crumb) ]))
+  in
+  let instance = Instance.of_specs_exn ~capacity items in
+  {
+    Gadget.name = Printf.sprintf "mtf-lb(n=%d,mu=%g)" n mu;
+    description =
+      "Thm 8 construction: Move To Front pairs every half-bin item with a \
+       crumb that pins its bin for mu";
+    instance;
+    target = Some "mtf";
+    opt_upper = mu +. float_of_int n;
+    alg_cost_lower = 2.0 *. float_of_int n *. mu;
+    cr_limit = 2.0 *. mu;
+  }

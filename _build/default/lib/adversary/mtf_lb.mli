@@ -1,0 +1,15 @@
+(** Theorem 8: a [2µ] lower bound against Move To Front (1-D).
+
+    [4n] items arrive at time 0 into bins of capacity [2n]: alternating
+    "half" items (size [n], active [\[0, 1)]) and "crumb" items (size [1],
+    active [\[0, µ)]). Because the just-used bin is always at the front,
+    every crumb lands next to the preceding half item, so no bin ever holds
+    two halves — [2n] bins open, each pinned for [µ] by its crumb. OPT puts
+    all [2n] crumbs in one bin and pairs the halves into [n] bins. The
+    certified ratio approaches [2µ] as [n] grows.
+
+    (The [(µ+1)d] bound of Theorem 5 also applies to Move To Front; for
+    [d >= 2] use {!Anyfit_lb}.) *)
+
+val construct : n:int -> mu:float -> Gadget.t
+(** @raise Invalid_argument unless [n >= 1] and [mu >= 1]. *)

@@ -1,0 +1,31 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+
+let construct ~d ~k ~mu =
+  if d < 1 then invalid_arg "Nextfit_lb: d >= 1 required";
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Nextfit_lb: even k >= 2 required";
+  if mu < 1.0 then invalid_arg "Nextfit_lb: mu >= 1 required";
+  let c = 8 * d * d * k in
+  let capacity = Vec.make ~dim:d c in
+  (* Scaled constants: C·ε = 1, C·ε' = 4d. *)
+  let big axis = Vec.unit_scaled ~dim:d ~axis ~on_axis:((c / 2) - d) ~off_axis:1 in
+  let glue = Vec.make ~dim:d (4 * d) in
+  let items =
+    List.concat
+      (List.init (d * k) (fun m ->
+           let axis = m / k in
+           [ (0.0, 1.0, big axis); (0.0, mu, glue) ]))
+  in
+  let instance = Instance.of_specs_exn ~capacity items in
+  let bins = 1 + ((k - 1) * d) in
+  {
+    Gadget.name = Printf.sprintf "nextfit-lb(d=%d,k=%d,mu=%g)" d k mu;
+    description =
+      "Thm 6 construction: Next Fit strands 1+(k-1)d bins, each kept open \
+       for mu by a glue item";
+    instance;
+    target = Some "nf";
+    opt_upper = mu +. (float_of_int k /. 2.0);
+    alg_cost_lower = float_of_int bins *. mu;
+    cr_limit = 2.0 *. mu *. float_of_int d;
+  }

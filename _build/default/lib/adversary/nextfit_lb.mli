@@ -1,0 +1,14 @@
+(** Theorem 6: a [2µd] lower bound against Next Fit.
+
+    The paper's construction with [ε' = 1/(2dk)] and [ε = ε'/(4d)],
+    realised in exact integers with capacity [C = 8d²k]:
+    interleaved "big" items (one axis at [C/2 − d], elsewhere [1], active
+    [\[0, 1)]) and "glue" items ([4d] everywhere, active [\[0, µ)]). Next
+    Fit's single current bin takes one big + one glue, then the next big item
+    overflows the hot axis, releasing the bin — which the glue item keeps
+    open for the whole [µ] window. It ends with [1 + (k−1)d] bins alive for
+    [µ], while OPT packs all glue in one bin and the big items two-per-bin.
+    The certified ratio approaches [2µd] as [k] grows. *)
+
+val construct : d:int -> k:int -> mu:float -> Gadget.t
+(** @raise Invalid_argument unless [d >= 1], [k >= 2] even, [mu >= 1]. *)

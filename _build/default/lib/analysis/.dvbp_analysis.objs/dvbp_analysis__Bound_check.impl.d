@@ -1,0 +1,1 @@
+lib/analysis/bound_check.ml: Dvbp_core Format

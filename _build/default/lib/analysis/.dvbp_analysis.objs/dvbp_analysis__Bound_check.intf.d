@@ -1,0 +1,1 @@
+lib/analysis/bound_check.mli: Dvbp_core Format

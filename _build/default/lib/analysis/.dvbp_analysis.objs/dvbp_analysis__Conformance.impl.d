@@ -1,0 +1,1 @@
+lib/analysis/conformance.ml: Dvbp_core Dvbp_engine Dvbp_prelude Dvbp_vec Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/analysis/conformance.mli: Dvbp_core Dvbp_engine Format

@@ -1,0 +1,1 @@
+lib/analysis/diagnostics.ml: Dvbp_core Dvbp_interval Dvbp_prelude Dvbp_vec Float Format List

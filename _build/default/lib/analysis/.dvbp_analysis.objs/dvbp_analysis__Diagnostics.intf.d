@@ -1,0 +1,1 @@
+lib/analysis/diagnostics.mli: Dvbp_core Format

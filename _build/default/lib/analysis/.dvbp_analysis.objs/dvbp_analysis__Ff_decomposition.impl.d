@@ -1,0 +1,1 @@
+lib/analysis/ff_decomposition.ml: Dvbp_core Dvbp_interval Dvbp_prelude Float List

@@ -1,0 +1,1 @@
+lib/analysis/ff_decomposition.mli: Dvbp_core Dvbp_interval

@@ -1,0 +1,1 @@
+lib/analysis/gantt.ml: Buffer Bytes Dvbp_core Dvbp_interval Dvbp_prelude Float Int List Printf String

@@ -1,0 +1,1 @@
+lib/analysis/gantt.mli: Dvbp_core Dvbp_interval

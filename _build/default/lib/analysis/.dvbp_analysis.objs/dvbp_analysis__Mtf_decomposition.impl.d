@@ -1,0 +1,1 @@
+lib/analysis/mtf_decomposition.ml: Dvbp_engine Dvbp_interval Dvbp_prelude Float Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/analysis/mtf_decomposition.mli: Dvbp_engine Dvbp_interval

@@ -1,0 +1,1 @@
+lib/analysis/nf_decomposition.ml: Dvbp_engine Dvbp_interval Dvbp_prelude Float List

@@ -1,0 +1,1 @@
+lib/analysis/nf_decomposition.mli: Dvbp_engine Dvbp_interval

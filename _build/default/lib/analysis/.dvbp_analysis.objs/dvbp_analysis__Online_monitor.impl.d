@@ -1,0 +1,1 @@
+lib/analysis/online_monitor.ml: Dvbp_core Dvbp_engine Dvbp_interval Dvbp_lowerbound Dvbp_vec Float List

@@ -1,0 +1,1 @@
+lib/analysis/online_monitor.mli: Dvbp_core Dvbp_engine

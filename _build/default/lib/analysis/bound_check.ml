@@ -1,0 +1,32 @@
+module Instance = Dvbp_core.Instance
+
+type verdict = {
+  policy : string;
+  cost : float;
+  opt : float;
+  ratio : float;
+  bound : float;
+  ok : bool;
+}
+
+let theoretical_bound ~policy ~mu ~d =
+  let d = float_of_int d in
+  match policy with
+  | "mtf" -> Some ((((2.0 *. mu) +. 1.0) *. d) +. 1.0)
+  | "ff" -> Some (((mu +. 2.0) *. d) +. 1.0)
+  | "nf" -> Some ((2.0 *. mu *. d) +. 1.0)
+  | _ -> None
+
+let check ~policy ~cost ~opt ~instance =
+  match
+    theoretical_bound ~policy ~mu:(Instance.mu instance) ~d:(Instance.dim instance)
+  with
+  | None -> None
+  | Some bound ->
+      let ratio = cost /. opt in
+      Some { policy; cost; opt; ratio; bound; ok = ratio <= bound +. 1e-9 }
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%-4s cost=%.4f opt=%.4f ratio=%.4f bound=%.4f %s" v.policy
+    v.cost v.opt v.ratio v.bound
+    (if v.ok then "OK" else "VIOLATED")

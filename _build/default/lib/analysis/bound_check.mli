@@ -1,0 +1,34 @@
+(** Checks of the paper's proven competitive-ratio upper bounds against
+    concrete executions.
+
+    For an instance with duration ratio [µ] in [d] dimensions the paper
+    proves: [cost(MTF) <= ((2µ+1)d + 1)·OPT] (Thm 2),
+    [cost(FF) <= ((µ+2)d + 1)·OPT] (Thm 3), [cost(NF) <= (2µd + 1)·OPT]
+    (Thm 4). A single violated inequality on any instance would falsify the
+    implementation (or the theorem), so tests fuzz these checks against the
+    exact OPT on small instances. *)
+
+type verdict = {
+  policy : string;
+  cost : float;
+  opt : float;
+  ratio : float;
+  bound : float;  (** the theorem's bound instantiated at this µ and d *)
+  ok : bool;  (** [ratio <= bound] (within float tolerance) *)
+}
+
+val theoretical_bound : policy:string -> mu:float -> d:int -> float option
+(** The proven upper bound for ["mtf"], ["ff"], ["nf"]; [None] for policies
+    with no bounded CR (Best Fit & co). *)
+
+val check :
+  policy:string ->
+  cost:float ->
+  opt:float ->
+  instance:Dvbp_core.Instance.t ->
+  verdict option
+(** Instantiates the bound at the instance's [µ] and [d]; [None] when the
+    policy has no proven bound. [opt] must be a lower bound on (or the
+    exact) optimal cost. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,153 @@
+module Vec = Dvbp_vec.Vec
+module Core = Dvbp_core
+module Item = Core.Item
+module Instance = Core.Instance
+module Load_measure = Core.Load_measure
+module Trace = Dvbp_engine.Trace
+module Listx = Dvbp_prelude.Listx
+
+type semantics =
+  | First_fit
+  | Last_fit
+  | Best_fit of Load_measure.t
+  | Worst_fit of Load_measure.t
+  | Move_to_front
+  | Next_fit
+
+let semantics_of_name = function
+  | "ff" -> Some First_fit
+  | "lf" -> Some Last_fit
+  | "bf" -> Some (Best_fit Load_measure.Linf)
+  | "wf" -> Some (Worst_fit Load_measure.Linf)
+  | "mtf" -> Some Move_to_front
+  | "nf" -> Some Next_fit
+  | _ -> None
+
+type violation = {
+  time : float;
+  item_id : int;
+  chosen_bin : int option;
+  expected_bin : int option;
+  reason : string;
+}
+
+(* replayed bin state, maintained purely from the trace *)
+type rbin = {
+  id : int;
+  mutable load : Vec.t;
+  mutable last_used : int;
+  mutable received : int;  (* placements so far; 0 = freshly opened *)
+}
+
+let check semantics (instance : Instance.t) trace =
+  let cap = instance.Instance.capacity in
+  let item_size =
+    let table = Hashtbl.create 64 in
+    List.iter
+      (fun (r : Item.t) -> Hashtbl.replace table r.Item.id r.Item.size)
+      instance.Instance.items;
+    fun id -> Hashtbl.find table id
+  in
+  let bins : (int, rbin) Hashtbl.t = Hashtbl.create 64 in
+  let open_order = ref [] (* ascending ids; bins open, including fresh *) in
+  let touch = ref 0 in
+  let current = ref None (* Next Fit's current bin id *) in
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+
+  let expected_existing_bin size =
+    (* candidates: open bins that have already received an item *)
+    let candidates =
+      List.filter_map
+        (fun id ->
+          let b = Hashtbl.find bins id in
+          if b.received > 0 then Some b else None)
+        (List.rev !open_order)
+    in
+    let fitting = List.filter (fun b -> Vec.fits ~cap ~load:b.load size) candidates in
+    match semantics with
+    | First_fit -> Option.map (fun b -> b.id) (List.nth_opt fitting 0)
+    | Last_fit -> Option.map (fun b -> b.id) (Listx.max_by (fun b -> b.id) fitting)
+    | Best_fit m ->
+        Option.map (fun b -> b.id)
+          (Listx.max_by (fun b -> Load_measure.apply m ~cap b.load) fitting)
+    | Worst_fit m ->
+        Option.map (fun b -> b.id)
+          (Listx.min_by (fun b -> Load_measure.apply m ~cap b.load) fitting)
+    | Move_to_front ->
+        Option.map (fun b -> b.id) (Listx.max_by (fun b -> b.last_used) fitting)
+    | Next_fit -> (
+        match !current with
+        | Some id -> (
+            match Hashtbl.find_opt bins id with
+            | Some b when Vec.fits ~cap ~load:b.load size -> Some id
+            | Some _ | None -> None)
+        | None -> None)
+  in
+
+  List.iter
+    (fun event ->
+      match event with
+      | Trace.Opened { bin_id; _ } ->
+          incr touch;
+          Hashtbl.replace bins bin_id
+            { id = bin_id; load = Vec.zero ~dim:(Vec.dim cap); last_used = !touch;
+              received = 0 };
+          open_order := bin_id :: !open_order
+      | Trace.Placed { time; item_id; bin_id } -> (
+          let size = item_size item_id in
+          let b = Hashtbl.find bins bin_id in
+          let fresh = b.received = 0 in
+          let expected = expected_existing_bin size in
+          (match (expected, fresh) with
+          | Some want, true ->
+              report
+                {
+                  time;
+                  item_id;
+                  chosen_bin = None;
+                  expected_bin = Some want;
+                  reason = "opened a fresh bin although an admissible bin fits";
+                }
+          | Some want, false when want <> bin_id ->
+              report
+                {
+                  time;
+                  item_id;
+                  chosen_bin = Some bin_id;
+                  expected_bin = Some want;
+                  reason = "placed in the wrong bin for these semantics";
+                }
+          | Some _, false -> ()
+          | None, true -> ()
+          | None, false ->
+              report
+                {
+                  time;
+                  item_id;
+                  chosen_bin = Some bin_id;
+                  expected_bin = None;
+                  reason = "reused a bin although a fresh bin was required";
+                });
+          incr touch;
+          b.load <- Vec.add b.load size;
+          b.last_used <- !touch;
+          b.received <- b.received + 1;
+          match semantics with Next_fit -> current := Some bin_id | _ -> ())
+      | Trace.Departed { item_id; bin_id; _ } ->
+          let b = Hashtbl.find bins bin_id in
+          b.load <- Vec.sub b.load (item_size item_id)
+      | Trace.Closed { bin_id; _ } ->
+          Hashtbl.remove bins bin_id;
+          open_order := List.filter (fun id -> id <> bin_id) !open_order;
+          if !current = Some bin_id then current := None)
+    (Trace.events trace);
+  match List.rev !violations with [] -> Ok () | vs -> Error vs
+
+let pp_violation ppf v =
+  let pp_bin ppf = function
+    | None -> Format.fprintf ppf "fresh"
+    | Some id -> Format.fprintf ppf "bin %d" id
+  in
+  Format.fprintf ppf "t=%g item %d: chose %a, expected %a (%s)" v.time v.item_id
+    pp_bin v.chosen_bin pp_bin v.expected_bin v.reason

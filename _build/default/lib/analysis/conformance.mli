@@ -1,0 +1,40 @@
+(** Independent conformance checking of executions against policy
+    semantics.
+
+    The engine trusts a policy's [select]; this module re-derives, from the
+    instance and the trace alone, what each policy {e must} have done at
+    every arrival — first fitting bin for First Fit, most-loaded fitting bin
+    for Best Fit, most-recently-used for Move To Front, the current bin for
+    Next Fit — and reports every divergence. Because it shares no code with
+    {!Dvbp_core.Policy}, it is an independent implementation of the §2.2
+    definitions: the property tests run both against each other. *)
+
+type semantics =
+  | First_fit
+  | Last_fit
+  | Best_fit of Dvbp_core.Load_measure.t
+  | Worst_fit of Dvbp_core.Load_measure.t
+  | Move_to_front
+  | Next_fit
+
+val semantics_of_name : string -> semantics option
+(** ["ff"], ["lf"], ["bf"], ["wf"], ["mtf"], ["nf"] (default measures);
+    [None] for policies without replayable semantics (random fit,
+    clairvoyant extensions). *)
+
+type violation = {
+  time : float;
+  item_id : int;
+  chosen_bin : int option;  (** [None] when a fresh bin was opened *)
+  expected_bin : int option;
+  reason : string;
+}
+
+val check :
+  semantics ->
+  Dvbp_core.Instance.t ->
+  Dvbp_engine.Trace.t ->
+  (unit, violation list) result
+(** Replays the trace and verifies every placement decision. *)
+
+val pp_violation : Format.formatter -> violation -> unit

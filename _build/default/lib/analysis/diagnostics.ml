@@ -1,0 +1,51 @@
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+module Packing = Dvbp_core.Packing
+module Item = Dvbp_core.Item
+module Listx = Dvbp_prelude.Listx
+
+type t = {
+  packing_efficiency : float;
+  departure_spread : float;
+  mean_items_per_bin : float;
+  singleton_bin_fraction : float;
+}
+
+let measure (packing : Packing.t) =
+  let bins = packing.Packing.bins in
+  if bins = [] then invalid_arg "Diagnostics.measure: empty packing";
+  let cap = packing.Packing.capacity in
+  let cost = Packing.cost packing in
+  let utilisation =
+    Listx.sum_by
+      (fun (b : Packing.bin_record) ->
+        Listx.sum_by
+          (fun (r : Item.t) -> Vec.linf ~cap r.Item.size *. Item.duration r)
+          b.Packing.items)
+      bins
+  in
+  let spread_of (b : Packing.bin_record) =
+    let departures = List.map (fun (r : Item.t) -> r.Item.departure) b.Packing.items in
+    let first = List.fold_left Float.min infinity departures in
+    let last = List.fold_left Float.max neg_infinity departures in
+    let len = Interval.length b.Packing.interval in
+    if len > 0.0 then (last -. first) /. len else 0.0
+  in
+  let nbins = float_of_int (List.length bins) in
+  let singletons =
+    List.length (List.filter (fun b -> List.length b.Packing.items = 1) bins)
+  in
+  {
+    packing_efficiency = (if cost > 0.0 then utilisation /. cost else 0.0);
+    departure_spread = Listx.sum_by spread_of bins /. nbins;
+    mean_items_per_bin =
+      float_of_int (List.fold_left (fun acc b -> acc + List.length b.Packing.items) 0 bins)
+      /. nbins;
+    singleton_bin_fraction = float_of_int singletons /. nbins;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "efficiency=%.3f spread=%.3f items/bin=%.2f singleton=%.3f"
+    t.packing_efficiency t.departure_spread t.mean_items_per_bin
+    t.singleton_bin_fraction

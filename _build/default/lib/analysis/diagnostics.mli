@@ -1,0 +1,25 @@
+(** Packing / alignment diagnostics — quantifying §7's intuitive discussion.
+
+    The paper explains average-case performance through two informal forces:
+    {e packing} (how tightly bins are filled — Best Fit good, Worst Fit bad)
+    and {e alignment} (how well co-located items' departures coincide —
+    Move To Front and Next Fit good). These metrics make both measurable on
+    a concrete packing. *)
+
+type t = {
+  packing_efficiency : float;
+      (** time-space utilisation of the items divided by the total bin time:
+          [Σ_r ‖s(r)‖∞ ℓ(I(r)) / cost]. Higher = tighter packing. *)
+  departure_spread : float;
+      (** mean over bins of (last departure − first departure) divided by
+          the bin's usage length. Lower = better aligned departures. *)
+  mean_items_per_bin : float;
+  singleton_bin_fraction : float;
+      (** fraction of bins that only ever held one item — a signature of the
+          stranded-bin failure mode the adversarial gadgets exploit. *)
+}
+
+val measure : Dvbp_core.Packing.t -> t
+(** @raise Invalid_argument on an empty packing. *)
+
+val pp : Format.formatter -> t -> unit

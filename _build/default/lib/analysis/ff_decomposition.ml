@@ -1,0 +1,41 @@
+module Interval = Dvbp_interval.Interval
+module Interval_set = Dvbp_interval.Interval_set
+module Packing = Dvbp_core.Packing
+module Floatx = Dvbp_prelude.Floatx
+
+type bin_decomposition = {
+  bin_id : int;
+  usage : Interval.t;
+  p : Interval.t;
+  q : Interval.t;
+}
+
+type t = { bins : bin_decomposition list }
+
+let analyse (packing : Packing.t) =
+  let bins, _ =
+    List.fold_left
+      (fun (acc, latest_close) (b : Packing.bin_record) ->
+        let iv = b.Packing.interval in
+        let t_i = Float.max iv.Interval.lo latest_close in
+        let mid = Float.min iv.Interval.hi t_i in
+        let decomposition =
+          {
+            bin_id = b.Packing.bin_id;
+            usage = iv;
+            p = Interval.make iv.Interval.lo mid;
+            q = Interval.make mid iv.Interval.hi;
+          }
+        in
+        (decomposition :: acc, Float.max latest_close iv.Interval.hi))
+      ([], neg_infinity) packing.Packing.bins
+  in
+  { bins = List.rev bins }
+
+let q_total t = Floatx.kahan_sum (List.map (fun b -> Interval.length b.q) t.bins)
+let p_total t = Floatx.kahan_sum (List.map (fun b -> Interval.length b.p) t.bins)
+
+let check_claim4 t ~activity =
+  let union = Interval_set.of_intervals (List.map (fun b -> b.q) t.bins) in
+  Interval_set.approx_equal union activity
+  && Floatx.approx_equal (q_total t) (Interval_set.total_length activity)

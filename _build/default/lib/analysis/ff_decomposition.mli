@@ -1,0 +1,30 @@
+(** The [P_i / Q_i] decomposition of a First Fit packing (Figure 2,
+    Claim 4 of the paper).
+
+    Bins are indexed by opening time. With [t_i] the latest closing time of
+    bins opened before bin [i], the usage period [I_i] splits into
+    [P_i = \[I_i^-, min(I_i^+, t_i))] — the stretch still "shadowed" by an
+    earlier bin — and the tail [Q_i]. The [Q_i] are pairwise disjoint and
+    cover the activity span exactly (Claim 4: [Σ ℓ(Q_i) = span(R)]). The
+    decomposition is a property of any packing whose bins are indexed in
+    opening order, so it applies to every policy's output; the Theorem 3
+    analysis uses it for First Fit. *)
+
+type bin_decomposition = {
+  bin_id : int;
+  usage : Dvbp_interval.Interval.t;
+  p : Dvbp_interval.Interval.t;  (** possibly empty *)
+  q : Dvbp_interval.Interval.t;  (** possibly empty *)
+}
+
+type t = { bins : bin_decomposition list }
+
+val analyse : Dvbp_core.Packing.t -> t
+
+val q_total : t -> float
+(** [Σ ℓ(Q_i)] — Claim 4 says this equals [span(R)]. *)
+
+val p_total : t -> float
+
+val check_claim4 : t -> activity:Dvbp_interval.Interval_set.t -> bool
+(** The [Q_i] are disjoint and their union is exactly the activity set. *)

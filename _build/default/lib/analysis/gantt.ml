@@ -1,0 +1,39 @@
+module Interval = Dvbp_interval.Interval
+module Interval_set = Dvbp_interval.Interval_set
+module Packing = Dvbp_core.Packing
+
+let render ?(width = 72) ?(highlight = fun _ -> Interval_set.empty)
+    (packing : Packing.t) =
+  if width < 2 then invalid_arg "Gantt.render: width too small";
+  let t0, t1 =
+    List.fold_left
+      (fun (lo, hi) (b : Packing.bin_record) ->
+        ( Float.min lo b.Packing.interval.Interval.lo,
+          Float.max hi b.Packing.interval.Interval.hi ))
+      (infinity, neg_infinity) packing.Packing.bins
+  in
+  if not (Float.is_finite t0 && Float.is_finite t1) then "(empty packing)\n"
+  else
+    let scale = if t1 > t0 then float_of_int width /. (t1 -. t0) else 0.0 in
+    let cell_of time =
+      Dvbp_prelude.Floatx.clamp ~lo:0.0 ~hi:(float_of_int (width - 1))
+        (Float.floor ((time -. t0) *. scale))
+      |> int_of_float
+    in
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (b : Packing.bin_record) ->
+        let row = Bytes.make width ' ' in
+        let paint ch (iv : Interval.t) =
+          if not (Interval.is_empty iv) then
+            for c = cell_of iv.Interval.lo to cell_of (iv.Interval.hi -. 1e-12) do
+              Bytes.set row c ch
+            done
+        in
+        paint '=' b.Packing.interval;
+        List.iter (paint '#') (Interval_set.intervals (highlight b.Packing.bin_id));
+        Buffer.add_string buf (Printf.sprintf "bin %3d |%s|\n" b.Packing.bin_id (Bytes.to_string row)))
+      packing.Packing.bins;
+    Buffer.add_string buf
+      (Printf.sprintf "        %g%s%g\n" t0 (String.make (Int.max 1 (width - 6)) '-') t1);
+    Buffer.contents buf

@@ -1,0 +1,16 @@
+(** ASCII Gantt rendering of packings — the textual analogue of the
+    paper's Figures 1–3.
+
+    Each bin is one row on a shared time axis; usage is drawn with ['='],
+    and an optional per-bin highlight set (e.g. the leading intervals of
+    Move To Front) is overdrawn with ['#']. *)
+
+val render :
+  ?width:int ->
+  ?highlight:(int -> Dvbp_interval.Interval_set.t) ->
+  Dvbp_core.Packing.t ->
+  string
+(** [render packing] draws all bins. [width] is the number of character
+    cells for the time axis (default 72). [highlight] maps a bin id to
+    intervals to overdraw (default: none). The output ends with a scale
+    line. *)

@@ -1,0 +1,118 @@
+module Interval = Dvbp_interval.Interval
+module Interval_set = Dvbp_interval.Interval_set
+module Trace = Dvbp_engine.Trace
+module Floatx = Dvbp_prelude.Floatx
+
+type bin_decomposition = {
+  bin_id : int;
+  usage : Interval.t;
+  leading : Interval_set.t;
+  non_leading : Interval_set.t;
+  placements : float list;
+}
+
+type t = {
+  leader_timeline : (Interval.t * int) list;
+  bins : bin_decomposition list;
+}
+
+let analyse trace =
+  (* Replay the trace, maintaining the MRU list (front = leader). *)
+  let mru = ref [] in
+  let opened : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let closed : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let placements : (int, float list) Hashtbl.t = Hashtbl.create 16 in
+  let timeline_rev = ref [] in
+  let seg_start = ref 0.0 in
+  let current_leader = ref None in
+  let switch_leader ~now =
+    let leader = match !mru with [] -> None | b :: _ -> Some b in
+    if leader <> !current_leader then begin
+      (match !current_leader with
+      | Some b when now > !seg_start ->
+          timeline_rev := (Interval.make !seg_start now, b) :: !timeline_rev
+      | Some _ | None -> ());
+      current_leader := leader;
+      seg_start := now
+    end
+  in
+  List.iter
+    (fun event ->
+      let now = Trace.time_of event in
+      (match event with
+      | Trace.Opened { bin_id; _ } ->
+          Hashtbl.replace opened bin_id now;
+          mru := bin_id :: !mru
+      | Trace.Placed { bin_id; _ } ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt placements bin_id) in
+          Hashtbl.replace placements bin_id (now :: prev);
+          mru := bin_id :: List.filter (fun b -> b <> bin_id) !mru
+      | Trace.Departed _ -> ()
+      | Trace.Closed { bin_id; _ } ->
+          Hashtbl.replace closed bin_id now;
+          mru := List.filter (fun b -> b <> bin_id) !mru);
+      switch_leader ~now)
+    (Trace.events trace);
+  let leader_timeline = List.rev !timeline_rev in
+  let leading_of bin_id =
+    Interval_set.of_intervals
+      (List.filter_map
+         (fun (iv, b) -> if b = bin_id then Some iv else None)
+         leader_timeline)
+  in
+  let bins =
+    Hashtbl.fold
+      (fun bin_id open_t acc ->
+        let close_t =
+          match Hashtbl.find_opt closed bin_id with
+          | Some t -> t
+          | None -> invalid_arg "Mtf_decomposition: trace has an unclosed bin"
+        in
+        let usage = Interval.make open_t close_t in
+        let leading = leading_of bin_id in
+        let non_leading =
+          Interval_set.diff (Interval_set.of_intervals [ usage ]) leading
+        in
+        let bin_placements =
+          List.rev (Option.value ~default:[] (Hashtbl.find_opt placements bin_id))
+        in
+        { bin_id; usage; leading; non_leading; placements = bin_placements } :: acc)
+      opened []
+    |> List.sort (fun a b -> Int.compare a.bin_id b.bin_id)
+  in
+  { leader_timeline; bins }
+
+let leading_total t =
+  Floatx.kahan_sum (List.map (fun (iv, _) -> Interval.length iv) t.leader_timeline)
+
+let leading_partition_activity t ~activity =
+  let union =
+    List.fold_left
+      (fun acc b -> Interval_set.union acc b.leading)
+      Interval_set.empty t.bins
+  in
+  (* Union equals activity, and segment lengths add up with no overlap. *)
+  Interval_set.approx_equal union activity
+  && Floatx.approx_equal (leading_total t) (Interval_set.total_length activity)
+
+(* Longest placement-free stretch within a non-leading interval: placements
+   inside the interval split it (the paper's zero-length leading periods). *)
+let non_leading_max t =
+  let stretch_max acc (iv : Interval.t) placements =
+    let inside =
+      List.filter (fun p -> iv.Interval.lo < p && p < iv.Interval.hi) placements
+    in
+    let cuts = (iv.Interval.lo :: inside) @ [ iv.Interval.hi ] in
+    let rec widest acc = function
+      | a :: (b :: _ as rest) -> widest (Float.max acc (b -. a)) rest
+      | _ -> acc
+    in
+    widest acc cuts
+  in
+  List.fold_left
+    (fun acc b ->
+      List.fold_left
+        (fun acc iv -> stretch_max acc iv b.placements)
+        acc
+        (Interval_set.intervals b.non_leading))
+    0.0 t.bins

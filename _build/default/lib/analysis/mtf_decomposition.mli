@@ -1,0 +1,46 @@
+(** Leading / non-leading decomposition of a Move To Front run (Figure 1,
+    Claims 1–3 of the paper).
+
+    A bin is the {e leader} at time [t] when it sits at the front of the
+    most-recently-used list. The proof of Theorem 2 splits each bin's usage
+    period into alternating leading intervals [P_{i,j}] and non-leading
+    intervals [Q_{i,j}], and rests on the fact that the leading intervals of
+    all bins partition the active span (Claim 1). This module reconstructs
+    that decomposition from a simulation trace so tests (and Figure 1's
+    rendering) can check the claims on real executions. *)
+
+type bin_decomposition = {
+  bin_id : int;
+  usage : Dvbp_interval.Interval.t;
+  leading : Dvbp_interval.Interval_set.t;
+  non_leading : Dvbp_interval.Interval_set.t;
+  placements : float list;  (** times this bin received an item, ascending *)
+}
+
+type t = {
+  leader_timeline : (Dvbp_interval.Interval.t * int) list;
+      (** who led when, in time order; gaps where no bin is open *)
+  bins : bin_decomposition list;
+}
+
+val analyse : Dvbp_engine.Trace.t -> t
+(** Reconstructs the MRU order by replaying the trace. Meaningful for
+    traces produced by the [mtf] policy (any trace is accepted — the
+    decomposition then describes the front of the reconstructed MRU list,
+    whatever the policy did). *)
+
+val leading_total : t -> float
+(** Total length of all leading intervals — Claim 1 says this equals
+    [span(R)]. *)
+
+val leading_partition_activity :
+  t -> activity:Dvbp_interval.Interval_set.t -> bool
+(** Checks Claim 1: the leading intervals are pairwise disjoint and their
+    union is exactly the activity set. *)
+
+val non_leading_max : t -> float
+(** Longest placement-free stretch of a non-leading interval — the
+    [ℓ(Q_{i,j}) <= µ] quantity of Claim 2. (A bin can receive an item and
+    lose leadership at the same instant, creating a zero-length leading
+    period; the paper's [Q] intervals split there, so stretches are measured
+    between placements, not merely between positive-length leaderships.) *)

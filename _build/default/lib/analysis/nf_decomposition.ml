@@ -1,0 +1,54 @@
+module Interval = Dvbp_interval.Interval
+module Interval_set = Dvbp_interval.Interval_set
+module Trace = Dvbp_engine.Trace
+module Floatx = Dvbp_prelude.Floatx
+
+type bin_decomposition = {
+  bin_id : int;
+  usage : Interval.t;
+  current : Interval.t;
+  released : Interval.t;
+}
+
+type t = { bins : bin_decomposition list }
+
+let analyse trace =
+  let openings = Trace.openings trace in
+  let closings = Trace.closings trace in
+  let close_of bin_id =
+    match List.assoc_opt bin_id (List.map (fun (t, b) -> (b, t)) closings) with
+    | Some t -> t
+    | None -> invalid_arg "Nf_decomposition: trace has an unclosed bin"
+  in
+  let rec go = function
+    | [] -> []
+    | (open_t, bin_id) :: rest ->
+        let close_t = close_of bin_id in
+        (* the bin stops being current when the next bin opens (a release)
+           or when it closes, whichever is first *)
+        let release_t =
+          match rest with
+          | (next_open, _) :: _ -> Float.min close_t next_open
+          | [] -> close_t
+        in
+        {
+          bin_id;
+          usage = Interval.make open_t close_t;
+          current = Interval.make open_t release_t;
+          released = Interval.make release_t close_t;
+        }
+        :: go rest
+  in
+  { bins = go openings }
+
+let current_total t =
+  Floatx.kahan_sum (List.map (fun b -> Interval.length b.current) t.bins)
+
+let released_max t =
+  List.fold_left (fun acc b -> Float.max acc (Interval.length b.released)) 0.0 t.bins
+
+let check_disjoint_within_activity t ~activity =
+  let union = Interval_set.of_intervals (List.map (fun b -> b.current) t.bins) in
+  (* disjoint: merged total equals the sum of the pieces *)
+  Floatx.approx_equal (current_total t) (Interval_set.total_length union)
+  && Interval_set.is_empty (Interval_set.diff union activity)

@@ -1,0 +1,33 @@
+(** Current-bin decomposition of a Next Fit run (Theorem 4's analysis).
+
+    Next Fit keeps one current bin; bin [i]'s usage splits into [P_i]
+    (while current) and [Q_i] (after release, kept open only by items that
+    are still running).
+    [P_i] ends at the earlier of: the opening of bin [i+1], or bin [i]'s own
+    closing. The [P_i] partition the activity span. *)
+
+type bin_decomposition = {
+  bin_id : int;
+  usage : Dvbp_interval.Interval.t;
+  current : Dvbp_interval.Interval.t;  (** [P_i] *)
+  released : Dvbp_interval.Interval.t;  (** [Q_i]; possibly empty *)
+}
+
+type t = { bins : bin_decomposition list }
+
+val analyse : Dvbp_engine.Trace.t -> t
+(** Reconstructs the periods from opening/closing events. Meaningful for
+    traces produced by the [nf] policy. *)
+
+val current_total : t -> float
+(** [Σ ℓ(P_i)] — at most [span(R)], which is all Theorem 4's proof needs.
+    (Strict inequality is possible: when the current bin closes while a
+    released bin is still running, no bin is current for a while.) *)
+
+val released_max : t -> float
+(** Longest released stretch — bounded by [µ] in the Theorem 4 proof. *)
+
+val check_disjoint_within_activity :
+  t -> activity:Dvbp_interval.Interval_set.t -> bool
+(** The [P_i] are pairwise disjoint and contained in the activity set —
+    the inequality [Σ ℓ(P_i) <= span(R)] used by the proof. *)

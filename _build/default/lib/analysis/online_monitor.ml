@@ -1,0 +1,85 @@
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+module Trace = Dvbp_engine.Trace
+module Load_profile = Dvbp_lowerbound.Load_profile
+
+type point = {
+  time : float;
+  cost_so_far : float;
+  lower_bound_so_far : float;
+  open_bins : int;
+  active_items : int;
+}
+
+let trajectory (instance : Dvbp_core.Instance.t) trace =
+  let cap = instance.Dvbp_core.Instance.capacity in
+  (* prefix-integrable height profile: (lo, hi, height) triples in order *)
+  let segments =
+    List.map
+      (fun (s : Load_profile.segment) ->
+        ( s.Load_profile.interval.Interval.lo,
+          s.Load_profile.interval.Interval.hi,
+          float_of_int (Vec.height ~cap s.Load_profile.load) ))
+      (Load_profile.load_segments instance)
+  in
+  let lb_upto t =
+    List.fold_left
+      (fun acc (lo, hi, h) ->
+        if t <= lo then acc else acc +. (h *. (Float.min t hi -. lo)))
+      0.0 segments
+  in
+  let events = Trace.events trace in
+  let times =
+    List.sort_uniq Float.compare (List.map Trace.time_of events)
+  in
+  let apply (opens, actives) = function
+    | Trace.Opened _ -> (opens + 1, actives)
+    | Trace.Closed _ -> (opens - 1, actives)
+    | Trace.Placed _ -> (opens, actives + 1)
+    | Trace.Departed _ -> (opens, actives - 1)
+  in
+  (* events are chronological, so the events at time [t] are a prefix *)
+  let rec split_prefix t acc = function
+    | e :: rest when Trace.time_of e = t -> split_prefix t (e :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let rec walk times events (opens, actives) prev_time cost acc =
+    match times with
+    | [] -> List.rev acc
+    | t :: rest ->
+        let cost = cost +. (float_of_int opens *. (t -. prev_time)) in
+        let now_events, later = split_prefix t [] events in
+        let opens, actives = List.fold_left apply (opens, actives) now_events in
+        let point =
+          {
+            time = t;
+            cost_so_far = cost;
+            lower_bound_so_far = lb_upto t;
+            open_bins = opens;
+            active_items = actives;
+          }
+        in
+        walk rest later (opens, actives) t cost (point :: acc)
+  in
+  match times with
+  | [] -> []
+  | first :: _ -> walk times events (0, 0) first 0.0 []
+
+let last = function
+  | [] -> invalid_arg "Online_monitor: empty trajectory"
+  | points -> List.nth points (List.length points - 1)
+
+let final_ratio points =
+  let p = last points in
+  p.cost_so_far /. p.lower_bound_so_far
+
+let peak_ratio points =
+  match points with
+  | [] -> invalid_arg "Online_monitor: empty trajectory"
+  | _ ->
+      List.fold_left
+        (fun acc p ->
+          if p.lower_bound_so_far > 0.0 then
+            Float.max acc (p.cost_so_far /. p.lower_bound_so_far)
+          else acc)
+        1.0 points

@@ -1,0 +1,31 @@
+(** Ratio trajectory of a run: how the online cost tracks the (observable)
+    lower bound over time.
+
+    At any instant [t], both the cost incurred so far and the Lemma 1 (i)
+    lower bound restricted to [\[0, t)] are computable from the past alone,
+    so an operator can watch the live ratio as a regret signal. This module
+    reconstructs that trajectory from a finished run, sampled at every
+    event time. *)
+
+type point = {
+  time : float;
+  cost_so_far : float;  (** bin-time accumulated in [\[0, time)] *)
+  lower_bound_so_far : float;  (** height-integral over [\[0, time)] *)
+  open_bins : int;
+  active_items : int;
+}
+
+val trajectory :
+  Dvbp_core.Instance.t -> Dvbp_engine.Trace.t -> point list
+(** One point per distinct event time, ascending; the first point is the
+    first arrival. The final point's values equal the whole-run cost and
+    lower bound. *)
+
+val final_ratio : point list -> float
+(** [cost / lower bound] at the last point.
+    @raise Invalid_argument on an empty trajectory. *)
+
+val peak_ratio : point list -> float
+(** Largest [cost_so_far / lower_bound_so_far] over points with a positive
+    lower bound — the worst momentary regret.
+    @raise Invalid_argument on an empty trajectory. *)

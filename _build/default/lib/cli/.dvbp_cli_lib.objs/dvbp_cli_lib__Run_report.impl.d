@@ -1,0 +1,1 @@
+lib/cli/run_report.ml: Dvbp_analysis Dvbp_core Dvbp_engine Dvbp_lowerbound Dvbp_prelude Dvbp_report Format List Out_channel Printf

@@ -1,0 +1,1 @@
+lib/cli/run_report.mli: Dvbp_core

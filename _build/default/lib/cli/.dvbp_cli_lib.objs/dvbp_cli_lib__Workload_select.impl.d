@@ -1,0 +1,1 @@
+lib/cli/workload_select.ml: Dvbp_prelude Dvbp_workload Printf String

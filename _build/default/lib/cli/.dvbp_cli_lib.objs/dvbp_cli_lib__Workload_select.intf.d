@@ -1,0 +1,1 @@
+lib/cli/workload_select.mli: Dvbp_core

@@ -1,0 +1,63 @@
+(* Shared bits of the CLI: run one named policy on an instance and print a
+   cost report (plus optional Gantt). *)
+
+module Rng = Dvbp_prelude.Rng
+module Core = Dvbp_core
+module Engine = Dvbp_engine.Engine
+module Bounds = Dvbp_lowerbound.Bounds
+module An = Dvbp_analysis
+
+let run_one ?export ?(trajectory = false) ~policy ~seed instance ~gantt =
+  let clairvoyant = policy = "daf" || policy = "hff" in
+  match Core.Policy.of_name ~rng:(Rng.create ~seed) policy with
+  | Error e -> Error e
+  | Ok p ->
+      let run = Engine.run ~clairvoyant ~policy:p instance in
+      let lb = Bounds.height_integral instance in
+      Printf.printf "instance: n=%d d=%d mu=%.2f span=%.2f\n"
+        (Core.Instance.size instance)
+        (Core.Instance.dim instance)
+        (Core.Instance.mu instance)
+        (Core.Instance.span instance);
+      Printf.printf "policy %s%s: cost=%.4f bins=%d peak=%d cost/LB=%.4f\n"
+        p.Core.Policy.name
+        (if clairvoyant then " (clairvoyant)" else "")
+        (Engine.cost run) run.Engine.bins_opened run.Engine.max_open_bins
+        (Engine.cost run /. lb);
+      let m = An.Diagnostics.measure run.Engine.packing in
+      Format.printf "diagnostics: %a@." An.Diagnostics.pp m;
+      (match Core.Packing.validate instance run.Engine.packing with
+      | Ok () -> print_endline "packing: valid"
+      | Error es ->
+          print_endline "packing: INVALID";
+          List.iter print_endline es);
+      if gantt then print_string (An.Gantt.render run.Engine.packing);
+      if trajectory then begin
+        let points = An.Online_monitor.trajectory instance run.Engine.trace in
+        let series =
+          {
+            Dvbp_report.Ascii_plot.label = "cost/LB so far";
+            marker = '*';
+            points =
+              List.filter_map
+                (fun (p : An.Online_monitor.point) ->
+                  if p.An.Online_monitor.lower_bound_so_far > 0.0 then
+                    Some
+                      ( p.An.Online_monitor.time,
+                        p.An.Online_monitor.cost_so_far
+                        /. p.An.Online_monitor.lower_bound_so_far )
+                  else None)
+                points;
+          }
+        in
+        print_string
+          (Dvbp_report.Ascii_plot.render ~x_label:"time" ~y_label:"ratio" [ series ]);
+        Printf.printf "peak momentary ratio: %.4f\n" (An.Online_monitor.peak_ratio points)
+      end;
+      (match export with
+      | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Core.Packing.to_csv run.Engine.packing));
+          Printf.printf "assignments written to %s\n" path
+      | None -> ());
+      Ok ()

@@ -1,0 +1,17 @@
+(** One-shot "run a policy and report" used by the [dvbp run] and
+    [dvbp adversary] subcommands: simulate, print cost / lower-bound /
+    diagnostics, certify the packing, optionally draw a Gantt chart. *)
+
+val run_one :
+  ?export:string ->
+  ?trajectory:bool ->
+  policy:string ->
+  seed:int ->
+  Dvbp_core.Instance.t ->
+  gantt:bool ->
+  (unit, string) result
+(** Prints the report to stdout. [policy] accepts every
+    {!Dvbp_core.Policy.of_name} name; clairvoyant policies (["daf"],
+    ["hff"]) run with departures visible. [export] writes the final
+    assignment as CSV to the given path; [trajectory] (default false) also
+    plots the live cost / observable-lower-bound ratio over time. *)

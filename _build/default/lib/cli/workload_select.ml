@@ -1,0 +1,43 @@
+module Rng = Dvbp_prelude.Rng
+module W = Dvbp_workload
+
+type source = {
+  workload : string;
+  trace : string option;
+  d : int;
+  mu : int;
+  n : int;
+  rho : float;
+  seed : int;
+}
+
+let known_workloads = [ "uniform"; "gaming"; "vm"; "correlated"; "bursty" ]
+
+let build s =
+  match s.trace with
+  | Some path -> W.Trace_io.read_file path
+  | None -> (
+      let rng = Rng.create ~seed:s.seed in
+      let uniform_params =
+        { (W.Uniform_model.table2 ~d:s.d ~mu:s.mu) with W.Uniform_model.n = s.n }
+      in
+      try
+        match s.workload with
+        | "uniform" -> Ok (W.Uniform_model.generate uniform_params ~rng)
+        | "gaming" ->
+            Ok (W.Cloud_gaming.generate
+                  { W.Cloud_gaming.default with W.Cloud_gaming.n = s.n } ~rng)
+        | "vm" ->
+            Ok (W.Vm_requests.generate
+                  { W.Vm_requests.default with W.Vm_requests.n = s.n } ~rng)
+        | "correlated" ->
+            Ok (W.Correlated.generate
+                  { W.Correlated.base = uniform_params; rho = s.rho } ~rng)
+        | "bursty" ->
+            Ok (W.Bursty.generate
+                  { W.Bursty.default with W.Bursty.base = uniform_params } ~rng)
+        | other ->
+            Error
+              (Printf.sprintf "unknown workload %S (known: %s)" other
+                 (String.concat ", " known_workloads))
+      with Invalid_argument msg -> Error msg)

@@ -1,0 +1,19 @@
+(** Workload selection shared by the command-line tool: build an instance
+    from a named generator or a CSV trace. Lives in a library (rather than
+    the executable) so the dispatch and its error paths are unit-tested. *)
+
+type source = {
+  workload : string;  (** "uniform" | "gaming" | "vm" | "correlated" | "bursty" *)
+  trace : string option;  (** CSV path; overrides [workload] when present *)
+  d : int;
+  mu : int;
+  n : int;
+  rho : float;  (** correlation, only for "correlated" *)
+  seed : int;
+}
+
+val build : source -> (Dvbp_core.Instance.t, string) result
+(** Generates (or loads) the instance. All generator validation errors are
+    surfaced as [Error]. *)
+
+val known_workloads : string list

@@ -1,0 +1,1 @@
+lib/core/bin.ml: Dvbp_interval Dvbp_vec Format Item List Load_measure Printf

@@ -1,0 +1,1 @@
+lib/core/bin.mli: Dvbp_interval Dvbp_vec Format Item Load_measure

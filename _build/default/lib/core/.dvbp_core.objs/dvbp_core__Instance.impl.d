@@ -1,0 +1,1 @@
+lib/core/instance.ml: Dvbp_interval Dvbp_prelude Dvbp_vec Float Format Int Item List Printf Set

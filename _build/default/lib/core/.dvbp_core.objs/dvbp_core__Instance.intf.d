@@ -1,0 +1,1 @@
+lib/core/instance.mli: Dvbp_interval Dvbp_vec Format Item

@@ -1,0 +1,1 @@
+lib/core/item.ml: Dvbp_interval Dvbp_vec Float Format Int

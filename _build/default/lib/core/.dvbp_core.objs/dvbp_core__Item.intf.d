@@ -1,0 +1,1 @@
+lib/core/item.mli: Dvbp_interval Dvbp_vec Format

@@ -1,0 +1,1 @@
+lib/core/load_measure.ml: Dvbp_vec Printf String

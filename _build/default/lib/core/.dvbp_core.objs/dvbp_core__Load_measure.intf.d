@@ -1,0 +1,1 @@
+lib/core/load_measure.mli: Dvbp_vec

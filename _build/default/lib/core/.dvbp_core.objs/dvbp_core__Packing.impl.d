@@ -1,0 +1,1 @@
+lib/core/packing.ml: Array Buffer Dvbp_interval Dvbp_prelude Dvbp_vec Float Format Instance Int Item List Map Printf

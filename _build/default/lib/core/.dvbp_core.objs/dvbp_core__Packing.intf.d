@@ -1,0 +1,1 @@
+lib/core/packing.mli: Dvbp_interval Dvbp_vec Format Instance Int Item Map

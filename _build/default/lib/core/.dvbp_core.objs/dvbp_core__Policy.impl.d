@@ -1,0 +1,1 @@
+lib/core/policy.ml: Array Bin Dvbp_prelude Dvbp_vec Float Hashtbl Int Item List Load_measure Option Printf String

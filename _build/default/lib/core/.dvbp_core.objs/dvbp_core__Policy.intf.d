@@ -1,0 +1,1 @@
+lib/core/policy.mli: Bin Dvbp_prelude Dvbp_vec Load_measure

@@ -1,0 +1,69 @@
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+
+type t = {
+  id : int;
+  capacity : Vec.t;
+  opened_at : float;
+  mutable load : Vec.t;
+  mutable active_items : Item.t list;
+  mutable placed : Item.t list;
+  mutable closed_at : float option;
+  mutable last_used : int;
+}
+
+let create ~id ~capacity ~now ~touch =
+  {
+    id;
+    capacity;
+    opened_at = now;
+    load = Vec.zero ~dim:(Vec.dim capacity);
+    active_items = [];
+    placed = [];
+    closed_at = None;
+    last_used = touch;
+  }
+
+let fits t size = Vec.fits ~cap:t.capacity ~load:t.load size
+let is_open t = t.closed_at = None
+let is_empty t = t.active_items = []
+
+let place t (r : Item.t) ~touch =
+  if not (is_open t) then invalid_arg "Bin.place: bin is closed";
+  if not (fits t r.Item.size) then
+    invalid_arg
+      (Printf.sprintf "Bin.place: item %d does not fit in bin %d" r.Item.id t.id);
+  t.load <- Vec.add t.load r.Item.size;
+  t.active_items <- r :: t.active_items;
+  t.placed <- r :: t.placed;
+  t.last_used <- touch
+
+let remove t (r : Item.t) =
+  if not (List.exists (Item.equal r) t.active_items) then
+    invalid_arg
+      (Printf.sprintf "Bin.remove: item %d is not active in bin %d" r.Item.id t.id);
+  t.active_items <- List.filter (fun x -> not (Item.equal x r)) t.active_items;
+  t.load <- Vec.sub t.load r.Item.size
+
+let close t ~now =
+  if not (is_open t) then invalid_arg "Bin.close: already closed";
+  if not (is_empty t) then invalid_arg "Bin.close: bin still has active items";
+  t.closed_at <- Some now
+
+let usage_interval t =
+  match t.closed_at with
+  | None -> invalid_arg "Bin.usage_interval: bin still open"
+  | Some hi -> Interval.make t.opened_at hi
+
+let load_measure m t = Load_measure.apply m ~cap:t.capacity t.load
+
+let pp ppf t =
+  Format.fprintf ppf "bin#%d load=%a items=[%a] opened=%g%a" t.id Vec.pp t.load
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+       (fun ppf (r : Item.t) -> Format.fprintf ppf "%d" r.Item.id))
+    t.active_items t.opened_at
+    (fun ppf -> function
+      | None -> Format.fprintf ppf " (open)"
+      | Some c -> Format.fprintf ppf " closed=%g" c)
+    t.closed_at

@@ -1,0 +1,127 @@
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+module Interval_set = Dvbp_interval.Interval_set
+module Listx = Dvbp_prelude.Listx
+
+type t = { capacity : Vec.t; items : Item.t list }
+
+let validate ~capacity items =
+  if items = [] then Error "Instance: empty item list"
+  else
+    let d = Vec.dim capacity in
+    let module Iset = Set.Make (Int) in
+    let rec check seen = function
+      | [] -> Ok ()
+      | (r : Item.t) :: rest ->
+          if Item.dim r <> d then
+            Error
+              (Printf.sprintf "Instance: item %d has dimension %d, capacity has %d"
+                 r.Item.id (Item.dim r) d)
+          else if not (Vec.le r.Item.size capacity) then
+            Error
+              (Printf.sprintf "Instance: item %d exceeds bin capacity: %s > %s"
+                 r.Item.id (Vec.to_string r.Item.size) (Vec.to_string capacity))
+          else if Iset.mem r.Item.id seen then
+            Error (Printf.sprintf "Instance: duplicate item id %d" r.Item.id)
+          else check (Iset.add r.Item.id seen) rest
+    in
+    check Iset.empty items
+
+let make ~capacity items =
+  match validate ~capacity items with
+  | Error _ as e -> e
+  | Ok () ->
+      let items = List.stable_sort Item.compare_by_arrival items in
+      Ok { capacity; items }
+
+let make_exn ~capacity items =
+  match make ~capacity items with Ok t -> t | Error msg -> invalid_arg msg
+
+let of_specs ~capacity specs =
+  let items =
+    List.mapi
+      (fun id (arrival, departure, size) -> Item.make ~id ~arrival ~departure ~size)
+      specs
+  in
+  make ~capacity items
+
+let of_specs_exn ~capacity specs =
+  match of_specs ~capacity specs with Ok t -> t | Error msg -> invalid_arg msg
+
+let dim t = Vec.dim t.capacity
+let size t = List.length t.items
+
+let min_duration t =
+  List.fold_left (fun acc r -> Float.min acc (Item.duration r)) infinity t.items
+
+let max_duration t =
+  List.fold_left (fun acc r -> Float.max acc (Item.duration r)) 0.0 t.items
+
+let mu t = max_duration t /. min_duration t
+
+let activity t = Interval_set.of_intervals (List.map Item.interval t.items)
+let span t = Interval_set.total_length (activity t)
+
+let total_utilisation t =
+  Listx.sum_by
+    (fun (r : Item.t) -> Vec.linf ~cap:t.capacity r.Item.size *. Item.duration r)
+    t.items
+
+let horizon t =
+  List.fold_left (fun acc (r : Item.t) -> Float.max acc r.Item.departure) 0.0 t.items
+
+let find t id = List.find (fun (r : Item.t) -> r.Item.id = id) t.items
+
+let map_items t f =
+  { t with items = List.map f t.items }
+
+let shift t ~by =
+  map_items t (fun (r : Item.t) ->
+      Item.make ~id:r.Item.id ~arrival:(r.Item.arrival +. by)
+        ~departure:(r.Item.departure +. by) ~size:r.Item.size)
+
+let scale_sizes t ~factor =
+  if factor <= 0 then invalid_arg "Instance.scale_sizes: non-positive factor";
+  {
+    capacity = Vec.scale factor t.capacity;
+    items =
+      List.map
+        (fun (r : Item.t) ->
+          Item.make ~id:r.Item.id ~arrival:r.Item.arrival ~departure:r.Item.departure
+            ~size:(Vec.scale factor r.Item.size))
+        t.items;
+  }
+
+let scale_time t ~factor =
+  if factor <= 0.0 then invalid_arg "Instance.scale_time: non-positive factor";
+  map_items t (fun (r : Item.t) ->
+      Item.make ~id:r.Item.id ~arrival:(r.Item.arrival *. factor)
+        ~departure:(r.Item.departure *. factor) ~size:r.Item.size)
+
+let merge = function
+  | [] -> Error "Instance.merge: empty list"
+  | first :: _ as instances ->
+      let capacity = first.capacity in
+      if
+        List.exists
+          (fun i -> not (Vec.equal i.capacity capacity))
+          instances
+      then Error "Instance.merge: capacity mismatch"
+      else
+        let all =
+          List.concat_map (fun i -> i.items) instances
+          |> List.stable_sort Item.compare_by_arrival
+        in
+        let items =
+          List.mapi
+            (fun id (r : Item.t) ->
+              Item.make ~id ~arrival:r.Item.arrival ~departure:r.Item.departure
+                ~size:r.Item.size)
+            all
+        in
+        make ~capacity items
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>instance cap=%a n=%d@,%a@]" Vec.pp t.capacity (size t)
+    (Format.pp_print_list Item.pp)
+    t.items

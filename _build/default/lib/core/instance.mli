@@ -1,0 +1,87 @@
+(** A problem instance: the item list [R] plus the common bin capacity.
+
+    Items are kept in arrival-sequence order (ties in arrival time broken by
+    sequence position); this order is part of the instance because Any Fit
+    executions depend on it. Construction validates the paper's feasibility
+    assumptions: every item must fit in an empty bin ([s(r) ∈ \[0,1\]^d]
+    after normalisation) and all dimensions must agree. *)
+
+type t = private {
+  capacity : Dvbp_vec.Vec.t;
+  items : Item.t list;  (** sorted by [(arrival, id)]; ids are [0..n-1] *)
+}
+
+val make : capacity:Dvbp_vec.Vec.t -> Item.t list -> (t, string) result
+(** Validates and canonicalises (sorts by arrival order). Errors:
+    empty item list, dimension mismatch, an item larger than the capacity in
+    some dimension, duplicate ids. *)
+
+val make_exn : capacity:Dvbp_vec.Vec.t -> Item.t list -> t
+(** @raise Invalid_argument on the same conditions. *)
+
+val of_specs :
+  capacity:Dvbp_vec.Vec.t ->
+  (float * float * Dvbp_vec.Vec.t) list ->
+  (t, string) result
+(** Builds items from [(arrival, departure, size)] triples; ids are assigned
+    from list position, so same-instant arrivals keep list order. *)
+
+val of_specs_exn :
+  capacity:Dvbp_vec.Vec.t -> (float * float * Dvbp_vec.Vec.t) list -> t
+
+(** {1 Instance quantities from the paper} *)
+
+val dim : t -> int
+val size : t -> int
+(** Number of items [n]. *)
+
+val mu : t -> float
+(** The ratio [µ] of the longest to the shortest item duration ([>= 1]). *)
+
+val min_duration : t -> float
+val max_duration : t -> float
+
+val span : t -> float
+(** [span(R)]: total length of time at least one item is active. *)
+
+val activity : t -> Dvbp_interval.Interval_set.t
+(** The union of all item activity intervals (may have gaps; the paper
+    treats each gap-free component as a sub-problem, the engine handles the
+    general case directly). *)
+
+val total_utilisation : t -> float
+(** [Σ_r ‖s(r)‖∞ · ℓ(I(r))] with capacity-normalised [‖·‖∞] — the
+    time-space utilisation of Lemma 1 (ii) before dividing by [d]. *)
+
+val horizon : t -> float
+(** Latest departure time. *)
+
+val find : t -> int -> Item.t
+(** Item by id. @raise Not_found. *)
+
+(** {1 Transforms}
+
+    Structure-preserving rewrites. They keep ids and arrival order, so a
+    deterministic policy behaves identically on the transformed instance —
+    the metamorphic laws the property tests exercise. *)
+
+val shift : t -> by:float -> t
+(** Translates every arrival and departure by [by] (resulting arrivals must
+    stay non-negative).
+    @raise Invalid_argument otherwise. *)
+
+val scale_sizes : t -> factor:int -> t
+(** Multiplies every item size {e and} the capacity by [factor > 0] —
+    packing decisions are invariant under this. *)
+
+val scale_time : t -> factor:float -> t
+(** Multiplies every arrival and departure by [factor > 0]; costs scale by
+    the same factor. *)
+
+val merge : t list -> (t, string) result
+(** Disjoint union of instances over a common capacity: items are re-id'd
+    in global arrival order. Errors on an empty list or mismatched
+    capacities. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact multi-line rendering for debugging. *)

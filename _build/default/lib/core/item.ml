@@ -1,0 +1,26 @@
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+
+type t = { id : int; arrival : float; departure : float; size : Vec.t }
+
+let make ~id ~arrival ~departure ~size =
+  if id < 0 then invalid_arg "Item.make: negative id";
+  if not (Float.is_finite arrival && Float.is_finite departure) then
+    invalid_arg "Item.make: non-finite time";
+  if arrival < 0.0 then invalid_arg "Item.make: negative arrival";
+  if departure <= arrival then invalid_arg "Item.make: departure <= arrival";
+  { id; arrival; departure; size }
+
+let duration r = r.departure -. r.arrival
+let interval r = Interval.make r.arrival r.departure
+let active_at r t = r.arrival <= t && t < r.departure
+let dim r = Vec.dim r.size
+let equal a b = a.id = b.id
+
+let compare_by_arrival a b =
+  match Float.compare a.arrival b.arrival with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
+
+let pp ppf r =
+  Format.fprintf ppf "item#%d@[%g,%g)%a" r.id r.arrival r.departure Vec.pp r.size

@@ -1,0 +1,35 @@
+(** Items (jobs) of the MinUsageTime DVBP problem.
+
+    An item [r] is the paper's tuple [(a(r), e(r), s(r))]: arrival time,
+    departure time and a [d]-dimensional size. The [id] is the position in
+    the arrival sequence — ties in arrival time are broken by [id], which is
+    how the paper's adversarial constructions order same-instant arrivals. *)
+
+type t = private {
+  id : int;  (** position in the arrival sequence; unique per instance *)
+  arrival : float;
+  departure : float;
+  size : Dvbp_vec.Vec.t;
+}
+
+val make : id:int -> arrival:float -> departure:float -> size:Dvbp_vec.Vec.t -> t
+(** @raise Invalid_argument when [arrival < 0], [departure <= arrival],
+    either time is non-finite, or [id < 0]. Durations must be strictly
+    positive: the paper's cost model has no zero-length items. *)
+
+val duration : t -> float
+(** [e(r) - a(r)], the paper's [ℓ(I(r))]. *)
+
+val interval : t -> Dvbp_interval.Interval.t
+(** The half-open active interval [I(r) = \[a(r), e(r))]. *)
+
+val active_at : t -> float -> bool
+(** [active_at r t] iff [t ∈ \[a(r), e(r))]. *)
+
+val dim : t -> int
+
+val equal : t -> t -> bool
+val compare_by_arrival : t -> t -> int
+(** Orders by [(arrival, id)] — the processing order of the simulator. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+module Vec = Dvbp_vec.Vec
+
+type t = Linf | L1 | Lp of float
+
+let apply t ~cap v =
+  match t with
+  | Linf -> Vec.linf ~cap v
+  | L1 -> Vec.l1 ~cap v
+  | Lp p -> Vec.lp ~p ~cap v
+
+let name = function
+  | Linf -> "linf"
+  | L1 -> "l1"
+  | Lp p -> Printf.sprintf "l%g" p
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "linf" | "max" -> Ok Linf
+  | "l1" | "sum" -> Ok L1
+  | s -> (
+      let parse_p p_str =
+        match float_of_string_opt p_str with
+        | Some p when p >= 1.0 -> Ok (Lp p)
+        | _ -> Error (Printf.sprintf "Load_measure: bad exponent %S" p_str)
+      in
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "lp" ->
+          parse_p (String.sub s (i + 1) (String.length s - i - 1))
+      | _ ->
+          if String.length s > 1 && s.[0] = 'l' then
+            parse_p (String.sub s 1 (String.length s - 1))
+          else Error (Printf.sprintf "Load_measure: unknown measure %S" s))
+
+let all_standard = [ Linf; L1; Lp 2.0 ]

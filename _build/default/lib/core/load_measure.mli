@@ -1,0 +1,22 @@
+(** Scalar load measures for multi-dimensional bins.
+
+    For [d >= 2] there is no unique notion of "most loaded" bin; §2.2 of the
+    paper lists the natural choices for Best Fit. All are capacity-relative
+    so a value of [1.0] means "full in that measure". *)
+
+type t =
+  | Linf  (** max load: [‖s(R)‖∞] — the measure used in the paper's experiments *)
+  | L1  (** sum of loads: [‖s(R)‖₁] *)
+  | Lp of float  (** [‖s(R)‖_p] for [p >= 1] *)
+
+val apply : t -> cap:Dvbp_vec.Vec.t -> Dvbp_vec.Vec.t -> float
+(** Evaluates the measure on a load vector. *)
+
+val name : t -> string
+(** ["linf"], ["l1"], ["l2.0"], ... *)
+
+val of_name : string -> (t, string) result
+(** Parses the same names; ["lp:<p>"] also accepted. *)
+
+val all_standard : t list
+(** [Linf; L1; Lp 2.0] — the ablation set from §2.2. *)

@@ -1,0 +1,172 @@
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+module Interval_set = Dvbp_interval.Interval_set
+module Floatx = Dvbp_prelude.Floatx
+module Imap = Map.Make (Int)
+
+type bin_record = { bin_id : int; interval : Interval.t; items : Item.t list }
+
+type t = {
+  capacity : Vec.t;
+  bins : bin_record list;
+  assignment : int Imap.t;
+}
+
+let make ~capacity bins =
+  let bins = List.sort (fun a b -> Int.compare a.bin_id b.bin_id) bins in
+  let ids = List.map (fun b -> b.bin_id) bins in
+  let distinct = List.sort_uniq Int.compare ids in
+  if List.length distinct <> List.length ids then
+    invalid_arg "Packing.make: duplicate bin ids";
+  let assignment =
+    List.fold_left
+      (fun acc b ->
+        List.fold_left
+          (fun acc (r : Item.t) ->
+            if Imap.mem r.Item.id acc then
+              invalid_arg
+                (Printf.sprintf "Packing.make: item %d assigned twice" r.Item.id)
+            else Imap.add r.Item.id b.bin_id acc)
+          acc b.items)
+      Imap.empty bins
+  in
+  { capacity; bins; assignment }
+
+let cost t =
+  Floatx.kahan_sum (List.map (fun b -> Interval.length b.interval) t.bins)
+
+let num_bins t = List.length t.bins
+let bin_of_item t item_id = Imap.find_opt item_id t.assignment
+
+let bin t id = List.find (fun b -> b.bin_id = id) t.bins
+
+let max_concurrent_bins t =
+  (* Sweep: +1 at each open, -1 at each close; closes at time [x] precede
+     opens at [x] because usage intervals are half-open. *)
+  let events =
+    List.concat_map
+      (fun b ->
+        [ (b.interval.Interval.lo, 1); (b.interval.Interval.hi, -1) ])
+      t.bins
+  in
+  let events =
+    List.sort
+      (fun (ta, da) (tb, db) ->
+        match Float.compare ta tb with 0 -> Int.compare da db | c -> c)
+      events
+  in
+  let _, peak =
+    List.fold_left
+      (fun (cur, peak) (_, delta) ->
+        let cur = cur + delta in
+        (cur, Int.max peak cur))
+      (0, 0) events
+  in
+  peak
+
+(* Per-bin capacity check: the load only changes at arrivals/departures of
+   the bin's own items, and only arrivals can push it up, so it suffices to
+   check the instant just after each arrival. *)
+let check_bin_capacity ~capacity b =
+  let arrivals = List.map (fun (r : Item.t) -> r.Item.arrival) b.items in
+  List.concat_map
+    (fun t0 ->
+      let active = List.filter (fun r -> Item.active_at r t0) b.items in
+      let load =
+        Vec.sum ~dim:(Vec.dim capacity) (List.map (fun (r : Item.t) -> r.Item.size) active)
+      in
+      if Vec.le load capacity then []
+      else
+        [ Printf.sprintf "bin %d over capacity at t=%g: load %s > cap %s" b.bin_id
+            t0 (Vec.to_string load) (Vec.to_string capacity) ])
+    arrivals
+
+let check_bin_interval b =
+  let spanned =
+    Interval_set.of_intervals (List.map Item.interval b.items)
+  in
+  match (Interval_set.intervals spanned, b.items) with
+  | [], _ -> [ Printf.sprintf "bin %d has no items" b.bin_id ]
+  | [ single ], _ ->
+      if
+        Floatx.approx_equal single.Interval.lo b.interval.Interval.lo
+        && Floatx.approx_equal single.Interval.hi b.interval.Interval.hi
+      then []
+      else
+        [ Printf.sprintf "bin %d interval %s does not match item span %s" b.bin_id
+            (Interval.to_string b.interval)
+            (Interval.to_string single) ]
+  | _ :: _ :: _, _ ->
+      [ Printf.sprintf
+          "bin %d has a gap in its usage period (bins must not be reused)"
+          b.bin_id ]
+
+let validate (instance : Instance.t) t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  if not (Vec.equal instance.Instance.capacity t.capacity) then
+    err "capacity mismatch: instance %s vs packing %s"
+      (Vec.to_string instance.Instance.capacity)
+      (Vec.to_string t.capacity);
+  (* Assignment is total and consistent with the recorded bin contents. *)
+  List.iter
+    (fun (r : Item.t) ->
+      match bin_of_item t r.Item.id with
+      | None -> err "item %d is not packed in any bin" r.Item.id
+      | Some _ -> ())
+    instance.Instance.items;
+  let n_instance = List.length instance.Instance.items in
+  let n_packed = List.fold_left (fun acc b -> acc + List.length b.items) 0 t.bins in
+  if n_packed <> n_instance then
+    err "packing holds %d items but the instance has %d" n_packed n_instance;
+  (* Bin ids consecutive from 0 and opening times monotone. *)
+  List.iteri
+    (fun i b -> if b.bin_id <> i then err "bin ids not consecutive: expected %d, got %d" i b.bin_id)
+    t.bins;
+  let rec check_monotone = function
+    | a :: (b : bin_record) :: rest ->
+        if a.interval.Interval.lo > b.interval.Interval.lo then
+          err "bin %d opened after bin %d despite smaller id" a.bin_id b.bin_id;
+        check_monotone (b :: rest)
+    | _ -> ()
+  in
+  check_monotone t.bins;
+  List.iter
+    (fun b ->
+      List.iter (fun e -> errors := e :: !errors) (check_bin_capacity ~capacity:t.capacity b);
+      List.iter (fun e -> errors := e :: !errors) (check_bin_interval b))
+    t.bins;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let to_csv t =
+  let d = Vec.dim t.capacity in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "item_id,bin_id,arrival,departure";
+  for j = 1 to d do
+    Buffer.add_string buf (Printf.sprintf ",size_%d" j)
+  done;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (r : Item.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%d,%.17g,%.17g" r.Item.id b.bin_id r.Item.arrival
+               r.Item.departure);
+          Array.iter
+            (fun s -> Buffer.add_string buf (Printf.sprintf ",%d" s))
+            (Vec.to_array r.Item.size);
+          Buffer.add_char buf '\n')
+        b.items)
+    t.bins;
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>packing: %d bins, cost %.4f@,%a@]" (num_bins t) (cost t)
+    (Format.pp_print_list (fun ppf b ->
+         Format.fprintf ppf "bin#%d %a: [%a]" b.bin_id Interval.pp b.interval
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+              (fun ppf (r : Item.t) -> Format.fprintf ppf "%d" r.Item.id))
+           b.items))
+    t.bins

@@ -1,0 +1,52 @@
+(** Immutable result of a packing run: the paper's [P_{A,R}].
+
+    Records which items each bin received and each bin's usage interval; the
+    objective [cost(A, R) = Σ_i span(R_i)] (eq. (1) of the paper) is
+    {!cost}. A full validity checker replays the item intervals to certify
+    the packing against the instance. *)
+
+type bin_record = {
+  bin_id : int;
+  interval : Dvbp_interval.Interval.t;  (** the bin's usage period *)
+  items : Item.t list;  (** items in placement order *)
+}
+
+type t = private {
+  capacity : Dvbp_vec.Vec.t;
+  bins : bin_record list;  (** ascending [bin_id] *)
+  assignment : int Map.Make(Int).t;  (** item id → bin id *)
+}
+
+val make : capacity:Dvbp_vec.Vec.t -> bin_record list -> t
+(** Sorts bins by id and derives the assignment map.
+    @raise Invalid_argument on duplicate bin ids or an item assigned twice. *)
+
+val cost : t -> float
+(** Total usage time of all bins — the objective being minimised. *)
+
+val num_bins : t -> int
+
+val bin_of_item : t -> int -> int option
+(** The bin that received the given item id. *)
+
+val bin : t -> int -> bin_record
+(** Bin record by id. @raise Not_found. *)
+
+val max_concurrent_bins : t -> int
+(** Largest number of simultaneously open bins (a capacity-planning figure;
+    also the paper's notion of "bins used at time t" maximised over t). *)
+
+val validate : Instance.t -> t -> (unit, string list) result
+(** Certifies the packing:
+    - every instance item is assigned to exactly one bin;
+    - no bin exceeds capacity in any dimension at any instant;
+    - every bin's recorded interval equals the span of its items' activity
+      (single usage period, per §2.1);
+    - bin ids are consecutive from 0 in order of opening time.
+    Returns all violations found. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_csv : t -> string
+(** One row per item: [item_id,bin_id,arrival,departure,size_1,...] in bin
+    order — the assignment in a form external tooling can consume. *)

@@ -1,0 +1,307 @@
+module Vec = Dvbp_vec.Vec
+module Listx = Dvbp_prelude.Listx
+module Rng = Dvbp_prelude.Rng
+
+type item_view = { size : Vec.t; arrival : float; departure : float option }
+type decision = Existing of Bin.t | Fresh
+
+type t = {
+  name : string;
+  describe : string;
+  select : item:item_view -> open_bins:Bin.t list -> decision;
+  on_place : bin:Bin.t -> now:float -> unit;
+  on_close : bin:Bin.t -> now:float -> unit;
+  strict_any_fit : bool;
+}
+
+let no_place ~bin:_ ~now:_ = ()
+let no_close ~bin:_ ~now:_ = ()
+
+let fitting size bins = List.filter (fun b -> Bin.fits b size) bins
+
+let of_choice = function Some b -> Existing b | None -> Fresh
+
+let first_fit () =
+  let select ~item ~open_bins =
+    of_choice (List.find_opt (fun b -> Bin.fits b item.size) open_bins)
+  in
+  {
+    name = "ff";
+    describe = "First Fit: earliest-opened bin that fits";
+    select;
+    on_place = no_place;
+    on_close = no_close;
+    strict_any_fit = true;
+  }
+
+let last_fit () =
+  let select ~item ~open_bins =
+    of_choice (Listx.max_by (fun (b : Bin.t) -> b.Bin.id) (fitting item.size open_bins))
+  in
+  {
+    name = "lf";
+    describe = "Last Fit: latest-opened bin that fits";
+    select;
+    on_place = no_place;
+    on_close = no_close;
+    strict_any_fit = true;
+  }
+
+let best_fit ?(measure = Load_measure.Linf) () =
+  let select ~item ~open_bins =
+    of_choice
+      (Listx.max_by (fun b -> Bin.load_measure measure b) (fitting item.size open_bins))
+  in
+  {
+    name = "bf";
+    describe =
+      Printf.sprintf "Best Fit (%s): most-loaded bin that fits" (Load_measure.name measure);
+    select;
+    on_place = no_place;
+    on_close = no_close;
+    strict_any_fit = true;
+  }
+
+let worst_fit ?(measure = Load_measure.Linf) () =
+  let select ~item ~open_bins =
+    of_choice
+      (Listx.min_by (fun b -> Bin.load_measure measure b) (fitting item.size open_bins))
+  in
+  {
+    name = "wf";
+    describe =
+      Printf.sprintf "Worst Fit (%s): least-loaded bin that fits" (Load_measure.name measure);
+    select;
+    on_place = no_place;
+    on_close = no_close;
+    strict_any_fit = true;
+  }
+
+let move_to_front () =
+  let select ~item ~open_bins =
+    of_choice
+      (Listx.max_by (fun (b : Bin.t) -> b.Bin.last_used) (fitting item.size open_bins))
+  in
+  {
+    name = "mtf";
+    describe = "Move To Front: most-recently-used bin that fits";
+    select;
+    on_place = no_place;
+    on_close = no_close;
+    strict_any_fit = true;
+  }
+
+let random_fit ~rng () =
+  let select ~item ~open_bins =
+    match fitting item.size open_bins with
+    | [] -> Fresh
+    | candidates -> Existing (Rng.pick rng (Array.of_list candidates))
+  in
+  {
+    name = "rf";
+    describe = "Random Fit: uniformly random bin that fits";
+    select;
+    on_place = no_place;
+    on_close = no_close;
+    strict_any_fit = true;
+  }
+
+let next_fit () =
+  let current = ref None in
+  let select ~item ~open_bins =
+    match !current with
+    | None -> Fresh
+    | Some id -> (
+        match List.find_opt (fun (b : Bin.t) -> b.Bin.id = id) open_bins with
+        | Some b when Bin.fits b item.size -> Existing b
+        | Some _ | None -> Fresh)
+  in
+  let on_place ~bin ~now:_ = current := Some bin.Bin.id in
+  let on_close ~bin ~now:_ =
+    match !current with
+    | Some id when id = bin.Bin.id -> current := None
+    | Some _ | None -> ()
+  in
+  {
+    name = "nf";
+    describe = "Next Fit: single current bin, released when an item misses";
+    select;
+    on_place;
+    on_close;
+    strict_any_fit = false;
+  }
+
+let next_k_fit ~k () =
+  if k < 1 then invalid_arg "Policy.next_k_fit: k < 1";
+  (* candidate bin ids, most recently opened last; length <= k *)
+  let candidates = ref [] in
+  let select ~item ~open_bins =
+    let live =
+      List.filter_map
+        (fun id -> List.find_opt (fun (b : Bin.t) -> b.Bin.id = id) open_bins)
+        !candidates
+    in
+    of_choice (List.find_opt (fun b -> Bin.fits b item.size) live)
+  in
+  let on_place ~bin ~now:_ =
+    if not (List.mem bin.Bin.id !candidates) then begin
+      (* fresh bin becomes a candidate; drop the oldest beyond k *)
+      let extended = !candidates @ [ bin.Bin.id ] in
+      let overflow = List.length extended - k in
+      candidates :=
+        if overflow > 0 then
+          List.filteri (fun i _ -> i >= overflow) extended
+        else extended
+    end
+  in
+  let on_close ~bin ~now:_ =
+    candidates := List.filter (fun id -> id <> bin.Bin.id) !candidates
+  in
+  {
+    name = Printf.sprintf "nf%d" k;
+    describe =
+      Printf.sprintf "Next-%d Fit: first fit among the %d most recent bins" k k;
+    select;
+    on_place;
+    on_close;
+    strict_any_fit = false;
+  }
+
+let harmonic_fit ?(num_classes = 6) ~capacity () =
+  if num_classes < 1 then invalid_arg "Policy.harmonic_fit: num_classes < 1";
+  let bin_class : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let pending_class = ref 0 in
+  let select ~item ~open_bins =
+    (* harmonic class j holds relative L∞ sizes in (1/(j+2), 1/(j+1)];
+       class 0 is (1/2, 1], the last class catches the rest *)
+    let cls =
+      let rel = Vec.linf ~cap:capacity item.size in
+      if rel <= 0.0 then num_classes - 1
+      else Int.min (num_classes - 1) (Int.max 0 (int_of_float (1.0 /. rel) - 1))
+    in
+    pending_class := cls;
+    let mine =
+      List.filter
+        (fun (b : Bin.t) -> Hashtbl.find_opt bin_class b.Bin.id = Some cls)
+        open_bins
+    in
+    of_choice (List.find_opt (fun b -> Bin.fits b item.size) mine)
+  in
+  let on_place ~bin ~now:_ =
+    if not (Hashtbl.mem bin_class bin.Bin.id) then
+      Hashtbl.replace bin_class bin.Bin.id !pending_class
+  in
+  let on_close ~bin ~now:_ = Hashtbl.remove bin_class bin.Bin.id in
+  {
+    name = "hf";
+    describe =
+      Printf.sprintf "Harmonic Fit: first fit within %d size classes" num_classes;
+    select;
+    on_place;
+    on_close;
+    strict_any_fit = false;
+  }
+
+(* Latest departure among a bin's active items; the bin stays busy at least
+   until then, so aligning the new item with it avoids a lone long tail. *)
+let latest_departure (b : Bin.t) =
+  List.fold_left
+    (fun acc (r : Item.t) -> Float.max acc r.Item.departure)
+    neg_infinity b.Bin.active_items
+
+let duration_aligned_fit ?(slack = 0.0) () =
+  let select ~item ~open_bins =
+    let candidates = fitting item.size open_bins in
+    match item.departure with
+    | None ->
+        of_choice
+          (Listx.max_by (fun b -> Bin.load_measure Load_measure.Linf b) candidates)
+    | Some dep ->
+        let score b =
+          let gap = Float.abs (latest_departure b -. dep) in
+          let gap = if gap <= slack then 0.0 else gap in
+          (* Smaller gap first; among equal gaps prefer the fuller bin. *)
+          (gap, -.Bin.load_measure Load_measure.Linf b)
+        in
+        of_choice (Listx.min_by score candidates)
+  in
+  {
+    name = "daf";
+    describe = "Duration-Aligned Fit (clairvoyant): nearest-departure bin that fits";
+    select;
+    on_place = no_place;
+    on_close = no_close;
+    strict_any_fit = true;
+  }
+
+let hybrid_first_fit ?(num_classes = 16) () =
+  if num_classes < 1 then invalid_arg "Policy.hybrid_first_fit: num_classes < 1";
+  (* class of a duration: ⌊log2⌋, clamped to [0, num_classes-1]; items with
+     unknown departure share a dedicated extra class *)
+  let unknown_class = num_classes in
+  let class_of = function
+    | None -> unknown_class
+    | Some duration ->
+        let c = int_of_float (Float.floor (Float.log2 (Float.max 1.0 duration))) in
+        Int.min (num_classes - 1) (Int.max 0 c)
+  in
+  let bin_class : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let pending_class = ref unknown_class in
+  let select ~item ~open_bins =
+    let duration = Option.map (fun dep -> dep -. item.arrival) item.departure in
+    let cls = class_of duration in
+    pending_class := cls;
+    let mine =
+      List.filter
+        (fun (b : Bin.t) -> Hashtbl.find_opt bin_class b.Bin.id = Some cls)
+        open_bins
+    in
+    of_choice (List.find_opt (fun b -> Bin.fits b item.size) mine)
+  in
+  let on_place ~bin ~now:_ =
+    if not (Hashtbl.mem bin_class bin.Bin.id) then
+      Hashtbl.replace bin_class bin.Bin.id !pending_class
+  in
+  let on_close ~bin ~now:_ = Hashtbl.remove bin_class bin.Bin.id in
+  {
+    name = "hff";
+    describe =
+      Printf.sprintf
+        "Hybrid First Fit (clairvoyant): First Fit within %d duration classes"
+        num_classes;
+    select;
+    on_place;
+    on_close;
+    strict_any_fit = false;
+  }
+
+let standard_names = [ "mtf"; "ff"; "bf"; "nf"; "wf"; "lf"; "rf" ]
+
+let of_name ?rng ?measure name =
+  match String.lowercase_ascii name with
+  | "ff" | "first-fit" | "firstfit" -> Ok (first_fit ())
+  | "lf" | "last-fit" | "lastfit" -> Ok (last_fit ())
+  | "bf" | "best-fit" | "bestfit" -> Ok (best_fit ?measure ())
+  | "wf" | "worst-fit" | "worstfit" -> Ok (worst_fit ?measure ())
+  | "mtf" | "move-to-front" | "movetofront" -> Ok (move_to_front ())
+  | "nf" | "next-fit" | "nextfit" -> Ok (next_fit ())
+  | "daf" | "duration-aligned" -> Ok (duration_aligned_fit ())
+  | "hff" | "hybrid-first-fit" -> Ok (hybrid_first_fit ())
+  | s
+    when String.length s > 2
+         && String.sub s 0 2 = "nf"
+         && Option.is_some (int_of_string_opt (String.sub s 2 (String.length s - 2)))
+    -> (
+      match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+      | Some k when k >= 1 -> Ok (next_k_fit ~k ())
+      | Some _ | None -> Error (Printf.sprintf "Policy.of_name: bad Next-K Fit %S" s))
+  | "rf" | "random-fit" | "randomfit" -> (
+      match rng with
+      | Some rng -> Ok (random_fit ~rng ())
+      | None -> Error "Policy.of_name: \"rf\" needs an rng")
+  | other -> Error (Printf.sprintf "Policy.of_name: unknown policy %S" other)
+
+let of_name_exn ?rng ?measure name =
+  match of_name ?rng ?measure name with
+  | Ok p -> p
+  | Error msg -> invalid_arg msg

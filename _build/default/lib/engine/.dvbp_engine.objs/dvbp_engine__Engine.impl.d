@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Dvbp_core List Session Trace

@@ -1,0 +1,1 @@
+lib/engine/session.ml: Dvbp_core Dvbp_prelude Dvbp_vec Float Hashtbl Int List Option Printf Trace

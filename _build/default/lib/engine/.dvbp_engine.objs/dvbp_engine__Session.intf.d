@@ -1,0 +1,1 @@
+lib/engine/session.mli: Dvbp_core Dvbp_vec Trace

@@ -1,0 +1,61 @@
+module Core = Dvbp_core
+module Item = Core.Item
+
+exception Policy_error of string
+
+type run = {
+  packing : Core.Packing.t;
+  trace : Trace.t;
+  bins_opened : int;
+  max_open_bins : int;
+}
+
+type sim_event = Depart of Item.t | Arrive of Item.t
+
+(* Departures sort before arrivals at equal times (half-open intervals). *)
+let event_key = function
+  | Depart r -> (r.Item.departure, 0, r.Item.id)
+  | Arrive r -> (r.Item.arrival, 1, r.Item.id)
+
+let compare_events a b = compare (event_key a) (event_key b)
+
+(* The batch engine is a thin driver over the incremental session: it knows
+   the full future, sorts it, and feeds it event by event. *)
+let run ?(clairvoyant = false) ?departure_oracle ~policy (instance : Core.Instance.t) =
+  let oracle =
+    match departure_oracle with
+    | Some f -> f
+    | None ->
+        if clairvoyant then fun (r : Item.t) -> Some r.Item.departure
+        else fun _ -> None
+  in
+  let events =
+    List.stable_sort compare_events
+      (List.concat_map
+         (fun r -> [ Arrive r; Depart r ])
+         instance.Core.Instance.items)
+  in
+  let session = Session.create ~capacity:instance.Core.Instance.capacity ~policy in
+  (try
+     List.iter
+       (function
+         | Arrive r ->
+             let departure = oracle r in
+             ignore
+               (Session.arrive session ~at:r.Item.arrival ~id:r.Item.id ?departure
+                  ~size:r.Item.size ())
+         | Depart r -> Session.depart session ~at:r.Item.departure ~item_id:r.Item.id)
+       events
+   with Session.Session_error msg -> raise (Policy_error msg));
+  assert (Session.active_items session = 0);
+  let horizon = Session.now session in
+  let trace = Session.trace session in
+  let packing = Session.finish session ~at:horizon in
+  {
+    packing;
+    trace;
+    bins_opened = Session.bins_opened session;
+    max_open_bins = Session.max_open_bins session;
+  }
+
+let cost run = Core.Packing.cost run.packing

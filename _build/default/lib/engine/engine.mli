@@ -1,0 +1,41 @@
+(** Discrete-event simulator for online MinUsageTime DVBP.
+
+    Drives a {!Dvbp_core.Policy.t} over an instance exactly per the paper's
+    model (§2.1):
+    - items are presented in arrival order (ties broken by sequence id);
+    - placement is immediate and irrevocable;
+    - activity intervals are half-open, so departures at time [t] free their
+      capacity {e before} arrivals at [t] are served;
+    - a bin closes when its last item departs and is never reused.
+
+    The simulator knows all departure times (it plays the role of the world);
+    the policy sees them only when [clairvoyant] is set. *)
+
+exception Policy_error of string
+(** Raised when a policy misbehaves: selects a bin the item does not fit in,
+    selects a closed bin, or — for policies declaring [strict_any_fit] —
+    opens a fresh bin while some open bin fits. *)
+
+type run = {
+  packing : Dvbp_core.Packing.t;
+  trace : Trace.t;
+  bins_opened : int;
+  max_open_bins : int;  (** peak number of simultaneously open bins *)
+}
+
+val run :
+  ?clairvoyant:bool ->
+  ?departure_oracle:(Dvbp_core.Item.t -> float option) ->
+  policy:Dvbp_core.Policy.t ->
+  Dvbp_core.Instance.t ->
+  run
+(** Simulates the policy on the instance. [clairvoyant] (default [false])
+    exposes exact departure times to the policy; [departure_oracle]
+    overrides it with an arbitrary per-item hint (e.g. a noisy machine-
+    learned prediction, the §8 "additional information" setting) — returned
+    hints must be strictly after the item's arrival. The returned packing
+    always passes {!Dvbp_core.Packing.validate}.
+    @raise Policy_error on policy misbehaviour. *)
+
+val cost : run -> float
+(** Shorthand for [Packing.cost run.packing]. *)

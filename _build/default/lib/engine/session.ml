@@ -1,0 +1,197 @@
+module Vec = Dvbp_vec.Vec
+module Core = Dvbp_core
+module Bin = Core.Bin
+module Item = Core.Item
+module Policy = Core.Policy
+
+exception Session_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Session_error s)) fmt
+
+type item_state = {
+  item : Item.t;  (* departure is provisional unless the arrival was clairvoyant *)
+  bin : Bin.t;
+  mutable departed_at : float option;
+}
+
+type placement = { item_id : int; bin_id : int; opened_new_bin : bool }
+
+type t = {
+  capacity : Vec.t;
+  policy : Policy.t;
+  mutable clock : float option;
+  mutable next_item : int;
+  mutable next_bin : int;
+  mutable touch : int;
+  mutable open_bins_desc : Bin.t list;  (* most recently opened first *)
+  mutable all_bins_desc : Bin.t list;
+  items : (int, item_state) Hashtbl.t;
+  mutable trace_rev : Trace.event list;
+  mutable max_open : int;
+  mutable finished : bool;
+}
+
+let create ~capacity ~policy =
+  {
+    capacity;
+    policy;
+    clock = None;
+    next_item = 0;
+    next_bin = 0;
+    touch = 0;
+    open_bins_desc = [];
+    all_bins_desc = [];
+    items = Hashtbl.create 64;
+    trace_rev = [];
+    max_open = 0;
+    finished = false;
+  }
+
+let now t = Option.value ~default:0.0 t.clock
+
+let advance t at =
+  if t.finished then error "session already finished";
+  if not (Float.is_finite at) then error "non-finite timestamp %g" at;
+  (match t.clock with
+  | Some c when at < c -> error "time went backwards: %g after %g" at c
+  | Some _ | None -> ());
+  t.clock <- Some at
+
+let next_touch t =
+  t.touch <- t.touch + 1;
+  t.touch
+
+let emit t e = t.trace_rev <- e :: t.trace_rev
+
+let open_fresh t ~at =
+  let b = Bin.create ~id:t.next_bin ~capacity:t.capacity ~now:at ~touch:(next_touch t) in
+  t.next_bin <- t.next_bin + 1;
+  t.open_bins_desc <- b :: t.open_bins_desc;
+  t.all_bins_desc <- b :: t.all_bins_desc;
+  emit t (Trace.Opened { time = at; bin_id = b.Bin.id });
+  t.max_open <- Int.max t.max_open (List.length t.open_bins_desc);
+  b
+
+let arrive t ~at ?id ?departure ~size () =
+  advance t at;
+  if Vec.dim size <> Vec.dim t.capacity then
+    error "item dimension %d does not match capacity dimension %d" (Vec.dim size)
+      (Vec.dim t.capacity);
+  if not (Vec.le size t.capacity) then
+    error "item %s exceeds the bin capacity %s" (Vec.to_string size)
+      (Vec.to_string t.capacity);
+  (match departure with
+  | Some dep when dep <= at -> error "clairvoyant departure %g not after arrival %g" dep at
+  | Some _ | None -> ());
+  let bins_asc = List.rev t.open_bins_desc in
+  let view = { Policy.size; arrival = at; departure } in
+  let target, opened_new_bin =
+    match t.policy.Policy.select ~item:view ~open_bins:bins_asc with
+    | Policy.Existing b ->
+        if not (Bin.is_open b) then
+          error "policy %s selected closed bin %d" t.policy.Policy.name b.Bin.id;
+        if not (Bin.fits b size) then
+          error "policy %s selected bin %d, where the item does not fit"
+            t.policy.Policy.name b.Bin.id;
+        (b, false)
+    | Policy.Fresh ->
+        if t.policy.Policy.strict_any_fit
+           && List.exists (fun b -> Bin.fits b size) bins_asc
+        then
+          error "policy %s opened a fresh bin although an open bin fits"
+            t.policy.Policy.name;
+        (open_fresh t ~at, true)
+  in
+  let item_id =
+    match id with
+    | Some id ->
+        if id < 0 then error "negative item id %d" id;
+        if Hashtbl.mem t.items id then error "duplicate item id %d" id;
+        id
+    | None ->
+        (* skip over any ids the caller has claimed explicitly *)
+        while Hashtbl.mem t.items t.next_item do
+          t.next_item <- t.next_item + 1
+        done;
+        t.next_item
+  in
+  if item_id = t.next_item then t.next_item <- t.next_item + 1;
+  (* The provisional departure keeps Item.make's invariants; the real value
+     is recorded at depart time and substituted when the packing is built. *)
+  let provisional = Option.value ~default:(at +. 1.0) departure in
+  let item = Item.make ~id:item_id ~arrival:at ~departure:provisional ~size in
+  Bin.place target item ~touch:(next_touch t);
+  Hashtbl.replace t.items item_id { item; bin = target; departed_at = None };
+  emit t (Trace.Placed { time = at; item_id; bin_id = target.Bin.id });
+  t.policy.Policy.on_place ~bin:target ~now:at;
+  { item_id; bin_id = target.Bin.id; opened_new_bin }
+
+let depart t ~at ~item_id =
+  advance t at;
+  let state =
+    match Hashtbl.find_opt t.items item_id with
+    | Some s -> s
+    | None -> error "unknown item id %d" item_id
+  in
+  (match state.departed_at with
+  | Some earlier -> error "item %d already departed at %g" item_id earlier
+  | None -> ());
+  if at <= state.item.Item.arrival then
+    error "item %d cannot depart at %g, it arrived at %g" item_id at
+      state.item.Item.arrival;
+  state.departed_at <- Some at;
+  Bin.remove state.bin state.item;
+  emit t (Trace.Departed { time = at; item_id; bin_id = state.bin.Bin.id });
+  if Bin.is_empty state.bin then begin
+    Bin.close state.bin ~now:at;
+    t.open_bins_desc <-
+      List.filter (fun b -> b.Bin.id <> state.bin.Bin.id) t.open_bins_desc;
+    emit t (Trace.Closed { time = at; bin_id = state.bin.Bin.id });
+    t.policy.Policy.on_close ~bin:state.bin ~now:at
+  end
+
+let open_bins t = List.rev t.open_bins_desc
+
+let active_items t =
+  Hashtbl.fold (fun _ s acc -> if s.departed_at = None then acc + 1 else acc) t.items 0
+
+let bins_opened t = t.next_bin
+let max_open_bins t = t.max_open
+
+let cost_so_far t =
+  let horizon = now t in
+  Dvbp_prelude.Listx.sum_by
+    (fun (b : Bin.t) ->
+      let close = Option.value ~default:horizon b.Bin.closed_at in
+      close -. b.Bin.opened_at)
+    t.all_bins_desc
+
+let trace t = Trace.of_events (List.rev t.trace_rev)
+
+let finish t ~at =
+  let still_active =
+    Hashtbl.fold (fun id s acc -> if s.departed_at = None then (id, s) :: acc else acc)
+      t.items []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter (fun (id, _) -> depart t ~at ~item_id:id) still_active;
+  advance t at;
+  t.finished <- true;
+  let final_item id =
+    let s = Hashtbl.find t.items id in
+    let departure =
+      match s.departed_at with Some d -> d | None -> assert false
+    in
+    Item.make ~id ~arrival:s.item.Item.arrival ~departure ~size:s.item.Item.size
+  in
+  let records =
+    List.rev_map
+      (fun (b : Bin.t) ->
+        {
+          Core.Packing.bin_id = b.Bin.id;
+          interval = Bin.usage_interval b;
+          items = List.rev_map (fun (r : Item.t) -> final_item r.Item.id) b.Bin.placed;
+        })
+      t.all_bins_desc
+  in
+  Core.Packing.make ~capacity:t.capacity records

@@ -1,0 +1,74 @@
+(** Incremental (truly online) packing session.
+
+    {!Engine.run} replays a complete instance, but a real dispatcher does
+    not know the future: requests arrive one at a time and departures are
+    observed, not scheduled. A session exposes exactly that interface — feed
+    it arrivals and departures in time order and read placements, costs and
+    open-bin state as you go. The batch engine is implemented on top of this
+    module, so both views of an execution agree by construction.
+
+    Time must be fed monotonically: events at equal timestamps are legal
+    (departures must be fed before arrivals at the same instant, matching
+    the half-open interval semantics); going backwards raises. *)
+
+type t
+
+type placement = {
+  item_id : int;  (** session-assigned, consecutive from 0 *)
+  bin_id : int;
+  opened_new_bin : bool;
+}
+
+exception Session_error of string
+
+val create : capacity:Dvbp_vec.Vec.t -> policy:Dvbp_core.Policy.t -> t
+(** A fresh session with no bins. The policy must be freshly created (its
+    mutable state belongs to this session). *)
+
+val arrive :
+  t ->
+  at:float ->
+  ?id:int ->
+  ?departure:float ->
+  size:Dvbp_vec.Vec.t ->
+  unit ->
+  placement
+(** Places a new item and returns where it went. [id] overrides the
+    session-assigned item id (it must be fresh — used by the batch engine to
+    preserve instance ids). [departure] may be passed to make the placement
+    clairvoyant (the policy then sees it); the session itself never acts on
+    it — the caller still must call {!depart}.
+    @raise Session_error on non-monotonic time, a duplicate [id], a size
+    that cannot fit an empty bin, a dimension mismatch, or policy
+    misbehaviour. *)
+
+val depart : t -> at:float -> item_id:int -> unit
+(** Removes an active item; closes its bin if it was the last occupant.
+    @raise Session_error on unknown or already-departed items, or
+    non-monotonic time. *)
+
+val finish : t -> at:float -> Dvbp_core.Packing.t
+(** Departs every still-active item at [at] and returns the final packing.
+    The session cannot be used afterwards.
+    @raise Session_error on non-monotonic time or if already finished. *)
+
+(** {1 Observability} *)
+
+val now : t -> float
+(** Timestamp of the last event ([0.] for a fresh session). *)
+
+val open_bins : t -> Dvbp_core.Bin.t list
+(** Currently open bins in opening order. Callers must not mutate. *)
+
+val active_items : t -> int
+
+val bins_opened : t -> int
+
+val max_open_bins : t -> int
+(** Peak number of simultaneously open bins so far. *)
+
+val cost_so_far : t -> float
+(** Total bin-time accumulated up to [now] (open bins billed to [now]). *)
+
+val trace : t -> Trace.t
+(** Everything that happened so far, oldest first. *)

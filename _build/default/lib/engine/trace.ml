@@ -1,0 +1,62 @@
+type event =
+  | Opened of { time : float; bin_id : int }
+  | Placed of { time : float; item_id : int; bin_id : int }
+  | Departed of { time : float; item_id : int; bin_id : int }
+  | Closed of { time : float; bin_id : int }
+
+type t = event list
+
+let of_events es = es
+let events t = t
+let length = List.length
+
+let time_of = function
+  | Opened { time; _ } | Placed { time; _ } | Departed { time; _ } | Closed { time; _ }
+    -> time
+
+let placements t =
+  List.filter_map
+    (function Placed { time; item_id; bin_id } -> Some (time, item_id, bin_id) | _ -> None)
+    t
+
+let openings t =
+  List.filter_map (function Opened { time; bin_id } -> Some (time, bin_id) | _ -> None) t
+
+let closings t =
+  List.filter_map (function Closed { time; bin_id } -> Some (time, bin_id) | _ -> None) t
+
+let bin_of = function
+  | Opened { bin_id; _ } | Placed { bin_id; _ } | Departed { bin_id; _ }
+  | Closed { bin_id; _ } ->
+      bin_id
+
+let events_of_bin t id = List.filter (fun e -> bin_of e = id) t
+
+let pp_event ppf = function
+  | Opened { time; bin_id } -> Format.fprintf ppf "%8.3f open   bin %d" time bin_id
+  | Placed { time; item_id; bin_id } ->
+      Format.fprintf ppf "%8.3f place  item %d -> bin %d" time item_id bin_id
+  | Departed { time; item_id; bin_id } ->
+      Format.fprintf ppf "%8.3f depart item %d <- bin %d" time item_id bin_id
+  | Closed { time; bin_id } -> Format.fprintf ppf "%8.3f close  bin %d" time bin_id
+
+let pp ppf t = Format.pp_print_list pp_event ppf t
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "kind,time,item_id,bin_id\n";
+  List.iter
+    (fun e ->
+      let row =
+        match e with
+        | Opened { time; bin_id } -> Printf.sprintf "open,%.17g,,%d" time bin_id
+        | Placed { time; item_id; bin_id } ->
+            Printf.sprintf "place,%.17g,%d,%d" time item_id bin_id
+        | Departed { time; item_id; bin_id } ->
+            Printf.sprintf "depart,%.17g,%d,%d" time item_id bin_id
+        | Closed { time; bin_id } -> Printf.sprintf "close,%.17g,,%d" time bin_id
+      in
+      Buffer.add_string buf row;
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf

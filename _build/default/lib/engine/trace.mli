@@ -1,0 +1,40 @@
+(** Structured record of everything a simulation did, in chronological
+    order. The analysis library replays traces to reconstruct the proofs'
+    decompositions (leader timelines for Move To Front, blocking bins for
+    First Fit), so the trace is the ground truth of an execution. *)
+
+type event =
+  | Opened of { time : float; bin_id : int }
+  | Placed of { time : float; item_id : int; bin_id : int }
+  | Departed of { time : float; item_id : int; bin_id : int }
+  | Closed of { time : float; bin_id : int }
+
+type t
+(** Chronological event list (same-instant events appear in processing
+    order: departures and closes before placements and opens). *)
+
+val of_events : event list -> t
+(** Takes events already in chronological order (not re-sorted — order
+    within an instant is meaningful). *)
+
+val events : t -> event list
+val length : t -> int
+
+val time_of : event -> float
+
+val placements : t -> (float * int * int) list
+(** [(time, item_id, bin_id)] for every [Placed] event, in order. *)
+
+val openings : t -> (float * int) list
+(** [(time, bin_id)] for every [Opened] event, in order. *)
+
+val closings : t -> (float * int) list
+
+val events_of_bin : t -> int -> event list
+(** All events touching the given bin, in order. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_csv : t -> string
+(** One row per event: [kind,time,item_id,bin_id] (empty item for
+    open/close) — for external analysis of executions. *)

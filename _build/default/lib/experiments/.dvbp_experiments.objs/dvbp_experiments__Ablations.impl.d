@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Dvbp_core Dvbp_lowerbound Dvbp_report Dvbp_workload List Printf Runner

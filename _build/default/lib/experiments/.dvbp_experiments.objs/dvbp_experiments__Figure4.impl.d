@@ -1,0 +1,1 @@
+lib/experiments/figure4.ml: Char Dvbp_prelude Dvbp_report Dvbp_workload Int List Printf Runner String

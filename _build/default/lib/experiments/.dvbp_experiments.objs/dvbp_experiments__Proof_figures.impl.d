@@ -1,0 +1,1 @@
+lib/experiments/proof_figures.ml: Dvbp_adversary Dvbp_analysis Dvbp_core Dvbp_engine Dvbp_interval Dvbp_vec List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/proof_figures.mli:

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Dvbp_core Dvbp_engine Dvbp_lowerbound Dvbp_prelude Dvbp_stats Float List String

@@ -1,0 +1,1 @@
+lib/experiments/scenarios.ml: Ablations Dvbp_core Dvbp_workload Runner

@@ -1,0 +1,1 @@
+lib/experiments/significance.ml: Array Dvbp_report Dvbp_stats Dvbp_workload List Printf Runner

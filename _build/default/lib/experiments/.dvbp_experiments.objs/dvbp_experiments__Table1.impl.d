@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Dvbp_adversary Dvbp_analysis Dvbp_core Dvbp_engine Dvbp_lowerbound Dvbp_prelude Dvbp_report Dvbp_vec Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/worst_case_search.ml: Array Dvbp_analysis Dvbp_core Dvbp_engine Dvbp_lowerbound Dvbp_prelude Dvbp_vec Int List Printf

@@ -1,0 +1,1 @@
+lib/experiments/worst_case_search.mli: Dvbp_core

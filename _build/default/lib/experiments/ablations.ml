@@ -1,0 +1,163 @@
+module Policy = Dvbp_core.Policy
+module Load_measure = Dvbp_core.Load_measure
+module Uniform_model = Dvbp_workload.Uniform_model
+module Correlated = Dvbp_workload.Correlated
+module Table = Dvbp_report.Table
+
+let uniform_gen ~d ~mu =
+  let params = Uniform_model.table2 ~d ~mu in
+  fun ~rng -> Uniform_model.generate params ~rng
+
+let best_fit_measures ?(instances = 60) ?(seed = 42) ~d ~mu () =
+  let competitors =
+    List.map
+      (fun measure ->
+        {
+          Runner.label = "bf-" ^ Load_measure.name measure;
+          make = (fun ~rng:_ -> Policy.best_fit ~measure ());
+          oracle = Runner.No_departure_info;
+        })
+      Load_measure.all_standard
+  in
+  Runner.ratio_stats ~instances ~seed ~gen:(uniform_gen ~d ~mu) ~competitors ()
+
+let named_competitors names =
+  List.map
+    (fun name ->
+      {
+        Runner.label = name;
+        make = (fun ~rng -> Policy.of_name_exn ~rng name);
+        oracle = Runner.No_departure_info;
+      })
+    names
+
+let correlation_sweep ?(instances = 60) ?(seed = 42) ~d ~mu ~rhos () =
+  let base = Uniform_model.table2 ~d ~mu in
+  List.map
+    (fun rho ->
+      let gen ~rng = Correlated.generate { Correlated.base; rho } ~rng in
+      ( rho,
+        Runner.ratio_stats ~instances ~seed ~gen
+          ~competitors:(named_competitors [ "mtf"; "ff"; "bf"; "nf" ])
+          () ))
+    rhos
+
+let clairvoyance ?(instances = 60) ?(seed = 42) ~d ~mu () =
+  let clairvoyant name label =
+    {
+      Runner.label;
+      make = (fun ~rng -> Policy.of_name_exn ~rng name);
+      oracle = Runner.Exact_departures;
+    }
+  in
+  Runner.ratio_stats ~instances ~seed ~gen:(uniform_gen ~d ~mu)
+    ~competitors:
+      (named_competitors [ "mtf"; "ff"; "bf" ]
+      @ [ clairvoyant "daf" "daf(clairvoyant)"; clairvoyant "hff" "hff(clairvoyant)" ])
+    ()
+
+let denominator_tightness ?(instances = 30) ?(seed = 42) ~d ~mu () =
+  let params = { (Uniform_model.table2 ~d ~mu) with Uniform_model.n = 300 } in
+  let gen ~rng = Uniform_model.generate params ~rng in
+  let mtf = named_competitors [ "mtf" ] in
+  let with_denominator label denominator =
+    match
+      Runner.ratio_stats ~denominator ~instances ~seed ~gen ~competitors:mtf ()
+    with
+    | [ (_, stats) ] -> (label, stats)
+    | _ -> assert false
+  in
+  [
+    with_denominator "vs span (iii)" Dvbp_lowerbound.Bounds.span;
+    with_denominator "vs utilisation (ii)" Dvbp_lowerbound.Bounds.utilisation;
+    with_denominator "vs height (i)" Dvbp_lowerbound.Bounds.height_integral;
+    with_denominator "vs DFF" Dvbp_lowerbound.Dff.integral;
+  ]
+
+let load_sweep ?(instances = 60) ?(seed = 42) ~d ~mu ~ns () =
+  List.map
+    (fun n ->
+      let params = { (Uniform_model.table2 ~d ~mu) with Uniform_model.n } in
+      let gen ~rng = Uniform_model.generate params ~rng in
+      ( float_of_int n,
+        Runner.ratio_stats ~instances ~seed ~gen
+          ~competitors:(named_competitors [ "mtf"; "ff"; "bf"; "nf"; "wf" ])
+          () ))
+    ns
+
+let next_k_sweep ?(instances = 60) ?(seed = 42) ~d ~mu ~ks () =
+  let nfk k =
+    {
+      Runner.label = Printf.sprintf "nf%d" k;
+      make = (fun ~rng:_ -> Policy.next_k_fit ~k ());
+      oracle = Runner.No_departure_info;
+    }
+  in
+  Runner.ratio_stats ~instances ~seed ~gen:(uniform_gen ~d ~mu)
+    ~competitors:(List.map nfk ks @ named_competitors [ "ff" ])
+    ()
+
+let size_classes ?(instances = 60) ?(seed = 42) ~d ~mu () =
+  let capacity = Uniform_model.capacity (Uniform_model.table2 ~d ~mu) in
+  let harmonic =
+    {
+      Runner.label = "harmonic";
+      make = (fun ~rng:_ -> Policy.harmonic_fit ~capacity ());
+      oracle = Runner.No_departure_info;
+    }
+  in
+  Runner.ratio_stats ~instances ~seed ~gen:(uniform_gen ~d ~mu)
+    ~competitors:(named_competitors [ "ff"; "mtf" ] @ [ harmonic ])
+    ()
+
+let prediction_error ?(instances = 60) ?(seed = 42) ~d ~mu ~sigmas () =
+  let daf_with oracle label =
+    {
+      Runner.label;
+      make = (fun ~rng -> Policy.of_name_exn ~rng "daf");
+      oracle;
+    }
+  in
+  let competitors =
+    named_competitors [ "mtf" ]
+    @ daf_with Runner.Exact_departures "daf-exact"
+      :: List.map
+           (fun sigma ->
+             daf_with (Runner.Noisy_departures sigma)
+               (Printf.sprintf "daf-noise%.1f" sigma))
+           sigmas
+  in
+  Runner.ratio_stats ~instances ~seed ~gen:(uniform_gen ~d ~mu) ~competitors ()
+
+let render ~title results =
+  title ^ "\n"
+  ^ Table.render
+      ~header:[ "policy"; "mean"; "std"; "min"; "max"; "n" ]
+      ~rows:
+        (List.map
+           (fun (label, (s : Runner.stats)) ->
+             [
+               label;
+               Printf.sprintf "%.4f" s.Runner.mean;
+               Printf.sprintf "%.4f" s.Runner.std;
+               Printf.sprintf "%.4f" s.Runner.min;
+               Printf.sprintf "%.4f" s.Runner.max;
+               string_of_int s.Runner.n;
+             ])
+           results)
+
+let render_sweep ~title ~param sweep =
+  let policies = match sweep with [] -> [] | (_, r) :: _ -> List.map fst r in
+  title ^ "\n"
+  ^ Table.render
+      ~header:(param :: policies)
+      ~rows:
+        (List.map
+           (fun (value, results) ->
+             Printf.sprintf "%.2f" value
+             :: List.map
+                  (fun p ->
+                    let s = List.assoc p results in
+                    Printf.sprintf "%.3f±%.3f" s.Runner.mean s.Runner.std)
+                  policies)
+           sweep)

@@ -1,0 +1,69 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Three knobs the paper mentions but does not evaluate:
+    - the Best Fit load measure for [d >= 2] (§2.2 lists L∞ / L1 / Lp);
+    - correlation between resource dimensions (real demands are correlated;
+      the paper draws dimensions independently);
+    - clairvoyance (§8 future work: what does knowing departure times buy?).
+
+    All reuse the Figure 4 methodology: mean ± std of cost over the
+    Lemma 1 (i) lower bound. *)
+
+val best_fit_measures :
+  ?instances:int -> ?seed:int -> d:int -> mu:int -> unit ->
+  (string * Runner.stats) list
+(** Best Fit under L∞, L1 and L2 load measures on the Table 2 workload
+    (defaults: 60 instances, seed 42). *)
+
+val correlation_sweep :
+  ?instances:int -> ?seed:int -> d:int -> mu:int -> rhos:float list -> unit ->
+  (float * (string * Runner.stats) list) list
+(** mtf/ff/bf/nf ratios as dimension correlation [rho] varies. *)
+
+val clairvoyance :
+  ?instances:int -> ?seed:int -> d:int -> mu:int -> unit ->
+  (string * Runner.stats) list
+(** Non-clairvoyant mtf/ff/bf against the clairvoyant duration-aligned
+    policy on the same instances. *)
+
+val denominator_tightness :
+  ?instances:int -> ?seed:int -> d:int -> mu:int -> unit ->
+  (string * Runner.stats) list
+(** The same Move To Front runs normalised by each available lower bound
+    (span, utilisation, Lemma 1 (i) height, DFF): how much of the reported
+    "competitive ratio" is really lower-bound slack. Uses a smaller [n] so
+    the DFF integral stays cheap. *)
+
+val load_sweep :
+  ?instances:int -> ?seed:int -> d:int -> mu:int -> ns:int list -> unit ->
+  (float * (string * Runner.stats) list) list
+(** Ratios as the offered load grows (item count [n] at fixed span) — the
+    paper fixes [n = 1000]; this shows how the policy gaps widen with
+    load. Keyed by [n] (as a float, for the shared sweep renderer). *)
+
+val next_k_sweep :
+  ?instances:int -> ?seed:int -> d:int -> mu:int -> ks:int list -> unit ->
+  (string * Runner.stats) list
+(** Next-K Fit for each [k], bracketed by plain Next Fit ([k = 1]) and
+    First Fit ([k = ∞]) — how many "recent" bins buy back First Fit's
+    packing quality (§7's packing-vs-alignment trade-off). *)
+
+val size_classes :
+  ?instances:int -> ?seed:int -> d:int -> mu:int -> unit ->
+  (string * Runner.stats) list
+(** First Fit vs Harmonic Fit (size-classified bins): does segregating big
+    and small items help on the uniform workload? *)
+
+val prediction_error :
+  ?instances:int -> ?seed:int -> d:int -> mu:int -> sigmas:float list -> unit ->
+  (string * Runner.stats) list
+(** How much of the clairvoyant advantage survives noisy duration
+    predictions: duration-aligned fit with exact hints and with log-normal
+    multiplicative error for each [sigma], against the non-clairvoyant
+    mtf baseline (the §8 "machine learning advice" direction). *)
+
+val render : title:string -> (string * Runner.stats) list -> string
+(** One aligned table for a single ablation result. *)
+
+val render_sweep :
+  title:string -> param:string -> (float * (string * Runner.stats) list) list -> string

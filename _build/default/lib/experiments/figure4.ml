@@ -1,0 +1,140 @@
+module Rng = Dvbp_prelude.Rng
+module Uniform_model = Dvbp_workload.Uniform_model
+module Table = Dvbp_report.Table
+module Ascii_plot = Dvbp_report.Ascii_plot
+
+type config = {
+  ds : int list;
+  mus : int list;
+  instances : int;
+  seed : int;
+  n_items : int;
+  span : int;
+  bin_size : int;
+}
+
+let grid_ds = [ 1; 2; 5 ]
+let grid_mus = [ 1; 2; 5; 10; 100; 200 ]
+
+let default =
+  {
+    ds = grid_ds;
+    mus = grid_mus;
+    instances = 60;
+    seed = 42;
+    n_items = 1000;
+    span = 1000;
+    bin_size = 100;
+  }
+
+let paper = { default with instances = 1000 }
+
+type cell = { d : int; mu : int; per_policy : (string * Runner.stats) list }
+
+let run ?(progress = fun _ -> ()) config =
+  let cells =
+    List.concat_map (fun d -> List.map (fun mu -> (d, mu)) config.mus) config.ds
+  in
+  List.map
+    (fun (d, mu) ->
+      let params =
+        {
+          Uniform_model.d;
+          n = config.n_items;
+          mu;
+          span = config.span;
+          bin_size = config.bin_size;
+        }
+      in
+      let gen ~rng = Uniform_model.generate params ~rng in
+      let per_policy =
+        Runner.ratio_stats ~instances:config.instances
+          ~seed:(config.seed + (1000 * d) + mu)
+          ~gen
+          ~competitors:(Runner.standard_competitors ())
+          ()
+      in
+      let best =
+        List.fold_left
+          (fun acc (label, s) ->
+            match acc with
+            | Some (_, m) when m <= s.Runner.mean -> acc
+            | _ -> Some (label, s.Runner.mean))
+          None per_policy
+      in
+      progress
+        (Printf.sprintf "figure4: d=%d mu=%-3d done (best: %s)" d mu
+           (match best with Some (l, m) -> Printf.sprintf "%s %.3f" l m | None -> "-"));
+      { d; mu; per_policy })
+    cells
+
+let policy_labels cells =
+  match cells with [] -> [] | c :: _ -> List.map fst c.per_policy
+
+let render_table cells =
+  let policies = policy_labels cells in
+  let header = "d" :: "mu" :: policies in
+  let rows =
+    List.map
+      (fun c ->
+        string_of_int c.d :: string_of_int c.mu
+        :: List.map
+             (fun p ->
+               let s = List.assoc p c.per_policy in
+               Printf.sprintf "%.3f±%.3f" s.Runner.mean s.Runner.std)
+             policies)
+      cells
+  in
+  Table.render ~header ~rows
+
+let render_plots cells =
+  let policies = policy_labels cells in
+  let markers = [ 'M'; 'F'; 'B'; 'N'; 'W'; 'L'; 'R'; 'D' ] in
+  let ds = List.sort_uniq Int.compare (List.map (fun c -> c.d) cells) in
+  String.concat "\n"
+    (List.map
+       (fun d ->
+         let of_d = List.filter (fun c -> c.d = d) cells in
+         let mus = List.map (fun c -> c.mu) of_d in
+         let series =
+           List.mapi
+             (fun i p ->
+               {
+                 Ascii_plot.label = p;
+                 marker = (try List.nth markers i with _ -> Char.chr (Char.code 'a' + i));
+                 points =
+                   List.map2
+                     (fun c mu_idx ->
+                       ( float_of_int mu_idx,
+                         (List.assoc p c.per_policy).Runner.mean ))
+                     of_d
+                     (List.mapi (fun i _ -> i) mus);
+               })
+             policies
+         in
+         Printf.sprintf "d = %d  (x axis: mu index over %s)\n%s" d
+           (String.concat "," (List.map string_of_int mus))
+           (Ascii_plot.render ~x_label:"mu#" ~y_label:"cost/LB" series))
+       ds)
+
+let to_csv cells =
+  let header = [ "d"; "mu"; "policy"; "mean"; "std"; "min"; "max"; "n" ] in
+  let rows =
+    List.concat_map
+      (fun c ->
+        List.map
+          (fun (p, s) ->
+            [
+              string_of_int c.d;
+              string_of_int c.mu;
+              p;
+              Printf.sprintf "%.6f" s.Runner.mean;
+              Printf.sprintf "%.6f" s.Runner.std;
+              Printf.sprintf "%.6f" s.Runner.min;
+              Printf.sprintf "%.6f" s.Runner.max;
+              string_of_int s.Runner.n;
+            ])
+          c.per_policy)
+      cells
+  in
+  Dvbp_report.Table.to_csv ~header ~rows

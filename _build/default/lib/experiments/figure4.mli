@@ -1,0 +1,44 @@
+(** Figure 4: average-case performance of Any Fit policies on the Table 2
+    uniform workload.
+
+    For every grid point [(d, µ)] the experiment draws [instances] random
+    instances, runs the seven policies, and reports mean ± standard
+    deviation of [cost / LowerBound(i)] — exactly the quantity the paper
+    plots. The paper's grid is [d ∈ {1,2,5}] × [µ ∈ {1,2,5,10,100,200}]
+    with 1000 instances per point; {!default} keeps the grid but fewer
+    instances so the bench harness stays interactive, and {!paper} is the
+    full-fat version. *)
+
+type config = {
+  ds : int list;
+  mus : int list;
+  instances : int;
+  seed : int;
+  n_items : int;
+  span : int;
+  bin_size : int;
+}
+
+val default : config
+(** Full grid, 60 instances per point, seed 42. *)
+
+val paper : config
+(** Full grid, 1000 instances per point (Table 2's [m]). *)
+
+type cell = { d : int; mu : int; per_policy : (string * Runner.stats) list }
+
+val run : ?progress:(string -> unit) -> config -> cell list
+(** Cells in row-major [(d, µ)] order. [progress] receives one line per
+    completed cell. *)
+
+val render_table : cell list -> string
+(** One aligned table: rows are grid points, columns are policies
+    (mean±std). *)
+
+val render_plots : cell list -> string
+(** One ASCII plot per dimension count: x = µ (log scale positions by
+    index), y = mean ratio, one series per policy — the shape of the
+    paper's 18 panels condensed to 3. *)
+
+val to_csv : cell list -> string
+(** Long-format CSV: [d,mu,policy,mean,std,min,max,n]. *)

@@ -1,0 +1,23 @@
+(** Textual reproductions of the paper's illustrative figures.
+
+    Figures 1–3 in the paper are schematic; here each one is regenerated
+    from an actual engine execution of a suitable instance, rendered as an
+    ASCII Gantt chart plus the invariant the figure illustrates, checked on
+    the spot. *)
+
+val figure1 : unit -> string
+(** Figure 1: usage periods of bins under Move To Front decomposed into
+    leading ([#]) and non-leading ([=]) intervals, on the Thm 8 instance.
+    Ends with the Claim 1 check (leading intervals partition the span). *)
+
+val figure2 : unit -> string
+(** Figure 2: the [P_i]/[Q_i] decomposition of a First Fit packing on a
+    staggered 3-bin instance, with the Claim 4 check
+    ([Σ ℓ(Q_i) = span(R)]). *)
+
+val figure3 : ?d:int -> ?k:int -> ?mu:float -> unit -> string
+(** Figure 3: execution of a strict Any Fit policy (First Fit) on the
+    Theorem 5 construction — [dk] bins opened in [\[0,1)], every bin pinned
+    by one probe item for the [µ] window. Shows the per-bin load vectors
+    right after the initial phase and the resulting Gantt. Defaults:
+    [d = 2], [k = 2], [µ = 3]. *)

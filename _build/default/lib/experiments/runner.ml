@@ -1,0 +1,98 @@
+module Rng = Dvbp_prelude.Rng
+module Policy = Dvbp_core.Policy
+module Engine = Dvbp_engine.Engine
+module Bounds = Dvbp_lowerbound.Bounds
+module Running = Dvbp_stats.Running
+
+type stats = { mean : float; std : float; min : float; max : float; n : int }
+
+type oracle = No_departure_info | Exact_departures | Noisy_departures of float
+
+type competitor = {
+  label : string;
+  make : rng:Rng.t -> Policy.t;
+  oracle : oracle;
+}
+
+let plain name = {
+  label = name;
+  make = (fun ~rng -> Policy.of_name_exn ~rng name);
+  oracle = No_departure_info;
+}
+
+let standard_competitors () = List.map plain Policy.standard_names
+
+let competitor_of_name name =
+  match String.lowercase_ascii name with
+  | "daf" | "duration-aligned" ->
+      Ok
+        {
+          label = "daf";
+          make = (fun ~rng -> Policy.of_name_exn ~rng "daf");
+          oracle = Exact_departures;
+        }
+  | "hff" | "hybrid-first-fit" ->
+      Ok
+        {
+          label = "hff";
+          make = (fun ~rng -> Policy.of_name_exn ~rng "hff");
+          oracle = Exact_departures;
+        }
+  | other -> (
+      (* probe the registry so unknown names fail here, not mid-experiment *)
+      match Policy.of_name ~rng:(Rng.create ~seed:0) other with
+      | Ok _ -> Ok (plain other)
+      | Error e -> Error e)
+
+let ratio_samples ?(denominator = Bounds.height_integral) ~instances ~seed ~gen
+    ~competitors () =
+  if instances <= 0 then invalid_arg "Runner.ratio_samples: instances <= 0";
+  let labels = List.map (fun c -> c.label) competitors in
+  if List.length (List.sort_uniq String.compare labels) <> List.length labels then
+    invalid_arg "Runner.ratio_samples: duplicate competitor labels";
+  let root = Rng.create ~seed in
+  let samples = List.map (fun c -> (c, Array.make instances 0.0)) competitors in
+  for i = 0 to instances - 1 do
+    let inst_rng = Rng.split (Rng.split root ~key:0) ~key:i in
+    let instance = gen ~rng:inst_rng in
+    let lb = denominator instance in
+    List.iteri
+      (fun pi (c, out) ->
+        let policy_rng = Rng.split (Rng.split (Rng.split root ~key:1) ~key:i) ~key:pi in
+        let policy = c.make ~rng:policy_rng in
+        let departure_oracle =
+          match c.oracle with
+          | No_departure_info -> fun _ -> None
+          | Exact_departures ->
+              fun (r : Dvbp_core.Item.t) -> Some r.Dvbp_core.Item.departure
+          | Noisy_departures sigma ->
+              let noise_rng = Rng.split policy_rng ~key:0x6e6f in
+              let floor_duration = 1e-6 in
+              fun (r : Dvbp_core.Item.t) ->
+                let duration = Dvbp_core.Item.duration r in
+                let predicted =
+                  duration *. exp (Rng.normal noise_rng ~mean:0.0 ~sigma)
+                in
+                Some (r.Dvbp_core.Item.arrival +. Float.max floor_duration predicted)
+        in
+        let run = Engine.run ~departure_oracle ~policy instance in
+        out.(i) <- Engine.cost run /. lb)
+      samples
+  done;
+  List.map (fun (c, out) -> (c.label, out)) samples
+
+let ratio_stats ?denominator ~instances ~seed ~gen ~competitors () =
+  let samples = ratio_samples ?denominator ~instances ~seed ~gen ~competitors () in
+  List.map
+    (fun (label, out) ->
+      let acc = Running.create () in
+      Array.iter (Running.add acc) out;
+      ( label,
+        {
+          mean = Running.mean acc;
+          std = Running.stddev acc;
+          min = Running.min_value acc;
+          max = Running.max_value acc;
+          n = Running.count acc;
+        } ))
+    samples

@@ -1,0 +1,57 @@
+(** Shared experiment plumbing: run a set of competitors over a stream of
+    random instances and accumulate cost/lower-bound ratios.
+
+    Randomness is fully deterministic: every instance and every stochastic
+    policy gets its own stream derived from the root seed with {!Dvbp_prelude.Rng.split},
+    so single results can be replayed in isolation and adding a competitor
+    never perturbs the instances. *)
+
+type stats = { mean : float; std : float; min : float; max : float; n : int }
+
+type oracle =
+  | No_departure_info  (** the paper's non-clairvoyant setting *)
+  | Exact_departures  (** fully clairvoyant (§8) *)
+  | Noisy_departures of float
+      (** departure hints with multiplicative log-normal error of the given
+          sigma — the "machine-learned predictions" setting of §8 / [5] *)
+
+type competitor = {
+  label : string;
+  make : rng:Dvbp_prelude.Rng.t -> Dvbp_core.Policy.t;
+      (** fresh policy per run; [rng] feeds stochastic policies *)
+  oracle : oracle;  (** what the policy gets to know about departures *)
+}
+
+val standard_competitors : unit -> competitor list
+(** The paper's seven, in Figure 4's legend order:
+    mtf, ff, bf, nf, wf, lf, rf (all non-clairvoyant). *)
+
+val competitor_of_name : string -> (competitor, string) result
+(** Standard names plus the clairvoyant extensions ["daf"]
+    (duration-aligned fit) and ["hff"] (hybrid first fit). *)
+
+val ratio_samples :
+  ?denominator:(Dvbp_core.Instance.t -> float) ->
+  instances:int ->
+  seed:int ->
+  gen:(rng:Dvbp_prelude.Rng.t -> Dvbp_core.Instance.t) ->
+  competitors:competitor list ->
+  unit ->
+  (string * float array) list
+(** The raw per-instance ratios, one array per competitor (index [i] of
+    every array is the same random instance — paired samples, as needed by
+    the significance tests). Same validation rules as {!ratio_stats}. *)
+
+val ratio_stats :
+  ?denominator:(Dvbp_core.Instance.t -> float) ->
+  instances:int ->
+  seed:int ->
+  gen:(rng:Dvbp_prelude.Rng.t -> Dvbp_core.Instance.t) ->
+  competitors:competitor list ->
+  unit ->
+  (string * stats) list
+(** Runs every competitor on [instances] instances drawn with [gen] and
+    returns the per-competitor distribution of [cost / denominator]
+    (default denominator: the Lemma 1 (i) lower bound, as in the paper's
+    experiments). Results are keyed by competitor label, in input order.
+    @raise Invalid_argument if [instances <= 0] or labels collide. *)

@@ -1,0 +1,22 @@
+(** Scenario experiments on the paper's motivating workloads.
+
+    The paper's evaluation uses only the Table 2 uniform model; these runs
+    exercise the same policies on the workloads §1 motivates — cloud-gaming
+    sessions, VM requests with heavy-tailed lifetimes — plus the flash-crowd
+    stress test. Beyond the seven non-clairvoyant policies, the clairvoyant
+    extensions (daf, hff) quantify what §8's extra information buys on each
+    scenario. Reported as [cost / LowerBound(i)] like Figure 4. *)
+
+val competitors : unit -> Runner.competitor list
+(** The seven standard policies plus clairvoyant daf and hff. *)
+
+val cloud_gaming :
+  ?instances:int -> ?seed:int -> ?n:int -> unit -> (string * Runner.stats) list
+
+val vm_placement :
+  ?instances:int -> ?seed:int -> ?n:int -> unit -> (string * Runner.stats) list
+
+val flash_crowd :
+  ?instances:int -> ?seed:int -> unit -> (string * Runner.stats) list
+
+val render : title:string -> (string * Runner.stats) list -> string

@@ -1,0 +1,61 @@
+module Uniform_model = Dvbp_workload.Uniform_model
+module Compare = Dvbp_stats.Compare
+module Table = Dvbp_report.Table
+
+type row = {
+  challenger : string;
+  baseline : string;
+  mean_gap : float;
+  p_two_sided : float;
+  verdict : string;
+}
+
+let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let head_to_head ?(instances = 60) ?(seed = 42) ?(baseline = "mtf") ~d ~mu () =
+  let params = Uniform_model.table2 ~d ~mu in
+  let samples =
+    Runner.ratio_samples ~instances ~seed
+      ~gen:(fun ~rng -> Uniform_model.generate params ~rng)
+      ~competitors:(Runner.standard_competitors ())
+      ()
+  in
+  let base =
+    match List.assoc_opt baseline samples with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Significance: unknown baseline %S" baseline)
+  in
+  List.filter_map
+    (fun (label, s) ->
+      if label = baseline then None
+      else
+        let r = Compare.rank_sum s base in
+        let verdict =
+          if Compare.significantly_less base s then baseline ^ " wins"
+          else if Compare.significantly_less s base then label ^ " wins"
+          else "tie"
+        in
+        Some
+          {
+            challenger = label;
+            baseline;
+            mean_gap = mean s -. mean base;
+            p_two_sided = r.Compare.p_two_sided;
+            verdict;
+          })
+    samples
+
+let render rows =
+  Table.render
+    ~header:[ "challenger"; "baseline"; "mean gap"; "p (two-sided)"; "verdict" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.challenger;
+             r.baseline;
+             Printf.sprintf "%+.4f" r.mean_gap;
+             Printf.sprintf "%.4g" r.p_two_sided;
+             r.verdict;
+           ])
+         rows)

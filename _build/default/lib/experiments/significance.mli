@@ -1,0 +1,28 @@
+(** Statistical head-to-head comparison of policies on a grid point.
+
+    Figure 4's "Move To Front outperforms other Any Fit packing algorithms"
+    is an ordering of sample means; this experiment makes it a tested claim:
+    for a chosen baseline policy, every other policy's paired ratio samples
+    are compared with the Mann–Whitney rank-sum test. *)
+
+type row = {
+  challenger : string;
+  baseline : string;
+  mean_gap : float;  (** challenger mean − baseline mean *)
+  p_two_sided : float;
+  verdict : string;  (** ["baseline wins"], ["challenger wins"] or ["tie"] *)
+}
+
+val head_to_head :
+  ?instances:int ->
+  ?seed:int ->
+  ?baseline:string ->
+  d:int ->
+  mu:int ->
+  unit ->
+  row list
+(** Runs the seven standard policies on the Table 2 workload at [(d, µ)]
+    (defaults: 60 instances, seed 42, baseline ["mtf"]) and tests every
+    other policy against the baseline at level 0.05. *)
+
+val render : row list -> string

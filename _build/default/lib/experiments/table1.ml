@@ -1,0 +1,184 @@
+module Rng = Dvbp_prelude.Rng
+module Vec = Dvbp_vec.Vec
+module Policy = Dvbp_core.Policy
+module Instance = Dvbp_core.Instance
+module Engine = Dvbp_engine.Engine
+module Opt = Dvbp_lowerbound.Opt
+module Bound_check = Dvbp_analysis.Bound_check
+module Table = Dvbp_report.Table
+module A = Dvbp_adversary
+
+let render_theory () =
+  let header =
+    [ "Algorithm"; "LB (d=1)"; "UB (d=1)"; "LB (d>=1)"; "UB (d>=1)" ]
+  in
+  let rows =
+    [
+      [ "Any Fit"; "mu+1"; "unbounded"; "(mu+1)d  [Thm 5]"; "unbounded" ];
+      [ "Move To Front"; "2mu  [Thm 8]"; "2mu+2  [Thm 2]";
+        "max{2mu,(mu+1)d}  [Thm 8]"; "(2mu+1)d+1  [Thm 2]" ];
+      [ "First Fit"; "mu+1"; "mu+3"; "(mu+1)d  [Thm 5]"; "(mu+2)d+1  [Thm 3]" ];
+      [ "Next Fit"; "2mu"; "2mu+1"; "2mu*d  [Thm 6]"; "2mu*d+1  [Thm 4]" ];
+      [ "Best Fit"; "unbounded"; "unbounded"; "unbounded  [Thm 7]"; "unbounded" ];
+    ]
+  in
+  Table.render ~header ~rows
+
+type verification_row = {
+  gadget : string;
+  policy : string;
+  measured_cost : float;
+  measured_ratio : float;
+  certified_ratio : float;
+  limit : float;
+}
+
+let run_gadget (g : A.Gadget.t) policy_name =
+  let rng = Rng.create ~seed:99 in
+  let policy = Policy.of_name_exn ~rng policy_name in
+  let run = Engine.run ~policy g.A.Gadget.instance in
+  {
+    gadget = g.A.Gadget.name;
+    policy = policy_name;
+    measured_cost = Engine.cost run;
+    measured_ratio = Engine.cost run /. g.A.Gadget.opt_upper;
+    certified_ratio = A.Gadget.cr_lower g;
+    limit = g.A.Gadget.cr_limit;
+  }
+
+let verify_gadgets ?(d = 2) ?(mu = 5.0) ?(ks = [ 2; 4; 8 ]) () =
+  let strict = [ "ff"; "bf"; "wf"; "lf"; "mtf" ] in
+  let anyfit =
+    List.concat_map
+      (fun k ->
+        let g = A.Anyfit_lb.construct ~d ~k ~mu in
+        List.map (run_gadget g) strict)
+      ks
+  in
+  let nextfit =
+    List.map
+      (fun k ->
+        let k = if k mod 2 = 0 then k else k + 1 in
+        run_gadget (A.Nextfit_lb.construct ~d ~k ~mu) "nf")
+      ks
+  in
+  let mtf =
+    List.map (fun k -> run_gadget (A.Mtf_lb.construct ~n:k ~mu) "mtf") ks
+  in
+  let bestfit =
+    List.map
+      (fun k ->
+        let t_end = float_of_int (4 * k * k) in
+        run_gadget (A.Bestfit_lb.construct ~k ~t_end) "bf")
+      ks
+  in
+  anyfit @ nextfit @ mtf @ bestfit
+
+let render_verification rows =
+  let header =
+    [ "gadget"; "policy"; "cost"; "measured CR"; "certified CR"; "limit" ]
+  in
+  let fmt_limit l = if Float.is_finite l then Printf.sprintf "%.2f" l else "inf" in
+  Table.render ~header
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.gadget;
+             r.policy;
+             Printf.sprintf "%.2f" r.measured_cost;
+             Printf.sprintf "%.3f" r.measured_ratio;
+             Printf.sprintf "%.3f" r.certified_ratio;
+             fmt_limit r.limit;
+           ])
+         rows)
+
+type ub_fuzz_summary = {
+  policy : string;
+  instances : int;
+  max_ratio : float;
+  max_bound_fraction : float;
+  violations : int;
+}
+
+(* Small random instances keep the exact-OPT search tractable. *)
+let random_small_instance ~rng =
+  let d = Rng.int_incl rng ~lo:1 ~hi:2 in
+  let n = Rng.int_incl rng ~lo:2 ~hi:7 in
+  let capacity = Vec.make ~dim:d 10 in
+  let specs =
+    List.init n (fun _ ->
+        let a = Rng.int_incl rng ~lo:0 ~hi:5 in
+        let dur = Rng.int_incl rng ~lo:1 ~hi:4 in
+        let size = Vec.of_array (Array.init d (fun _ -> Rng.int_incl rng ~lo:1 ~hi:10)) in
+        (float_of_int a, float_of_int (a + dur), size))
+  in
+  Instance.of_specs_exn ~capacity specs
+
+let fuzz_upper_bounds ?(instances = 200) ?(seed = 7) () =
+  let root = Rng.create ~seed in
+  let policies = [ "mtf"; "ff"; "nf" ] in
+  let acc = Hashtbl.create 4 in
+  List.iter (fun p -> Hashtbl.replace acc p (0.0, 0.0, 0)) policies;
+  for i = 0 to instances - 1 do
+    let inst = random_small_instance ~rng:(Rng.split root ~key:i) in
+    let opt = Opt.exact_exn inst in
+    List.iter
+      (fun p ->
+        let policy = Policy.of_name_exn p in
+        let cost = Engine.cost (Engine.run ~policy inst) in
+        match Bound_check.check ~policy:p ~cost ~opt ~instance:inst with
+        | None -> assert false
+        | Some v ->
+            let max_r, max_f, viol = Hashtbl.find acc p in
+            Hashtbl.replace acc p
+              ( Float.max max_r v.Bound_check.ratio,
+                Float.max max_f (v.Bound_check.ratio /. v.Bound_check.bound),
+                if v.Bound_check.ok then viol else viol + 1 ))
+      policies
+  done;
+  List.map
+    (fun p ->
+      let max_ratio, max_bound_fraction, violations = Hashtbl.find acc p in
+      { policy = p; instances; max_ratio; max_bound_fraction; violations })
+    policies
+
+let convergence ?(ks = [ 2; 4; 8; 16; 32; 64 ]) ~d ~mu () =
+  let fraction g = A.Gadget.cr_lower g /. g.A.Gadget.cr_limit in
+  let series label marker construct =
+    {
+      Dvbp_report.Ascii_plot.label;
+      marker;
+      points =
+        List.mapi (fun i k -> (float_of_int i, fraction (construct k))) ks;
+    }
+  in
+  let plot =
+    Dvbp_report.Ascii_plot.render ~x_label:"k index" ~y_label:"certified/limit"
+      [
+        series "anyfit (Thm 5)" 'A' (fun k -> A.Anyfit_lb.construct ~d ~k ~mu);
+        series "nextfit (Thm 6)" 'N' (fun k ->
+            A.Nextfit_lb.construct ~d ~k:(if k mod 2 = 0 then k else k + 1) ~mu);
+        series "mtf (Thm 8)" 'M' (fun k -> A.Mtf_lb.construct ~n:k ~mu);
+      ]
+  in
+  Printf.sprintf "certified CR as a fraction of the limiting bound (k in %s):\n%s"
+    (String.concat "," (List.map string_of_int ks))
+    plot
+
+let render_fuzz rows =
+  let header =
+    [ "policy"; "instances"; "max cost/OPT"; "max ratio/bound"; "violations" ]
+  in
+  Table.render ~header
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.policy;
+             string_of_int r.instances;
+             Printf.sprintf "%.3f" r.max_ratio;
+             Printf.sprintf "%.3f" r.max_bound_fraction;
+             string_of_int r.violations;
+           ])
+         rows)

@@ -1,0 +1,12 @@
+let render ?(instances = 1000) () =
+  Dvbp_report.Table.render
+    ~header:[ "Parameter"; "Description"; "Value" ]
+    ~rows:
+      [
+        [ "d"; "Num. dimensions"; "{1, 2, 5}" ];
+        [ "n"; "Sequence length"; "1000" ];
+        [ "mu"; "Max. item length"; "{1, 2, 5, 10, 100, 200}" ];
+        [ "T"; "Sequence span"; "1000" ];
+        [ "B"; "Bin size"; "100" ];
+        [ "m"; "Instances per point"; string_of_int instances ];
+      ]

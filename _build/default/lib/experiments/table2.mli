@@ -1,0 +1,7 @@
+(** Table 2: the experimental parameters, rendered for the bench report so
+    the regenerated Figure 4 is self-describing. *)
+
+val render : ?instances:int -> unit -> string
+(** The paper's parameter table; [instances] defaults to the paper's
+    [m = 1000] and is printed as configured so reduced-budget runs are
+    labelled honestly. *)

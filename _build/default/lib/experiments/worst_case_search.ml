@@ -1,0 +1,147 @@
+module Rng = Dvbp_prelude.Rng
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Policy = Dvbp_core.Policy
+module Engine = Dvbp_engine.Engine
+module Opt = Dvbp_lowerbound.Opt
+module Bound_check = Dvbp_analysis.Bound_check
+
+type config = {
+  d : int;
+  max_items : int;
+  max_time : int;
+  max_duration : int;
+  bin_size : int;
+  steps : int;
+  seed : int;
+}
+
+let default =
+  { d = 1; max_items = 6; max_time = 6; max_duration = 4; bin_size = 10; steps = 400; seed = 1 }
+
+type result = {
+  instance : Instance.t;
+  ratio : float;
+  theoretical_bound : float option;
+  steps_taken : int;
+  improvements : int;
+}
+
+(* mutable genome: items as (arrival, duration, sizes) with integer genes *)
+type gene = { arrival : int; duration : int; sizes : int array }
+
+let random_gene config ~rng =
+  {
+    arrival = Rng.int_incl rng ~lo:0 ~hi:config.max_time;
+    duration = Rng.int_incl rng ~lo:1 ~hi:config.max_duration;
+    sizes = Array.init config.d (fun _ -> Rng.int_incl rng ~lo:1 ~hi:config.bin_size);
+  }
+
+let instance_of config genes =
+  Instance.of_specs_exn
+    ~capacity:(Vec.make ~dim:config.d config.bin_size)
+    (List.map
+       (fun g ->
+         ( float_of_int g.arrival,
+           float_of_int (g.arrival + g.duration),
+           Vec.of_array g.sizes ))
+       genes)
+
+let clamp ~lo ~hi x = Int.min hi (Int.max lo x)
+
+let mutate config ~rng genes =
+  let n = List.length genes in
+  let bump rng x ~lo ~hi =
+    clamp ~lo ~hi (x + if Rng.bool rng then 1 else -1)
+  in
+  match Rng.int rng 4 with
+  | 0 when n < config.max_items -> random_gene config ~rng :: genes
+  | 1 when n > 1 ->
+      let victim = Rng.int rng n in
+      List.filteri (fun i _ -> i <> victim) genes
+  | 2 when n < config.max_items ->
+      (* duplicating a gene probes the "many identical items" constructions *)
+      List.nth genes (Rng.int rng n) :: genes
+  | _ ->
+      let target = Rng.int rng n in
+      List.mapi
+        (fun i g ->
+          if i <> target then g
+          else
+            match Rng.int rng 3 with
+            | 0 -> { g with arrival = bump rng g.arrival ~lo:0 ~hi:config.max_time }
+            | 1 -> { g with duration = bump rng g.duration ~lo:1 ~hi:config.max_duration }
+            | _ ->
+                let sizes = Array.copy g.sizes in
+                let j = Rng.int rng config.d in
+                sizes.(j) <- bump rng sizes.(j) ~lo:1 ~hi:config.bin_size;
+                { g with sizes })
+        genes
+
+let score ~policy config genes =
+  let instance = instance_of config genes in
+  match Opt.exact instance with
+  | Error (`Node_limit _) -> None
+  | Ok opt ->
+      let p = Policy.of_name_exn policy in
+      let cost = Engine.cost (Engine.run ~policy:p instance) in
+      Some (cost /. opt, instance)
+
+let validate config =
+  if config.d < 1 || config.max_items < 1 || config.max_time < 0
+     || config.max_duration < 1 || config.bin_size < 1 || config.steps < 0
+  then invalid_arg "Worst_case_search: non-positive configuration field"
+
+let search ~policy config =
+  validate config;
+  (* fail early on unknown/stochastic policies *)
+  ignore (Policy.of_name_exn policy);
+  let rng = Rng.create ~seed:config.seed in
+  let start =
+    List.init
+      (1 + Rng.int rng (Int.min 3 config.max_items))
+      (fun _ -> random_gene config ~rng)
+  in
+  (* plateau-tolerant hill climbing: the walker accepts equal-score moves
+     (so it can drift off ratio-1 plateaus); the best point is tracked
+     separately *)
+  let current_genes = ref start in
+  let current_score, best0 =
+    match score ~policy config start with
+    | Some (r, i) -> (ref r, (r, i))
+    | None -> invalid_arg "Worst_case_search: initial instance too hard for exact OPT"
+  in
+  let best = ref best0 in
+  let improvements = ref 0 in
+  for _ = 1 to config.steps do
+    let candidate = mutate config ~rng !current_genes in
+    match score ~policy config candidate with
+    | Some (r, i) when r >= !current_score -. 1e-12 ->
+        current_genes := candidate;
+        current_score := r;
+        if r > fst !best +. 1e-12 then begin
+          best := (r, i);
+          incr improvements
+        end
+    | Some _ | None -> ()
+  done;
+  let ratio, instance = !best in
+  {
+    instance;
+    ratio;
+    theoretical_bound =
+      Bound_check.theoretical_bound ~policy ~mu:(Instance.mu instance)
+        ~d:(Instance.dim instance);
+    steps_taken = config.steps;
+    improvements = !improvements;
+  }
+
+let render ~policy r =
+  Printf.sprintf
+    "%s: worst ratio found %.4f over %d steps (%d improvements), n=%d, mu=%.1f%s\n"
+    policy r.ratio r.steps_taken r.improvements
+    (Instance.size r.instance)
+    (Instance.mu r.instance)
+    (match r.theoretical_bound with
+    | Some b -> Printf.sprintf ", proven bound at this mu: %.1f" b
+    | None -> "")

@@ -1,0 +1,38 @@
+(** Randomised search for bad instances: an empirical probe of the gap
+    between the paper's lower and upper bounds (§8's first open problem).
+
+    Hill-climbing over small instances: start from a random instance, apply
+    local mutations (perturb a size, duration or arrival; add or drop an
+    item), and keep a mutation when it increases [cost(policy) / OPT_exact]
+    (the exact optimum is computable at this scale). The search is a probe,
+    not a proof — but it recovers ratios well above the random-instance
+    average and its results can be compared against the §6 gadgets and the
+    theoretical bounds. Fully deterministic for a given seed. *)
+
+type config = {
+  d : int;
+  max_items : int;  (** instance size cap — keep small: exact OPT inside *)
+  max_time : int;  (** arrivals in [\[0, max_time\]], integer *)
+  max_duration : int;  (** durations in [\[1, max_duration\]]; bounds µ *)
+  bin_size : int;
+  steps : int;  (** mutation attempts *)
+  seed : int;
+}
+
+val default : config
+(** d=1, ≤ 6 items, horizon 6, µ ≤ 4, bin 10, 400 steps. *)
+
+type result = {
+  instance : Dvbp_core.Instance.t;  (** the worst instance found *)
+  ratio : float;  (** [cost / OPT_exact] on it *)
+  theoretical_bound : float option;  (** the policy's proven bound at this µ, d *)
+  steps_taken : int;
+  improvements : int;  (** accepted mutations *)
+}
+
+val search : policy:string -> config -> result
+(** @raise Invalid_argument for unknown policies or non-positive config
+    fields. Stochastic policies are not supported (ratio must be a pure
+    function of the instance). *)
+
+val render : policy:string -> result -> string

@@ -1,0 +1,31 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    invalid_arg "Interval.make: non-finite bound";
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let empty_at x = make x x
+let length i = i.hi -. i.lo
+let is_empty i = i.lo >= i.hi
+let mem x i = i.lo <= x && x < i.hi
+
+let overlaps a b = a.lo < b.hi && b.lo < a.hi
+
+let intersect a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo < hi then Some { lo; hi } else None
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let abuts_or_overlaps a b =
+  if is_empty a || is_empty b then false
+  else Float.max a.lo b.lo <= Float.min a.hi b.hi
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let compare a b =
+  match Float.compare a.lo b.lo with 0 -> Float.compare a.hi b.hi | c -> c
+
+let pp ppf i = Format.fprintf ppf "[%g, %g)" i.lo i.hi
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,47 @@
+(** Half-open time intervals [\[lo, hi)].
+
+    Item activity periods, bin usage periods, and every decomposition in the
+    paper's proofs (leading/non-leading periods of Move To Front, the
+    [P_i]/[Q_i] split of First Fit, ...) are half-open intervals: an item
+    departing at time [t] has already freed its capacity for an arrival at
+    [t] (footnote 1 of the paper). *)
+
+type t = private { lo : float; hi : float }
+(** Invariant: [lo <= hi], both finite. [lo = hi] is the empty interval. *)
+
+val make : float -> float -> t
+(** [make lo hi] builds [\[lo, hi)].
+    @raise Invalid_argument if [lo > hi] or either bound is not finite. *)
+
+val empty_at : float -> t
+(** The empty interval anchored at a point (zero length). *)
+
+val length : t -> float
+(** [hi - lo]; the paper's [ℓ(I)]. *)
+
+val is_empty : t -> bool
+
+val mem : float -> t -> bool
+(** [mem x i] iff [lo <= x < hi]. *)
+
+val overlaps : t -> t -> bool
+(** True when the intervals share at least one point (empty intervals
+    overlap nothing). *)
+
+val intersect : t -> t -> t option
+(** Non-empty intersection, or [None]. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both (gaps included). *)
+
+val abuts_or_overlaps : t -> t -> bool
+(** True when the union of the two intervals is a single interval. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Order by [lo], then [hi]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["[lo, hi)"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,88 @@
+type t = Interval.t list
+(* Invariant: sorted by [lo]; pairwise disjoint with strict gaps between
+   consecutive intervals; all non-empty. *)
+
+let empty = []
+
+let of_intervals is =
+  let is = List.filter (fun i -> not (Interval.is_empty i)) is in
+  let is = List.sort Interval.compare is in
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | i :: rest -> (
+        match acc with
+        | prev :: acc' when Interval.abuts_or_overlaps prev i ->
+            merge (Interval.hull prev i :: acc') rest
+        | _ -> merge (i :: acc) rest)
+  in
+  merge [] is
+
+let intervals t = t
+let is_empty t = t = []
+let total_length t = Dvbp_prelude.Floatx.kahan_sum (List.map Interval.length t)
+
+let hull = function
+  | [] -> None
+  | first :: _ as t ->
+      let last = List.nth t (List.length t - 1) in
+      Some (Interval.make first.Interval.lo last.Interval.hi)
+
+let mem x t = List.exists (Interval.mem x) t
+let add i t = of_intervals (i :: t)
+let union a b = of_intervals (a @ b)
+
+let inter a b =
+  let pieces =
+    List.concat_map
+      (fun ia ->
+        List.filter_map (fun ib -> Interval.intersect ia ib) b)
+      a
+  in
+  of_intervals pieces
+
+(* [a \ b]: subtract each interval of b from every piece of a. *)
+let diff a b =
+  let subtract_one (piece : Interval.t) (cut : Interval.t) : Interval.t list =
+    match Interval.intersect piece cut with
+    | None -> [ piece ]
+    | Some overlap ->
+        let left =
+          if piece.Interval.lo < overlap.Interval.lo then
+            [ Interval.make piece.Interval.lo overlap.Interval.lo ]
+          else []
+        in
+        let right =
+          if overlap.Interval.hi < piece.Interval.hi then
+            [ Interval.make overlap.Interval.hi piece.Interval.hi ]
+          else []
+        in
+        left @ right
+  in
+  let pieces =
+    List.fold_left
+      (fun pieces cut -> List.concat_map (fun p -> subtract_one p cut) pieces)
+      a b
+  in
+  of_intervals pieces
+
+let covers t i =
+  Interval.is_empty i
+  || List.exists
+       (fun (piece : Interval.t) ->
+         piece.Interval.lo <= i.Interval.lo && i.Interval.hi <= piece.Interval.hi)
+       t
+
+let equal a b = List.length a = List.length b && List.for_all2 Interval.equal a b
+
+let approx_equal ?(eps = 1e-9) a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Interval.t) (y : Interval.t) ->
+         Dvbp_prelude.Floatx.approx_equal ~eps x.Interval.lo y.Interval.lo
+         && Dvbp_prelude.Floatx.approx_equal ~eps x.Interval.hi y.Interval.hi)
+       a b
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ∪ ") Interval.pp)
+    t

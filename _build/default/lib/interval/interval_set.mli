@@ -1,0 +1,45 @@
+(** Finite unions of half-open intervals, kept in canonical form.
+
+    Canonical form: sorted, pairwise-disjoint, non-adjacent, non-empty
+    intervals. This is the data structure behind the paper's [span(·)]
+    (total length of time at least one item is active) and behind checks
+    such as "the leading intervals partition [\[0, span))" (Claim 1). *)
+
+type t
+(** Immutable canonical union of intervals. *)
+
+val empty : t
+val of_intervals : Interval.t list -> t
+(** Canonicalises an arbitrary collection (empty intervals dropped,
+    overlapping/adjacent intervals merged). *)
+
+val intervals : t -> Interval.t list
+(** The canonical intervals, sorted by start. *)
+
+val is_empty : t -> bool
+
+val total_length : t -> float
+(** Sum of lengths — [span(R)] when applied to activity intervals of [R]. *)
+
+val hull : t -> Interval.t option
+(** Smallest single interval covering the set. *)
+
+val mem : float -> t -> bool
+
+val add : Interval.t -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+(** Set difference [a \ b]. *)
+
+val covers : t -> Interval.t -> bool
+(** True when the interval is fully contained in the set. *)
+
+val equal : t -> t -> bool
+(** Exact structural equality of canonical forms. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Equality up to [eps] on every endpoint (canonical forms must have the
+    same number of intervals). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lowerbound/bounds.ml: Dvbp_core Dvbp_interval Dvbp_prelude Dvbp_vec Float List Load_profile

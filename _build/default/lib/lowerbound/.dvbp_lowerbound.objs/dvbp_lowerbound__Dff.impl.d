@@ -1,0 +1,1 @@
+lib/lowerbound/dff.ml: Dvbp_core Dvbp_interval Dvbp_prelude Dvbp_vec Int List Load_profile

@@ -1,0 +1,1 @@
+lib/lowerbound/dff.mli: Dvbp_core Dvbp_vec

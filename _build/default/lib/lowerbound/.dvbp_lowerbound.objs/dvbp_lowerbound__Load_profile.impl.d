@@ -1,0 +1,1 @@
+lib/lowerbound/load_profile.ml: Array Dvbp_core Dvbp_interval Dvbp_vec Int List Map

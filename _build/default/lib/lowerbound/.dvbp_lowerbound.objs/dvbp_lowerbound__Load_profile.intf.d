@@ -1,0 +1,1 @@
+lib/lowerbound/load_profile.mli: Dvbp_core Dvbp_interval Dvbp_vec

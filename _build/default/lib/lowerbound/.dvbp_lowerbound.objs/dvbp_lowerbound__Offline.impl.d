@@ -1,0 +1,1 @@
+lib/lowerbound/offline.ml: Array Dvbp_core Dvbp_interval Dvbp_prelude Dvbp_vec List Printf

@@ -1,0 +1,1 @@
+lib/lowerbound/offline.mli: Dvbp_core

@@ -1,0 +1,1 @@
+lib/lowerbound/opt.ml: Dvbp_core Dvbp_interval Dvbp_prelude Dvbp_vec List Load_profile Printf Vbp_solver

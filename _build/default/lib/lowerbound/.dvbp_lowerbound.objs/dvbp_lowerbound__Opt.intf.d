@@ -1,0 +1,1 @@
+lib/lowerbound/opt.mli: Dvbp_core Dvbp_interval

@@ -1,0 +1,1 @@
+lib/lowerbound/vbp_solver.ml: Array Dvbp_prelude Dvbp_vec Float Int List Printf Set

@@ -1,0 +1,1 @@
+lib/lowerbound/vbp_solver.mli: Dvbp_vec

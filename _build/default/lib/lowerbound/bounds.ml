@@ -1,0 +1,21 @@
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+module Instance = Dvbp_core.Instance
+module Floatx = Dvbp_prelude.Floatx
+
+let span = Instance.span
+
+let utilisation inst =
+  Instance.total_utilisation inst /. float_of_int (Instance.dim inst)
+
+let height_integral (inst : Instance.t) =
+  let cap = inst.Instance.capacity in
+  Floatx.kahan_sum
+    (List.map
+       (fun (s : Load_profile.segment) ->
+         float_of_int (Vec.height ~cap s.Load_profile.load)
+         *. Interval.length s.Load_profile.interval)
+       (Load_profile.load_segments inst))
+
+let best inst =
+  Float.max (height_integral inst) (Float.max (span inst) (utilisation inst))

@@ -1,0 +1,21 @@
+(** Lower bounds on the optimal cost [OPT(R)] — Lemma 1 of the paper.
+
+    All values are in cost units (bin-time). The paper's experiments
+    normalise algorithm costs by {!height_integral}, which is the tightest
+    of the three. *)
+
+val span : Dvbp_core.Instance.t -> float
+(** Lemma 1 (iii): [OPT >= span(R)] — some bin is open whenever an item is
+    active. *)
+
+val utilisation : Dvbp_core.Instance.t -> float
+(** Lemma 1 (ii): [OPT >= (1/d) Σ_r ‖s(r)‖∞ ℓ(I(r))] — total time-space
+    utilisation divided by the dimension. *)
+
+val height_integral : Dvbp_core.Instance.t -> float
+(** Lemma 1 (i): [OPT >= ∫ ⌈‖s(R,t)‖∞⌉ dt] — at each instant at least
+    [max_j ⌈load_j / cap_j⌉] bins are needed. Dominates both other
+    bounds. *)
+
+val best : Dvbp_core.Instance.t -> float
+(** [max] of the three (equals {!height_integral}, computed defensively). *)

@@ -1,0 +1,54 @@
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+module Item = Dvbp_core.Item
+module Instance = Dvbp_core.Instance
+module Intmath = Dvbp_prelude.Intmath
+module Floatx = Dvbp_prelude.Floatx
+
+(* One dimension: coordinates [xs] in integer units of a capacity [cap].
+   For threshold l (= λ·cap, integer in [1, cap/2]):
+     x > cap - l  ->  cap
+     l <= x       ->  x
+     otherwise    ->  0
+   and the bound is ⌈Σ / cap⌉. All exact. *)
+let dimension_bound ~cap xs =
+  let plain = Intmath.ceil_div (List.fold_left ( + ) 0 xs) cap in
+  let candidates =
+    (* thresholds only matter where some item changes bucket: at x and at
+       cap - x + 1 for each distinct coordinate x, clamped to [1, cap/2] *)
+    List.concat_map (fun x -> [ x; cap - x + 1 ]) xs
+    |> List.filter (fun l -> l >= 1 && 2 * l <= cap)
+    |> List.sort_uniq Int.compare
+  in
+  List.fold_left
+    (fun best l ->
+      let total =
+        List.fold_left
+          (fun acc x ->
+            if x > cap - l then acc + cap else if x >= l then acc + x else acc)
+          0 xs
+      in
+      Int.max best (Intmath.ceil_div total cap))
+    plain candidates
+
+let slice_bound ~cap sizes =
+  match sizes with
+  | [] -> 0
+  | _ ->
+      let d = Vec.dim cap in
+      let best = ref 0 in
+      for j = 0 to d - 1 do
+        let xs = List.map (fun v -> Vec.get v j) sizes in
+        best := Int.max !best (dimension_bound ~cap:(Vec.get cap j) xs)
+      done;
+      !best
+
+let integral (inst : Instance.t) =
+  let cap = inst.Instance.capacity in
+  Floatx.kahan_sum
+    (List.map
+       (fun (s : Load_profile.active_segment) ->
+         let sizes = List.map (fun (r : Item.t) -> r.Item.size) s.Load_profile.active in
+         float_of_int (slice_bound ~cap sizes)
+         *. Interval.length s.Load_profile.interval)
+       (Load_profile.active_segments inst))

@@ -1,0 +1,28 @@
+(** Dual-feasible-function (DFF) lower bounds on per-instant bin counts.
+
+    Lemma 1 (i) bounds [OPT(R, t)] by the ceiling of the most-loaded
+    dimension. The classical DFF family of Martello–Toth / Fekete–Schepers
+    tightens this: for a threshold [λ ∈ (0, 1/2]] the function
+
+    {v u_λ(x) = 1      if x > 1 − λ
+        u_λ(x) = x      if λ <= x <= 1 − λ
+        u_λ(x) = 0      if x < λ v}
+
+    maps any feasible single-bin content to total at most 1, so
+    [⌈Σ_i u_λ(x_i)⌉] bins are necessary. Items just over half a bin are
+    rounded up to a whole bin, which the plain height bound cannot see
+    (e.g. three items of size 0.6 need 3 bins, height says 2).
+
+    Everything is computed in exact integer units of [1/cap_j]; the final
+    bound is maximised over all dimensions and all useful thresholds, and
+    always dominates the height bound (take [λ → 0]). *)
+
+val slice_bound : cap:Dvbp_vec.Vec.t -> Dvbp_vec.Vec.t list -> int
+(** Minimum bins forced by the item sizes at one instant:
+    [max_j max_λ ⌈Σ_i u_λ(size_i_j / cap_j)⌉]. At least
+    {!Vbp_solver.lower_bound} and at most the true optimum. [0] for the
+    empty list. *)
+
+val integral : Dvbp_core.Instance.t -> float
+(** [∫ slice_bound(R, t) dt] — a lower bound on [OPT(R)] that dominates
+    {!Bounds.height_integral}. *)

@@ -1,0 +1,74 @@
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+module Instance = Dvbp_core.Instance
+module Item = Dvbp_core.Item
+module Imap = Map.Make (Int)
+
+type segment = { interval : Interval.t; load : Vec.t }
+type active_segment = { interval : Interval.t; active : Item.t list }
+
+(* One sweep skeleton shared by the three functions: calls [emit prev_t t]
+   for every maximal segment between consecutive event times during which at
+   least one item is active, with [apply] updating state at each boundary. *)
+let sweep (inst : Instance.t) ~apply ~emit =
+  let events =
+    List.concat_map
+      (fun (r : Item.t) -> [ (r.Item.arrival, `Add r); (r.Item.departure, `Remove r) ])
+      inst.Instance.items
+  in
+  let key = function
+    | t, `Remove (r : Item.t) -> (t, 0, r.Item.id)
+    | t, `Add (r : Item.t) -> (t, 1, r.Item.id)
+  in
+  let events = List.sort (fun a b -> compare (key a) (key b)) events in
+  let active = ref 0 in
+  let prev = ref nan in
+  List.iter
+    (fun (t, change) ->
+      if !active > 0 && !prev < t then emit !prev t;
+      (match change with `Add _ -> incr active | `Remove _ -> decr active);
+      apply change;
+      prev := t)
+    events;
+  assert (!active = 0)
+
+let load_segments inst =
+  let d = Instance.dim inst in
+  let load = Array.make d 0 in
+  let out = ref [] in
+  let apply = function
+    | `Add (r : Item.t) ->
+        Array.iteri (fun j x -> load.(j) <- x + Vec.get r.Item.size j) load
+    | `Remove (r : Item.t) ->
+        Array.iteri (fun j x -> load.(j) <- x - Vec.get r.Item.size j) load
+  in
+  let emit lo hi =
+    out := { interval = Interval.make lo hi; load = Vec.of_array load } :: !out
+  in
+  sweep inst ~apply ~emit;
+  List.rev !out
+
+let active_segments inst =
+  let current = ref Imap.empty in
+  let out = ref [] in
+  let apply = function
+    | `Add (r : Item.t) -> current := Imap.add r.Item.id r !current
+    | `Remove (r : Item.t) -> current := Imap.remove r.Item.id !current
+  in
+  let emit lo hi =
+    let active = List.map snd (Imap.bindings !current) in
+    out := { interval = Interval.make lo hi; active } :: !out
+  in
+  sweep inst ~apply ~emit;
+  List.rev !out
+
+let max_active inst =
+  let count = ref 0 and peak = ref 0 in
+  let apply = function
+    | `Add _ ->
+        incr count;
+        if !count > !peak then peak := !count
+    | `Remove _ -> decr count
+  in
+  sweep inst ~apply ~emit:(fun _ _ -> ());
+  !peak

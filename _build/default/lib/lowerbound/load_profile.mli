@@ -1,0 +1,29 @@
+(** Piecewise-constant total-load profile of an instance.
+
+    The quantity [s(R, t)] — total size of items active at time [t] — is
+    constant between consecutive arrival/departure events. Both Lemma 1 (i)
+    and the exact OPT of eq. (2) are integrals of per-instant quantities, so
+    they reduce to sums over these segments. *)
+
+type segment = {
+  interval : Dvbp_interval.Interval.t;
+  load : Dvbp_vec.Vec.t;  (** [s(R, t)] for every [t] in the segment *)
+}
+
+val load_segments : Dvbp_core.Instance.t -> segment list
+(** Maximal constant-load segments covering exactly the instance's activity
+    (segments where nothing is active are omitted), in time order. Runs in
+    [O(n log n + n d)] via an incremental sweep. *)
+
+type active_segment = {
+  interval : Dvbp_interval.Interval.t;
+  active : Dvbp_core.Item.t list;  (** items active throughout, id order *)
+}
+
+val active_segments : Dvbp_core.Instance.t -> active_segment list
+(** Like {!load_segments} but materialising the active item set of every
+    segment (quadratic in the worst case — intended for the small instances
+    fed to the exact OPT solver). *)
+
+val max_active : Dvbp_core.Instance.t -> int
+(** Peak number of simultaneously active items. *)

@@ -1,0 +1,75 @@
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+module Interval_set = Dvbp_interval.Interval_set
+module Instance = Dvbp_core.Instance
+module Item = Dvbp_core.Item
+
+(* A bin under construction: its items, cached activity span and cost. *)
+type pbin = { items : Item.t list; spanned : Interval_set.t }
+
+let pbin_cost b = Interval_set.total_length b.spanned
+
+(* Adding [r] to bin [b] is feasible iff at the start of every item's
+   activity the combined load fits. Loads only increase at arrivals, so
+   checking arrival instants of the bin's items (including r) suffices. *)
+let feasible ~cap b (r : Item.t) =
+  let items = r :: b.items in
+  List.for_all
+    (fun (probe : Item.t) ->
+      let t = probe.Item.arrival in
+      let load =
+        Vec.sum ~dim:(Vec.dim cap)
+          (List.filter_map
+             (fun (x : Item.t) -> if Item.active_at x t then Some x.Item.size else None)
+             items)
+      in
+      Vec.le load cap)
+    items
+
+let add_item b (r : Item.t) =
+  { items = r :: b.items; spanned = Interval_set.add (Item.interval r) b.spanned }
+
+let min_cost ?(node_limit = 2_000_000) (inst : Instance.t) =
+  let cap = inst.Instance.capacity in
+  let items = Array.of_list inst.Instance.items (* already in arrival order *) in
+  let n = Array.length items in
+  let best = ref infinity in
+  let nodes = ref 0 in
+  let exception Limit in
+  let total_cost bins =
+    Dvbp_prelude.Floatx.kahan_sum (List.map pbin_cost bins)
+  in
+  let rec dfs i bins cost =
+    incr nodes;
+    if !nodes > node_limit then raise Limit;
+    if cost >= !best then ()
+    else if i = n then best := cost
+    else begin
+      let r = items.(i) in
+      (* Existing bins: skip those whose content set we already tried (two
+         bins are equivalent iff they hold the same items; contents here are
+         always distinct, so no dedup is needed beyond feasibility). *)
+      List.iteri
+        (fun k b ->
+          if feasible ~cap b r then begin
+            let b' = add_item b r in
+            let bins' = List.mapi (fun k' x -> if k' = k then b' else x) bins in
+            dfs (i + 1) bins' (total_cost bins')
+          end)
+        bins;
+      (* One fresh bin (all empty bins are interchangeable). *)
+      let fresh = add_item { items = []; spanned = Interval_set.empty } r in
+      let bins' = fresh :: bins in
+      dfs (i + 1) bins' (cost +. pbin_cost fresh)
+    end
+  in
+  try
+    dfs 0 [] 0.0;
+    Ok !best
+  with Limit -> Error (`Node_limit node_limit)
+
+let min_cost_exn ?node_limit inst =
+  match min_cost ?node_limit inst with
+  | Ok x -> x
+  | Error (`Node_limit n) ->
+      failwith (Printf.sprintf "Offline: node limit %d exceeded" n)

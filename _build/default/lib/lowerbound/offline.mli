@@ -1,0 +1,19 @@
+(** Exact offline optimum {e without} repacking.
+
+    A stricter baseline than {!Opt}: each item is assigned to one bin for
+    its whole lifetime (as an online algorithm must), but the assignment is
+    chosen with full knowledge of the future. Sits between the online
+    algorithms and the repacking OPT:
+    [Opt.exact <= Offline.min_cost <= cost(A)] for every online [A].
+    Branch-and-bound over assignments in arrival order; exponential — for
+    small instances only. *)
+
+val min_cost :
+  ?node_limit:int ->
+  Dvbp_core.Instance.t ->
+  (float, [ `Node_limit of int ]) result
+(** Minimum total usage time over all capacity-feasible non-repacking
+    assignments (default node budget 2,000,000). *)
+
+val min_cost_exn : ?node_limit:int -> Dvbp_core.Instance.t -> float
+(** @raise Failure on node-limit exhaustion. *)

@@ -1,0 +1,31 @@
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+module Instance = Dvbp_core.Instance
+module Item = Dvbp_core.Item
+module Floatx = Dvbp_prelude.Floatx
+
+let profile ?node_limit (inst : Instance.t) =
+  let cap = inst.Instance.capacity in
+  let segments = Load_profile.active_segments inst in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (s : Load_profile.active_segment) :: rest -> (
+        let sizes = List.map (fun (r : Item.t) -> r.Item.size) s.Load_profile.active in
+        match Vbp_solver.min_bins ?node_limit ~cap sizes with
+        | Ok bins -> go ((s.Load_profile.interval, bins) :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] segments
+
+let exact ?node_limit inst =
+  match profile ?node_limit inst with
+  | Error _ as e -> e
+  | Ok steps ->
+      Ok
+        (Floatx.kahan_sum
+           (List.map (fun (iv, bins) -> float_of_int bins *. Interval.length iv) steps))
+
+let exact_exn ?node_limit inst =
+  match exact ?node_limit inst with
+  | Ok x -> x
+  | Error (`Node_limit n) -> failwith (Printf.sprintf "Opt: node limit %d exceeded" n)

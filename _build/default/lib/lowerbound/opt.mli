@@ -1,0 +1,23 @@
+(** Exact optimal offline cost, [OPT(R)].
+
+    The paper's optimum may repack items at any time, so by eq. (2)
+    [OPT(R) = ∫ OPT(R, t) dt] where [OPT(R, t)] is the exact vector
+    bin packing optimum of the items active at [t]. The integrand is
+    piecewise constant, so the integral is a finite sum over the constant-
+    load segments, each solved exactly by {!Vbp_solver}. Exponential in the
+    peak number of simultaneously active items — use on small instances
+    (tests, bound verification), not on the Figure 4 workloads. *)
+
+val exact :
+  ?node_limit:int ->
+  Dvbp_core.Instance.t ->
+  (float, [ `Node_limit of int ]) result
+(** Exact [OPT(R)]. The node budget applies per segment. *)
+
+val exact_exn : ?node_limit:int -> Dvbp_core.Instance.t -> float
+(** @raise Failure on node-limit exhaustion. *)
+
+val profile : ?node_limit:int -> Dvbp_core.Instance.t ->
+  ((Dvbp_interval.Interval.t * int) list, [ `Node_limit of int ]) result
+(** The step function [t ↦ OPT(R, t)] as (segment, bins) pairs — eq. (2)'s
+    integrand, useful for plots and tests. *)

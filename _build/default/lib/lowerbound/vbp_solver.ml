@@ -1,0 +1,108 @@
+module Vec = Dvbp_vec.Vec
+
+module Vset = Set.Make (struct
+  type t = Vec.t
+
+  let compare = Vec.compare
+end)
+
+let check_items ~cap items =
+  let zero = Vec.zero ~dim:(Vec.dim cap) in
+  List.iter
+    (fun v ->
+      if not (Vec.fits ~cap ~load:zero v) then
+        invalid_arg "Vbp_solver: item does not fit an empty bin")
+    items
+
+(* Sort descending by relative L∞ size, then lexicographically for
+   determinism: large items first shrinks the search tree. *)
+let sort_desc ~cap items =
+  List.sort
+    (fun a b ->
+      match Float.compare (Vec.linf ~cap b) (Vec.linf ~cap a) with
+      | 0 -> Vec.compare b a
+      | c -> c)
+    items
+
+let ffd_bins ~cap items =
+  check_items ~cap items;
+  let bins = ref [] in
+  List.iter
+    (fun v ->
+      let rec place = function
+        | [] -> bins := !bins @ [ ref v ]
+        | b :: rest ->
+            if Vec.fits ~cap ~load:!b v then b := Vec.add !b v else place rest
+      in
+      place !bins)
+    (sort_desc ~cap items);
+  List.length !bins
+
+let lower_bound ~cap items =
+  match items with
+  | [] -> 0
+  | _ -> Vec.height ~cap (Vec.sum ~dim:(Vec.dim cap) items)
+
+let min_bins ?(node_limit = 2_000_000) ~cap items =
+  check_items ~cap items;
+  match items with
+  | [] -> Ok 0
+  | _ -> (
+      let items = Array.of_list (sort_desc ~cap items) in
+      let n = Array.length items in
+      let d = Vec.dim cap in
+      (* suffix.(i) = total size of items i..n-1, for the residual bound *)
+      let suffix = Array.make (n + 1) (Vec.zero ~dim:d) in
+      for i = n - 1 downto 0 do
+        suffix.(i) <- Vec.add suffix.(i + 1) items.(i)
+      done;
+      let best = ref (ffd_bins ~cap (Array.to_list items)) in
+      let global_lb = lower_bound ~cap (Array.to_list items) in
+      let nodes = ref 0 in
+      let exception Limit in
+      (* Residual bound: remaining load that cannot go into open bins' free
+         space forces at least ⌈excess/cap⌉ fresh bins in some dimension. *)
+      let residual_extra_bins bins i =
+        let extra = ref 0 in
+        for j = 0 to d - 1 do
+          let free =
+            List.fold_left (fun acc b -> acc + (Vec.get cap j - Vec.get b j)) 0 bins
+          in
+          let excess = Vec.get suffix.(i) j - free in
+          if excess > 0 then
+            extra := Int.max !extra (Dvbp_prelude.Intmath.ceil_div excess (Vec.get cap j))
+        done;
+        !extra
+      in
+      let rec dfs i bins used =
+        incr nodes;
+        if !nodes > node_limit then raise Limit;
+        if i = n then (if used < !best then best := used)
+        else if used + residual_extra_bins bins i < !best then begin
+          let v = items.(i) in
+          (* try each distinct existing load exactly once (identical bins
+             are interchangeable) *)
+          let seen = ref Vset.empty in
+          let rec try_bins acc = function
+            | [] -> ()
+            | b :: rest ->
+                if (not (Vset.mem b !seen)) && Vec.fits ~cap ~load:b v then begin
+                  seen := Vset.add b !seen;
+                  dfs (i + 1) (List.rev_append acc (Vec.add b v :: rest)) used
+                end;
+                try_bins (b :: acc) rest
+          in
+          try_bins [] bins;
+          if used + 1 < !best then dfs (i + 1) (v :: bins) (used + 1)
+        end
+      in
+      try
+        if global_lb < !best then dfs 0 [] 0;
+        Ok !best
+      with Limit -> Error (`Node_limit node_limit))
+
+let min_bins_exn ?node_limit ~cap items =
+  match min_bins ?node_limit ~cap items with
+  | Ok n -> n
+  | Error (`Node_limit n) ->
+      failwith (Printf.sprintf "Vbp_solver: node limit %d exceeded" n)

@@ -1,0 +1,28 @@
+(** Exact (static) vector bin packing: minimum number of unit bins holding a
+    set of size vectors.
+
+    This is the inner problem of the paper's eq. (2): [OPT(R, t)] is the
+    smallest number of bins into which the items active at time [t] can be
+    repacked. Branch-and-bound with First-Fit-Decreasing seeding, duplicate-
+    bin symmetry breaking and a residual-load admissible bound; exact but
+    exponential — intended for the instance sizes used in tests and in the
+    exact-OPT baselines, with a node budget as a safety valve. *)
+
+val ffd_bins : cap:Dvbp_vec.Vec.t -> Dvbp_vec.Vec.t list -> int
+(** First Fit Decreasing (by capacity-relative [L∞] size) — an upper bound
+    on the optimum, used to seed the search. [0] for the empty list. *)
+
+val lower_bound : cap:Dvbp_vec.Vec.t -> Dvbp_vec.Vec.t list -> int
+(** The height bound [max_j ⌈Σ sizes_j / cap_j⌉]. *)
+
+val min_bins :
+  ?node_limit:int ->
+  cap:Dvbp_vec.Vec.t ->
+  Dvbp_vec.Vec.t list ->
+  (int, [ `Node_limit of int ]) result
+(** Exact minimum number of bins. Fails with [`Node_limit n] after visiting
+    [n] search nodes (default budget: 2,000,000).
+    @raise Invalid_argument if some vector does not fit an empty bin. *)
+
+val min_bins_exn : ?node_limit:int -> cap:Dvbp_vec.Vec.t -> Dvbp_vec.Vec.t list -> int
+(** @raise Failure on node-limit exhaustion. *)

@@ -1,0 +1,20 @@
+let approx_equal ?(eps = 1e-9) a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= (eps *. scale)
+
+let kahan_sum xs =
+  let sum = ref 0.0 and comp = ref 0.0 in
+  List.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !sum +. y in
+      comp := (t -. !sum) -. y;
+      sum := t)
+    xs;
+  !sum
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Floatx.clamp: lo > hi";
+  if x < lo then lo else if x > hi then hi else x
+
+let is_finite x = Float.is_finite x

@@ -1,0 +1,20 @@
+(** Floating-point helpers for time arithmetic.
+
+    Times in the simulator are floats (generators emit exact integers or
+    simple dyadic rationals, so event ordering is exact); these helpers cover
+    the places where accumulated sums are compared. *)
+
+val approx_equal : ?eps:float -> float -> float -> bool
+(** [approx_equal a b] holds when [|a - b| <= eps * max 1 (|a|, |b|)].
+    Default [eps] is [1e-9]. *)
+
+val kahan_sum : float list -> float
+(** Compensated summation; deterministic and accurate for long series of
+    interval lengths. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] restricts [x] to [\[lo, hi\]].
+    @raise Invalid_argument if [lo > hi]. *)
+
+val is_finite : float -> bool
+(** True when the float is neither infinite nor NaN. *)

@@ -1,0 +1,30 @@
+(** Array-backed binary min-heap.
+
+    The substrate for schedule-keeping in online drivers: a dispatcher
+    feeding {!Dvbp_engine.Session} needs the earliest pending departure in
+    [O(log n)]. Polymorphic in the element, ordered by the comparison given
+    at creation. Not thread-safe. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** Empty heap; smallest element (per [cmp]) pops first. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** Heapify in [O(n)]. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** [O(log n)] insertion. *)
+
+val peek_min : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop_min : 'a t -> 'a option
+(** Removes and returns the smallest element; [None] when empty. Equal
+    elements pop in unspecified relative order. *)
+
+val drain : 'a t -> 'a list
+(** Pops everything; ascending order. The heap is empty afterwards. *)

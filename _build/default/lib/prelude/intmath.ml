@@ -1,0 +1,35 @@
+let ceil_div a b =
+  if a < 0 then invalid_arg "Intmath.ceil_div: negative numerator";
+  if b <= 0 then invalid_arg "Intmath.ceil_div: non-positive denominator";
+  (a + b - 1) / b
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+let mul_checked a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then failwith "Intmath: integer overflow" else p
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (mul_checked (a / gcd a b) b)
+
+let pow b e =
+  if e < 0 then invalid_arg "Intmath.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul_checked acc b) (mul_checked b b) (e asr 1)
+    else go acc (mul_checked b b) (e asr 1)
+  in
+  (* Avoid squaring b one extra time when the remaining exponent is 0/1. *)
+  if e = 0 then 1 else if e = 1 then b else go 1 b e
+
+let sum_checked xs =
+  List.fold_left
+    (fun acc x ->
+      let s = acc + x in
+      if (x > 0 && s < acc) || (x < 0 && s > acc) then
+        failwith "Intmath: integer overflow"
+      else s)
+    0 xs

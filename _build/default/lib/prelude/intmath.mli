@@ -1,0 +1,26 @@
+(** Exact integer arithmetic helpers.
+
+    The packing core works in integer resource units so that every fit
+    decision is exact; these helpers keep the integer arithmetic honest
+    (ceiling division without float round-trips, overflow-checked scaling,
+    gcd/lcm for building exactly-representable adversarial instances). *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [⌈a / b⌉] for [a >= 0] and [b > 0].
+    @raise Invalid_argument if [a < 0] or [b <= 0]. *)
+
+val gcd : int -> int -> int
+(** Greatest common divisor of the absolute values; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** Least common multiple of the absolute values; [lcm 0 _ = 0]. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b{^e}] for [e >= 0] by binary exponentiation.
+    @raise Invalid_argument if [e < 0]. *)
+
+val mul_checked : int -> int -> int
+(** Multiplication that raises [Failure] on signed overflow. *)
+
+val sum_checked : int list -> int
+(** Sum that raises [Failure] on signed overflow. *)

@@ -1,0 +1,58 @@
+let sum_by f xs = Floatx.kahan_sum (List.map f xs)
+
+let max_by f = function
+  | [] -> None
+  | x :: xs ->
+      let best, _ =
+        List.fold_left
+          (fun (bx, bv) y ->
+            let v = f y in
+            if v > bv then (y, v) else (bx, bv))
+          (x, f x) xs
+      in
+      Some best
+
+let min_by f = function
+  | [] -> None
+  | x :: xs ->
+      let best, _ =
+        List.fold_left
+          (fun (bx, bv) y ->
+            let v = f y in
+            if v < bv then (y, v) else (bx, bv))
+          (x, f x) xs
+      in
+      Some best
+
+let range lo hi = if lo > hi then [] else List.init (hi - lo + 1) (fun i -> lo + i)
+
+let take n xs =
+  let rec go n acc = function
+    | [] -> List.rev acc
+    | _ when n <= 0 -> List.rev acc
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] xs
+
+let group_consecutive same xs =
+  let flush group groups =
+    match group with [] -> groups | _ -> List.rev group :: groups
+  in
+  let rec go group groups = function
+    | [] -> List.rev (flush group groups)
+    | x :: rest -> (
+        match group with
+        | y :: _ when same y x -> go (x :: group) groups rest
+        | [] -> go [ x ] groups rest
+        | _ -> go [ x ] (flush group groups) rest)
+  in
+  go [] [] xs
+
+let pairs xs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+        let acc = List.fold_left (fun acc y -> (x, y) :: acc) acc rest in
+        go acc rest
+  in
+  go [] xs

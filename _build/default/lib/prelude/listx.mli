@@ -1,0 +1,22 @@
+(** List helpers used across the project. *)
+
+val sum_by : ('a -> float) -> 'a list -> float
+(** Compensated sum of [f x] over the list. *)
+
+val max_by : ('a -> 'b) -> 'a list -> 'a option
+(** Element maximising [f] (first among ties), [None] on empty input. *)
+
+val min_by : ('a -> 'b) -> 'a list -> 'a option
+(** Element minimising [f] (first among ties), [None] on empty input. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [\[lo; lo+1; ...; hi\]]; empty when [lo > hi]. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (all of them when the list is shorter). *)
+
+val group_consecutive : ('a -> 'a -> bool) -> 'a list -> 'a list list
+(** Groups maximal runs of consecutive elements related by the predicate. *)
+
+val pairs : 'a list -> ('a * 'a) list
+(** All unordered pairs [(x, y)] with [x] before [y] in the list. *)

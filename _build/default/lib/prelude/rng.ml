@@ -1,0 +1,56 @@
+type t = { state : Random.State.t; path : string }
+
+(* A small integer mixer (xorshift-multiply, 63-bit-safe constants)
+   decorrelates child seeds that come from sequential keys. *)
+let mix64 z =
+  let z = z lxor (z lsr 33) in
+  let z = z * 0x2545F4914F6CDD1D in
+  let z = z lxor (z lsr 29) in
+  let z = z * 0x1B873593 in
+  z lxor (z lsr 32)
+
+let create ~seed =
+  { state = Random.State.make [| mix64 seed; seed |]; path = string_of_int seed }
+
+let split t ~key =
+  (* Derive the child from a hash of (a fresh draw-free fingerprint of the
+     parent path, key) so that splitting is independent of how much the
+     parent stream has been consumed. *)
+  let fingerprint = Hashtbl.hash t.path in
+  let child_seed = mix64 ((fingerprint * 0x1000003) lxor key) in
+  {
+    state = Random.State.make [| child_seed; key; fingerprint |];
+    path = t.path ^ "/" ^ string_of_int key;
+  }
+
+let int t bound = Random.State.int t.state bound
+
+let int_incl t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_incl: lo > hi";
+  lo + Random.State.int t.state (hi - lo + 1)
+
+let float t bound = Random.State.float t.state bound
+let bool t = Random.State.bool t.state
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: non-positive mean";
+  let u = 1.0 -. Random.State.float t.state 1.0 in
+  -.mean *. log u
+
+let normal t ~mean ~sigma =
+  if sigma < 0.0 then invalid_arg "Rng.normal: negative sigma";
+  let u1 = 1.0 -. Random.State.float t.state 1.0 in
+  let u2 = Random.State.float t.state 1.0 in
+  mean +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let pareto t ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Rng.pareto: non-positive parameter";
+  let u = 1.0 -. Random.State.float t.state 1.0 in
+  scale /. (u ** (1.0 /. shape))
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(Random.State.int t.state (Array.length a))
+
+let seed_path t = t.path
+let state t = t.state

@@ -1,0 +1,1 @@
+lib/report/ascii_plot.ml: Array Buffer Char Float List Printf String

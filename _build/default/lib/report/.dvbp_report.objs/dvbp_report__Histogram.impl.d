@@ -1,0 +1,1 @@
+lib/report/histogram.ml: Array Buffer Float Int List Printf String

@@ -1,0 +1,50 @@
+type series = { label : string; marker : char; points : (float * float) list }
+
+let render ?(width = 64) ?(height = 20) ?(x_label = "x") ?(y_label = "y") all =
+  if all = [] then invalid_arg "Ascii_plot.render: no series";
+  if width < 2 || height < 2 then invalid_arg "Ascii_plot.render: grid too small";
+  let markers = List.map (fun s -> s.marker) all in
+  if List.length (List.sort_uniq Char.compare markers) <> List.length markers then
+    invalid_arg "Ascii_plot.render: duplicate markers";
+  let points = List.concat_map (fun s -> s.points) all in
+  match points with
+  | [] ->
+      "(no data)\n"
+      ^ String.concat "\n" (List.map (fun s -> Printf.sprintf "%c %s" s.marker s.label) all)
+      ^ "\n"
+  | _ ->
+      let xs = List.map fst points and ys = List.map snd points in
+      let fold f = List.fold_left f in
+      let x0 = fold Float.min infinity xs and x1 = fold Float.max neg_infinity xs in
+      let y0 = fold Float.min infinity ys and y1 = fold Float.max neg_infinity ys in
+      let xr = if x1 > x0 then x1 -. x0 else 1.0 in
+      let yr = if y1 > y0 then y1 -. y0 else 1.0 in
+      let grid = Array.make_matrix height width ' ' in
+      let plot marker (x, y) =
+        let c =
+          int_of_float (Float.round ((x -. x0) /. xr *. float_of_int (width - 1)))
+        in
+        let r =
+          height - 1
+          - int_of_float (Float.round ((y -. y0) /. yr *. float_of_int (height - 1)))
+        in
+        grid.(r).(c) <- (if grid.(r).(c) = ' ' then marker else '+')
+      in
+      List.iter (fun s -> List.iter (plot s.marker) s.points) all;
+      let buf = Buffer.create ((width + 4) * (height + 4)) in
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %.4g .. %.4g   %s: %.4g .. %.4g\n" y_label y0 y1 x_label
+           x0 x1);
+      Array.iter
+        (fun row ->
+          Buffer.add_char buf '|';
+          Buffer.add_string buf (String.init width (Array.get row));
+          Buffer.add_string buf "|\n")
+        grid;
+      Buffer.add_char buf '+';
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_string buf "+\n";
+      List.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf "  %c %s\n" s.marker s.label))
+        all;
+      Buffer.contents buf

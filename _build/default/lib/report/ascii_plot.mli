@@ -1,0 +1,23 @@
+(** Multi-series ASCII line plots — the textual rendering of Figure 4.
+
+    Each series is a set of [(x, y)] points drawn with its marker character
+    on a shared grid; a legend and axis ranges are printed below. Points
+    from different series landing on the same cell show the later series'
+    marker ['*'] turning into ['+'] to flag the collision. *)
+
+type series = {
+  label : string;
+  marker : char;
+  points : (float * float) list;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** Default grid 64×20. Series with no points are listed in the legend but
+    draw nothing. @raise Invalid_argument on an empty series list or
+    duplicate markers. *)

@@ -1,0 +1,24 @@
+let render ?(bins = 10) ?(width = 40) samples =
+  if samples = [] then invalid_arg "Histogram.render: empty sample list";
+  if bins < 1 then invalid_arg "Histogram.render: bins < 1";
+  if width < 1 then invalid_arg "Histogram.render: width < 1";
+  let lo = List.fold_left Float.min infinity samples in
+  let hi = List.fold_left Float.max neg_infinity samples in
+  let span = if hi > lo then hi -. lo else 1.0 in
+  let counts = Array.make bins 0 in
+  List.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. span *. float_of_int bins) in
+      let b = Int.min (bins - 1) (Int.max 0 b) in
+      counts.(b) <- counts.(b) + 1)
+    samples;
+  let peak = Array.fold_left Int.max 1 counts in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i c ->
+      let from = lo +. (span *. float_of_int i /. float_of_int bins) in
+      let till = lo +. (span *. float_of_int (i + 1) /. float_of_int bins) in
+      let bar = String.make (c * width / peak) '#' in
+      Buffer.add_string buf (Printf.sprintf "[%8.4f, %8.4f) %5d |%s\n" from till c bar))
+    counts;
+  Buffer.contents buf

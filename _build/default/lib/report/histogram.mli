@@ -1,0 +1,10 @@
+(** Horizontal ASCII histograms for ratio distributions.
+
+    Figure 4 reports mean ± std; a histogram of the per-instance ratios
+    shows the shape behind those two numbers (skew, outliers — Random Fit
+    and Worst Fit have visibly heavier tails). *)
+
+val render : ?bins:int -> ?width:int -> float list -> string
+(** Equal-width bins over the data range (default 10 bins, bars up to 40
+    cells). Each line shows the bin's range, count, and a bar scaled to the
+    modal bin. @raise Invalid_argument on an empty list or [bins < 1]. *)

@@ -1,0 +1,35 @@
+let check_arity ~header ~rows =
+  let n = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> n then
+        invalid_arg
+          (Printf.sprintf "Table: row %d has %d fields, header has %d" i
+             (List.length row) n))
+    rows
+
+let render ~header ~rows =
+  check_arity ~header ~rows;
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> Int.max w (String.length cell)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  let pad w s = s ^ String.make (w - String.length s) ' ' in
+  let line cells = String.concat "  " (List.map2 pad widths cells) in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" ((line header :: rule :: List.map line rows) @ [ "" ])
+
+let escape_csv field =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+  in
+  if needs_quote then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let to_csv ~header ~rows =
+  check_arity ~header ~rows;
+  let line cells = String.concat "," (List.map escape_csv cells) in
+  String.concat "\n" ((line header :: List.map line rows) @ [ "" ])

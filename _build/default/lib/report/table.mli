@@ -1,0 +1,11 @@
+(** Aligned plain-text tables and CSV emission for experiment reports. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Column-aligned table with a header rule. Every row must have the same
+    arity as the header.
+    @raise Invalid_argument on ragged input. *)
+
+val to_csv : header:string list -> rows:string list list -> string
+(** RFC-4180-ish CSV (fields containing commas, double quotes, or newlines
+    are quoted).
+    @raise Invalid_argument on ragged input. *)

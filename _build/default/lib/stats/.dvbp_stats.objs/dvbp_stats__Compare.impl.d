@@ -1,0 +1,1 @@
+lib/stats/compare.ml: Array Float Fun Normal Summary

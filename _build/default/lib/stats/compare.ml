@@ -1,0 +1,81 @@
+type rank_sum_result = {
+  u : float;
+  z : float;
+  p_two_sided : float;
+  median_shift : float;
+}
+
+(* Midranks of the concatenation, plus the tie-correction term
+   Σ (t³ − t) over tie groups. *)
+let midranks values =
+  let n = Array.length values in
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> Float.compare values.(i) values.(j)) order;
+  let ranks = Array.make n 0.0 in
+  let tie_term = ref 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && values.(order.(!j + 1)) = values.(order.(!i)) do
+      incr j
+    done;
+    let group = float_of_int (!j - !i + 1) in
+    let rank = (float_of_int (!i + !j) /. 2.0) +. 1.0 in
+    for k = !i to !j do
+      ranks.(order.(k)) <- rank
+    done;
+    tie_term := !tie_term +. ((group ** 3.0) -. group);
+    i := !j + 1
+  done;
+  (ranks, !tie_term)
+
+let median a =
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  Summary.quantile sorted 0.5
+
+let rank_sum a b =
+  let n1 = Array.length a and n2 = Array.length b in
+  if n1 = 0 || n2 = 0 then invalid_arg "Compare.rank_sum: empty sample";
+  let combined = Array.append a b in
+  let ranks, tie_term = midranks combined in
+  let r1 = ref 0.0 in
+  for i = 0 to n1 - 1 do
+    r1 := !r1 +. ranks.(i)
+  done;
+  let n1f = float_of_int n1 and n2f = float_of_int n2 in
+  let u = !r1 -. (n1f *. (n1f +. 1.0) /. 2.0) in
+  let mean_u = n1f *. n2f /. 2.0 in
+  let n = n1f +. n2f in
+  let var_u =
+    n1f *. n2f /. 12.0 *. ((n +. 1.0) -. (tie_term /. (n *. (n -. 1.0))))
+  in
+  let z = if var_u > 0.0 then (u -. mean_u) /. sqrt var_u else 0.0 in
+  {
+    u;
+    z;
+    p_two_sided = (if var_u > 0.0 then Normal.two_sided_p z else 1.0);
+    median_shift = median a -. median b;
+  }
+
+let significantly_less ?(alpha = 0.05) a b =
+  let r = rank_sum a b in
+  (* one-sided via halved two-sided p in the right direction *)
+  r.z < 0.0 && r.p_two_sided /. 2.0 < alpha
+
+let mean_confidence_interval ?(confidence = 0.95) samples =
+  if Array.length samples < 2 then
+    invalid_arg "Compare.mean_confidence_interval: need at least two samples";
+  let s = Summary.of_samples (Array.to_list samples) in
+  (* invert the normal CDF for the needed quantile by bisection — no closed
+     form required, and the function is monotone *)
+  let q = 1.0 -. ((1.0 -. confidence) /. 2.0) in
+  let rec invert lo hi =
+    let mid = (lo +. hi) /. 2.0 in
+    if hi -. lo < 1e-9 then mid
+    else if Normal.cdf mid < q then invert mid hi
+    else invert lo mid
+  in
+  let z = invert 0.0 10.0 in
+  let half = z *. s.Summary.stddev /. sqrt (float_of_int s.Summary.count) in
+  (s.Summary.mean -. half, s.Summary.mean +. half)

@@ -1,0 +1,27 @@
+(** Statistical comparison of two sample sets (e.g. two policies' ratio
+    distributions over the same random instances).
+
+    The paper's Figure 4 claims an ordering of the policies; these tests
+    say whether an observed gap is signal or noise. *)
+
+type rank_sum_result = {
+  u : float;  (** Mann–Whitney U statistic of the first sample *)
+  z : float;  (** normal approximation z-score (tie-corrected) *)
+  p_two_sided : float;
+  median_shift : float;  (** median(a) − median(b), for direction *)
+}
+
+val rank_sum : float array -> float array -> rank_sum_result
+(** Mann–Whitney U test with the normal approximation and tie correction.
+    Suitable for the sample sizes used here (>= ~20 per side).
+    @raise Invalid_argument if either sample is empty. *)
+
+val significantly_less : ?alpha:float -> float array -> float array -> bool
+(** [significantly_less a b] — is [a] stochastically smaller than [b] at
+    level [alpha] (default 0.05)? One-sided: requires both a small two-sided
+    p and a negative median shift. *)
+
+val mean_confidence_interval :
+  ?confidence:float -> float array -> float * float
+(** Normal-approximation CI for the mean (default 95%).
+    @raise Invalid_argument on fewer than two samples. *)

@@ -1,0 +1,17 @@
+let pdf x = exp (-0.5 *. x *. x) /. sqrt (2.0 *. Float.pi)
+
+(* Abramowitz & Stegun 7.1.26 for erf on x >= 0. *)
+let erf x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t *. (-0.284496736 +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  sign *. (1.0 -. (poly *. exp (-.x *. x)))
+
+let cdf x = 0.5 *. (1.0 +. erf (x /. sqrt 2.0))
+
+let two_sided_p z = 2.0 *. (1.0 -. cdf (Float.abs z))

@@ -1,0 +1,12 @@
+(** The standard normal distribution (for test statistics).
+
+    Only what the comparison tests need: density, CDF (Abramowitz–Stegun
+    7.1.26 rational approximation of erf, absolute error < 1.5e-7) and a
+    two-sided tail probability. *)
+
+val pdf : float -> float
+val cdf : float -> float
+(** [P(Z <= x)] for [Z ~ N(0,1)]. *)
+
+val two_sided_p : float -> float
+(** [P(|Z| >= |z|)] — the two-sided p-value of a z-score. *)

@@ -1,0 +1,27 @@
+(** Single-pass (Welford) accumulation of mean and variance.
+
+    Figure 4 of the paper reports mean ± standard deviation over 1000
+    random instances per sweep point; this accumulator produces both without
+    storing the samples. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** @raise Failure on an empty accumulator. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0] when fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** @raise Failure on an empty accumulator. *)
+
+val max_value : t -> float
+(** @raise Failure on an empty accumulator. *)
+
+val merge : t -> t -> t
+(** Combines two accumulators (Chan's parallel update); inputs unchanged. *)

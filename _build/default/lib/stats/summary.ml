@@ -1,0 +1,44 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.quantile: empty input";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.quantile: q out of [0,1]";
+  if n = 1 then sorted.(0)
+  else
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Int.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let of_samples samples =
+  if samples = [] then invalid_arg "Summary.of_samples: empty list";
+  let acc = Running.create () in
+  List.iter (Running.add acc) samples;
+  let sorted = Array.of_list samples in
+  Array.sort Float.compare sorted;
+  {
+    count = Running.count acc;
+    mean = Running.mean acc;
+    stddev = Running.stddev acc;
+    min = Running.min_value acc;
+    max = Running.max_value acc;
+    median = quantile sorted 0.5;
+    p90 = quantile sorted 0.9;
+    p99 = quantile sorted 0.99;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d mean=%.4f sd=%.4f min=%.4f med=%.4f p90=%.4f p99=%.4f max=%.4f"
+    t.count t.mean t.stddev t.min t.median t.p90 t.p99 t.max

@@ -1,0 +1,22 @@
+(** Batch summaries of stored samples: quantiles and pretty-printing. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+val of_samples : float list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val quantile : float array -> float -> float
+(** [quantile sorted q] is the linearly-interpolated [q]-quantile
+    ([0 <= q <= 1]) of an ascending-sorted array.
+    @raise Invalid_argument on empty input or [q] out of range. *)
+
+val pp : Format.formatter -> t -> unit

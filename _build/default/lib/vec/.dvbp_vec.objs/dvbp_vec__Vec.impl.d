@@ -1,0 +1,1 @@
+lib/vec/vec.ml: Array Dvbp_prelude Format List Printf Stdlib

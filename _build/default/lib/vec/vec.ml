@@ -1,0 +1,112 @@
+type t = int array
+
+let validate ?(what = "Vec") a =
+  if Array.length a = 0 then invalid_arg (what ^ ": empty vector");
+  Array.iter (fun x -> if x < 0 then invalid_arg (what ^ ": negative entry")) a
+
+let of_array a =
+  validate a;
+  Array.copy a
+
+let of_list l = of_array (Array.of_list l)
+
+let make ~dim c =
+  if dim <= 0 then invalid_arg "Vec.make: non-positive dimension";
+  if c < 0 then invalid_arg "Vec.make: negative entry";
+  Array.make dim c
+
+let zero ~dim = make ~dim 0
+
+let unit_scaled ~dim ~axis ~on_axis ~off_axis =
+  if dim <= 0 then invalid_arg "Vec.unit_scaled: non-positive dimension";
+  if axis < 0 || axis >= dim then invalid_arg "Vec.unit_scaled: axis out of range";
+  if on_axis < 0 || off_axis < 0 then invalid_arg "Vec.unit_scaled: negative entry";
+  Array.init dim (fun j -> if j = axis then on_axis else off_axis)
+
+let dim = Array.length
+let get v j = v.(j)
+let to_array = Array.copy
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+                   (Array.length a) (Array.length b))
+
+let add a b =
+  check_dims "add" a b;
+  Array.init (Array.length a) (fun j -> a.(j) + b.(j))
+
+let sub a b =
+  check_dims "sub" a b;
+  Array.init (Array.length a) (fun j ->
+      let x = a.(j) - b.(j) in
+      if x < 0 then invalid_arg "Vec.sub: negative result" else x)
+
+let scale c v =
+  if c < 0 then invalid_arg "Vec.scale: negative factor";
+  Array.map (fun x -> Dvbp_prelude.Intmath.mul_checked c x) v
+
+let sum ~dim vs = List.fold_left add (zero ~dim) vs
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 ( = ) a b
+let compare = Stdlib.compare
+
+let le a b =
+  check_dims "le" a b;
+  let rec go j = j >= Array.length a || (a.(j) <= b.(j) && go (j + 1)) in
+  go 0
+
+let fits ~cap ~load v =
+  check_dims "fits" load v;
+  check_dims "fits" load cap;
+  let rec go j =
+    j >= Array.length v || (load.(j) + v.(j) <= cap.(j) && go (j + 1))
+  in
+  go 0
+
+let is_zero v = Array.for_all (fun x -> x = 0) v
+let max_coord v = Array.fold_left max v.(0) v
+let sum_coords v = Array.fold_left ( + ) 0 v
+
+let check_cap name cap v =
+  check_dims name v cap;
+  Array.iter (fun c -> if c <= 0 then invalid_arg ("Vec." ^ name ^ ": zero capacity")) cap
+
+let linf ~cap v =
+  check_cap "linf" cap v;
+  let best = ref 0.0 in
+  Array.iteri (fun j x ->
+      let r = float_of_int x /. float_of_int cap.(j) in
+      if r > !best then best := r)
+    v;
+  !best
+
+let l1 ~cap v =
+  check_cap "l1" cap v;
+  let acc = ref 0.0 in
+  Array.iteri (fun j x -> acc := !acc +. (float_of_int x /. float_of_int cap.(j))) v;
+  !acc
+
+let lp ~p ~cap v =
+  if p < 1.0 then invalid_arg "Vec.lp: p < 1";
+  check_cap "lp" cap v;
+  let acc = ref 0.0 in
+  Array.iteri (fun j x -> acc := !acc +. ((float_of_int x /. float_of_int cap.(j)) ** p)) v;
+  !acc ** (1.0 /. p)
+
+let height ~cap v =
+  check_cap "height" cap v;
+  let best = ref 0 in
+  Array.iteri (fun j x ->
+      let h = Dvbp_prelude.Intmath.ceil_div x cap.(j) in
+      if h > !best then best := h)
+    v;
+  !best
+
+let pp ppf v =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (Array.to_list v)
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,109 @@
+(** [d]-dimensional resource vectors in exact integer units.
+
+    The paper normalises bins to the unit cube [1{^d}] and item sizes to
+    [\[0,1\]{^d}]; we instead keep an explicit integer capacity vector (the
+    experiments in the paper already use integer sizes in [{1..B}{^d}] with
+    [B = 100]) so that every fit decision — including the strict
+    "[load > capacity] in some dimension" overflow arguments of the proofs —
+    is computed exactly, with no float-epsilon hazards. Normalised
+    ([capacity]-relative) views are provided for reporting and for the
+    [L∞]-based quantities of Lemma 1.
+
+    Values are immutable; all entries are non-negative. *)
+
+type t
+(** An immutable vector of non-negative integer resource amounts. *)
+
+(** {1 Construction} *)
+
+val of_array : int array -> t
+(** Copies the array.
+    @raise Invalid_argument on an empty array or any negative entry. *)
+
+val of_list : int list -> t
+(** Same as {!of_array} from a list. *)
+
+val make : dim:int -> int -> t
+(** [make ~dim c] is the vector with [dim] coordinates all equal to [c].
+    @raise Invalid_argument if [dim <= 0] or [c < 0]. *)
+
+val zero : dim:int -> t
+(** All-zero vector. *)
+
+val unit_scaled : dim:int -> axis:int -> on_axis:int -> off_axis:int -> t
+(** Vector equal to [on_axis] on [axis] and [off_axis] elsewhere — the shape
+    of every item in the paper's adversarial constructions.
+    @raise Invalid_argument if [axis] is out of range or a value is
+    negative. *)
+
+(** {1 Access} *)
+
+val dim : t -> int
+val get : t -> int -> int
+val to_array : t -> int array
+(** Fresh copy. *)
+
+(** {1 Algebra} *)
+
+val add : t -> t -> t
+(** Componentwise sum.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val sub : t -> t -> t
+(** Componentwise difference.
+    @raise Invalid_argument on dimension mismatch or if any coordinate would
+    become negative. *)
+
+val scale : int -> t -> t
+(** [scale c v] multiplies every coordinate by [c >= 0]. *)
+
+val sum : dim:int -> t list -> t
+(** Sum of a list of vectors; the all-zero vector for the empty list. *)
+
+(** {1 Comparisons} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic; total order for use in maps/sets. *)
+
+val le : t -> t -> bool
+(** Componentwise [<=]. @raise Invalid_argument on dimension mismatch. *)
+
+val fits : cap:t -> load:t -> t -> bool
+(** [fits ~cap ~load v] holds iff [load + v <= cap] in every dimension —
+    the exact fit test used by every Any Fit policy.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val is_zero : t -> bool
+
+(** {1 Scalar summaries} *)
+
+val max_coord : t -> int
+(** Largest coordinate. *)
+
+val sum_coords : t -> int
+(** Sum of coordinates ([L1] in integer units). *)
+
+(** {1 Capacity-relative norms}
+
+    All take the capacity vector and return floats in [\[0, ∞)]. *)
+
+val linf : cap:t -> t -> float
+(** [max_j v_j / cap_j] — the [‖·‖∞] of the paper after normalisation. *)
+
+val l1 : cap:t -> t -> float
+(** [Σ_j v_j / cap_j]. *)
+
+val lp : p:float -> cap:t -> t -> float
+(** [(Σ_j (v_j / cap_j)^p)^(1/p)] for [p >= 1]. *)
+
+val height : cap:t -> t -> int
+(** [max_j ⌈v_j / cap_j⌉] — the minimum number of bins forced by this total
+    load in its most loaded dimension (the integrand of Lemma 1 (i)). *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [(a, b, ...)]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/workload/arrival_process.ml: Dvbp_prelude Float List

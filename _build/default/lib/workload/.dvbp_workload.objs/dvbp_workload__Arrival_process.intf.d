@@ -1,0 +1,1 @@
+lib/workload/arrival_process.mli: Dvbp_prelude

@@ -1,0 +1,1 @@
+lib/workload/bursty.ml: Array Dvbp_core Dvbp_prelude Dvbp_vec Float List Uniform_model

@@ -1,0 +1,1 @@
+lib/workload/bursty.mli: Dvbp_core Dvbp_prelude Uniform_model

@@ -1,0 +1,1 @@
+lib/workload/cloud_gaming.mli: Dvbp_core Dvbp_prelude

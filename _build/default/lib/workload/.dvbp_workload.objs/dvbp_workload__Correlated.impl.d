@@ -1,0 +1,1 @@
+lib/workload/correlated.ml: Array Dvbp_core Dvbp_prelude Dvbp_vec Int List Uniform_model

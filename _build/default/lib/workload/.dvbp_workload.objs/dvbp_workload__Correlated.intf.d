@@ -1,0 +1,1 @@
+lib/workload/correlated.mli: Dvbp_core Dvbp_prelude Uniform_model

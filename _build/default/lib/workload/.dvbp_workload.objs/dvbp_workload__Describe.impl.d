@@ -1,0 +1,1 @@
+lib/workload/describe.ml: Dvbp_core Dvbp_prelude Dvbp_report Dvbp_vec Float Fun Int List Printf

@@ -1,0 +1,1 @@
+lib/workload/describe.mli: Dvbp_core

@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Array Buffer Dvbp_core Dvbp_vec Fun In_channel List Printf Result String

@@ -1,0 +1,1 @@
+lib/workload/uniform_model.ml: Array Dvbp_core Dvbp_prelude Dvbp_vec List

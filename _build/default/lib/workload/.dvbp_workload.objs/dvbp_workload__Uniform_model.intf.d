@@ -1,0 +1,1 @@
+lib/workload/uniform_model.mli: Dvbp_core Dvbp_prelude Dvbp_vec

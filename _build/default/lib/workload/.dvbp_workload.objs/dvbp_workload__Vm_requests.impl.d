@@ -1,0 +1,1 @@
+lib/workload/vm_requests.ml: Array Arrival_process Dvbp_core Dvbp_prelude Dvbp_vec List

@@ -1,0 +1,1 @@
+lib/workload/vm_requests.mli: Dvbp_core Dvbp_prelude

@@ -1,0 +1,50 @@
+module Rng = Dvbp_prelude.Rng
+
+type t =
+  | Uniform_grid of { lo : int; hi : int }
+  | Poisson of { rate : float }
+  | Modulated_poisson of { base_rate : float; amplitude : float; period : float }
+
+let validate = function
+  | Uniform_grid { lo; hi } ->
+      if lo > hi then Error "Arrival_process: empty grid range" else Ok ()
+  | Poisson { rate } ->
+      if rate <= 0.0 then Error "Arrival_process: rate must be positive" else Ok ()
+  | Modulated_poisson { base_rate; amplitude; period } ->
+      if base_rate <= 0.0 then Error "Arrival_process: base_rate must be positive"
+      else if amplitude < 0.0 || amplitude >= 1.0 then
+        Error "Arrival_process: amplitude must lie in [0, 1)"
+      else if period <= 0.0 then Error "Arrival_process: period must be positive"
+      else Ok ()
+
+let modulated_rate ~base_rate ~amplitude ~period t =
+  base_rate *. (1.0 +. (amplitude *. sin (2.0 *. Float.pi *. t /. period)))
+
+(* Lewis–Shedler: candidates at the peak rate, kept with probability
+   rate(t)/rate_max, give an exact inhomogeneous Poisson process. *)
+let next_modulated ~base_rate ~amplitude ~period ~rng clock =
+  let rate_max = base_rate *. (1.0 +. amplitude) in
+  let rec go t =
+    let t = t +. Rng.exponential rng ~mean:(1.0 /. rate_max) in
+    if Rng.float rng 1.0 <= modulated_rate ~base_rate ~amplitude ~period t /. rate_max
+    then t
+    else go t
+  in
+  go clock
+
+let generate process ~n ~rng =
+  (match validate process with Ok () -> () | Error e -> invalid_arg e);
+  if n < 0 then invalid_arg "Arrival_process.generate: negative n";
+  match process with
+  | Uniform_grid { lo; hi } ->
+      List.init n (fun _ -> float_of_int (Rng.int_incl rng ~lo ~hi))
+  | Poisson { rate } ->
+      let clock = ref 0.0 in
+      List.init n (fun _ ->
+          clock := !clock +. Rng.exponential rng ~mean:(1.0 /. rate);
+          !clock)
+  | Modulated_poisson { base_rate; amplitude; period } ->
+      let clock = ref 0.0 in
+      List.init n (fun _ ->
+          clock := next_modulated ~base_rate ~amplitude ~period ~rng !clock;
+          !clock)

@@ -1,0 +1,28 @@
+(** Arrival-time processes shared by the workload generators.
+
+    Every generator needs a stream of arrival instants; this module factors
+    the three processes used across the suite so they are implemented (and
+    tested) once:
+    - uniform integer arrivals on a grid (the paper's Table 2 model),
+    - homogeneous Poisson (cloud-gaming sessions),
+    - inhomogeneous Poisson via Lewis–Shedler thinning (diurnal VM load). *)
+
+type t =
+  | Uniform_grid of { lo : int; hi : int }
+      (** independent integer instants, uniform on [\[lo, hi\]] (not
+          ordered) *)
+  | Poisson of { rate : float }
+      (** ordered instants with exponential inter-arrival times *)
+  | Modulated_poisson of {
+      base_rate : float;
+      amplitude : float;  (** in [\[0, 1)] *)
+      period : float;
+    }
+      (** ordered instants from rate
+          [base·(1 + amplitude·sin(2πt/period))], exact via thinning *)
+
+val validate : t -> (unit, string) result
+
+val generate : t -> n:int -> rng:Dvbp_prelude.Rng.t -> float list
+(** [n] arrival instants; ordered for the Poisson variants, i.i.d. for the
+    grid. @raise Invalid_argument when {!validate} fails or [n < 0]. *)

@@ -1,0 +1,59 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Rng = Dvbp_prelude.Rng
+
+type params = {
+  base : Uniform_model.params;
+  bursts : int;
+  burst_size : int;
+  burst_width : float;
+}
+
+let default =
+  {
+    base = { Uniform_model.default with Uniform_model.n = 600 };
+    bursts = 8;
+    burst_size = 50;
+    burst_width = 2.0;
+  }
+
+let validate p =
+  match Uniform_model.validate p.base with
+  | Error _ as e -> e
+  | Ok () ->
+      if p.bursts < 0 then Error "Bursty: negative burst count"
+      else if p.burst_size <= 0 then Error "Bursty: burst_size must be positive"
+      else if p.burst_width <= 0.0 then Error "Bursty: burst_width must be positive"
+      else if p.burst_width >= float_of_int p.base.Uniform_model.span then
+        Error "Bursty: burst_width exceeds the span"
+      else Ok ()
+
+let generate p ~rng =
+  (match validate p with Ok () -> () | Error e -> invalid_arg e);
+  let b = p.base in
+  let size () =
+    Vec.of_array
+      (Array.init b.Uniform_model.d (fun _ ->
+           Rng.int_incl rng ~lo:1 ~hi:b.Uniform_model.bin_size))
+  in
+  let duration () = float_of_int (Rng.int_incl rng ~lo:1 ~hi:b.Uniform_model.mu) in
+  let baseline =
+    List.init b.Uniform_model.n (fun _ ->
+        let arrival =
+          float_of_int
+            (Rng.int_incl rng ~lo:0 ~hi:(b.Uniform_model.span - b.Uniform_model.mu))
+        in
+        (arrival, arrival +. duration (), size ()))
+  in
+  let burst_window = float_of_int (b.Uniform_model.span - b.Uniform_model.mu) in
+  let burst_items =
+    List.concat
+      (List.init p.bursts (fun _ ->
+           let start = Rng.float rng (Float.max 1e-9 (burst_window -. p.burst_width)) in
+           List.init p.burst_size (fun _ ->
+               let arrival = start +. Rng.float rng p.burst_width in
+               (arrival, arrival +. duration (), size ()))))
+  in
+  Instance.of_specs_exn
+    ~capacity:(Uniform_model.capacity b)
+    (baseline @ burst_items)

@@ -1,0 +1,25 @@
+(** Flash-crowd workload: a quiet baseline punctuated by arrival bursts.
+
+    Cloud gaming sees exactly this shape (evening peaks, launch-day
+    spikes). A baseline Poisson stream is overlaid with burst episodes;
+    during a burst, a clump of items lands within a short window. Bursts
+    stress {e alignment}: items arriving together depart together, so
+    policies that co-locate them (Move To Front, Next Fit) should shine —
+    this generator exists to test that §7 intuition. Sizes and durations
+    follow the Table 2 uniform model. *)
+
+type params = {
+  base : Uniform_model.params;  (** sizes/durations/bin size; [n] is the
+                                    {e baseline} item count *)
+  bursts : int;  (** number of burst episodes spread over the span *)
+  burst_size : int;  (** items per burst *)
+  burst_width : float;  (** window (time units) a burst's arrivals land in *)
+}
+
+val default : params
+(** 600 baseline items, 8 bursts of 50 items within windows of 2. *)
+
+val validate : params -> (unit, string) result
+
+val generate : params -> rng:Dvbp_prelude.Rng.t -> Dvbp_core.Instance.t
+(** @raise Invalid_argument when {!validate} fails. *)

@@ -1,0 +1,83 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Rng = Dvbp_prelude.Rng
+module Floatx = Dvbp_prelude.Floatx
+
+let dimension_names = [ "gpu"; "bandwidth"; "memory" ]
+
+type preset = { label : string; demand : int array; weight : float }
+
+let default_presets =
+  [
+    { label = "720p"; demand = [| 20; 15; 10 |]; weight = 0.5 };
+    { label = "1080p"; demand = [| 35; 25; 20 |]; weight = 0.35 };
+    { label = "4k"; demand = [| 60; 50; 35 |]; weight = 0.15 };
+  ]
+
+type params = {
+  n : int;
+  presets : preset list;
+  mean_session : float;
+  max_session : float;
+  arrival_rate : float;
+  server_capacity : int;
+}
+
+let default =
+  {
+    n = 500;
+    presets = default_presets;
+    mean_session = 30.0;
+    max_session = 180.0;
+    arrival_rate = 2.0;
+    server_capacity = 100;
+  }
+
+let validate p =
+  if p.n <= 0 then Error "Cloud_gaming: n must be positive"
+  else if p.presets = [] then Error "Cloud_gaming: empty preset list"
+  else if List.exists (fun pr -> pr.weight <= 0.0) p.presets then
+    Error "Cloud_gaming: preset weights must be positive"
+  else if
+    List.exists
+      (fun pr ->
+        Array.length pr.demand <> List.length dimension_names
+        || Array.exists (fun x -> x <= 0 || x > p.server_capacity) pr.demand)
+      p.presets
+  then Error "Cloud_gaming: preset demand out of range"
+  else if p.mean_session <= 0.0 || p.max_session < 1.0 then
+    Error "Cloud_gaming: session lengths must be positive (max >= 1)"
+  else if p.arrival_rate <= 0.0 then Error "Cloud_gaming: arrival_rate must be positive"
+  else if p.server_capacity <= 0 then Error "Cloud_gaming: capacity must be positive"
+  else Ok ()
+
+(* Weighted preset choice by inverse CDF over the weight prefix sums. *)
+let pick_preset presets ~rng =
+  let total = List.fold_left (fun acc pr -> acc +. pr.weight) 0.0 presets in
+  let x = Rng.float rng total in
+  let rec go acc = function
+    | [ pr ] -> pr
+    | pr :: rest -> if x < acc +. pr.weight then pr else go (acc +. pr.weight) rest
+    | [] -> assert false
+  in
+  go 0.0 presets
+
+let generate p ~rng =
+  (match validate p with Ok () -> () | Error e -> invalid_arg e);
+  let capacity = Vec.make ~dim:(List.length dimension_names) p.server_capacity in
+  let arrivals =
+    Arrival_process.generate
+      (Arrival_process.Poisson { rate = p.arrival_rate })
+      ~n:p.n ~rng
+  in
+  let specs =
+    List.map
+      (fun arrival ->
+        let duration =
+          Floatx.clamp ~lo:1.0 ~hi:p.max_session (Rng.exponential rng ~mean:p.mean_session)
+        in
+        let preset = pick_preset p.presets ~rng in
+        (arrival, arrival +. duration, Vec.of_array preset.demand))
+      arrivals
+  in
+  Instance.of_specs_exn ~capacity specs

@@ -1,0 +1,37 @@
+(** Cloud-gaming workload (the paper's §1 motivating application).
+
+    Game sessions are dispatched to rented gaming servers. Each session has
+    a three-dimensional demand — GPU share, bandwidth, memory — drawn from a
+    quality preset (720p / 1080p / 4K), a heavy-ish-tailed play duration
+    (exponential, truncated to [\[1, max\]]), and Poisson arrivals. The
+    paper uses only the uniform model of Table 2; this generator exercises
+    the same code paths on the scenario the introduction motivates, and is
+    documented in DESIGN.md as an extension. *)
+
+val dimension_names : string list
+(** [\["gpu"; "bandwidth"; "memory"\]]. *)
+
+type preset = {
+  label : string;
+  demand : int array;  (** per-dimension demand, percent of a server *)
+  weight : float;  (** relative popularity *)
+}
+
+val default_presets : preset list
+(** 720p / 1080p / 4K with demands around 20–60% of a server. *)
+
+type params = {
+  n : int;  (** number of sessions *)
+  presets : preset list;
+  mean_session : float;  (** mean session length (minutes) *)
+  max_session : float;  (** truncation point; also bounds µ *)
+  arrival_rate : float;  (** sessions per minute *)
+  server_capacity : int;  (** capacity per dimension (100 = one server) *)
+}
+
+val default : params
+
+val validate : params -> (unit, string) result
+
+val generate : params -> rng:Dvbp_prelude.Rng.t -> Dvbp_core.Instance.t
+(** @raise Invalid_argument when {!validate} fails. *)

@@ -1,0 +1,37 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Rng = Dvbp_prelude.Rng
+
+type params = { base : Uniform_model.params; rho : float }
+
+let validate p =
+  match Uniform_model.validate p.base with
+  | Error _ as e -> e
+  | Ok () ->
+      if p.rho < 0.0 || p.rho > 1.0 then Error "Correlated: rho must lie in [0, 1]"
+      else Ok ()
+
+let generate p ~rng =
+  (match validate p with Ok () -> () | Error e -> invalid_arg e);
+  let b = p.base in
+  let quantile u =
+    (* maps [0,1) to {1..B} uniformly *)
+    1 + Int.min (b.Uniform_model.bin_size - 1)
+          (int_of_float (u *. float_of_int b.Uniform_model.bin_size))
+  in
+  let specs =
+    List.init b.Uniform_model.n (fun _ ->
+        let arrival =
+          Rng.int_incl rng ~lo:0 ~hi:(b.Uniform_model.span - b.Uniform_model.mu)
+        in
+        let duration = Rng.int_incl rng ~lo:1 ~hi:b.Uniform_model.mu in
+        let common = Rng.float rng 1.0 in
+        let size =
+          Vec.of_array
+            (Array.init b.Uniform_model.d (fun _ ->
+                 let own = Rng.float rng 1.0 in
+                 quantile ((p.rho *. common) +. ((1.0 -. p.rho) *. own))))
+        in
+        (float_of_int arrival, float_of_int (arrival + duration), size))
+  in
+  Instance.of_specs_exn ~capacity:(Uniform_model.capacity b) specs

@@ -1,0 +1,18 @@
+(** Uniform model with correlated dimensions.
+
+    Real multi-resource demands are correlated (a big VM is big in CPU {e
+    and} memory). This generator interpolates between the paper's fully
+    independent per-dimension sizes ([rho = 0]) and perfectly comonotone
+    sizes ([rho = 1]) with a common-factor model:
+    [size_j = quantile(rho·u + (1−rho)·u_j)] where [u, u_j ~ U(0,1)].
+    Everything else follows Table 2. Used by the correlation ablation. *)
+
+type params = {
+  base : Uniform_model.params;
+  rho : float;  (** correlation knob in [\[0, 1\]] *)
+}
+
+val validate : params -> (unit, string) result
+
+val generate : params -> rng:Dvbp_prelude.Rng.t -> Dvbp_core.Instance.t
+(** @raise Invalid_argument when {!validate} fails. *)

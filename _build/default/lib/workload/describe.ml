@@ -1,0 +1,80 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Item = Dvbp_core.Item
+module Listx = Dvbp_prelude.Listx
+
+type t = {
+  items : int;
+  dimensions : int;
+  mu : float;
+  span : float;
+  horizon : float;
+  mean_duration : float;
+  mean_relative_size : float;
+  max_relative_size : float;
+  peak_active : int;
+  mean_active : float;
+  utilisation : float;
+}
+
+(* peak concurrent items by an arrival/departure sweep *)
+let peak_active (inst : Instance.t) =
+  let events =
+    List.concat_map
+      (fun (r : Item.t) -> [ (r.Item.arrival, 1); (r.Item.departure, -1) ])
+      inst.Instance.items
+  in
+  let events =
+    List.sort
+      (fun (ta, da) (tb, db) ->
+        match Float.compare ta tb with 0 -> Int.compare da db | c -> c)
+      events
+  in
+  let _, peak =
+    List.fold_left
+      (fun (cur, peak) (_, d) ->
+        let cur = cur + d in
+        (cur, Int.max peak cur))
+      (0, 0) events
+  in
+  peak
+
+let measure (inst : Instance.t) =
+  let cap = inst.Instance.capacity in
+  let items = inst.Instance.items in
+  let n = float_of_int (List.length items) in
+  let total_duration = Listx.sum_by Item.duration items in
+  let rel_sizes = List.map (fun (r : Item.t) -> Vec.linf ~cap r.Item.size) items in
+  let span = Instance.span inst in
+  {
+    items = List.length items;
+    dimensions = Instance.dim inst;
+    mu = Instance.mu inst;
+    span;
+    horizon = Instance.horizon inst;
+    mean_duration = total_duration /. n;
+    mean_relative_size = Listx.sum_by Fun.id rel_sizes /. n;
+    max_relative_size = List.fold_left Float.max 0.0 rel_sizes;
+    peak_active = peak_active inst;
+    mean_active = (if span > 0.0 then total_duration /. span else 0.0);
+    utilisation = Instance.total_utilisation inst;
+  }
+
+let render t =
+  let row label value = [ label; value ] in
+  Dvbp_report.Table.render
+    ~header:[ "statistic"; "value" ]
+    ~rows:
+      [
+        row "items" (string_of_int t.items);
+        row "dimensions" (string_of_int t.dimensions);
+        row "mu (max/min duration)" (Printf.sprintf "%.3f" t.mu);
+        row "span" (Printf.sprintf "%.3f" t.span);
+        row "horizon" (Printf.sprintf "%.3f" t.horizon);
+        row "mean duration" (Printf.sprintf "%.3f" t.mean_duration);
+        row "mean relative size" (Printf.sprintf "%.4f" t.mean_relative_size);
+        row "max relative size" (Printf.sprintf "%.4f" t.max_relative_size);
+        row "peak active items" (string_of_int t.peak_active);
+        row "mean active items" (Printf.sprintf "%.2f" t.mean_active);
+        row "time-space utilisation" (Printf.sprintf "%.3f" t.utilisation);
+      ]

@@ -1,0 +1,21 @@
+(** Summary statistics of an instance — the numbers that predict how hard a
+    workload is to pack (load level, duration spread, demand skew). *)
+
+type t = {
+  items : int;
+  dimensions : int;
+  mu : float;  (** max/min duration ratio *)
+  span : float;
+  horizon : float;
+  mean_duration : float;
+  mean_relative_size : float;  (** mean capacity-relative [L∞] item size *)
+  max_relative_size : float;
+  peak_active : int;  (** peak simultaneously active items *)
+  mean_active : float;  (** time-average number of active items over the span *)
+  utilisation : float;  (** Lemma 1 (ii) numerator: [Σ ‖s‖∞·ℓ] *)
+}
+
+val measure : Dvbp_core.Instance.t -> t
+
+val render : t -> string
+(** Aligned key/value table. *)

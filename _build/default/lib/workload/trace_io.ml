@@ -1,0 +1,99 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Item = Dvbp_core.Item
+
+let to_string (inst : Instance.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# dvbp-trace v1\n";
+  Buffer.add_string buf "capacity";
+  Array.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf ",%d" c))
+    (Vec.to_array inst.Instance.capacity);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (r : Item.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "item,%d,%.17g,%.17g" r.Item.id r.Item.arrival r.Item.departure);
+      Array.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf ",%d" s))
+        (Vec.to_array r.Item.size);
+      Buffer.add_char buf '\n')
+    inst.Instance.items;
+  Buffer.contents buf
+
+let parse_int ~line what s =
+  match int_of_string_opt (String.trim s) with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "line %d: bad %s %S" line what s)
+
+let parse_float ~line what s =
+  match float_of_string_opt (String.trim s) with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "line %d: bad %s %S" line what s)
+
+let ( let* ) = Result.bind
+
+let rec collect_ints ~line what = function
+  | [] -> Ok []
+  | s :: rest ->
+      let* x = parse_int ~line what s in
+      let* xs = collect_ints ~line what rest in
+      Ok (x :: xs)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let parse (lineno, capacity, items) raw =
+    let line = lineno + 1 in
+    let trimmed = String.trim raw in
+    if trimmed = "" || trimmed.[0] = '#' then Ok (line, capacity, items)
+    else
+      match String.split_on_char ',' trimmed with
+      | "capacity" :: fields -> (
+          if capacity <> None then Error (Printf.sprintf "line %d: duplicate capacity row" line)
+          else
+            let* cs = collect_ints ~line "capacity entry" fields in
+            match cs with
+            | [] -> Error (Printf.sprintf "line %d: empty capacity" line)
+            | _ ->
+                if List.exists (fun c -> c <= 0) cs then
+                  Error (Printf.sprintf "line %d: non-positive capacity" line)
+                else Ok (line, Some (Vec.of_list cs), items))
+      | "item" :: id :: arrival :: departure :: sizes -> (
+          let* id = parse_int ~line "item id" id in
+          let* arrival = parse_float ~line "arrival" arrival in
+          let* departure = parse_float ~line "departure" departure in
+          let* sizes = collect_ints ~line "size entry" sizes in
+          match sizes with
+          | [] -> Error (Printf.sprintf "line %d: item with no size" line)
+          | _ -> (
+              if List.exists (fun s -> s < 0) sizes then
+                Error (Printf.sprintf "line %d: negative size" line)
+              else
+                try
+                  let item =
+                    Item.make ~id ~arrival ~departure ~size:(Vec.of_list sizes)
+                  in
+                  Ok (line, capacity, item :: items)
+                with Invalid_argument msg ->
+                  Error (Printf.sprintf "line %d: %s" line msg)))
+      | _ -> Error (Printf.sprintf "line %d: unrecognised row %S" line trimmed)
+  in
+  let* _, capacity, items =
+    List.fold_left
+      (fun acc raw -> match acc with Error _ as e -> e | Ok st -> parse st raw)
+      (Ok (0, None, []))
+      lines
+  in
+  match capacity with
+  | None -> Error "missing capacity row"
+  | Some capacity -> Instance.make ~capacity (List.rev items)
+
+let write_file path inst =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string inst))
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,24 @@
+(** CSV serialisation of problem instances.
+
+    The format is a substitution for proprietary cloud traces (DESIGN.md §3):
+    external request logs can be converted to it offline and replayed through
+    the simulator. Layout (comma-separated, ['#'] comments ignored):
+
+    {v
+    # dvbp-trace v1
+    capacity,100,100
+    item,0,0.0,5.0,30,20
+    item,1,2.5,7.0,10,80
+    v}
+
+    Each [item] row is [id, arrival, departure, size_1, ..., size_d].
+    Reads are fully validated (dimension checks, duplicate ids, malformed
+    numbers) and report the offending line. *)
+
+val to_string : Dvbp_core.Instance.t -> string
+val of_string : string -> (Dvbp_core.Instance.t, string) result
+
+val write_file : string -> Dvbp_core.Instance.t -> unit
+(** @raise Sys_error on IO failure. *)
+
+val read_file : string -> (Dvbp_core.Instance.t, string) result

@@ -1,0 +1,31 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Rng = Dvbp_prelude.Rng
+
+type params = { d : int; n : int; mu : int; span : int; bin_size : int }
+
+let default = { d = 1; n = 1000; mu = 10; span = 1000; bin_size = 100 }
+let table2 ~d ~mu = { default with d; mu }
+
+let validate p =
+  if p.d <= 0 then Error "Uniform_model: d must be positive"
+  else if p.n <= 0 then Error "Uniform_model: n must be positive"
+  else if p.mu <= 0 then Error "Uniform_model: mu must be positive"
+  else if p.bin_size <= 0 then Error "Uniform_model: bin_size must be positive"
+  else if p.span < p.mu then Error "Uniform_model: span must be at least mu"
+  else Ok ()
+
+let capacity p = Vec.make ~dim:p.d p.bin_size
+
+let generate p ~rng =
+  (match validate p with Ok () -> () | Error e -> invalid_arg e);
+  let specs =
+    List.init p.n (fun _ ->
+        let arrival = Rng.int_incl rng ~lo:0 ~hi:(p.span - p.mu) in
+        let duration = Rng.int_incl rng ~lo:1 ~hi:p.mu in
+        let size =
+          Vec.of_array (Array.init p.d (fun _ -> Rng.int_incl rng ~lo:1 ~hi:p.bin_size))
+        in
+        (float_of_int arrival, float_of_int (arrival + duration), size))
+  in
+  Instance.of_specs_exn ~capacity:(capacity p) specs

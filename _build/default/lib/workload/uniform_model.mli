@@ -1,0 +1,31 @@
+(** The paper's synthetic workload (§7, Table 2).
+
+    Bins have size [B{^d}]; each item draws, independently and uniformly:
+    - a size in [{1, ..., B}{^d}],
+    - an integral duration in [\[1, µ\]],
+    - an integral arrival time in [\[0, T − µ\]]
+    so that every item departs by time [T]. Defaults are Table 2's values
+    ([n = 1000], [T = 1000], [B = 100]). *)
+
+type params = {
+  d : int;  (** number of resource dimensions *)
+  n : int;  (** number of items *)
+  mu : int;  (** maximum item duration (minimum is 1) *)
+  span : int;  (** the horizon [T] *)
+  bin_size : int;  (** capacity [B] in every dimension *)
+}
+
+val default : params
+(** Table 2 defaults with [d = 1], [mu = 10]. *)
+
+val table2 : d:int -> mu:int -> params
+(** Table 2 defaults with the given sweep coordinates. *)
+
+val validate : params -> (unit, string) result
+(** All fields positive and [mu <= span]. *)
+
+val capacity : params -> Dvbp_vec.Vec.t
+
+val generate : params -> rng:Dvbp_prelude.Rng.t -> Dvbp_core.Instance.t
+(** One random instance. Deterministic in the rng state.
+    @raise Invalid_argument when {!validate} fails. *)

@@ -1,0 +1,108 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Rng = Dvbp_prelude.Rng
+module Floatx = Dvbp_prelude.Floatx
+
+let dimension_names = [ "vcpu"; "memory_gb"; "disk_gb"; "network_gbps" ]
+
+type flavour = { label : string; demand : int array; weight : float }
+
+let default_flavours =
+  [
+    { label = "small"; demand = [| 2; 4; 50; 1 |]; weight = 0.40 };
+    { label = "medium"; demand = [| 4; 16; 100; 2 |]; weight = 0.30 };
+    { label = "large"; demand = [| 8; 32; 250; 5 |]; weight = 0.15 };
+    { label = "xlarge"; demand = [| 16; 64; 500; 10 |]; weight = 0.10 };
+    { label = "io-heavy"; demand = [| 4; 8; 1000; 12 |]; weight = 0.05 };
+  ]
+
+let default_server = [| 64; 256; 2000; 25 |]
+
+type params = {
+  n : int;
+  flavours : flavour list;
+  server : int array;
+  mean_lifetime : float;
+  pareto_shape : float;
+  max_lifetime : float;
+  base_rate : float;
+  diurnal_amplitude : float;
+  diurnal_period : float;
+}
+
+let default =
+  {
+    n = 500;
+    flavours = default_flavours;
+    server = default_server;
+    mean_lifetime = 12.0;
+    pareto_shape = 1.5;
+    max_lifetime = 240.0;
+    base_rate = 10.0;
+    diurnal_amplitude = 0.6;
+    diurnal_period = 24.0;
+  }
+
+let validate p =
+  let d = List.length dimension_names in
+  if p.n <= 0 then Error "Vm_requests: n must be positive"
+  else if p.flavours = [] then Error "Vm_requests: empty flavour catalogue"
+  else if Array.length p.server <> d then Error "Vm_requests: server must have 4 dimensions"
+  else if Array.exists (fun c -> c <= 0) p.server then
+    Error "Vm_requests: server capacities must be positive"
+  else if
+    List.exists
+      (fun f ->
+        Array.length f.demand <> d
+        || Array.exists2 (fun x c -> x <= 0 || x > c) f.demand p.server
+        || f.weight <= 0.0)
+      p.flavours
+  then Error "Vm_requests: flavour demand out of range or bad weight"
+  else if p.mean_lifetime <= 0.0 || p.max_lifetime < 1.0 then
+    Error "Vm_requests: lifetimes must be positive (max >= 1)"
+  else if p.pareto_shape <= 1.0 then Error "Vm_requests: pareto_shape must exceed 1"
+  else if p.base_rate <= 0.0 then Error "Vm_requests: base_rate must be positive"
+  else if p.diurnal_amplitude < 0.0 || p.diurnal_amplitude >= 1.0 then
+    Error "Vm_requests: diurnal_amplitude must lie in [0, 1)"
+  else if p.diurnal_period <= 0.0 then Error "Vm_requests: diurnal_period must be positive"
+  else Ok ()
+
+let pick_flavour flavours ~rng =
+  let total = List.fold_left (fun acc f -> acc +. f.weight) 0.0 flavours in
+  let x = Rng.float rng total in
+  let rec go acc = function
+    | [ f ] -> f
+    | f :: rest -> if x < acc +. f.weight then f else go (acc +. f.weight) rest
+    | [] -> assert false
+  in
+  go 0.0 flavours
+
+(* Pareto(shape a, scale s) has mean s·a/(a−1); pick s for the target mean. *)
+let pareto_scale p = p.mean_lifetime *. (p.pareto_shape -. 1.0) /. p.pareto_shape
+
+let generate p ~rng =
+  (match validate p with Ok () -> () | Error e -> invalid_arg e);
+  let capacity = Vec.of_array p.server in
+  let scale = pareto_scale p in
+  let arrivals =
+    Arrival_process.generate
+      (Arrival_process.Modulated_poisson
+         {
+           base_rate = p.base_rate;
+           amplitude = p.diurnal_amplitude;
+           period = p.diurnal_period;
+         })
+      ~n:p.n ~rng
+  in
+  let specs =
+    List.map
+      (fun arrival ->
+        let lifetime =
+          Floatx.clamp ~lo:1.0 ~hi:p.max_lifetime
+            (Rng.pareto rng ~shape:p.pareto_shape ~scale)
+        in
+        let flavour = pick_flavour p.flavours ~rng in
+        (arrival, arrival +. lifetime, Vec.of_array flavour.demand))
+      arrivals
+  in
+  Instance.of_specs_exn ~capacity specs

@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Anyfit_lb Bestfit_lb Dvbp_adversary Dvbp_core Dvbp_engine Dvbp_lowerbound Dvbp_prelude Gadget List Mtf_lb Nextfit_lb Option Policy Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Dvbp_cli_lib Dvbp_core Dvbp_workload Filename Fun In_channel List Out_channel Result Run_report String Sys Workload_select

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bin Dvbp_core Dvbp_interval Dvbp_prelude Dvbp_vec Instance Item List Load_measure Packing Policy Result String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablations Alcotest Array Dvbp_experiments Dvbp_prelude Dvbp_workload Figure4 List Proof_figures Result Runner Significance String Table1 Table2 Worst_case_search

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Dvbp_interval Float Interval Interval_set List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Dvbp_prelude Float Floatx Fun Heap Int Intmath List Listx QCheck2 QCheck_alcotest Rng

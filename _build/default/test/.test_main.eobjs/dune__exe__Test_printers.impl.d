@@ -1,0 +1,1 @@
+test/test_printers.ml: Alcotest Bin Dvbp_adversary Dvbp_analysis Dvbp_core Dvbp_engine Dvbp_interval Dvbp_stats Dvbp_vec Format Instance Item List Packing Policy String

@@ -1,0 +1,1 @@
+test/test_props.ml: Dvbp_analysis Dvbp_core Dvbp_engine Dvbp_lowerbound Dvbp_prelude Dvbp_vec Dvbp_workload Engine Float Instance Item List Packing Policy QCheck2 QCheck_alcotest Result Session Trace

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Ascii_plot Dvbp_report Histogram List String Table

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Dvbp_core Dvbp_engine Dvbp_prelude Dvbp_vec Dvbp_workload Engine Instance Item List Packing Policy Session String

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Compare Dvbp_stats Float List Normal QCheck2 QCheck_alcotest Running Summary

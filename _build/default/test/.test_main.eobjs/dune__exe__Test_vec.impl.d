@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Dvbp_vec Float List QCheck2 QCheck_alcotest Vec

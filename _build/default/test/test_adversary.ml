@@ -1,0 +1,224 @@
+(* Tests for the §6 lower-bound constructions: each gadget's analytic cost
+   bound must be certified by an actual engine run, its OPT upper bound by
+   the exact solver, and the certified ratio must approach the theorem's
+   limit as the growth parameter increases. *)
+
+open Dvbp_core
+open Dvbp_adversary
+module Engine = Dvbp_engine.Engine
+module Opt = Dvbp_lowerbound.Opt
+module Rng = Dvbp_prelude.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let run_policy name instance =
+  let rng = Rng.create ~seed:21 in
+  Engine.run ~policy:(Policy.of_name_exn ~rng name) instance
+
+let anyfit_tests =
+  [
+    Alcotest.test_case "every strict Any Fit policy pays at least the analytic bound"
+      `Quick (fun () ->
+        (* Next Fit is excluded: its open-bin list holds only the current
+           bin, so the proof's "the probes must reuse the dk open bins"
+           step does not apply to it (it has its own Thm 6 bound). *)
+        List.iter
+          (fun (d, k) ->
+            let g = Anyfit_lb.construct ~d ~k ~mu:5.0 in
+            List.iter
+              (fun name ->
+                let r = run_policy name g.Gadget.instance in
+                check_bool
+                  (Printf.sprintf "%s on d=%d k=%d" name d k)
+                  true
+                  (Engine.cost r >= g.Gadget.alg_cost_lower -. 1e-9))
+              [ "ff"; "bf"; "wf"; "lf"; "mtf"; "rf" ])
+          [ (1, 1); (1, 3); (2, 2); (3, 2) ]);
+    Alcotest.test_case "strict Any Fit policies open exactly dk bins on R0 and reuse them"
+      `Quick (fun () ->
+        let d = 2 and k = 3 in
+        let g = Anyfit_lb.construct ~d ~k ~mu:4.0 in
+        List.iter
+          (fun name ->
+            let r = run_policy name g.Gadget.instance in
+            check_int (name ^ " bins") (d * k) r.Dvbp_engine.Engine.bins_opened)
+          [ "ff"; "bf"; "wf"; "lf"; "mtf"; "rf" ]);
+    Alcotest.test_case "exact OPT within the analytic upper bound" `Quick (fun () ->
+        let g = Anyfit_lb.construct ~d:2 ~k:2 ~mu:3.0 in
+        check_bool "opt <= upper" true
+          (Opt.exact_exn g.Gadget.instance <= g.Gadget.opt_upper +. 1e-9));
+    Alcotest.test_case "certified ratio grows with k toward the limit" `Quick
+      (fun () ->
+        let mu = 5.0 and d = 2 in
+        let r2 = Gadget.cr_lower (Anyfit_lb.construct ~d ~k:2 ~mu) in
+        let r20 = Gadget.cr_lower (Anyfit_lb.construct ~d ~k:20 ~mu) in
+        let limit = (mu +. 1.0) *. float_of_int d in
+        check_bool "monotone" true (r20 > r2);
+        check_bool "below limit" true (r20 <= limit);
+        check_bool "close at k=20" true (r20 >= 0.7 *. limit));
+    Alcotest.test_case "rejects bad parameters" `Quick (fun () ->
+        check_bool "d" true
+          (try ignore (Anyfit_lb.construct ~d:0 ~k:1 ~mu:2.0); false
+           with Invalid_argument _ -> true);
+        check_bool "mu" true
+          (try ignore (Anyfit_lb.construct ~d:1 ~k:1 ~mu:0.5); false
+           with Invalid_argument _ -> true));
+  ]
+
+let nextfit_tests =
+  [
+    Alcotest.test_case "next fit opens 1+(k-1)d bins and pays the bound" `Quick
+      (fun () ->
+        List.iter
+          (fun (d, k) ->
+            let g = Nextfit_lb.construct ~d ~k ~mu:6.0 in
+            let r = run_policy "nf" g.Gadget.instance in
+            check_int
+              (Printf.sprintf "bins d=%d k=%d" d k)
+              (1 + ((k - 1) * d))
+              r.Dvbp_engine.Engine.bins_opened;
+            check_bool "cost" true (Engine.cost r >= g.Gadget.alg_cost_lower -. 1e-9))
+          [ (1, 2); (1, 4); (2, 2); (3, 2) ]);
+    Alcotest.test_case "exact OPT within the analytic upper bound" `Quick (fun () ->
+        let g = Nextfit_lb.construct ~d:1 ~k:4 ~mu:4.0 in
+        check_bool "opt" true (Opt.exact_exn g.Gadget.instance <= g.Gadget.opt_upper +. 1e-9));
+    Alcotest.test_case "first fit does much better on the same instance" `Quick
+      (fun () ->
+        let g = Nextfit_lb.construct ~d:2 ~k:4 ~mu:10.0 in
+        let nf = run_policy "nf" g.Gadget.instance in
+        let ff = run_policy "ff" g.Gadget.instance in
+        check_bool "ff cheaper" true (Engine.cost ff < Engine.cost nf));
+    Alcotest.test_case "certified ratio approaches 2*mu*d" `Quick (fun () ->
+        let mu = 4.0 and d = 2 in
+        let r2 = Gadget.cr_lower (Nextfit_lb.construct ~d ~k:2 ~mu) in
+        let r20 = Gadget.cr_lower (Nextfit_lb.construct ~d ~k:20 ~mu) in
+        let limit = 2.0 *. mu *. float_of_int d in
+        check_bool "monotone" true (r20 > r2);
+        check_bool "below limit" true (r20 <= limit);
+        check_bool "close at k=20" true (r20 >= 0.6 *. limit));
+    Alcotest.test_case "rejects odd k" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Nextfit_lb.construct ~d:1 ~k:3 ~mu:2.0); false
+           with Invalid_argument _ -> true));
+  ]
+
+let mtf_tests =
+  [
+    Alcotest.test_case "move to front opens 2n bins and pays exactly 2n*mu" `Quick
+      (fun () ->
+        List.iter
+          (fun n ->
+            let g = Mtf_lb.construct ~n ~mu:7.0 in
+            let r = run_policy "mtf" g.Gadget.instance in
+            check_int (Printf.sprintf "bins n=%d" n) (2 * n)
+              r.Dvbp_engine.Engine.bins_opened;
+            check_float "cost" g.Gadget.alg_cost_lower (Engine.cost r))
+          [ 1; 2; 5 ]);
+    Alcotest.test_case "exact OPT matches mu + n here" `Quick (fun () ->
+        let g = Mtf_lb.construct ~n:2 ~mu:6.0 in
+        check_float "opt" g.Gadget.opt_upper (Opt.exact_exn g.Gadget.instance));
+    Alcotest.test_case "certified ratio approaches 2*mu" `Quick (fun () ->
+        let mu = 9.0 in
+        let r1 = Gadget.cr_lower (Mtf_lb.construct ~n:1 ~mu) in
+        let r30 = Gadget.cr_lower (Mtf_lb.construct ~n:30 ~mu) in
+        check_bool "monotone" true (r30 > r1);
+        check_bool "below limit" true (r30 <= 2.0 *. mu);
+        check_bool "close at n=30" true (r30 >= 0.7 *. 2.0 *. mu));
+    Alcotest.test_case "first fit is near-optimal on the same instance" `Quick
+      (fun () ->
+        (* FF consolidates crumbs: its cost stays within a small multiple of
+           OPT while MTF pays ~2 mu / (1 + mu/n) times OPT. *)
+        let g = Mtf_lb.construct ~n:10 ~mu:20.0 in
+        let ff = run_policy "ff" g.Gadget.instance in
+        let mtf = run_policy "mtf" g.Gadget.instance in
+        check_bool "ff much cheaper" true
+          (Engine.cost ff *. 2.0 < Engine.cost mtf));
+  ]
+
+let bestfit_tests =
+  [
+    Alcotest.test_case "best fit strands one bin per phase" `Quick (fun () ->
+        let k = 5 and t_end = 50.0 in
+        let g = Bestfit_lb.construct ~k ~t_end in
+        let r = run_policy "bf" g.Gadget.instance in
+        check_bool "cost above bound" true
+          (Engine.cost r >= g.Gadget.alg_cost_lower -. 1e-9));
+    Alcotest.test_case "measured ratio grows with k (unbounded CR family)" `Quick
+      (fun () ->
+        let ratio k =
+          let t_end = float_of_int (k * k * k) in
+          let g = Bestfit_lb.construct ~k ~t_end in
+          let r = run_policy "bf" g.Gadget.instance in
+          Engine.cost r /. g.Gadget.opt_upper
+        in
+        let r2 = ratio 2 and r6 = ratio 6 in
+        check_bool "grows" true (r6 > (1.5 *. r2)));
+    Alcotest.test_case "exact OPT within the analytic upper bound" `Quick (fun () ->
+        let g = Bestfit_lb.construct ~k:3 ~t_end:30.0 in
+        check_bool "opt" true (Opt.exact_exn g.Gadget.instance <= g.Gadget.opt_upper +. 1e-9));
+    Alcotest.test_case "rejects too-early t_end" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Bestfit_lb.construct ~k:5 ~t_end:5.0); false
+           with Invalid_argument _ -> true));
+  ]
+
+(* structural properties of the gadget instances themselves *)
+let gadget_gen =
+  QCheck2.Gen.(
+    let* d = 1 -- 3 in
+    let* k = 1 -- 6 in
+    let* mu = 1 -- 12 in
+    let* family = oneofl [ `Anyfit; `Nextfit; `Mtf; `Bestfit ] in
+    return (d, k, mu, family))
+
+let build_gadget (d, k, mu, family) =
+  let mu = float_of_int mu in
+  match family with
+  | `Anyfit -> Anyfit_lb.construct ~d ~k ~mu
+  | `Nextfit -> Nextfit_lb.construct ~d ~k:(2 * k) ~mu
+  | `Mtf -> Mtf_lb.construct ~n:k ~mu
+  | `Bestfit -> Bestfit_lb.construct ~k ~t_end:((2.0 *. float_of_int k) +. 10.0)
+
+let prop_gadget_instances_well_formed =
+  QCheck2.Test.make ~name:"gadget instances are valid and certified below the limit"
+    ~count:150 gadget_gen (fun input ->
+      let g = build_gadget input in
+      (* Instance construction already validates; check the analytics *)
+      Gadget.cr_lower g <= g.Gadget.cr_limit +. 1e-9
+      && g.Gadget.opt_upper > 0.0
+      && g.Gadget.alg_cost_lower > 0.0)
+
+let prop_gadget_opt_upper_sound =
+  QCheck2.Test.make ~name:"gadget OPT upper bounds dominate the height bound"
+    ~count:150 gadget_gen (fun input ->
+      let g = build_gadget input in
+      (* opt_upper must be an upper bound on OPT, hence at least any lower
+         bound on OPT *)
+      Dvbp_lowerbound.Bounds.height_integral g.Gadget.instance
+      <= g.Gadget.opt_upper +. 1e-9)
+
+let prop_target_policy_pays =
+  QCheck2.Test.make ~name:"the targeted policy pays at least the certified cost"
+    ~count:100 gadget_gen (fun input ->
+      let g = build_gadget input in
+      let policy = Option.value ~default:"ff" g.Gadget.target in
+      let run = run_policy policy g.Gadget.instance in
+      Engine.cost run >= g.Gadget.alg_cost_lower -. 1e-9)
+
+let property_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_gadget_instances_well_formed; prop_gadget_opt_upper_sound;
+      prop_target_policy_pays;
+    ]
+
+let suites =
+  [
+    ("adversary.properties", property_tests);
+    ("adversary.anyfit_lb", anyfit_tests);
+    ("adversary.nextfit_lb", nextfit_tests);
+    ("adversary.mtf_lb", mtf_tests);
+    ("adversary.bestfit_lb", bestfit_tests);
+  ]

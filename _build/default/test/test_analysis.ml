@@ -1,0 +1,372 @@
+(* Tests for the proof-structure analysis tools: the MTF leading/non-leading
+   decomposition (Claim 1), the FF P/Q decomposition (Claim 4), the NF
+   current-bin decomposition, Gantt rendering, CR bound checks and the
+   packing/alignment diagnostics. *)
+
+open Dvbp_core
+open Dvbp_analysis
+module Engine = Dvbp_engine.Engine
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+module Interval_set = Dvbp_interval.Interval_set
+module Rng = Dvbp_prelude.Rng
+module Uniform_model = Dvbp_workload.Uniform_model
+
+let v = Vec.of_list
+let cap = v [ 100 ]
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let inst specs = Instance.of_specs_exn ~capacity:cap specs
+
+let small_params = { Uniform_model.d = 2; n = 40; mu = 5; span = 40; bin_size = 10 }
+
+let mtf_tests =
+  [
+    Alcotest.test_case "claim 1 holds on the Thm 8 gadget" `Quick (fun () ->
+        let g = Dvbp_adversary.Mtf_lb.construct ~n:3 ~mu:5.0 in
+        let run = Engine.run ~policy:(Policy.move_to_front ()) g.Dvbp_adversary.Gadget.instance in
+        let d = Mtf_decomposition.analyse run.Engine.trace in
+        let activity = Instance.activity g.Dvbp_adversary.Gadget.instance in
+        check_bool "partition" true
+          (Mtf_decomposition.leading_partition_activity d ~activity);
+        check_float "leading total = span" 5.0 (Mtf_decomposition.leading_total d));
+    Alcotest.test_case "claim 1 holds with activity gaps" `Quick (fun () ->
+        let i =
+          inst [ (0.0, 2.0, v [ 60 ]); (1.0, 3.0, v [ 60 ]); (10.0, 12.0, v [ 10 ]) ]
+        in
+        let run = Engine.run ~policy:(Policy.move_to_front ()) i in
+        let d = Mtf_decomposition.analyse run.Engine.trace in
+        check_bool "partition" true
+          (Mtf_decomposition.leading_partition_activity d ~activity:(Instance.activity i));
+        check_float "total = span" (Instance.span i) (Mtf_decomposition.leading_total d));
+    Alcotest.test_case "leadership switches on overflow" `Quick (fun () ->
+        (* Two big items cannot share: second bin becomes leader when opened;
+           the first bin is non-leading until the second closes. *)
+        let i = inst [ (0.0, 5.0, v [ 60 ]); (1.0, 3.0, v [ 60 ]) ] in
+        let run = Engine.run ~policy:(Policy.move_to_front ()) i in
+        let d = Mtf_decomposition.analyse run.Engine.trace in
+        let bin0 = List.nth d.Mtf_decomposition.bins 0 in
+        let bin1 = List.nth d.Mtf_decomposition.bins 1 in
+        check_bool "bin0 leads [0,1) and [3,5)" true
+          (Interval_set.equal bin0.Mtf_decomposition.leading
+             (Interval_set.of_intervals [ Interval.make 0.0 1.0; Interval.make 3.0 5.0 ]));
+        check_bool "bin0 non-leading [1,3)" true
+          (Interval_set.equal bin0.Mtf_decomposition.non_leading
+             (Interval_set.of_intervals [ Interval.make 1.0 3.0 ]));
+        check_bool "bin1 leads its whole life" true
+          (Interval_set.equal bin1.Mtf_decomposition.leading
+             (Interval_set.of_intervals [ Interval.make 1.0 3.0 ])));
+    Alcotest.test_case "non-leading stretches bounded by mu" `Quick (fun () ->
+        let params = { small_params with Uniform_model.n = 60 } in
+        for seed = 0 to 4 do
+          let i = Uniform_model.generate params ~rng:(Rng.create ~seed) in
+          let run = Engine.run ~policy:(Policy.move_to_front ()) i in
+          let d = Mtf_decomposition.analyse run.Engine.trace in
+          check_bool "bounded" true
+            (Mtf_decomposition.non_leading_max d <= Instance.max_duration i +. 1e-9)
+        done);
+  ]
+
+let ff_tests =
+  [
+    Alcotest.test_case "P/Q values on the staggered 3-bin instance" `Quick (fun () ->
+        let i =
+          inst [ (0.0, 4.0, v [ 60 ]); (1.0, 3.0, v [ 60 ]); (2.0, 6.0, v [ 60 ]) ]
+        in
+        let run = Engine.run ~policy:(Policy.first_fit ()) i in
+        let d = Ff_decomposition.analyse run.Engine.packing in
+        (match d.Ff_decomposition.bins with
+        | [ b0; b1; b2 ] ->
+            check_bool "P0 empty" true (Interval.is_empty b0.Ff_decomposition.p);
+            check_bool "Q0 = [0,4)" true
+              (Interval.equal b0.Ff_decomposition.q (Interval.make 0.0 4.0));
+            check_bool "P1 = [1,3)" true
+              (Interval.equal b1.Ff_decomposition.p (Interval.make 1.0 3.0));
+            check_bool "Q1 empty" true (Interval.is_empty b1.Ff_decomposition.q);
+            check_bool "P2 = [2,4)" true
+              (Interval.equal b2.Ff_decomposition.p (Interval.make 2.0 4.0));
+            check_bool "Q2 = [4,6)" true
+              (Interval.equal b2.Ff_decomposition.q (Interval.make 4.0 6.0))
+        | bins -> Alcotest.failf "expected 3 bins, got %d" (List.length bins));
+        check_float "q_total = span" 6.0 (Ff_decomposition.q_total d);
+        check_bool "claim4" true
+          (Ff_decomposition.check_claim4 d ~activity:(Instance.activity i)));
+    Alcotest.test_case "claim 4 holds for every policy (it is packing-generic)"
+      `Quick (fun () ->
+        List.iter
+          (fun name ->
+            let rng = Rng.create ~seed:3 in
+            let i = Uniform_model.generate small_params ~rng:(Rng.create ~seed:17) in
+            let run = Engine.run ~policy:(Policy.of_name_exn ~rng name) i in
+            let d = Ff_decomposition.analyse run.Engine.packing in
+            check_bool (name ^ " claim4") true
+              (Ff_decomposition.check_claim4 d ~activity:(Instance.activity i)))
+          Policy.standard_names);
+  ]
+
+let nf_tests =
+  [
+    Alcotest.test_case "current periods on a forced-release run" `Quick (fun () ->
+        (* B0 current [0,1): releases when the second 60 misses. B1 current
+           until its own close. *)
+        let i = inst [ (0.0, 5.0, v [ 60 ]); (1.0, 3.0, v [ 60 ]) ] in
+        let run = Engine.run ~policy:(Policy.next_fit ()) i in
+        let d = Nf_decomposition.analyse run.Engine.trace in
+        (match d.Nf_decomposition.bins with
+        | [ b0; b1 ] ->
+            check_bool "b0 current [0,1)" true
+              (Interval.equal b0.Nf_decomposition.current (Interval.make 0.0 1.0));
+            check_bool "b0 released [1,5)" true
+              (Interval.equal b0.Nf_decomposition.released (Interval.make 1.0 5.0));
+            check_bool "b1 current [1,3)" true
+              (Interval.equal b1.Nf_decomposition.current (Interval.make 1.0 3.0))
+        | bins -> Alcotest.failf "expected 2 bins, got %d" (List.length bins));
+        check_bool "disjoint within activity" true
+          (Nf_decomposition.check_disjoint_within_activity d
+             ~activity:(Instance.activity i)));
+    Alcotest.test_case "invariants on random NF runs" `Quick (fun () ->
+        for seed = 0 to 4 do
+          let i = Uniform_model.generate small_params ~rng:(Rng.create ~seed) in
+          let run = Engine.run ~policy:(Policy.next_fit ()) i in
+          let d = Nf_decomposition.analyse run.Engine.trace in
+          check_bool "within activity" true
+            (Nf_decomposition.check_disjoint_within_activity d
+               ~activity:(Instance.activity i));
+          check_bool "current_total <= span" true
+            (Nf_decomposition.current_total d <= Instance.span i +. 1e-9);
+          check_bool "released <= mu" true
+            (Nf_decomposition.released_max d <= Instance.max_duration i +. 1e-9)
+        done);
+  ]
+
+let gantt_tests =
+  [
+    Alcotest.test_case "renders one row per bin plus a scale" `Quick (fun () ->
+        let i = inst [ (0.0, 2.0, v [ 60 ]); (1.0, 3.0, v [ 60 ]) ] in
+        let run = Engine.run ~policy:(Policy.first_fit ()) i in
+        let out = Gantt.render ~width:40 run.Engine.packing in
+        let lines = String.split_on_char '\n' out in
+        Alcotest.(check int) "lines" 4 (List.length lines);
+        check_bool "has usage marks" true (String.contains out '='));
+    Alcotest.test_case "highlight overdraws with #" `Quick (fun () ->
+        let i = inst [ (0.0, 4.0, v [ 60 ]) ] in
+        let run = Engine.run ~policy:(Policy.first_fit ()) i in
+        let highlight _ = Interval_set.of_intervals [ Interval.make 0.0 2.0 ] in
+        let out = Gantt.render ~width:40 ~highlight run.Engine.packing in
+        check_bool "has highlight" true (String.contains out '#'));
+    Alcotest.test_case "rejects tiny width" `Quick (fun () ->
+        let i = inst [ (0.0, 1.0, v [ 1 ]) ] in
+        let run = Engine.run ~policy:(Policy.first_fit ()) i in
+        check_bool "raises" true
+          (try ignore (Gantt.render ~width:1 run.Engine.packing); false
+           with Invalid_argument _ -> true));
+  ]
+
+let bound_tests =
+  [
+    Alcotest.test_case "theoretical bounds instantiate correctly" `Quick (fun () ->
+        let some = function Some x -> x | None -> Alcotest.fail "expected bound" in
+        check_float "mtf" ((((2.0 *. 5.0) +. 1.0) *. 2.0) +. 1.0)
+          (some (Bound_check.theoretical_bound ~policy:"mtf" ~mu:5.0 ~d:2));
+        check_float "ff" (((5.0 +. 2.0) *. 2.0) +. 1.0)
+          (some (Bound_check.theoretical_bound ~policy:"ff" ~mu:5.0 ~d:2));
+        check_float "nf" ((2.0 *. 5.0 *. 2.0) +. 1.0)
+          (some (Bound_check.theoretical_bound ~policy:"nf" ~mu:5.0 ~d:2));
+        check_bool "bf unbounded" true
+          (Bound_check.theoretical_bound ~policy:"bf" ~mu:5.0 ~d:2 = None));
+    Alcotest.test_case "check classifies ratios" `Quick (fun () ->
+        let i = inst [ (0.0, 1.0, v [ 50 ]); (0.0, 2.0, v [ 50 ]) ] in
+        (match Bound_check.check ~policy:"ff" ~cost:2.0 ~opt:2.0 ~instance:i with
+        | Some verdict -> check_bool "ok" true verdict.Bound_check.ok
+        | None -> Alcotest.fail "expected verdict");
+        match Bound_check.check ~policy:"ff" ~cost:1000.0 ~opt:2.0 ~instance:i with
+        | Some verdict -> check_bool "violated" false verdict.Bound_check.ok
+        | None -> Alcotest.fail "expected verdict");
+  ]
+
+let diagnostics_tests =
+  [
+    Alcotest.test_case "metrics on a two-bin packing" `Quick (fun () ->
+        (* bin0: items (0,2,50),(0,2,50); bin1: single item (0,4,60) *)
+        let i =
+          inst [ (0.0, 2.0, v [ 50 ]); (0.0, 2.0, v [ 50 ]); (0.0, 4.0, v [ 60 ]) ]
+        in
+        let run = Engine.run ~policy:(Policy.first_fit ()) i in
+        let m = Diagnostics.measure run.Engine.packing in
+        (* utilisation = .5*2 + .5*2 + .6*4 = 4.4; cost = 2 + 4 = 6 *)
+        check_float "efficiency" (4.4 /. 6.0) m.Diagnostics.packing_efficiency;
+        check_float "items per bin" 1.5 m.Diagnostics.mean_items_per_bin;
+        check_float "singleton fraction" 0.5 m.Diagnostics.singleton_bin_fraction;
+        check_float "spread" 0.0 m.Diagnostics.departure_spread);
+    Alcotest.test_case "spread catches misaligned departures" `Quick (fun () ->
+        let i = inst [ (0.0, 1.0, v [ 50 ]); (0.0, 5.0, v [ 50 ]) ] in
+        let run = Engine.run ~policy:(Policy.first_fit ()) i in
+        let m = Diagnostics.measure run.Engine.packing in
+        check_float "spread" 0.8 m.Diagnostics.departure_spread);
+    Alcotest.test_case "worst fit packs less efficiently than best fit on average"
+      `Quick (fun () ->
+        (* per-instance the order can flip; the aggregate must not *)
+        let params =
+          { Uniform_model.d = 2; n = 200; mu = 10; span = 100; bin_size = 20 }
+        in
+        let eff policy seed =
+          let i = Uniform_model.generate params ~rng:(Rng.create ~seed) in
+          let r = Engine.run ~policy:(policy ()) i in
+          (Diagnostics.measure r.Engine.packing).Diagnostics.packing_efficiency
+        in
+        let mean policy =
+          List.fold_left (fun acc s -> acc +. eff policy s) 0.0
+            (Dvbp_prelude.Listx.range 0 9)
+          /. 10.0
+        in
+        check_bool "bf tighter" true (mean Policy.best_fit > mean Policy.worst_fit));
+  ]
+
+let conformance_tests =
+  [
+    Alcotest.test_case "every deterministic policy conforms to its semantics"
+      `Quick (fun () ->
+        let params =
+          { Uniform_model.d = 2; n = 120; mu = 8; span = 60; bin_size = 20 }
+        in
+        for seed = 0 to 4 do
+          let instance = Uniform_model.generate params ~rng:(Rng.create ~seed) in
+          List.iter
+            (fun name ->
+              match Conformance.semantics_of_name name with
+              | None -> ()
+              | Some semantics -> (
+                  let run = Engine.run ~policy:(Policy.of_name_exn name) instance in
+                  match Conformance.check semantics instance run.Engine.trace with
+                  | Ok () -> ()
+                  | Error (violation :: _) ->
+                      Alcotest.failf "%s (seed %d): %s" name seed
+                        (Format.asprintf "%a" Conformance.pp_violation violation)
+                  | Error [] -> assert false))
+            [ "ff"; "lf"; "bf"; "wf"; "mtf"; "nf" ]
+        done);
+    Alcotest.test_case "a first-fit trace violates best-fit semantics somewhere"
+      `Quick (fun () ->
+        (* bins at 50 and 70; the 30 goes first-fit to bin 0 but best-fit
+           would choose the fuller bin 1 (70 + 30 = 100) *)
+        let i =
+          inst
+            [ (0.0, 9.0, v [ 50 ]); (0.0, 9.0, v [ 70 ]); (1.0, 9.0, v [ 30 ]) ]
+        in
+        let run = Engine.run ~policy:(Policy.first_fit ()) i in
+        (match Conformance.check Conformance.First_fit i run.Engine.trace with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "FF trace must conform to FF");
+        match
+          Conformance.check (Conformance.Best_fit Load_measure.Linf) i run.Engine.trace
+        with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "FF trace should violate BF semantics here");
+    Alcotest.test_case "a first-fit trace violates next-fit semantics" `Quick
+      (fun () ->
+        (* NF would not reuse bin 0 after releasing it *)
+        let i =
+          inst
+            [
+              (0.0, 9.0, v [ 60 ]); (0.0, 9.0, v [ 60 ]); (1.0, 9.0, v [ 30 ]);
+              (2.0, 9.0, v [ 40 ]);
+            ]
+        in
+        let ff = Engine.run ~policy:(Policy.first_fit ()) i in
+        (match Conformance.check Conformance.Next_fit i ff.Engine.trace with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "FF trace should violate NF semantics here");
+        let nf = Engine.run ~policy:(Policy.next_fit ()) i in
+        match Conformance.check Conformance.Next_fit i nf.Engine.trace with
+        | Ok () -> ()
+        | Error (violation :: _) ->
+            Alcotest.failf "NF trace must conform: %s"
+              (Format.asprintf "%a" Conformance.pp_violation violation)
+        | Error [] -> assert false);
+    Alcotest.test_case "gadget executions conform too (simultaneous arrivals)"
+      `Quick (fun () ->
+        (* the §6 instances are heavy on same-instant arrivals — a good
+           stress for the replayer's ordering assumptions *)
+        let gadgets =
+          [
+            (Dvbp_adversary.Anyfit_lb.construct ~d:2 ~k:2 ~mu:3.0).Dvbp_adversary.Gadget.instance;
+            (Dvbp_adversary.Nextfit_lb.construct ~d:1 ~k:4 ~mu:3.0).Dvbp_adversary.Gadget.instance;
+            (Dvbp_adversary.Mtf_lb.construct ~n:3 ~mu:4.0).Dvbp_adversary.Gadget.instance;
+            (Dvbp_adversary.Bestfit_lb.construct ~k:3 ~t_end:20.0).Dvbp_adversary.Gadget.instance;
+          ]
+        in
+        List.iter
+          (fun instance ->
+            List.iter
+              (fun name ->
+                match Conformance.semantics_of_name name with
+                | None -> ()
+                | Some semantics -> (
+                    let run = Engine.run ~policy:(Policy.of_name_exn name) instance in
+                    match Conformance.check semantics instance run.Engine.trace with
+                    | Ok () -> ()
+                    | Error (violation :: _) ->
+                        Alcotest.failf "%s: %s" name
+                          (Format.asprintf "%a" Conformance.pp_violation violation)
+                    | Error [] -> assert false))
+              [ "ff"; "lf"; "bf"; "wf"; "mtf"; "nf" ])
+          gadgets);
+    Alcotest.test_case "semantics_of_name coverage" `Quick (fun () ->
+        List.iter
+          (fun name ->
+            check_bool name true (Conformance.semantics_of_name name <> None))
+          [ "ff"; "lf"; "bf"; "wf"; "mtf"; "nf" ];
+        check_bool "rf has none" true (Conformance.semantics_of_name "rf" = None));
+  ]
+
+let monitor_tests =
+  [
+    Alcotest.test_case "trajectory of a simple run" `Quick (fun () ->
+        (* one bin [0,2), another [1,4); ratio grows when both are open *)
+        let i = inst [ (0.0, 2.0, v [ 60 ]); (1.0, 4.0, v [ 60 ]) ] in
+        let run = Engine.run ~policy:(Policy.first_fit ()) i in
+        let points = Online_monitor.trajectory i run.Dvbp_engine.Engine.trace in
+        (* event times: 0 (open), 1 (open), 2 (close), 4 (close) *)
+        Alcotest.(check int) "points" 4 (List.length points);
+        let final = List.nth points 3 in
+        check_float "cost" 5.0 final.Online_monitor.cost_so_far;
+        check_float "lb" 5.0 final.Online_monitor.lower_bound_so_far;
+        check_float "final ratio" 1.0 (Online_monitor.final_ratio points));
+    Alcotest.test_case "intermediate points track open bins" `Quick (fun () ->
+        let i = inst [ (0.0, 2.0, v [ 60 ]); (1.0, 4.0, v [ 60 ]) ] in
+        let run = Engine.run ~policy:(Policy.first_fit ()) i in
+        (match Online_monitor.trajectory i run.Dvbp_engine.Engine.trace with
+        | [ p0; p1; p2; _ ] ->
+            Alcotest.(check int) "1 bin at t=0" 1 p0.Online_monitor.open_bins;
+            Alcotest.(check int) "2 bins at t=1" 2 p1.Online_monitor.open_bins;
+            check_float "cost at t=1" 1.0 p1.Online_monitor.cost_so_far;
+            Alcotest.(check int) "1 bin left at t=2" 1 p2.Online_monitor.open_bins;
+            check_float "cost at t=2" 3.0 p2.Online_monitor.cost_so_far
+        | _ -> Alcotest.fail "expected 4 points"));
+    Alcotest.test_case "peak ratio catches a transient" `Quick (fun () ->
+        (* NF strands a bin early: the momentary ratio exceeds the final one *)
+        let i =
+          inst [ (0.0, 10.0, v [ 60 ]); (1.0, 2.0, v [ 60 ]); (2.0, 10.0, v [ 30 ]) ]
+        in
+        let run = Engine.run ~policy:(Policy.next_fit ()) i in
+        let points = Online_monitor.trajectory i run.Dvbp_engine.Engine.trace in
+        check_bool "peak >= final" true
+          (Online_monitor.peak_ratio points
+           >= Online_monitor.final_ratio points -. 1e-9));
+    Alcotest.test_case "empty trajectory rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Online_monitor.final_ratio []); false
+           with Invalid_argument _ -> true));
+  ]
+
+let suites =
+  [
+    ("analysis.mtf_decomposition", mtf_tests);
+    ("analysis.conformance", conformance_tests);
+    ("analysis.online_monitor", monitor_tests);
+    ("analysis.ff_decomposition", ff_tests);
+    ("analysis.nf_decomposition", nf_tests);
+    ("analysis.gantt", gantt_tests);
+    ("analysis.bound_check", bound_tests);
+    ("analysis.diagnostics", diagnostics_tests);
+  ]

@@ -1,0 +1,112 @@
+(* Tests for the CLI support library: workload selection/dispatch and the
+   run-and-report path. *)
+
+open Dvbp_cli_lib
+module Instance = Dvbp_core.Instance
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let source ?(workload = "uniform") ?trace ?(d = 2) ?(mu = 5) ?(n = 50)
+    ?(rho = 0.5) ?(seed = 1) () =
+  { Workload_select.workload; trace; d; mu; n; rho; seed }
+
+let select_tests =
+  [
+    Alcotest.test_case "every known workload builds" `Quick (fun () ->
+        List.iter
+          (fun workload ->
+            match Workload_select.build (source ~workload ()) with
+            | Ok inst -> check_bool workload true (Instance.size inst > 0)
+            | Error e -> Alcotest.failf "%s: %s" workload e)
+          Workload_select.known_workloads);
+    Alcotest.test_case "uniform respects n and d" `Quick (fun () ->
+        match Workload_select.build (source ~n:77 ~d:3 ()) with
+        | Ok inst ->
+            check_int "n" 77 (Instance.size inst);
+            check_int "d" 3 (Instance.dim inst)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "unknown workload is a clean error" `Quick (fun () ->
+        match Workload_select.build (source ~workload:"nonsense" ()) with
+        | Error msg -> check_bool "mentions known list" true
+            (String.length msg > 0)
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "generator validation surfaces as Error" `Quick (fun () ->
+        check_bool "n=0" true
+          (Result.is_error (Workload_select.build (source ~n:0 ())));
+        check_bool "mu>span" true
+          (Result.is_error (Workload_select.build (source ~mu:100_000 ()))));
+    Alcotest.test_case "trace overrides workload" `Quick (fun () ->
+        let path = Filename.temp_file "dvbp_cli" ".csv" in
+        Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc "capacity,10\nitem,0,0.0,1.0,5\n");
+            match Workload_select.build (source ~workload:"nonsense" ~trace:path ()) with
+            | Ok inst -> check_int "one item" 1 (Instance.size inst)
+            | Error e -> Alcotest.fail e));
+    Alcotest.test_case "missing trace file is a clean error" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error
+             (Workload_select.build (source ~trace:"/nonexistent.csv" ()))));
+    Alcotest.test_case "deterministic per seed" `Quick (fun () ->
+        let get () =
+          match Workload_select.build (source ~seed:9 ()) with
+          | Ok i -> Dvbp_workload.Trace_io.to_string i
+          | Error e -> Alcotest.fail e
+        in
+        Alcotest.(check string) "same" (get ()) (get ()));
+  ]
+
+let report_tests =
+  [
+    Alcotest.test_case "run_one succeeds for every policy name" `Quick (fun () ->
+        let inst =
+          match Workload_select.build (source ~n:20 ()) with
+          | Ok i -> i
+          | Error e -> Alcotest.fail e
+        in
+        List.iter
+          (fun policy ->
+            match Run_report.run_one ~policy ~seed:1 inst ~gantt:false with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "%s: %s" policy e)
+          ("daf" :: "hff" :: Dvbp_core.Policy.standard_names));
+    Alcotest.test_case "run_one exports assignments on request" `Quick (fun () ->
+        let inst =
+          match Workload_select.build (source ~n:10 ()) with
+          | Ok i -> i
+          | Error e -> Alcotest.fail e
+        in
+        let path = Filename.temp_file "dvbp_assign" ".csv" in
+        Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+            (match Run_report.run_one ~export:path ~policy:"ff" ~seed:1 inst ~gantt:false with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e);
+            let lines =
+              In_channel.with_open_text path In_channel.input_all
+              |> String.split_on_char '\n'
+              |> List.filter (fun l -> l <> "")
+            in
+            (* header + one row per item *)
+            check_int "rows" (1 + Instance.size inst) (List.length lines)));
+    Alcotest.test_case "run_one with trajectory plot succeeds" `Quick (fun () ->
+        let inst =
+          match Workload_select.build (source ~n:15 ()) with
+          | Ok i -> i
+          | Error e -> Alcotest.fail e
+        in
+        match Run_report.run_one ~trajectory:true ~policy:"mtf" ~seed:1 inst ~gantt:false with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "run_one rejects unknown policies" `Quick (fun () ->
+        let inst =
+          match Workload_select.build (source ~n:5 ()) with
+          | Ok i -> i
+          | Error e -> Alcotest.fail e
+        in
+        check_bool "error" true
+          (Result.is_error (Run_report.run_one ~policy:"zzz" ~seed:1 inst ~gantt:false)));
+  ]
+
+let suites =
+  [ ("cli.workload_select", select_tests); ("cli.run_report", report_tests) ]

@@ -1,0 +1,536 @@
+(* Unit tests for Dvbp_core: items, instances, bins, load measures,
+   policy selection logic, and packing validation. *)
+
+open Dvbp_core
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+
+let v = Vec.of_list
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let item ?(id = 0) a e size = Item.make ~id ~arrival:a ~departure:e ~size:(v size)
+
+let item_tests =
+  [
+    Alcotest.test_case "duration and interval" `Quick (fun () ->
+        let r = item 1.0 3.5 [ 2 ] in
+        check_float "duration" 2.5 (Item.duration r);
+        check_bool "interval" true (Interval.equal (Item.interval r) (Interval.make 1.0 3.5)));
+    Alcotest.test_case "active_at half-open" `Quick (fun () ->
+        let r = item 1.0 2.0 [ 1 ] in
+        check_bool "at arrival" true (Item.active_at r 1.0);
+        check_bool "at departure" false (Item.active_at r 2.0);
+        check_bool "before" false (Item.active_at r 0.5));
+    Alcotest.test_case "rejects zero duration" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (item 1.0 1.0 [ 1 ]); false with Invalid_argument _ -> true));
+    Alcotest.test_case "rejects negative arrival" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (item (-1.0) 1.0 [ 1 ]); false with Invalid_argument _ -> true));
+    Alcotest.test_case "compare_by_arrival breaks ties by id" `Quick (fun () ->
+        let a = item ~id:3 0.0 1.0 [ 1 ] and b = item ~id:1 0.0 1.0 [ 1 ] in
+        check_bool "b first" true (Item.compare_by_arrival b a < 0));
+  ]
+
+let cap2 = v [ 10; 10 ]
+
+let instance_tests =
+  [
+    Alcotest.test_case "of_specs assigns sequence ids" `Quick (fun () ->
+        let inst =
+          Instance.of_specs_exn ~capacity:cap2
+            [ (0.0, 1.0, v [ 1; 1 ]); (0.0, 2.0, v [ 2; 2 ]) ]
+        in
+        check_int "n" 2 (Instance.size inst);
+        let ids = List.map (fun (r : Item.t) -> r.Item.id) inst.Instance.items in
+        Alcotest.(check (list int)) "ids in order" [ 0; 1 ] ids);
+    Alcotest.test_case "rejects oversized item" `Quick (fun () ->
+        match Instance.of_specs ~capacity:cap2 [ (0.0, 1.0, v [ 11; 1 ]) ] with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "rejects dimension mismatch" `Quick (fun () ->
+        match Instance.of_specs ~capacity:cap2 [ (0.0, 1.0, v [ 1 ]) ] with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "rejects empty instance" `Quick (fun () ->
+        match Instance.make ~capacity:cap2 [] with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "rejects duplicate ids" `Quick (fun () ->
+        let r = item ~id:0 0.0 1.0 [ 1; 1 ] in
+        match Instance.make ~capacity:cap2 [ r; r ] with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "mu ratio" `Quick (fun () ->
+        let inst =
+          Instance.of_specs_exn ~capacity:cap2
+            [ (0.0, 1.0, v [ 1; 1 ]); (0.0, 5.0, v [ 1; 1 ]) ]
+        in
+        check_float "mu" 5.0 (Instance.mu inst));
+    Alcotest.test_case "span with a gap" `Quick (fun () ->
+        let inst =
+          Instance.of_specs_exn ~capacity:cap2
+            [ (0.0, 1.0, v [ 1; 1 ]); (3.0, 5.0, v [ 1; 1 ]) ]
+        in
+        check_float "span" 3.0 (Instance.span inst);
+        check_float "horizon" 5.0 (Instance.horizon inst));
+    Alcotest.test_case "total_utilisation" `Quick (fun () ->
+        (* item 1: linf 0.5 for 2 time units; item 2: linf 0.2 for 1 unit *)
+        let inst =
+          Instance.of_specs_exn ~capacity:cap2
+            [ (0.0, 2.0, v [ 5; 2 ]); (0.0, 1.0, v [ 1; 2 ]) ]
+        in
+        check_float "util" 1.2 (Instance.total_utilisation inst));
+    Alcotest.test_case "items sorted by arrival then id" `Quick (fun () ->
+        let items =
+          [
+            Item.make ~id:0 ~arrival:5.0 ~departure:6.0 ~size:(v [ 1; 1 ]);
+            Item.make ~id:1 ~arrival:0.0 ~departure:1.0 ~size:(v [ 1; 1 ]);
+          ]
+        in
+        let inst = Instance.make_exn ~capacity:cap2 items in
+        let ids = List.map (fun (r : Item.t) -> r.Item.id) inst.Instance.items in
+        Alcotest.(check (list int)) "sorted" [ 1; 0 ] ids);
+  ]
+
+let transform_tests =
+  let base =
+    Instance.of_specs_exn ~capacity:cap2
+      [ (0.0, 2.0, v [ 4; 2 ]); (1.0, 3.0, v [ 1; 1 ]) ]
+  in
+  [
+    Alcotest.test_case "shift translates times, keeps sizes and ids" `Quick
+      (fun () ->
+        let shifted = Instance.shift base ~by:10.0 in
+        check_float "span unchanged" (Instance.span base) (Instance.span shifted);
+        check_float "horizon" 13.0 (Instance.horizon shifted);
+        let ids i = List.map (fun (r : Item.t) -> r.Item.id) i.Instance.items in
+        Alcotest.(check (list int)) "ids" (ids base) (ids shifted));
+    Alcotest.test_case "shift below zero rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Instance.shift base ~by:(-1.0)); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "scale_sizes scales capacity too" `Quick (fun () ->
+        let scaled = Instance.scale_sizes base ~factor:3 in
+        check_bool "capacity" true
+          (Vec.equal scaled.Instance.capacity (v [ 30; 30 ]));
+        let first = List.hd scaled.Instance.items in
+        check_bool "size" true (Vec.equal first.Item.size (v [ 12; 6 ])));
+    Alcotest.test_case "scale_sizes rejects non-positive factor" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Instance.scale_sizes base ~factor:0); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "scale_time dilates durations" `Quick (fun () ->
+        let dilated = Instance.scale_time base ~factor:2.0 in
+        check_float "span" (2.0 *. Instance.span base) (Instance.span dilated);
+        check_float "mu unchanged" (Instance.mu base) (Instance.mu dilated));
+    Alcotest.test_case "merge concatenates and re-ids" `Quick (fun () ->
+        let far = Instance.shift base ~by:20.0 in
+        match Instance.merge [ base; far ] with
+        | Error e -> Alcotest.fail e
+        | Ok merged ->
+            check_int "n" 4 (Instance.size merged);
+            let ids = List.map (fun (r : Item.t) -> r.Item.id) merged.Instance.items in
+            Alcotest.(check (list int)) "re-id" [ 0; 1; 2; 3 ] ids;
+            check_float "span adds" (2.0 *. Instance.span base) (Instance.span merged));
+    Alcotest.test_case "merge rejects capacity mismatch" `Quick (fun () ->
+        let other =
+          Instance.of_specs_exn ~capacity:(v [ 5; 5 ]) [ (0.0, 1.0, v [ 1; 1 ]) ]
+        in
+        check_bool "error" true (Result.is_error (Instance.merge [ base; other ])));
+    Alcotest.test_case "merge rejects empty list" `Quick (fun () ->
+        check_bool "error" true (Result.is_error (Instance.merge [])));
+  ]
+
+let load_measure_tests =
+  [
+    Alcotest.test_case "apply measures" `Quick (fun () ->
+        let load = v [ 5; 8 ] in
+        check_float "linf" 0.8 (Load_measure.apply Load_measure.Linf ~cap:cap2 load);
+        check_float "l1" 1.3 (Load_measure.apply Load_measure.L1 ~cap:cap2 load);
+        check_float "l2" (sqrt ((0.5 ** 2.0) +. (0.8 ** 2.0)))
+          (Load_measure.apply (Load_measure.Lp 2.0) ~cap:cap2 load));
+    Alcotest.test_case "names round-trip" `Quick (fun () ->
+        List.iter
+          (fun m ->
+            match Load_measure.of_name (Load_measure.name m) with
+            | Ok m' -> check_bool "round trip" true (m = m')
+            | Error e -> Alcotest.fail e)
+          Load_measure.all_standard);
+    Alcotest.test_case "of_name aliases and errors" `Quick (fun () ->
+        check_bool "max" true (Load_measure.of_name "max" = Ok Load_measure.Linf);
+        check_bool "sum" true (Load_measure.of_name "sum" = Ok Load_measure.L1);
+        check_bool "lp:3" true (Load_measure.of_name "lp:3" = Ok (Load_measure.Lp 3.0));
+        check_bool "bogus" true (Result.is_error (Load_measure.of_name "bogus")));
+  ]
+
+let fresh_bin ?(id = 0) ?(now = 0.0) ?(touch = 0) () =
+  Bin.create ~id ~capacity:cap2 ~now ~touch
+
+let bin_tests =
+  [
+    Alcotest.test_case "place accumulates load" `Quick (fun () ->
+        let b = fresh_bin () in
+        Bin.place b (item ~id:0 0.0 1.0 [ 3; 4 ]) ~touch:1;
+        Bin.place b (item ~id:1 0.0 1.0 [ 2; 1 ]) ~touch:2;
+        check_bool "load" true (Vec.equal b.Bin.load (v [ 5; 5 ]));
+        check_int "last_used" 2 b.Bin.last_used);
+    Alcotest.test_case "place rejects overflow" `Quick (fun () ->
+        let b = fresh_bin () in
+        Bin.place b (item ~id:0 0.0 1.0 [ 9; 9 ]) ~touch:1;
+        check_bool "raises" true
+          (try Bin.place b (item ~id:1 0.0 1.0 [ 2; 0 ]) ~touch:2; false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "remove subtracts" `Quick (fun () ->
+        let b = fresh_bin () in
+        let r = item ~id:0 0.0 1.0 [ 3; 4 ] in
+        Bin.place b r ~touch:1;
+        Bin.remove b r;
+        check_bool "empty" true (Bin.is_empty b);
+        check_bool "zero load" true (Vec.is_zero b.Bin.load));
+    Alcotest.test_case "remove unknown item rejected" `Quick (fun () ->
+        let b = fresh_bin () in
+        check_bool "raises" true
+          (try Bin.remove b (item ~id:5 0.0 1.0 [ 1; 1 ]); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "close lifecycle" `Quick (fun () ->
+        let b = fresh_bin ~now:1.0 () in
+        let r = item ~id:0 1.0 4.0 [ 1; 1 ] in
+        Bin.place b r ~touch:1;
+        check_bool "open" true (Bin.is_open b);
+        Bin.remove b r;
+        Bin.close b ~now:4.0;
+        check_bool "closed" false (Bin.is_open b);
+        check_bool "usage" true
+          (Interval.equal (Bin.usage_interval b) (Interval.make 1.0 4.0)));
+    Alcotest.test_case "close non-empty rejected" `Quick (fun () ->
+        let b = fresh_bin () in
+        Bin.place b (item ~id:0 0.0 1.0 [ 1; 1 ]) ~touch:1;
+        check_bool "raises" true
+          (try Bin.close b ~now:1.0; false with Invalid_argument _ -> true));
+    Alcotest.test_case "place into closed bin rejected" `Quick (fun () ->
+        let b = fresh_bin () in
+        Bin.close b ~now:0.0;
+        check_bool "raises" true
+          (try Bin.place b (item ~id:0 0.0 1.0 [ 1; 1 ]) ~touch:1; false
+           with Invalid_argument _ -> true));
+  ]
+
+(* Policy selection unit tests on hand-built bin lists. *)
+let view size = { Policy.size = v size; arrival = 0.0; departure = None }
+
+let three_bins ~loads =
+  (* bins 0,1,2 with given loads; last_used = id for determinism *)
+  List.mapi
+    (fun i load ->
+      let b = fresh_bin ~id:i ~touch:i () in
+      if load <> [ 0; 0 ] then
+        Bin.place b (item ~id:(100 + i) 0.0 1.0 load) ~touch:i;
+      b)
+    loads
+
+let selected = function
+  | Policy.Existing b -> Some b.Bin.id
+  | Policy.Fresh -> None
+
+let policy_tests =
+  [
+    Alcotest.test_case "first fit picks earliest fitting" `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 9; 9 ]; [ 1; 1 ]; [ 0; 0 ] ] in
+        let p = Policy.first_fit () in
+        Alcotest.(check (option int)) "bin 1" (Some 1)
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+    Alcotest.test_case "first fit opens fresh when nothing fits" `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 9; 9 ]; [ 8; 8 ]; [ 7; 7 ] ] in
+        let p = Policy.first_fit () in
+        Alcotest.(check (option int)) "fresh" None
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+    Alcotest.test_case "last fit picks latest fitting" `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 1; 1 ]; [ 1; 1 ]; [ 9; 9 ] ] in
+        let p = Policy.last_fit () in
+        Alcotest.(check (option int)) "bin 1" (Some 1)
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+    Alcotest.test_case "best fit picks most loaded fitting" `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 2; 2 ]; [ 5; 1 ]; [ 3; 3 ] ] in
+        let p = Policy.best_fit () in
+        (* linf loads: 0.2, 0.5, 0.3 — all fit a (5,5) item *)
+        Alcotest.(check (option int)) "bin 1" (Some 1)
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+    Alcotest.test_case "best fit skips bins that do not fit" `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 2; 2 ]; [ 8; 8 ]; [ 3; 3 ] ] in
+        let p = Policy.best_fit () in
+        Alcotest.(check (option int)) "bin 2" (Some 2)
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+    Alcotest.test_case "best fit l1 measure changes the choice" `Quick (fun () ->
+        (* linf: (0.5,0.5) vs (0.6,0.1): l∞ prefers bin 1 (0.6), l1 prefers bin 0 (1.0 vs 0.7) *)
+        let bins = three_bins ~loads:[ [ 5; 5 ]; [ 6; 1 ]; [ 0; 0 ] ] in
+        let p_inf = Policy.best_fit ~measure:Load_measure.Linf () in
+        let p_l1 = Policy.best_fit ~measure:Load_measure.L1 () in
+        Alcotest.(check (option int)) "linf" (Some 1)
+          (selected (p_inf.Policy.select ~item:(view [ 2; 2 ]) ~open_bins:bins));
+        Alcotest.(check (option int)) "l1" (Some 0)
+          (selected (p_l1.Policy.select ~item:(view [ 2; 2 ]) ~open_bins:bins)));
+    Alcotest.test_case "worst fit picks least loaded fitting" `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 2; 2 ]; [ 5; 1 ]; [ 3; 3 ] ] in
+        let p = Policy.worst_fit () in
+        Alcotest.(check (option int)) "bin 0" (Some 0)
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+    Alcotest.test_case "mtf picks most recently used fitting" `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 1; 1 ]; [ 1; 1 ]; [ 1; 1 ] ] in
+        (* touching bin 0 with a weightless placement makes it most recent *)
+        Bin.place (List.nth bins 0) (item ~id:300 0.0 1.0 [ 0; 0 ]) ~touch:99;
+        let p = Policy.move_to_front () in
+        Alcotest.(check (option int)) "bin 0" (Some 0)
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+    Alcotest.test_case "mtf skips recently used bin that does not fit" `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 1; 1 ]; [ 9; 9 ]; [ 1; 1 ] ] in
+        Bin.place (List.nth bins 1) (item ~id:301 0.0 1.0 [ 0; 0 ]) ~touch:99;
+        let p = Policy.move_to_front () in
+        Alcotest.(check (option int)) "bin 2" (Some 2)
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+    Alcotest.test_case "next fit with no current opens fresh" `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 0; 0 ]; [ 0; 0 ]; [ 0; 0 ] ] in
+        let p = Policy.next_fit () in
+        Alcotest.(check (option int)) "fresh" None
+          (selected (p.Policy.select ~item:(view [ 1; 1 ]) ~open_bins:bins)));
+    Alcotest.test_case "next fit sticks to current bin" `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 0; 0 ]; [ 1; 1 ]; [ 0; 0 ] ] in
+        let p = Policy.next_fit () in
+        p.Policy.on_place ~bin:(List.nth bins 1) ~now:0.0;
+        Alcotest.(check (option int)) "bin 1" (Some 1)
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+    Alcotest.test_case "next fit releases current when item misses" `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 0; 0 ]; [ 8; 8 ]; [ 0; 0 ] ] in
+        let p = Policy.next_fit () in
+        p.Policy.on_place ~bin:(List.nth bins 1) ~now:0.0;
+        (* does not fit in bin 1 -> fresh even though bins 0 and 2 fit *)
+        Alcotest.(check (option int)) "fresh" None
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+    Alcotest.test_case "next fit forgets a closed current bin" `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 0; 0 ]; [ 1; 1 ]; [ 0; 0 ] ] in
+        let p = Policy.next_fit () in
+        p.Policy.on_place ~bin:(List.nth bins 1) ~now:0.0;
+        p.Policy.on_close ~bin:(List.nth bins 1) ~now:1.0;
+        Alcotest.(check (option int)) "fresh" None
+          (selected (p.Policy.select ~item:(view [ 1; 1 ]) ~open_bins:bins)));
+    Alcotest.test_case "random fit always selects a fitting bin" `Quick (fun () ->
+        let rng = Dvbp_prelude.Rng.create ~seed:7 in
+        let p = Policy.random_fit ~rng () in
+        let bins = three_bins ~loads:[ [ 9; 9 ]; [ 1; 1 ]; [ 8; 8 ] ] in
+        for _ = 1 to 50 do
+          match selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins) with
+          | Some 1 -> ()
+          | other ->
+              Alcotest.failf "expected bin 1, got %s"
+                (match other with None -> "fresh" | Some i -> string_of_int i)
+        done);
+    Alcotest.test_case "of_name builds all standard policies" `Quick (fun () ->
+        let rng = Dvbp_prelude.Rng.create ~seed:1 in
+        List.iter
+          (fun name ->
+            match Policy.of_name ~rng name with
+            | Ok p -> Alcotest.(check string) "name" name p.Policy.name
+            | Error e -> Alcotest.fail e)
+          Policy.standard_names);
+    Alcotest.test_case "of_name rf without rng fails" `Quick (fun () ->
+        check_bool "error" true (Result.is_error (Policy.of_name "rf")));
+    Alcotest.test_case "of_name unknown fails" `Quick (fun () ->
+        check_bool "error" true (Result.is_error (Policy.of_name "zzz")));
+    Alcotest.test_case "hybrid first fit separates duration classes" `Quick
+      (fun () ->
+        let p = Policy.hybrid_first_fit () in
+        let bins = three_bins ~loads:[ [ 0; 0 ]; [ 0; 0 ]; [ 0; 0 ] ] in
+        (* a long item claims bin 0 for its class *)
+        let long =
+          { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = Some 64.0 }
+        in
+        (match p.Policy.select ~item:long ~open_bins:[] with
+        | Policy.Fresh -> p.Policy.on_place ~bin:(List.nth bins 0) ~now:0.0
+        | Policy.Existing _ -> Alcotest.fail "no bins yet");
+        (* a short item refuses bin 0 even though it fits *)
+        let short =
+          { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = Some 1.5 }
+        in
+        (match p.Policy.select ~item:short ~open_bins:[ List.nth bins 0 ] with
+        | Policy.Fresh -> p.Policy.on_place ~bin:(List.nth bins 1) ~now:0.0
+        | Policy.Existing b -> Alcotest.failf "shared bin %d across classes" b.Bin.id);
+        (* a second short item joins the short bin *)
+        let short2 =
+          { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = Some 1.9 }
+        in
+        match
+          p.Policy.select ~item:short2
+            ~open_bins:[ List.nth bins 0; List.nth bins 1 ]
+        with
+        | Policy.Existing b -> Alcotest.(check int) "short bin" 1 b.Bin.id
+        | Policy.Fresh -> Alcotest.fail "should reuse the short-class bin");
+    Alcotest.test_case "hybrid first fit forgets closed bins" `Quick (fun () ->
+        let p = Policy.hybrid_first_fit () in
+        let bins = three_bins ~loads:[ [ 0; 0 ]; [ 0; 0 ]; [ 0; 0 ] ] in
+        let it = { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = Some 2.0 } in
+        (match p.Policy.select ~item:it ~open_bins:[] with
+        | Policy.Fresh -> p.Policy.on_place ~bin:(List.nth bins 0) ~now:0.0
+        | Policy.Existing _ -> Alcotest.fail "no bins yet");
+        p.Policy.on_close ~bin:(List.nth bins 0) ~now:3.0;
+        (* after the close the class tag is gone; bin 0 (hypothetically
+           reopened) is no longer recognised *)
+        match p.Policy.select ~item:it ~open_bins:[ List.nth bins 0 ] with
+        | Policy.Fresh -> ()
+        | Policy.Existing _ -> Alcotest.fail "stale class tag");
+    Alcotest.test_case "hybrid first fit rejects bad class count" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Policy.hybrid_first_fit ~num_classes:0 ()); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "duration-aligned fit prefers matching departure" `Quick
+      (fun () ->
+        let bins = three_bins ~loads:[ [ 1; 1 ]; [ 1; 1 ]; [ 0; 0 ] ] in
+        (* bin 0 holds an item departing at 10, bin 1 at 2 *)
+        Bin.place (List.nth bins 0) (item ~id:200 0.0 10.0 [ 1; 1 ]) ~touch:5;
+        Bin.place (List.nth bins 1) (item ~id:201 0.0 2.0 [ 1; 1 ]) ~touch:6;
+        let p = Policy.duration_aligned_fit () in
+        let it = { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = Some 9.5 } in
+        Alcotest.(check (option int)) "bin 0" (Some 0)
+          (selected (p.Policy.select ~item:it ~open_bins:bins)));
+    Alcotest.test_case "duration-aligned slack breaks ties by load" `Quick
+      (fun () ->
+        (* both bins within the slack window; the fuller bin must win *)
+        let bins = three_bins ~loads:[ [ 1; 1 ]; [ 5; 5 ]; [ 0; 0 ] ] in
+        Bin.place (List.nth bins 0) (item ~id:210 0.0 9.0 [ 1; 1 ]) ~touch:5;
+        Bin.place (List.nth bins 1) (item ~id:211 0.0 11.0 [ 1; 1 ]) ~touch:6;
+        let p = Policy.duration_aligned_fit ~slack:5.0 () in
+        let it = { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = Some 10.0 } in
+        Alcotest.(check (option int)) "fuller bin" (Some 1)
+          (selected (p.Policy.select ~item:it ~open_bins:bins)));
+    Alcotest.test_case "duration-aligned fit without departures acts like best fit"
+      `Quick (fun () ->
+        let bins = three_bins ~loads:[ [ 2; 2 ]; [ 5; 1 ]; [ 3; 3 ] ] in
+        let p = Policy.duration_aligned_fit () in
+        let it = { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = None } in
+        Alcotest.(check (option int)) "most loaded" (Some 1)
+          (selected (p.Policy.select ~item:it ~open_bins:bins)));
+  ]
+
+let packing_tests =
+  [
+    Alcotest.test_case "cost sums bin intervals" `Quick (fun () ->
+        let r0 = item ~id:0 0.0 2.0 [ 1; 1 ] and r1 = item ~id:1 1.0 4.0 [ 1; 1 ] in
+        let p =
+          Packing.make ~capacity:cap2
+            [
+              { Packing.bin_id = 0; interval = Interval.make 0.0 2.0; items = [ r0 ] };
+              { Packing.bin_id = 1; interval = Interval.make 1.0 4.0; items = [ r1 ] };
+            ]
+        in
+        check_float "cost" 5.0 (Packing.cost p);
+        check_int "bins" 2 (Packing.num_bins p);
+        Alcotest.(check (option int)) "assign" (Some 1) (Packing.bin_of_item p 1));
+    Alcotest.test_case "max_concurrent_bins" `Quick (fun () ->
+        let r0 = item ~id:0 0.0 2.0 [ 1; 1 ]
+        and r1 = item ~id:1 1.0 4.0 [ 1; 1 ]
+        and r2 = item ~id:2 2.0 3.0 [ 1; 1 ] in
+        let p =
+          Packing.make ~capacity:cap2
+            [
+              { Packing.bin_id = 0; interval = Interval.make 0.0 2.0; items = [ r0 ] };
+              { Packing.bin_id = 1; interval = Interval.make 1.0 4.0; items = [ r1 ] };
+              { Packing.bin_id = 2; interval = Interval.make 2.0 3.0; items = [ r2 ] };
+            ]
+        in
+        (* [0,2) and [1,4) overlap; bin 0 closes exactly when bin 2 opens *)
+        check_int "peak" 2 (Packing.max_concurrent_bins p));
+    Alcotest.test_case "make rejects double assignment" `Quick (fun () ->
+        let r0 = item ~id:0 0.0 2.0 [ 1; 1 ] in
+        check_bool "raises" true
+          (try
+             ignore
+               (Packing.make ~capacity:cap2
+                  [
+                    { Packing.bin_id = 0; interval = Interval.make 0.0 2.0; items = [ r0 ] };
+                    { Packing.bin_id = 1; interval = Interval.make 0.0 2.0; items = [ r0 ] };
+                  ]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "validate accepts a correct packing" `Quick (fun () ->
+        let inst =
+          Instance.of_specs_exn ~capacity:cap2
+            [ (0.0, 2.0, v [ 5; 5 ]); (0.0, 2.0, v [ 5; 5 ]) ]
+        in
+        let items = inst.Instance.items in
+        let p =
+          Packing.make ~capacity:cap2
+            [ { Packing.bin_id = 0; interval = Interval.make 0.0 2.0; items } ]
+        in
+        match Packing.validate inst p with
+        | Ok () -> ()
+        | Error es -> Alcotest.failf "unexpected: %s" (String.concat "; " es));
+    Alcotest.test_case "validate flags capacity overflow" `Quick (fun () ->
+        let inst =
+          Instance.of_specs_exn ~capacity:cap2
+            [ (0.0, 2.0, v [ 6; 6 ]); (0.0, 2.0, v [ 6; 6 ]) ]
+        in
+        let items = inst.Instance.items in
+        let p =
+          Packing.make ~capacity:cap2
+            [ { Packing.bin_id = 0; interval = Interval.make 0.0 2.0; items } ]
+        in
+        check_bool "invalid" true (Result.is_error (Packing.validate inst p)));
+    Alcotest.test_case "validate flags unpacked item" `Quick (fun () ->
+        let inst =
+          Instance.of_specs_exn ~capacity:cap2
+            [ (0.0, 2.0, v [ 1; 1 ]); (0.0, 2.0, v [ 1; 1 ]) ]
+        in
+        let first = List.hd inst.Instance.items in
+        let p =
+          Packing.make ~capacity:cap2
+            [ { Packing.bin_id = 0; interval = Interval.make 0.0 2.0; items = [ first ] } ]
+        in
+        check_bool "invalid" true (Result.is_error (Packing.validate inst p)));
+    Alcotest.test_case "validate flags gap in bin usage" `Quick (fun () ->
+        let inst =
+          Instance.of_specs_exn ~capacity:cap2
+            [ (0.0, 1.0, v [ 1; 1 ]); (2.0, 3.0, v [ 1; 1 ]) ]
+        in
+        let items = inst.Instance.items in
+        let p =
+          Packing.make ~capacity:cap2
+            [ { Packing.bin_id = 0; interval = Interval.make 0.0 3.0; items } ]
+        in
+        check_bool "invalid" true (Result.is_error (Packing.validate inst p)));
+    Alcotest.test_case "to_csv lists every item with its bin" `Quick (fun () ->
+        let r0 = item ~id:0 0.0 2.0 [ 1; 1 ] and r1 = item ~id:1 1.0 4.0 [ 9; 9 ] in
+        let p =
+          Packing.make ~capacity:cap2
+            [
+              { Packing.bin_id = 0; interval = Interval.make 0.0 2.0; items = [ r0 ] };
+              { Packing.bin_id = 1; interval = Interval.make 1.0 4.0; items = [ r1 ] };
+            ]
+        in
+        let csv = Packing.to_csv p in
+        let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) in
+        check_int "rows" 3 (List.length lines);
+        Alcotest.(check string) "header" "item_id,bin_id,arrival,departure,size_1,size_2"
+          (List.hd lines);
+        check_bool "item 1 row" true
+          (List.exists (fun l -> String.length l > 4 && String.sub l 0 4 = "1,1,") lines));
+    Alcotest.test_case "validate flags wrong interval" `Quick (fun () ->
+        let inst = Instance.of_specs_exn ~capacity:cap2 [ (0.0, 2.0, v [ 1; 1 ]) ] in
+        let items = inst.Instance.items in
+        let p =
+          Packing.make ~capacity:cap2
+            [ { Packing.bin_id = 0; interval = Interval.make 0.0 5.0; items } ]
+        in
+        check_bool "invalid" true (Result.is_error (Packing.validate inst p)));
+  ]
+
+let suites =
+  [
+    ("core.item", item_tests);
+    ("core.instance", instance_tests);
+    ("core.instance_transforms", transform_tests);
+    ("core.load_measure", load_measure_tests);
+    ("core.bin", bin_tests);
+    ("core.policy", policy_tests);
+    ("core.packing", packing_tests);
+  ]

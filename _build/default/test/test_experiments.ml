@@ -1,0 +1,367 @@
+(* Tests for the experiment harness: determinism of the runner, shape of the
+   Figure 4 sweep, Table 1 verification, proof figures and ablations. All
+   configs here are scaled down — correctness of shape, not statistics. *)
+
+open Dvbp_experiments
+module Rng = Dvbp_prelude.Rng
+module Uniform_model = Dvbp_workload.Uniform_model
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains_sub msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+let tiny_gen =
+  let params = { Uniform_model.d = 2; n = 50; mu = 5; span = 50; bin_size = 20 } in
+  fun ~rng -> Uniform_model.generate params ~rng
+
+let runner_tests =
+  [
+    Alcotest.test_case "deterministic per seed" `Quick (fun () ->
+        let go () =
+          Runner.ratio_stats ~instances:5 ~seed:3 ~gen:tiny_gen
+            ~competitors:(Runner.standard_competitors ())
+            ()
+        in
+        let a = go () and b = go () in
+        List.iter2
+          (fun (la, sa) (lb, sb) ->
+            Alcotest.(check string) "label" la lb;
+            Alcotest.(check (float 0.0)) "mean" sa.Runner.mean sb.Runner.mean;
+            Alcotest.(check (float 0.0)) "std" sa.Runner.std sb.Runner.std)
+          a b);
+    Alcotest.test_case "ratios are at least 1" `Quick (fun () ->
+        let results =
+          Runner.ratio_stats ~instances:5 ~seed:4 ~gen:tiny_gen
+            ~competitors:(Runner.standard_competitors ())
+            ()
+        in
+        List.iter
+          (fun (label, s) ->
+            check_bool (label ^ " min >= 1") true (s.Runner.min >= 1.0 -. 1e-9))
+          results);
+    Alcotest.test_case "custom denominator" `Quick (fun () ->
+        let results =
+          Runner.ratio_stats ~denominator:(fun _ -> 1.0) ~instances:2 ~seed:5
+            ~gen:tiny_gen
+            ~competitors:[ List.hd (Runner.standard_competitors ()) ]
+            ()
+        in
+        List.iter (fun (_, s) -> check_bool "raw cost" true (s.Runner.mean > 10.0)) results);
+    Alcotest.test_case "duplicate labels rejected" `Quick (fun () ->
+        let c = List.hd (Runner.standard_competitors ()) in
+        check_bool "raises" true
+          (try
+             ignore (Runner.ratio_stats ~instances:1 ~seed:1 ~gen:tiny_gen
+                       ~competitors:[ c; c ] ());
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "non-positive instance count rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Runner.ratio_stats ~instances:0 ~seed:1 ~gen:tiny_gen
+                       ~competitors:(Runner.standard_competitors ()) ());
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "competitor_of_name handles daf and rejects junk" `Quick
+      (fun () ->
+        (match Runner.competitor_of_name "daf" with
+        | Ok c -> check_bool "clairvoyant" true (c.Runner.oracle = Runner.Exact_departures)
+        | Error e -> Alcotest.fail e);
+        (match Runner.competitor_of_name "mtf" with
+        | Ok c -> check_bool "plain" true (c.Runner.oracle = Runner.No_departure_info)
+        | Error e -> Alcotest.fail e);
+        check_bool "junk" true (Result.is_error (Runner.competitor_of_name "junk")));
+  ]
+
+let tiny_config =
+  {
+    Figure4.ds = [ 1; 2 ];
+    mus = [ 1; 5 ];
+    instances = 3;
+    seed = 11;
+    n_items = 40;
+    span = 50;
+    bin_size = 20;
+  }
+
+let figure4_tests =
+  [
+    Alcotest.test_case "sweep covers the grid with all policies" `Quick (fun () ->
+        let cells = Figure4.run tiny_config in
+        check_int "cells" 4 (List.length cells);
+        List.iter
+          (fun c ->
+            check_int "policies" 7 (List.length c.Figure4.per_policy);
+            List.iter
+              (fun (_, s) -> check_int "samples" 3 s.Runner.n)
+              c.Figure4.per_policy)
+          cells);
+    Alcotest.test_case "progress callback fires per cell" `Quick (fun () ->
+        let count = ref 0 in
+        ignore (Figure4.run ~progress:(fun _ -> incr count) tiny_config);
+        check_int "events" 4 !count);
+    Alcotest.test_case "table and csv well-formed" `Quick (fun () ->
+        let cells = Figure4.run tiny_config in
+        let table = Figure4.render_table cells in
+        check_bool "has mtf column" true (contains_sub table "mtf");
+        let csv = Figure4.to_csv cells in
+        let lines =
+          List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' csv)
+        in
+        check_int "csv rows" (1 + (4 * 7)) (List.length lines));
+    Alcotest.test_case "plots render one grid per d" `Quick (fun () ->
+        let cells = Figure4.run tiny_config in
+        let plots = Figure4.render_plots cells in
+        check_bool "d=1 present" true (contains_sub plots "d = 1");
+        check_bool "d=2 present" true (contains_sub plots "d = 2");
+        check_bool "legend" true (contains_sub plots "M mtf"));
+    Alcotest.test_case "paper config matches Table 2" `Quick (fun () ->
+        check_int "instances" 1000 Figure4.paper.Figure4.instances;
+        Alcotest.(check (list int)) "mus" [ 1; 2; 5; 10; 100; 200 ]
+          Figure4.paper.Figure4.mus;
+        Alcotest.(check (list int)) "ds" [ 1; 2; 5 ] Figure4.paper.Figure4.ds);
+  ]
+
+let table1_tests =
+  [
+    Alcotest.test_case "theory table lists all five algorithms" `Quick (fun () ->
+        let t = Table1.render_theory () in
+        List.iter
+          (fun name -> check_bool name true (contains_sub t name))
+          [ "Any Fit"; "Move To Front"; "First Fit"; "Next Fit"; "Best Fit" ]);
+    Alcotest.test_case "gadget verification: measured >= certified" `Quick (fun () ->
+        let rows = Table1.verify_gadgets ~d:2 ~mu:3.0 ~ks:[ 2; 4 ] () in
+        check_bool "nonempty" true (rows <> []);
+        List.iter
+          (fun r ->
+            check_bool
+              (r.Table1.gadget ^ "/" ^ r.Table1.policy)
+              true
+              (r.Table1.measured_ratio >= r.Table1.certified_ratio -. 1e-9))
+          rows);
+    Alcotest.test_case "certified ratios never exceed the limit" `Quick (fun () ->
+        let rows = Table1.verify_gadgets ~d:1 ~mu:4.0 ~ks:[ 2 ] () in
+        List.iter
+          (fun r ->
+            check_bool "within limit" true (r.Table1.certified_ratio <= r.Table1.limit +. 1e-9))
+          rows);
+    Alcotest.test_case "upper-bound fuzz finds no violations" `Quick (fun () ->
+        let rows = Table1.fuzz_upper_bounds ~instances:40 ~seed:2 () in
+        check_int "three policies" 3 (List.length rows);
+        List.iter
+          (fun r ->
+            check_int (r.Table1.policy ^ " violations") 0 r.Table1.violations;
+            check_bool "fraction <= 1" true (r.Table1.max_bound_fraction <= 1.0))
+          rows);
+    Alcotest.test_case "convergence plot renders all three families" `Quick
+      (fun () ->
+        let out = Table1.convergence ~ks:[ 2; 4 ] ~d:2 ~mu:3.0 () in
+        check_bool "anyfit" true (contains_sub out "anyfit (Thm 5)");
+        check_bool "nextfit" true (contains_sub out "nextfit (Thm 6)");
+        check_bool "mtf" true (contains_sub out "mtf (Thm 8)"));
+    Alcotest.test_case "renderers produce tables" `Quick (fun () ->
+        let rows = Table1.verify_gadgets ~d:1 ~mu:2.0 ~ks:[ 2 ] () in
+        check_bool "verification table" true
+          (contains_sub (Table1.render_verification rows) "measured CR");
+        let fuzz = Table1.fuzz_upper_bounds ~instances:5 ~seed:3 () in
+        check_bool "fuzz table" true (contains_sub (Table1.render_fuzz fuzz) "violations"));
+  ]
+
+let figure_tests =
+  [
+    Alcotest.test_case "figure 1 checks claim 1 live" `Quick (fun () ->
+        let out = Proof_figures.figure1 () in
+        check_bool "claims hold" true (contains_sub out "holds");
+        check_bool "no violation" false (contains_sub out "VIOLATED"));
+    Alcotest.test_case "figure 2 checks claim 4 live" `Quick (fun () ->
+        let out = Proof_figures.figure2 () in
+        check_bool "claims hold" true (contains_sub out "holds");
+        check_bool "no violation" false (contains_sub out "VIOLATED"));
+    Alcotest.test_case "figure 3 reports dk bins" `Quick (fun () ->
+        let out = Proof_figures.figure3 ~d:2 ~k:2 ~mu:3.0 () in
+        check_bool "bins line" true (contains_sub out "bins opened = 4"));
+    Alcotest.test_case "table 2 renders the paper parameters" `Quick (fun () ->
+        let out = Table2.render () in
+        check_bool "B" true (contains_sub out "Bin size");
+        check_bool "1000" true (contains_sub out "1000"));
+  ]
+
+let ablation_tests =
+  [
+    Alcotest.test_case "best fit measures produce three series" `Quick (fun () ->
+        let rows = Ablations.best_fit_measures ~instances:3 ~seed:1 ~d:2 ~mu:5 () in
+        Alcotest.(check (list string))
+          "labels"
+          [ "bf-linf"; "bf-l1"; "bf-l2" ]
+          (List.map fst rows));
+    Alcotest.test_case "correlation sweep covers all rhos" `Quick (fun () ->
+        let sweep =
+          Ablations.correlation_sweep ~instances:3 ~seed:1 ~d:2 ~mu:5
+            ~rhos:[ 0.0; 1.0 ] ()
+        in
+        check_int "rho points" 2 (List.length sweep);
+        List.iter
+          (fun (_, results) -> check_int "policies" 4 (List.length results))
+          sweep);
+    Alcotest.test_case "clairvoyance includes the daf competitor" `Quick (fun () ->
+        let rows = Ablations.clairvoyance ~instances:3 ~seed:1 ~d:2 ~mu:5 () in
+        check_bool "daf present" true
+          (List.mem_assoc "daf(clairvoyant)" rows));
+    Alcotest.test_case "denominator tightness is ordered by bound strength" `Quick
+      (fun () ->
+        let rows =
+          Ablations.denominator_tightness ~instances:2 ~seed:1 ~d:2 ~mu:5 ()
+        in
+        let mean label = (List.assoc label rows).Runner.mean in
+        (* stronger denominators give smaller ratios *)
+        check_bool "span >= height" true
+          (mean "vs span (iii)" >= mean "vs height (i)" -. 1e-9);
+        check_bool "util >= height" true
+          (mean "vs utilisation (ii)" >= mean "vs height (i)" -. 1e-9);
+        check_bool "height >= dff" true
+          (mean "vs height (i)" >= mean "vs DFF" -. 1e-9));
+    Alcotest.test_case "load sweep covers all item counts" `Quick (fun () ->
+        let sweep =
+          Ablations.load_sweep ~instances:2 ~seed:1 ~d:1 ~mu:5 ~ns:[ 100; 200 ] ()
+        in
+        Alcotest.(check (list (float 0.0))) "ns" [ 100.0; 200.0 ] (List.map fst sweep);
+        List.iter (fun (_, r) -> check_int "policies" 5 (List.length r)) sweep);
+    Alcotest.test_case "next-k sweep labels" `Quick (fun () ->
+        let rows = Ablations.next_k_sweep ~instances:2 ~seed:1 ~d:1 ~mu:5 ~ks:[ 1; 4 ] () in
+        Alcotest.(check (list string)) "labels" [ "nf1"; "nf4"; "ff" ] (List.map fst rows));
+    Alcotest.test_case "size classes include harmonic" `Quick (fun () ->
+        let rows = Ablations.size_classes ~instances:2 ~seed:1 ~d:1 ~mu:5 () in
+        check_bool "harmonic" true (List.mem_assoc "harmonic" rows));
+    Alcotest.test_case "prediction-error sweep includes all noise levels" `Quick
+      (fun () ->
+        let rows =
+          Ablations.prediction_error ~instances:3 ~seed:1 ~d:2 ~mu:10
+            ~sigmas:[ 0.5; 2.0 ] ()
+        in
+        Alcotest.(check (list string))
+          "labels"
+          [ "mtf"; "daf-exact"; "daf-noise0.5"; "daf-noise2.0" ]
+          (List.map fst rows));
+    Alcotest.test_case "renderers work" `Quick (fun () ->
+        let rows = Ablations.best_fit_measures ~instances:2 ~seed:1 ~d:1 ~mu:2 () in
+        check_bool "table" true (contains_sub (Ablations.render ~title:"t" rows) "bf-linf");
+        let sweep =
+          Ablations.correlation_sweep ~instances:2 ~seed:1 ~d:2 ~mu:2 ~rhos:[ 0.5 ] ()
+        in
+        check_bool "sweep table" true
+          (contains_sub (Ablations.render_sweep ~title:"t" ~param:"rho" sweep) "0.50"));
+  ]
+
+let significance_tests =
+  [
+    Alcotest.test_case "head_to_head covers the six challengers" `Quick (fun () ->
+        let rows =
+          Significance.head_to_head ~instances:10 ~seed:3 ~d:1 ~mu:10 ()
+        in
+        check_int "rows" 6 (List.length rows);
+        List.iter
+          (fun r ->
+            check_bool "p in range" true
+              (r.Significance.p_two_sided >= 0.0 && r.Significance.p_two_sided <= 1.0))
+          rows);
+    Alcotest.test_case "mtf beats worst fit at mu=100 significantly" `Quick
+      (fun () ->
+        let rows =
+          Significance.head_to_head ~instances:30 ~seed:4 ~d:1 ~mu:100 ()
+        in
+        let wf = List.find (fun r -> r.Significance.challenger = "wf") rows in
+        Alcotest.(check string) "verdict" "mtf wins" wf.Significance.verdict);
+    Alcotest.test_case "unknown baseline rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Significance.head_to_head ~instances:5 ~d:1 ~mu:5 ~baseline:"zzz" ());
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "render mentions verdicts" `Quick (fun () ->
+        let rows = Significance.head_to_head ~instances:8 ~seed:5 ~d:1 ~mu:10 () in
+        check_bool "has header" true (contains_sub (Significance.render rows) "verdict"));
+  ]
+
+let sample_tests =
+  [
+    Alcotest.test_case "ratio_samples aligns with ratio_stats" `Quick (fun () ->
+        let competitors = Runner.standard_competitors () in
+        let samples =
+          Runner.ratio_samples ~instances:5 ~seed:6 ~gen:tiny_gen ~competitors ()
+        in
+        let stats =
+          Runner.ratio_stats ~instances:5 ~seed:6 ~gen:tiny_gen ~competitors ()
+        in
+        List.iter2
+          (fun (ls, arr) (lt, s) ->
+            Alcotest.(check string) "label" ls lt;
+            let mean = Array.fold_left ( +. ) 0.0 arr /. 5.0 in
+            Alcotest.(check (float 1e-9)) "mean" s.Runner.mean mean;
+            check_int "length" 5 (Array.length arr))
+          samples stats);
+  ]
+
+let worst_case_tests =
+  [
+    Alcotest.test_case "search result is reproducible and within the bound" `Quick
+      (fun () ->
+        let config =
+          { Worst_case_search.default with Worst_case_search.steps = 60; seed = 5 }
+        in
+        let a = Worst_case_search.search ~policy:"ff" config in
+        let b = Worst_case_search.search ~policy:"ff" config in
+        Alcotest.(check (float 0.0)) "deterministic" a.Worst_case_search.ratio
+          b.Worst_case_search.ratio;
+        check_bool "ratio >= 1" true (a.Worst_case_search.ratio >= 1.0 -. 1e-9);
+        match a.Worst_case_search.theoretical_bound with
+        | Some bound ->
+            check_bool "within proven bound" true (a.Worst_case_search.ratio <= bound +. 1e-9)
+        | None -> Alcotest.fail "ff has a proven bound");
+    Alcotest.test_case "search beats the random starting point" `Quick (fun () ->
+        let short =
+          { Worst_case_search.default with Worst_case_search.steps = 0; seed = 8 }
+        in
+        let long = { short with Worst_case_search.steps = 200 } in
+        let r0 = Worst_case_search.search ~policy:"nf" short in
+        let r1 = Worst_case_search.search ~policy:"nf" long in
+        check_bool "improved" true
+          (r1.Worst_case_search.ratio >= r0.Worst_case_search.ratio);
+        check_bool "found something bad" true (r1.Worst_case_search.ratio > 1.05));
+    Alcotest.test_case "stochastic policy rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Worst_case_search.search ~policy:"rf" Worst_case_search.default);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "bad config rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try
+             ignore
+               (Worst_case_search.search ~policy:"ff"
+                  { Worst_case_search.default with Worst_case_search.max_items = 0 });
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "render mentions the ratio" `Quick (fun () ->
+        let config =
+          { Worst_case_search.default with Worst_case_search.steps = 10; seed = 2 }
+        in
+        let r = Worst_case_search.search ~policy:"mtf" config in
+        check_bool "text" true
+          (contains_sub (Worst_case_search.render ~policy:"mtf" r) "worst ratio"));
+  ]
+
+let suites =
+  [
+    ("experiments.runner", runner_tests);
+    ("experiments.samples", sample_tests);
+    ("experiments.significance", significance_tests);
+    ("experiments.worst_case_search", worst_case_tests);
+    ("experiments.figure4", figure4_tests);
+    ("experiments.table1", table1_tests);
+    ("experiments.proof_figures", figure_tests);
+    ("experiments.ablations", ablation_tests);
+  ]

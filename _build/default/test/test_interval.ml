@@ -1,0 +1,180 @@
+(* Unit + property tests for half-open intervals and canonical interval
+   sets (the machinery behind span(R) and the proof decompositions). *)
+
+open Dvbp_interval
+
+let i = Interval.make
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let interval_tests =
+  [
+    Alcotest.test_case "length" `Quick (fun () ->
+        check_float "len" 2.5 (Interval.length (i 1.0 3.5)));
+    Alcotest.test_case "empty interval" `Quick (fun () ->
+        check_bool "empty" true (Interval.is_empty (i 2.0 2.0));
+        check_bool "nonempty" false (Interval.is_empty (i 2.0 2.1)));
+    Alcotest.test_case "mem half-open" `Quick (fun () ->
+        check_bool "lo included" true (Interval.mem 1.0 (i 1.0 2.0));
+        check_bool "hi excluded" false (Interval.mem 2.0 (i 1.0 2.0));
+        check_bool "inside" true (Interval.mem 1.5 (i 1.0 2.0)));
+    Alcotest.test_case "rejects lo > hi" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (i 2.0 1.0); false with Invalid_argument _ -> true));
+    Alcotest.test_case "rejects non-finite" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (i 0.0 infinity); false with Invalid_argument _ -> true));
+    Alcotest.test_case "overlaps half-open touching" `Quick (fun () ->
+        (* [0,1) and [1,2) share no point *)
+        check_bool "touching do not overlap" false (Interval.overlaps (i 0.0 1.0) (i 1.0 2.0));
+        check_bool "proper overlap" true (Interval.overlaps (i 0.0 1.5) (i 1.0 2.0)));
+    Alcotest.test_case "intersect" `Quick (fun () ->
+        (match Interval.intersect (i 0.0 2.0) (i 1.0 3.0) with
+        | Some x -> check_bool "eq" true (Interval.equal x (i 1.0 2.0))
+        | None -> Alcotest.fail "expected overlap");
+        check_bool "disjoint" true (Interval.intersect (i 0.0 1.0) (i 2.0 3.0) = None));
+    Alcotest.test_case "hull spans gaps" `Quick (fun () ->
+        check_bool "hull" true
+          (Interval.equal (Interval.hull (i 0.0 1.0) (i 3.0 4.0)) (i 0.0 4.0)));
+    Alcotest.test_case "abuts_or_overlaps" `Quick (fun () ->
+        check_bool "abutting" true (Interval.abuts_or_overlaps (i 0.0 1.0) (i 1.0 2.0));
+        check_bool "gap" false (Interval.abuts_or_overlaps (i 0.0 1.0) (i 1.5 2.0)));
+  ]
+
+let set_of lst = Interval_set.of_intervals lst
+
+let set_tests =
+  [
+    Alcotest.test_case "merges overlapping" `Quick (fun () ->
+        let s = set_of [ i 0.0 2.0; i 1.0 3.0 ] in
+        Alcotest.(check int) "one piece" 1 (List.length (Interval_set.intervals s));
+        check_float "span" 3.0 (Interval_set.total_length s));
+    Alcotest.test_case "merges adjacent" `Quick (fun () ->
+        let s = set_of [ i 0.0 1.0; i 1.0 2.0 ] in
+        Alcotest.(check int) "one piece" 1 (List.length (Interval_set.intervals s)));
+    Alcotest.test_case "keeps gaps" `Quick (fun () ->
+        let s = set_of [ i 0.0 1.0; i 2.0 3.0 ] in
+        Alcotest.(check int) "two pieces" 2 (List.length (Interval_set.intervals s));
+        check_float "total" 2.0 (Interval_set.total_length s));
+    Alcotest.test_case "drops empties" `Quick (fun () ->
+        check_bool "empty set" true (Interval_set.is_empty (set_of [ i 1.0 1.0 ])));
+    Alcotest.test_case "unsorted input canonicalised" `Quick (fun () ->
+        let s = set_of [ i 5.0 6.0; i 0.0 1.0; i 0.5 2.0 ] in
+        check_float "total" 3.0 (Interval_set.total_length s));
+    Alcotest.test_case "hull" `Quick (fun () ->
+        match Interval_set.hull (set_of [ i 1.0 2.0; i 4.0 5.0 ]) with
+        | Some h -> check_bool "hull" true (Interval.equal h (i 1.0 5.0))
+        | None -> Alcotest.fail "expected hull");
+    Alcotest.test_case "mem" `Quick (fun () ->
+        let s = set_of [ i 0.0 1.0; i 2.0 3.0 ] in
+        check_bool "in first" true (Interval_set.mem 0.5 s);
+        check_bool "in gap" false (Interval_set.mem 1.5 s);
+        check_bool "hi excluded" false (Interval_set.mem 3.0 s));
+    Alcotest.test_case "union" `Quick (fun () ->
+        let a = set_of [ i 0.0 1.0 ] and b = set_of [ i 0.5 2.0 ] in
+        check_float "len" 2.0 (Interval_set.total_length (Interval_set.union a b)));
+    Alcotest.test_case "inter" `Quick (fun () ->
+        let a = set_of [ i 0.0 2.0; i 3.0 5.0 ] and b = set_of [ i 1.0 4.0 ] in
+        check_float "len" 2.0 (Interval_set.total_length (Interval_set.inter a b)));
+    Alcotest.test_case "diff punches holes" `Quick (fun () ->
+        let a = set_of [ i 0.0 10.0 ] and b = set_of [ i 2.0 3.0; i 5.0 6.0 ] in
+        let d = Interval_set.diff a b in
+        check_float "len" 8.0 (Interval_set.total_length d);
+        Alcotest.(check int) "pieces" 3 (List.length (Interval_set.intervals d)));
+    Alcotest.test_case "diff with itself is empty" `Quick (fun () ->
+        let a = set_of [ i 0.0 1.0; i 2.0 4.0 ] in
+        check_bool "empty" true (Interval_set.is_empty (Interval_set.diff a a)));
+    Alcotest.test_case "covers" `Quick (fun () ->
+        let s = set_of [ i 0.0 2.0; i 3.0 5.0 ] in
+        check_bool "inside piece" true (Interval_set.covers s (i 0.5 1.5));
+        check_bool "across gap" false (Interval_set.covers s (i 1.0 4.0));
+        check_bool "empty always covered" true (Interval_set.covers s (i 9.0 9.0)));
+  ]
+
+(* Random interval lists: canonicalisation must preserve total measure and
+   pointwise membership, and inter/diff must satisfy |A| = |A∩B| + |A\B|. *)
+let intervals_gen =
+  QCheck2.Gen.(
+    list_size (1 -- 12)
+      (map
+         (fun (a, len) -> (float_of_int a /. 4.0, float_of_int (a + len) /. 4.0))
+         (pair (0 -- 40) (0 -- 12))))
+
+let to_set pairs = Interval_set.of_intervals (List.map (fun (a, b) -> i a b) pairs)
+
+let prop_measure_split =
+  QCheck2.Test.make ~name:"|A| = |A∩B| + |A\\B|" ~count:300
+    QCheck2.Gen.(pair intervals_gen intervals_gen)
+    (fun (pa, pb) ->
+      let a = to_set pa and b = to_set pb in
+      let total = Interval_set.total_length a in
+      let inter = Interval_set.total_length (Interval_set.inter a b) in
+      let diff = Interval_set.total_length (Interval_set.diff a b) in
+      Float.abs (total -. (inter +. diff)) < 1e-6)
+
+let prop_union_monotone =
+  QCheck2.Test.make ~name:"max |A| |B| <= |A∪B| <= |A|+|B|" ~count:300
+    QCheck2.Gen.(pair intervals_gen intervals_gen)
+    (fun (pa, pb) ->
+      let a = to_set pa and b = to_set pb in
+      let u = Interval_set.total_length (Interval_set.union a b) in
+      u +. 1e-9 >= Float.max (Interval_set.total_length a) (Interval_set.total_length b)
+      && u <= Interval_set.total_length a +. Interval_set.total_length b +. 1e-9)
+
+let prop_canonical_disjoint_sorted =
+  QCheck2.Test.make ~name:"canonical form sorted, disjoint, gapped" ~count:300
+    intervals_gen
+    (fun pairs ->
+      let s = to_set pairs in
+      let rec ok = function
+        | (a : Interval.t) :: (b : Interval.t) :: rest ->
+            a.Interval.hi < b.Interval.lo && ok (b :: rest)
+        | _ -> true
+      in
+      ok (Interval_set.intervals s))
+
+let prop_inclusion_exclusion =
+  QCheck2.Test.make ~name:"|A∪B| = |A| + |B| − |A∩B|" ~count:300
+    QCheck2.Gen.(pair intervals_gen intervals_gen)
+    (fun (pa, pb) ->
+      let a = to_set pa and b = to_set pb in
+      let u = Interval_set.total_length (Interval_set.union a b) in
+      let i = Interval_set.total_length (Interval_set.inter a b) in
+      Float.abs
+        (u -. (Interval_set.total_length a +. Interval_set.total_length b -. i))
+      < 1e-6)
+
+let prop_covers_iff_diff_empty =
+  QCheck2.Test.make ~name:"covers piece <=> piece \\ set is empty" ~count:300
+    QCheck2.Gen.(
+      let* pieces = intervals_gen in
+      let* a = 0 -- 40 in
+      let* len = 0 -- 12 in
+      return (pieces, (float_of_int a /. 4.0, float_of_int (a + len) /. 4.0)))
+    (fun (pieces, (lo, hi)) ->
+      let s = to_set pieces in
+      let piece = i lo hi in
+      Interval_set.covers s piece
+      = Interval_set.is_empty
+          (Interval_set.diff (Interval_set.of_intervals [ piece ]) s))
+
+let prop_inter_commutative =
+  QCheck2.Test.make ~name:"inter is commutative" ~count:300
+    QCheck2.Gen.(pair intervals_gen intervals_gen)
+    (fun (pa, pb) ->
+      let a = to_set pa and b = to_set pb in
+      Interval_set.equal (Interval_set.inter a b) (Interval_set.inter b a))
+
+let property_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_measure_split; prop_union_monotone; prop_canonical_disjoint_sorted;
+      prop_inclusion_exclusion; prop_covers_iff_diff_empty; prop_inter_commutative;
+    ]
+
+let suites =
+  [
+    ("interval.basics", interval_tests);
+    ("interval.sets", set_tests);
+    ("interval.properties", property_tests);
+  ]

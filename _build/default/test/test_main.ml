@@ -1,0 +1,9 @@
+(* Entry point for the full test suite. Each module contributes a list of
+   named alcotest suites. *)
+
+let () =
+  Alcotest.run "dvbp"
+    (Test_prelude.suites @ Test_vec.suites @ Test_interval.suites
+   @ Test_stats.suites @ Test_core.suites @ Test_engine.suites
+   @ Test_lowerbound.suites @ Test_workload.suites @ Test_adversary.suites
+   @ Test_analysis.suites @ Test_report.suites @ Test_experiments.suites @ Test_session.suites @ Test_props.suites @ Test_cli.suites @ Test_printers.suites)

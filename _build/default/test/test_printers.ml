@@ -1,0 +1,62 @@
+(* Smoke tests for every pretty-printer: each must produce non-empty,
+   crash-free output on representative values (printers feed the CLI and
+   failure messages, so a raising printer would mask real errors). *)
+
+open Dvbp_core
+module Vec = Dvbp_vec.Vec
+module Interval = Dvbp_interval.Interval
+module Interval_set = Dvbp_interval.Interval_set
+module Engine = Dvbp_engine.Engine
+module Trace = Dvbp_engine.Trace
+
+let check_nonempty what s =
+  Alcotest.(check bool) (what ^ " non-empty") true (String.length s > 0)
+
+let sample_run () =
+  let instance =
+    Instance.of_specs_exn
+      ~capacity:(Vec.of_list [ 10; 10 ])
+      [ (0.0, 2.0, Vec.of_list [ 6; 2 ]); (1.0, 3.0, Vec.of_list [ 6; 2 ]) ]
+  in
+  (instance, Engine.run ~policy:(Policy.first_fit ()) instance)
+
+let printer_tests =
+  [
+    Alcotest.test_case "vec / interval / interval_set" `Quick (fun () ->
+        check_nonempty "vec" (Vec.to_string (Vec.of_list [ 1; 2 ]));
+        check_nonempty "interval" (Interval.to_string (Interval.make 0.0 1.5));
+        check_nonempty "interval set"
+          (Format.asprintf "%a" Interval_set.pp
+             (Interval_set.of_intervals [ Interval.make 0.0 1.0 ])));
+    Alcotest.test_case "item / instance / bin" `Quick (fun () ->
+        let instance, _ = sample_run () in
+        check_nonempty "item"
+          (Format.asprintf "%a" Item.pp (List.hd instance.Instance.items));
+        check_nonempty "instance" (Format.asprintf "%a" Instance.pp instance);
+        let b = Bin.create ~id:0 ~capacity:(Vec.of_list [ 10 ]) ~now:0.0 ~touch:0 in
+        check_nonempty "open bin" (Format.asprintf "%a" Bin.pp b);
+        Bin.close b ~now:1.0;
+        check_nonempty "closed bin" (Format.asprintf "%a" Bin.pp b));
+    Alcotest.test_case "packing / trace" `Quick (fun () ->
+        let _, run = sample_run () in
+        check_nonempty "packing" (Format.asprintf "%a" Packing.pp run.Engine.packing);
+        check_nonempty "trace" (Format.asprintf "%a" Trace.pp run.Engine.trace));
+    Alcotest.test_case "stats / diagnostics / gadget / verdict" `Quick (fun () ->
+        let s = Dvbp_stats.Summary.of_samples [ 1.0; 2.0; 3.0 ] in
+        check_nonempty "summary" (Format.asprintf "%a" Dvbp_stats.Summary.pp s);
+        let instance, run = sample_run () in
+        check_nonempty "diagnostics"
+          (Format.asprintf "%a" Dvbp_analysis.Diagnostics.pp
+             (Dvbp_analysis.Diagnostics.measure run.Engine.packing));
+        let g = Dvbp_adversary.Mtf_lb.construct ~n:1 ~mu:2.0 in
+        check_nonempty "gadget" (Format.asprintf "%a" Dvbp_adversary.Gadget.pp g);
+        match
+          Dvbp_analysis.Bound_check.check ~policy:"ff" ~cost:2.0 ~opt:1.0 ~instance
+        with
+        | Some verdict ->
+            check_nonempty "verdict"
+              (Format.asprintf "%a" Dvbp_analysis.Bound_check.pp_verdict verdict)
+        | None -> Alcotest.fail "expected a verdict");
+  ]
+
+let suites = [ ("printers.smoke", printer_tests) ]

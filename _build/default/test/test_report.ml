@@ -1,0 +1,104 @@
+(* Tests for text tables, CSV emission and ASCII plots. *)
+
+open Dvbp_report
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains_sub msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+let table_tests =
+  [
+    Alcotest.test_case "columns aligned to widest cell" `Quick (fun () ->
+        let out =
+          Table.render ~header:[ "a"; "bb" ]
+            ~rows:[ [ "wide-cell"; "x" ]; [ "y"; "z" ] ]
+        in
+        let lines = String.split_on_char '\n' out in
+        (match lines with
+        | header :: rule :: _ ->
+            check_int "equal width" (String.length header) (String.length rule)
+        | _ -> Alcotest.fail "too few lines");
+        check_bool "has rule" true (contains_sub out "---------"));
+    Alcotest.test_case "ragged rows rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Table.render ~header:[ "a" ] ~rows:[ [ "x"; "y" ] ]); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "csv plain" `Quick (fun () ->
+        Alcotest.(check string)
+          "simple" "a,b\n1,2\n"
+          (Table.to_csv ~header:[ "a"; "b" ] ~rows:[ [ "1"; "2" ] ]));
+    Alcotest.test_case "csv quoting" `Quick (fun () ->
+        let out = Table.to_csv ~header:[ "x" ] ~rows:[ [ "a,b" ]; [ "say \"hi\"" ] ] in
+        check_bool "comma quoted" true (contains_sub out "\"a,b\"");
+        check_bool "quote doubled" true (contains_sub out "\"say \"\"hi\"\"\""));
+    Alcotest.test_case "empty rows fine" `Quick (fun () ->
+        let out = Table.render ~header:[ "only" ] ~rows:[] in
+        check_bool "has header" true (contains_sub out "only"));
+  ]
+
+let plot_tests =
+  [
+    Alcotest.test_case "plots markers and legend" `Quick (fun () ->
+        let s =
+          {
+            Ascii_plot.label = "mtf";
+            marker = 'M';
+            points = [ (0.0, 1.0); (1.0, 2.0); (2.0, 1.5) ];
+          }
+        in
+        let out = Ascii_plot.render ~width:20 ~height:8 [ s ] in
+        check_bool "marker plotted" true (String.contains out 'M');
+        check_bool "legend" true (contains_sub out "M mtf"));
+    Alcotest.test_case "collision shown as +" `Quick (fun () ->
+        let a = { Ascii_plot.label = "a"; marker = 'A'; points = [ (0.0, 0.0); (1.0, 1.0) ] } in
+        let b = { Ascii_plot.label = "b"; marker = 'B'; points = [ (0.0, 0.0); (1.0, 0.0) ] } in
+        let out = Ascii_plot.render ~width:10 ~height:5 [ a; b ] in
+        check_bool "collision" true (String.contains out '+'));
+    Alcotest.test_case "duplicate markers rejected" `Quick (fun () ->
+        let a = { Ascii_plot.label = "a"; marker = 'A'; points = [ (0.0, 0.0) ] } in
+        let b = { Ascii_plot.label = "b"; marker = 'A'; points = [ (1.0, 1.0) ] } in
+        check_bool "raises" true
+          (try ignore (Ascii_plot.render [ a; b ]); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "no series rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Ascii_plot.render []); false with Invalid_argument _ -> true));
+    Alcotest.test_case "series with no points still legended" `Quick (fun () ->
+        let a = { Ascii_plot.label = "empty"; marker = 'E'; points = [] } in
+        let out = Ascii_plot.render [ a ] in
+        check_bool "mentioned" true (contains_sub out "E empty"));
+    Alcotest.test_case "constant series does not divide by zero" `Quick (fun () ->
+        let a = { Ascii_plot.label = "c"; marker = 'C'; points = [ (1.0, 2.0); (1.0, 2.0) ] } in
+        let out = Ascii_plot.render [ a ] in
+        check_bool "rendered" true (String.contains out 'C'));
+  ]
+
+let histogram_tests =
+  [
+    Alcotest.test_case "counts land in the right bins" `Quick (fun () ->
+        let out = Histogram.render ~bins:2 ~width:10 [ 0.0; 0.1; 0.9; 1.0 ] in
+        let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' out) in
+        check_int "two bins" 2 (List.length lines);
+        check_bool "counts shown" true (contains_sub out "    2 |"));
+    Alcotest.test_case "constant data does not crash" `Quick (fun () ->
+        let out = Histogram.render [ 5.0; 5.0; 5.0 ] in
+        check_bool "bar" true (String.contains out '#'));
+    Alcotest.test_case "empty rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Histogram.render []); false with Invalid_argument _ -> true));
+    Alcotest.test_case "bad bins rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Histogram.render ~bins:0 [ 1.0 ]); false
+           with Invalid_argument _ -> true));
+  ]
+
+let suites =
+  [
+    ("report.table", table_tests);
+    ("report.ascii_plot", plot_tests);
+    ("report.histogram", histogram_tests);
+  ]

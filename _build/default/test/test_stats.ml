@@ -1,0 +1,170 @@
+(* Unit + property tests for Dvbp_stats: Welford accumulation, merging and
+   quantiles. Figure 4's mean ± std columns come from these. *)
+
+open Dvbp_stats
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let running_tests =
+  [
+    Alcotest.test_case "mean and variance of known data" `Quick (fun () ->
+        let acc = Running.create () in
+        List.iter (Running.add acc) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+        check_float "mean" 5.0 (Running.mean acc);
+        (* population variance is 4; unbiased sample variance = 32/7 *)
+        check_float "variance" (32.0 /. 7.0) (Running.variance acc);
+        check_float "stddev" (sqrt (32.0 /. 7.0)) (Running.stddev acc));
+    Alcotest.test_case "single sample" `Quick (fun () ->
+        let acc = Running.create () in
+        Running.add acc 3.0;
+        check_float "mean" 3.0 (Running.mean acc);
+        check_float "variance" 0.0 (Running.variance acc));
+    Alcotest.test_case "empty accumulator raises" `Quick (fun () ->
+        let acc = Running.create () in
+        check_bool "raises" true
+          (try ignore (Running.mean acc); false with Failure _ -> true));
+    Alcotest.test_case "min / max tracked" `Quick (fun () ->
+        let acc = Running.create () in
+        List.iter (Running.add acc) [ 3.0; -1.0; 7.0 ];
+        check_float "min" (-1.0) (Running.min_value acc);
+        check_float "max" 7.0 (Running.max_value acc));
+    Alcotest.test_case "merge equals bulk" `Quick (fun () ->
+        let xs = [ 1.0; 2.0; 3.0 ] and ys = [ 10.0; 20.0; 30.0; 40.0 ] in
+        let a = Running.create () and b = Running.create () and all = Running.create () in
+        List.iter (Running.add a) xs;
+        List.iter (Running.add b) ys;
+        List.iter (Running.add all) (xs @ ys);
+        let m = Running.merge a b in
+        Alcotest.(check int) "count" (Running.count all) (Running.count m);
+        check_float "mean" (Running.mean all) (Running.mean m);
+        check_float "variance" (Running.variance all) (Running.variance m));
+    Alcotest.test_case "merge with empty" `Quick (fun () ->
+        let a = Running.create () and b = Running.create () in
+        List.iter (Running.add a) [ 1.0; 2.0 ];
+        let m = Running.merge a b in
+        check_float "mean" 1.5 (Running.mean m);
+        let m' = Running.merge b a in
+        check_float "mean'" 1.5 (Running.mean m'));
+  ]
+
+let summary_tests =
+  [
+    Alcotest.test_case "quantiles of 1..5" `Quick (fun () ->
+        let sorted = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+        check_float "median" 3.0 (Summary.quantile sorted 0.5);
+        check_float "min" 1.0 (Summary.quantile sorted 0.0);
+        check_float "max" 5.0 (Summary.quantile sorted 1.0);
+        check_float "q25" 2.0 (Summary.quantile sorted 0.25));
+    Alcotest.test_case "quantile interpolates" `Quick (fun () ->
+        check_float "between" 1.5 (Summary.quantile [| 1.0; 2.0 |] 0.5));
+    Alcotest.test_case "quantile rejects bad q" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Summary.quantile [| 1.0 |] 1.5); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "of_samples consistency" `Quick (fun () ->
+        let s = Summary.of_samples [ 5.0; 1.0; 3.0 ] in
+        Alcotest.(check int) "count" 3 s.Summary.count;
+        check_float "mean" 3.0 s.Summary.mean;
+        check_float "median" 3.0 s.Summary.median;
+        check_float "min" 1.0 s.Summary.min;
+        check_float "max" 5.0 s.Summary.max);
+    Alcotest.test_case "of_samples rejects empty" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Summary.of_samples []); false with Invalid_argument _ -> true));
+  ]
+
+let normal_tests =
+  [
+    Alcotest.test_case "cdf at known points" `Quick (fun () ->
+        Alcotest.(check (float 1e-6)) "0" 0.5 (Normal.cdf 0.0);
+        Alcotest.(check (float 1e-4)) "1.96" 0.975 (Normal.cdf 1.96);
+        Alcotest.(check (float 1e-4)) "-1.96" 0.025 (Normal.cdf (-1.96));
+        check_bool "monotone" true (Normal.cdf 1.0 > Normal.cdf 0.5));
+    Alcotest.test_case "two-sided p" `Quick (fun () ->
+        Alcotest.(check (float 1e-3)) "z=1.96" 0.05 (Normal.two_sided_p 1.96);
+        Alcotest.(check (float 1e-6)) "z=0" 1.0 (Normal.two_sided_p 0.0));
+    Alcotest.test_case "pdf symmetric and peaked at 0" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "sym" (Normal.pdf 1.2) (Normal.pdf (-1.2));
+        check_bool "peak" true (Normal.pdf 0.0 > Normal.pdf 0.5));
+  ]
+
+let compare_tests =
+  [
+    Alcotest.test_case "rank_sum on a hand-computed example" `Quick (fun () ->
+        (* a = {1,2,3}, b = {4,5,6}: R1 = 6, U = 0 *)
+        let r = Compare.rank_sum [| 1.0; 2.0; 3.0 |] [| 4.0; 5.0; 6.0 |] in
+        Alcotest.(check (float 1e-9)) "U" 0.0 r.Compare.u;
+        check_bool "negative shift" true (r.Compare.median_shift < 0.0);
+        check_bool "small p" true (r.Compare.p_two_sided < 0.1));
+    Alcotest.test_case "identical samples are a tie" `Quick (fun () ->
+        let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+        let r = Compare.rank_sum a a in
+        Alcotest.(check (float 1e-9)) "z" 0.0 r.Compare.z;
+        Alcotest.(check (float 1e-6)) "p" 1.0 r.Compare.p_two_sided;
+        check_bool "no winner" false (Compare.significantly_less a a));
+    Alcotest.test_case "clearly separated samples are significant" `Quick (fun () ->
+        let a = Array.init 30 (fun i -> float_of_int i) in
+        let b = Array.init 30 (fun i -> 100.0 +. float_of_int i) in
+        check_bool "a < b" true (Compare.significantly_less a b);
+        check_bool "not b < a" false (Compare.significantly_less b a));
+    Alcotest.test_case "ties handled via midranks" `Quick (fun () ->
+        let r = Compare.rank_sum [| 1.0; 1.0; 1.0 |] [| 1.0; 1.0; 1.0 |] in
+        Alcotest.(check (float 1e-9)) "z" 0.0 r.Compare.z);
+    Alcotest.test_case "empty sample rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Compare.rank_sum [||] [| 1.0 |]); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "confidence interval brackets the mean" `Quick (fun () ->
+        let samples = Array.init 100 (fun i -> float_of_int (i mod 10)) in
+        let lo, hi = Compare.mean_confidence_interval samples in
+        check_bool "lo < mean" true (lo < 4.5);
+        check_bool "mean < hi" true (4.5 < hi);
+        let lo99, hi99 = Compare.mean_confidence_interval ~confidence:0.99 samples in
+        check_bool "wider at 99%" true (hi99 -. lo99 > hi -. lo));
+    Alcotest.test_case "confidence interval needs two samples" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Compare.mean_confidence_interval [| 1.0 |]); false
+           with Invalid_argument _ -> true));
+  ]
+
+let prop_welford_matches_naive =
+  QCheck2.Test.make ~name:"Welford matches two-pass mean/variance" ~count:300
+    QCheck2.Gen.(list_size (2 -- 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let acc = Running.create () in
+      List.iter (Running.add acc) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+      in
+      Float.abs (Running.mean acc -. mean) < 1e-6
+      && Float.abs (Running.variance acc -. var) < 1e-5)
+
+let prop_merge_associative_enough =
+  QCheck2.Test.make ~name:"merge consistent under arbitrary split" ~count:300
+    QCheck2.Gen.(
+      pair (list_size (1 -- 30) (float_bound_inclusive 100.0))
+        (list_size (1 -- 30) (float_bound_inclusive 100.0)))
+    (fun (xs, ys) ->
+      let a = Running.create () and b = Running.create () and all = Running.create () in
+      List.iter (Running.add a) xs;
+      List.iter (Running.add b) ys;
+      List.iter (Running.add all) (xs @ ys);
+      let m = Running.merge a b in
+      Float.abs (Running.mean m -. Running.mean all) < 1e-6
+      && Float.abs (Running.variance m -. Running.variance all) < 1e-5)
+
+let property_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_welford_matches_naive; prop_merge_associative_enough ]
+
+let suites =
+  [
+    ("stats.running", running_tests);
+    ("stats.summary", summary_tests);
+    ("stats.normal", normal_tests);
+    ("stats.compare", compare_tests);
+    ("stats.properties", property_tests);
+  ]

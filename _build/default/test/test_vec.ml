@@ -1,0 +1,196 @@
+(* Unit + property tests for Dvbp_vec.Vec: exact integer vectors and the
+   capacity-relative norms used throughout the paper (Proposition 1). *)
+
+open Dvbp_vec
+
+let v = Vec.of_list
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let construction_tests =
+  [
+    Alcotest.test_case "of_list / get / dim" `Quick (fun () ->
+        let x = v [ 1; 2; 3 ] in
+        check_int "dim" 3 (Vec.dim x);
+        check_int "get 0" 1 (Vec.get x 0);
+        check_int "get 2" 3 (Vec.get x 2));
+    Alcotest.test_case "of_array copies" `Quick (fun () ->
+        let a = [| 1; 2 |] in
+        let x = Vec.of_array a in
+        a.(0) <- 99;
+        check_int "unchanged" 1 (Vec.get x 0));
+    Alcotest.test_case "to_array copies" `Quick (fun () ->
+        let x = v [ 1; 2 ] in
+        let a = Vec.to_array x in
+        a.(0) <- 99;
+        check_int "unchanged" 1 (Vec.get x 0));
+    Alcotest.test_case "rejects empty" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Vec.of_list []); false with Invalid_argument _ -> true));
+    Alcotest.test_case "rejects negative" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (v [ 1; -1 ]); false with Invalid_argument _ -> true));
+    Alcotest.test_case "make / zero" `Quick (fun () ->
+        check_bool "make" true (Vec.equal (Vec.make ~dim:3 5) (v [ 5; 5; 5 ]));
+        check_bool "zero" true (Vec.is_zero (Vec.zero ~dim:4)));
+    Alcotest.test_case "unit_scaled shape" `Quick (fun () ->
+        let x = Vec.unit_scaled ~dim:4 ~axis:2 ~on_axis:9 ~off_axis:1 in
+        check_bool "shape" true (Vec.equal x (v [ 1; 1; 9; 1 ])));
+    Alcotest.test_case "unit_scaled rejects bad axis" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Vec.unit_scaled ~dim:2 ~axis:2 ~on_axis:1 ~off_axis:0); false
+           with Invalid_argument _ -> true));
+  ]
+
+let algebra_tests =
+  [
+    Alcotest.test_case "add" `Quick (fun () ->
+        check_bool "sum" true (Vec.equal (Vec.add (v [ 1; 2 ]) (v [ 3; 4 ])) (v [ 4; 6 ])));
+    Alcotest.test_case "add dimension mismatch" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Vec.add (v [ 1 ]) (v [ 1; 2 ])); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "sub" `Quick (fun () ->
+        check_bool "diff" true (Vec.equal (Vec.sub (v [ 3; 4 ]) (v [ 1; 2 ])) (v [ 2; 2 ])));
+    Alcotest.test_case "sub rejects negative result" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Vec.sub (v [ 1; 2 ]) (v [ 2; 1 ])); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "scale" `Quick (fun () ->
+        check_bool "times 3" true (Vec.equal (Vec.scale 3 (v [ 1; 2 ])) (v [ 3; 6 ])));
+    Alcotest.test_case "sum of list" `Quick (fun () ->
+        check_bool "sum" true
+          (Vec.equal (Vec.sum ~dim:2 [ v [ 1; 0 ]; v [ 0; 2 ]; v [ 1; 1 ] ]) (v [ 2; 3 ]));
+        check_bool "empty sum is zero" true (Vec.is_zero (Vec.sum ~dim:2 [])));
+    Alcotest.test_case "max_coord / sum_coords" `Quick (fun () ->
+        check_int "max" 7 (Vec.max_coord (v [ 3; 7; 1 ]));
+        check_int "sum" 11 (Vec.sum_coords (v [ 3; 7; 1 ])));
+  ]
+
+let fit_tests =
+  [
+    Alcotest.test_case "le componentwise" `Quick (fun () ->
+        check_bool "le" true (Vec.le (v [ 1; 2 ]) (v [ 1; 3 ]));
+        check_bool "not le" false (Vec.le (v [ 2; 2 ]) (v [ 1; 3 ])));
+    Alcotest.test_case "fits exact boundary" `Quick (fun () ->
+        let cap = v [ 10; 10 ] in
+        check_bool "exactly full fits" true (Vec.fits ~cap ~load:(v [ 4; 9 ]) (v [ 6; 1 ]));
+        check_bool "one over fails" false (Vec.fits ~cap ~load:(v [ 4; 9 ]) (v [ 7; 1 ])));
+    Alcotest.test_case "fits single overloaded dimension suffices" `Quick (fun () ->
+        let cap = v [ 10; 10; 10 ] in
+        check_bool "dim 2 overflows" false
+          (Vec.fits ~cap ~load:(v [ 0; 0; 10 ]) (v [ 1; 1; 1 ])));
+  ]
+
+let norm_tests =
+  [
+    Alcotest.test_case "linf is max ratio" `Quick (fun () ->
+        check_float "linf" 0.9 (Vec.linf ~cap:(v [ 10; 100 ]) (v [ 9; 50 ])));
+    Alcotest.test_case "l1 is sum of ratios" `Quick (fun () ->
+        check_float "l1" 1.4 (Vec.l1 ~cap:(v [ 10; 100 ]) (v [ 9; 50 ])));
+    Alcotest.test_case "l2 between linf and l1" `Quick (fun () ->
+        let cap = v [ 10; 10 ] and x = v [ 6; 8 ] in
+        let linf = Vec.linf ~cap x and l2 = Vec.lp ~p:2.0 ~cap x and l1 = Vec.l1 ~cap x in
+        check_bool "linf <= l2" true (linf <= l2 +. 1e-12);
+        check_bool "l2 <= l1" true (l2 <= l1 +. 1e-12);
+        check_float "l2 value" 1.0 l2);
+    Alcotest.test_case "lp rejects p < 1" `Quick (fun () ->
+        check_bool "raises" true
+          (try ignore (Vec.lp ~p:0.5 ~cap:(v [ 10 ]) (v [ 5 ])); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "height: ceil of worst dimension" `Quick (fun () ->
+        let cap = v [ 10; 10 ] in
+        check_int "zero" 0 (Vec.height ~cap (v [ 0; 0 ]));
+        check_int "partial" 1 (Vec.height ~cap (v [ 1; 10 ]));
+        check_int "over" 2 (Vec.height ~cap (v [ 1; 11 ]));
+        check_int "lots" 5 (Vec.height ~cap (v [ 50; 3 ])));
+  ]
+
+(* Property 1 of the paper: ‖Σ v_i‖∞ <= Σ ‖v_i‖∞ <= d ‖Σ v_i‖∞. *)
+let vec_gen =
+  QCheck2.Gen.(
+    let* d = 1 -- 5 in
+    let* n = 1 -- 8 in
+    list_repeat n (array_repeat d (0 -- 100)))
+
+let prop_proposition_1 =
+  QCheck2.Test.make ~name:"Proposition 1: norm sandwich" ~count:500 vec_gen
+    (fun arrays ->
+      let d = Array.length (List.hd arrays) in
+      let cap = Vec.make ~dim:d 100 in
+      let vs = List.map Vec.of_array arrays in
+      let total = Vec.sum ~dim:d vs in
+      let lhs = Vec.linf ~cap total in
+      let mid = List.fold_left (fun acc x -> acc +. Vec.linf ~cap x) 0.0 vs in
+      let rhs = float_of_int d *. lhs in
+      lhs <= mid +. 1e-9 && mid <= rhs +. 1e-9)
+
+let prop_scale_homogeneous =
+  QCheck2.Test.make ~name:"Proposition 1(i): ‖c·v‖∞ = c‖v‖∞" ~count:500
+    QCheck2.Gen.(pair (0 -- 20) (array_size (1 -- 5) (0 -- 50)))
+    (fun (c, arr) ->
+      let d = Array.length arr in
+      let cap = Vec.make ~dim:d 100 in
+      let x = Vec.of_array arr in
+      Float.abs (Vec.linf ~cap (Vec.scale c x) -. (float_of_int c *. Vec.linf ~cap x))
+      < 1e-9)
+
+let prop_fits_iff_le =
+  QCheck2.Test.make ~name:"fits <=> add <= cap" ~count:500
+    QCheck2.Gen.(
+      let* d = 1 -- 4 in
+      pair (array_repeat d (0 -- 120)) (array_repeat d (0 -- 120)))
+    (fun (a, b) ->
+      let d = Array.length a in
+      let cap = Vec.make ~dim:d 100 in
+      let load = Vec.of_array a and x = Vec.of_array b in
+      Vec.fits ~cap ~load x = Vec.le (Vec.add load x) cap)
+
+let prop_add_commutative_associative =
+  QCheck2.Test.make ~name:"add is commutative and associative" ~count:300
+    QCheck2.Gen.(
+      let* d = 1 -- 4 in
+      triple (array_repeat d (0 -- 50)) (array_repeat d (0 -- 50))
+        (array_repeat d (0 -- 50)))
+    (fun (a, b, c) ->
+      let x = Vec.of_array a and y = Vec.of_array b and z = Vec.of_array c in
+      Vec.equal (Vec.add x y) (Vec.add y x)
+      && Vec.equal (Vec.add (Vec.add x y) z) (Vec.add x (Vec.add y z)))
+
+let prop_sub_inverts_add =
+  QCheck2.Test.make ~name:"sub inverts add" ~count:300
+    QCheck2.Gen.(
+      let* d = 1 -- 4 in
+      pair (array_repeat d (0 -- 50)) (array_repeat d (0 -- 50)))
+    (fun (a, b) ->
+      let x = Vec.of_array a and y = Vec.of_array b in
+      Vec.equal (Vec.sub (Vec.add x y) y) x)
+
+let prop_height_matches_float_ceil =
+  QCheck2.Test.make ~name:"height = ceil of the relative L∞" ~count:300
+    QCheck2.Gen.(
+      let* d = 1 -- 4 in
+      array_repeat d (0 -- 500))
+    (fun a ->
+      let d = Array.length a in
+      let cap = Vec.make ~dim:d 100 in
+      let x = Vec.of_array a in
+      Vec.height ~cap x = int_of_float (Float.ceil (Vec.linf ~cap x -. 1e-12)))
+
+let property_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_proposition_1; prop_scale_homogeneous; prop_fits_iff_le;
+      prop_add_commutative_associative; prop_sub_inverts_add;
+      prop_height_matches_float_ceil;
+    ]
+
+let suites =
+  [
+    ("vec.construction", construction_tests);
+    ("vec.algebra", algebra_tests);
+    ("vec.fit", fit_tests);
+    ("vec.norms", norm_tests);
+    ("vec.properties", property_tests);
+  ]

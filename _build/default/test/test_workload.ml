@@ -1,0 +1,401 @@
+(* Tests for the workload generators (Table 2 uniform model + scenario
+   generators) and the CSV trace IO, including failure injection. *)
+
+open Dvbp_core
+open Dvbp_workload
+module Vec = Dvbp_vec.Vec
+module Rng = Dvbp_prelude.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains_sub msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+let uniform_tests =
+  let p = { Uniform_model.d = 2; n = 200; mu = 10; span = 100; bin_size = 50 } in
+  [
+    Alcotest.test_case "respects all parameter ranges" `Quick (fun () ->
+        let inst = Uniform_model.generate p ~rng:(Rng.create ~seed:1) in
+        check_int "n" p.Uniform_model.n (Instance.size inst);
+        check_int "d" 2 (Instance.dim inst);
+        List.iter
+          (fun (r : Item.t) ->
+            let dur = Item.duration r in
+            check_bool "duration low" true (dur >= 1.0);
+            check_bool "duration high" true (dur <= float_of_int p.Uniform_model.mu);
+            check_bool "arrival low" true (r.Item.arrival >= 0.0);
+            check_bool "departs by span" true
+              (r.Item.departure <= float_of_int p.Uniform_model.span);
+            check_bool "integral times" true
+              (Float.is_integer r.Item.arrival && Float.is_integer r.Item.departure);
+            Array.iter
+              (fun s -> check_bool "size in range" true (s >= 1 && s <= 50))
+              (Vec.to_array r.Item.size))
+          inst.Instance.items);
+    Alcotest.test_case "deterministic per seed" `Quick (fun () ->
+        let a = Uniform_model.generate p ~rng:(Rng.create ~seed:9) in
+        let b = Uniform_model.generate p ~rng:(Rng.create ~seed:9) in
+        check_bool "equal traces" true
+          (Trace_io.to_string a = Trace_io.to_string b));
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Uniform_model.generate p ~rng:(Rng.create ~seed:9) in
+        let b = Uniform_model.generate p ~rng:(Rng.create ~seed:10) in
+        check_bool "differ" true (Trace_io.to_string a <> Trace_io.to_string b));
+    Alcotest.test_case "table2 presets" `Quick (fun () ->
+        let q = Uniform_model.table2 ~d:5 ~mu:200 in
+        check_int "n" 1000 q.Uniform_model.n;
+        check_int "span" 1000 q.Uniform_model.span;
+        check_int "bin" 100 q.Uniform_model.bin_size;
+        check_int "d" 5 q.Uniform_model.d;
+        check_int "mu" 200 q.Uniform_model.mu);
+    Alcotest.test_case "rejects mu > span" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error
+             (Uniform_model.validate { p with Uniform_model.mu = 101; span = 100 })));
+    Alcotest.test_case "rejects non-positive fields" `Quick (fun () ->
+        check_bool "n" true
+          (Result.is_error (Uniform_model.validate { p with Uniform_model.n = 0 }));
+        check_bool "d" true
+          (Result.is_error (Uniform_model.validate { p with Uniform_model.d = 0 }));
+        check_bool "bin" true
+          (Result.is_error (Uniform_model.validate { p with Uniform_model.bin_size = 0 })));
+  ]
+
+let gaming_tests =
+  [
+    Alcotest.test_case "sessions have preset demands" `Quick (fun () ->
+        let p = { Cloud_gaming.default with Cloud_gaming.n = 100 } in
+        let inst = Cloud_gaming.generate p ~rng:(Rng.create ~seed:2) in
+        check_int "n" 100 (Instance.size inst);
+        check_int "d" 3 (Instance.dim inst);
+        let demands =
+          List.map (fun pr -> pr.Cloud_gaming.demand) p.Cloud_gaming.presets
+        in
+        List.iter
+          (fun (r : Item.t) ->
+            check_bool "known preset" true
+              (List.exists (fun demand -> Vec.equal r.Item.size (Vec.of_array demand)) demands))
+          inst.Instance.items);
+    Alcotest.test_case "durations truncated" `Quick (fun () ->
+        let p = { Cloud_gaming.default with Cloud_gaming.n = 200; max_session = 40.0 } in
+        let inst = Cloud_gaming.generate p ~rng:(Rng.create ~seed:3) in
+        List.iter
+          (fun (r : Item.t) ->
+            (* duration is recovered as departure - arrival, so allow one
+               ulp-scale slack around the clamp bounds *)
+            check_bool "within bounds" true
+              (Item.duration r >= 1.0 -. 1e-6 && Item.duration r <= 40.0 +. 1e-6))
+          inst.Instance.items);
+    Alcotest.test_case "rejects oversized preset" `Quick (fun () ->
+        let bad =
+          { Cloud_gaming.label = "impossible"; demand = [| 150; 10; 10 |]; weight = 1.0 }
+        in
+        let p = { Cloud_gaming.default with Cloud_gaming.presets = [ bad ] } in
+        check_bool "error" true (Result.is_error (Cloud_gaming.validate p)));
+    Alcotest.test_case "rejects bad rate" `Quick (fun () ->
+        let p = { Cloud_gaming.default with Cloud_gaming.arrival_rate = 0.0 } in
+        check_bool "error" true (Result.is_error (Cloud_gaming.validate p)));
+  ]
+
+let vm_tests =
+  [
+    Alcotest.test_case "flavours come from the catalogue" `Quick (fun () ->
+        let p = { Vm_requests.default with Vm_requests.n = 100 } in
+        let inst = Vm_requests.generate p ~rng:(Rng.create ~seed:4) in
+        check_int "n" 100 (Instance.size inst);
+        check_int "d" 4 (Instance.dim inst);
+        let demands =
+          List.map (fun f -> f.Vm_requests.demand) p.Vm_requests.flavours
+        in
+        List.iter
+          (fun (r : Item.t) ->
+            check_bool "known flavour" true
+              (List.exists (fun demand -> Vec.equal r.Item.size (Vec.of_array demand)) demands))
+          inst.Instance.items);
+    Alcotest.test_case "lifetimes truncated" `Quick (fun () ->
+        let p = { Vm_requests.default with Vm_requests.n = 300; max_lifetime = 48.0 } in
+        let inst = Vm_requests.generate p ~rng:(Rng.create ~seed:5) in
+        List.iter
+          (fun (r : Item.t) ->
+            check_bool "bounds" true
+              (Item.duration r >= 1.0 -. 1e-6 && Item.duration r <= 48.0 +. 1e-6))
+          inst.Instance.items);
+    Alcotest.test_case "arrivals strictly ordered" `Quick (fun () ->
+        let inst =
+          Vm_requests.generate
+            { Vm_requests.default with Vm_requests.n = 100 }
+            ~rng:(Rng.create ~seed:6)
+        in
+        let rec increasing = function
+          | (a : Item.t) :: (b : Item.t) :: rest ->
+              a.Item.arrival <= b.Item.arrival && increasing (b :: rest)
+          | _ -> true
+        in
+        check_bool "sorted" true (increasing inst.Instance.items));
+    Alcotest.test_case "rejects heavy tail without a mean" `Quick (fun () ->
+        let p = { Vm_requests.default with Vm_requests.pareto_shape = 1.0 } in
+        check_bool "error" true (Result.is_error (Vm_requests.validate p)));
+    Alcotest.test_case "rejects amplitude >= 1" `Quick (fun () ->
+        let p = { Vm_requests.default with Vm_requests.diurnal_amplitude = 1.0 } in
+        check_bool "error" true (Result.is_error (Vm_requests.validate p)));
+  ]
+
+let correlated_tests =
+  let base = { Uniform_model.d = 3; n = 150; mu = 5; span = 50; bin_size = 20 } in
+  [
+    Alcotest.test_case "rho = 1 makes dimensions identical" `Quick (fun () ->
+        let inst =
+          Correlated.generate { Correlated.base; rho = 1.0 } ~rng:(Rng.create ~seed:7)
+        in
+        List.iter
+          (fun (r : Item.t) ->
+            let a = Vec.to_array r.Item.size in
+            check_bool "all equal" true (Array.for_all (fun x -> x = a.(0)) a))
+          inst.Instance.items);
+    Alcotest.test_case "rho = 0 keeps sizes in range and varied" `Quick (fun () ->
+        let inst =
+          Correlated.generate { Correlated.base; rho = 0.0 } ~rng:(Rng.create ~seed:8)
+        in
+        List.iter
+          (fun (r : Item.t) ->
+            Array.iter
+              (fun s -> check_bool "range" true (s >= 1 && s <= 20))
+              (Vec.to_array r.Item.size))
+          inst.Instance.items;
+        (* with 150 independent 3-dim draws, some item must be non-constant *)
+        check_bool "not all constant" true
+          (List.exists
+             (fun (r : Item.t) ->
+               let a = Vec.to_array r.Item.size in
+               Array.exists (fun x -> x <> a.(0)) a)
+             inst.Instance.items));
+    Alcotest.test_case "rejects rho out of range" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error (Correlated.validate { Correlated.base; rho = 1.5 })));
+  ]
+
+let bursty_tests =
+  [
+    Alcotest.test_case "produces baseline plus bursts" `Quick (fun () ->
+        let p =
+          {
+            Bursty.base = { Uniform_model.d = 1; n = 100; mu = 5; span = 100; bin_size = 10 };
+            bursts = 4;
+            burst_size = 25;
+            burst_width = 2.0;
+          }
+        in
+        let inst = Bursty.generate p ~rng:(Rng.create ~seed:14) in
+        check_int "n" (100 + (4 * 25)) (Instance.size inst));
+    Alcotest.test_case "bursts create arrival clumps" `Quick (fun () ->
+        let p =
+          {
+            Bursty.base = { Uniform_model.d = 1; n = 10; mu = 5; span = 1000; bin_size = 10 };
+            bursts = 3;
+            burst_size = 40;
+            burst_width = 1.0;
+          }
+        in
+        let inst = Bursty.generate p ~rng:(Rng.create ~seed:15) in
+        (* some 1-wide window must contain at least one full burst *)
+        let arrivals =
+          List.map (fun (r : Item.t) -> r.Item.arrival) inst.Instance.items
+          |> List.sort Float.compare
+          |> Array.of_list
+        in
+        let n = Array.length arrivals in
+        let clumped = ref false in
+        for i = 0 to n - 40 do
+          if arrivals.(i + 39) -. arrivals.(i) <= 1.0 then clumped := true
+        done;
+        check_bool "clump found" true !clumped);
+    Alcotest.test_case "zero bursts degenerates to the baseline" `Quick (fun () ->
+        let p =
+          {
+            Bursty.base = { Uniform_model.d = 1; n = 50; mu = 5; span = 100; bin_size = 10 };
+            bursts = 0;
+            burst_size = 10;
+            burst_width = 1.0;
+          }
+        in
+        let inst = Bursty.generate p ~rng:(Rng.create ~seed:16) in
+        check_int "n" 50 (Instance.size inst));
+    Alcotest.test_case "rejects bad parameters" `Quick (fun () ->
+        let base = { Uniform_model.d = 1; n = 10; mu = 5; span = 100; bin_size = 10 } in
+        check_bool "negative bursts" true
+          (Result.is_error
+             (Bursty.validate { Bursty.base; bursts = -1; burst_size = 1; burst_width = 1.0 }));
+        check_bool "zero size" true
+          (Result.is_error
+             (Bursty.validate { Bursty.base; bursts = 1; burst_size = 0; burst_width = 1.0 }));
+        check_bool "wide burst" true
+          (Result.is_error
+             (Bursty.validate
+                { Bursty.base; bursts = 1; burst_size = 1; burst_width = 1000.0 })));
+  ]
+
+let trace_io_tests =
+  [
+    Alcotest.test_case "round trip preserves the instance" `Quick (fun () ->
+        let p = { Uniform_model.d = 2; n = 50; mu = 8; span = 40; bin_size = 30 } in
+        let inst = Uniform_model.generate p ~rng:(Rng.create ~seed:12) in
+        match Trace_io.of_string (Trace_io.to_string inst) with
+        | Error e -> Alcotest.fail e
+        | Ok inst' ->
+            check_bool "capacity" true
+              (Vec.equal inst.Instance.capacity inst'.Instance.capacity);
+            check_int "n" (Instance.size inst) (Instance.size inst');
+            List.iter2
+              (fun (a : Item.t) (b : Item.t) ->
+                check_bool "item" true
+                  (a.Item.id = b.Item.id && a.Item.arrival = b.Item.arrival
+                  && a.Item.departure = b.Item.departure
+                  && Vec.equal a.Item.size b.Item.size))
+              inst.Instance.items inst'.Instance.items);
+    Alcotest.test_case "file round trip" `Quick (fun () ->
+        let p = { Uniform_model.d = 1; n = 10; mu = 3; span = 20; bin_size = 10 } in
+        let inst = Uniform_model.generate p ~rng:(Rng.create ~seed:13) in
+        let path = Filename.temp_file "dvbp" ".csv" in
+        Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+            Trace_io.write_file path inst;
+            match Trace_io.read_file path with
+            | Ok inst' -> check_int "n" (Instance.size inst) (Instance.size inst')
+            | Error e -> Alcotest.fail e));
+    Alcotest.test_case "comments and blank lines ignored" `Quick (fun () ->
+        let text = "# hello\n\ncapacity,10\n# mid\nitem,0,0.0,1.0,5\n\n" in
+        match Trace_io.of_string text with
+        | Ok inst -> check_int "n" 1 (Instance.size inst)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "missing capacity rejected" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error (Trace_io.of_string "item,0,0.0,1.0,5\n")));
+    Alcotest.test_case "duplicate capacity rejected" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error (Trace_io.of_string "capacity,10\ncapacity,10\n")));
+    Alcotest.test_case "malformed number rejected with line info" `Quick (fun () ->
+        match Trace_io.of_string "capacity,10\nitem,0,zero,1.0,5\n" with
+        | Error msg -> check_bool "mentions line 2" true (contains_sub msg "line 2")
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "oversized item rejected via instance validation" `Quick
+      (fun () ->
+        check_bool "error" true
+          (Result.is_error (Trace_io.of_string "capacity,10\nitem,0,0.0,1.0,11\n")));
+    Alcotest.test_case "negative size rejected" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error (Trace_io.of_string "capacity,10\nitem,0,0.0,1.0,-1\n")));
+    Alcotest.test_case "departure before arrival rejected" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error (Trace_io.of_string "capacity,10\nitem,0,5.0,1.0,5\n")));
+    Alcotest.test_case "duplicate ids rejected" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error
+             (Trace_io.of_string "capacity,10\nitem,0,0.0,1.0,5\nitem,0,0.0,1.0,5\n")));
+    Alcotest.test_case "unrecognised row rejected" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error (Trace_io.of_string "capacity,10\nwat,1,2\n")));
+    Alcotest.test_case "missing file reported" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error (Trace_io.read_file "/nonexistent/dvbp.csv")));
+  ]
+
+let arrival_tests =
+  [
+    Alcotest.test_case "uniform grid stays in range" `Quick (fun () ->
+        let xs =
+          Arrival_process.generate
+            (Arrival_process.Uniform_grid { lo = 3; hi = 9 })
+            ~n:200 ~rng:(Rng.create ~seed:20)
+        in
+        check_int "count" 200 (List.length xs);
+        List.iter
+          (fun x -> check_bool "in range" true (x >= 3.0 && x <= 9.0 && Float.is_integer x))
+          xs);
+    Alcotest.test_case "poisson arrivals are ordered with roughly the right rate"
+      `Quick (fun () ->
+        let n = 5000 in
+        let xs =
+          Arrival_process.generate (Arrival_process.Poisson { rate = 2.0 }) ~n
+            ~rng:(Rng.create ~seed:21)
+        in
+        let rec sorted = function
+          | a :: b :: rest -> a <= b && sorted (b :: rest)
+          | _ -> true
+        in
+        check_bool "ordered" true (sorted xs);
+        let last = List.nth xs (n - 1) in
+        (* n arrivals at rate 2 take about n/2 time units *)
+        check_bool "rate" true (Float.abs (last -. (float_of_int n /. 2.0)) < 150.0));
+    Alcotest.test_case "modulated poisson clusters around the peaks" `Quick
+      (fun () ->
+        let period = 10.0 in
+        let xs =
+          Arrival_process.generate
+            (Arrival_process.Modulated_poisson
+               { base_rate = 5.0; amplitude = 0.9; period })
+            ~n:20_000 ~rng:(Rng.create ~seed:22)
+        in
+        (* count arrivals in the rising half vs falling half of the cycle *)
+        let peak_half, trough_half =
+          List.fold_left
+            (fun (p, t) x ->
+              let phase = Float.rem x period /. period in
+              if phase < 0.5 then (p + 1, t) else (p, t + 1))
+            (0, 0) xs
+        in
+        check_bool "peak half busier" true (peak_half > trough_half));
+    Alcotest.test_case "invalid parameters rejected" `Quick (fun () ->
+        check_bool "grid" true
+          (Result.is_error
+             (Arrival_process.validate (Arrival_process.Uniform_grid { lo = 2; hi = 1 })));
+        check_bool "rate" true
+          (Result.is_error (Arrival_process.validate (Arrival_process.Poisson { rate = 0.0 })));
+        check_bool "amplitude" true
+          (Result.is_error
+             (Arrival_process.validate
+                (Arrival_process.Modulated_poisson
+                   { base_rate = 1.0; amplitude = 1.0; period = 1.0 }))));
+  ]
+
+let describe_tests =
+  [
+    Alcotest.test_case "summary of a hand-built instance" `Quick (fun () ->
+        let capacity = Vec.of_list [ 10 ] in
+        let inst =
+          Instance.of_specs_exn ~capacity
+            [ (0.0, 2.0, Vec.of_list [ 5 ]); (1.0, 5.0, Vec.of_list [ 10 ]) ]
+        in
+        let d = Describe.measure inst in
+        check_int "items" 2 d.Describe.items;
+        check_int "dims" 1 d.Describe.dimensions;
+        Alcotest.(check (float 1e-9)) "mu" 2.0 d.Describe.mu;
+        Alcotest.(check (float 1e-9)) "span" 5.0 d.Describe.span;
+        Alcotest.(check (float 1e-9)) "mean dur" 3.0 d.Describe.mean_duration;
+        Alcotest.(check (float 1e-9)) "mean rel size" 0.75 d.Describe.mean_relative_size;
+        Alcotest.(check (float 1e-9)) "max rel size" 1.0 d.Describe.max_relative_size;
+        check_int "peak" 2 d.Describe.peak_active;
+        Alcotest.(check (float 1e-9)) "mean active" (6.0 /. 5.0) d.Describe.mean_active;
+        Alcotest.(check (float 1e-9)) "util" (0.5 *. 2.0 +. 1.0 *. 4.0) d.Describe.utilisation);
+    Alcotest.test_case "render lists the statistics" `Quick (fun () ->
+        let inst =
+          Instance.of_specs_exn ~capacity:(Vec.of_list [ 10 ])
+            [ (0.0, 1.0, Vec.of_list [ 1 ]) ]
+        in
+        let out = Describe.render (Describe.measure inst) in
+        check_bool "mu row" true (contains_sub out "mu (max/min duration)");
+        check_bool "peak row" true (contains_sub out "peak active items"));
+  ]
+
+let suites =
+  [
+    ("workload.uniform", uniform_tests);
+    ("workload.arrival_process", arrival_tests);
+    ("workload.describe", describe_tests);
+    ("workload.cloud_gaming", gaming_tests);
+    ("workload.vm_requests", vm_tests);
+    ("workload.correlated", correlated_tests);
+    ("workload.bursty", bursty_tests);
+    ("workload.trace_io", trace_io_tests);
+  ]
