@@ -236,7 +236,7 @@ let tests =
              let session =
                Engine_session.create
                  ~capacity:instance.Core.Instance.capacity
-                 ~policy:(Core.Policy.first_fit ())
+                 ~policy:(Core.Policy.first_fit ()) ()
              in
              let events =
                List.concat_map
@@ -304,12 +304,125 @@ let run_micro () =
               [ name; human ])
             rows))
 
+(* ---------- JSON benchmark gate (--json [path]) ----------
+
+   Writes a machine-readable perf snapshot so successive PRs have a
+   throughput trajectory to compare against:
+     - per-policy engine throughput (items/sec, Bechamel OLS estimate) on
+       the Table 2 uniform workload at d in {1,5} x mu in {10,200};
+     - wall time of a fixed-seed m=50 Figure-4 mini-sweep (the experiment
+       pipeline end to end: generation, lower bounds, all 7 policies). *)
+
+let bench_grid = [ (1, 10); (1, 200); (5, 10); (5, 200) ]
+let bench_n_items = 1000
+
+let json_instance ~d ~mu =
+  W.Uniform_model.generate
+    (W.Uniform_model.table2 ~d ~mu)
+    ~rng:(Rng.create ~seed:(100 + (17 * d) + mu))
+
+let ns_per_run tests =
+  (* returns an assoc list: test name -> OLS ns/run estimate *)
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"json" tests) in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns = match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan in
+      (name, ns) :: acc)
+    results []
+
+let run_json path =
+  let throughput =
+    List.map
+      (fun name ->
+        let tests =
+          List.map
+            (fun (d, mu) ->
+              let instance = json_instance ~d ~mu in
+              Test.make ~name:(Printf.sprintf "%s.d%d.mu%d" name d mu)
+                (Staged.stage (fun () ->
+                     let policy =
+                       Core.Policy.of_name_exn ~rng:(Rng.create ~seed:3) name
+                     in
+                     (* measured in the experiment-pipeline configuration:
+                        ratio sweeps drive the engine with tracing off *)
+                     Engine.run ~record_trace:false ~policy instance)))
+            bench_grid
+        in
+        let estimates = ns_per_run tests in
+        let cells =
+          List.map
+            (fun (d, mu) ->
+              let key = Printf.sprintf "json/%s.d%d.mu%d" name d mu in
+              let ns = try List.assoc key estimates with Not_found -> nan in
+              let items_per_sec =
+                if Float.is_nan ns || ns <= 0.0 then 0.0
+                else float_of_int bench_n_items *. 1e9 /. ns
+              in
+              Printf.eprintf "bench %s d=%d mu=%-3d  %12.0f items/sec\n%!" name d mu
+                items_per_sec;
+              ((d, mu), items_per_sec))
+            bench_grid
+        in
+        (name, cells))
+      Core.Policy.standard_names
+  in
+  let sweep_config =
+    {
+      X.Figure4.default with
+      X.Figure4.ds = [ 1; 5 ];
+      mus = [ 10; 200 ];
+      instances = 50;
+      seed = 42;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let cells = X.Figure4.run ~progress:prerr_endline sweep_config in
+  let sweep_seconds = Unix.gettimeofday () -. t0 in
+  ignore cells;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"label\": \"pr1\",\n";
+  Buffer.add_string buf "  \"generated_by\": \"bench/main.ml --json\",\n";
+  Buffer.add_string buf
+    "  \"workload\": { \"model\": \"uniform (Table 2)\", \"n_items\": 1000, \"span\": 1000, \"bin_size\": 100, \"record_trace\": false },\n";
+  Buffer.add_string buf "  \"throughput_items_per_sec\": {\n";
+  List.iteri
+    (fun i (name, cells) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: { " name);
+      List.iteri
+        (fun j ((d, mu), ips) ->
+          Buffer.add_string buf
+            (Printf.sprintf "\"d%d_mu%d\": %.1f%s" d mu ips
+               (if j = List.length cells - 1 then "" else ", ")))
+        cells;
+      Buffer.add_string buf
+        (Printf.sprintf " }%s\n" (if i = List.length throughput - 1 then "" else ",")))
+    throughput;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"figure4_mini_sweep\": { \"ds\": [1, 5], \"mus\": [10, 200], \"instances\": 50, \"seed\": 42, \"wall_seconds\": %.3f }\n"
+       sweep_seconds);
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s (mini-sweep: %.3f s)\n" path sweep_seconds
+
 let () =
-  regenerate_tables ();
-  regenerate_figures ();
-  regenerate_scenarios ();
-  regenerate_significance ();
-  regenerate_ablations ();
-  regenerate_worst_case ();
-  if Sys.getenv_opt "DVBP_SKIP_MICRO" = None then run_micro ();
-  print_newline ()
+  match Array.to_list Sys.argv with
+  | _ :: "--json" :: rest ->
+      let path = match rest with p :: _ -> p | [] -> "BENCH_pr1.json" in
+      run_json path
+  | _ ->
+      regenerate_tables ();
+      regenerate_figures ();
+      regenerate_scenarios ();
+      regenerate_significance ();
+      regenerate_ablations ();
+      regenerate_worst_case ();
+      if Sys.getenv_opt "DVBP_SKIP_MICRO" = None then run_micro ();
+      print_newline ()

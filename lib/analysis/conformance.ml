@@ -4,7 +4,7 @@ module Item = Core.Item
 module Instance = Core.Instance
 module Load_measure = Core.Load_measure
 module Trace = Dvbp_engine.Trace
-module Listx = Dvbp_prelude.Listx
+module Dynarray = Dvbp_prelude.Dynarray
 
 type semantics =
   | First_fit
@@ -37,6 +37,7 @@ type rbin = {
   mutable load : Vec.t;
   mutable last_used : int;
   mutable received : int;  (* placements so far; 0 = freshly opened *)
+  mutable closed : bool;
 }
 
 let check semantics (instance : Instance.t) trace =
@@ -49,38 +50,53 @@ let check semantics (instance : Instance.t) trace =
     fun id -> Hashtbl.find table id
   in
   let bins : (int, rbin) Hashtbl.t = Hashtbl.create 64 in
-  let open_order = ref [] (* ascending ids; bins open, including fresh *) in
+  (* open bins in opening order — the same candidate view the registry gives
+     policies: closed bins are tombstones, compacted when they dominate *)
+  let dummy =
+    { id = -1; load = Vec.zero ~dim:(Vec.dim cap); last_used = 0; received = 0;
+      closed = true }
+  in
+  let order : rbin Dynarray.t = Dynarray.create ~dummy () in
+  let live = ref 0 and dead = ref 0 in
   let touch = ref 0 in
   let current = ref None (* Next Fit's current bin id *) in
   let violations = ref [] in
   let report v = violations := v :: !violations in
 
   let expected_existing_bin size =
-    (* candidates: open bins that have already received an item *)
-    let candidates =
-      List.filter_map
-        (fun id ->
-          let b = Hashtbl.find bins id in
-          if b.received > 0 then Some b else None)
-        (List.rev !open_order)
+    (* candidates: open bins that have already received an item, ascending;
+       scanned without building a list, ties keeping the earliest-opened *)
+    let admissible b =
+      (not b.closed) && b.received > 0 && Vec.fits ~cap ~load:b.load size
     in
-    let fitting = List.filter (fun b -> Vec.fits ~cap ~load:b.load size) candidates in
+    let best_by better score =
+      let best = ref None and best_score = ref 0.0 in
+      Dynarray.iter order (fun b ->
+          if admissible b then
+            let v = score b in
+            match !best with
+            | Some _ when not (better v !best_score) -> ()
+            | _ ->
+                best := Some b.id;
+                best_score := v);
+      !best
+    in
     match semantics with
-    | First_fit -> Option.map (fun b -> b.id) (List.nth_opt fitting 0)
-    | Last_fit -> Option.map (fun b -> b.id) (Listx.max_by (fun b -> b.id) fitting)
+    | First_fit ->
+        Option.map (fun b -> b.id) (Dynarray.find order admissible)
+    | Last_fit -> best_by (fun v best -> v > best) (fun b -> float_of_int b.id)
     | Best_fit m ->
-        Option.map (fun b -> b.id)
-          (Listx.max_by (fun b -> Load_measure.apply m ~cap b.load) fitting)
+        best_by (fun v best -> v > best) (fun b -> Load_measure.apply m ~cap b.load)
     | Worst_fit m ->
-        Option.map (fun b -> b.id)
-          (Listx.min_by (fun b -> Load_measure.apply m ~cap b.load) fitting)
+        best_by (fun v best -> v < best) (fun b -> Load_measure.apply m ~cap b.load)
     | Move_to_front ->
-        Option.map (fun b -> b.id) (Listx.max_by (fun b -> b.last_used) fitting)
+        best_by (fun v best -> v > best) (fun b -> float_of_int b.last_used)
     | Next_fit -> (
         match !current with
         | Some id -> (
             match Hashtbl.find_opt bins id with
-            | Some b when Vec.fits ~cap ~load:b.load size -> Some id
+            | Some b when (not b.closed) && Vec.fits ~cap ~load:b.load size ->
+                Some id
             | Some _ | None -> None)
         | None -> None)
   in
@@ -90,10 +106,13 @@ let check semantics (instance : Instance.t) trace =
       match event with
       | Trace.Opened { bin_id; _ } ->
           incr touch;
-          Hashtbl.replace bins bin_id
-            { id = bin_id; load = Vec.zero ~dim:(Vec.dim cap); last_used = !touch;
-              received = 0 };
-          open_order := bin_id :: !open_order
+          let b =
+            { id = bin_id; load = Vec.zero ~dim:(Vec.dim cap);
+              last_used = !touch; received = 0; closed = false }
+          in
+          Hashtbl.replace bins bin_id b;
+          Dynarray.push order b;
+          incr live
       | Trace.Placed { time; item_id; bin_id } -> (
           let size = item_size item_id in
           let b = Hashtbl.find bins bin_id in
@@ -138,8 +157,15 @@ let check semantics (instance : Instance.t) trace =
           let b = Hashtbl.find bins bin_id in
           b.load <- Vec.sub b.load (item_size item_id)
       | Trace.Closed { bin_id; _ } ->
+          let b = Hashtbl.find bins bin_id in
+          b.closed <- true;
           Hashtbl.remove bins bin_id;
-          open_order := List.filter (fun id -> id <> bin_id) !open_order;
+          decr live;
+          incr dead;
+          if !dead > !live then begin
+            Dynarray.filter_in_place order (fun b -> not b.closed);
+            dead := 0
+          end;
           if !current = Some bin_id then current := None)
     (Trace.events trace);
   match List.rev !violations with [] -> Ok () | vs -> Error vs

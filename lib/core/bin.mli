@@ -18,6 +18,11 @@ type t = private {
   mutable placed : Item.t list;  (** every item ever placed, placement order *)
   mutable closed_at : float option;
   mutable last_used : int;
+  mutable measure_key : Load_measure.t option;
+      (** one-entry {!load_measure} cache key; [None] after any load change *)
+  mutable measure_val : float;
+  mutable registry_slot : int;
+      (** slot index owned by {!Bin_registry}; [-1] while unregistered *)
 }
 
 val create : id:int -> capacity:Dvbp_vec.Vec.t -> now:float -> touch:int -> t
@@ -41,10 +46,14 @@ val close : t -> now:float -> unit
 (** Marks the bin closed (engine-only). @raise Invalid_argument if non-empty
     or already closed. *)
 
+val set_registry_slot : t -> int -> unit
+(** Records the bin's slot in its registry ({!Bin_registry}-only). *)
+
 val usage_interval : t -> Dvbp_interval.Interval.t
 (** [\[opened_at, closed_at)]. @raise Invalid_argument while still open. *)
 
 val load_measure : Load_measure.t -> t -> float
-(** Capacity-relative scalar load of the bin's current contents. *)
+(** Capacity-relative scalar load of the bin's current contents. Cached:
+    repeated calls with the same measure between load changes are O(1). *)
 
 val pp : Format.formatter -> t -> unit

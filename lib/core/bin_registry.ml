@@ -1,0 +1,429 @@
+module Vec = Dvbp_vec.Vec
+module Dynarray = Dvbp_prelude.Dynarray
+
+(* Alongside the bin array, the registry keeps the packed residual
+   capacities ([capacity - load], [dim] coordinates per slot) of every
+   slot in one flat int array. The fit scan — one test per open bin per
+   arrival, the hottest loop in a simulation — then reads a few KB of
+   contiguous memory instead of chasing each bin's record and load
+   vector through the heap. Dead slots have their first residual set to
+   [-1], which no non-negative size fits, so the scan needs no separate
+   liveness test. The price is that the engine must call {!refresh}
+   after mutating a bin's load; the session does this in exactly two
+   places (place, remove). *)
+type t = {
+  dim : int;
+  cap : int array;  (* the shared bin capacity, for measure evaluation *)
+  bins : Bin.t Dynarray.t;  (* ascending open order; closed bins = tombstones *)
+  mutable free : int array;  (* packed residuals, [dim] per slot *)
+  mutable live : int;
+  mutable dead : int;
+  (* Proof memo for the strict Any Fit law: when a whole-registry scan
+     proves that [miss_size] fits nowhere, the engine's follow-up
+     [exists_fitting] (same size, no mutation in between — [stamp] is
+     bumped on every mutation) is answered without rescanning. A fresh
+     open would otherwise pay the full scan twice: once in the policy's
+     select, once in the conformance check. *)
+  mutable stamp : int;
+  mutable miss_size : int array;  (* compared physically *)
+  mutable miss_stamp : int;
+}
+
+let create ~capacity =
+  (* the dummy bin fills unused backing slots; it is never traversed *)
+  let dummy = Bin.create ~id:(-1) ~capacity ~now:0.0 ~touch:0 in
+  let dim = Vec.dim capacity in
+  {
+    dim;
+    cap = (capacity :> int array);
+    bins = Dynarray.create ~dummy ();
+    free = Array.make (dim * 8) (-1);
+    live = 0;
+    dead = 0;
+    stamp = 0;
+    miss_size = [||];
+    miss_stamp = -1;
+  }
+
+let count t = t.live
+
+let[@inline] write_free t slot (b : Bin.t) =
+  let cap = (b.Bin.capacity :> int array)
+  and load = (b.Bin.load :> int array) in
+  let free = t.free in
+  let base = slot * t.dim in
+  for j = 0 to t.dim - 1 do
+    Array.unsafe_set free (base + j)
+      (Array.unsafe_get cap j - Array.unsafe_get load j)
+  done
+
+let[@inline] kill_slot t slot = t.free.(slot * t.dim) <- -1
+
+let ensure_free_capacity t slots =
+  let need = slots * t.dim in
+  if Array.length t.free < need then begin
+    let bigger = Array.make (max need (2 * Array.length t.free)) (-1) in
+    Array.blit t.free 0 bigger 0 (Array.length t.free);
+    t.free <- bigger
+  end
+
+let[@inline] bump t = t.stamp <- t.stamp + 1
+
+let[@inline] record_miss t (size : int array) =
+  t.miss_size <- size;
+  t.miss_stamp <- t.stamp
+
+let[@inline] proven_miss t (size : int array) =
+  t.miss_stamp = t.stamp && t.miss_size == size
+
+let add t b =
+  if not (Bin.is_open b) then invalid_arg "Bin_registry.add: bin is closed";
+  bump t;
+  Dynarray.push t.bins b;
+  let slot = Dynarray.length t.bins - 1 in
+  ensure_free_capacity t (slot + 1);
+  write_free t slot b;
+  Bin.set_registry_slot b slot;
+  t.live <- t.live + 1
+
+let refresh t (b : Bin.t) =
+  let slot = b.Bin.registry_slot in
+  if slot < 0 then invalid_arg "Bin_registry.refresh: bin is not registered";
+  bump t;
+  write_free t slot b
+
+let compact t =
+  Dynarray.filter_in_place t.bins Bin.is_open;
+  for i = 0 to Dynarray.length t.bins - 1 do
+    let b = Dynarray.unsafe_get t.bins i in
+    write_free t i b;
+    Bin.set_registry_slot b i
+  done;
+  t.dead <- 0
+
+let note_closed t b =
+  if Bin.is_open b then invalid_arg "Bin_registry.note_closed: bin still open";
+  let slot = b.Bin.registry_slot in
+  if slot < 0 then invalid_arg "Bin_registry.note_closed: bin is not registered";
+  bump t;
+  kill_slot t slot;
+  Bin.set_registry_slot b (-1);
+  t.live <- t.live - 1;
+  t.dead <- t.dead + 1;
+  (* Closed bins cost one failing residual test per scan until compaction.
+     Compacting once a quarter of the slots are dead keeps scan length
+     within 1.25x of the live count while still amortising the O(n)
+     sweep over at least live/4 closes. *)
+  if 4 * t.dead > t.live then compact t
+
+let[@inline] alive (b : Bin.t) =
+  match b.Bin.closed_at with None -> true | Some _ -> false
+
+(* Predicate traversals (class-constrained policies, observers): these
+   walk the bin records themselves, skipping tombstones. *)
+
+let iter t f =
+  let bins = t.bins in
+  for i = 0 to Dynarray.length bins - 1 do
+    let b = Dynarray.unsafe_get bins i in
+    if alive b then f b
+  done
+
+let find t p =
+  let bins = t.bins in
+  let n = Dynarray.length bins in
+  let rec go i =
+    if i >= n then None
+    else
+      let b = Dynarray.unsafe_get bins i in
+      if alive b && p b then Some b else go (i + 1)
+  in
+  go 0
+
+let rfind t p =
+  let bins = t.bins in
+  let rec go i =
+    if i < 0 then None
+    else
+      let b = Dynarray.unsafe_get bins i in
+      if alive b && p b then Some b else go (i - 1)
+  in
+  go (Dynarray.length bins - 1)
+
+let fold t f init =
+  let bins = t.bins in
+  let n = Dynarray.length bins in
+  let rec go acc i =
+    if i >= n then acc
+    else
+      let b = Dynarray.unsafe_get bins i in
+      go (if alive b then f acc b else acc) (i + 1)
+  in
+  go init 0
+
+(* Fit scans: direct while-loops over the packed residual array. The
+   per-slot test is branchless: [size] fits iff every [free_j - size_j]
+   is non-negative, i.e. iff OR-ing the differences leaves the sign bit
+   clear. An early-exit comparison loop looks cheaper but its exit point
+   varies per slot, and the resulting branch mispredictions dominated
+   the scan; a dead slot's [-1] poison residual drives the OR negative
+   just like any other miss. *)
+
+let[@inline] coerce_size t (size : Vec.t) =
+  if Vec.dim size <> t.dim then
+    invalid_arg "Bin_registry: size dimension does not match capacity";
+  (size :> int array)
+
+(* first slot index >= [i0] whose residuals fit [size], or [n] *)
+let[@inline] scan_up (free : int array) (size : int array) d n i0 =
+  let i = ref i0 and base = ref (i0 * d) and found = ref false in
+  while (not !found) && !i < n do
+    let acc = ref 0 in
+    for j = 0 to d - 1 do
+      acc :=
+        !acc lor (Array.unsafe_get free (!base + j) - Array.unsafe_get size j)
+    done;
+    if !acc >= 0 then found := true
+    else begin
+      incr i;
+      base := !base + d
+    end
+  done;
+  !i
+
+let find_fitting t size =
+  let size = coerce_size t size in
+  let n = Dynarray.length t.bins in
+  let i = scan_up t.free size t.dim n 0 in
+  if i < n then Some (Dynarray.unsafe_get t.bins i)
+  else begin
+    record_miss t size;
+    None
+  end
+
+let rfind_fitting t size =
+  let size = coerce_size t size in
+  let d = t.dim and free = t.free in
+  let bins = t.bins in
+  let i = ref (Dynarray.length bins - 1) and found = ref false in
+  let base = ref (!i * d) in
+  while (not !found) && !i >= 0 do
+    let acc = ref 0 in
+    for j = 0 to d - 1 do
+      acc :=
+        !acc lor (Array.unsafe_get free (!base + j) - Array.unsafe_get size j)
+    done;
+    if !acc >= 0 then found := true
+    else begin
+      decr i;
+      base := !base - d
+    end
+  done;
+  if !found then Some (Dynarray.unsafe_get bins !i)
+  else begin
+    record_miss t size;
+    None
+  end
+
+(* Load measure of the slot at [base], computed from the packed
+   residuals. The residual is exactly [cap - load] (integer arithmetic),
+   so recovering the load and applying the same float operations in the
+   same order yields the bit-identical value {!Bin.load_measure} returns
+   — argmax/argmin ties therefore break exactly as they would when
+   scoring the bin records. *)
+let measure_of_slot (m : Load_measure.t) (free : int array) (cap : int array) d
+    base =
+  match m with
+  | Load_measure.Linf ->
+      let best = ref 0.0 in
+      for j = 0 to d - 1 do
+        let c = Array.unsafe_get cap j in
+        let l = c - Array.unsafe_get free (base + j) in
+        let r = float_of_int l /. float_of_int c in
+        if r > !best then best := r
+      done;
+      !best
+  | Load_measure.L1 ->
+      let acc = ref 0.0 in
+      for j = 0 to d - 1 do
+        let c = Array.unsafe_get cap j in
+        let l = c - Array.unsafe_get free (base + j) in
+        acc := !acc +. (float_of_int l /. float_of_int c)
+      done;
+      !acc
+  | Load_measure.Lp p ->
+      let acc = ref 0.0 in
+      for j = 0 to d - 1 do
+        let c = Array.unsafe_get cap j in
+        let l = c - Array.unsafe_get free (base + j) in
+        acc := !acc +. ((float_of_int l /. float_of_int c) ** p)
+      done;
+      !acc ** (1.0 /. p)
+
+(* Argmax/argmin of the load measure over the fitting bins, fused into
+   the packed-residual scan (best-fit/worst-fit never touch the bin
+   records until the winner is known). Strict improvement replaces, so
+   ties keep the earliest-opened bin. The Linf case is unrolled into the
+   loop: it is every standard policy's measure, and keeping the score in
+   registers avoids boxing a float per candidate. *)
+let extremal_loaded_fitting t (measure : Load_measure.t) size ~largest =
+  let size = coerce_size t size in
+  let d = t.dim and free = t.free and cap = t.cap in
+  let n = Dynarray.length t.bins in
+  let best = ref (-1) and best_score = ref 0.0 in
+  (match measure with
+  | Load_measure.Linf ->
+      let i = ref 0 in
+      while !i < n do
+        let next = scan_up free size d n !i in
+        if next < n then begin
+          let base = next * d in
+          let score = ref 0.0 in
+          for j = 0 to d - 1 do
+            let c = Array.unsafe_get cap j in
+            let l = c - Array.unsafe_get free (base + j) in
+            let r = float_of_int l /. float_of_int c in
+            if r > !score then score := r
+          done;
+          if
+            !best < 0
+            || (if largest then !score > !best_score else !score < !best_score)
+          then begin
+            best := next;
+            best_score := !score
+          end
+        end;
+        i := next + 1
+      done
+  | _ ->
+      let i = ref 0 in
+      while !i < n do
+        let next = scan_up free size d n !i in
+        if next < n then begin
+          let score = measure_of_slot measure free cap d (next * d) in
+          if
+            !best < 0
+            || (if largest then score > !best_score else score < !best_score)
+          then begin
+            best := next;
+            best_score := score
+          end
+        end;
+        i := next + 1
+      done);
+  if !best < 0 then begin
+    record_miss t size;
+    None
+  end
+  else Some (Dynarray.unsafe_get t.bins !best)
+
+let most_loaded_fitting t ~measure size =
+  extremal_loaded_fitting t measure size ~largest:true
+
+let least_loaded_fitting t ~measure size =
+  extremal_loaded_fitting t measure size ~largest:false
+
+(* Most-recently-used fitting bin (move-to-front). [last_used] values are
+   unique (the session's touch counter increments per use), so comparing
+   them as ints selects the same bin as the old float argmax. *)
+let recently_used_fitting t size =
+  let size = coerce_size t size in
+  let d = t.dim and free = t.free in
+  let bins = t.bins in
+  let n = Dynarray.length bins in
+  let best = ref (-1) and best_touch = ref (-1) in
+  let i = ref 0 in
+  while !i < n do
+    let next = scan_up free size d n !i in
+    if next < n then begin
+      let touch = (Dynarray.unsafe_get bins next).Bin.last_used in
+      if touch > !best_touch then begin
+        best := next;
+        best_touch := touch
+      end
+    end;
+    i := next + 1
+  done;
+  if !best < 0 then begin
+    record_miss t size;
+    None
+  end
+  else Some (Dynarray.unsafe_get bins !best)
+
+let fold_fitting t size f init =
+  let size = coerce_size t size in
+  let d = t.dim and free = t.free in
+  let bins = t.bins in
+  let n = Dynarray.length bins in
+  let acc = ref init and i = ref 0 in
+  while !i < n do
+    let next = scan_up free size d n !i in
+    if next < n then acc := f !acc (Dynarray.unsafe_get bins next);
+    i := next + 1
+  done;
+  !acc
+
+let exists_fitting t size =
+  let size = coerce_size t size in
+  if proven_miss t size then false
+  else begin
+    let n = Dynarray.length t.bins in
+    let i = scan_up t.free size t.dim n 0 in
+    if i < n then true
+    else begin
+      record_miss t size;
+      false
+    end
+  end
+
+let count_fitting t size =
+  let size = coerce_size t size in
+  let d = t.dim and free = t.free in
+  let n = Dynarray.length t.bins in
+  let c = ref 0 and i = ref 0 in
+  while !i < n do
+    let next = scan_up free size d n !i in
+    if next < n then incr c;
+    i := next + 1
+  done;
+  if !c = 0 then record_miss t size;
+  !c
+
+let nth_fitting t size k =
+  let size = coerce_size t size in
+  let d = t.dim and free = t.free in
+  let bins = t.bins in
+  let n = Dynarray.length bins in
+  if k < 0 then None
+  else begin
+    let remaining = ref k and i = ref 0 and result = ref None in
+    while !result == None && !i < n do
+      let next = scan_up free size d n !i in
+      if next < n then
+        if !remaining = 0 then result := Some (Dynarray.unsafe_get bins next)
+        else decr remaining;
+      i := next + 1
+    done;
+    !result
+  end
+
+let to_list t = List.rev (fold t (fun acc b -> b :: acc) [])
+
+let of_list ~capacity bins =
+  let t = create ~capacity in
+  List.iter
+    (fun b ->
+      Dynarray.push t.bins b;
+      let slot = Dynarray.length t.bins - 1 in
+      ensure_free_capacity t (slot + 1);
+      if Bin.is_open b then begin
+        write_free t slot b;
+        Bin.set_registry_slot b slot;
+        t.live <- t.live + 1
+      end
+      else begin
+        kill_slot t slot;
+        t.dead <- t.dead + 1
+      end)
+    bins;
+  t

@@ -1,0 +1,97 @@
+(** The open-bin registry: the engine's record of currently open bins and
+    the allocation-free candidate view policies select from.
+
+    Bins are kept in ascending open order (ascending {!Bin.t.id}) in a
+    growable array ({!Dvbp_prelude.Dynarray}). Opening appends in O(1);
+    closing is an O(1) tombstone (the bin's own [closed_at] marks it dead)
+    with in-place compaction once a quarter of the slots are dead, so every
+    traversal is O(live) amortised and allocates nothing. The open count
+    is tracked incrementally — no [List.length] scans.
+
+    The registry also mirrors each open bin's residual capacity
+    ([capacity - load]) into one packed int array, so the per-arrival fit
+    scan reads contiguous memory instead of dereferencing every bin
+    record. The mirror is the engine's responsibility: after mutating a
+    bin's load it must call {!refresh} (the session does, in its place and
+    remove steps).
+
+    The engine owns the mutators ({!add}, {!note_closed}, {!refresh});
+    policies and the conformance replayer only use the read-only view
+    below, which never yields a closed bin. *)
+
+type t
+
+val create : capacity:Dvbp_vec.Vec.t -> t
+(** An empty registry for bins of the given capacity (used only to build
+    the internal dummy slot filler). *)
+
+(** {1 Engine-only mutation} *)
+
+val add : t -> Bin.t -> unit
+(** Registers a freshly opened bin. Bins must be added in opening order.
+    @raise Invalid_argument if the bin is closed. *)
+
+val note_closed : t -> Bin.t -> unit
+(** Tells the registry a registered bin was just closed ({!Bin.close} has
+    already run). O(1) amortised. @raise Invalid_argument if still open. *)
+
+val refresh : t -> Bin.t -> unit
+(** Re-mirrors the bin's residual capacity after its load changed.
+    Must be called after every {!Bin.place}/{!Bin.remove} on a registered
+    bin. @raise Invalid_argument if the bin is not registered (and open). *)
+
+(** {1 The candidate view (read-only, allocation-free)} *)
+
+val count : t -> int
+(** Number of open bins, tracked incrementally. O(1). *)
+
+val iter : t -> (Bin.t -> unit) -> unit
+(** Open bins in ascending open order. *)
+
+val find : t -> (Bin.t -> bool) -> Bin.t option
+(** First open bin satisfying the predicate; early exit. *)
+
+val rfind : t -> (Bin.t -> bool) -> Bin.t option
+(** Latest-opened bin satisfying the predicate; scans descending. *)
+
+val fold : t -> ('acc -> Bin.t -> 'acc) -> 'acc -> 'acc
+(** Over open bins in ascending open order. *)
+
+val find_fitting : t -> Dvbp_vec.Vec.t -> Bin.t option
+(** First open bin the size fits — First Fit's whole select. *)
+
+val rfind_fitting : t -> Dvbp_vec.Vec.t -> Bin.t option
+(** Latest-opened open bin the size fits — Last Fit's whole select. *)
+
+val fold_fitting : t -> Dvbp_vec.Vec.t -> ('acc -> Bin.t -> 'acc) -> 'acc -> 'acc
+(** Folds over the open bins the size fits, ascending, without building a
+    candidate list. *)
+
+val most_loaded_fitting :
+  t -> measure:Load_measure.t -> Dvbp_vec.Vec.t -> Bin.t option
+(** Fitting bin with the largest load measure (earliest wins ties) — Best
+    Fit's whole select. The measure is evaluated from the packed residual
+    mirror, bit-identical to scoring each bin with {!Bin.load_measure}. *)
+
+val least_loaded_fitting :
+  t -> measure:Load_measure.t -> Dvbp_vec.Vec.t -> Bin.t option
+(** Fitting bin with the smallest load measure — Worst Fit's select. *)
+
+val recently_used_fitting : t -> Dvbp_vec.Vec.t -> Bin.t option
+(** Fitting bin with the largest {!Bin.t.last_used} — Move To Front's
+    select ([last_used] values are unique, so the argmax is unambiguous). *)
+
+val exists_fitting : t -> Dvbp_vec.Vec.t -> bool
+(** Used by the engine to enforce the strict Any Fit law. *)
+
+val count_fitting : t -> Dvbp_vec.Vec.t -> int
+
+val nth_fitting : t -> Dvbp_vec.Vec.t -> int -> Bin.t option
+(** [nth_fitting t size k] is the [k]-th (0-based, ascending) open bin the
+    size fits — Random Fit's selection pass. *)
+
+val to_list : t -> Bin.t list
+(** Open bins, ascending open order. Allocates; for observers and tests. *)
+
+val of_list : capacity:Dvbp_vec.Vec.t -> Bin.t list -> t
+(** Builds a registry holding exactly these bins (test helper). *)

@@ -8,6 +8,12 @@ let apply t ~cap v =
   | L1 -> Vec.l1 ~cap v
   | Lp p -> Vec.lp ~p ~cap v
 
+let equal a b =
+  match (a, b) with
+  | Linf, Linf | L1, L1 -> true
+  | Lp p, Lp q -> Float.equal p q
+  | (Linf | L1 | Lp _), _ -> false
+
 let name = function
   | Linf -> "linf"
   | L1 -> "l1"

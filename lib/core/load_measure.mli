@@ -12,6 +12,8 @@ type t =
 val apply : t -> cap:Dvbp_vec.Vec.t -> Dvbp_vec.Vec.t -> float
 (** Evaluates the measure on a load vector. *)
 
+val equal : t -> t -> bool
+
 val name : t -> string
 (** ["linf"], ["l1"], ["l2.0"], ... *)
 

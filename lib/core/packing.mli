@@ -14,7 +14,9 @@ type bin_record = {
 type t = private {
   capacity : Dvbp_vec.Vec.t;
   bins : bin_record list;  (** ascending [bin_id] *)
-  assignment : int Map.Make(Int).t;  (** item id → bin id *)
+  assignment : int Dvbp_prelude.Int_table.t;
+      (** item id → bin id; internal index for {!bin_of_item} — treat as
+          read-only *)
 }
 
 val make : capacity:Dvbp_vec.Vec.t -> bin_record list -> t

@@ -1,5 +1,4 @@
 module Vec = Dvbp_vec.Vec
-module Listx = Dvbp_prelude.Listx
 module Rng = Dvbp_prelude.Rng
 
 type item_view = { size : Vec.t; arrival : float; departure : float option }
@@ -8,7 +7,7 @@ type decision = Existing of Bin.t | Fresh
 type t = {
   name : string;
   describe : string;
-  select : item:item_view -> open_bins:Bin.t list -> decision;
+  select : item:item_view -> open_bins:Bin_registry.t -> decision;
   on_place : bin:Bin.t -> now:float -> unit;
   on_close : bin:Bin.t -> now:float -> unit;
   strict_any_fit : bool;
@@ -17,13 +16,11 @@ type t = {
 let no_place ~bin:_ ~now:_ = ()
 let no_close ~bin:_ ~now:_ = ()
 
-let fitting size bins = List.filter (fun b -> Bin.fits b size) bins
-
 let of_choice = function Some b -> Existing b | None -> Fresh
 
 let first_fit () =
   let select ~item ~open_bins =
-    of_choice (List.find_opt (fun b -> Bin.fits b item.size) open_bins)
+    of_choice (Bin_registry.find_fitting open_bins item.size)
   in
   {
     name = "ff";
@@ -36,7 +33,7 @@ let first_fit () =
 
 let last_fit () =
   let select ~item ~open_bins =
-    of_choice (Listx.max_by (fun (b : Bin.t) -> b.Bin.id) (fitting item.size open_bins))
+    of_choice (Bin_registry.rfind_fitting open_bins item.size)
   in
   {
     name = "lf";
@@ -49,8 +46,7 @@ let last_fit () =
 
 let best_fit ?(measure = Load_measure.Linf) () =
   let select ~item ~open_bins =
-    of_choice
-      (Listx.max_by (fun b -> Bin.load_measure measure b) (fitting item.size open_bins))
+    of_choice (Bin_registry.most_loaded_fitting open_bins ~measure item.size)
   in
   {
     name = "bf";
@@ -64,8 +60,7 @@ let best_fit ?(measure = Load_measure.Linf) () =
 
 let worst_fit ?(measure = Load_measure.Linf) () =
   let select ~item ~open_bins =
-    of_choice
-      (Listx.min_by (fun b -> Bin.load_measure measure b) (fitting item.size open_bins))
+    of_choice (Bin_registry.least_loaded_fitting open_bins ~measure item.size)
   in
   {
     name = "wf";
@@ -79,8 +74,7 @@ let worst_fit ?(measure = Load_measure.Linf) () =
 
 let move_to_front () =
   let select ~item ~open_bins =
-    of_choice
-      (Listx.max_by (fun (b : Bin.t) -> b.Bin.last_used) (fitting item.size open_bins))
+    of_choice (Bin_registry.recently_used_fitting open_bins item.size)
   in
   {
     name = "mtf";
@@ -93,9 +87,14 @@ let move_to_front () =
 
 let random_fit ~rng () =
   let select ~item ~open_bins =
-    match fitting item.size open_bins with
-    | [] -> Fresh
-    | candidates -> Existing (Rng.pick rng (Array.of_list candidates))
+    (* one counting pass, one draw, one selection pass — the draw consumes
+       the same random stream as the old [Rng.pick] over an array *)
+    match Bin_registry.count_fitting open_bins item.size with
+    | 0 -> Fresh
+    | n -> (
+        match Bin_registry.nth_fitting open_bins item.size (Rng.int rng n) with
+        | Some b -> Existing b
+        | None -> assert false)
   in
   {
     name = "rf";
@@ -107,19 +106,18 @@ let random_fit ~rng () =
   }
 
 let next_fit () =
+  (* the current bin is held by direct reference — no id rescan of the
+     open bins; [on_close] drops it the moment the engine closes it *)
   let current = ref None in
-  let select ~item ~open_bins =
+  let select ~item ~open_bins:_ =
     match !current with
-    | None -> Fresh
-    | Some id -> (
-        match List.find_opt (fun (b : Bin.t) -> b.Bin.id = id) open_bins with
-        | Some b when Bin.fits b item.size -> Existing b
-        | Some _ | None -> Fresh)
+    | Some b when Bin.is_open b && Bin.fits b item.size -> Existing b
+    | Some _ | None -> Fresh
   in
-  let on_place ~bin ~now:_ = current := Some bin.Bin.id in
+  let on_place ~bin ~now:_ = current := Some bin in
   let on_close ~bin ~now:_ =
     match !current with
-    | Some id when id = bin.Bin.id -> current := None
+    | Some (b : Bin.t) when b.Bin.id = bin.Bin.id -> current := None
     | Some _ | None -> ()
   in
   {
@@ -133,20 +131,16 @@ let next_fit () =
 
 let next_k_fit ~k () =
   if k < 1 then invalid_arg "Policy.next_k_fit: k < 1";
-  (* candidate bin ids, most recently opened last; length <= k *)
+  (* candidate bins by direct reference, oldest first; length <= k *)
   let candidates = ref [] in
-  let select ~item ~open_bins =
-    let live =
-      List.filter_map
-        (fun id -> List.find_opt (fun (b : Bin.t) -> b.Bin.id = id) open_bins)
-        !candidates
-    in
-    of_choice (List.find_opt (fun b -> Bin.fits b item.size) live)
+  let select ~item ~open_bins:_ =
+    of_choice (List.find_opt (fun b -> Bin.fits b item.size) !candidates)
   in
   let on_place ~bin ~now:_ =
-    if not (List.mem bin.Bin.id !candidates) then begin
+    if not (List.exists (fun (b : Bin.t) -> b.Bin.id = bin.Bin.id) !candidates)
+    then begin
       (* fresh bin becomes a candidate; drop the oldest beyond k *)
-      let extended = !candidates @ [ bin.Bin.id ] in
+      let extended = !candidates @ [ bin ] in
       let overflow = List.length extended - k in
       candidates :=
         if overflow > 0 then
@@ -155,7 +149,7 @@ let next_k_fit ~k () =
     end
   in
   let on_close ~bin ~now:_ =
-    candidates := List.filter (fun id -> id <> bin.Bin.id) !candidates
+    candidates := List.filter (fun (b : Bin.t) -> b.Bin.id <> bin.Bin.id) !candidates
   in
   {
     name = Printf.sprintf "nf%d" k;
@@ -180,12 +174,9 @@ let harmonic_fit ?(num_classes = 6) ~capacity () =
       else Int.min (num_classes - 1) (Int.max 0 (int_of_float (1.0 /. rel) - 1))
     in
     pending_class := cls;
-    let mine =
-      List.filter
-        (fun (b : Bin.t) -> Hashtbl.find_opt bin_class b.Bin.id = Some cls)
-        open_bins
-    in
-    of_choice (List.find_opt (fun b -> Bin.fits b item.size) mine)
+    of_choice
+      (Bin_registry.find open_bins (fun (b : Bin.t) ->
+           Hashtbl.find_opt bin_class b.Bin.id = Some cls && Bin.fits b item.size))
   in
   let on_place ~bin ~now:_ =
     if not (Hashtbl.mem bin_class bin.Bin.id) then
@@ -211,19 +202,29 @@ let latest_departure (b : Bin.t) =
 
 let duration_aligned_fit ?(slack = 0.0) () =
   let select ~item ~open_bins =
-    let candidates = fitting item.size open_bins in
     match item.departure with
     | None ->
         of_choice
-          (Listx.max_by (fun b -> Bin.load_measure Load_measure.Linf b) candidates)
+          (Bin_registry.most_loaded_fitting open_bins ~measure:Load_measure.Linf
+             item.size)
     | Some dep ->
-        let score b =
-          let gap = Float.abs (latest_departure b -. dep) in
-          let gap = if gap <= slack then 0.0 else gap in
-          (* Smaller gap first; among equal gaps prefer the fuller bin. *)
-          (gap, -.Bin.load_measure Load_measure.Linf b)
-        in
-        of_choice (Listx.min_by score candidates)
+        (* lexicographic min of (gap, -load): smaller gap first, then the
+           fuller bin; ties keep the earliest-opened candidate *)
+        let best = ref None and best_gap = ref 0.0 and best_neg = ref 0.0 in
+        Bin_registry.fold_fitting open_bins item.size
+          (fun () b ->
+            let gap = Float.abs (latest_departure b -. dep) in
+            let gap = if gap <= slack then 0.0 else gap in
+            let neg = -.Bin.load_measure Load_measure.Linf b in
+            match !best with
+            | Some _ when not (gap < !best_gap || (gap = !best_gap && neg < !best_neg))
+              -> ()
+            | _ ->
+                best := Some b;
+                best_gap := gap;
+                best_neg := neg)
+          ();
+        of_choice !best
   in
   {
     name = "daf";
@@ -251,12 +252,9 @@ let hybrid_first_fit ?(num_classes = 16) () =
     let duration = Option.map (fun dep -> dep -. item.arrival) item.departure in
     let cls = class_of duration in
     pending_class := cls;
-    let mine =
-      List.filter
-        (fun (b : Bin.t) -> Hashtbl.find_opt bin_class b.Bin.id = Some cls)
-        open_bins
-    in
-    of_choice (List.find_opt (fun b -> Bin.fits b item.size) mine)
+    of_choice
+      (Bin_registry.find open_bins (fun (b : Bin.t) ->
+           Hashtbl.find_opt bin_class b.Bin.id = Some cls && Bin.fits b item.size))
   in
   let on_place ~bin ~now:_ =
     if not (Hashtbl.mem bin_class bin.Bin.id) then

@@ -5,8 +5,10 @@
     stateful policies (Next Fit's current bin) track the bin lifecycle.
 
     Policies are values with private mutable state; build a fresh policy per
-    simulation run. The engine passes open bins in opening order (ascending
-    {!Bin.t.id}) and owns all bin mutation.
+    simulation run. The engine passes the open bins as a read-only
+    {!Bin_registry.t} candidate view — bins in opening order (ascending
+    {!Bin.t.id}), traversed allocation-free with the registry's
+    [find]/[rfind]/[fold_fitting] primitives — and owns all bin mutation.
 
     {b Non-clairvoyance.} The arriving item is presented as an {!item_view}
     whose [departure] field is [None] unless the engine runs in clairvoyant
@@ -26,7 +28,7 @@ type decision =
 type t = {
   name : string;
   describe : string;
-  select : item:item_view -> open_bins:Bin.t list -> decision;
+  select : item:item_view -> open_bins:Bin_registry.t -> decision;
   on_place : bin:Bin.t -> now:float -> unit;
       (** called after every placement, including into a fresh bin *)
   on_close : bin:Bin.t -> now:float -> unit;

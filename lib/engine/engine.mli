@@ -26,6 +26,7 @@ type run = {
 val run :
   ?clairvoyant:bool ->
   ?departure_oracle:(Dvbp_core.Item.t -> float option) ->
+  ?record_trace:bool ->
   policy:Dvbp_core.Policy.t ->
   Dvbp_core.Instance.t ->
   run
@@ -33,8 +34,10 @@ val run :
     exposes exact departure times to the policy; [departure_oracle]
     overrides it with an arbitrary per-item hint (e.g. a noisy machine-
     learned prediction, the §8 "additional information" setting) — returned
-    hints must be strictly after the item's arrival. The returned packing
-    always passes {!Dvbp_core.Packing.validate}.
+    hints must be strictly after the item's arrival. [record_trace]
+    (default [true]) can be disabled on hot paths that never read
+    [run.trace]; the packing and counters are unaffected. The returned
+    packing always passes {!Dvbp_core.Packing.validate}.
     @raise Policy_error on policy misbehaviour. *)
 
 val cost : run -> float

@@ -1,6 +1,8 @@
 module Vec = Dvbp_vec.Vec
+module Int_table = Dvbp_prelude.Int_table
 module Core = Dvbp_core
 module Bin = Core.Bin
+module Bin_registry = Core.Bin_registry
 module Item = Core.Item
 module Policy = Core.Policy
 
@@ -16,60 +18,75 @@ type item_state = {
 
 type placement = { item_id : int; bin_id : int; opened_new_bin : bool }
 
+(* all-float record: flat storage, so advancing the clock never allocates *)
+type clock = { mutable time : float }
+
 type t = {
   capacity : Vec.t;
   policy : Policy.t;
-  mutable clock : float option;
+  record_trace : bool;
+  clock : clock;
+  mutable started : bool;
   mutable next_item : int;
   mutable next_bin : int;
   mutable touch : int;
-  mutable open_bins_desc : Bin.t list;  (* most recently opened first *)
+  open_bins : Bin_registry.t;  (* ascending open order, incremental count *)
   mutable all_bins_desc : Bin.t list;
-  items : (int, item_state) Hashtbl.t;
+  items : item_state Int_table.t;
   mutable trace_rev : Trace.event list;
   mutable max_open : int;
   mutable finished : bool;
 }
 
-let create ~capacity ~policy =
+let create ?(record_trace = true) ?(expected_items = 64) ~capacity ~policy () =
+  (* the dummy state fills the item table's empty slots; it is never read *)
+  let dummy_state =
+    {
+      item = Item.make ~id:0 ~arrival:0.0 ~departure:1.0 ~size:capacity;
+      bin = Bin.create ~id:(-1) ~capacity ~now:0.0 ~touch:0;
+      departed_at = None;
+    }
+  in
   {
     capacity;
     policy;
-    clock = None;
+    record_trace;
+    clock = { time = 0.0 };
+    started = false;
     next_item = 0;
     next_bin = 0;
     touch = 0;
-    open_bins_desc = [];
+    open_bins = Bin_registry.create ~capacity;
     all_bins_desc = [];
-    items = Hashtbl.create 64;
+    items = Int_table.create ~expected:expected_items ~dummy:dummy_state ();
     trace_rev = [];
     max_open = 0;
     finished = false;
   }
 
-let now t = Option.value ~default:0.0 t.clock
+let now t = t.clock.time
 
 let advance t at =
   if t.finished then error "session already finished";
   if not (Float.is_finite at) then error "non-finite timestamp %g" at;
-  (match t.clock with
-  | Some c when at < c -> error "time went backwards: %g after %g" at c
-  | Some _ | None -> ());
-  t.clock <- Some at
+  if t.started && at < t.clock.time then
+    error "time went backwards: %g after %g" at t.clock.time;
+  t.clock.time <- at;
+  t.started <- true
 
 let next_touch t =
   t.touch <- t.touch + 1;
   t.touch
 
-let emit t e = t.trace_rev <- e :: t.trace_rev
+let emit t e = if t.record_trace then t.trace_rev <- e :: t.trace_rev
 
 let open_fresh t ~at =
   let b = Bin.create ~id:t.next_bin ~capacity:t.capacity ~now:at ~touch:(next_touch t) in
   t.next_bin <- t.next_bin + 1;
-  t.open_bins_desc <- b :: t.open_bins_desc;
+  Bin_registry.add t.open_bins b;
   t.all_bins_desc <- b :: t.all_bins_desc;
   emit t (Trace.Opened { time = at; bin_id = b.Bin.id });
-  t.max_open <- Int.max t.max_open (List.length t.open_bins_desc);
+  t.max_open <- Int.max t.max_open (Bin_registry.count t.open_bins);
   b
 
 let arrive t ~at ?id ?departure ~size () =
@@ -83,10 +100,9 @@ let arrive t ~at ?id ?departure ~size () =
   (match departure with
   | Some dep when dep <= at -> error "clairvoyant departure %g not after arrival %g" dep at
   | Some _ | None -> ());
-  let bins_asc = List.rev t.open_bins_desc in
   let view = { Policy.size; arrival = at; departure } in
   let target, opened_new_bin =
-    match t.policy.Policy.select ~item:view ~open_bins:bins_asc with
+    match t.policy.Policy.select ~item:view ~open_bins:t.open_bins with
     | Policy.Existing b ->
         if not (Bin.is_open b) then
           error "policy %s selected closed bin %d" t.policy.Policy.name b.Bin.id;
@@ -96,7 +112,7 @@ let arrive t ~at ?id ?departure ~size () =
         (b, false)
     | Policy.Fresh ->
         if t.policy.Policy.strict_any_fit
-           && List.exists (fun b -> Bin.fits b size) bins_asc
+           && Bin_registry.exists_fitting t.open_bins size
         then
           error "policy %s opened a fresh bin although an open bin fits"
             t.policy.Policy.name;
@@ -106,11 +122,11 @@ let arrive t ~at ?id ?departure ~size () =
     match id with
     | Some id ->
         if id < 0 then error "negative item id %d" id;
-        if Hashtbl.mem t.items id then error "duplicate item id %d" id;
+        if Int_table.mem t.items id then error "duplicate item id %d" id;
         id
     | None ->
         (* skip over any ids the caller has claimed explicitly *)
-        while Hashtbl.mem t.items t.next_item do
+        while Int_table.mem t.items t.next_item do
           t.next_item <- t.next_item + 1
         done;
         t.next_item
@@ -118,10 +134,11 @@ let arrive t ~at ?id ?departure ~size () =
   if item_id = t.next_item then t.next_item <- t.next_item + 1;
   (* The provisional departure keeps Item.make's invariants; the real value
      is recorded at depart time and substituted when the packing is built. *)
-  let provisional = Option.value ~default:(at +. 1.0) departure in
+  let provisional = match departure with Some d -> d | None -> at +. 1.0 in
   let item = Item.make ~id:item_id ~arrival:at ~departure:provisional ~size in
   Bin.place target item ~touch:(next_touch t);
-  Hashtbl.replace t.items item_id { item; bin = target; departed_at = None };
+  Bin_registry.refresh t.open_bins target;
+  Int_table.replace t.items item_id { item; bin = target; departed_at = None };
   emit t (Trace.Placed { time = at; item_id; bin_id = target.Bin.id });
   t.policy.Policy.on_place ~bin:target ~now:at;
   { item_id; bin_id = target.Bin.id; opened_new_bin }
@@ -129,9 +146,9 @@ let arrive t ~at ?id ?departure ~size () =
 let depart t ~at ~item_id =
   advance t at;
   let state =
-    match Hashtbl.find_opt t.items item_id with
-    | Some s -> s
-    | None -> error "unknown item id %d" item_id
+    match Int_table.find t.items item_id with
+    | s -> s
+    | exception Not_found -> error "unknown item id %d" item_id
   in
   (match state.departed_at with
   | Some earlier -> error "item %d already departed at %g" item_id earlier
@@ -144,16 +161,18 @@ let depart t ~at ~item_id =
   emit t (Trace.Departed { time = at; item_id; bin_id = state.bin.Bin.id });
   if Bin.is_empty state.bin then begin
     Bin.close state.bin ~now:at;
-    t.open_bins_desc <-
-      List.filter (fun b -> b.Bin.id <> state.bin.Bin.id) t.open_bins_desc;
+    Bin_registry.note_closed t.open_bins state.bin;
     emit t (Trace.Closed { time = at; bin_id = state.bin.Bin.id });
     t.policy.Policy.on_close ~bin:state.bin ~now:at
   end
+  else Bin_registry.refresh t.open_bins state.bin
 
-let open_bins t = List.rev t.open_bins_desc
+let open_bins t = Bin_registry.to_list t.open_bins
 
 let active_items t =
-  Hashtbl.fold (fun _ s acc -> if s.departed_at = None then acc + 1 else acc) t.items 0
+  Int_table.fold t.items
+    (fun _ s acc -> match s.departed_at with None -> acc + 1 | Some _ -> acc)
+    0
 
 let bins_opened t = t.next_bin
 let max_open_bins t = t.max_open
@@ -170,15 +189,17 @@ let trace t = Trace.of_events (List.rev t.trace_rev)
 
 let finish t ~at =
   let still_active =
-    Hashtbl.fold (fun id s acc -> if s.departed_at = None then (id, s) :: acc else acc)
-      t.items []
+    Int_table.fold t.items
+      (fun id s acc ->
+        match s.departed_at with None -> (id, s) :: acc | Some _ -> acc)
+      []
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   List.iter (fun (id, _) -> depart t ~at ~item_id:id) still_active;
   advance t at;
   t.finished <- true;
   let final_item id =
-    let s = Hashtbl.find t.items id in
+    let s = Int_table.find t.items id in
     let departure =
       match s.departed_at with Some d -> d | None -> assert false
     in

@@ -21,9 +21,20 @@ type placement = {
 
 exception Session_error of string
 
-val create : capacity:Dvbp_vec.Vec.t -> policy:Dvbp_core.Policy.t -> t
+val create :
+  ?record_trace:bool ->
+  ?expected_items:int ->
+  capacity:Dvbp_vec.Vec.t ->
+  policy:Dvbp_core.Policy.t ->
+  unit ->
+  t
 (** A fresh session with no bins. The policy must be freshly created (its
-    mutable state belongs to this session). *)
+    mutable state belongs to this session). [record_trace] (default [true])
+    controls whether events are accumulated for {!trace}; disable it on hot
+    paths (e.g. ratio sweeps) that never read the trace — {!trace} then
+    returns an empty trace. [expected_items] pre-sizes the item table when
+    the caller knows the workload size (the batch engine does), avoiding
+    rehashes mid-run. *)
 
 val arrive :
   t ->
@@ -71,4 +82,5 @@ val cost_so_far : t -> float
 (** Total bin-time accumulated up to [now] (open bins billed to [now]). *)
 
 val trace : t -> Trace.t
-(** Everything that happened so far, oldest first. *)
+(** Everything that happened so far, oldest first. Empty when the session
+    was created with [~record_trace:false]. *)

@@ -75,7 +75,8 @@ let ratio_samples ?(denominator = Bounds.height_integral) ~instances ~seed ~gen
                 in
                 Some (r.Dvbp_core.Item.arrival +. Float.max floor_duration predicted)
         in
-        let run = Engine.run ~departure_oracle ~policy instance in
+        (* ratio sweeps never read the trace; skip recording it *)
+        let run = Engine.run ~departure_oracle ~record_trace:false ~policy instance in
         out.(i) <- Engine.cost run /. lb)
       samples
   done;

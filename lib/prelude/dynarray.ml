@@ -1,0 +1,90 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;  (* fills unused slots so freed elements can be collected *)
+}
+
+let create ?(capacity = 8) ~dummy () =
+  if capacity < 1 then invalid_arg "Dynarray.create: capacity < 1";
+  { data = Array.make capacity dummy; len = 0; dummy }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Dynarray.get: index out of bounds";
+  Array.unsafe_get t.data i
+
+let unsafe_get t i = Array.unsafe_get t.data i
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Dynarray.set: index out of bounds";
+  Array.unsafe_set t.data i x
+
+let ensure_capacity t n =
+  let cap = Array.length t.data in
+  if n > cap then begin
+    let cap' = Int.max n (Int.max 8 (2 * cap)) in
+    let data = Array.make cap' t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t x =
+  ensure_capacity t (t.len + 1);
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Dynarray.truncate: bad length";
+  for i = n to t.len - 1 do
+    Array.unsafe_set t.data i t.dummy
+  done;
+  t.len <- n
+
+let clear t = truncate t 0
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let fold t f init =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (Array.unsafe_get t.data i)
+  done;
+  !acc
+
+let find t p =
+  let n = t.len in
+  let rec go i =
+    if i >= n then None
+    else
+      let x = Array.unsafe_get t.data i in
+      if p x then Some x else go (i + 1)
+  in
+  go 0
+
+let exists t p = Option.is_some (find t p)
+
+(* In-place stable filter: keeps elements satisfying [p], preserves order. *)
+let filter_in_place t p =
+  let kept = ref 0 in
+  for i = 0 to t.len - 1 do
+    let x = Array.unsafe_get t.data i in
+    if p x then begin
+      Array.unsafe_set t.data !kept x;
+      incr kept
+    end
+  done;
+  truncate t !kept
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (Array.unsafe_get t.data i :: acc) in
+  go (t.len - 1) []
+
+let of_list ~dummy xs =
+  let t = create ~capacity:(Int.max 8 (List.length xs)) ~dummy () in
+  List.iter (push t) xs;
+  t

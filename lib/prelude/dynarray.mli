@@ -1,0 +1,53 @@
+(** A growable array with O(1) amortised append and in-place filtering.
+
+    OCaml 5.1 has no [Stdlib.Dynarray] yet; this is the small subset the
+    simulation hot path needs. A [dummy] element fills unused slots so
+    that removed elements do not leak through the backing array.
+
+    Used by the engine's open-bin registry and the conformance replayer;
+    all traversals run in index order without allocating. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** An empty array. @raise Invalid_argument if [capacity < 1]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument out of bounds. *)
+
+val unsafe_get : 'a t -> int -> 'a
+(** No bounds check — undefined on indices outside [0, length).
+    For hand-written scan loops that already bound the index. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** Appends, growing the backing array geometrically when full. *)
+
+val truncate : 'a t -> int -> unit
+(** Drops elements beyond the new length (slots are reset to [dummy]).
+    @raise Invalid_argument if the length is negative or grows. *)
+
+val clear : 'a t -> unit
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Index order, allocation-free. *)
+
+val fold : 'a t -> ('acc -> 'a -> 'acc) -> 'acc -> 'acc
+(** Index order. *)
+
+val find : 'a t -> ('a -> bool) -> 'a option
+(** First match in index order, early exit. *)
+
+val exists : 'a t -> ('a -> bool) -> bool
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Keeps matching elements, preserving order; O(length), no allocation. *)
+
+val to_list : 'a t -> 'a list
+
+val of_list : dummy:'a -> 'a list -> 'a t

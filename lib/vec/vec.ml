@@ -51,18 +51,44 @@ let sum ~dim vs = List.fold_left add (zero ~dim) vs
 let equal a b = Array.length a = Array.length b && Array.for_all2 ( = ) a b
 let compare = Stdlib.compare
 
+(* The comparison loops are top-level recursive functions on purpose: a
+   local [let rec] capturing the arrays compiles to a heap-allocated
+   closure per call without flambda, and [fits_trusted] runs once per
+   open bin per arrival — the single hottest call site in the repo. *)
+let rec le_from a b n j = j >= n || (Array.unsafe_get a j <= Array.unsafe_get b j && le_from a b n (j + 1))
+
 let le a b =
   check_dims "le" a b;
-  let rec go j = j >= Array.length a || (a.(j) <= b.(j) && go (j + 1)) in
-  go 0
+  le_from a b (Array.length a) 0
+
+let rec fits_from cap load v n j =
+  j >= n
+  || (Array.unsafe_get load j + Array.unsafe_get v j <= Array.unsafe_get cap j
+      && fits_from cap load v n (j + 1))
 
 let fits ~cap ~load v =
   check_dims "fits" load v;
   check_dims "fits" load cap;
-  let rec go j =
-    j >= Array.length v || (load.(j) + v.(j) <= cap.(j) && go (j + 1))
-  in
-  go 0
+  fits_from cap load v (Array.length v) 0
+
+let fits_trusted ~cap ~load v =
+  check_dims "fits_trusted" load v;
+  fits_from cap load v (Array.length v) 0
+
+(* In-place accumulation for engine-owned load vectors (never shared). *)
+let add_into ~into v =
+  check_dims "add_into" into v;
+  for j = 0 to Array.length v - 1 do
+    Array.unsafe_set into j (Array.unsafe_get into j + Array.unsafe_get v j)
+  done
+
+let sub_into ~into v =
+  check_dims "sub_into" into v;
+  for j = 0 to Array.length v - 1 do
+    let x = Array.unsafe_get into j - Array.unsafe_get v j in
+    if x < 0 then invalid_arg "Vec.sub_into: negative result";
+    Array.unsafe_set into j x
+  done
 
 let is_zero v = Array.for_all (fun x -> x = 0) v
 let max_coord v = Array.fold_left max v.(0) v

@@ -11,8 +11,14 @@
 
     Values are immutable; all entries are non-negative. *)
 
-type t
-(** An immutable vector of non-negative integer resource amounts. *)
+type t = private int array
+(** An immutable vector of non-negative integer resource amounts.
+
+    The representation is exposed read-only ([private]) so that the
+    engine's candidate scan — one fit test per open bin per arrival —
+    can run directly over the coordinates without a per-test function
+    call. Use [(v :> int array)] to read; all construction and
+    mutation still goes through this interface. *)
 
 (** {1 Construction} *)
 
@@ -73,6 +79,23 @@ val fits : cap:t -> load:t -> t -> bool
 (** [fits ~cap ~load v] holds iff [load + v <= cap] in every dimension —
     the exact fit test used by every Any Fit policy.
     @raise Invalid_argument on dimension mismatch. *)
+
+val fits_trusted : cap:t -> load:t -> t -> bool
+(** Same as {!fits}, but only [v] vs [load] dimensions are checked; the
+    caller must guarantee [cap] has the same dimension as [load] (the bin
+    invariant). Used on the candidate-scan hot path, where the same
+    [cap]/[load] pair is tested against thousands of items.
+    @raise Invalid_argument if [v] and [load] dimensions differ. *)
+
+val add_into : into:t -> t -> unit
+(** [add_into ~into v] adds [v] to [into] in place. Only for accumulators
+    the caller exclusively owns (the engine's bin loads) — everything else
+    should treat vectors as immutable and use {!add}.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val sub_into : into:t -> t -> unit
+(** In-place {!sub}, same ownership caveat as {!add_into}.
+    @raise Invalid_argument on dimension mismatch or a negative result. *)
 
 val is_zero : t -> bool
 

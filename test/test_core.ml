@@ -235,92 +235,110 @@ let selected = function
   | Policy.Existing b -> Some b.Bin.id
   | Policy.Fresh -> None
 
+(* wrap a hand-built bin list into the registry view policies consume *)
+let reg bins = Bin_registry.of_list ~capacity:cap2 bins
+
 let policy_tests =
   [
     Alcotest.test_case "first fit picks earliest fitting" `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 9; 9 ]; [ 1; 1 ]; [ 0; 0 ] ] in
         let p = Policy.first_fit () in
         Alcotest.(check (option int)) "bin 1" (Some 1)
-          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:(reg bins))));
     Alcotest.test_case "first fit opens fresh when nothing fits" `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 9; 9 ]; [ 8; 8 ]; [ 7; 7 ] ] in
         let p = Policy.first_fit () in
         Alcotest.(check (option int)) "fresh" None
-          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:(reg bins))));
     Alcotest.test_case "last fit picks latest fitting" `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 1; 1 ]; [ 1; 1 ]; [ 9; 9 ] ] in
         let p = Policy.last_fit () in
         Alcotest.(check (option int)) "bin 1" (Some 1)
-          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:(reg bins))));
     Alcotest.test_case "best fit picks most loaded fitting" `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 2; 2 ]; [ 5; 1 ]; [ 3; 3 ] ] in
         let p = Policy.best_fit () in
         (* linf loads: 0.2, 0.5, 0.3 — all fit a (5,5) item *)
         Alcotest.(check (option int)) "bin 1" (Some 1)
-          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:(reg bins))));
     Alcotest.test_case "best fit skips bins that do not fit" `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 2; 2 ]; [ 8; 8 ]; [ 3; 3 ] ] in
         let p = Policy.best_fit () in
         Alcotest.(check (option int)) "bin 2" (Some 2)
-          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:(reg bins))));
     Alcotest.test_case "best fit l1 measure changes the choice" `Quick (fun () ->
         (* linf: (0.5,0.5) vs (0.6,0.1): l∞ prefers bin 1 (0.6), l1 prefers bin 0 (1.0 vs 0.7) *)
         let bins = three_bins ~loads:[ [ 5; 5 ]; [ 6; 1 ]; [ 0; 0 ] ] in
         let p_inf = Policy.best_fit ~measure:Load_measure.Linf () in
         let p_l1 = Policy.best_fit ~measure:Load_measure.L1 () in
         Alcotest.(check (option int)) "linf" (Some 1)
-          (selected (p_inf.Policy.select ~item:(view [ 2; 2 ]) ~open_bins:bins));
+          (selected (p_inf.Policy.select ~item:(view [ 2; 2 ]) ~open_bins:(reg bins)));
         Alcotest.(check (option int)) "l1" (Some 0)
-          (selected (p_l1.Policy.select ~item:(view [ 2; 2 ]) ~open_bins:bins)));
+          (selected (p_l1.Policy.select ~item:(view [ 2; 2 ]) ~open_bins:(reg bins))));
     Alcotest.test_case "worst fit picks least loaded fitting" `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 2; 2 ]; [ 5; 1 ]; [ 3; 3 ] ] in
         let p = Policy.worst_fit () in
         Alcotest.(check (option int)) "bin 0" (Some 0)
-          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:(reg bins))));
     Alcotest.test_case "mtf picks most recently used fitting" `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 1; 1 ]; [ 1; 1 ]; [ 1; 1 ] ] in
         (* touching bin 0 with a weightless placement makes it most recent *)
         Bin.place (List.nth bins 0) (item ~id:300 0.0 1.0 [ 0; 0 ]) ~touch:99;
         let p = Policy.move_to_front () in
         Alcotest.(check (option int)) "bin 0" (Some 0)
-          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:(reg bins))));
     Alcotest.test_case "mtf skips recently used bin that does not fit" `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 1; 1 ]; [ 9; 9 ]; [ 1; 1 ] ] in
         Bin.place (List.nth bins 1) (item ~id:301 0.0 1.0 [ 0; 0 ]) ~touch:99;
         let p = Policy.move_to_front () in
         Alcotest.(check (option int)) "bin 2" (Some 2)
-          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:(reg bins))));
     Alcotest.test_case "next fit with no current opens fresh" `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 0; 0 ]; [ 0; 0 ]; [ 0; 0 ] ] in
         let p = Policy.next_fit () in
         Alcotest.(check (option int)) "fresh" None
-          (selected (p.Policy.select ~item:(view [ 1; 1 ]) ~open_bins:bins)));
+          (selected (p.Policy.select ~item:(view [ 1; 1 ]) ~open_bins:(reg bins))));
     Alcotest.test_case "next fit sticks to current bin" `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 0; 0 ]; [ 1; 1 ]; [ 0; 0 ] ] in
         let p = Policy.next_fit () in
         p.Policy.on_place ~bin:(List.nth bins 1) ~now:0.0;
         Alcotest.(check (option int)) "bin 1" (Some 1)
-          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:(reg bins))));
     Alcotest.test_case "next fit releases current when item misses" `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 0; 0 ]; [ 8; 8 ]; [ 0; 0 ] ] in
         let p = Policy.next_fit () in
         p.Policy.on_place ~bin:(List.nth bins 1) ~now:0.0;
         (* does not fit in bin 1 -> fresh even though bins 0 and 2 fit *)
         Alcotest.(check (option int)) "fresh" None
-          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins)));
+          (selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:(reg bins))));
+    Alcotest.test_case "next fit holds its bin by reference, not by id scan"
+      `Quick (fun () ->
+        (* the current bin is answered even when the candidate view is empty:
+           proof there is no per-arrival rescan of the open bins for its id *)
+        let b = fresh_bin ~id:7 ~touch:1 () in
+        let p = Policy.next_fit () in
+        p.Policy.on_place ~bin:b ~now:0.0;
+        Alcotest.(check (option int)) "current via reference" (Some 7)
+          (selected (p.Policy.select ~item:(view [ 1; 1 ]) ~open_bins:(reg [])));
+        (* closing some other bin must not disturb the current one *)
+        let other = fresh_bin ~id:8 ~touch:2 () in
+        Bin.close other ~now:1.0;
+        p.Policy.on_close ~bin:other ~now:1.0;
+        Alcotest.(check (option int)) "still current" (Some 7)
+          (selected (p.Policy.select ~item:(view [ 1; 1 ]) ~open_bins:(reg []))));
     Alcotest.test_case "next fit forgets a closed current bin" `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 0; 0 ]; [ 1; 1 ]; [ 0; 0 ] ] in
         let p = Policy.next_fit () in
         p.Policy.on_place ~bin:(List.nth bins 1) ~now:0.0;
         p.Policy.on_close ~bin:(List.nth bins 1) ~now:1.0;
         Alcotest.(check (option int)) "fresh" None
-          (selected (p.Policy.select ~item:(view [ 1; 1 ]) ~open_bins:bins)));
+          (selected (p.Policy.select ~item:(view [ 1; 1 ]) ~open_bins:(reg bins))));
     Alcotest.test_case "random fit always selects a fitting bin" `Quick (fun () ->
         let rng = Dvbp_prelude.Rng.create ~seed:7 in
         let p = Policy.random_fit ~rng () in
         let bins = three_bins ~loads:[ [ 9; 9 ]; [ 1; 1 ]; [ 8; 8 ] ] in
         for _ = 1 to 50 do
-          match selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:bins) with
+          match selected (p.Policy.select ~item:(view [ 5; 5 ]) ~open_bins:(reg bins)) with
           | Some 1 -> ()
           | other ->
               Alcotest.failf "expected bin 1, got %s"
@@ -346,14 +364,14 @@ let policy_tests =
         let long =
           { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = Some 64.0 }
         in
-        (match p.Policy.select ~item:long ~open_bins:[] with
+        (match p.Policy.select ~item:long ~open_bins:(reg []) with
         | Policy.Fresh -> p.Policy.on_place ~bin:(List.nth bins 0) ~now:0.0
         | Policy.Existing _ -> Alcotest.fail "no bins yet");
         (* a short item refuses bin 0 even though it fits *)
         let short =
           { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = Some 1.5 }
         in
-        (match p.Policy.select ~item:short ~open_bins:[ List.nth bins 0 ] with
+        (match p.Policy.select ~item:short ~open_bins:(reg [ List.nth bins 0 ]) with
         | Policy.Fresh -> p.Policy.on_place ~bin:(List.nth bins 1) ~now:0.0
         | Policy.Existing b -> Alcotest.failf "shared bin %d across classes" b.Bin.id);
         (* a second short item joins the short bin *)
@@ -362,7 +380,7 @@ let policy_tests =
         in
         match
           p.Policy.select ~item:short2
-            ~open_bins:[ List.nth bins 0; List.nth bins 1 ]
+            ~open_bins:(reg [ List.nth bins 0; List.nth bins 1 ])
         with
         | Policy.Existing b -> Alcotest.(check int) "short bin" 1 b.Bin.id
         | Policy.Fresh -> Alcotest.fail "should reuse the short-class bin");
@@ -370,13 +388,13 @@ let policy_tests =
         let p = Policy.hybrid_first_fit () in
         let bins = three_bins ~loads:[ [ 0; 0 ]; [ 0; 0 ]; [ 0; 0 ] ] in
         let it = { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = Some 2.0 } in
-        (match p.Policy.select ~item:it ~open_bins:[] with
+        (match p.Policy.select ~item:it ~open_bins:(reg []) with
         | Policy.Fresh -> p.Policy.on_place ~bin:(List.nth bins 0) ~now:0.0
         | Policy.Existing _ -> Alcotest.fail "no bins yet");
         p.Policy.on_close ~bin:(List.nth bins 0) ~now:3.0;
         (* after the close the class tag is gone; bin 0 (hypothetically
            reopened) is no longer recognised *)
-        match p.Policy.select ~item:it ~open_bins:[ List.nth bins 0 ] with
+        match p.Policy.select ~item:it ~open_bins:(reg [ List.nth bins 0 ]) with
         | Policy.Fresh -> ()
         | Policy.Existing _ -> Alcotest.fail "stale class tag");
     Alcotest.test_case "hybrid first fit rejects bad class count" `Quick (fun () ->
@@ -392,7 +410,7 @@ let policy_tests =
         let p = Policy.duration_aligned_fit () in
         let it = { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = Some 9.5 } in
         Alcotest.(check (option int)) "bin 0" (Some 0)
-          (selected (p.Policy.select ~item:it ~open_bins:bins)));
+          (selected (p.Policy.select ~item:it ~open_bins:(reg bins))));
     Alcotest.test_case "duration-aligned slack breaks ties by load" `Quick
       (fun () ->
         (* both bins within the slack window; the fuller bin must win *)
@@ -402,14 +420,14 @@ let policy_tests =
         let p = Policy.duration_aligned_fit ~slack:5.0 () in
         let it = { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = Some 10.0 } in
         Alcotest.(check (option int)) "fuller bin" (Some 1)
-          (selected (p.Policy.select ~item:it ~open_bins:bins)));
+          (selected (p.Policy.select ~item:it ~open_bins:(reg bins))));
     Alcotest.test_case "duration-aligned fit without departures acts like best fit"
       `Quick (fun () ->
         let bins = three_bins ~loads:[ [ 2; 2 ]; [ 5; 1 ]; [ 3; 3 ] ] in
         let p = Policy.duration_aligned_fit () in
         let it = { Policy.size = v [ 1; 1 ]; arrival = 0.0; departure = None } in
         Alcotest.(check (option int)) "most loaded" (Some 1)
-          (selected (p.Policy.select ~item:it ~open_bins:bins)));
+          (selected (p.Policy.select ~item:it ~open_bins:(reg bins))));
   ]
 
 let packing_tests =

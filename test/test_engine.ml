@@ -317,7 +317,9 @@ let misbehaving_policy_tests =
             describe = "always the first bin, fitting or not";
             select =
               (fun ~item:_ ~open_bins ->
-                match open_bins with [] -> Policy.Fresh | b :: _ -> Policy.Existing b);
+                match Bin_registry.find open_bins (fun _ -> true) with
+                | None -> Policy.Fresh
+                | Some b -> Policy.Existing b);
             on_place = (fun ~bin:_ ~now:_ -> ());
             on_close = (fun ~bin:_ ~now:_ -> ());
             strict_any_fit = false;

@@ -6,4 +6,6 @@ let () =
     (Test_prelude.suites @ Test_vec.suites @ Test_interval.suites
    @ Test_stats.suites @ Test_core.suites @ Test_engine.suites
    @ Test_lowerbound.suites @ Test_workload.suites @ Test_adversary.suites
-   @ Test_analysis.suites @ Test_report.suites @ Test_experiments.suites @ Test_session.suites @ Test_props.suites @ Test_cli.suites @ Test_printers.suites)
+   @ Test_registry.suites @ Test_analysis.suites @ Test_report.suites
+   @ Test_experiments.suites @ Test_session.suites @ Test_golden.suites
+   @ Test_props.suites @ Test_cli.suites @ Test_printers.suites)

@@ -217,6 +217,48 @@ let heap_tests =
              ops));
   ]
 
+
+let int_table_tests =
+  let module T = Dvbp_prelude.Int_table in
+  [
+    Alcotest.test_case "replace, find, mem" `Quick (fun () ->
+        let t = T.create ~dummy:"-" () in
+        T.replace t 3 "three";
+        T.replace t 0 "zero";
+        Alcotest.(check string) "find 3" "three" (T.find t 3);
+        Alcotest.(check (option string)) "find_opt 0" (Some "zero") (T.find_opt t 0);
+        Alcotest.(check bool) "mem 3" true (T.mem t 3);
+        Alcotest.(check bool) "mem 7" false (T.mem t 7);
+        Alcotest.(check (option string)) "absent" None (T.find_opt t 7);
+        Alcotest.check_raises "find absent" Not_found (fun () ->
+            ignore (T.find t 7));
+        Alcotest.(check int) "length" 2 (T.length t));
+    Alcotest.test_case "replace overwrites without growing" `Quick (fun () ->
+        let t = T.create ~dummy:0 () in
+        T.replace t 5 1;
+        T.replace t 5 2;
+        Alcotest.(check int) "value" 2 (T.find t 5);
+        Alcotest.(check int) "length" 1 (T.length t));
+    Alcotest.test_case "negative keys rejected" `Quick (fun () ->
+        let t = T.create ~dummy:0 () in
+        Alcotest.check_raises "replace" (Invalid_argument "Int_table.replace: negative key")
+          (fun () -> T.replace t (-1) 0));
+    Alcotest.test_case "grows past the size hint" `Quick (fun () ->
+        let t = T.create ~expected:4 ~dummy:(-1) () in
+        for k = 0 to 999 do T.replace t (7 * k) k done;
+        Alcotest.(check int) "length" 1000 (T.length t);
+        for k = 0 to 999 do
+          Alcotest.(check int) (string_of_int k) k (T.find t (7 * k))
+        done);
+    Alcotest.test_case "fold visits every binding once" `Quick (fun () ->
+        let t = T.create ~dummy:0 () in
+        for k = 0 to 99 do T.replace t k (k * k) done;
+        let count = T.fold t (fun _ _ acc -> acc + 1) 0 in
+        let sum = T.fold t (fun k v acc -> Alcotest.(check int) "v" (k * k) v; acc + k) 0 in
+        Alcotest.(check int) "count" 100 count;
+        Alcotest.(check int) "sum of keys" 4950 sum);
+  ]
+
 let suites =
   [
     ("prelude.heap", heap_tests);
@@ -224,4 +266,5 @@ let suites =
     ("prelude.floatx", floatx_tests);
     ("prelude.listx", listx_tests);
     ("prelude.rng", rng_tests);
+    ("prelude.int_table", int_table_tests);
   ]

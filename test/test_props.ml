@@ -148,7 +148,7 @@ let prop_session_equals_engine =
       let batch = run_policy policy inst in
       let session =
         Session.create ~capacity:inst.Instance.capacity
-          ~policy:(Policy.of_name_exn policy)
+          ~policy:(Policy.of_name_exn policy) ()
       in
       let events =
         List.concat_map

@@ -1,0 +1,169 @@
+(* Unit tests for the prelude growable array and the open-bin registry —
+   the data structures behind the allocation-free policy candidate view. *)
+
+open Dvbp_core
+module Vec = Dvbp_vec.Vec
+module Dynarray = Dvbp_prelude.Dynarray
+
+let v = Vec.of_list
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let dynarray_tests =
+  [
+    Alcotest.test_case "push and get" `Quick (fun () ->
+        let a = Dynarray.create ~dummy:0 () in
+        check_bool "empty" true (Dynarray.is_empty a);
+        for i = 0 to 99 do
+          Dynarray.push a i
+        done;
+        check_int "length" 100 (Dynarray.length a);
+        check_int "first" 0 (Dynarray.get a 0);
+        check_int "last" 99 (Dynarray.get a 99));
+    Alcotest.test_case "get out of bounds rejected" `Quick (fun () ->
+        let a = Dynarray.of_list ~dummy:0 [ 1; 2 ] in
+        check_bool "raises" true
+          (try ignore (Dynarray.get a 2); false with Invalid_argument _ -> true);
+        check_bool "negative" true
+          (try ignore (Dynarray.get a (-1)); false with Invalid_argument _ -> true));
+    Alcotest.test_case "set replaces in place" `Quick (fun () ->
+        let a = Dynarray.of_list ~dummy:0 [ 1; 2; 3 ] in
+        Dynarray.set a 1 9;
+        Alcotest.(check (list int)) "list" [ 1; 9; 3 ] (Dynarray.to_list a));
+    Alcotest.test_case "truncate shrinks, grow rejected" `Quick (fun () ->
+        let a = Dynarray.of_list ~dummy:0 [ 1; 2; 3; 4 ] in
+        Dynarray.truncate a 2;
+        Alcotest.(check (list int)) "kept prefix" [ 1; 2 ] (Dynarray.to_list a);
+        check_bool "grow raises" true
+          (try Dynarray.truncate a 3; false with Invalid_argument _ -> true));
+    Alcotest.test_case "iter and fold in index order" `Quick (fun () ->
+        let a = Dynarray.of_list ~dummy:0 [ 1; 2; 3 ] in
+        let seen = ref [] in
+        Dynarray.iter a (fun x -> seen := x :: !seen);
+        Alcotest.(check (list int)) "iter" [ 3; 2; 1 ] !seen;
+        check_int "fold" 6 (Dynarray.fold a ( + ) 0));
+    Alcotest.test_case "find takes the first match" `Quick (fun () ->
+        let a = Dynarray.of_list ~dummy:0 [ 1; 4; 6; 8 ] in
+        Alcotest.(check (option int)) "even" (Some 4)
+          (Dynarray.find a (fun x -> x mod 2 = 0));
+        Alcotest.(check (option int)) "none" None (Dynarray.find a (fun x -> x > 10)));
+    Alcotest.test_case "filter_in_place is stable" `Quick (fun () ->
+        let a = Dynarray.of_list ~dummy:0 [ 1; 2; 3; 4; 5; 6 ] in
+        Dynarray.filter_in_place a (fun x -> x mod 2 = 0);
+        Alcotest.(check (list int)) "evens in order" [ 2; 4; 6 ] (Dynarray.to_list a);
+        Dynarray.filter_in_place a (fun _ -> false);
+        check_bool "emptied" true (Dynarray.is_empty a));
+    Alcotest.test_case "clear then reuse" `Quick (fun () ->
+        let a = Dynarray.of_list ~dummy:0 [ 1; 2; 3 ] in
+        Dynarray.clear a;
+        check_int "cleared" 0 (Dynarray.length a);
+        Dynarray.push a 7;
+        Alcotest.(check (list int)) "reused" [ 7 ] (Dynarray.to_list a));
+  ]
+
+(* Registry fixtures: bins of capacity (10,10); [close] empties then closes. *)
+let cap2 = v [ 10; 10 ]
+
+let bin ?(load = [ 0; 0 ]) id =
+  let b = Bin.create ~id ~capacity:cap2 ~now:0.0 ~touch:id in
+  if load <> [ 0; 0 ] then
+    Bin.place b
+      (Item.make ~id:(100 + id) ~arrival:0.0 ~departure:1.0 ~size:(v load))
+      ~touch:id;
+  b
+
+let close (b : Bin.t) =
+  List.iter (fun r -> Bin.remove b r) b.Bin.active_items;
+  Bin.close b ~now:1.0
+
+let ids bins = List.map (fun (b : Bin.t) -> b.Bin.id) bins
+
+let registry_tests =
+  [
+    Alcotest.test_case "add and count" `Quick (fun () ->
+        let t = Bin_registry.create ~capacity:cap2 in
+        check_int "empty" 0 (Bin_registry.count t);
+        Bin_registry.add t (bin 0);
+        Bin_registry.add t (bin 1);
+        check_int "two" 2 (Bin_registry.count t);
+        Alcotest.(check (list int)) "ascending" [ 0; 1 ]
+          (ids (Bin_registry.to_list t)));
+    Alcotest.test_case "adding a closed bin rejected" `Quick (fun () ->
+        let t = Bin_registry.create ~capacity:cap2 in
+        let b = bin 0 in
+        close b;
+        check_bool "raises" true
+          (try Bin_registry.add t b; false with Invalid_argument _ -> true));
+    Alcotest.test_case "note_closed on an open bin rejected" `Quick (fun () ->
+        let t = Bin_registry.create ~capacity:cap2 in
+        let b = bin 0 in
+        Bin_registry.add t b;
+        check_bool "raises" true
+          (try Bin_registry.note_closed t b; false with Invalid_argument _ -> true));
+    Alcotest.test_case "closed bins vanish from the view" `Quick (fun () ->
+        let t = Bin_registry.create ~capacity:cap2 in
+        let bins = List.init 5 bin in
+        List.iter (Bin_registry.add t) bins;
+        let b2 = List.nth bins 2 in
+        close b2;
+        Bin_registry.note_closed t b2;
+        check_int "count" 4 (Bin_registry.count t);
+        Alcotest.(check (list int)) "view" [ 0; 1; 3; 4 ]
+          (ids (Bin_registry.to_list t));
+        check_bool "find skips closed" true
+          (Bin_registry.find t (fun b -> b.Bin.id = 2) = None));
+    Alcotest.test_case "order survives heavy closing (compaction)" `Quick (fun () ->
+        let t = Bin_registry.create ~capacity:cap2 in
+        let bins = List.init 20 bin in
+        List.iter (Bin_registry.add t) bins;
+        (* close all even bins: dead outnumbers live midway, forcing an
+           in-place compaction; ascending order must survive *)
+        List.iter
+          (fun (b : Bin.t) ->
+            if b.Bin.id mod 2 = 0 then begin
+              close b;
+              Bin_registry.note_closed t b
+            end)
+          bins;
+        check_int "count" 10 (Bin_registry.count t);
+        Alcotest.(check (list int)) "odd ids ascending"
+          [ 1; 3; 5; 7; 9; 11; 13; 15; 17; 19 ]
+          (ids (Bin_registry.to_list t)));
+    Alcotest.test_case "find / rfind direction" `Quick (fun () ->
+        let t = Bin_registry.create ~capacity:cap2 in
+        List.iter (Bin_registry.add t) (List.init 4 bin);
+        let id = function Some (b : Bin.t) -> Some b.Bin.id | None -> None in
+        Alcotest.(check (option int)) "find" (Some 0)
+          (id (Bin_registry.find t (fun _ -> true)));
+        Alcotest.(check (option int)) "rfind" (Some 3)
+          (id (Bin_registry.rfind t (fun _ -> true))));
+    Alcotest.test_case "fitting primitives agree" `Quick (fun () ->
+        let t = Bin_registry.create ~capacity:cap2 in
+        (* loads 9,1,8,2: a (5,5) item fits bins 1 and 3 only *)
+        List.iteri
+          (fun i load -> Bin_registry.add t (bin ~load:[ load; load ] i))
+          [ 9; 1; 8; 2 ];
+        let size = v [ 5; 5 ] in
+        let id = function Some (b : Bin.t) -> Some b.Bin.id | None -> None in
+        check_int "count_fitting" 2 (Bin_registry.count_fitting t size);
+        Alcotest.(check (option int)) "first" (Some 1)
+          (id (Bin_registry.find_fitting t size));
+        Alcotest.(check (option int)) "last" (Some 3)
+          (id (Bin_registry.rfind_fitting t size));
+        Alcotest.(check (option int)) "nth 0" (Some 1)
+          (id (Bin_registry.nth_fitting t size 0));
+        Alcotest.(check (option int)) "nth 1" (Some 3)
+          (id (Bin_registry.nth_fitting t size 1));
+        Alcotest.(check (option int)) "nth out of range" None
+          (id (Bin_registry.nth_fitting t size 2));
+        check_bool "exists" true (Bin_registry.exists_fitting t size);
+        check_bool "exists big" false (Bin_registry.exists_fitting t (v [ 10; 10 ]));
+        check_int "fold over fitting" (1 + 3)
+          (Bin_registry.fold_fitting t size (fun acc b -> acc + b.Bin.id) 0));
+  ]
+
+let suites =
+  [
+    ("prelude.dynarray", dynarray_tests);
+    ("core.bin_registry", registry_tests);
+  ]

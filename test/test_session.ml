@@ -13,7 +13,7 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_float = Alcotest.(check (float 1e-9))
 
-let fresh ?(policy = Policy.first_fit ()) () = Session.create ~capacity:cap ~policy
+let fresh ?(policy = Policy.first_fit ()) () = Session.create ~capacity:cap ~policy ()
 
 let raises_session f =
   try ignore (f ()); false with Session.Session_error _ -> true
@@ -34,6 +34,45 @@ let lifecycle_tests =
         Session.depart s ~at:5.0 ~item_id:p1.Session.item_id;
         check_int "all closed" 0 (List.length (Session.open_bins s));
         check_float "final cost" 5.0 (Session.cost_so_far s));
+    Alcotest.test_case "max_open_bins tracks the peak across closes" `Quick
+      (fun () ->
+        let s = fresh () in
+        (* three single-occupant bins open simultaneously: peak 3 *)
+        let ps =
+          List.map (fun at -> Session.arrive s ~at ~size:(v [ 60 ]) ())
+            [ 0.0; 1.0; 2.0 ]
+        in
+        check_int "peak at 3" 3 (Session.max_open_bins s);
+        List.iter
+          (fun (p : Session.placement) ->
+            Session.depart s ~at:3.0 ~item_id:p.Session.item_id)
+          ps;
+        (* reopening fewer bins must not move the recorded peak *)
+        let p = Session.arrive s ~at:4.0 ~size:(v [ 60 ]) () in
+        let _ = Session.arrive s ~at:5.0 ~size:(v [ 60 ]) () in
+        check_int "peak unchanged" 3 (Session.max_open_bins s);
+        Session.depart s ~at:6.0 ~item_id:p.Session.item_id;
+        check_int "still the historic peak" 3 (Session.max_open_bins s));
+    Alcotest.test_case "record_trace:false skips the trace, nothing else" `Quick
+      (fun () ->
+        let run record_trace =
+          let s =
+            Session.create ~record_trace ~capacity:cap
+              ~policy:(Policy.first_fit ()) ()
+          in
+          let a = Session.arrive s ~at:0.0 ~size:(v [ 60 ]) () in
+          let _ = Session.arrive s ~at:1.0 ~size:(v [ 60 ]) () in
+          Session.depart s ~at:2.0 ~item_id:a.Session.item_id;
+          let events = List.length (Trace.events (Session.trace s)) in
+          let packing = Session.finish s ~at:3.0 in
+          (events, Packing.cost packing, Session.bins_opened s)
+        in
+        let events_on, cost_on, bins_on = run true in
+        let events_off, cost_off, bins_off = run false in
+        check_bool "trace recorded" true (events_on > 0);
+        check_int "trace suppressed" 0 events_off;
+        check_float "same cost" cost_on cost_off;
+        check_int "same bins" bins_on bins_off);
     Alcotest.test_case "cost_so_far bills open bins to now" `Quick (fun () ->
         let s = fresh () in
         let _ = Session.arrive s ~at:0.0 ~size:(v [ 60 ]) () in
@@ -59,7 +98,7 @@ let lifecycle_tests =
         (* replay the same instance through the session by hand *)
         let session =
           Session.create ~capacity:instance.Instance.capacity
-            ~policy:(Policy.move_to_front ())
+            ~policy:(Policy.move_to_front ()) ()
         in
         let events =
           List.concat_map
@@ -92,7 +131,7 @@ let lifecycle_tests =
         check_int "explicit" 0 a.Session.item_id;
         check_int "auto skips" 1 b.Session.item_id);
     Alcotest.test_case "clairvoyant arrivals feed the policy" `Quick (fun () ->
-        let s = Session.create ~capacity:cap ~policy:(Policy.duration_aligned_fit ()) in
+        let s = Session.create ~capacity:cap ~policy:(Policy.duration_aligned_fit ()) () in
         let _ = Session.arrive s ~at:0.0 ~departure:10.0 ~size:(v [ 40 ]) () in
         let _ = Session.arrive s ~at:0.0 ~departure:2.0 ~size:(v [ 40 ]) () in
         (* a third item departing at 9.8 should join the bin ending at 10 —
