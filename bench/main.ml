@@ -13,14 +13,23 @@
    then runs Bechamel micro-benchmarks (one per table/figure) measuring the
    throughput of the code paths that produce them.
 
+   Usage: main.exe [--jobs N] [--json [PATH]]
+
    Environment knobs:
-     DVBP_FIGURE4_INSTANCES  instances per grid point (default 30;
-                             the paper uses 1000 — see EXPERIMENTS.md)
+     DVBP_FIGURE4_INSTANCES  instances per grid point (default 30; the
+                             paper uses 1000 — see EXPERIMENTS.md).
+                             Validated: a non-integer or value < 1 is a
+                             clear error, not a silent fallback.
+     DVBP_JOBS               worker domains for instance sharding
+                             (default: all cores; the --jobs flag takes
+                             precedence). Orthogonal to the knob above:
+                             jobs only shards work, never changes results.
      DVBP_SKIP_MICRO         set to skip the Bechamel section (CI speed) *)
 
 open Bechamel
 open Toolkit
 module Rng = Dvbp_prelude.Rng
+module Domain_pool = Dvbp_parallel.Domain_pool
 module Core = Dvbp_core
 module Engine = Dvbp_engine.Engine
 module Engine_session = Dvbp_engine.Session
@@ -31,14 +40,15 @@ module A = Dvbp_adversary
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') title (String.make 72 '=')
 
+(* forced in main, after a validation pass that can fail cleanly *)
 let figure4_instances =
-  match Sys.getenv_opt "DVBP_FIGURE4_INSTANCES" with
-  | Some s -> (try int_of_string s with _ -> 30)
-  | None -> 30
+  lazy (match X.Figure4.instances_from_env () with Some n -> n | None -> 30)
+
+let figure4_instances () = Lazy.force figure4_instances
 
 let regenerate_tables () =
   banner "TABLE-2 — experimental parameters";
-  print_string (X.Table2.render ~instances:figure4_instances ());
+  print_string (X.Table2.render ~instances:(figure4_instances ()) ());
 
   banner "TABLE-1 — competitive-ratio bounds (theory)";
   print_string (X.Table1.render_theory ());
@@ -88,9 +98,11 @@ let regenerate_figures () =
   print_string (X.Proof_figures.figure3 ());
 
   banner
-    (Printf.sprintf "FIGURE-4 — average-case ratios (m=%d per point; paper: m=1000)"
-       figure4_instances);
-  let config = { X.Figure4.default with X.Figure4.instances = figure4_instances } in
+    (Printf.sprintf
+       "FIGURE-4 — average-case ratios (m=%d per point; paper: m=1000; jobs=%d)"
+       (figure4_instances ())
+       (Domain_pool.jobs (Domain_pool.default ())));
+  let config = { X.Figure4.default with X.Figure4.instances = figure4_instances () } in
   let cells = X.Figure4.run ~progress:prerr_endline config in
   print_string (X.Figure4.render_table cells);
   print_newline ();
@@ -98,7 +110,7 @@ let regenerate_figures () =
 
   banner "FIGURE-4 — ratio distributions at (d=2, mu=100)";
   let samples =
-    X.Runner.ratio_samples ~instances:figure4_instances ~seed:42
+    X.Runner.ratio_samples ~instances:(figure4_instances ()) ~seed:42
       ~gen:(fun ~rng -> W.Uniform_model.generate (W.Uniform_model.table2 ~d:2 ~mu:100) ~rng)
       ~competitors:(X.Runner.standard_competitors ())
       ()
@@ -130,6 +142,14 @@ let regenerate_significance () =
       Printf.printf "\n(d=%d, mu=%d), every policy vs mtf, Mann-Whitney at 0.05:\n" d mu;
       print_string
         (X.Significance.render (X.Significance.head_to_head ~instances:40 ~d ~mu ())))
+    [ (1, 100); (2, 100); (5, 100) ];
+  banner "SIGNIFICANCE — bootstrap CIs for the mean ratio gap vs mtf";
+  List.iter
+    (fun (d, mu) ->
+      Printf.printf "\n(d=%d, mu=%d), 95%% percentile bootstrap, 2000 resamples:\n" d mu;
+      print_string
+        (X.Significance.render_bootstrap
+           (X.Significance.bootstrap_gaps ~instances:40 ~d ~mu ())))
     [ (1, 100); (2, 100); (5, 100) ]
 
 let regenerate_worst_case () =
@@ -137,11 +157,15 @@ let regenerate_worst_case () =
   print_endline
     "small-instance adversarial probe (§8's open gap); compare against the\n\
      certified gadget ratios above and the proven bounds:";
+  let cases =
+    List.map
+      (fun (policy, d) ->
+        (policy, { X.Worst_case_search.default with X.Worst_case_search.d; steps = 300 }))
+      [ ("mtf", 1); ("ff", 1); ("nf", 1); ("mtf", 2); ("ff", 2); ("nf", 2) ]
+  in
   List.iter
-    (fun (policy, d) ->
-      let config = { X.Worst_case_search.default with X.Worst_case_search.d; steps = 300 } in
-      print_string (X.Worst_case_search.render ~policy (X.Worst_case_search.search ~policy config)))
-    [ ("mtf", 1); ("ff", 1); ("nf", 1); ("mtf", 2); ("ff", 2); ("nf", 2) ]
+    (fun (policy, result) -> print_string (X.Worst_case_search.render ~policy result))
+    (X.Worst_case_search.search_many cases)
 
 let regenerate_ablations () =
   banner "ABLATION — Best Fit load measure (d=2, mu=10)";
@@ -311,7 +335,10 @@ let run_micro () =
      - per-policy engine throughput (items/sec, Bechamel OLS estimate) on
        the Table 2 uniform workload at d in {1,5} x mu in {10,200};
      - wall time of a fixed-seed m=50 Figure-4 mini-sweep (the experiment
-       pipeline end to end: generation, lower bounds, all 7 policies). *)
+       pipeline end to end: generation, lower bounds, all 7 policies),
+       measured at jobs in {1, 2, 4, all cores} — the scaling curve of the
+       domain-pool sharding — together with a check that the sweep output
+       is bit-identical across jobs values. *)
 
 let bench_grid = [ (1, 10); (1, 200); (5, 10); (5, 200) ]
 let bench_n_items = 1000
@@ -378,13 +405,42 @@ let run_json path =
       seed = 42;
     }
   in
-  let t0 = Unix.gettimeofday () in
-  let cells = X.Figure4.run ~progress:prerr_endline sweep_config in
-  let sweep_seconds = Unix.gettimeofday () -. t0 in
-  ignore cells;
+  (* scaling curve of the domain-pool sharding: same fixed-seed sweep at
+     jobs in {1, 2, 4, all cores}; the output must not depend on jobs *)
+  let cores = Domain.recommended_domain_count () in
+  let jobs_points = List.sort_uniq compare [ 1; 2; 4; cores ] in
+  let curve =
+    List.map
+      (fun jobs ->
+        let t0 = Unix.gettimeofday () in
+        let cells = X.Figure4.run ~jobs ~progress:ignore sweep_config in
+        let seconds = Unix.gettimeofday () -. t0 in
+        Printf.eprintf "bench mini-sweep jobs=%-2d  %.3f s\n%!" jobs seconds;
+        (jobs, seconds, X.Figure4.to_csv cells))
+      jobs_points
+  in
+  let csv_of jobs =
+    List.find_map (fun (j, _, csv) -> if j = jobs then Some csv else None) curve
+  in
+  let seconds_of jobs =
+    List.find_map (fun (j, s, _) -> if j = jobs then Some s else None) curve
+  in
+  let identical =
+    match csv_of 1 with
+    | None -> false
+    | Some ref_csv -> List.for_all (fun (_, _, csv) -> csv = ref_csv) curve
+  in
+  let speedup =
+    match (seconds_of 1, seconds_of 4) with
+    | Some s1, Some s4 when s4 > 0.0 -> s1 /. s4
+    | _ -> 1.0
+  in
+  let sweep_seconds =
+    match seconds_of cores with Some s -> s | None -> nan
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"label\": \"pr1\",\n";
+  Buffer.add_string buf "  \"label\": \"pr2\",\n";
   Buffer.add_string buf "  \"generated_by\": \"bench/main.ml --json\",\n";
   Buffer.add_string buf
     "  \"workload\": { \"model\": \"uniform (Table 2)\", \"n_items\": 1000, \"span\": 1000, \"bin_size\": 100, \"record_trace\": false },\n";
@@ -404,20 +460,69 @@ let run_json path =
   Buffer.add_string buf "  },\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"figure4_mini_sweep\": { \"ds\": [1, 5], \"mus\": [10, 200], \"instances\": 50, \"seed\": 42, \"wall_seconds\": %.3f }\n"
+       "  \"figure4_mini_sweep\": { \"ds\": [1, 5], \"mus\": [10, 200], \"instances\": 50, \"seed\": 42, \"wall_seconds\": %.3f },\n"
        sweep_seconds);
+  Buffer.add_string buf "  \"parallel\": {\n";
+  Buffer.add_string buf (Printf.sprintf "    \"machine_cores\": %d,\n" cores);
+  Buffer.add_string buf "    \"wall_seconds_by_jobs\": { ";
+  List.iteri
+    (fun i (jobs, seconds, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\"%d\": %.3f%s" jobs seconds
+           (if i = List.length curve - 1 then "" else ", ")))
+    curve;
+  Buffer.add_string buf " },\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"speedup_jobs4_vs_1\": %.3f,\n" speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"identical_across_jobs\": %b\n" identical);
+  Buffer.add_string buf "  }\n";
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "wrote %s (mini-sweep: %.3f s)\n" path sweep_seconds
+  Printf.printf
+    "wrote %s (mini-sweep: %.3f s; jobs=4 vs jobs=1 speedup: %.2fx on %d core%s; \
+     identical across jobs: %b)\n"
+    path sweep_seconds speedup cores
+    (if cores = 1 then "" else "s")
+    identical;
+  if not identical then begin
+    prerr_endline "FATAL: sweep output differs across jobs values";
+    exit 1
+  end
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "--json" :: rest ->
-      let path = match rest with p :: _ -> p | [] -> "BENCH_pr1.json" in
-      run_json path
-  | _ ->
+  (* argv: [--jobs N] [--json [PATH]] in any order, --json last takes a path *)
+  let args = List.tl (Array.to_list Sys.argv) in
+  let fail msg = prerr_endline msg; exit 2 in
+  let rec parse ~json ~jobs = function
+    | [] -> (json, jobs)
+    | "--jobs" :: v :: rest | "-j" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> parse ~json ~jobs:(Some n) rest
+        | Some _ | None ->
+            fail (Printf.sprintf "--jobs: expected a positive integer, got %S" v))
+    | [ "--jobs" ] | [ "-j" ] -> fail "--jobs: missing value"
+    | "--json" :: rest ->
+        let path, rest =
+          match rest with
+          | p :: rest' when not (String.length p > 0 && p.[0] = '-') -> (p, rest')
+          | _ -> ("BENCH_pr2.json", rest)
+        in
+        parse ~json:(Some path) ~jobs rest
+    | arg :: _ -> fail (Printf.sprintf "unknown argument %S" arg)
+  in
+  let json, jobs = parse ~json:None ~jobs:None args in
+  (match jobs with Some n -> Domain_pool.set_default_jobs n | None -> ());
+  (* force the validated env knobs now so a bad value is a clear error *)
+  (try
+     ignore (figure4_instances ());
+     ignore (Domain_pool.default_jobs ())
+   with Invalid_argument msg -> fail msg);
+  match json with
+  | Some path -> run_json path
+  | None ->
       regenerate_tables ();
       regenerate_figures ();
       regenerate_scenarios ();

@@ -23,6 +23,12 @@ module A = Dvbp_adversary
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc:"Root random seed.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"INT"
+           ~doc:"Worker domains for instance sharding (default: \\$(b,DVBP_JOBS), \
+                 else all cores). Results are bit-identical for any value.")
+
 let instances_arg default =
   Arg.(value & opt int default & info [ "instances"; "m" ] ~docv:"INT"
          ~doc:"Random instances per configuration.")
@@ -88,7 +94,16 @@ let figure4_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write long-format CSV here.")
   in
-  let action full m seed csv =
+  let action full m seed csv jobs =
+    match
+      match jobs with
+      | Some j when j < 1 ->
+          invalid_arg (Printf.sprintf "--jobs must be a positive integer (got %d)" j)
+      | Some j -> Dvbp_parallel.Domain_pool.set_default_jobs j
+      | None -> ignore (Dvbp_parallel.Domain_pool.default_jobs ())
+    with
+    | exception Invalid_argument msg -> prerr_endline msg; 1
+    | () ->
     let config =
       if full then X.Figure4.paper
       else { X.Figure4.default with X.Figure4.instances = m; seed }
@@ -108,7 +123,7 @@ let figure4_cmd =
     0
   in
   Cmd.v (Cmd.info "figure4" ~doc:"Regenerate the Figure 4 average-case sweep")
-    Term.(const action $ full_arg $ instances_arg 60 $ seed_arg $ csv_arg)
+    Term.(const action $ full_arg $ instances_arg 60 $ seed_arg $ csv_arg $ jobs_arg)
 
 (* ---------- table1 / table2 / figures ---------- *)
 

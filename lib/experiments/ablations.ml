@@ -8,7 +8,7 @@ let uniform_gen ~d ~mu =
   let params = Uniform_model.table2 ~d ~mu in
   fun ~rng -> Uniform_model.generate params ~rng
 
-let best_fit_measures ?(instances = 60) ?(seed = 42) ~d ~mu () =
+let best_fit_measures ?pool ?jobs ?(instances = 60) ?(seed = 42) ~d ~mu () =
   let competitors =
     List.map
       (fun measure ->
@@ -19,7 +19,7 @@ let best_fit_measures ?(instances = 60) ?(seed = 42) ~d ~mu () =
         })
       Load_measure.all_standard
   in
-  Runner.ratio_stats ~instances ~seed ~gen:(uniform_gen ~d ~mu) ~competitors ()
+  Runner.ratio_stats ?pool ?jobs ~instances ~seed ~gen:(uniform_gen ~d ~mu) ~competitors ()
 
 let named_competitors names =
   List.map
@@ -31,18 +31,18 @@ let named_competitors names =
       })
     names
 
-let correlation_sweep ?(instances = 60) ?(seed = 42) ~d ~mu ~rhos () =
+let correlation_sweep ?pool ?jobs ?(instances = 60) ?(seed = 42) ~d ~mu ~rhos () =
   let base = Uniform_model.table2 ~d ~mu in
   List.map
     (fun rho ->
       let gen ~rng = Correlated.generate { Correlated.base; rho } ~rng in
       ( rho,
-        Runner.ratio_stats ~instances ~seed ~gen
+        Runner.ratio_stats ?pool ?jobs ~instances ~seed ~gen
           ~competitors:(named_competitors [ "mtf"; "ff"; "bf"; "nf" ])
           () ))
     rhos
 
-let clairvoyance ?(instances = 60) ?(seed = 42) ~d ~mu () =
+let clairvoyance ?pool ?jobs ?(instances = 60) ?(seed = 42) ~d ~mu () =
   let clairvoyant name label =
     {
       Runner.label;
@@ -50,19 +50,19 @@ let clairvoyance ?(instances = 60) ?(seed = 42) ~d ~mu () =
       oracle = Runner.Exact_departures;
     }
   in
-  Runner.ratio_stats ~instances ~seed ~gen:(uniform_gen ~d ~mu)
+  Runner.ratio_stats ?pool ?jobs ~instances ~seed ~gen:(uniform_gen ~d ~mu)
     ~competitors:
       (named_competitors [ "mtf"; "ff"; "bf" ]
       @ [ clairvoyant "daf" "daf(clairvoyant)"; clairvoyant "hff" "hff(clairvoyant)" ])
     ()
 
-let denominator_tightness ?(instances = 30) ?(seed = 42) ~d ~mu () =
+let denominator_tightness ?pool ?jobs ?(instances = 30) ?(seed = 42) ~d ~mu () =
   let params = { (Uniform_model.table2 ~d ~mu) with Uniform_model.n = 300 } in
   let gen ~rng = Uniform_model.generate params ~rng in
   let mtf = named_competitors [ "mtf" ] in
   let with_denominator label denominator =
     match
-      Runner.ratio_stats ~denominator ~instances ~seed ~gen ~competitors:mtf ()
+      Runner.ratio_stats ?pool ?jobs ~denominator ~instances ~seed ~gen ~competitors:mtf ()
     with
     | [ (_, stats) ] -> (label, stats)
     | _ -> assert false
@@ -74,18 +74,18 @@ let denominator_tightness ?(instances = 30) ?(seed = 42) ~d ~mu () =
     with_denominator "vs DFF" Dvbp_lowerbound.Dff.integral;
   ]
 
-let load_sweep ?(instances = 60) ?(seed = 42) ~d ~mu ~ns () =
+let load_sweep ?pool ?jobs ?(instances = 60) ?(seed = 42) ~d ~mu ~ns () =
   List.map
     (fun n ->
       let params = { (Uniform_model.table2 ~d ~mu) with Uniform_model.n } in
       let gen ~rng = Uniform_model.generate params ~rng in
       ( float_of_int n,
-        Runner.ratio_stats ~instances ~seed ~gen
+        Runner.ratio_stats ?pool ?jobs ~instances ~seed ~gen
           ~competitors:(named_competitors [ "mtf"; "ff"; "bf"; "nf"; "wf" ])
           () ))
     ns
 
-let next_k_sweep ?(instances = 60) ?(seed = 42) ~d ~mu ~ks () =
+let next_k_sweep ?pool ?jobs ?(instances = 60) ?(seed = 42) ~d ~mu ~ks () =
   let nfk k =
     {
       Runner.label = Printf.sprintf "nf%d" k;
@@ -93,11 +93,11 @@ let next_k_sweep ?(instances = 60) ?(seed = 42) ~d ~mu ~ks () =
       oracle = Runner.No_departure_info;
     }
   in
-  Runner.ratio_stats ~instances ~seed ~gen:(uniform_gen ~d ~mu)
+  Runner.ratio_stats ?pool ?jobs ~instances ~seed ~gen:(uniform_gen ~d ~mu)
     ~competitors:(List.map nfk ks @ named_competitors [ "ff" ])
     ()
 
-let size_classes ?(instances = 60) ?(seed = 42) ~d ~mu () =
+let size_classes ?pool ?jobs ?(instances = 60) ?(seed = 42) ~d ~mu () =
   let capacity = Uniform_model.capacity (Uniform_model.table2 ~d ~mu) in
   let harmonic =
     {
@@ -106,11 +106,11 @@ let size_classes ?(instances = 60) ?(seed = 42) ~d ~mu () =
       oracle = Runner.No_departure_info;
     }
   in
-  Runner.ratio_stats ~instances ~seed ~gen:(uniform_gen ~d ~mu)
+  Runner.ratio_stats ?pool ?jobs ~instances ~seed ~gen:(uniform_gen ~d ~mu)
     ~competitors:(named_competitors [ "ff"; "mtf" ] @ [ harmonic ])
     ()
 
-let prediction_error ?(instances = 60) ?(seed = 42) ~d ~mu ~sigmas () =
+let prediction_error ?pool ?jobs ?(instances = 60) ?(seed = 42) ~d ~mu ~sigmas () =
   let daf_with oracle label =
     {
       Runner.label;
@@ -127,7 +127,7 @@ let prediction_error ?(instances = 60) ?(seed = 42) ~d ~mu ~sigmas () =
                (Printf.sprintf "daf-noise%.1f" sigma))
            sigmas
   in
-  Runner.ratio_stats ~instances ~seed ~gen:(uniform_gen ~d ~mu) ~competitors ()
+  Runner.ratio_stats ?pool ?jobs ~instances ~seed ~gen:(uniform_gen ~d ~mu) ~competitors ()
 
 let render ~title results =
   title ^ "\n"

@@ -7,27 +7,29 @@
     - clairvoyance (§8 future work: what does knowing departure times buy?).
 
     All reuse the Figure 4 methodology: mean ± std of cost over the
-    Lemma 1 (i) lower bound. *)
+    Lemma 1 (i) lower bound — including its instance sharding over the
+    domain pool ([?pool] / [?jobs] as in {!Runner.ratio_samples}; results
+    never depend on either). *)
 
 val best_fit_measures :
-  ?instances:int -> ?seed:int -> d:int -> mu:int -> unit ->
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> d:int -> mu:int -> unit ->
   (string * Runner.stats) list
 (** Best Fit under L∞, L1 and L2 load measures on the Table 2 workload
     (defaults: 60 instances, seed 42). *)
 
 val correlation_sweep :
-  ?instances:int -> ?seed:int -> d:int -> mu:int -> rhos:float list -> unit ->
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> d:int -> mu:int -> rhos:float list -> unit ->
   (float * (string * Runner.stats) list) list
 (** mtf/ff/bf/nf ratios as dimension correlation [rho] varies. *)
 
 val clairvoyance :
-  ?instances:int -> ?seed:int -> d:int -> mu:int -> unit ->
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> d:int -> mu:int -> unit ->
   (string * Runner.stats) list
 (** Non-clairvoyant mtf/ff/bf against the clairvoyant duration-aligned
     policy on the same instances. *)
 
 val denominator_tightness :
-  ?instances:int -> ?seed:int -> d:int -> mu:int -> unit ->
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> d:int -> mu:int -> unit ->
   (string * Runner.stats) list
 (** The same Move To Front runs normalised by each available lower bound
     (span, utilisation, Lemma 1 (i) height, DFF): how much of the reported
@@ -35,27 +37,27 @@ val denominator_tightness :
     the DFF integral stays cheap. *)
 
 val load_sweep :
-  ?instances:int -> ?seed:int -> d:int -> mu:int -> ns:int list -> unit ->
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> d:int -> mu:int -> ns:int list -> unit ->
   (float * (string * Runner.stats) list) list
 (** Ratios as the offered load grows (item count [n] at fixed span) — the
     paper fixes [n = 1000]; this shows how the policy gaps widen with
     load. Keyed by [n] (as a float, for the shared sweep renderer). *)
 
 val next_k_sweep :
-  ?instances:int -> ?seed:int -> d:int -> mu:int -> ks:int list -> unit ->
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> d:int -> mu:int -> ks:int list -> unit ->
   (string * Runner.stats) list
 (** Next-K Fit for each [k], bracketed by plain Next Fit ([k = 1]) and
     First Fit ([k = ∞]) — how many "recent" bins buy back First Fit's
     packing quality (§7's packing-vs-alignment trade-off). *)
 
 val size_classes :
-  ?instances:int -> ?seed:int -> d:int -> mu:int -> unit ->
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> d:int -> mu:int -> unit ->
   (string * Runner.stats) list
 (** First Fit vs Harmonic Fit (size-classified bins): does segregating big
     and small items help on the uniform workload? *)
 
 val prediction_error :
-  ?instances:int -> ?seed:int -> d:int -> mu:int -> sigmas:float list -> unit ->
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> d:int -> mu:int -> sigmas:float list -> unit ->
   (string * Runner.stats) list
 (** How much of the clairvoyant advantage survives noisy duration
     predictions: duration-aligned fit with exact hints and with log-normal

@@ -20,18 +20,38 @@ let default =
   {
     ds = grid_ds;
     mus = grid_mus;
-    instances = 60;
+    instances = 1000;
     seed = 42;
     n_items = 1000;
     span = 1000;
     bin_size = 100;
   }
 
-let paper = { default with instances = 1000 }
+let paper = default
+let quick = { default with instances = 60 }
+
+let env_var = "DVBP_FIGURE4_INSTANCES"
+
+let instances_from_env () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some s when String.trim s = "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> Some n
+      | Some n ->
+          invalid_arg
+            (Printf.sprintf "%s must be a positive instance count (got %d)"
+               env_var n)
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "%s must be a positive integer (got %S); unset it for the \
+                caller's default" env_var s))
 
 type cell = { d : int; mu : int; per_policy : (string * Runner.stats) list }
 
-let run ?(progress = fun _ -> ()) config =
+let run ?pool ?jobs ?(progress = fun _ -> ()) config =
   let cells =
     List.concat_map (fun d -> List.map (fun mu -> (d, mu)) config.mus) config.ds
   in
@@ -48,7 +68,7 @@ let run ?(progress = fun _ -> ()) config =
       in
       let gen ~rng = Uniform_model.generate params ~rng in
       let per_policy =
-        Runner.ratio_stats ~instances:config.instances
+        Runner.ratio_stats ?pool ?jobs ~instances:config.instances
           ~seed:(config.seed + (1000 * d) + mu)
           ~gen
           ~competitors:(Runner.standard_competitors ())

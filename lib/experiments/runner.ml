@@ -44,20 +44,26 @@ let competitor_of_name name =
       | Ok _ -> Ok (plain other)
       | Error e -> Error e)
 
-let ratio_samples ?(denominator = Bounds.height_integral) ~instances ~seed ~gen
-    ~competitors () =
+let ratio_samples ?pool ?jobs ?(denominator = Bounds.height_integral) ~instances
+    ~seed ~gen ~competitors () =
   if instances <= 0 then invalid_arg "Runner.ratio_samples: instances <= 0";
   let labels = List.map (fun c -> c.label) competitors in
   if List.length (List.sort_uniq String.compare labels) <> List.length labels then
     invalid_arg "Runner.ratio_samples: duplicate competitor labels";
   let root = Rng.create ~seed in
-  let samples = List.map (fun c -> (c, Array.make instances 0.0)) competitors in
-  for i = 0 to instances - 1 do
+  let comps = Array.of_list competitors in
+  let outs = Array.map (fun _ -> Array.make instances 0.0) comps in
+  (* Instances are sharded over the domain pool. Instance [i] derives every
+     stream it needs from [Rng.split _ ~key:i] off the root — splitting only
+     reads the parent's immutable path, so concurrent splits are safe — and
+     writes only slot [i] of each output array: the result is bit-identical
+     to the sequential loop whatever the number of domains. *)
+  let run_instance i =
     let inst_rng = Rng.split (Rng.split root ~key:0) ~key:i in
     let instance = gen ~rng:inst_rng in
     let lb = denominator instance in
-    List.iteri
-      (fun pi (c, out) ->
+    Array.iteri
+      (fun pi c ->
         let policy_rng = Rng.split (Rng.split (Rng.split root ~key:1) ~key:i) ~key:pi in
         let policy = c.make ~rng:policy_rng in
         let departure_oracle =
@@ -77,13 +83,16 @@ let ratio_samples ?(denominator = Bounds.height_integral) ~instances ~seed ~gen
         in
         (* ratio sweeps never read the trace; skip recording it *)
         let run = Engine.run ~departure_oracle ~record_trace:false ~policy instance in
-        out.(i) <- Engine.cost run /. lb)
-      samples
-  done;
-  List.map (fun (c, out) -> (c.label, out)) samples
+        outs.(pi).(i) <- Engine.cost run /. lb)
+      comps
+  in
+  Dvbp_parallel.Parallel.chunked_for ?pool ?jobs ~n:instances run_instance;
+  List.init (Array.length comps) (fun pi -> (comps.(pi).label, outs.(pi)))
 
-let ratio_stats ?denominator ~instances ~seed ~gen ~competitors () =
-  let samples = ratio_samples ?denominator ~instances ~seed ~gen ~competitors () in
+let ratio_stats ?pool ?jobs ?denominator ~instances ~seed ~gen ~competitors () =
+  let samples =
+    ratio_samples ?pool ?jobs ?denominator ~instances ~seed ~gen ~competitors ()
+  in
   List.map
     (fun (label, out) ->
       let acc = Running.create () in

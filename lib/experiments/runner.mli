@@ -4,7 +4,15 @@
     Randomness is fully deterministic: every instance and every stochastic
     policy gets its own stream derived from the root seed with {!Dvbp_prelude.Rng.split},
     so single results can be replayed in isolation and adding a competitor
-    never perturbs the instances. *)
+    never perturbs the instances.
+
+    Instances are embarrassingly parallel and are sharded over the
+    {!Dvbp_parallel.Domain_pool} ([?pool] defaults to the shared pool,
+    [?jobs] to its size — override either, or set [DVBP_JOBS]). Instance
+    [i] always derives its generators from [split ~key:i] and writes into
+    slot [i] of the pre-sized sample arrays, so the output is
+    {b bit-identical to the sequential run and independent of the number
+    of domains} — the determinism regression tests pin this. *)
 
 type stats = { mean : float; std : float; min : float; max : float; n : int }
 
@@ -31,6 +39,8 @@ val competitor_of_name : string -> (competitor, string) result
     (duration-aligned fit) and ["hff"] (hybrid first fit). *)
 
 val ratio_samples :
+  ?pool:Dvbp_parallel.Domain_pool.t ->
+  ?jobs:int ->
   ?denominator:(Dvbp_core.Instance.t -> float) ->
   instances:int ->
   seed:int ->
@@ -43,6 +53,8 @@ val ratio_samples :
     the significance tests). Same validation rules as {!ratio_stats}. *)
 
 val ratio_stats :
+  ?pool:Dvbp_parallel.Domain_pool.t ->
+  ?jobs:int ->
   ?denominator:(Dvbp_core.Instance.t -> float) ->
   instances:int ->
   seed:int ->

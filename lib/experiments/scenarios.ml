@@ -11,20 +11,20 @@ let competitors () =
   in
   Runner.standard_competitors () @ [ clairvoyant "daf"; clairvoyant "hff" ]
 
-let cloud_gaming ?(instances = 30) ?(seed = 42) ?(n = 500) () =
+let cloud_gaming ?pool ?jobs ?(instances = 30) ?(seed = 42) ?(n = 500) () =
   let params = { W.Cloud_gaming.default with W.Cloud_gaming.n } in
-  Runner.ratio_stats ~instances ~seed
+  Runner.ratio_stats ?pool ?jobs ~instances ~seed
     ~gen:(fun ~rng -> W.Cloud_gaming.generate params ~rng)
     ~competitors:(competitors ()) ()
 
-let vm_placement ?(instances = 30) ?(seed = 42) ?(n = 400) () =
+let vm_placement ?pool ?jobs ?(instances = 30) ?(seed = 42) ?(n = 400) () =
   let params = { W.Vm_requests.default with W.Vm_requests.n } in
-  Runner.ratio_stats ~instances ~seed
+  Runner.ratio_stats ?pool ?jobs ~instances ~seed
     ~gen:(fun ~rng -> W.Vm_requests.generate params ~rng)
     ~competitors:(competitors ()) ()
 
-let flash_crowd ?(instances = 30) ?(seed = 42) () =
-  Runner.ratio_stats ~instances ~seed
+let flash_crowd ?pool ?jobs ?(instances = 30) ?(seed = 42) () =
+  Runner.ratio_stats ?pool ?jobs ~instances ~seed
     ~gen:(fun ~rng -> W.Bursty.generate W.Bursty.default ~rng)
     ~competitors:(competitors ()) ()
 

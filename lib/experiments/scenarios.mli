@@ -11,12 +11,12 @@ val competitors : unit -> Runner.competitor list
 (** The seven standard policies plus clairvoyant daf and hff. *)
 
 val cloud_gaming :
-  ?instances:int -> ?seed:int -> ?n:int -> unit -> (string * Runner.stats) list
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> ?n:int -> unit -> (string * Runner.stats) list
 
 val vm_placement :
-  ?instances:int -> ?seed:int -> ?n:int -> unit -> (string * Runner.stats) list
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> ?n:int -> unit -> (string * Runner.stats) list
 
 val flash_crowd :
-  ?instances:int -> ?seed:int -> unit -> (string * Runner.stats) list
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> unit -> (string * Runner.stats) list
 
 val render : title:string -> (string * Runner.stats) list -> string

@@ -1,5 +1,8 @@
+module Rng = Dvbp_prelude.Rng
+module Parallel = Dvbp_parallel.Parallel
 module Uniform_model = Dvbp_workload.Uniform_model
 module Compare = Dvbp_stats.Compare
+module Summary = Dvbp_stats.Summary
 module Table = Dvbp_report.Table
 
 type row = {
@@ -12,10 +15,10 @@ type row = {
 
 let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
 
-let head_to_head ?(instances = 60) ?(seed = 42) ?(baseline = "mtf") ~d ~mu () =
+let paired_samples ?pool ?jobs ~instances ~seed ~baseline ~d ~mu () =
   let params = Uniform_model.table2 ~d ~mu in
   let samples =
-    Runner.ratio_samples ~instances ~seed
+    Runner.ratio_samples ?pool ?jobs ~instances ~seed
       ~gen:(fun ~rng -> Uniform_model.generate params ~rng)
       ~competitors:(Runner.standard_competitors ())
       ()
@@ -24,6 +27,13 @@ let head_to_head ?(instances = 60) ?(seed = 42) ?(baseline = "mtf") ~d ~mu () =
     match List.assoc_opt baseline samples with
     | Some s -> s
     | None -> invalid_arg (Printf.sprintf "Significance: unknown baseline %S" baseline)
+  in
+  (samples, base)
+
+let head_to_head ?pool ?jobs ?(instances = 60) ?(seed = 42) ?(baseline = "mtf")
+    ~d ~mu () =
+  let samples, base =
+    paired_samples ?pool ?jobs ~instances ~seed ~baseline ~d ~mu ()
   in
   List.filter_map
     (fun (label, s) ->
@@ -44,6 +54,76 @@ let head_to_head ?(instances = 60) ?(seed = 42) ?(baseline = "mtf") ~d ~mu () =
             verdict;
           })
     samples
+
+type bootstrap_row = {
+  b_challenger : string;
+  b_baseline : string;
+  b_mean_gap : float;
+  ci_lo : float;
+  ci_hi : float;
+  resamples : int;
+}
+
+let bootstrap_gaps ?pool ?jobs ?(instances = 60) ?(seed = 42) ?(baseline = "mtf")
+    ?(resamples = 2000) ?(confidence = 0.95) ~d ~mu () =
+  if resamples < 2 then invalid_arg "Significance.bootstrap_gaps: resamples < 2";
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Significance.bootstrap_gaps: confidence not in (0, 1)";
+  let samples, base =
+    paired_samples ?pool ?jobs ~instances ~seed ~baseline ~d ~mu ()
+  in
+  let root = Rng.create ~seed in
+  let n = instances in
+  let nf = float_of_int n in
+  List.filter_map
+    (fun (label, s) ->
+      if label = baseline then None
+      else begin
+        (* paired gaps: resampling instance indices keeps the pairing *)
+        let gaps = Array.init n (fun i -> s.(i) -. base.(i)) in
+        let point = Array.fold_left ( +. ) 0.0 gaps /. nf in
+        let means = Array.make resamples 0.0 in
+        (* one split per (challenger, resample): slot-indexed writes keep
+           this deterministic and jobs-independent, like the runner *)
+        let lane = Rng.split (Rng.split root ~key:0x6273) ~key:(Hashtbl.hash label) in
+        Parallel.chunked_for ?pool ?jobs ~chunk:64 ~n:resamples (fun b ->
+            let rng = Rng.split lane ~key:b in
+            let acc = ref 0.0 in
+            for _ = 1 to n do
+              acc := !acc +. gaps.(Rng.int rng n)
+            done;
+            means.(b) <- !acc /. nf);
+        Array.sort Float.compare means;
+        let alpha = 1.0 -. confidence in
+        Some
+          {
+            b_challenger = label;
+            b_baseline = baseline;
+            b_mean_gap = point;
+            ci_lo = Summary.quantile means (alpha /. 2.0);
+            ci_hi = Summary.quantile means (1.0 -. (alpha /. 2.0));
+            resamples;
+          }
+      end)
+    samples
+
+let render_bootstrap rows =
+  Table.render
+    ~header:[ "challenger"; "baseline"; "mean gap"; "95% CI"; "resamples"; "verdict" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.b_challenger;
+             r.b_baseline;
+             Printf.sprintf "%+.4f" r.b_mean_gap;
+             Printf.sprintf "[%+.4f, %+.4f]" r.ci_lo r.ci_hi;
+             string_of_int r.resamples;
+             (if r.ci_lo > 0.0 then r.b_baseline ^ " wins"
+              else if r.ci_hi < 0.0 then r.b_challenger ^ " wins"
+              else "tie");
+           ])
+         rows)
 
 let render rows =
   Table.render

@@ -14,6 +14,8 @@ type row = {
 }
 
 val head_to_head :
+  ?pool:Dvbp_parallel.Domain_pool.t ->
+  ?jobs:int ->
   ?instances:int ->
   ?seed:int ->
   ?baseline:string ->
@@ -23,6 +25,44 @@ val head_to_head :
   row list
 (** Runs the seven standard policies on the Table 2 workload at [(d, µ)]
     (defaults: 60 instances, seed 42, baseline ["mtf"]) and tests every
-    other policy against the baseline at level 0.05. *)
+    other policy against the baseline at level 0.05. Instance simulation
+    is sharded over the domain pool ([?pool] / [?jobs] as in
+    {!Runner.ratio_samples}); results are jobs-independent. *)
+
+type bootstrap_row = {
+  b_challenger : string;
+  b_baseline : string;
+  b_mean_gap : float;  (** challenger mean − baseline mean (point estimate) *)
+  ci_lo : float;  (** lower percentile-bootstrap confidence bound *)
+  ci_hi : float;  (** upper percentile-bootstrap confidence bound *)
+  resamples : int;
+}
+
+val bootstrap_gaps :
+  ?pool:Dvbp_parallel.Domain_pool.t ->
+  ?jobs:int ->
+  ?instances:int ->
+  ?seed:int ->
+  ?baseline:string ->
+  ?resamples:int ->
+  ?confidence:float ->
+  d:int ->
+  mu:int ->
+  unit ->
+  bootstrap_row list
+(** Percentile-bootstrap confidence intervals for the paired mean ratio
+    gap of every challenger against the baseline (defaults: 60 instances,
+    seed 42, baseline ["mtf"], 2000 resamples, 95% confidence) — a
+    distribution-free complement to the rank-sum test that also reports
+    effect size. Resampling keeps the instance pairing (indices are drawn
+    once per resample and applied to the gap vector). Both the underlying
+    simulations and the resampling loop are sharded over the domain pool;
+    every resample [b] draws its indices from its own [Rng.split ~key:b]
+    stream and writes slot [b], so the intervals are bit-identical
+    whatever [jobs] is.
+    @raise Invalid_argument if [resamples < 2] or [confidence] is outside
+    [(0, 1)] (and the usual runner validation). *)
+
+val render_bootstrap : bootstrap_row list -> string
 
 val render : row list -> string

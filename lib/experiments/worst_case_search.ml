@@ -136,6 +136,14 @@ let search ~policy config =
     improvements = !improvements;
   }
 
+let search_many ?pool ?jobs cases =
+  (* each hill climb is inherently sequential, but the (policy, config)
+     cases are independent — one task per case, results in input order *)
+  Array.to_list
+    (Dvbp_parallel.Parallel.map_array ?pool ?jobs
+       (fun (policy, config) -> (policy, search ~policy config))
+       (Array.of_list cases))
+
 let render ~policy r =
   Printf.sprintf
     "%s: worst ratio found %.4f over %d steps (%d improvements), n=%d, mu=%.1f%s\n"

@@ -35,4 +35,14 @@ val search : policy:string -> config -> result
     fields. Stochastic policies are not supported (ratio must be a pure
     function of the instance). *)
 
+val search_many :
+  ?pool:Dvbp_parallel.Domain_pool.t ->
+  ?jobs:int ->
+  (string * config) list ->
+  (string * result) list
+(** Run one {!search} per [(policy, config)] case, sharded over the
+    domain pool (each climb is sequential; the cases are independent).
+    Results come back in input order and are identical to running each
+    {!search} alone — the climbs share no random state. *)
+
 val render : policy:string -> result -> string

@@ -1,0 +1,214 @@
+(* One mailbox per worker (own mutex + condition) so posting a job never
+   contends with unrelated workers; one completion latch per run shared by
+   all members. Workers never busy-wait: parked workers block in
+   [Condition.wait] until a job or a stop order arrives. *)
+
+type job = {
+  work : unit -> unit;
+  latch_m : Mutex.t;
+  latch_c : Condition.t;
+  mutable pending : int;  (* workers (not the caller) still running *)
+  mutable error : (exn * Printexc.raw_backtrace) option;  (* first wins *)
+}
+
+type mailbox = Idle | Job of job | Stop
+
+type worker = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable box : mailbox;
+  mutable domain : unit Domain.t option;  (* set right after spawn *)
+}
+
+type t = {
+  pool_m : Mutex.t;
+  mutable target : int;  (* desired parallelism, >= 1 *)
+  mutable workers : worker list;  (* spawned so far, length <= target - 1 *)
+  mutable busy : bool;  (* a run is in flight: re-entrant calls go sequential *)
+  mutable closed : bool;
+}
+
+let record_error job e bt =
+  Mutex.lock job.latch_m;
+  if job.error = None then job.error <- Some (e, bt);
+  Mutex.unlock job.latch_m
+
+let finish_one job =
+  Mutex.lock job.latch_m;
+  job.pending <- job.pending - 1;
+  if job.pending = 0 then Condition.signal job.latch_c;
+  Mutex.unlock job.latch_m
+
+let rec worker_loop w =
+  Mutex.lock w.m;
+  while (match w.box with Idle -> true | Job _ | Stop -> false) do
+    Condition.wait w.c w.m
+  done;
+  let order = w.box in
+  (match order with Job _ -> w.box <- Idle | Idle | Stop -> ());
+  Mutex.unlock w.m;
+  match order with
+  | Stop | Idle -> ()
+  | Job job ->
+      (try job.work ()
+       with e -> record_error job e (Printexc.get_raw_backtrace ()));
+      finish_one job;
+      worker_loop w
+
+let clamp_jobs j = if j < 1 then 1 else j
+
+let parse_env_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> n
+  | Some n ->
+      invalid_arg
+        (Printf.sprintf "DVBP_JOBS must be a positive integer (got %d)" n)
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "DVBP_JOBS must be a positive integer (got %S); unset it to use \
+            all cores" s)
+
+let default_jobs () =
+  match Sys.getenv_opt "DVBP_JOBS" with
+  | Some s -> parse_env_jobs s
+  | None -> clamp_jobs (Domain.recommended_domain_count ())
+
+let create ?jobs () =
+  let target =
+    match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
+  in
+  { pool_m = Mutex.create (); target; workers = []; busy = false; closed = false }
+
+let jobs t =
+  Mutex.lock t.pool_m;
+  let n = t.target in
+  Mutex.unlock t.pool_m;
+  n
+
+let spawned t =
+  Mutex.lock t.pool_m;
+  let n = List.length t.workers in
+  Mutex.unlock t.pool_m;
+  n
+
+let spawn_worker () =
+  (* the record must be complete before the domain starts looping on it *)
+  let w = { m = Mutex.create (); c = Condition.create (); box = Idle; domain = None } in
+  w.domain <- Some (Domain.spawn (fun () -> worker_loop w));
+  w
+
+(* called with t.pool_m held *)
+let ensure_workers t n =
+  let missing = n - List.length t.workers in
+  for _ = 1 to missing do
+    t.workers <- spawn_worker () :: t.workers
+  done
+
+let post w job =
+  Mutex.lock w.m;
+  w.box <- Job job;
+  Condition.signal w.c;
+  Mutex.unlock w.m
+
+let run ?jobs t work =
+  let want = match jobs with Some j -> clamp_jobs j | None -> 0 in
+  Mutex.lock t.pool_m;
+  if t.closed then begin
+    Mutex.unlock t.pool_m;
+    invalid_arg "Domain_pool.run: pool already shut down"
+  end;
+  let want = if want = 0 then t.target else want in
+  if want > t.target then t.target <- want;
+  if t.busy || want = 1 then begin
+    (* size-1 pool, or a re-entrant call from inside a task: sequential *)
+    Mutex.unlock t.pool_m;
+    work ()
+  end
+  else begin
+    t.busy <- true;
+    ensure_workers t (want - 1);
+    let helpers = List.filteri (fun i _ -> i < want - 1) t.workers in
+    Mutex.unlock t.pool_m;
+    let job =
+      {
+        work;
+        latch_m = Mutex.create ();
+        latch_c = Condition.create ();
+        pending = List.length helpers;
+        error = None;
+      }
+    in
+    List.iter (fun w -> post w job) helpers;
+    let caller_error =
+      try work (); None
+      with e -> Some (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock job.latch_m;
+    while job.pending > 0 do
+      Condition.wait job.latch_c job.latch_m
+    done;
+    let worker_error = job.error in
+    Mutex.unlock job.latch_m;
+    Mutex.lock t.pool_m;
+    t.busy <- false;
+    Mutex.unlock t.pool_m;
+    match caller_error, worker_error with
+    | Some (e, bt), _ | None, Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None, None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.pool_m;
+  if t.closed then Mutex.unlock t.pool_m
+  else begin
+    t.closed <- true;
+    let workers = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.pool_m;
+    List.iter
+      (fun w ->
+        Mutex.lock w.m;
+        w.box <- Stop;
+        Condition.signal w.c;
+        Mutex.unlock w.m)
+      workers;
+    List.iter
+      (fun w -> match w.domain with Some d -> Domain.join d | None -> ())
+      workers
+  end
+
+(* ---------- the process-wide shared pool ---------- *)
+
+let default_m = Mutex.create ()
+let default_pool = ref None
+let default_override = ref None
+
+let set_default_jobs n =
+  let n = clamp_jobs n in
+  Mutex.lock default_m;
+  default_override := Some n;
+  (match !default_pool with
+  | Some t ->
+      Mutex.lock t.pool_m;
+      t.target <- n;
+      Mutex.unlock t.pool_m
+  | None -> ());
+  Mutex.unlock default_m
+
+let default () =
+  Mutex.lock default_m;
+  let t =
+    match !default_pool with
+    | Some t -> t
+    | None ->
+        let jobs =
+          match !default_override with Some n -> n | None -> default_jobs ()
+        in
+        let t = create ~jobs () in
+        default_pool := Some t;
+        at_exit (fun () -> shutdown t);
+        t
+  in
+  Mutex.unlock default_m;
+  t

@@ -1,0 +1,70 @@
+(** A spawn-once pool of [Domain.t] workers for embarrassingly parallel
+    experiment sweeps.
+
+    Worker domains are spawned lazily on the first run that needs them and
+    then reused for every subsequent call ({!spawned} never exceeds
+    [jobs - 1] over the life of the pool); re-spawning per call would cost
+    milliseconds per sweep cell. The calling domain always participates in a
+    run, so a pool of size [jobs] occupies exactly [jobs] domains while
+    running and [jobs - 1] parked workers while idle.
+
+    Sizing: [DVBP_JOBS] (validated — a clear [Invalid_argument] on
+    non-integer or non-positive values) takes precedence over
+    [Domain.recommended_domain_count]; an explicit [~jobs] argument to
+    {!create} / {!run} takes precedence over both. All sizes are clamped
+    to at least 1; a size-1 pool degenerates to plain sequential calls and
+    never spawns a domain.
+
+    Determinism contract: the pool schedules work but never injects any
+    ordering-dependent state — callers that write results into
+    pre-assigned slots (see {!Parallel}) get output that is bit-identical
+    whatever the pool size. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [DVBP_JOBS] if set (validated), else [Domain.recommended_domain_count],
+    clamped to ≥ 1.
+    @raise Invalid_argument if [DVBP_JOBS] is set to a non-integer or a
+    value < 1. *)
+
+val create : ?jobs:int -> unit -> t
+(** A fresh pool targeting [jobs] concurrent members (default
+    {!default_jobs}; values < 1 are clamped to 1). No domain is spawned
+    until the first parallel {!run}. *)
+
+val jobs : t -> int
+(** The pool's current target parallelism (≥ 1). *)
+
+val spawned : t -> int
+(** How many worker domains this pool has spawned so far — stays put
+    across repeated runs; grows (once) only when a run requests more
+    parallelism than any earlier run. *)
+
+val run : ?jobs:int -> t -> (unit -> unit) -> unit
+(** [run pool work] executes [work ()] concurrently on [min jobs (pool
+    target)] members — the caller plus workers; [~jobs] overrides the
+    pool's target for this call only, growing the pool if it asks for more
+    workers than have been spawned. The call returns when every member has
+    returned. If any member raises, the first exception (worker or caller)
+    is re-raised in the caller with its backtrace — after all members have
+    finished, so no task is still touching shared buffers. Re-entrant
+    calls (from inside a running task) degrade to sequential execution
+    rather than deadlocking.
+    @raise Invalid_argument if the pool has been {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Park, join and release all worker domains. Idempotent. The pool is
+    unusable afterwards. *)
+
+val set_default_jobs : int -> unit
+(** Override the target parallelism of the {!default} pool (clamped to
+    ≥ 1) — e.g. from a [--jobs] command-line flag. Takes effect even if
+    the default pool already exists; precedence: [set_default_jobs] >
+    [DVBP_JOBS] > [Domain.recommended_domain_count]. *)
+
+val default : unit -> t
+(** The process-wide shared pool, created on first use (size: the last
+    {!set_default_jobs}, else {!default_jobs}) and joined automatically at
+    exit. Every experiment entry point that takes [?jobs] uses this pool
+    unless handed an explicit one. *)

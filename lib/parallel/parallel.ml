@@ -1,0 +1,39 @@
+let chunked_for ?pool ?jobs ?(chunk = 1) ~n body =
+  if n < 0 then invalid_arg "Parallel.chunked_for: negative n";
+  if chunk < 1 then invalid_arg "Parallel.chunked_for: chunk < 1";
+  if n > 0 then begin
+    let pool = match pool with Some p -> p | None -> Domain_pool.default () in
+    let want =
+      match jobs with Some j -> max 1 j | None -> Domain_pool.jobs pool
+    in
+    (* never occupy more members than there are chunks *)
+    let want = min want ((n + chunk - 1) / chunk) in
+    if want <= 1 then
+      for i = 0 to n - 1 do
+        body i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let work () =
+        let continue = ref true in
+        while !continue do
+          let start = Atomic.fetch_and_add next chunk in
+          if start >= n then continue := false
+          else
+            for i = start to min n (start + chunk) - 1 do
+              body i
+            done
+        done
+      in
+      Domain_pool.run ~jobs:want pool work
+    end
+  end
+
+let map_array ?pool ?jobs ?chunk f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f a.(0)) in
+    chunked_for ?pool ?jobs ?chunk ~n:(n - 1) (fun i -> out.(i + 1) <- f a.(i + 1));
+    out
+  end

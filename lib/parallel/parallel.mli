@@ -1,0 +1,35 @@
+(** Deterministic data-parallel combinators on top of {!Domain_pool}.
+
+    Both combinators hand out {e index chunks} from a shared atomic
+    counter (work stealing: a member that finishes its chunk immediately
+    grabs the next one, so uneven task costs never leave a domain idle),
+    and every task writes only to its own pre-assigned slot. The result is
+    therefore a pure function of the inputs — bit-identical whatever the
+    number of domains or the interleaving, which is what lets the
+    experiment layer keep its golden-data guarantees while going wide.
+
+    [?pool] defaults to {!Domain_pool.default}; [?jobs] overrides the
+    pool's parallelism for this call. With an effective parallelism of 1
+    the combinators run inline without touching the pool (no domain is
+    ever spawned), so sequential use stays allocation- and thread-free. *)
+
+val chunked_for :
+  ?pool:Domain_pool.t ->
+  ?jobs:int ->
+  ?chunk:int ->
+  n:int ->
+  (int -> unit) ->
+  unit
+(** [chunked_for ~n body] runs [body i] for every [0 <= i < n], sharded
+    over the pool in chunks of [chunk] consecutive indices (default 1 —
+    experiment tasks are milliseconds each, so counter traffic is noise).
+    Within a chunk indices run in order; across chunks order is
+    unspecified, so [body] must only write to per-[i] slots. Exceptions
+    propagate per {!Domain_pool.run} — after all members finished.
+    @raise Invalid_argument if [n < 0] or [chunk < 1]. *)
+
+val map_array :
+  ?pool:Domain_pool.t -> ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f a] is [Array.map f a], sharded like {!chunked_for}
+    ([f] is applied exactly once per element; [f a.(0)] runs first, in the
+    caller, like [Array.map]'s seed application). *)

@@ -66,6 +66,44 @@ let runner_tests =
                        ~competitors:(Runner.standard_competitors ()) ());
              false
            with Invalid_argument _ -> true));
+    Alcotest.test_case "jobs count never changes the samples" `Quick (fun () ->
+        (* the determinism contract of the parallel runner: every instance
+           derives its streams by index, so sharding is invisible *)
+        let competitors = Runner.standard_competitors () in
+        let go jobs =
+          Runner.ratio_samples ~jobs ~instances:7 ~seed:9 ~gen:tiny_gen
+            ~competitors ()
+        in
+        let a = go 1 and b = go 4 in
+        List.iter2
+          (fun (la, xs) (lb, ys) ->
+            Alcotest.(check string) "label" la lb;
+            check_int "length" (Array.length xs) (Array.length ys);
+            Array.iteri
+              (fun i x -> Alcotest.(check (float 0.0)) "bit-identical" x ys.(i))
+              xs)
+          a b);
+    Alcotest.test_case "an explicit pool gives the sequential answer" `Quick
+      (fun () ->
+        let pool = Dvbp_parallel.Domain_pool.create ~jobs:3 () in
+        Fun.protect
+          ~finally:(fun () -> Dvbp_parallel.Domain_pool.shutdown pool)
+          (fun () ->
+            let competitors = Runner.standard_competitors () in
+            let seq =
+              Runner.ratio_samples ~jobs:1 ~instances:5 ~seed:12 ~gen:tiny_gen
+                ~competitors ()
+            in
+            let par =
+              Runner.ratio_samples ~pool ~instances:5 ~seed:12 ~gen:tiny_gen
+                ~competitors ()
+            in
+            List.iter2
+              (fun (_, xs) (_, ys) ->
+                Array.iteri
+                  (fun i x -> Alcotest.(check (float 0.0)) "equal" x ys.(i))
+                  xs)
+              seq par));
     Alcotest.test_case "competitor_of_name handles daf and rejects junk" `Quick
       (fun () ->
         (match Runner.competitor_of_name "daf" with
@@ -124,6 +162,34 @@ let figure4_tests =
         Alcotest.(check (list int)) "mus" [ 1; 2; 5; 10; 100; 200 ]
           Figure4.paper.Figure4.mus;
         Alcotest.(check (list int)) "ds" [ 1; 2; 5 ] Figure4.paper.Figure4.ds);
+    Alcotest.test_case "default runs at paper scale; quick is the CLI scale" `Quick
+      (fun () ->
+        check_int "default = paper" 1000 Figure4.default.Figure4.instances;
+        check_int "quick" 60 Figure4.quick.Figure4.instances);
+    Alcotest.test_case "instances_from_env validates its input" `Quick (fun () ->
+        let with_env v f =
+          let old = Sys.getenv_opt Figure4.env_var in
+          (match v with
+          | Some s -> Unix.putenv Figure4.env_var s
+          | None -> Unix.putenv Figure4.env_var "");
+          Fun.protect
+            ~finally:(fun () ->
+              Unix.putenv Figure4.env_var (Option.value old ~default:""))
+            f
+        in
+        with_env None (fun () ->
+            check_bool "empty treated as unset" true
+              (Figure4.instances_from_env () = None));
+        with_env (Some "250") (fun () ->
+            check_bool "parsed" true (Figure4.instances_from_env () = Some 250));
+        with_env (Some "many") (fun () ->
+            check_bool "non-integer raises" true
+              (try ignore (Figure4.instances_from_env ()); false
+               with Invalid_argument msg -> contains_sub msg Figure4.env_var));
+        with_env (Some "0") (fun () ->
+            check_bool "non-positive raises" true
+              (try ignore (Figure4.instances_from_env ()); false
+               with Invalid_argument msg -> contains_sub msg Figure4.env_var)));
   ]
 
 let table1_tests =
@@ -284,6 +350,51 @@ let significance_tests =
     Alcotest.test_case "render mentions verdicts" `Quick (fun () ->
         let rows = Significance.head_to_head ~instances:8 ~seed:5 ~d:1 ~mu:10 () in
         check_bool "has header" true (contains_sub (Significance.render rows) "verdict"));
+    Alcotest.test_case "bootstrap CIs bracket the point estimate" `Quick (fun () ->
+        let rows =
+          Significance.bootstrap_gaps ~instances:12 ~seed:3 ~resamples:200 ~d:1
+            ~mu:10 ()
+        in
+        check_int "rows" 6 (List.length rows);
+        List.iter
+          (fun r ->
+            check_bool "ordered" true (r.Significance.ci_lo <= r.Significance.ci_hi);
+            check_bool "brackets mean gap" true
+              (r.Significance.ci_lo <= r.Significance.b_mean_gap +. 1e-9
+              && r.Significance.b_mean_gap <= r.Significance.ci_hi +. 1e-9);
+            check_int "resamples recorded" 200 r.Significance.resamples)
+          rows);
+    Alcotest.test_case "bootstrap is jobs-independent" `Quick (fun () ->
+        let go jobs =
+          Significance.bootstrap_gaps ~jobs ~instances:10 ~seed:7 ~resamples:150
+            ~d:1 ~mu:10 ()
+        in
+        List.iter2
+          (fun a b ->
+            Alcotest.(check string) "challenger" a.Significance.b_challenger
+              b.Significance.b_challenger;
+            Alcotest.(check (float 0.0)) "ci_lo" a.Significance.ci_lo
+              b.Significance.ci_lo;
+            Alcotest.(check (float 0.0)) "ci_hi" a.Significance.ci_hi
+              b.Significance.ci_hi)
+          (go 1) (go 4));
+    Alcotest.test_case "bootstrap rejects bad resamples and confidence" `Quick
+      (fun () ->
+        let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+        check_bool "resamples < 2" true
+          (raises (fun () ->
+               Significance.bootstrap_gaps ~instances:5 ~resamples:1 ~d:1 ~mu:5 ()));
+        check_bool "confidence = 1" true
+          (raises (fun () ->
+               Significance.bootstrap_gaps ~instances:5 ~confidence:1.0 ~d:1 ~mu:5 ())));
+    Alcotest.test_case "bootstrap render shows the interval" `Quick (fun () ->
+        let rows =
+          Significance.bootstrap_gaps ~instances:8 ~seed:2 ~resamples:100 ~d:1
+            ~mu:10 ()
+        in
+        let text = Significance.render_bootstrap rows in
+        check_bool "header" true (contains_sub text "CI");
+        check_bool "baseline" true (contains_sub text "mtf"));
   ]
 
 let sample_tests =
@@ -352,6 +463,21 @@ let worst_case_tests =
         let r = Worst_case_search.search ~policy:"mtf" config in
         check_bool "text" true
           (contains_sub (Worst_case_search.render ~policy:"mtf" r) "worst ratio"));
+    Alcotest.test_case "search_many equals the searches run alone" `Quick
+      (fun () ->
+        let config =
+          { Worst_case_search.default with Worst_case_search.steps = 40; seed = 6 }
+        in
+        let cases = [ ("ff", config); ("nf", config); ("mtf", config) ] in
+        let many = Worst_case_search.search_many ~jobs:3 cases in
+        check_int "cases" 3 (List.length many);
+        List.iter2
+          (fun (policy, config) (policy', r) ->
+            Alcotest.(check string) "input order kept" policy policy';
+            let alone = Worst_case_search.search ~policy config in
+            Alcotest.(check (float 0.0)) "same ratio" alone.Worst_case_search.ratio
+              r.Worst_case_search.ratio)
+          cases many);
   ]
 
 let suites =

@@ -3,7 +3,7 @@
 
 let () =
   Alcotest.run "dvbp"
-    (Test_prelude.suites @ Test_vec.suites @ Test_interval.suites
+    (Test_prelude.suites @ Test_parallel.suites @ Test_vec.suites @ Test_interval.suites
    @ Test_stats.suites @ Test_core.suites @ Test_engine.suites
    @ Test_lowerbound.suites @ Test_workload.suites @ Test_adversary.suites
    @ Test_registry.suites @ Test_analysis.suites @ Test_report.suites

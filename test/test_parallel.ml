@@ -1,0 +1,125 @@
+(* Tests for the multicore execution layer: pool lifecycle (lazy spawn,
+   reuse across calls, clamping, shutdown), exception propagation out of
+   worker domains, and the determinism contract of the combinators —
+   results must be a pure function of the inputs, independent of the
+   number of domains. *)
+
+open Dvbp_parallel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+exception Boom of int
+
+let pool_tests =
+  [
+    Alcotest.test_case "size clamps to >= 1 and spawn is lazy" `Quick (fun () ->
+        let p = Domain_pool.create ~jobs:0 () in
+        check_int "clamped" 1 (Domain_pool.jobs p);
+        check_int "no workers" 0 (Domain_pool.spawned p);
+        let p = Domain_pool.create ~jobs:(-3) () in
+        check_int "clamped negative" 1 (Domain_pool.jobs p);
+        let p = Domain_pool.create ~jobs:3 () in
+        check_int "target" 3 (Domain_pool.jobs p);
+        (* nothing spawned until a parallel run actually happens *)
+        check_int "lazy" 0 (Domain_pool.spawned p);
+        Domain_pool.shutdown p);
+    Alcotest.test_case "workers are spawned once and reused across runs" `Quick
+      (fun () ->
+        let p = Domain_pool.create ~jobs:3 () in
+        let hits = Atomic.make 0 in
+        for _ = 1 to 5 do
+          Domain_pool.run p (fun () -> Atomic.incr hits)
+        done;
+        check_int "every member ran each time" 15 (Atomic.get hits);
+        check_int "spawned exactly target-1 workers" 2 (Domain_pool.spawned p);
+        (* a bigger one-off request grows the pool, again only once *)
+        Domain_pool.run ~jobs:4 p (fun () -> ());
+        Domain_pool.run ~jobs:4 p (fun () -> ());
+        check_int "grown once" 3 (Domain_pool.spawned p);
+        Domain_pool.shutdown p);
+    Alcotest.test_case "size-1 pool runs inline without domains" `Quick (fun () ->
+        let p = Domain_pool.create ~jobs:1 () in
+        let self_hits = ref 0 in
+        Domain_pool.run p (fun () -> incr self_hits);
+        check_int "ran once, in the caller" 1 !self_hits;
+        check_int "no domains" 0 (Domain_pool.spawned p);
+        Domain_pool.shutdown p);
+    Alcotest.test_case "worker exception propagates to the caller" `Quick
+      (fun () ->
+        let p = Domain_pool.create ~jobs:4 () in
+        let raised =
+          try
+            Parallel.chunked_for ~pool:p ~n:64 (fun i ->
+                if i = 13 then raise (Boom i));
+            None
+          with Boom i -> Some i
+        in
+        Alcotest.(check (option int)) "Boom surfaced" (Some 13) raised;
+        (* the pool survives a failed run *)
+        let ok = Atomic.make 0 in
+        Parallel.chunked_for ~pool:p ~n:10 (fun _ -> Atomic.incr ok);
+        check_int "pool usable after failure" 10 (Atomic.get ok);
+        Domain_pool.shutdown p);
+    Alcotest.test_case "shutdown joins and further use is rejected" `Quick
+      (fun () ->
+        let p = Domain_pool.create ~jobs:2 () in
+        Domain_pool.run p (fun () -> ());
+        Domain_pool.shutdown p;
+        Domain_pool.shutdown p;
+        (* idempotent *)
+        check_bool "run after shutdown raises" true
+          (try
+             Domain_pool.run p (fun () -> ());
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "DVBP_JOBS-style validation" `Quick (fun () ->
+        (* default_jobs reads the environment; we only pin that whatever it
+           returns is a sane size, since the test environment owns the var *)
+        check_bool "default >= 1" true (Domain_pool.default_jobs () >= 1));
+  ]
+
+let combinator_tests =
+  [
+    Alcotest.test_case "chunked_for covers every index exactly once" `Quick
+      (fun () ->
+        let p = Domain_pool.create ~jobs:4 () in
+        let n = 1003 in
+        let marks = Array.make n 0 in
+        (* distinct slots: no two tasks share an index, so no atomics needed *)
+        Parallel.chunked_for ~pool:p ~chunk:7 ~n (fun i -> marks.(i) <- marks.(i) + 1);
+        Array.iteri (fun i m -> check_int (Printf.sprintf "index %d" i) 1 m) marks;
+        Domain_pool.shutdown p);
+    Alcotest.test_case "chunked_for rejects bad arguments" `Quick (fun () ->
+        check_bool "negative n" true
+          (try Parallel.chunked_for ~n:(-1) (fun _ -> ()); false
+           with Invalid_argument _ -> true);
+        check_bool "chunk < 1" true
+          (try Parallel.chunked_for ~chunk:0 ~n:3 (fun _ -> ()); false
+           with Invalid_argument _ -> true);
+        (* n = 0 is a no-op, not an error *)
+        Parallel.chunked_for ~n:0 (fun _ -> Alcotest.fail "body on empty range"));
+    Alcotest.test_case "map_array applies f exactly once per element" `Quick
+      (fun () ->
+        let p = Domain_pool.create ~jobs:3 () in
+        let calls = Atomic.make 0 in
+        let out =
+          Parallel.map_array ~pool:p
+            (fun x -> Atomic.incr calls; x * x)
+            (Array.init 100 Fun.id)
+        in
+        check_int "calls" 100 (Atomic.get calls);
+        Alcotest.(check (array int)) "values" (Array.init 100 (fun i -> i * i)) out;
+        Domain_pool.shutdown p);
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"map_array equals Array.map for any size and jobs"
+         ~count:60
+         QCheck2.Gen.(pair (int_range 0 200) (int_range 1 5))
+         (fun (n, jobs) ->
+           let a = Array.init n (fun i -> (31 * i) + n) in
+           let f x = (x * x) - (3 * x) in
+           Parallel.map_array ~jobs f a = Array.map f a));
+  ]
+
+let suites =
+  [ ("parallel.pool", pool_tests); ("parallel.combinators", combinator_tests) ]

@@ -127,6 +127,37 @@ let rng_tests =
         let xs = List.init 10 (fun _ -> Rng.int c1 1000) in
         let ys = List.init 10 (fun _ -> Rng.int c2 1000) in
         check_bool "differ" true (xs <> ys));
+    Alcotest.test_case "consuming one child never perturbs a sibling" `Quick
+      (fun () ->
+        (* the determinism contract of the parallel runner: instance i's
+           stream depends only on the derivation path, not on how much any
+           other instance has consumed *)
+        let a = Rng.create ~seed:42 in
+        let c1 = Rng.split a ~key:1 in
+        for _ = 1 to 1000 do
+          ignore (Rng.int c1 1000)
+        done;
+        let c2 = Rng.split a ~key:2 in
+        let b = Rng.create ~seed:42 in
+        let c2' = Rng.split b ~key:2 in
+        let xs = List.init 10 (fun _ -> Rng.int c2 1000) in
+        let ys = List.init 10 (fun _ -> Rng.int c2' 1000) in
+        Alcotest.(check (list int)) "sibling unaffected" xs ys);
+    Alcotest.test_case "splits off a shared parent are domain-safe" `Quick
+      (fun () ->
+        (* split only reads the parent's immutable path, so concurrent
+           splits from worker domains equal their sequential counterparts *)
+        let a = Rng.create ~seed:42 in
+        let draw key =
+          let c = Rng.split a ~key in
+          List.init 5 (fun _ -> Rng.int c 1000)
+        in
+        let expected = List.init 8 draw in
+        let ds = List.init 8 (fun key -> Domain.spawn (fun () -> draw key)) in
+        let got = List.map Domain.join ds in
+        List.iter2
+          (fun xs ys -> Alcotest.(check (list int)) "same stream" xs ys)
+          expected got);
     Alcotest.test_case "int_incl bounds" `Quick (fun () ->
         let r = Rng.create ~seed:3 in
         for _ = 1 to 200 do
