@@ -438,9 +438,35 @@ let run_json path =
   let sweep_seconds =
     match seconds_of cores with Some s -> s | None -> nan
   in
+  (* service loadgen: the full serialise -> pipe -> place -> journal -> reply
+     round trip, with and without the WAL, on a Table 2 workload *)
+  let lg_instance =
+    W.Uniform_model.generate (W.Uniform_model.table2 ~d:2 ~mu:100)
+      ~rng:(Rng.create ~seed:5)
+  in
+  let lg_run ?journal () =
+    let tmp = Option.map (fun _ -> Filename.temp_file "dvbp_bench" ".journal") journal in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Sys.remove tmp)
+      (fun () ->
+        match
+          Dvbp_service.Loadgen.run ~policy:"mtf" ~seed:3 ?journal:tmp
+            ~fsync_every:64 lg_instance
+        with
+        | Ok report -> report
+        | Error e ->
+            prerr_endline ("FATAL: loadgen bench failed: " ^ e);
+            exit 1)
+  in
+  let lg_journaled = lg_run ~journal:true () in
+  let lg_bare = lg_run () in
+  Printf.eprintf "bench loadgen journaled  %12.0f events/sec\n%!"
+    lg_journaled.Dvbp_service.Loadgen.events_per_sec;
+  Printf.eprintf "bench loadgen bare       %12.0f events/sec\n%!"
+    lg_bare.Dvbp_service.Loadgen.events_per_sec;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"label\": \"pr2\",\n";
+  Buffer.add_string buf "  \"label\": \"pr3\",\n";
   Buffer.add_string buf "  \"generated_by\": \"bench/main.ml --json\",\n";
   Buffer.add_string buf
     "  \"workload\": { \"model\": \"uniform (Table 2)\", \"n_items\": 1000, \"span\": 1000, \"bin_size\": 100, \"record_trace\": false },\n";
@@ -476,7 +502,22 @@ let run_json path =
     (Printf.sprintf "    \"speedup_jobs4_vs_1\": %.3f,\n" speedup);
   Buffer.add_string buf
     (Printf.sprintf "    \"identical_across_jobs\": %b\n" identical);
-  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "  },\n";
+  let lg_json name (r : Dvbp_service.Loadgen.report) =
+    Printf.sprintf
+      "    %S: { \"events\": %d, \"events_per_sec\": %.1f, \
+       \"latency_mean_us\": %.1f, \"latency_max_us\": %.1f }"
+      name r.Dvbp_service.Loadgen.events r.Dvbp_service.Loadgen.events_per_sec
+      (Dvbp_stats.Running.mean r.Dvbp_service.Loadgen.latency_us)
+      (Dvbp_stats.Running.max_value r.Dvbp_service.Loadgen.latency_us)
+  in
+  Buffer.add_string buf "  \"service_loadgen\": {\n";
+  Buffer.add_string buf
+    "    \"workload\": \"uniform table2 d=2 mu=100 (n=1000)\", \"policy\": \"mtf\", \"fsync_every\": 64,\n";
+  Buffer.add_string buf (lg_json "journaled" lg_journaled);
+  Buffer.add_string buf ",\n";
+  Buffer.add_string buf (lg_json "no_journal" lg_bare);
+  Buffer.add_string buf "\n  }\n";
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -508,7 +549,7 @@ let () =
         let path, rest =
           match rest with
           | p :: rest' when not (String.length p > 0 && p.[0] = '-') -> (p, rest')
-          | _ -> ("BENCH_pr2.json", rest)
+          | _ -> ("BENCH_pr3.json", rest)
         in
         parse ~json:(Some path) ~jobs rest
     | arg :: _ -> fail (Printf.sprintf "unknown argument %S" arg)

@@ -8,7 +8,10 @@
      figures   regenerate Figures 1-3 from live runs
      adversary build and execute one lower-bound gadget
      describe  summary statistics of a workload or trace
-     opt       exact optimal cost of a (small) CSV trace *)
+     opt       exact optimal cost of a (small) CSV trace
+     serve     durable online placement service (line protocol on stdio)
+     recover   rebuild + verify service state from journal/snapshot
+     loadgen   replay a workload against a live server, report throughput *)
 
 open Cmdliner
 module Rng = Dvbp_prelude.Rng
@@ -225,11 +228,124 @@ let opt_cmd =
   Cmd.v (Cmd.info "opt" ~doc:"Lower bounds and exact OPT of a CSV trace")
     Term.(const action $ trace_pos)
 
+(* ---------- serve / recover / loadgen ---------- *)
+
+let capacity_arg =
+  Arg.(value & opt string "100,100"
+       & info [ "capacity" ] ~docv:"C1,..,CD"
+           ~doc:"Bin capacity vector, comma-separated positive integers.")
+
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE" ~doc:"Append-only event journal (WAL).")
+
+let snapshot_arg =
+  Arg.(value & opt (some string) None
+       & info [ "snapshot" ] ~docv:"FILE" ~doc:"Snapshot (checkpoint) file.")
+
+let snapshot_every_arg =
+  Arg.(value & opt (some int) None
+       & info [ "snapshot-every" ] ~docv:"N"
+           ~doc:"Auto-snapshot (and truncate the journal) every N applied events.")
+
+let fsync_every_arg =
+  Arg.(value & opt int 64
+       & info [ "fsync-every" ] ~docv:"N"
+           ~doc:"Journal fsync batch size (1 = fsync every record).")
+
+let serve_cmd =
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Recover from an existing journal/snapshot before serving \
+                   (a fresh journal is started otherwise).")
+  in
+  let action policy seed capacity journal snapshot snapshot_every fsync_every resume =
+    match
+      Cli.Service_cli.serve
+        { Cli.Service_cli.policy; seed; capacity; journal; snapshot;
+          snapshot_every; fsync_every; resume }
+        stdin stdout
+    with
+    | Ok () -> 0
+    | Error e -> prerr_endline e; 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Durable online placement service: ARRIVE/DEPART line protocol on stdio")
+    Term.(const action $ policy_arg $ seed_arg $ capacity_arg $ journal_arg
+          $ snapshot_arg $ snapshot_every_arg $ fsync_every_arg $ resume_arg)
+
+let recover_cmd =
+  let journal_pos =
+    Arg.(required & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE" ~doc:"Journal to recover from.")
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Verification is always performed (every recorded placement is \
+                   recomputed and compared); the flag is accepted for explicit \
+                   pipelines.")
+  in
+  let action journal snapshot _verify =
+    match Cli.Service_cli.recover ~journal ~snapshot with
+    | Ok rendered -> print_string rendered; 0
+    | Error e -> prerr_endline e; 1
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Rebuild service state from journal + snapshot, verifying every placement")
+    Term.(const action $ journal_pos $ snapshot_arg $ verify_arg)
+
+let loadgen_cmd =
+  let emit_arg =
+    Arg.(value & flag
+         & info [ "emit" ]
+             ~doc:"Print the protocol request script instead of driving a server.")
+  in
+  let policy_seed_arg =
+    Arg.(value & opt int 42
+         & info [ "policy-seed" ] ~docv:"INT"
+             ~doc:"Policy rng seed (workload generation uses --seed).")
+  in
+  let action workload trace d mu n rho seed policy policy_seed journal snapshot
+      snapshot_every emit =
+    let source = { Cli.Workload_select.workload; trace; d; mu; n; rho; seed } in
+    match
+      Cli.Service_cli.loadgen
+        { Cli.Service_cli.source; lg_policy = policy; lg_seed = policy_seed;
+          lg_journal = journal; lg_snapshot = snapshot;
+          lg_snapshot_every = snapshot_every; emit }
+    with
+    | Ok out -> print_string out; 0
+    | Error e -> prerr_endline e; 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Replay a workload through the protocol against a live server")
+    Term.(const action $ workload_arg $ trace_arg $ d_arg $ mu_arg $ n_arg
+          $ rho_arg $ seed_arg $ policy_arg $ policy_seed_arg $ journal_arg
+          $ snapshot_arg $ snapshot_every_arg $ emit_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dvbp" ~version:"1.0.0"
        ~doc:"MinUsageTime Dynamic Vector Bin Packing — simulator and experiments")
     [ run_cmd; figure4_cmd; table1_cmd; table2_cmd; figures_cmd; adversary_cmd;
-      describe_cmd; opt_cmd ]
+      describe_cmd; opt_cmd; serve_cmd; recover_cmd; loadgen_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* Error-path hardening: whatever escapes a subcommand becomes one line on
+   stderr and a non-zero exit, never a raw backtrace. *)
+let () =
+  match Cmd.eval' main_cmd with
+  | code -> exit code
+  | exception Invalid_argument msg | exception Failure msg | exception Sys_error msg ->
+      Printf.eprintf "dvbp: %s\n" msg;
+      exit 2
+  | exception Dvbp_engine.Session.Session_error msg ->
+      Printf.eprintf "dvbp: session error: %s\n" msg;
+      exit 2
+  | exception exn ->
+      Printf.eprintf "dvbp: %s\n" (Printexc.to_string exn);
+      exit 2

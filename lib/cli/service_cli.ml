@@ -1,0 +1,92 @@
+module Vec = Dvbp_vec.Vec
+module Service = Dvbp_service
+
+let ( let* ) = Result.bind
+
+let parse_capacity s =
+  let fields = String.split_on_char ',' (String.trim s) in
+  let rec go = function
+    | [] -> Ok []
+    | f :: rest -> (
+        match int_of_string_opt (String.trim f) with
+        | Some x when x > 0 ->
+            let* xs = go rest in
+            Ok (x :: xs)
+        | Some x -> Error (Printf.sprintf "capacity entries must be positive, got %d" x)
+        | None -> Error (Printf.sprintf "bad capacity entry %S" f))
+  in
+  match go fields with
+  | Error _ as e -> e
+  | Ok [] -> Error "empty capacity"
+  | Ok cs -> Ok (Vec.of_list cs)
+
+type serve_opts = {
+  policy : string;
+  seed : int;
+  capacity : string;
+  journal : string option;
+  snapshot : string option;
+  snapshot_every : int option;
+  fsync_every : int;
+  resume : bool;
+}
+
+let server_config (o : serve_opts) =
+  let* capacity =
+    Result.map_error (fun e -> "--capacity: " ^ e) (parse_capacity o.capacity)
+  in
+  Ok
+    {
+      Service.Server.policy = o.policy;
+      seed = o.seed;
+      capacity;
+      journal = o.journal;
+      snapshot = o.snapshot;
+      snapshot_every = o.snapshot_every;
+      fsync_every = o.fsync_every;
+    }
+
+let journal_has_content = Option.fold ~none:false ~some:Sys.file_exists
+
+let serve (o : serve_opts) ic oc =
+  let* config = server_config o in
+  let* server =
+    if o.resume && journal_has_content o.journal then
+      let journal = Option.get o.journal in
+      let* state = Service.Recovery.recover ?snapshot:o.snapshot ~journal () in
+      Service.Server.resume config state
+    else if o.resume && o.journal = None then
+      Error "--resume requires --journal"
+    else Service.Server.create config
+  in
+  Service.Server.serve server ic oc;
+  Ok ()
+
+let recover ~journal ~snapshot =
+  let* () =
+    if Sys.file_exists journal then Ok ()
+    else Error (Printf.sprintf "journal %s does not exist" journal)
+  in
+  let* state = Service.Recovery.recover ?snapshot ~journal () in
+  Ok (Service.Recovery.render state)
+
+type loadgen_opts = {
+  source : Workload_select.source;
+  lg_policy : string;
+  lg_seed : int;
+  lg_journal : string option;
+  lg_snapshot : string option;
+  lg_snapshot_every : int option;
+  emit : bool;
+}
+
+let loadgen (o : loadgen_opts) =
+  let* instance = Workload_select.build o.source in
+  if o.emit then Ok (String.concat "\n" (Service.Loadgen.script instance) ^ "\n")
+  else
+    let* report =
+      Service.Loadgen.run ~policy:o.lg_policy ~seed:o.lg_seed
+        ?journal:o.lg_journal ?snapshot:o.lg_snapshot
+        ?snapshot_every:o.lg_snapshot_every instance
+    in
+    Ok (Service.Loadgen.render report)

@@ -1,0 +1,46 @@
+(** CLI glue for the durable placement service: [dvbp serve] / [dvbp
+    recover] / [dvbp loadgen].
+
+    Kept in the library (rather than the binary) so that every error path —
+    malformed capacity strings, bad flag values, missing journals — is unit
+    testable: each action returns [Error msg] instead of printing and
+    exiting, and the binary maps that to a one-line stderr message and a
+    non-zero exit. *)
+
+val parse_capacity : string -> (Dvbp_vec.Vec.t, string) result
+(** Parses ["100,100"]-style capacity vectors: one or more comma-separated
+    strictly positive integers. *)
+
+type serve_opts = {
+  policy : string;
+  seed : int;
+  capacity : string;  (** unparsed, e.g. ["100,100"] *)
+  journal : string option;
+  snapshot : string option;
+  snapshot_every : int option;
+  fsync_every : int;
+  resume : bool;  (** recover from the journal first, then keep serving *)
+}
+
+val serve : serve_opts -> in_channel -> out_channel -> (unit, string) result
+(** Runs the blocking request loop until QUIT/EOF. With [resume], an
+    existing journal (plus snapshot, if present) is recovered and served
+    from; without it the journal is started fresh. *)
+
+val recover : journal:string -> snapshot:string option -> (string, string) result
+(** Recovers and verifies (placement-by-placement — see {!Dvbp_service.Recovery});
+    returns the rendered state summary. *)
+
+type loadgen_opts = {
+  source : Workload_select.source;  (** what to replay *)
+  lg_policy : string;
+  lg_seed : int;  (** policy rng seed (workload generation uses [source.seed]) *)
+  lg_journal : string option;
+  lg_snapshot : string option;
+  lg_snapshot_every : int option;
+  emit : bool;  (** print the protocol script instead of driving a server *)
+}
+
+val loadgen : loadgen_opts -> (string, string) result
+(** Either the protocol script ([emit]) or the throughput/latency report of
+    a live run against an in-process server. *)

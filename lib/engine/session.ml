@@ -66,13 +66,34 @@ let create ?(record_trace = true) ?(expected_items = 64) ~capacity ~policy () =
 
 let now t = t.clock.time
 
-let advance t at =
-  if t.finished then error "session already finished";
-  if not (Float.is_finite at) then error "non-finite timestamp %g" at;
+(* [kind]/[item] name the offending event in time errors so they are
+   diagnosable from a journal replay. Both are immediates ([item] is [-1]
+   when the arrival's id is not yet assigned): passing them never allocates,
+   and the message is only built on the failure path. *)
+let who kind item =
+  let k =
+    match kind with 'a' -> "arrival" | 'd' -> "departure" | _ -> "finish"
+  in
+  if item < 0 then Printf.sprintf "%s" k else Printf.sprintf "%s of item %d" k item
+
+(* Validation and commit are split so that a refused event (the service's
+   REJECT-and-keep-serving path) leaves the session — clock included —
+   exactly as it was: refused events are not journaled, so any state they
+   left behind would diverge from a journal replay. *)
+let check_advance t at ~kind ~item =
+  if t.finished then error "%s at %g: session already finished" (who kind item) at;
+  if not (Float.is_finite at) then
+    error "%s: non-finite timestamp %g" (who kind item) at;
   if t.started && at < t.clock.time then
-    error "time went backwards: %g after %g" at t.clock.time;
+    error "%s: time went backwards: %g after %g" (who kind item) at t.clock.time
+
+let commit_advance t at =
   t.clock.time <- at;
   t.started <- true
+
+let advance t at ~kind ~item =
+  check_advance t at ~kind ~item;
+  commit_advance t at
 
 let next_touch t =
   t.touch <- t.touch + 1;
@@ -90,40 +111,57 @@ let open_fresh t ~at =
   b
 
 let arrive t ~at ?id ?departure ~size () =
-  advance t at;
+  let given_id = match id with Some i -> i | None -> -1 in
+  check_advance t at ~kind:'a' ~item:given_id;
   if Vec.dim size <> Vec.dim t.capacity then
-    error "item dimension %d does not match capacity dimension %d" (Vec.dim size)
-      (Vec.dim t.capacity);
+    error "arrival%s at %g: item dimension %d does not match capacity dimension %d"
+      (if given_id < 0 then "" else Printf.sprintf " of item %d" given_id)
+      at (Vec.dim size) (Vec.dim t.capacity);
   if not (Vec.le size t.capacity) then
-    error "item %s exceeds the bin capacity %s" (Vec.to_string size)
+    error "arrival%s at %g: item size %s exceeds the bin capacity %s"
+      (if given_id < 0 then "" else Printf.sprintf " of item %d" given_id)
+      at (Vec.to_string size)
       (Vec.to_string t.capacity);
   (match departure with
-  | Some dep when dep <= at -> error "clairvoyant departure %g not after arrival %g" dep at
+  | Some dep when dep <= at ->
+      error "arrival%s at %g: clairvoyant departure %g not after arrival"
+        (if given_id < 0 then "" else Printf.sprintf " of item %d" given_id)
+        at dep
   | Some _ | None -> ());
+  (* id validation must precede bin selection: a rejected arrival must leave
+     the session untouched (the service replies REJECT and keeps serving),
+     and selection may open a fresh bin *)
+  (match id with
+  | Some id ->
+      if id < 0 then error "arrival at %g: negative item id %d" at id;
+      if Int_table.mem t.items id then error "arrival at %g: duplicate item id %d" at id
+  | None -> ());
+  commit_advance t at;
   let view = { Policy.size; arrival = at; departure } in
   let target, opened_new_bin =
     match t.policy.Policy.select ~item:view ~open_bins:t.open_bins with
     | Policy.Existing b ->
         if not (Bin.is_open b) then
-          error "policy %s selected closed bin %d" t.policy.Policy.name b.Bin.id;
+          error "arrival%s at %g: policy %s selected closed bin %d"
+            (if given_id < 0 then "" else Printf.sprintf " of item %d" given_id)
+            at t.policy.Policy.name b.Bin.id;
         if not (Bin.fits b size) then
-          error "policy %s selected bin %d, where the item does not fit"
-            t.policy.Policy.name b.Bin.id;
+          error "arrival%s at %g: policy %s selected bin %d, where the item does not fit"
+            (if given_id < 0 then "" else Printf.sprintf " of item %d" given_id)
+            at t.policy.Policy.name b.Bin.id;
         (b, false)
     | Policy.Fresh ->
         if t.policy.Policy.strict_any_fit
            && Bin_registry.exists_fitting t.open_bins size
         then
-          error "policy %s opened a fresh bin although an open bin fits"
-            t.policy.Policy.name;
+          error "arrival%s at %g: policy %s opened a fresh bin although an open bin fits"
+            (if given_id < 0 then "" else Printf.sprintf " of item %d" given_id)
+            at t.policy.Policy.name;
         (open_fresh t ~at, true)
   in
   let item_id =
     match id with
-    | Some id ->
-        if id < 0 then error "negative item id %d" id;
-        if Int_table.mem t.items id then error "duplicate item id %d" id;
-        id
+    | Some id -> id
     | None ->
         (* skip over any ids the caller has claimed explicitly *)
         while Int_table.mem t.items t.next_item do
@@ -144,18 +182,20 @@ let arrive t ~at ?id ?departure ~size () =
   { item_id; bin_id = target.Bin.id; opened_new_bin }
 
 let depart t ~at ~item_id =
-  advance t at;
+  check_advance t at ~kind:'d' ~item:item_id;
   let state =
     match Int_table.find t.items item_id with
     | s -> s
-    | exception Not_found -> error "unknown item id %d" item_id
+    | exception Not_found -> error "departure at %g: unknown item id %d" at item_id
   in
   (match state.departed_at with
-  | Some earlier -> error "item %d already departed at %g" item_id earlier
+  | Some earlier ->
+      error "departure at %g: item %d already departed at %g" at item_id earlier
   | None -> ());
   if at <= state.item.Item.arrival then
-    error "item %d cannot depart at %g, it arrived at %g" item_id at
+    error "departure at %g: item %d cannot depart, it arrived at %g" at item_id
       state.item.Item.arrival;
+  commit_advance t at;
   state.departed_at <- Some at;
   Bin.remove state.bin state.item;
   emit t (Trace.Departed { time = at; item_id; bin_id = state.bin.Bin.id });
@@ -196,7 +236,7 @@ let finish t ~at =
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   List.iter (fun (id, _) -> depart t ~at ~item_id:id) still_active;
-  advance t at;
+  advance t at ~kind:'f' ~item:(-1);
   t.finished <- true;
   let final_item id =
     let s = Int_table.find t.items id in

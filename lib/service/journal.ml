@@ -1,0 +1,380 @@
+module Vec = Dvbp_vec.Vec
+
+let magic = "# dvbp-journal v1"
+
+type header = { policy : string; seed : int; capacity : Vec.t; base : int }
+
+type event =
+  | Arrive of {
+      time : float;
+      item_id : int;
+      size : Vec.t;
+      bin_id : int;
+      opened_new_bin : bool;
+    }
+  | Depart of { time : float; item_id : int }
+
+let event_time = function Arrive { time; _ } | Depart { time; _ } -> time
+let event_item = function Arrive { item_id; _ } | Depart { item_id; _ } -> item_id
+
+let equal_event a b =
+  match (a, b) with
+  | Arrive a, Arrive b ->
+      a.time = b.time && a.item_id = b.item_id && Vec.equal a.size b.size
+      && a.bin_id = b.bin_id && a.opened_new_bin = b.opened_new_bin
+  | Depart a, Depart b -> a.time = b.time && a.item_id = b.item_id
+  | Arrive _, Depart _ | Depart _, Arrive _ -> false
+
+let pp_event ppf = function
+  | Arrive { time; item_id; size; bin_id; opened_new_bin } ->
+      Format.fprintf ppf "arrive t=%g item=%d size=%a -> bin %d%s" time item_id
+        Vec.pp size bin_id
+        (if opened_new_bin then " (new)" else "")
+  | Depart { time; item_id } -> Format.fprintf ppf "depart t=%g item=%d" time item_id
+
+(* ---------- record codec ---------- *)
+
+(* 16-bit rolling checksum over the record body: enough to tell a torn
+   final record from a complete one (a truncated prefix that still passes
+   both the syntax check and the checksum is a 1-in-65536 coincidence per
+   crash, vs certainty of misparse for records whose prefix is valid). *)
+let checksum body =
+  String.fold_left (fun acc c -> ((acc * 31) + Char.code c) land 0xffff) 0 body
+
+let with_sum body = Printf.sprintf "%s,~%04x" body (checksum body)
+
+let encode_event = function
+  | Arrive { time; item_id; size; bin_id; opened_new_bin } ->
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf
+        (Printf.sprintf "arrive,%.17g,%d,%d,%d" time item_id bin_id
+           (if opened_new_bin then 1 else 0));
+      Array.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf ",%d" s))
+        (Vec.to_array size);
+      with_sum (Buffer.contents buf)
+  | Depart { time; item_id } -> with_sum (Printf.sprintf "depart,%.17g,%d" time item_id)
+
+let ( let* ) = Result.bind
+
+let parse_int what s =
+  match int_of_string_opt (String.trim s) with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "bad %s %S" what s)
+
+let parse_float what s =
+  match float_of_string_opt (String.trim s) with
+  | Some x when Float.is_finite x -> Ok x
+  | Some _ | None -> Error (Printf.sprintf "bad %s %S" what s)
+
+let rec collect_ints what = function
+  | [] -> Ok []
+  | s :: rest ->
+      let* x = parse_int what s in
+      let* xs = collect_ints what rest in
+      Ok (x :: xs)
+
+let split_checksum line =
+  match String.rindex_opt line ',' with
+  | Some i
+    when i + 1 < String.length line
+         && line.[i + 1] = '~'
+         && String.length line - i - 2 = 4 -> (
+      let body = String.sub line 0 i in
+      let hex = String.sub line (i + 2) 4 in
+      match int_of_string_opt ("0x" ^ hex) with
+      | Some sum when sum = checksum body -> Ok body
+      | Some _ -> Error "checksum mismatch"
+      | None -> Error (Printf.sprintf "bad checksum field %S" hex))
+  | _ -> Error "missing checksum field"
+
+let decode_event line =
+  let* body = split_checksum line in
+  match String.split_on_char ',' body with
+  | "arrive" :: time :: item :: bin :: fresh :: sizes -> (
+      let* time = parse_float "arrival time" time in
+      let* item_id = parse_int "item id" item in
+      let* bin_id = parse_int "bin id" bin in
+      let* fresh = parse_int "opened-new-bin flag" fresh in
+      let* opened_new_bin =
+        match fresh with
+        | 0 -> Ok false
+        | 1 -> Ok true
+        | n -> Error (Printf.sprintf "opened-new-bin flag must be 0 or 1, got %d" n)
+      in
+      let* sizes = collect_ints "size entry" sizes in
+      match sizes with
+      | [] -> Error "arrive record with no size"
+      | _ ->
+          if List.exists (fun s -> s < 0) sizes then Error "negative size"
+          else Ok (Arrive { time; item_id; size = Vec.of_list sizes; bin_id; opened_new_bin }))
+  | "depart" :: time :: item :: [] ->
+      let* time = parse_float "departure time" time in
+      let* item_id = parse_int "item id" item in
+      Ok (Depart { time; item_id })
+  | kind :: _ -> Error (Printf.sprintf "unrecognised record kind %S" kind)
+  | [] -> Error "empty record"
+
+(* ---------- reading ---------- *)
+
+type read = { header : header; events : event list; dropped_torn : bool }
+
+let header_string h =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "policy,%s\n" h.policy);
+  Buffer.add_string buf (Printf.sprintf "seed,%d\n" h.seed);
+  Buffer.add_string buf "capacity";
+  Array.iter (fun c -> Buffer.add_string buf (Printf.sprintf ",%d" c)) (Vec.to_array h.capacity);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "base,%d\n" h.base);
+  Buffer.contents buf
+
+type partial_header = {
+  mutable p_policy : string option;
+  mutable p_seed : int option;
+  mutable p_capacity : Vec.t option;
+  mutable p_base : int option;
+}
+
+let finish_header p =
+  match (p.p_policy, p.p_seed, p.p_capacity, p.p_base) with
+  | Some policy, Some seed, Some capacity, Some base ->
+      if base < 0 then Error "negative base" else Ok { policy; seed; capacity; base }
+  | None, _, _, _ -> Error "incomplete header: missing policy row"
+  | _, None, _, _ -> Error "incomplete header: missing seed row"
+  | _, _, None, _ -> Error "incomplete header: missing capacity row"
+  | _, _, _, None -> Error "incomplete header: missing base row"
+
+let header_row ~line p trimmed =
+  let dup what = Error (Printf.sprintf "line %d: duplicate %s row" line what) in
+  match String.split_on_char ',' trimmed with
+  | "policy" :: [ name ] ->
+      if p.p_policy <> None then dup "policy"
+      else if String.trim name = "" then Error (Printf.sprintf "line %d: empty policy" line)
+      else (p.p_policy <- Some (String.trim name); Ok ())
+  | "seed" :: [ s ] ->
+      if p.p_seed <> None then dup "seed"
+      else
+        let* seed = Result.map_error (Printf.sprintf "line %d: %s" line) (parse_int "seed" s) in
+        p.p_seed <- Some seed;
+        Ok ()
+  | "capacity" :: fields -> (
+      if p.p_capacity <> None then dup "capacity"
+      else
+        let* cs =
+          Result.map_error (Printf.sprintf "line %d: %s" line)
+            (collect_ints "capacity entry" fields)
+        in
+        match cs with
+        | [] -> Error (Printf.sprintf "line %d: empty capacity" line)
+        | _ ->
+            if List.exists (fun c -> c <= 0) cs then
+              Error (Printf.sprintf "line %d: non-positive capacity" line)
+            else (p.p_capacity <- Some (Vec.of_list cs); Ok ()))
+  | "base" :: [ s ] ->
+      if p.p_base <> None then dup "base"
+      else
+        let* base = Result.map_error (Printf.sprintf "line %d: %s" line) (parse_int "base" s) in
+        p.p_base <- Some base;
+        Ok ()
+  | _ -> Error (Printf.sprintf "line %d: unrecognised header row %S" line trimmed)
+
+let is_record trimmed =
+  String.length trimmed >= 7
+  && (String.sub trimmed 0 7 = "arrive," || String.sub trimmed 0 7 = "depart,")
+
+let of_string text =
+  if String.trim text = "" then Error "empty journal"
+  else begin
+    let terminated = text.[String.length text - 1] = '\n' in
+    let lines = String.split_on_char '\n' text in
+    (* a terminated file splits into a final "" pseudo-line: drop it *)
+    let lines =
+      if terminated then
+        match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+      else lines
+    in
+    let p = { p_policy = None; p_seed = None; p_capacity = None; p_base = None } in
+    (* The final line of an unterminated file is a torn-write candidate: if
+       it fails to parse it is dropped (the crash interrupted the append),
+       never reported as corruption. Everywhere else, failures are hard. *)
+    let rec go line ~events = function
+      | [] ->
+          let* header = finish_header p in
+          Ok { header; events = List.rev events; dropped_torn = false }
+      | raw :: rest -> (
+          let torn_candidate = rest = [] && not terminated in
+          let trimmed = String.trim raw in
+          let tear_or error =
+            if torn_candidate then
+              let* header = finish_header p in
+              Ok { header; events = List.rev events; dropped_torn = true }
+            else error ()
+          in
+          if line = 1 then
+            if trimmed = magic then go 2 ~events rest
+            else Error (Printf.sprintf "line 1: expected %S, got %S" magic trimmed)
+          else if trimmed = "" || trimmed.[0] = '#' then go (line + 1) ~events rest
+          else if is_record trimmed then
+            (* records may only follow a complete header *)
+            let* _ = finish_header p in
+            match decode_event trimmed with
+            | Ok e -> go (line + 1) ~events:(e :: events) rest
+            | Error msg ->
+                tear_or (fun () -> Error (Printf.sprintf "line %d: %s" line msg))
+          else
+            match header_row ~line p trimmed with
+            | Ok () -> go (line + 1) ~events rest
+            | Error msg -> tear_or (fun () -> Error msg))
+    in
+    go 1 ~events:[] lines
+  end
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+(* ---------- writing ---------- *)
+
+type writer = {
+  w_path : string;
+  mutable oc : out_channel;
+  mutable header : header;
+  fsync_every : int;
+  mutable unsynced : int;
+  mutable appended : int;
+  mutable closed : bool;
+}
+
+let fsync_out oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let path w = w.w_path
+let appended w = w.appended
+
+(* write content to a temp file, fsync, rename over [path] — the file is
+   never observable in a half-written state *)
+let atomic_replace ~path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc content;
+      fsync_out oc);
+  Sys.rename tmp path
+
+let validate_fsync_every fsync_every =
+  if fsync_every < 1 then
+    invalid_arg (Printf.sprintf "fsync_every must be >= 1, got %d" fsync_every)
+
+let open_append path = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+
+let create ?(fsync_every = 64) ~path header =
+  validate_fsync_every fsync_every;
+  if header.base < 0 then invalid_arg "journal base must be non-negative";
+  atomic_replace ~path (header_string header);
+  {
+    w_path = path;
+    oc = open_append path;
+    header;
+    fsync_every;
+    unsynced = 0;
+    appended = 0;
+    closed = false;
+  }
+
+let append_to ?(fsync_every = 64) ~path header =
+  validate_fsync_every fsync_every;
+  let fresh () =
+    let w = create ~fsync_every ~path header in
+    Ok (w, { header; events = []; dropped_torn = false })
+  in
+  if not (Sys.file_exists path) then fresh ()
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error msg -> Error msg
+    | "" -> fresh ()
+    | text -> (
+        match of_string text with
+        | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+        | Ok r ->
+            if r.header.policy <> header.policy then
+              Error
+                (Printf.sprintf "%s: journal was written by policy %s, not %s" path
+                   r.header.policy header.policy)
+            else if r.header.seed <> header.seed then
+              Error
+                (Printf.sprintf "%s: journal was written with seed %d, not %d" path
+                   r.header.seed header.seed)
+            else if not (Vec.equal r.header.capacity header.capacity) then
+              Error
+                (Printf.sprintf "%s: journal capacity %s does not match %s" path
+                   (Vec.to_string r.header.capacity)
+                   (Vec.to_string header.capacity))
+            else begin
+              (* a torn tail must not stay on disk: appending after it would
+                 weld the fragment to the next record and corrupt the file *)
+              if r.dropped_torn then begin
+                let buf = Buffer.create 4096 in
+                Buffer.add_string buf (header_string r.header);
+                List.iter
+                  (fun e ->
+                    Buffer.add_string buf (encode_event e);
+                    Buffer.add_char buf '\n')
+                  r.events;
+                atomic_replace ~path (Buffer.contents buf)
+              end;
+              Ok
+                ( {
+                    w_path = path;
+                    oc = open_append path;
+                    header = r.header;
+                    fsync_every;
+                    unsynced = 0;
+                    appended = 0;
+                    closed = false;
+                  },
+                  r )
+            end)
+
+let check_open w = if w.closed then invalid_arg "journal writer is closed"
+
+let append w e =
+  check_open w;
+  output_string w.oc (encode_event e);
+  output_char w.oc '\n';
+  flush w.oc;
+  w.appended <- w.appended + 1;
+  w.unsynced <- w.unsynced + 1;
+  if w.unsynced >= w.fsync_every then begin
+    Unix.fsync (Unix.descr_of_out_channel w.oc);
+    w.unsynced <- 0
+  end
+
+let sync w =
+  check_open w;
+  fsync_out w.oc;
+  w.unsynced <- 0
+
+let truncate w ~new_base =
+  check_open w;
+  if new_base < 0 then invalid_arg "journal base must be non-negative";
+  fsync_out w.oc;
+  close_out w.oc;
+  let header = { w.header with base = new_base } in
+  atomic_replace ~path:w.w_path (header_string header);
+  w.header <- header;
+  w.oc <- open_append w.w_path;
+  w.unsynced <- 0
+
+let close w =
+  if not w.closed then begin
+    fsync_out w.oc;
+    close_out w.oc;
+    w.closed <- true
+  end

@@ -1,0 +1,110 @@
+(** Append-only write-ahead log of session events.
+
+    The journal is the service's source of truth: every applied arrival and
+    departure — together with the placement decision the policy made — is
+    appended as one text record before the client sees the reply, so a
+    crashed server can be rebuilt exactly (see {!Recovery}). The format is a
+    versioned CSV in the same spirit as {!Dvbp_workload.Trace_io}:
+
+    {v
+    # dvbp-journal v1
+    policy,mtf
+    seed,42
+    capacity,100,100
+    base,0
+    arrive,0,0,0,1,30,20,~0f3a
+    depart,5,0,~1b22
+    v}
+
+    [base] is the number of session events that precede this file — [0] for
+    a fresh journal, and the pre-truncation event count after a snapshot
+    rewrote the journal (records before [base] then live in the snapshot's
+    history, {!Snapshot}). Record layout:
+    - [arrive,<t>,<item>,<bin>,<new01>,<s1>,...,<sd>,~<sum>]
+    - [depart,<t>,<item>,~<sum>]
+
+    [~<sum>] is a 16-bit checksum of the record body, so a torn (partially
+    written) final record is {e detected} and dropped rather than silently
+    misparsed as a shorter-but-valid record. Reads are fully validated and
+    report the offending line; a checksum or syntax failure anywhere except
+    an unterminated final line is a hard error.
+
+    Durability: the writer flushes every record to the OS ([write(2)]) as it
+    is appended — a [SIGKILL] loses nothing already appended — and batches
+    the much more expensive [fsync(2)] every [fsync_every] records (plus on
+    {!sync}/{!close}), so a power failure can lose at most the last batch. *)
+
+type header = {
+  policy : string;  (** policy short name, as accepted by [Policy.of_name] *)
+  seed : int;  (** root seed of the policy's rng (used by ["rf"]) *)
+  capacity : Dvbp_vec.Vec.t;
+  base : int;  (** events preceding this file (snapshotted prefix length) *)
+}
+
+type event =
+  | Arrive of {
+      time : float;
+      item_id : int;
+      size : Dvbp_vec.Vec.t;
+      bin_id : int;  (** the placement the live policy chose *)
+      opened_new_bin : bool;
+    }
+  | Depart of { time : float; item_id : int }
+
+val event_time : event -> float
+val event_item : event -> int
+val equal_event : event -> event -> bool
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Record codec} *)
+
+val encode_event : event -> string
+(** One record line, checksum included, no trailing newline. *)
+
+val decode_event : string -> (event, string) result
+(** Inverse of {!encode_event}; validates syntax and checksum. *)
+
+(** {1 Reading} *)
+
+type read = {
+  header : header;
+  events : event list;  (** journal order (oldest first) *)
+  dropped_torn : bool;  (** an unterminated, unparseable tail was dropped *)
+}
+
+val of_string : string -> (read, string) result
+val read_file : string -> (read, string) result
+
+(** {1 Writing} *)
+
+type writer
+
+val create : ?fsync_every:int -> path:string -> header -> writer
+(** Truncates/creates [path] and writes the header. [fsync_every] (default
+    [64]) batches fsyncs; [1] syncs every record.
+    @raise Sys_error on IO failure.
+    @raise Invalid_argument if [fsync_every < 1] or [header.base < 0]. *)
+
+val append_to : ?fsync_every:int -> path:string -> header -> (writer * read, string) result
+(** Re-opens an existing journal for appending after validating that its
+    header equals [header] (a policy/capacity/seed mismatch is an error, not
+    a silent divergence); returns the already-present records too. A missing
+    or empty file is created fresh. *)
+
+val append : writer -> event -> unit
+(** Appends one record and flushes it to the OS; fsyncs per the batch. *)
+
+val sync : writer -> unit
+(** Forces an fsync now. *)
+
+val truncate : writer -> new_base:int -> unit
+(** Atomically replaces the file with an empty journal whose header carries
+    [base = new_base] — called after a successful snapshot absorbed the
+    prefix. Written to a temp file, fsynced, then renamed over [path]. *)
+
+val close : writer -> unit
+(** {!sync} then close. The writer is unusable afterwards. *)
+
+val path : writer -> string
+val appended : writer -> int
+(** Records appended through this writer (excludes pre-existing ones). *)

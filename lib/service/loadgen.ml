@@ -1,0 +1,150 @@
+module Vec = Dvbp_vec.Vec
+module Rng = Dvbp_prelude.Rng
+module Running = Dvbp_stats.Running
+module Instance = Dvbp_core.Instance
+module Item = Dvbp_core.Item
+module Policy = Dvbp_core.Policy
+module Session = Dvbp_engine.Session
+
+type report = {
+  events : int;
+  wall_seconds : float;
+  events_per_sec : float;
+  latency_us : Running.t;
+  server_stats : string;
+}
+
+let ( let* ) = Result.bind
+
+(* (time, kind, item): departures (kind 0) precede arrivals (kind 1) at the
+   same instant — the engine's half-open interval convention *)
+let events (instance : Instance.t) =
+  List.concat_map
+    (fun (r : Item.t) -> [ (r.Item.departure, 0, r); (r.Item.arrival, 1, r) ])
+    instance.Instance.items
+  |> List.sort (fun (ta, ka, (ra : Item.t)) (tb, kb, (rb : Item.t)) ->
+         compare (ta, ka, ra.Item.id) (tb, kb, rb.Item.id))
+
+let sizes_field size =
+  String.concat "," (List.map string_of_int (Array.to_list (Vec.to_array size)))
+
+let request_line (time, kind, (r : Item.t)) =
+  if kind = 1 then
+    Printf.sprintf "ARRIVE %.17g %d %s" time r.Item.id (sizes_field r.Item.size)
+  else Printf.sprintf "DEPART %.17g %d" time r.Item.id
+
+let script instance = List.map request_line (events instance)
+
+(* the shadow session: the deterministic reference every reply is checked
+   against — a server answering anything else is diverging *)
+let expected_replies ~policy ~seed (instance : Instance.t) =
+  let* p = Policy.of_name ~rng:(Rng.create ~seed) policy in
+  let session =
+    Session.create ~record_trace:false ~capacity:instance.Instance.capacity ~policy:p ()
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | ((time, kind, (r : Item.t)) as ev) :: rest -> (
+        let line = request_line ev in
+        match
+          if kind = 1 then
+            let pl = Session.arrive session ~at:time ~id:r.Item.id ~size:r.Item.size () in
+            Printf.sprintf "PLACED %d %d" pl.Session.bin_id
+              (if pl.Session.opened_new_bin then 1 else 0)
+          else begin
+            Session.depart session ~at:time ~item_id:r.Item.id;
+            "OK"
+          end
+        with
+        | reply -> go ((line, reply) :: acc) rest
+        | exception Session.Session_error msg ->
+            Error (Printf.sprintf "shadow session refused %S: %s" line msg))
+  in
+  go [] (events instance)
+
+let run ~policy ~seed ?journal ?snapshot ?snapshot_every ?(fsync_every = 64)
+    (instance : Instance.t) =
+  let* pairs = expected_replies ~policy ~seed instance in
+  let* server =
+    Server.create
+      {
+        Server.policy;
+        seed;
+        capacity = instance.Instance.capacity;
+        journal;
+        snapshot;
+        snapshot_every;
+        fsync_every;
+      }
+  in
+  let req_r, req_w = Unix.pipe ~cloexec:false () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:false () in
+  let dom =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr req_r in
+        let oc = Unix.out_channel_of_descr resp_w in
+        Fun.protect
+          ~finally:(fun () ->
+            close_in_noerr ic;
+            close_out_noerr oc)
+          (fun () -> Server.serve server ic oc))
+  in
+  let oc = Unix.out_channel_of_descr req_w in
+  let ic = Unix.in_channel_of_descr resp_r in
+  let request line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    match input_line ic with
+    | reply -> Ok reply
+    | exception End_of_file -> Error (Printf.sprintf "server died on %S" line)
+  in
+  let latency = Running.create () in
+  let outcome =
+    let rec drive = function
+      | [] -> Ok ()
+      | (line, expected) :: rest ->
+          let t0 = Unix.gettimeofday () in
+          let* reply = request line in
+          Running.add latency ((Unix.gettimeofday () -. t0) *. 1e6);
+          if reply <> expected then
+            Error
+              (Printf.sprintf "divergence on %S: server said %S, shadow session says %S"
+                 line reply expected)
+          else drive rest
+    in
+    let t0 = Unix.gettimeofday () in
+    let* () = drive pairs in
+    let wall = Unix.gettimeofday () -. t0 in
+    let* stats = request "STATS" in
+    let* bye = request "QUIT" in
+    let* () =
+      if bye <> "BYE" then Error (Printf.sprintf "expected BYE, got %S" bye) else Ok ()
+    in
+    let n = List.length pairs in
+    Ok
+      {
+        events = n;
+        wall_seconds = wall;
+        events_per_sec = (if wall > 0.0 then float_of_int n /. wall else 0.0);
+        latency_us = latency;
+        server_stats = stats;
+      }
+  in
+  close_out_noerr oc;
+  close_in_noerr ic;
+  Domain.join dom;
+  outcome
+
+let render r =
+  let lat_line =
+    if Running.count r.latency_us = 0 then "latency: n/a"
+    else
+      Printf.sprintf "latency: mean %.1f us, stddev %.1f us, max %.1f us"
+        (Running.mean r.latency_us)
+        (Running.stddev r.latency_us)
+        (Running.max_value r.latency_us)
+  in
+  Printf.sprintf
+    "loadgen: %d events in %.3f s -> %.0f events/s\n%s\nserver: %s\n" r.events
+    r.wall_seconds r.events_per_sec lat_line r.server_stats

@@ -1,0 +1,39 @@
+(** Replay a workload instance against a live {!Server} and measure it.
+
+    The instance's arrivals and departures are turned into a time-ordered
+    protocol script (departures before arrivals at equal timestamps — the
+    half-open interval semantics the engine uses), every request's reply is
+    checked against a deterministic shadow session, and throughput plus a
+    client-side latency summary are reported.
+
+    {!run} drives a real server over an in-process channel pair (two OS
+    pipes, the server loop in its own domain), so the measured path is the
+    full serialise → pipe → parse → place → journal → reply round trip. *)
+
+type report = {
+  events : int;  (** protocol requests sent (arrivals + departures) *)
+  wall_seconds : float;
+  events_per_sec : float;
+  latency_us : Dvbp_stats.Running.t;  (** client-observed round-trip, µs *)
+  server_stats : string;  (** the server's final [STATS] reply *)
+}
+
+val script : Dvbp_core.Instance.t -> string list
+(** The protocol request lines, in event-time order, without a trailing
+    [QUIT]. *)
+
+val run :
+  policy:string ->
+  seed:int ->
+  ?journal:string ->
+  ?snapshot:string ->
+  ?snapshot_every:int ->
+  ?fsync_every:int ->
+  Dvbp_core.Instance.t ->
+  (report, string) result
+(** Starts a fresh server (journaling to [journal] if given), replays the
+    instance, verifies every reply against the shadow session, then [STATS]
+    and [QUIT]. Any unexpected reply is an error naming the request. *)
+
+val render : report -> string
+(** Operator-facing summary. *)

@@ -1,0 +1,229 @@
+module Vec = Dvbp_vec.Vec
+module Rng = Dvbp_prelude.Rng
+module Policy = Dvbp_core.Policy
+module Bin = Dvbp_core.Bin
+module Item = Dvbp_core.Item
+module Session = Dvbp_engine.Session
+
+type state = {
+  session : Session.t;
+  policy : string;
+  seed : int;
+  capacity : Vec.t;
+  history : Journal.event list;
+  from_snapshot : int;
+  from_journal : int;
+  dropped_torn : bool;
+}
+
+let ( let* ) = Result.bind
+
+let apply_one session ~policy_name ~index = function
+  | Journal.Arrive { time; item_id; size; bin_id; opened_new_bin } -> (
+      match Session.arrive session ~at:time ~id:item_id ~size () with
+      | exception Session.Session_error msg ->
+          Error (Printf.sprintf "event %d (item %d at %g): replay failed: %s" index item_id time msg)
+      | p ->
+          if p.Session.bin_id <> bin_id || p.Session.opened_new_bin <> opened_new_bin
+          then
+            Error
+              (Printf.sprintf
+                 "event %d (item %d at %g): recorded placement bin %d new=%b, but \
+                  policy %s recomputed bin %d new=%b — corrupt journal or \
+                  policy/version mismatch"
+                 index item_id time bin_id opened_new_bin policy_name p.Session.bin_id
+                 p.Session.opened_new_bin)
+          else Ok ())
+  | Journal.Depart { time; item_id } -> (
+      match Session.depart session ~at:time ~item_id with
+      | exception Session.Session_error msg ->
+          Error (Printf.sprintf "event %d (item %d at %g): replay failed: %s" index item_id time msg)
+      | () -> Ok ())
+
+let replay_into session ~policy_name ~first_index events =
+  let rec go index = function
+    | [] -> Ok ()
+    | e :: rest ->
+        let* () = apply_one session ~policy_name ~index e in
+        go (index + 1) rest
+  in
+  go first_index events
+
+let fresh_session ~policy ~seed ~capacity =
+  match Policy.of_name ~rng:(Rng.create ~seed) policy with
+  | Error e -> Error e
+  | Ok p -> Ok (Session.create ~record_trace:false ~capacity ~policy:p ())
+
+let replay ~policy ~seed ~capacity events =
+  let* session = fresh_session ~policy ~seed ~capacity in
+  let* () = replay_into session ~policy_name:policy ~first_index:0 events in
+  Ok session
+
+(* compare the rebuilt session against the snapshot's state digest *)
+let check_digest session (s : Snapshot.t) =
+  let fail fmt = Printf.ksprintf (fun m -> Error ("snapshot digest mismatch: " ^ m)) fmt in
+  if Session.now session <> s.Snapshot.clock then
+    fail "clock %.17g, snapshot says %.17g" (Session.now session) s.Snapshot.clock
+  else if Session.cost_so_far session <> s.Snapshot.cost then
+    fail "cost %.17g, snapshot says %.17g" (Session.cost_so_far session) s.Snapshot.cost
+  else if Session.bins_opened session <> s.Snapshot.bins_opened then
+    fail "bins_opened %d, snapshot says %d" (Session.bins_opened session)
+      s.Snapshot.bins_opened
+  else
+    let live =
+      List.map
+        (fun (b : Bin.t) ->
+          ( b.Bin.id,
+            List.map (fun (r : Item.t) -> r.Item.id) b.Bin.active_items
+            |> List.sort Int.compare ))
+        (Session.open_bins session)
+    in
+    if live <> s.Snapshot.open_bins then
+      let render bins =
+        String.concat "; "
+          (List.map
+             (fun (b, occ) ->
+               Printf.sprintf "bin %d{%s}" b
+                 (String.concat "," (List.map string_of_int occ)))
+             bins)
+      in
+      fail "open bins [%s], snapshot says [%s]" (render live) (render s.Snapshot.open_bins)
+    else Ok ()
+
+let rec drop n = function
+  | rest when n <= 0 -> rest
+  | [] -> []
+  | _ :: rest -> drop (n - 1) rest
+
+let rec take n = function
+  | _ when n <= 0 -> []
+  | [] -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let recover ?snapshot ~journal () =
+  let* j = Result.map_error (Printf.sprintf "%s: %s" journal) (Journal.read_file journal) in
+  let header = j.Journal.header in
+  let* snap =
+    match snapshot with
+    | Some path when Sys.file_exists path ->
+        let* s = Snapshot.load ~path in
+        Ok (Some s)
+    | Some _ | None -> Ok None
+  in
+  match snap with
+  | None ->
+      if header.Journal.base <> 0 then
+        Error
+          (Printf.sprintf
+             "%s: journal starts at event %d but no snapshot was found — the \
+              snapshotted prefix is missing"
+             journal header.Journal.base)
+      else
+        let* session =
+          replay ~policy:header.Journal.policy ~seed:header.Journal.seed
+            ~capacity:header.Journal.capacity j.Journal.events
+        in
+        Ok
+          {
+            session;
+            policy = header.Journal.policy;
+            seed = header.Journal.seed;
+            capacity = header.Journal.capacity;
+            history = j.Journal.events;
+            from_snapshot = 0;
+            from_journal = List.length j.Journal.events;
+            dropped_torn = j.Journal.dropped_torn;
+          }
+  | Some s ->
+      let* () =
+        if s.Snapshot.policy <> header.Journal.policy then
+          Error
+            (Printf.sprintf "snapshot policy %s does not match journal policy %s"
+               s.Snapshot.policy header.Journal.policy)
+        else if s.Snapshot.seed <> header.Journal.seed then
+          Error
+            (Printf.sprintf "snapshot seed %d does not match journal seed %d"
+               s.Snapshot.seed header.Journal.seed)
+        else if not (Vec.equal s.Snapshot.capacity header.Journal.capacity) then
+          Error
+            (Printf.sprintf "snapshot capacity %s does not match journal capacity %s"
+               (Vec.to_string s.Snapshot.capacity)
+               (Vec.to_string header.Journal.capacity))
+        else Ok ()
+      in
+      let snapshot_events = List.length s.Snapshot.history in
+      if header.Journal.base > snapshot_events then
+        Error
+          (Printf.sprintf
+             "journal starts at event %d but the snapshot only covers %d events — \
+              records are missing"
+             header.Journal.base snapshot_events)
+      else begin
+        (* journal records the snapshot already absorbed (a crash between
+           snapshot write and journal truncation leaves them behind) must
+           agree with the snapshot's history *)
+        let overlap_len = snapshot_events - header.Journal.base in
+        let overlap = take overlap_len j.Journal.events in
+        let expected = drop header.Journal.base s.Snapshot.history in
+        let expected = take (List.length overlap) expected in
+        if not (List.equal Journal.equal_event overlap expected) then
+          Error
+            "journal records overlapping the snapshot differ from the snapshot's \
+             history — mismatched files"
+        else
+          let suffix = drop overlap_len j.Journal.events in
+          let* session =
+            fresh_session ~policy:header.Journal.policy ~seed:header.Journal.seed
+              ~capacity:header.Journal.capacity
+          in
+          let* () =
+            replay_into session ~policy_name:header.Journal.policy ~first_index:0
+              s.Snapshot.history
+          in
+          let* () = check_digest session s in
+          let* () =
+            replay_into session ~policy_name:header.Journal.policy
+              ~first_index:snapshot_events suffix
+          in
+          Ok
+            {
+              session;
+              policy = header.Journal.policy;
+              seed = header.Journal.seed;
+              capacity = header.Journal.capacity;
+              history = s.Snapshot.history @ suffix;
+              from_snapshot = snapshot_events;
+              from_journal = List.length suffix;
+              dropped_torn = j.Journal.dropped_torn;
+            }
+      end
+
+let render st =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "recovered: policy=%s seed=%d capacity=%s\n" st.policy st.seed
+       (Vec.to_string st.capacity));
+  Buffer.add_string buf
+    (Printf.sprintf "events: %d from snapshot + %d from journal = %d total%s\n"
+       st.from_snapshot st.from_journal
+       (st.from_snapshot + st.from_journal)
+       (if st.dropped_torn then " (dropped a torn final journal record)" else ""));
+  Buffer.add_string buf
+    (Printf.sprintf "clock=%g cost=%.4f bins_opened=%d max_open=%d active_items=%d\n"
+       (Session.now st.session)
+       (Session.cost_so_far st.session)
+       (Session.bins_opened st.session)
+       (Session.max_open_bins st.session)
+       (Session.active_items st.session));
+  let open_bins = Session.open_bins st.session in
+  Buffer.add_string buf (Printf.sprintf "open bins (%d):\n" (List.length open_bins));
+  List.iter
+    (fun (b : Bin.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  bin %d load=%s items=[%s]\n" b.Bin.id
+           (Vec.to_string b.Bin.load)
+           (String.concat ","
+              (List.map (fun (r : Item.t) -> r.Item.id) b.Bin.active_items
+              |> List.sort Int.compare |> List.map string_of_int))))
+    open_bins;
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** Rebuild a live session from snapshot + journal, verifying as it goes.
+
+    The recovery invariant: replaying the recorded event history through a
+    fresh deterministic session must reproduce {e exactly} the placements
+    the original server recorded — same bin id, same opened-new-bin flag,
+    event by event. Sessions are deterministic (the golden tests pin this),
+    so any deviation means the files are corrupt, were produced by a
+    different policy/seed/capacity, or the library's behaviour changed; all
+    three must be a hard error, never silent divergence.
+
+    Order of operations:
+    + load the snapshot if one exists (its absence is fine: the journal then
+      must start at event 0);
+    + replay the snapshot's history, verifying each recorded placement;
+    + cross-check the rebuilt session against the snapshot's state digest
+      (clock, cost, bins opened, open bins with occupants);
+    + replay the journal suffix (records the snapshot has already absorbed
+      are skipped after checking they match the snapshot history), verifying
+      each recorded placement.
+
+    The returned session is live: a server can resume serving from it. *)
+
+type state = {
+  session : Dvbp_engine.Session.t;
+  policy : string;
+  seed : int;
+  capacity : Dvbp_vec.Vec.t;
+  history : Journal.event list;
+      (** every applied event since genesis, in order — what the next
+          snapshot must record *)
+  from_snapshot : int;  (** events restored via the snapshot's history *)
+  from_journal : int;  (** events replayed from the journal suffix *)
+  dropped_torn : bool;  (** the journal's torn final record was dropped *)
+}
+
+val replay :
+  policy:string ->
+  seed:int ->
+  capacity:Dvbp_vec.Vec.t ->
+  Journal.event list ->
+  (Dvbp_engine.Session.t, string) result
+(** Fresh session, events applied in order, each recorded placement checked
+    against the recomputed one. Also the building block of the loadgen's
+    shadow check. *)
+
+val recover :
+  ?snapshot:string -> journal:string -> unit -> (state, string) result
+(** [snapshot] names where snapshots are written; a missing snapshot file is
+    not an error (recovery then replays the whole journal), a corrupt one
+    is. A missing or corrupt journal is an error. *)
+
+val render : state -> string
+(** Operator-facing multi-line summary of the recovered state. *)

@@ -1,0 +1,305 @@
+module Vec = Dvbp_vec.Vec
+module Rng = Dvbp_prelude.Rng
+module Running = Dvbp_stats.Running
+module Policy = Dvbp_core.Policy
+module Session = Dvbp_engine.Session
+
+type config = {
+  policy : string;
+  seed : int;
+  capacity : Vec.t;
+  journal : string option;
+  snapshot : string option;
+  snapshot_every : int option;
+  fsync_every : int;
+}
+
+type metrics = {
+  requests : int;
+  placements : int;
+  rejections : int;
+  departures : int;
+  errors : int;
+  snapshots : int;
+  events : int;
+}
+
+type t = {
+  config : config;
+  session : Session.t;
+  journal : Journal.writer option;
+  mutable history_rev : Journal.event list;
+  mutable events : int;
+  mutable since_snapshot : int;
+  mutable requests : int;
+  mutable placements : int;
+  mutable rejections : int;
+  mutable departures : int;
+  mutable errors : int;
+  mutable snapshots : int;
+  latency : Running.t;
+  mutable closed : bool;
+}
+
+let ( let* ) = Result.bind
+
+let validate_config c =
+  let* () =
+    if c.fsync_every < 1 then
+      Error (Printf.sprintf "fsync-every must be >= 1, got %d" c.fsync_every)
+    else Ok ()
+  in
+  let* () =
+    match c.snapshot_every with
+    | Some n when n < 1 -> Error (Printf.sprintf "snapshot-every must be >= 1, got %d" n)
+    | Some _ when c.snapshot = None ->
+        Error "snapshot-every requires a snapshot path"
+    | Some _ when c.journal = None ->
+        Error "snapshot-every requires a journal path (there is nothing to truncate)"
+    | Some _ | None -> Ok ()
+  in
+  Ok ()
+
+let make_t config session journal ~history ~since_snapshot =
+  let history_rev = List.rev history in
+  {
+    config;
+    session;
+    journal;
+    history_rev;
+    events = List.length history;
+    since_snapshot;
+    requests = 0;
+    placements = 0;
+    rejections = 0;
+    departures = 0;
+    errors = 0;
+    snapshots = 0;
+    latency = Running.create ();
+    closed = false;
+  }
+
+let create config =
+  let* () = validate_config config in
+  let* policy = Policy.of_name ~rng:(Rng.create ~seed:config.seed) config.policy in
+  let session = Session.create ~record_trace:false ~capacity:config.capacity ~policy () in
+  let* journal =
+    match config.journal with
+    | None -> Ok None
+    | Some path -> (
+        match
+          Journal.create ~fsync_every:config.fsync_every ~path
+            { Journal.policy = config.policy; seed = config.seed;
+              capacity = config.capacity; base = 0 }
+        with
+        | w -> Ok (Some w)
+        | exception Sys_error msg -> Error msg)
+  in
+  Ok (make_t config session journal ~history:[] ~since_snapshot:0)
+
+let resume config (st : Recovery.state) =
+  let* () = validate_config config in
+  let* () =
+    if st.Recovery.policy <> config.policy then
+      Error
+        (Printf.sprintf "recovered state was built by policy %s, config says %s"
+           st.Recovery.policy config.policy)
+    else if st.Recovery.seed <> config.seed then
+      Error
+        (Printf.sprintf "recovered state used seed %d, config says %d"
+           st.Recovery.seed config.seed)
+    else if not (Vec.equal st.Recovery.capacity config.capacity) then
+      Error
+        (Printf.sprintf "recovered capacity %s, config says %s"
+           (Vec.to_string st.Recovery.capacity)
+           (Vec.to_string config.capacity))
+    else Ok ()
+  in
+  let* journal =
+    match config.journal with
+    | None -> Ok None
+    | Some path ->
+        let* w, _ =
+          Journal.append_to ~fsync_every:config.fsync_every ~path
+            { Journal.policy = config.policy; seed = config.seed;
+              capacity = config.capacity; base = 0 }
+        in
+        Ok (Some w)
+  in
+  Ok
+    (make_t config st.Recovery.session journal ~history:st.Recovery.history
+       ~since_snapshot:st.Recovery.from_journal)
+
+let metrics t =
+  {
+    requests = t.requests;
+    placements = t.placements;
+    rejections = t.rejections;
+    departures = t.departures;
+    errors = t.errors;
+    snapshots = t.snapshots;
+    events = t.events;
+  }
+
+let session t = t.session
+let latency_us t = t.latency
+
+let stats_line t =
+  let lat_mean, lat_max =
+    if Running.count t.latency = 0 then (0.0, 0.0)
+    else (Running.mean t.latency, Running.max_value t.latency)
+  in
+  Printf.sprintf
+    "STATS requests=%d placements=%d rejections=%d departures=%d errors=%d \
+     snapshots=%d events=%d open_bins=%d bins_opened=%d active_items=%d clock=%g \
+     cost=%.4f latency_mean_us=%.1f latency_max_us=%.1f"
+    t.requests t.placements t.rejections t.departures t.errors t.snapshots t.events
+    (List.length (Session.open_bins t.session))
+    (Session.bins_opened t.session)
+    (Session.active_items t.session)
+    (Session.now t.session)
+    (Session.cost_so_far t.session)
+    lat_mean lat_max
+
+let record t e =
+  (match t.journal with Some w -> Journal.append w e | None -> ());
+  t.history_rev <- e :: t.history_rev;
+  t.events <- t.events + 1;
+  t.since_snapshot <- t.since_snapshot + 1
+
+let take_snapshot t =
+  match t.config.snapshot with
+  | None -> Error "no snapshot path configured"
+  | Some path ->
+      let digest =
+        Snapshot.digest_of_session ~policy:t.config.policy ~seed:t.config.seed
+          ~capacity:t.config.capacity ~history:(List.rev t.history_rev) t.session
+      in
+      Snapshot.write ~path digest;
+      (match t.journal with
+      | Some w -> Journal.truncate w ~new_base:t.events
+      | None -> ());
+      t.since_snapshot <- 0;
+      t.snapshots <- t.snapshots + 1;
+      Ok path
+
+let maybe_auto_snapshot t =
+  match t.config.snapshot_every with
+  | Some n when t.since_snapshot >= n -> (
+      match take_snapshot t with
+      | Ok _ -> ()
+      | Error msg -> failwith msg (* excluded by validate_config *))
+  | Some _ | None -> ()
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some x when Float.is_finite x -> Ok x
+  | Some _ | None -> Error (Printf.sprintf "bad %s %S" what s)
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "bad %s %S" what s)
+
+let parse_sizes s =
+  let fields = String.split_on_char ',' s in
+  let rec go = function
+    | [] -> Ok []
+    | f :: rest ->
+        let* x = parse_int "size entry" f in
+        let* xs = go rest in
+        Ok (x :: xs)
+  in
+  let* sizes = go fields in
+  match sizes with
+  | [] -> Error "empty size vector"
+  | _ ->
+      if List.exists (fun x -> x < 0) sizes then Error "negative size"
+      else Ok (Vec.of_list sizes)
+
+let err t msg =
+  t.errors <- t.errors + 1;
+  (Printf.sprintf "ERR %s" msg, false)
+
+let handle_arrive t ~time ~item_id ~size =
+  match Session.arrive t.session ~at:time ~id:item_id ~size () with
+  | exception Session.Session_error msg ->
+      t.rejections <- t.rejections + 1;
+      (Printf.sprintf "REJECT %s" msg, false)
+  | p ->
+      record t
+        (Journal.Arrive
+           { time; item_id; size; bin_id = p.Session.bin_id;
+             opened_new_bin = p.Session.opened_new_bin });
+      t.placements <- t.placements + 1;
+      maybe_auto_snapshot t;
+      ( Printf.sprintf "PLACED %d %d" p.Session.bin_id
+          (if p.Session.opened_new_bin then 1 else 0),
+        false )
+
+let handle_depart t ~time ~item_id =
+  match Session.depart t.session ~at:time ~item_id with
+  | exception Session.Session_error msg -> err t msg
+  | () ->
+      record t (Journal.Depart { time; item_id });
+      t.departures <- t.departures + 1;
+      maybe_auto_snapshot t;
+      ("OK", false)
+
+let handle_line t line =
+  t.requests <- t.requests + 1;
+  (* tolerate CRLF clients and stray blanks between fields *)
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  let tokens = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+  match tokens with
+  | [ "ARRIVE"; time; id; sizes ] -> (
+      match
+        let* time = parse_float "timestamp" time in
+        let* item_id = parse_int "item id" id in
+        let* size = parse_sizes sizes in
+        Ok (time, item_id, size)
+      with
+      | Ok (time, item_id, size) -> handle_arrive t ~time ~item_id ~size
+      | Error msg -> err t msg)
+  | "ARRIVE" :: _ -> err t "usage: ARRIVE <t> <id> <s1,...,sd>"
+  | [ "DEPART"; time; id ] -> (
+      match
+        let* time = parse_float "timestamp" time in
+        let* item_id = parse_int "item id" id in
+        Ok (time, item_id)
+      with
+      | Ok (time, item_id) -> handle_depart t ~time ~item_id
+      | Error msg -> err t msg)
+  | "DEPART" :: _ -> err t "usage: DEPART <t> <id>"
+  | [ "STATS" ] -> (stats_line t, false)
+  | [ "SNAPSHOT" ] -> (
+      match take_snapshot t with
+      | Ok path -> (Printf.sprintf "OK snapshot %s events=%d" path t.events, false)
+      | Error msg -> err t msg)
+  | [ "QUIT" ] -> ("BYE", true)
+  | [] -> err t "empty request"
+  | cmd :: _ -> err t (Printf.sprintf "unknown command %S" cmd)
+
+let close t =
+  if not t.closed then begin
+    (match t.journal with Some w -> Journal.close w | None -> ());
+    t.closed <- true
+  end
+
+let serve t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        let t0 = Unix.gettimeofday () in
+        let reply, quit = handle_line t line in
+        Running.add t.latency ((Unix.gettimeofday () -. t0) *. 1e6);
+        output_string oc reply;
+        output_char oc '\n';
+        flush oc;
+        if not quit then loop ()
+  in
+  Fun.protect ~finally:(fun () -> close t) loop

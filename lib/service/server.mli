@@ -1,0 +1,78 @@
+(** Blocking line-protocol request loop around {!Dvbp_engine.Session}.
+
+    Requests, one per line (fields space-separated, sizes comma-separated):
+
+    {v
+    ARRIVE <t> <id> <s1,...,sd>   ->  PLACED <bin> <1|0>   (1 = opened new bin)
+                                  |   REJECT <reason>      (session refused it)
+    DEPART <t> <id>               ->  OK
+    STATS                         ->  STATS k=v k=v ...
+    SNAPSHOT                      ->  OK snapshot <path> events=<n>
+    QUIT                          ->  BYE
+    anything else                 ->  ERR <msg>
+    v}
+
+    Per-request error isolation: a malformed request answers [ERR] and the
+    loop keeps serving; an arrival the session refuses (oversized item,
+    duplicate id, non-monotonic time, ...) answers [REJECT] and the loop
+    keeps serving. Only IO failures escape.
+
+    Durability: applied events are journaled {e before} the reply is
+    written, so any placement a client has seen is recoverable. When
+    [snapshot_every = Some n], a snapshot is taken (and the journal
+    truncated) every [n] applied events, also before the reply. *)
+
+type config = {
+  policy : string;  (** short name for [Policy.of_name] *)
+  seed : int;  (** rng seed (Random Fit); recorded in the journal header *)
+  capacity : Dvbp_vec.Vec.t;
+  journal : string option;  (** no journaling when [None] *)
+  snapshot : string option;  (** required for [SNAPSHOT] / [snapshot_every] *)
+  snapshot_every : int option;  (** auto-snapshot every [n] applied events *)
+  fsync_every : int;  (** journal fsync batch size *)
+}
+
+type t
+
+type metrics = {
+  requests : int;  (** lines handled, including malformed ones *)
+  placements : int;
+  rejections : int;
+  departures : int;
+  errors : int;  (** [ERR] replies *)
+  snapshots : int;
+  events : int;  (** applied events (placements + departures) since genesis *)
+}
+
+val create : config -> (t, string) result
+(** Fresh server: empty session, fresh journal (truncates an existing file —
+    use {!resume} to continue one).
+    Errors on an unknown policy, an invalid [snapshot_every]/[fsync_every],
+    or [snapshot_every] without a snapshot path. *)
+
+val resume : config -> Recovery.state -> (t, string) result
+(** Continue serving from a recovered state. The config must agree with the
+    recovered policy/seed/capacity; the journal is re-opened for appending
+    (validating its header) rather than truncated. *)
+
+val handle_line : t -> string -> string * bool
+(** [handle_line t line] is [(reply, quit)]; [quit] is true only for QUIT.
+    Exposed for in-process drivers ({!Loadgen}) and tests. *)
+
+val serve : t -> in_channel -> out_channel -> unit
+(** Read-eval-reply until QUIT or EOF, then {!close}. Replies are flushed
+    per request. Per-request handling latency is recorded into
+    {!latency_us}. *)
+
+val metrics : t -> metrics
+val stats_line : t -> string
+(** The [STATS] reply. *)
+
+val latency_us : t -> Dvbp_stats.Running.t
+(** Per-request handling latency in microseconds (populated by {!serve}). *)
+
+val session : t -> Dvbp_engine.Session.t
+(** Read-only access for tests and reporting. *)
+
+val close : t -> unit
+(** Syncs and closes the journal. Idempotent. *)

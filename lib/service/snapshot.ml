@@ -1,0 +1,230 @@
+module Vec = Dvbp_vec.Vec
+module Bin = Dvbp_core.Bin
+module Item = Dvbp_core.Item
+module Session = Dvbp_engine.Session
+
+let magic = "# dvbp-snapshot v1"
+
+type t = {
+  policy : string;
+  seed : int;
+  capacity : Vec.t;
+  clock : float;
+  cost : float;
+  bins_opened : int;
+  open_bins : (int * int list) list;
+  history : Journal.event list;
+}
+
+let digest_of_session ~policy ~seed ~capacity ~history session =
+  let open_bins =
+    List.map
+      (fun (b : Bin.t) ->
+        ( b.Bin.id,
+          List.map (fun (r : Item.t) -> r.Item.id) b.Bin.active_items
+          |> List.sort Int.compare ))
+      (Session.open_bins session)
+  in
+  {
+    policy;
+    seed;
+    capacity;
+    clock = Session.now session;
+    cost = Session.cost_so_far session;
+    bins_opened = Session.bins_opened session;
+    open_bins;
+    history;
+  }
+
+let to_string s =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "policy,%s\n" s.policy);
+  Buffer.add_string buf (Printf.sprintf "seed,%d\n" s.seed);
+  Buffer.add_string buf "capacity";
+  Array.iter (fun c -> Buffer.add_string buf (Printf.sprintf ",%d" c)) (Vec.to_array s.capacity);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "clock,%.17g\n" s.clock);
+  Buffer.add_string buf (Printf.sprintf "cost,%.17g\n" s.cost);
+  Buffer.add_string buf (Printf.sprintf "bins_opened,%d\n" s.bins_opened);
+  Buffer.add_string buf (Printf.sprintf "events,%d\n" (List.length s.history));
+  List.iter
+    (fun (bin_id, occupants) ->
+      Buffer.add_string buf (Printf.sprintf "open,%d" bin_id);
+      List.iter (fun id -> Buffer.add_string buf (Printf.sprintf ",%d" id)) occupants;
+      Buffer.add_char buf '\n')
+    s.open_bins;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Journal.encode_event e);
+      Buffer.add_char buf '\n')
+    s.history;
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let parse_int ~line what s =
+  match int_of_string_opt (String.trim s) with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "line %d: bad %s %S" line what s)
+
+let parse_float ~line what s =
+  match float_of_string_opt (String.trim s) with
+  | Some x when Float.is_finite x -> Ok x
+  | Some _ | None -> Error (Printf.sprintf "line %d: bad %s %S" line what s)
+
+let rec collect_ints ~line what = function
+  | [] -> Ok []
+  | s :: rest ->
+      let* x = parse_int ~line what s in
+      let* xs = collect_ints ~line what rest in
+      Ok (x :: xs)
+
+type acc = {
+  mutable policy : string option;
+  mutable seed : int option;
+  mutable capacity : Vec.t option;
+  mutable clock : float option;
+  mutable cost : float option;
+  mutable bins_opened : int option;
+  mutable events : int option;
+  mutable open_rev : (int * int list) list;
+  mutable history_rev : Journal.event list;
+  mutable saw_history : bool;
+}
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing %s row" what)
+
+let of_string text =
+  if String.trim text = "" then Error "empty snapshot"
+  else begin
+    let lines = String.split_on_char '\n' text in
+    let a =
+      {
+        policy = None;
+        seed = None;
+        capacity = None;
+        clock = None;
+        cost = None;
+        bins_opened = None;
+        events = None;
+        open_rev = [];
+        history_rev = [];
+        saw_history = false;
+      }
+    in
+    let scalar ~line what current store v =
+      if current <> None then Error (Printf.sprintf "line %d: duplicate %s row" line what)
+      else begin
+        store v;
+        Ok ()
+      end
+    in
+    let row ~line trimmed =
+      if a.saw_history
+         && not
+              (String.length trimmed >= 7
+              && (String.sub trimmed 0 7 = "arrive," || String.sub trimmed 0 7 = "depart,"))
+      then Error (Printf.sprintf "line %d: state row after history records" line)
+      else
+        match String.split_on_char ',' trimmed with
+        | "policy" :: [ name ] when String.trim name <> "" ->
+            scalar ~line "policy" a.policy (fun v -> a.policy <- Some v) (String.trim name)
+        | "policy" :: _ -> Error (Printf.sprintf "line %d: empty policy" line)
+        | "seed" :: [ s ] ->
+            let* v = parse_int ~line "seed" s in
+            scalar ~line "seed" a.seed (fun v -> a.seed <- Some v) v
+        | "capacity" :: fields -> (
+            let* cs = collect_ints ~line "capacity entry" fields in
+            match cs with
+            | [] -> Error (Printf.sprintf "line %d: empty capacity" line)
+            | _ when List.exists (fun c -> c <= 0) cs ->
+                Error (Printf.sprintf "line %d: non-positive capacity" line)
+            | _ ->
+                scalar ~line "capacity" a.capacity
+                  (fun v -> a.capacity <- Some v)
+                  (Vec.of_list cs))
+        | "clock" :: [ s ] ->
+            let* v = parse_float ~line "clock" s in
+            scalar ~line "clock" a.clock (fun v -> a.clock <- Some v) v
+        | "cost" :: [ s ] ->
+            let* v = parse_float ~line "cost" s in
+            scalar ~line "cost" a.cost (fun v -> a.cost <- Some v) v
+        | "bins_opened" :: [ s ] ->
+            let* v = parse_int ~line "bins_opened" s in
+            scalar ~line "bins_opened" a.bins_opened (fun v -> a.bins_opened <- Some v) v
+        | "events" :: [ s ] ->
+            let* v = parse_int ~line "events" s in
+            scalar ~line "events" a.events (fun v -> a.events <- Some v) v
+        | "open" :: bin :: occupants ->
+            let* bin_id = parse_int ~line "bin id" bin in
+            let* occupants = collect_ints ~line "occupant id" occupants in
+            a.open_rev <- (bin_id, occupants) :: a.open_rev;
+            Ok ()
+        | ("arrive" | "depart") :: _ -> (
+            match Journal.decode_event trimmed with
+            | Ok e ->
+                a.saw_history <- true;
+                a.history_rev <- e :: a.history_rev;
+                Ok ()
+            | Error msg -> Error (Printf.sprintf "line %d: %s" line msg))
+        | _ -> Error (Printf.sprintf "line %d: unrecognised row %S" line trimmed)
+    in
+    let rec go line = function
+      | [] -> Ok ()
+      | raw :: rest ->
+          let trimmed = String.trim raw in
+          if line = 1 then
+            if trimmed = magic then go 2 rest
+            else Error (Printf.sprintf "line 1: expected %S, got %S" magic trimmed)
+          else if trimmed = "" || trimmed.[0] = '#' then go (line + 1) rest
+          else
+            let* () = row ~line trimmed in
+            go (line + 1) rest
+    in
+    let* () = go 1 lines in
+    let* policy = require "policy" a.policy in
+    let* seed = require "seed" a.seed in
+    let* capacity = require "capacity" a.capacity in
+    let* clock = require "clock" a.clock in
+    let* cost = require "cost" a.cost in
+    let* bins_opened = require "bins_opened" a.bins_opened in
+    let* events = require "events" a.events in
+    let history = List.rev a.history_rev in
+    if List.length history <> events then
+      Error
+        (Printf.sprintf
+           "snapshot records %d events but its history holds %d — truncated or corrupt"
+           events (List.length history))
+    else
+      Ok
+        {
+          policy;
+          seed;
+          capacity;
+          clock;
+          cost;
+          bins_opened;
+          open_bins = List.rev a.open_rev;
+          history;
+        }
+  end
+
+let write ~path s =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string s);
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> Result.map_error (Printf.sprintf "%s: %s" path) (of_string text)
+  | exception Sys_error msg -> Error msg

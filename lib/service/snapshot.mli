@@ -1,0 +1,58 @@
+(** Checkpoint of the full live service state.
+
+    A snapshot lets recovery keep the journal short: after a successful
+    snapshot the journal is truncated ({!Journal.truncate}) and only events
+    appended after the checkpoint remain in it.
+
+    Because policies carry private mutable state that is deliberately not
+    serialisable (Move To Front's recency order, Next Fit's current bin,
+    Random Fit's rng stream), the checkpoint stores two complementary
+    sections and recovery uses both:
+
+    - a {b state digest} — clock, accumulated usage-time cost, bins opened,
+      and every open bin with its occupant item ids — which is what the
+      operator reads and what recovery {e verifies} against;
+    - the {b event history} since genesis (same checksummed record format as
+      the journal), which is what recovery {e replays} to rebuild the exact
+      session, policy state included.
+
+    Replaying the history through a fresh deterministic session and then
+    checking the result against the digest means corruption, a policy
+    mismatch, or a library behaviour change is a hard error, never silent
+    divergence (see {!Recovery}).
+
+    Snapshots are written atomically (temp file, fsync, rename), so unlike
+    the journal a torn snapshot cannot exist; any parse failure on load is
+    reported as corruption. *)
+
+type t = {
+  policy : string;
+  seed : int;
+  capacity : Dvbp_vec.Vec.t;
+  clock : float;  (** timestamp of the last applied event *)
+  cost : float;  (** usage-time cost accumulated up to [clock] *)
+  bins_opened : int;
+  open_bins : (int * int list) list;
+      (** open bins in opening order; occupant item ids ascending *)
+  history : Journal.event list;  (** every applied event since genesis *)
+}
+
+val digest_of_session :
+  policy:string ->
+  seed:int ->
+  capacity:Dvbp_vec.Vec.t ->
+  history:Journal.event list ->
+  Dvbp_engine.Session.t ->
+  t
+(** Reads the digest fields off a live session. [history] must be exactly
+    the events the session has applied. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** Fully validated; reports the offending line. Checks internally that the
+    recorded event count matches the history section. *)
+
+val write : path:string -> t -> unit
+(** Atomic: temp file, fsync, rename. @raise Sys_error on IO failure. *)
+
+val load : path:string -> (t, string) result

@@ -108,5 +108,171 @@ let report_tests =
           (Result.is_error (Run_report.run_one ~policy:"zzz" ~seed:1 inst ~gantt:false)));
   ]
 
+(* The service subcommands return [Error msg] on every bad input — the
+   binary maps that to one line on stderr and a non-zero exit — so the
+   error paths are all unit-testable here. *)
+
+let contains_sub msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+let serve_opts ?(policy = "mtf") ?(seed = 7) ?(capacity = "100,100") ?journal
+    ?snapshot ?snapshot_every ?(fsync_every = 64) ?(resume = false) () =
+  {
+    Service_cli.policy;
+    seed;
+    capacity;
+    journal;
+    snapshot;
+    snapshot_every;
+    fsync_every;
+    resume;
+  }
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "dvbp_cli_service" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+(* runs [Service_cli.serve] over temp files carrying the request script *)
+let serve_script opts script =
+  with_tmp_dir (fun dir ->
+      let inp = Filename.concat dir "in.txt" in
+      let outp = Filename.concat dir "out.txt" in
+      Out_channel.with_open_text inp (fun oc -> Out_channel.output_string oc script);
+      let result =
+        In_channel.with_open_text inp (fun ic ->
+            Out_channel.with_open_text outp (fun oc -> Service_cli.serve opts ic oc))
+      in
+      Result.map
+        (fun () -> In_channel.with_open_text outp In_channel.input_all)
+        result)
+
+let service_tests =
+  [
+    Alcotest.test_case "parse_capacity accepts well-formed vectors" `Quick
+      (fun () ->
+        (match Service_cli.parse_capacity " 10 , 20 " with
+        | Ok v -> check_bool "parsed" true (Dvbp_vec.Vec.to_array v = [| 10; 20 |])
+        | Error e -> Alcotest.fail e);
+        match Service_cli.parse_capacity "100" with
+        | Ok v -> check_int "dim 1" 1 (Dvbp_vec.Vec.dim v)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "parse_capacity rejects malformed vectors" `Quick
+      (fun () ->
+        List.iter
+          (fun s ->
+            check_bool s true (Result.is_error (Service_cli.parse_capacity s)))
+          [ ""; " "; "0"; "-3"; "ten"; "1,,2"; "10,0"; "1,2,x" ]);
+    Alcotest.test_case "serve surfaces a bad capacity flag" `Quick (fun () ->
+        match serve_script (serve_opts ~capacity:"1,zap" ()) "QUIT\n" with
+        | Error msg -> check_bool "names the flag" true (contains_sub msg "--capacity")
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "serve surfaces an unknown policy" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error (serve_script (serve_opts ~policy:"zzz" ()) "QUIT\n")));
+    Alcotest.test_case "serve rejects --resume without --journal" `Quick (fun () ->
+        match serve_script (serve_opts ~resume:true ()) "QUIT\n" with
+        | Error msg -> check_bool "names journal" true (contains_sub msg "journal")
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "serve rejects snapshot-every without snapshot path"
+      `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error
+             (serve_script (serve_opts ~snapshot_every:5 ()) "QUIT\n")));
+    Alcotest.test_case "serve answers the protocol end to end" `Quick (fun () ->
+        match serve_script (serve_opts ()) "ARRIVE 0 0 60,10\nSTATS\nQUIT\n" with
+        | Ok out ->
+            check_bool "placed" true (contains_sub out "PLACED 0 1");
+            check_bool "stats" true (contains_sub out "placements=1");
+            check_bool "bye" true (contains_sub out "BYE")
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "serve --resume continues a journaled session" `Quick
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let opts = serve_opts ~journal () in
+            (match serve_script opts "ARRIVE 0 0 60,10\nQUIT\n" with
+            | Ok out -> check_bool "placed" true (contains_sub out "PLACED 0 1")
+            | Error e -> Alcotest.fail e);
+            match
+              serve_script { opts with Service_cli.resume = true }
+                "ARRIVE 1 1 30,30\nSTATS\nQUIT\n"
+            with
+            | Ok out ->
+                (* the recovered mtf state reuses bin 0 rather than opening *)
+                check_bool "resumed placement" true (contains_sub out "PLACED 0 0");
+                check_bool "both events" true (contains_sub out "events=2")
+            | Error e -> Alcotest.fail e));
+    Alcotest.test_case "recover reports a missing journal" `Quick (fun () ->
+        match Service_cli.recover ~journal:"/nonexistent/j.log" ~snapshot:None with
+        | Error msg -> check_bool "names the path" true (contains_sub msg "j.log")
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "recover renders a journaled session" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            (match serve_script (serve_opts ~journal ()) "ARRIVE 0 0 60,10\nQUIT\n" with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail e);
+            match Service_cli.recover ~journal ~snapshot:None with
+            | Ok out ->
+                check_bool "policy" true (contains_sub out "mtf");
+                check_bool "open bin" true (contains_sub out "bin 0")
+            | Error e -> Alcotest.fail e));
+    Alcotest.test_case "recover rejects a corrupt journal" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            Out_channel.with_open_text journal (fun oc ->
+                Out_channel.output_string oc "not a journal at all\n");
+            check_bool "error" true
+              (Result.is_error (Service_cli.recover ~journal ~snapshot:None))));
+    Alcotest.test_case "loadgen --emit prints the protocol script" `Quick
+      (fun () ->
+        let opts =
+          {
+            Service_cli.source = source ~n:5 ();
+            lg_policy = "mtf";
+            lg_seed = 7;
+            lg_journal = None;
+            lg_snapshot = None;
+            lg_snapshot_every = None;
+            emit = true;
+          }
+        in
+        match Service_cli.loadgen opts with
+        | Ok out ->
+            check_bool "arrives" true (contains_sub out "ARRIVE");
+            check_bool "departs" true (contains_sub out "DEPART")
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "loadgen surfaces workload and policy errors" `Quick
+      (fun () ->
+        let opts =
+          {
+            Service_cli.source = source ~trace:"/nonexistent.csv" ();
+            lg_policy = "mtf";
+            lg_seed = 7;
+            lg_journal = None;
+            lg_snapshot = None;
+            lg_snapshot_every = None;
+            emit = false;
+          }
+        in
+        check_bool "bad trace" true (Result.is_error (Service_cli.loadgen opts));
+        check_bool "bad policy" true
+          (Result.is_error
+             (Service_cli.loadgen
+                { opts with Service_cli.source = source ~n:5 (); lg_policy = "zzz" })));
+  ]
+
 let suites =
-  [ ("cli.workload_select", select_tests); ("cli.run_report", report_tests) ]
+  [
+    ("cli.workload_select", select_tests);
+    ("cli.run_report", report_tests);
+    ("cli.service", service_tests);
+  ]

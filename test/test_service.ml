@@ -1,0 +1,810 @@
+(* Tests for the durable placement service: journal codec and torn-tail
+   handling, snapshot round trips, crash recovery (the keystone property:
+   recovery from any prefix of the journal, followed by replaying the
+   remaining events, is bit-identical to an uninterrupted session), the
+   server's line protocol with per-request error isolation, and the load
+   generator. *)
+
+open Dvbp_service
+module Vec = Dvbp_vec.Vec
+module Rng = Dvbp_prelude.Rng
+module Session = Dvbp_engine.Session
+module Uniform_model = Dvbp_workload.Uniform_model
+
+let v = Vec.of_list
+let cap = v [ 100; 100 ]
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains_sub msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+(* first-occurrence textual replacement, for doctoring serialised state *)
+let replace_sub text ~sub ~by =
+  let n = String.length text and m = String.length sub in
+  let rec find i = if i + m > n then None
+    else if String.sub text i m = sub then Some i else find (i + 1) in
+  match find 0 with
+  | None -> Alcotest.failf "substring %S not found" sub
+  | Some i -> String.sub text 0 i ^ by ^ String.sub text (i + m) (n - i - m)
+
+let ok_or_fail = function Ok x -> x | Error e -> Alcotest.fail e
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "dvbp_service" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let header ?(policy = "mtf") ?(seed = 7) ?(capacity = cap) ?(base = 0) () =
+  { Journal.policy; seed; capacity; base }
+
+(* A deterministic little event script exercising placements across several
+   bins, departures, and bin reuse. The recorded placements are computed by
+   a real mtf session, so they are exactly what a server would journal. *)
+let sample_raw =
+  [
+    `Arrive (0.0, 0, v [ 60; 10 ]);
+    `Arrive (1.0, 1, v [ 50; 50 ]);
+    `Arrive (1.5, 2, v [ 30; 20 ]);
+    `Depart (3.0, 0);
+    `Depart (4.0, 2);
+    `Depart (5.5, 1);
+  ]
+
+let record_raw ?(policy = "mtf") ?(seed = 7) ?(capacity = cap) raw =
+  let p =
+    match
+      Dvbp_core.Policy.of_name ~rng:(Rng.create ~seed) policy
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let s = Session.create ~capacity ~policy:p () in
+  List.map
+    (function
+      | `Arrive (time, item_id, size) ->
+          let p = Session.arrive s ~at:time ~id:item_id ~size () in
+          Journal.Arrive
+            {
+              time;
+              item_id;
+              size;
+              bin_id = p.Session.bin_id;
+              opened_new_bin = p.Session.opened_new_bin;
+            }
+      | `Depart (time, item_id) ->
+          Session.depart s ~at:time ~item_id;
+          Journal.Depart { time; item_id })
+    raw
+
+let sample_events = record_raw sample_raw
+
+let journal_tests =
+  [
+    Alcotest.test_case "event codec round trips" `Quick (fun () ->
+        List.iter
+          (fun e ->
+            match Journal.decode_event (Journal.encode_event e) with
+            | Ok e' -> check_bool "event" true (Journal.equal_event e e')
+            | Error msg -> Alcotest.fail msg)
+          sample_events);
+    Alcotest.test_case "codec survives awkward floats" `Quick (fun () ->
+        List.iter
+          (fun time ->
+            let e = Journal.Depart { time; item_id = 3 } in
+            match Journal.decode_event (Journal.encode_event e) with
+            | Ok e' -> check_bool "time" true (Journal.equal_event e e')
+            | Error msg -> Alcotest.fail msg)
+          [ 0.1; 1.0 /. 3.0; 1e-300; 12345678.875; 0.0 ]);
+    Alcotest.test_case "checksum rejects a corrupted body" `Quick (fun () ->
+        let line = Journal.encode_event (List.hd sample_events) in
+        let corrupted = Bytes.of_string line in
+        (* flip a digit in the body, keep the checksum *)
+        Bytes.set corrupted 7 (if Bytes.get corrupted 7 = '0' then '1' else '0');
+        match Journal.decode_event (Bytes.to_string corrupted) with
+        | Error msg -> check_bool "mentions checksum" true (contains_sub msg "checksum")
+        | Ok _ -> Alcotest.fail "corrupted record accepted");
+    Alcotest.test_case "truncated record is rejected" `Quick (fun () ->
+        let line = Journal.encode_event (List.hd sample_events) in
+        check_bool "error" true
+          (Result.is_error
+             (Journal.decode_event (String.sub line 0 (String.length line - 3)))));
+    Alcotest.test_case "writer / read_file round trip" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            check_int "appended" (List.length sample_events) (Journal.appended w);
+            Journal.close w;
+            let r = ok_or_fail (Journal.read_file path) in
+            check_string "policy" "mtf" r.Journal.header.Journal.policy;
+            check_int "seed" 7 r.Journal.header.Journal.seed;
+            check_int "base" 0 r.Journal.header.Journal.base;
+            check_bool "capacity" true (Vec.equal cap r.Journal.header.Journal.capacity);
+            check_bool "no torn tail" false r.Journal.dropped_torn;
+            check_bool "events" true
+              (List.equal Journal.equal_event sample_events r.Journal.events)));
+    Alcotest.test_case "unterminated torn tail is detected and dropped" `Quick
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            Journal.close w;
+            let full = In_channel.with_open_bin path In_channel.input_all in
+            (* chop mid-way through the final record: no trailing newline *)
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (String.sub full 0 (String.length full - 5)));
+            let r = ok_or_fail (Journal.read_file path) in
+            check_bool "torn flagged" true r.Journal.dropped_torn;
+            check_bool "prefix kept" true
+              (List.equal Journal.equal_event
+                 (List.filteri (fun i _ -> i < List.length sample_events - 1) sample_events)
+                 r.Journal.events)));
+    Alcotest.test_case "terminated corrupt record is a hard error" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            Journal.close w;
+            (* a malformed line *with* its newline cannot be a torn write *)
+            Out_channel.with_open_gen [ Open_append ] 0o600 path (fun oc ->
+                Out_channel.output_string oc "arrive,gibberish,~0000\n");
+            check_bool "error" true (Result.is_error (Journal.read_file path))));
+    Alcotest.test_case "corrupt mid-file record is a hard error even with torn tail"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            Journal.close w;
+            let full = In_channel.with_open_bin path In_channel.input_all in
+            (* corrupt a record in the middle; the file still ends torn *)
+            let b = Bytes.of_string (String.sub full 0 (String.length full - 5)) in
+            let mid = Bytes.length b - 40 in
+            Bytes.set b mid (if Bytes.get b mid = '0' then '1' else '0');
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (Bytes.to_string b));
+            check_bool "error" true (Result.is_error (Journal.read_file path))));
+    Alcotest.test_case "missing magic line rejected" `Quick (fun () ->
+        check_bool "error" true
+          (Result.is_error
+             (Journal.of_string "policy,mtf\nseed,1\ncapacity,10\nbase,0\n")));
+    Alcotest.test_case "append_to validates the existing header" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            Journal.close w;
+            (match Journal.append_to ~path (header ~policy:"ff" ()) with
+            | Error msg -> check_bool "names policy" true (contains_sub msg "policy")
+            | Ok _ -> Alcotest.fail "policy mismatch accepted");
+            let w, r = ok_or_fail (Journal.append_to ~path (header ())) in
+            check_int "existing events" (List.length sample_events)
+              (List.length r.Journal.events);
+            Journal.append w (Journal.Depart { time = 9.0; item_id = 99 });
+            Journal.close w;
+            let r = ok_or_fail (Journal.read_file path) in
+            check_int "one more" (List.length sample_events + 1)
+              (List.length r.Journal.events)));
+    Alcotest.test_case "append_to a torn file heals the tail first" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            Journal.close w;
+            let full = In_channel.with_open_bin path In_channel.input_all in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (String.sub full 0 (String.length full - 5)));
+            let w, r = ok_or_fail (Journal.append_to ~path (header ())) in
+            check_bool "torn reported" true r.Journal.dropped_torn;
+            Journal.append w (Journal.Depart { time = 9.0; item_id = 99 });
+            Journal.close w;
+            (* the new record must not weld onto the dropped fragment *)
+            let r = ok_or_fail (Journal.read_file path) in
+            check_bool "clean now" false r.Journal.dropped_torn;
+            check_int "events" (List.length sample_events) (List.length r.Journal.events)));
+    Alcotest.test_case "truncate restarts the file at the new base" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            Journal.truncate w ~new_base:(List.length sample_events);
+            Journal.append w (Journal.Depart { time = 9.0; item_id = 99 });
+            Journal.close w;
+            let r = ok_or_fail (Journal.read_file path) in
+            check_int "base" (List.length sample_events) r.Journal.header.Journal.base;
+            check_int "only the suffix" 1 (List.length r.Journal.events)));
+    Alcotest.test_case "create rejects bad fsync_every" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            check_bool "raises" true
+              (try
+                 ignore (Journal.create ~fsync_every:0 ~path (header ()));
+                 false
+               with Invalid_argument _ -> true)));
+  ]
+
+(* Replays [events] through a fresh session, asserting each recorded
+   placement; returns the session. *)
+let replay_exn events =
+  ok_or_fail (Recovery.replay ~policy:"mtf" ~seed:7 ~capacity:cap events)
+
+let digest_of ?(history = sample_events) session =
+  Snapshot.digest_of_session ~policy:"mtf" ~seed:7 ~capacity:cap ~history session
+
+let snapshot_tests =
+  [
+    Alcotest.test_case "string round trip" `Quick (fun () ->
+        let snap = digest_of (replay_exn sample_events) in
+        let snap' = ok_or_fail (Snapshot.of_string (Snapshot.to_string snap)) in
+        check_string "policy" snap.Snapshot.policy snap'.Snapshot.policy;
+        check_bool "clock" true (snap.Snapshot.clock = snap'.Snapshot.clock);
+        check_bool "cost" true (snap.Snapshot.cost = snap'.Snapshot.cost);
+        check_int "bins_opened" snap.Snapshot.bins_opened snap'.Snapshot.bins_opened;
+        check_bool "open bins" true (snap.Snapshot.open_bins = snap'.Snapshot.open_bins);
+        check_bool "history" true
+          (List.equal Journal.equal_event snap.Snapshot.history snap'.Snapshot.history));
+    Alcotest.test_case "digest reflects the live session" `Quick (fun () ->
+        (* cut before the departures: bins 0 and 1 still open *)
+        let prefix = List.filteri (fun i _ -> i < 3) sample_events in
+        let snap = digest_of ~history:prefix (replay_exn prefix) in
+        check_int "bins opened" 2 snap.Snapshot.bins_opened;
+        (* mtf keeps bin 1 at the front after placing item 1, so item 2 lands
+           there too *)
+        check_bool "occupants" true
+          (snap.Snapshot.open_bins = [ (0, [ 0 ]); (1, [ 1; 2 ]) ]));
+    Alcotest.test_case "file round trip" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "s.snap" in
+            Snapshot.write ~path (digest_of (replay_exn sample_events));
+            let snap' = ok_or_fail (Snapshot.load ~path) in
+            check_int "history" (List.length sample_events)
+              (List.length snap'.Snapshot.history)));
+    Alcotest.test_case "event count mismatch rejected" `Quick (fun () ->
+        let text = Snapshot.to_string (digest_of (replay_exn sample_events)) in
+        (* claim one more event than the history section holds *)
+        let doctored = replace_sub text ~sub:"events,6" ~by:"events,7" in
+        check_bool "error" true (Result.is_error (Snapshot.of_string doctored)));
+    Alcotest.test_case "corrupt history record rejected by its checksum" `Quick
+      (fun () ->
+        let text = Snapshot.to_string (digest_of (replay_exn sample_events)) in
+        let doctored = replace_sub text ~sub:"depart,3,0" ~by:"depart,4,0" in
+        check_bool "error" true (Result.is_error (Snapshot.of_string doctored)));
+  ]
+
+let event_of_record = function
+  | Journal.Arrive { time; item_id; size; _ } -> `Arrive (time, item_id, size)
+  | Journal.Depart { time; item_id } -> `Depart (time, item_id)
+
+(* Applies the raw (unrecorded) side of [events] to [session], returning the
+   observed placements for arrivals. *)
+let apply_raw session events =
+  List.filter_map
+    (fun e ->
+      match event_of_record e with
+      | `Arrive (at, id, size) ->
+          Some (Session.arrive session ~at ~id ~size ())
+      | `Depart (at, item_id) ->
+          Session.depart session ~at ~item_id;
+          None)
+    events
+
+(* A bigger, policy-exercising event history: run a generated workload
+   through [Server.handle_line] so the recorded placements are the server's
+   own, journal and all. *)
+let server_history ~policy ~n ~dir =
+  let journal = Filename.concat dir "j.log" in
+  let snapshot = Filename.concat dir "s.snap" in
+  let config =
+    {
+      Server.policy;
+      seed = 7;
+      capacity = v [ 100; 100 ];
+      journal = Some journal;
+      snapshot = Some snapshot;
+      snapshot_every = None;
+      fsync_every = 1000;
+    }
+  in
+  let server = ok_or_fail (Server.create config) in
+  let inst =
+    Uniform_model.generate
+      { Uniform_model.d = 2; n; mu = 10; span = 60; bin_size = 100 }
+      ~rng:(Rng.create ~seed:3)
+  in
+  let replies =
+    List.map
+      (fun line ->
+        let reply, quit = Server.handle_line server line in
+        check_bool "no quit" false quit;
+        reply)
+      (Loadgen.script inst)
+  in
+  List.iter
+    (fun r -> check_bool "accepted" true
+        (String.length r > 0 && (r.[0] = 'P' || r.[0] = 'O')))
+    replies;
+  Server.close server;
+  (journal, snapshot, ok_or_fail (Journal.read_file journal))
+
+let recovery_tests =
+  [
+    Alcotest.test_case "replay verifies recorded placements" `Quick (fun () ->
+        let session = replay_exn sample_events in
+        check_int "all departed" 0 (Session.active_items session);
+        check_int "bins" 2 (Session.bins_opened session));
+    Alcotest.test_case "replay rejects a wrong recorded bin id" `Quick (fun () ->
+        let doctored =
+          List.map
+            (function
+              | Journal.Arrive ({ item_id = 2; _ } as a) ->
+                  (* mtf really places item 2 in bin 1 *)
+                  Journal.Arrive { a with bin_id = 0; opened_new_bin = false }
+              | e -> e)
+            sample_events
+        in
+        match Recovery.replay ~policy:"mtf" ~seed:7 ~capacity:cap doctored with
+        | Error msg ->
+            check_bool "names the event" true (contains_sub msg "item 2");
+            check_bool "names the cause" true (contains_sub msg "mismatch")
+        | Ok _ -> Alcotest.fail "doctored journal accepted");
+    Alcotest.test_case "recover without snapshot replays the whole journal" `Quick
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            Journal.close w;
+            let st = ok_or_fail (Recovery.recover ~journal:path ()) in
+            check_int "from journal" (List.length sample_events) st.Recovery.from_journal;
+            check_int "from snapshot" 0 st.Recovery.from_snapshot;
+            check_bool "history" true
+              (List.equal Journal.equal_event sample_events st.Recovery.history)));
+    Alcotest.test_case "recover requires base=0 without a snapshot" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~path (header ~base:3 ()) in
+            Journal.close w;
+            check_bool "error" true
+              (Result.is_error (Recovery.recover ~journal:path ()))));
+    Alcotest.test_case "recover rejects policy mismatch between files" `Quick
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let snapshot = Filename.concat dir "s.snap" in
+            let w = Journal.create ~path:journal (header ()) in
+            List.iter (Journal.append w) sample_events;
+            Journal.close w;
+            let snap = digest_of ~history:[] (replay_exn []) in
+            Snapshot.write ~path:snapshot { snap with Snapshot.policy = "ff" };
+            check_bool "error" true
+              (Result.is_error (Recovery.recover ~snapshot ~journal ()))));
+    Alcotest.test_case "keystone: every journal prefix cut recovers and replays
+       bit-identically (mtf)" `Slow (fun () ->
+        with_tmp_dir (fun dir ->
+            let _, _, full = server_history ~policy:"mtf" ~n:40 ~dir in
+            let events = full.Journal.events in
+            let total = List.length events in
+            (* the uninterrupted run: replay everything in one session *)
+            let uncut = replay_exn events in
+            let uncut_cost = Session.cost_so_far uncut in
+            let cut_dir = Filename.concat dir "cuts" in
+            Unix.mkdir cut_dir 0o700;
+            for k = 0 to total do
+              (* crash after record k: journal holds only the first k records *)
+              let path = Filename.concat cut_dir (Printf.sprintf "j%d.log" k) in
+              let w = Journal.create ~path (header ()) in
+              List.iteri (fun i e -> if i < k then Journal.append w e) events;
+              Journal.close w;
+              let st = ok_or_fail (Recovery.recover ~journal:path ()) in
+              check_int "events recovered" k st.Recovery.from_journal;
+              (* replay the remaining raw events; placements must equal the
+                 recorded ones bit for bit *)
+              let rest = List.filteri (fun i _ -> i >= k) events in
+              let observed = apply_raw st.Recovery.session rest in
+              let recorded =
+                List.filter_map
+                  (function
+                    | Journal.Arrive { item_id; bin_id; opened_new_bin; _ } ->
+                        Some (item_id, bin_id, opened_new_bin)
+                    | Journal.Depart _ -> None)
+                  rest
+              in
+              List.iter2
+                (fun (p : Session.placement) (item_id, bin_id, opened) ->
+                  check_int "item" item_id p.Session.item_id;
+                  check_int "bin" bin_id p.Session.bin_id;
+                  check_bool "opened" opened p.Session.opened_new_bin)
+                observed recorded;
+              check_bool
+                (Printf.sprintf "cost identical at cut %d" k)
+                true
+                (Session.cost_so_far st.Recovery.session = uncut_cost);
+              Sys.remove path
+            done;
+            Unix.rmdir cut_dir));
+    Alcotest.test_case "keystone holds for the seeded random-fit policy" `Slow
+      (fun () ->
+        (* rf draws from its rng on every placement: recovery must replay the
+           stream identically from the seed alone *)
+        with_tmp_dir (fun dir ->
+            let _, _, full = server_history ~policy:"rf" ~n:30 ~dir in
+            let events = full.Journal.events in
+            let total = List.length events in
+            let cut_dir = Filename.concat dir "cuts" in
+            Unix.mkdir cut_dir 0o700;
+            List.iter
+              (fun k ->
+                let path = Filename.concat cut_dir (Printf.sprintf "j%d.log" k) in
+                let w = Journal.create ~path (header ~policy:"rf" ()) in
+                List.iteri (fun i e -> if i < k then Journal.append w e) events;
+                Journal.close w;
+                let st = ok_or_fail (Recovery.recover ~journal:path ()) in
+                let rest = List.filteri (fun i _ -> i >= k) events in
+                ignore (apply_raw st.Recovery.session rest);
+                Sys.remove path)
+              [ 0; 1; total / 2; total - 1; total ];
+            Unix.rmdir cut_dir));
+    Alcotest.test_case "recovery across a snapshot matches the journal-only run"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let prefix = List.filteri (fun i _ -> i < 3) sample_events in
+            let suffix = List.filteri (fun i _ -> i >= 3) sample_events in
+            let journal = Filename.concat dir "j.log" in
+            let snapshot = Filename.concat dir "s.snap" in
+            Snapshot.write ~path:snapshot (digest_of ~history:prefix (replay_exn prefix));
+            let w = Journal.create ~path:journal (header ~base:3 ()) in
+            List.iter (Journal.append w) suffix;
+            Journal.close w;
+            let st = ok_or_fail (Recovery.recover ~snapshot ~journal ()) in
+            check_int "from snapshot" 3 st.Recovery.from_snapshot;
+            check_int "from journal" 3 st.Recovery.from_journal;
+            let direct = replay_exn sample_events in
+            check_bool "same cost" true
+              (Session.cost_so_far st.Recovery.session = Session.cost_so_far direct);
+            check_int "same bins" (Session.bins_opened direct)
+              (Session.bins_opened st.Recovery.session)));
+    Alcotest.test_case "crash between snapshot and truncation is survivable"
+      `Quick (fun () ->
+        (* snapshot written, but the journal still holds the whole history
+           (base 0): the overlap must be verified and skipped, not re-applied *)
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let snapshot = Filename.concat dir "s.snap" in
+            let prefix = List.filteri (fun i _ -> i < 4) sample_events in
+            Snapshot.write ~path:snapshot (digest_of ~history:prefix (replay_exn prefix));
+            let w = Journal.create ~path:journal (header ()) in
+            List.iter (Journal.append w) sample_events;
+            Journal.close w;
+            let st = ok_or_fail (Recovery.recover ~snapshot ~journal ()) in
+            check_int "from snapshot" 4 st.Recovery.from_snapshot;
+            check_int "journal suffix only" 2 st.Recovery.from_journal;
+            check_int "nothing double-applied" 0
+              (Session.active_items st.Recovery.session)));
+    Alcotest.test_case "overlap divergence between the files is a hard error"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let snapshot = Filename.concat dir "s.snap" in
+            let prefix = List.filteri (fun i _ -> i < 4) sample_events in
+            Snapshot.write ~path:snapshot (digest_of ~history:prefix (replay_exn prefix));
+            (* journal claims a different event where the snapshot's history
+               ends: the files disagree about the past *)
+            let doctored =
+              List.mapi
+                (fun i e ->
+                  if i = 3 then Journal.Depart { time = 3.0; item_id = 2 } else e)
+                sample_events
+            in
+            let w = Journal.create ~path:journal (header ()) in
+            List.iter (Journal.append w) doctored;
+            Journal.close w;
+            check_bool "error" true
+              (Result.is_error (Recovery.recover ~snapshot ~journal ()))));
+    Alcotest.test_case "render names the essentials" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~path (header ()) in
+            List.iter (Journal.append w)
+              (List.filteri (fun i _ -> i < 3) sample_events);
+            Journal.close w;
+            let st = ok_or_fail (Recovery.recover ~journal:path ()) in
+            let out = Recovery.render st in
+            check_bool "policy" true (contains_sub out "mtf");
+            check_bool "counts" true (contains_sub out "3");
+            check_bool "open bins" true (contains_sub out "bin ")));
+  ]
+
+let fresh_server ?journal ?snapshot ?snapshot_every () =
+  ok_or_fail
+    (Server.create
+       {
+         Server.policy = "mtf";
+         seed = 7;
+         capacity = cap;
+         journal;
+         snapshot;
+         snapshot_every;
+         fsync_every = 64;
+       })
+
+let expect t line reply =
+  let got, _quit = Server.handle_line t line in
+  check_string line reply got
+
+let server_tests =
+  [
+    Alcotest.test_case "protocol happy path" `Quick (fun () ->
+        let t = fresh_server () in
+        expect t "ARRIVE 0 0 60,10" "PLACED 0 1";
+        expect t "ARRIVE 1 1 50,50" "PLACED 1 1";
+        expect t "DEPART 2 0" "OK";
+        let reply, quit = Server.handle_line t "QUIT" in
+        check_string "quit reply" "BYE" reply;
+        check_bool "quit flag" true quit;
+        Server.close t);
+    Alcotest.test_case "CRLF requests are tolerated" `Quick (fun () ->
+        let t = fresh_server () in
+        expect t "ARRIVE 0 0 60,10\r" "PLACED 0 1";
+        Server.close t);
+    Alcotest.test_case "session refusals answer REJECT and keep serving" `Quick
+      (fun () ->
+        let t = fresh_server () in
+        expect t "ARRIVE 0 0 60,10" "PLACED 0 1";
+        (* duplicate id *)
+        let reply, _ = Server.handle_line t "ARRIVE 1 0 5,5" in
+        check_bool "REJECT" true (contains_sub reply "REJECT");
+        check_bool "names the item" true (contains_sub reply "0");
+        (* oversized *)
+        let reply, _ = Server.handle_line t "ARRIVE 2 9 500,5" in
+        check_bool "REJECT oversized" true (contains_sub reply "REJECT");
+        (* time going backwards *)
+        expect t "ARRIVE 5 2 10,10" "PLACED 0 0";
+        let reply, _ = Server.handle_line t "ARRIVE 4 3 10,10" in
+        check_bool "REJECT stale" true (contains_sub reply "REJECT");
+        (* the session is untouched by refusals: serving continues cleanly *)
+        expect t "ARRIVE 6 4 10,10" "PLACED 0 0";
+        let m = Server.metrics t in
+        check_int "placements" 3 m.Server.placements;
+        check_int "rejections" 3 m.Server.rejections;
+        Server.close t);
+    Alcotest.test_case "malformed requests answer ERR and keep serving" `Quick
+      (fun () ->
+        let t = fresh_server () in
+        List.iter
+          (fun line ->
+            let reply, quit = Server.handle_line t line in
+            check_bool ("ERR for " ^ line) true (contains_sub reply "ERR");
+            check_bool "no quit" false quit)
+          [
+            "";
+            "FROB 1 2";
+            "ARRIVE";
+            "ARRIVE x 0 10,10";
+            "ARRIVE 0 zero 10,10";
+            "ARRIVE 0 0";
+            "ARRIVE 0 0 10,ten";
+            "ARRIVE 0 0 10,-3";
+            "DEPART 1";
+            "DEPART one 0";
+          ];
+        expect t "ARRIVE 0 0 10,10" "PLACED 0 1";
+        let m = Server.metrics t in
+        check_int "errors counted" 10 m.Server.errors;
+        check_int "requests counted" 11 m.Server.requests;
+        Server.close t);
+    Alcotest.test_case "rejected arrivals are not journaled" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let t = fresh_server ~journal () in
+            expect t "ARRIVE 0 0 60,10" "PLACED 0 1";
+            let reply, _ = Server.handle_line t "ARRIVE 1 0 5,5" in
+            check_bool "REJECT" true (contains_sub reply "REJECT");
+            expect t "DEPART 2 0" "OK";
+            Server.close t;
+            let r = ok_or_fail (Journal.read_file journal) in
+            check_int "only applied events" 2 (List.length r.Journal.events)));
+    Alcotest.test_case "STATS reports the counters" `Quick (fun () ->
+        let t = fresh_server () in
+        expect t "ARRIVE 0 0 60,10" "PLACED 0 1";
+        expect t "DEPART 1 0" "OK";
+        let reply, _ = Server.handle_line t "STATS" in
+        check_bool "requests" true (contains_sub reply "requests=3");
+        check_bool "placements" true (contains_sub reply "placements=1");
+        check_bool "departures" true (contains_sub reply "departures=1");
+        check_bool "open bins" true (contains_sub reply "open_bins=0");
+        check_bool "cost" true (contains_sub reply "cost=1.0000");
+        Server.close t);
+    Alcotest.test_case "SNAPSHOT without a configured path is an ERR" `Quick
+      (fun () ->
+        let t = fresh_server () in
+        let reply, _ = Server.handle_line t "SNAPSHOT" in
+        check_bool "ERR" true (contains_sub reply "ERR");
+        Server.close t);
+    Alcotest.test_case "SNAPSHOT truncates the journal; recovery still exact"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let snapshot = Filename.concat dir "s.snap" in
+            let t = fresh_server ~journal ~snapshot () in
+            expect t "ARRIVE 0 0 60,10" "PLACED 0 1";
+            expect t "ARRIVE 1 1 50,50" "PLACED 1 1";
+            let reply, _ = Server.handle_line t "SNAPSHOT" in
+            check_bool "ok" true (contains_sub reply "OK snapshot");
+            expect t "DEPART 2 0" "OK";
+            Server.close t;
+            let r = ok_or_fail (Journal.read_file journal) in
+            check_int "base" 2 r.Journal.header.Journal.base;
+            check_int "suffix" 1 (List.length r.Journal.events);
+            let st = ok_or_fail (Recovery.recover ~snapshot ~journal ()) in
+            check_int "from snapshot" 2 st.Recovery.from_snapshot;
+            check_int "from journal" 1 st.Recovery.from_journal;
+            check_int "one bin left" 1
+              (List.length (Session.open_bins st.Recovery.session))));
+    Alcotest.test_case "snapshot_every auto-checkpoints" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let snapshot = Filename.concat dir "s.snap" in
+            let t = fresh_server ~journal ~snapshot ~snapshot_every:2 () in
+            expect t "ARRIVE 0 0 60,10" "PLACED 0 1";
+            expect t "ARRIVE 1 1 50,50" "PLACED 1 1";
+            expect t "DEPART 2 0" "OK";
+            let m = Server.metrics t in
+            check_int "snapshots" 1 m.Server.snapshots;
+            Server.close t;
+            let r = ok_or_fail (Journal.read_file journal) in
+            check_int "base" 2 r.Journal.header.Journal.base));
+    Alcotest.test_case "config validation" `Quick (fun () ->
+        let base =
+          {
+            Server.policy = "mtf";
+            seed = 7;
+            capacity = cap;
+            journal = None;
+            snapshot = None;
+            snapshot_every = None;
+            fsync_every = 64;
+          }
+        in
+        check_bool "unknown policy" true
+          (Result.is_error (Server.create { base with Server.policy = "zzz" }));
+        check_bool "fsync_every 0" true
+          (Result.is_error (Server.create { base with Server.fsync_every = 0 }));
+        check_bool "snapshot_every without snapshot path" true
+          (Result.is_error
+             (Server.create { base with Server.snapshot_every = Some 5 }));
+        check_bool "snapshot_every 0" true
+          (Result.is_error
+             (Server.create
+                {
+                  base with
+                  Server.snapshot_every = Some 0;
+                  snapshot = Some "/tmp/s.snap";
+                  journal = Some "/tmp/j.log";
+                })));
+    Alcotest.test_case "resume validates config against the recovered state"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let t = fresh_server ~journal () in
+            expect t "ARRIVE 0 0 60,10" "PLACED 0 1";
+            Server.close t;
+            let st = ok_or_fail (Recovery.recover ~journal ()) in
+            let config =
+              {
+                Server.policy = "ff";
+                seed = 7;
+                capacity = cap;
+                journal = Some journal;
+                snapshot = None;
+                snapshot_every = None;
+                fsync_every = 64;
+              }
+            in
+            check_bool "policy mismatch" true
+              (Result.is_error (Server.resume config st));
+            let t =
+              ok_or_fail (Server.resume { config with Server.policy = "mtf" } st)
+            in
+            (* the resumed session carries on where the journal ended *)
+            expect t "ARRIVE 1 1 30,30" "PLACED 0 0";
+            Server.close t;
+            let r = ok_or_fail (Journal.read_file journal) in
+            check_int "both events" 2 (List.length r.Journal.events)));
+    Alcotest.test_case "serve loop over channels" `Quick (fun () ->
+        (* request/reply through real channels, exercising serve's IO path *)
+        let req_r, req_w = Unix.pipe ~cloexec:false () in
+        let rep_r, rep_w = Unix.pipe ~cloexec:false () in
+        let t = fresh_server () in
+        let domain =
+          Domain.spawn (fun () ->
+              Server.serve t (Unix.in_channel_of_descr req_r)
+                (Unix.out_channel_of_descr rep_w))
+        in
+        let oc = Unix.out_channel_of_descr req_w in
+        let ic = Unix.in_channel_of_descr rep_r in
+        output_string oc "ARRIVE 0 0 60,10\nSTATS\nQUIT\n";
+        flush oc;
+        check_string "placed" "PLACED 0 1" (input_line ic);
+        check_bool "stats" true (contains_sub (input_line ic) "placements=1");
+        check_string "bye" "BYE" (input_line ic);
+        Domain.join domain;
+        check_bool "latency recorded" true
+          (Dvbp_stats.Running.count (Server.latency_us t) >= 3);
+        close_out_noerr oc;
+        close_in_noerr ic);
+  ]
+
+let loadgen_tests =
+  [
+    Alcotest.test_case "script orders events and formats requests" `Quick
+      (fun () ->
+        let inst =
+          Dvbp_core.Instance.of_specs_exn ~capacity:(v [ 10; 10 ])
+            [
+              (0.0, 5.0, v [ 2; 2 ]);
+              (1.0, 2.0, v [ 3; 3 ]);
+            ]
+        in
+        let script = Loadgen.script inst in
+        check_int "two arrivals, two departures" 4 (List.length script);
+        check_bool "first is arrive at 0" true
+          (contains_sub (List.nth script 0) "ARRIVE 0 0");
+        (* departure at t=2 precedes nothing else; arrival at t=1 comes second *)
+        check_bool "second is arrive at 1" true
+          (contains_sub (List.nth script 1) "ARRIVE 1 1");
+        check_bool "third departs item 1" true
+          (contains_sub (List.nth script 2) "DEPART 2 1"));
+    Alcotest.test_case "live run verifies every reply and reports" `Quick
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let inst =
+              Uniform_model.generate
+                { Uniform_model.d = 2; n = 60; mu = 8; span = 50; bin_size = 40 }
+                ~rng:(Rng.create ~seed:11)
+            in
+            let journal = Filename.concat dir "j.log" in
+            let snapshot = Filename.concat dir "s.snap" in
+            let report =
+              ok_or_fail
+                (Loadgen.run ~policy:"mtf" ~seed:7 ~journal ~snapshot
+                   ~snapshot_every:25 inst)
+            in
+            check_int "all events" 120 report.Loadgen.events;
+            check_bool "throughput positive" true (report.Loadgen.events_per_sec > 0.0);
+            check_int "latency samples" 120
+              (Dvbp_stats.Running.count report.Loadgen.latency_us);
+            check_bool "server stats attached" true
+              (contains_sub report.Loadgen.server_stats "placements=60");
+            (* and what the run journaled must recover cleanly *)
+            let st = ok_or_fail (Recovery.recover ~snapshot ~journal ()) in
+            check_int "all recovered" 120
+              (st.Recovery.from_snapshot + st.Recovery.from_journal);
+            let out = Loadgen.render report in
+            check_bool "render mentions events/s" true (contains_sub out "events/s")));
+    Alcotest.test_case "unknown policy is a clean error" `Quick (fun () ->
+        let inst =
+          Dvbp_core.Instance.of_specs_exn ~capacity:(v [ 10; 10 ])
+            [ (0.0, 1.0, v [ 2; 2 ]) ]
+        in
+        check_bool "error" true
+          (Result.is_error (Loadgen.run ~policy:"zzz" ~seed:7 inst)));
+  ]
+
+let suites =
+  [
+    ("service.journal", journal_tests);
+    ("service.snapshot", snapshot_tests);
+    ("service.recovery", recovery_tests);
+    ("service.server", server_tests);
+    ("service.loadgen", loadgen_tests);
+  ]

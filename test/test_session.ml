@@ -194,5 +194,97 @@ let error_tests =
           (raises_session (fun () -> Session.arrive s ~at:nan ~size:(v [ 1 ]) ())));
   ]
 
+(* Every Session_error must name the offending item and timestamp, so an
+   operator can locate the event in a journal or trace without a debugger. *)
+let message_of f =
+  try
+    ignore (f ());
+    Alcotest.fail "expected Session_error"
+  with Session.Session_error msg -> msg
+
+let contains_sub msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+let check_mentions what msg subs =
+  List.iter
+    (fun sub ->
+      if not (contains_sub msg sub) then
+        Alcotest.failf "%s: %S does not mention %S" what msg sub)
+    subs
+
+let message_tests =
+  [
+    Alcotest.test_case "backwards time names the item and both times" `Quick
+      (fun () ->
+        let s = fresh () in
+        let _ = Session.arrive s ~at:5.0 ~id:7 ~size:(v [ 1 ]) () in
+        check_mentions "arrival"
+          (message_of (fun () -> Session.arrive s ~at:4.0 ~id:8 ~size:(v [ 1 ]) ()))
+          [ "item 8"; "4"; "5" ];
+        check_mentions "departure"
+          (message_of (fun () -> Session.depart s ~at:4.0 ~item_id:7))
+          [ "item 7"; "4"; "5" ]);
+    Alcotest.test_case "oversized arrival names the item, time and sizes" `Quick
+      (fun () ->
+        let s = fresh () in
+        check_mentions "oversized"
+          (message_of (fun () -> Session.arrive s ~at:2.5 ~id:3 ~size:(v [ 101 ]) ()))
+          [ "item 3"; "2.5"; "101"; "100" ]);
+    Alcotest.test_case "dimension mismatch names the item and dimensions" `Quick
+      (fun () ->
+        let s = fresh () in
+        check_mentions "dimension"
+          (message_of (fun () -> Session.arrive s ~at:1.0 ~id:4 ~size:(v [ 1; 1 ]) ()))
+          [ "item 4"; "dimension 2"; "dimension 1" ]);
+    Alcotest.test_case "duplicate id names the id and time" `Quick (fun () ->
+        let s = fresh () in
+        let _ = Session.arrive s ~at:0.0 ~id:3 ~size:(v [ 1 ]) () in
+        check_mentions "duplicate"
+          (message_of (fun () -> Session.arrive s ~at:1.0 ~id:3 ~size:(v [ 1 ]) ()))
+          [ "item id 3"; "at 1" ]);
+    Alcotest.test_case "departure failures name the item and time" `Quick
+      (fun () ->
+        let s = fresh () in
+        check_mentions "unknown item"
+          (message_of (fun () -> Session.depart s ~at:1.5 ~item_id:9))
+          [ "item id 9"; "1.5" ];
+        let p = Session.arrive s ~at:2.0 ~id:1 ~size:(v [ 1 ]) () in
+        check_mentions "too early"
+          (message_of (fun () -> Session.depart s ~at:2.0 ~item_id:p.Session.item_id))
+          [ "item 1"; "at 2"; "arrived at 2" ];
+        Session.depart s ~at:3.0 ~item_id:1;
+        check_mentions "double departure"
+          (message_of (fun () -> Session.depart s ~at:4.0 ~item_id:1))
+          [ "item 1"; "at 4"; "departed at 3" ]);
+    Alcotest.test_case "bad clairvoyant departure names both timestamps" `Quick
+      (fun () ->
+        let s = fresh () in
+        check_mentions "clairvoyant"
+          (message_of (fun () ->
+               Session.arrive s ~at:5.0 ~id:2 ~departure:5.0 ~size:(v [ 1 ]) ()))
+          [ "item 2"; "at 5"; "departure 5" ]);
+    Alcotest.test_case "rejected arrivals leave the session untouched" `Quick
+      (fun () ->
+        (* the service's REJECT-and-keep-serving path depends on this: a
+           refused event must not advance the clock or open a bin *)
+        let s = fresh () in
+        let _ = Session.arrive s ~at:1.0 ~id:0 ~size:(v [ 60 ]) () in
+        check_bool "duplicate id refused" true
+          (raises_session (fun () -> Session.arrive s ~at:2.0 ~id:0 ~size:(v [ 1 ]) ()));
+        check_bool "oversize refused" true
+          (raises_session (fun () -> Session.arrive s ~at:3.0 ~id:1 ~size:(v [ 999 ]) ()));
+        check_float "clock unmoved" 1.0 (Session.now s);
+        check_int "no stray bins" 1 (Session.bins_opened s);
+        (* an event at the original clock is still acceptable *)
+        let p = Session.arrive s ~at:1.0 ~id:1 ~size:(v [ 40 ]) () in
+        check_bool "same bin" true (p.Session.bin_id = 0));
+  ]
+
 let suites =
-  [ ("session.lifecycle", lifecycle_tests); ("session.errors", error_tests) ]
+  [
+    ("session.lifecycle", lifecycle_tests);
+    ("session.errors", error_tests);
+    ("session.error_messages", message_tests);
+  ]

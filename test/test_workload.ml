@@ -299,6 +299,56 @@ let trace_io_tests =
     Alcotest.test_case "missing file reported" `Quick (fun () ->
         check_bool "error" true
           (Result.is_error (Trace_io.read_file "/nonexistent/dvbp.csv")));
+    Alcotest.test_case "CRLF line endings accepted" `Quick (fun () ->
+        match
+          Trace_io.of_string
+            "# dvbp-trace v1\r\ncapacity,10\r\nitem,0,0.0,1.0,5\r\nitem,1,0.5,2.0,3\r\n"
+        with
+        | Ok inst -> check_int "both items" 2 (Instance.size inst)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "trailing blank lines accepted" `Quick (fun () ->
+        match Trace_io.of_string "capacity,10\nitem,0,0.0,1.0,5\n\n\n  \n" with
+        | Ok inst -> check_int "one item" 1 (Instance.size inst)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "comment-only input is missing capacity, not a crash"
+      `Quick (fun () ->
+        match Trace_io.of_string "# just\n# comments\n" with
+        | Error msg -> check_bool "names capacity" true (contains_sub msg "capacity")
+        | Ok _ -> Alcotest.fail "expected error");
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"trace_io round trip (random instances)"
+         QCheck2.Gen.(
+           let* d = 1 -- 3 in
+           let* n = 1 -- 15 in
+           let* specs =
+             list_repeat n
+               (let* a7 = 0 -- 50 in
+                let* dur3 = 1 -- 20 in
+                let* size = array_repeat d (1 -- 10) in
+                (* division-derived times exercise the %.17g float codec *)
+                return
+                  ( float_of_int a7 /. 7.0,
+                    (float_of_int a7 /. 7.0) +. (float_of_int dur3 /. 3.0),
+                    size ))
+           in
+           return (d, specs))
+         (fun (d, specs) ->
+           let inst =
+             Instance.of_specs_exn
+               ~capacity:(Vec.make ~dim:d 10)
+               (List.map (fun (a, e, s) -> (a, e, Vec.of_array s)) specs)
+           in
+           match Trace_io.of_string (Trace_io.to_string inst) with
+           | Error e -> QCheck2.Test.fail_report e
+           | Ok inst' ->
+               Vec.equal inst.Instance.capacity inst'.Instance.capacity
+               && List.equal
+                    (fun (a : Item.t) (b : Item.t) ->
+                      a.Item.id = b.Item.id
+                      && Float.equal a.Item.arrival b.Item.arrival
+                      && Float.equal a.Item.departure b.Item.departure
+                      && Vec.equal a.Item.size b.Item.size)
+                    inst.Instance.items inst'.Instance.items));
   ]
 
 let arrival_tests =
