@@ -225,6 +225,25 @@ let cost_so_far t =
       close -. b.Bin.opened_at)
     t.all_bins_desc
 
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "clock=%.17g cost=%.17g opened=%d max_open=%d active=%d open=["
+       (now t) (cost_so_far t) (bins_opened t) (max_open_bins t) (active_items t));
+  List.iteri
+    (fun i (b : Bin.t) ->
+      if i > 0 then Buffer.add_char buf ';';
+      Buffer.add_string buf (Printf.sprintf "%d{" b.Bin.id);
+      List.map (fun (r : Item.t) -> r.Item.id) b.Bin.active_items
+      |> List.sort Int.compare
+      |> List.iteri (fun j id ->
+             if j > 0 then Buffer.add_char buf ',';
+             Buffer.add_string buf (string_of_int id));
+      Buffer.add_char buf '}')
+    (open_bins t);
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
 let trace t = Trace.of_events (List.rev t.trace_rev)
 
 let finish t ~at =

@@ -81,6 +81,14 @@ val max_open_bins : t -> int
 val cost_so_far : t -> float
 (** Total bin-time accumulated up to [now] (open bins billed to [now]). *)
 
+val fingerprint : t -> string
+(** Canonical one-line digest of the observable state: clock, cost (both
+    [%.17g], so equality is bit-equality), bins opened, peak open bins,
+    active items, and every open bin with its occupant ids sorted. Two
+    sessions that processed the same events have equal fingerprints; the
+    crash-simulation tests compare recovered sessions against uninterrupted
+    ones with exactly this. *)
+
 val trace : t -> Trace.t
 (** Everything that happened so far, oldest first. Empty when the session
     was created with [~record_trace:false]. *)

@@ -232,16 +232,15 @@ let of_string text =
     go 1 ~events:[] lines
   end
 
-let read_file path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | text -> of_string text
-  | exception Sys_error msg -> Error msg
+let read_file ?(io = Real_io.v) path =
+  match io.Io.read_file path with Ok text -> of_string text | Error msg -> Error msg
 
 (* ---------- writing ---------- *)
 
 type writer = {
   w_path : string;
-  mutable oc : out_channel;
+  io : Io.t;
+  mutable out : Io.out;
   mutable header : header;
   fsync_every : int;
   mutable unsynced : int;
@@ -249,38 +248,23 @@ type writer = {
   mutable closed : bool;
 }
 
-let fsync_out oc =
-  flush oc;
-  Unix.fsync (Unix.descr_of_out_channel oc)
-
 let path w = w.w_path
 let appended w = w.appended
-
-(* write content to a temp file, fsync, rename over [path] — the file is
-   never observable in a half-written state *)
-let atomic_replace ~path content =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc content;
-      fsync_out oc);
-  Sys.rename tmp path
 
 let validate_fsync_every fsync_every =
   if fsync_every < 1 then
     invalid_arg (Printf.sprintf "fsync_every must be >= 1, got %d" fsync_every)
 
-let open_append path = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+let open_append io path = io.Io.open_out ~append:true path
 
-let create ?(fsync_every = 64) ~path header =
+let create ?(io = Real_io.v) ?(fsync_every = 64) ~path header =
   validate_fsync_every fsync_every;
   if header.base < 0 then invalid_arg "journal base must be non-negative";
-  atomic_replace ~path (header_string header);
+  Io.atomic_replace io ~path (header_string header);
   {
     w_path = path;
-    oc = open_append path;
+    io;
+    out = open_append io path;
     header;
     fsync_every;
     unsynced = 0;
@@ -288,18 +272,18 @@ let create ?(fsync_every = 64) ~path header =
     closed = false;
   }
 
-let append_to ?(fsync_every = 64) ~path header =
+let append_to ?(io = Real_io.v) ?(fsync_every = 64) ~path header =
   validate_fsync_every fsync_every;
   let fresh () =
-    let w = create ~fsync_every ~path header in
+    let w = create ~io ~fsync_every ~path header in
     Ok (w, { header; events = []; dropped_torn = false })
   in
-  if not (Sys.file_exists path) then fresh ()
+  if not (io.Io.file_exists path) then fresh ()
   else
-    match In_channel.with_open_bin path In_channel.input_all with
-    | exception Sys_error msg -> Error msg
-    | "" -> fresh ()
-    | text -> (
+    match io.Io.read_file path with
+    | Error msg -> Error msg
+    | Ok "" -> fresh ()
+    | Ok text -> (
         match of_string text with
         | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
         | Ok r ->
@@ -317,9 +301,14 @@ let append_to ?(fsync_every = 64) ~path header =
                    (Vec.to_string r.header.capacity)
                    (Vec.to_string header.capacity))
             else begin
-              (* a torn tail must not stay on disk: appending after it would
-                 weld the fragment to the next record and corrupt the file *)
-              if r.dropped_torn then begin
+              (* an unterminated tail must not stay on disk: appending after
+                 it would weld the fragment to the next record and corrupt
+                 the file. Two shapes need the rewrite: a torn (unparseable)
+                 fragment, and a record whose bytes all survived a crash
+                 except the trailing newline — parseable, so [dropped_torn]
+                 is false, yet still missing its terminator. *)
+              let unterminated = text.[String.length text - 1] <> '\n' in
+              if r.dropped_torn || unterminated then begin
                 let buf = Buffer.create 4096 in
                 Buffer.add_string buf (header_string r.header);
                 List.iter
@@ -327,12 +316,13 @@ let append_to ?(fsync_every = 64) ~path header =
                     Buffer.add_string buf (encode_event e);
                     Buffer.add_char buf '\n')
                   r.events;
-                atomic_replace ~path (Buffer.contents buf)
+                Io.atomic_replace io ~path (Buffer.contents buf)
               end;
               Ok
                 ( {
                     w_path = path;
-                    oc = open_append path;
+                    io;
+                    out = open_append io path;
                     header = r.header;
                     fsync_every;
                     unsynced = 0;
@@ -346,35 +336,35 @@ let check_open w = if w.closed then invalid_arg "journal writer is closed"
 
 let append w e =
   check_open w;
-  output_string w.oc (encode_event e);
-  output_char w.oc '\n';
-  flush w.oc;
+  w.out.Io.write (encode_event e);
+  w.out.Io.write "\n";
+  w.out.Io.flush ();
   w.appended <- w.appended + 1;
   w.unsynced <- w.unsynced + 1;
   if w.unsynced >= w.fsync_every then begin
-    Unix.fsync (Unix.descr_of_out_channel w.oc);
+    w.out.Io.fsync ();
     w.unsynced <- 0
   end
 
 let sync w =
   check_open w;
-  fsync_out w.oc;
+  w.out.Io.fsync ();
   w.unsynced <- 0
 
 let truncate w ~new_base =
   check_open w;
   if new_base < 0 then invalid_arg "journal base must be non-negative";
-  fsync_out w.oc;
-  close_out w.oc;
+  w.out.Io.fsync ();
+  w.out.Io.close ();
   let header = { w.header with base = new_base } in
-  atomic_replace ~path:w.w_path (header_string header);
+  Io.atomic_replace w.io ~path:w.w_path (header_string header);
   w.header <- header;
-  w.oc <- open_append w.w_path;
+  w.out <- open_append w.io w.w_path;
   w.unsynced <- 0
 
 let close w =
   if not w.closed then begin
-    fsync_out w.oc;
-    close_out w.oc;
+    w.out.Io.fsync ();
+    w.out.Io.close ();
     w.closed <- true
   end

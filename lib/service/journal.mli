@@ -32,7 +32,11 @@
     Durability: the writer flushes every record to the OS ([write(2)]) as it
     is appended — a [SIGKILL] loses nothing already appended — and batches
     the much more expensive [fsync(2)] every [fsync_every] records (plus on
-    {!sync}/{!close}), so a power failure can lose at most the last batch. *)
+    {!sync}/{!close}), so a power failure can lose at most the last batch.
+
+    All file access goes through an injectable {!Io} backend (default
+    {!Real_io.v}); the deterministic simulation tests swap in a simulated
+    filesystem that crashes at every I/O boundary. *)
 
 type header = {
   policy : string;  (** policy short name, as accepted by [Policy.of_name] *)
@@ -73,19 +77,20 @@ type read = {
 }
 
 val of_string : string -> (read, string) result
-val read_file : string -> (read, string) result
+val read_file : ?io:Io.t -> string -> (read, string) result
 
 (** {1 Writing} *)
 
 type writer
 
-val create : ?fsync_every:int -> path:string -> header -> writer
+val create : ?io:Io.t -> ?fsync_every:int -> path:string -> header -> writer
 (** Truncates/creates [path] and writes the header. [fsync_every] (default
     [64]) batches fsyncs; [1] syncs every record.
-    @raise Sys_error on IO failure.
+    @raise Sys_error on IO failure (with the default backend).
     @raise Invalid_argument if [fsync_every < 1] or [header.base < 0]. *)
 
-val append_to : ?fsync_every:int -> path:string -> header -> (writer * read, string) result
+val append_to :
+  ?io:Io.t -> ?fsync_every:int -> path:string -> header -> (writer * read, string) result
 (** Re-opens an existing journal for appending after validating that its
     header equals [header] (a policy/capacity/seed mismatch is an error, not
     a silent divergence); returns the already-present records too. A missing
@@ -100,7 +105,8 @@ val sync : writer -> unit
 val truncate : writer -> new_base:int -> unit
 (** Atomically replaces the file with an empty journal whose header carries
     [base = new_base] — called after a successful snapshot absorbed the
-    prefix. Written to a temp file, fsynced, then renamed over [path]. *)
+    prefix. Written via {!Io.atomic_replace} (temp file, fsync, rename,
+    directory fsync). *)
 
 val close : writer -> unit
 (** {!sync} then close. The writer is unusable afterwards. *)

@@ -1,0 +1,9 @@
+(** The default {!Io} backend: [out_channel] + [Unix].
+
+    This is exactly the I/O the service performed before the backend was
+    injectable, plus directory fsyncs: {!Io.t.fsync_dir} opens the directory
+    read-only and fsyncs its fd, so renames and creations survive a power
+    cut (best-effort — filesystems that refuse to fsync a directory degrade
+    gracefully). All service entry points default to this backend. *)
+
+val v : Io.t

@@ -100,13 +100,15 @@ let rec take n = function
   | [] -> []
   | x :: rest -> x :: take (n - 1) rest
 
-let recover ?snapshot ~journal () =
-  let* j = Result.map_error (Printf.sprintf "%s: %s" journal) (Journal.read_file journal) in
+let recover ?(io = Real_io.v) ?snapshot ~journal () =
+  let* j =
+    Result.map_error (Printf.sprintf "%s: %s" journal) (Journal.read_file ~io journal)
+  in
   let header = j.Journal.header in
   let* snap =
     match snapshot with
-    | Some path when Sys.file_exists path ->
-        let* s = Snapshot.load ~path in
+    | Some path when io.Io.file_exists path ->
+        let* s = Snapshot.load ~io ~path () in
         Ok (Some s)
     | Some _ | None -> Ok None
   in

@@ -44,10 +44,11 @@ val replay :
     shadow check. *)
 
 val recover :
-  ?snapshot:string -> journal:string -> unit -> (state, string) result
+  ?io:Io.t -> ?snapshot:string -> journal:string -> unit -> (state, string) result
 (** [snapshot] names where snapshots are written; a missing snapshot file is
     not an error (recovery then replays the whole journal), a corrupt one
-    is. A missing or corrupt journal is an error. *)
+    is. A missing or corrupt journal is an error. [io] (default
+    {!Real_io.v}) is the backend both files are read through. *)
 
 val render : state -> string
 (** Operator-facing multi-line summary of the recovered state. *)

@@ -26,6 +26,7 @@ type metrics = {
 
 type t = {
   config : config;
+  io : Io.t;
   session : Session.t;
   journal : Journal.writer option;
   mutable history_rev : Journal.event list;
@@ -60,10 +61,11 @@ let validate_config c =
   in
   Ok ()
 
-let make_t config session journal ~history ~since_snapshot =
+let make_t config ~io session journal ~history ~since_snapshot =
   let history_rev = List.rev history in
   {
     config;
+    io;
     session;
     journal;
     history_rev;
@@ -79,7 +81,7 @@ let make_t config session journal ~history ~since_snapshot =
     closed = false;
   }
 
-let create config =
+let create ?(io = Real_io.v) config =
   let* () = validate_config config in
   let* policy = Policy.of_name ~rng:(Rng.create ~seed:config.seed) config.policy in
   let session = Session.create ~record_trace:false ~capacity:config.capacity ~policy () in
@@ -88,16 +90,16 @@ let create config =
     | None -> Ok None
     | Some path -> (
         match
-          Journal.create ~fsync_every:config.fsync_every ~path
+          Journal.create ~io ~fsync_every:config.fsync_every ~path
             { Journal.policy = config.policy; seed = config.seed;
               capacity = config.capacity; base = 0 }
         with
         | w -> Ok (Some w)
         | exception Sys_error msg -> Error msg)
   in
-  Ok (make_t config session journal ~history:[] ~since_snapshot:0)
+  Ok (make_t config ~io session journal ~history:[] ~since_snapshot:0)
 
-let resume config (st : Recovery.state) =
+let resume ?(io = Real_io.v) config (st : Recovery.state) =
   let* () = validate_config config in
   let* () =
     if st.Recovery.policy <> config.policy then
@@ -119,15 +121,23 @@ let resume config (st : Recovery.state) =
     match config.journal with
     | None -> Ok None
     | Some path ->
-        let* w, _ =
-          Journal.append_to ~fsync_every:config.fsync_every ~path
+        let* w, r =
+          Journal.append_to ~io ~fsync_every:config.fsync_every ~path
             { Journal.policy = config.policy; seed = config.seed;
               capacity = config.capacity; base = 0 }
         in
+        (* A crash between a snapshot's rename and the journal truncate
+           leaves the snapshot ahead of the journal (both files durable,
+           both valid). Appending to the stale journal would skip the
+           events only the snapshot holds, so bring its base up to the
+           recovered frontier first. *)
+        let frontier = r.Journal.header.base + List.length r.Journal.events in
+        let recovered = List.length st.Recovery.history in
+        if frontier < recovered then Journal.truncate w ~new_base:recovered;
         Ok (Some w)
   in
   Ok
-    (make_t config st.Recovery.session journal ~history:st.Recovery.history
+    (make_t config ~io st.Recovery.session journal ~history:st.Recovery.history
        ~since_snapshot:st.Recovery.from_journal)
 
 let metrics t =
@@ -175,7 +185,7 @@ let take_snapshot t =
         Snapshot.digest_of_session ~policy:t.config.policy ~seed:t.config.seed
           ~capacity:t.config.capacity ~history:(List.rev t.history_rev) t.session
       in
-      Snapshot.write ~path digest;
+      Snapshot.write ~io:t.io ~path digest;
       (match t.journal with
       | Some w -> Journal.truncate w ~new_base:t.events
       | None -> ());

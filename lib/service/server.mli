@@ -44,13 +44,14 @@ type metrics = {
   events : int;  (** applied events (placements + departures) since genesis *)
 }
 
-val create : config -> (t, string) result
+val create : ?io:Io.t -> config -> (t, string) result
 (** Fresh server: empty session, fresh journal (truncates an existing file —
-    use {!resume} to continue one).
+    use {!resume} to continue one). [io] (default {!Real_io.v}) is the
+    backend journal and snapshot writes go through.
     Errors on an unknown policy, an invalid [snapshot_every]/[fsync_every],
     or [snapshot_every] without a snapshot path. *)
 
-val resume : config -> Recovery.state -> (t, string) result
+val resume : ?io:Io.t -> config -> Recovery.state -> (t, string) result
 (** Continue serving from a recovered state. The config must agree with the
     recovered policy/seed/capacity; the journal is re-opened for appending
     (validating its header) rather than truncated. *)

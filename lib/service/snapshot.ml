@@ -213,18 +213,9 @@ let of_string text =
         }
   end
 
-let write ~path s =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (to_string s);
-      flush oc;
-      Unix.fsync (Unix.descr_of_out_channel oc));
-  Sys.rename tmp path
+let write ?(io = Real_io.v) ~path s = Io.atomic_replace io ~path (to_string s)
 
-let load ~path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | text -> Result.map_error (Printf.sprintf "%s: %s" path) (of_string text)
-  | exception Sys_error msg -> Error msg
+let load ?(io = Real_io.v) ~path () =
+  match io.Io.read_file path with
+  | Ok text -> Result.map_error (Printf.sprintf "%s: %s" path) (of_string text)
+  | Error msg -> Error msg

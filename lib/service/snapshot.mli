@@ -52,7 +52,8 @@ val of_string : string -> (t, string) result
 (** Fully validated; reports the offending line. Checks internally that the
     recorded event count matches the history section. *)
 
-val write : path:string -> t -> unit
-(** Atomic: temp file, fsync, rename. @raise Sys_error on IO failure. *)
+val write : ?io:Io.t -> path:string -> t -> unit
+(** Atomic: temp file, fsync, rename, directory fsync (see
+    {!Io.atomic_replace}). @raise Sys_error on IO failure (default backend). *)
 
-val load : path:string -> (t, string) result
+val load : ?io:Io.t -> path:string -> unit -> (t, string) result

@@ -1,0 +1,84 @@
+module Journal = Dvbp_service.Journal
+module Session = Dvbp_engine.Session
+module Bin = Dvbp_core.Bin
+module Item = Dvbp_core.Item
+
+type t = {
+  clock : float;
+  cost : float;
+  bins_opened : int;
+  open_bins : (int * int list) list; (* opening order; occupants in placement order *)
+}
+
+let initial = { clock = 0.0; cost = 0.0; bins_opened = 0; open_bins = [] }
+
+let accrue m time =
+  {
+    m with
+    cost = m.cost +. ((time -. m.clock) *. float_of_int (List.length m.open_bins));
+    clock = time;
+  }
+
+let apply m = function
+  | Journal.Arrive { time; item_id; bin_id; opened_new_bin; _ } ->
+      let m = accrue m time in
+      if opened_new_bin then
+        {
+          m with
+          bins_opened = m.bins_opened + 1;
+          open_bins = m.open_bins @ [ (bin_id, [ item_id ]) ];
+        }
+      else
+        {
+          m with
+          open_bins =
+            List.map
+              (fun (b, occ) -> if b = bin_id then (b, occ @ [ item_id ]) else (b, occ))
+              m.open_bins;
+        }
+  | Journal.Depart { time; item_id } ->
+      let m = accrue m time in
+      {
+        m with
+        open_bins =
+          List.filter_map
+            (fun (b, occ) ->
+              if List.mem item_id occ then
+                match List.filter (fun i -> i <> item_id) occ with
+                | [] -> None
+                | occ' -> Some (b, occ')
+              else Some (b, occ))
+            m.open_bins;
+      }
+
+let of_events events = List.fold_left apply initial events
+
+let agrees_with m session =
+  let fail fmt = Printf.ksprintf (fun s -> Error ("model mismatch: " ^ s)) fmt in
+  if Session.now session <> m.clock then
+    fail "clock %.17g, model says %.17g" (Session.now session) m.clock
+  else if Session.cost_so_far session <> m.cost then
+    fail "cost %.17g, model says %.17g" (Session.cost_so_far session) m.cost
+  else if Session.bins_opened session <> m.bins_opened then
+    fail "bins_opened %d, model says %d" (Session.bins_opened session) m.bins_opened
+  else
+    let norm bins =
+      List.map (fun (b, occ) -> (b, List.sort Int.compare occ)) bins
+    in
+    let live =
+      List.map
+        (fun (b : Bin.t) ->
+          (b.Bin.id, List.map (fun (r : Item.t) -> r.Item.id) b.Bin.active_items))
+        (Session.open_bins session)
+    in
+    if norm live <> norm m.open_bins then
+      let render bins =
+        String.concat ";"
+          (List.map
+             (fun (b, occ) ->
+               Printf.sprintf "%d{%s}" b
+                 (String.concat "," (List.map string_of_int occ)))
+             (norm bins))
+      in
+      fail "open bins [%s], model says [%s]" (render live) (render m.open_bins)
+    else Ok ()

@@ -1,0 +1,32 @@
+(** Pure in-memory reference model for the state-machine test.
+
+    Deliberately {e independent} of the engine: it never consults a policy
+    or a [Session] — it folds over the recorded events (arrival placements
+    as the live server replied them, departures) with its own five-line
+    bookkeeping of clock, accumulated bin-time cost, bins opened, and the
+    open-bin occupancy map. A recovered session that disagrees with this
+    fold has corrupted state, whatever the engine's own invariants say.
+
+    Cost comparison is exact float equality; the state-machine test feeds
+    integer-valued timestamps, for which both the model's incremental
+    accrual and the session's per-bin summation are exact. *)
+
+type t = {
+  clock : float;
+  cost : float;
+  bins_opened : int;
+  open_bins : (int * int list) list;
+      (** opening order; occupants in placement order *)
+}
+
+val initial : t
+
+val apply : t -> Dvbp_service.Journal.event -> t
+(** Pure: accrue cost to the event's time, then apply the placement or
+    departure (a departure emptying a bin closes it). *)
+
+val of_events : Dvbp_service.Journal.event list -> t
+
+val agrees_with : t -> Dvbp_engine.Session.t -> (unit, string) result
+(** Exact comparison of clock, cost, bins opened, and open-bin occupancy
+    (ids in opening order, occupants compared as sets). *)

@@ -1,0 +1,14 @@
+let var = "DVBP_SIM_BUDGET"
+
+let parse s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> n
+  | Some n ->
+      invalid_arg (Printf.sprintf "%s must be a positive integer (got %d)" var n)
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "%s must be a positive integer (got %S); unset it for the quick profile"
+           var s)
+
+let budget () = match Sys.getenv_opt var with Some s -> parse s | None -> 1

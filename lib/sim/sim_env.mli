@@ -1,0 +1,15 @@
+(** [DVBP_SIM_BUDGET]: scale factor for the simulation-testing suites.
+
+    [1] (the default) is the quick CI profile; larger values multiply the
+    crash-point sweep's workload size and the state-machine test's case
+    count for longer local soaks. Validated the same way as [DVBP_JOBS]: a
+    non-integer or non-positive value is a clear [Invalid_argument], never
+    a silent fallback. *)
+
+val var : string
+
+val budget : unit -> int
+(** @raise Invalid_argument if the variable is set but invalid. *)
+
+val parse : string -> int
+(** Exposed for the validation tests. *)

@@ -1,0 +1,76 @@
+(** Deterministic in-memory filesystem with fault injection.
+
+    Implements the service layer's {!Dvbp_service.Io} contract entirely in
+    memory, tracking — per file — the OS-cache view and the fsynced durable
+    prefix, and — per directory — which entry changes (creations, renames)
+    have been made durable by [fsync_dir]. A seeded {!Dvbp_prelude.Rng}
+    drives every nondeterministic fault decision, so a failing schedule
+    replays exactly from its seed.
+
+    {b Fault model.} A crash may be planted at any I/O boundary
+    ({!plan_crash}): the scheduled operation raises {!Crash} before taking
+    effect and every later operation raises too (the process is dead).
+    {!crash} then reboots the filesystem into the post-power-cut state:
+
+    - bytes buffered in a handle but never flushed vanish;
+    - bytes flushed but not fsynced are {e torn} at a byte offset chosen by
+      the crash mode — anywhere between the synced prefix and the full
+      cache view, so a record can be cut mid-line;
+    - renames and creations not yet covered by a directory fsync are kept
+      or rolled back per the mode — rolling back a tmp-file rename restores
+      the old destination {e and} resurrects the [.tmp]; rolling back a
+      creation drops the inode's directory entries, except that an entry a
+      {e kept} rename installed over an existing file falls back to the file
+      it replaced (a crashed [rename(2)] leaves the old or the new entry,
+      never a dangling one).
+
+    Simplification: truncating an existing file discards its old contents
+    even at a crash. Service code only truncates fresh [.tmp] files whose
+    stale contents are never read back, so no covered crash window is lost.
+
+    The three blanket modes bracket the outcome space ([Lose_unsynced] and
+    [Keep_unsynced] are the two extremes, [Torn] samples the middle);
+    [Directed] lets a test force one specific combination — e.g. "keep the
+    journal truncation's rename but roll back the snapshot's" to exhibit
+    the crash-after-rename-before-dirsync window. *)
+
+exception Crash
+
+type mode =
+  | Lose_unsynced  (** only fsynced bytes/dirsynced entries survive *)
+  | Keep_unsynced  (** everything flushed survives (fsync was "about to win") *)
+  | Torn  (** rng-chosen tear offsets and entry coin-flips *)
+  | Directed of {
+      keep_rename : dst:string -> bool;
+      keep_create : path:string -> bool;
+      tear : path:string -> synced:int -> length:int -> int;
+          (** returns the surviving length, clamped to [[synced, length]] *)
+    }
+
+val mode_name : mode -> string
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh empty filesystem; [seed] (default 0) seeds the fault rng. *)
+
+val io : t -> Dvbp_service.Io.t
+(** The backend view: hand this to [Journal]/[Snapshot]/[Recovery]/[Server]. *)
+
+val ops : t -> int
+(** Mutating I/O operations performed so far (the boundary counter). *)
+
+val plan_crash : t -> at_op:int -> unit
+(** Arrange for boundary [at_op] (0-based, counted by {!ops}) to raise
+    {!Crash} instead of executing. *)
+
+val crash : t -> mode:mode -> unit
+(** Apply power-cut semantics (see the fault model above) and reboot: the
+    filesystem is alive again, holding exactly the durable state. All open
+    handles are invalidated. *)
+
+val exists : t -> string -> bool
+val contents : t -> string -> string option
+
+val dump : t -> (string * string) list
+(** Every live file with its current (cache-view) contents, sorted by path. *)

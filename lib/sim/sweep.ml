@@ -1,0 +1,155 @@
+module Rng = Dvbp_prelude.Rng
+module Io = Dvbp_service.Io
+module Journal = Dvbp_service.Journal
+module Recovery = Dvbp_service.Recovery
+module Server = Dvbp_service.Server
+module Loadgen = Dvbp_service.Loadgen
+module Session = Dvbp_engine.Session
+module Uniform_model = Dvbp_workload.Uniform_model
+
+type failure = { boundary : int; mode : string; message : string }
+
+type outcome = {
+  boundaries : int;
+  scenarios : int;
+  events : int;
+  failures : failure list;
+}
+
+let journal_path = "sim/j.log"
+let snapshot_path = "sim/s.snap"
+let modes = [ Sim_fs.Lose_unsynced; Sim_fs.Keep_unsynced; Sim_fs.Torn ]
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let rec is_prefix xs ~of_ =
+  match (xs, of_) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs, y :: ys -> Journal.equal_event x y && is_prefix xs ~of_:ys
+
+(* Drive one protocol line and insist it was applied: the canonical workload
+   is all-accepting, so a REJECT/ERR anywhere means the recovered session
+   diverged from the uninterrupted one. *)
+let apply_line server line =
+  let reply, quit = Server.handle_line server line in
+  if quit then failwith "unexpected QUIT reply";
+  match reply.[0] with
+  | 'P' | 'O' -> ()
+  | _ -> failwith (Printf.sprintf "request %S refused: %s" line reply)
+
+let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
+    ?(snapshot_every = 5) ?(wrap = fun io -> io) () =
+  let params = { Uniform_model.d = 2; n; mu = 10; span = 60; bin_size = 100 } in
+  let inst = Uniform_model.generate params ~rng:(Rng.create ~seed:(seed + 1)) in
+  let lines = Loadgen.script inst in
+  let config =
+    {
+      Server.policy;
+      seed;
+      capacity = Uniform_model.capacity params;
+      journal = Some journal_path;
+      snapshot = Some snapshot_path;
+      snapshot_every = Some snapshot_every;
+      fsync_every;
+    }
+  in
+  (* Uninterrupted run: fixes the boundary count, the canonical event
+     history, and the reference final state. *)
+  let fs0 = Sim_fs.create ~seed () in
+  let io0 = wrap (Sim_fs.io fs0) in
+  let server =
+    match Server.create ~io:io0 config with
+    | Ok s -> s
+    | Error e -> failwith ("sweep baseline: " ^ e)
+  in
+  List.iter (apply_line server) lines;
+  let baseline_fp = Session.fingerprint (Server.session server) in
+  Server.close server;
+  let boundaries = Sim_fs.ops fs0 in
+  let canonical =
+    match Recovery.recover ~io:io0 ~snapshot:snapshot_path ~journal:journal_path () with
+    | Ok st -> st.Recovery.history
+    | Error e -> failwith ("sweep baseline recovery: " ^ e)
+  in
+  let events = List.length canonical in
+  if List.length lines <> events then
+    failwith "sweep baseline: not every request became a journaled event";
+  (* One scenario: crash at boundary [k], power-cut with [mode], recover,
+     replay the rest of the workload, compare final fingerprints. *)
+  let scenario k mode_idx mode =
+    let fs = Sim_fs.create ~seed:(seed + (1000 * (k + 1)) + mode_idx) () in
+    let io = wrap (Sim_fs.io fs) in
+    Sim_fs.plan_crash fs ~at_op:k;
+    (try
+       match Server.create ~io config with
+       | Error e -> failwith ("server create: " ^ e)
+       | Ok server ->
+           List.iter (fun line -> ignore (Server.handle_line server line)) lines;
+           Server.close server;
+           failwith "planned crash never fired"
+     with Sim_fs.Crash -> ());
+    Sim_fs.crash fs ~mode;
+    let resumed, recovered_events =
+      if Sim_fs.exists fs journal_path then
+        match Recovery.recover ~io ~snapshot:snapshot_path ~journal:journal_path () with
+        | Error e -> failwith ("recovery: " ^ e)
+        | Ok st ->
+            if not (is_prefix st.Recovery.history ~of_:canonical) then
+              failwith "recovered history is not a prefix of the canonical history";
+            let m = List.length st.Recovery.history in
+            (match Server.resume ~io config st with
+            | Ok s -> (s, m)
+            | Error e -> failwith ("resume: " ^ e))
+      else
+        (* the journal's creation itself was rolled back: no durable state
+           ever existed, so the operator starts from scratch *)
+        match Server.create ~io config with
+        | Ok s -> (s, 0)
+        | Error e -> failwith ("fresh restart: " ^ e)
+    in
+    List.iter (apply_line resumed) (drop recovered_events lines);
+    let fp = Session.fingerprint (Server.session resumed) in
+    Server.close resumed;
+    if fp <> baseline_fp then
+      failwith
+        (Printf.sprintf "final state diverged after %d recovered events:\n  crashed: %s\n  baseline: %s"
+           recovered_events fp baseline_fp)
+  in
+  let failures = ref [] in
+  for k = 0 to boundaries - 1 do
+    List.iteri
+      (fun mode_idx mode ->
+        try scenario k mode_idx mode with
+        | Failure message ->
+            failures := { boundary = k; mode = Sim_fs.mode_name mode; message } :: !failures
+        | e ->
+            failures :=
+              { boundary = k; mode = Sim_fs.mode_name mode; message = Printexc.to_string e }
+              :: !failures)
+      modes
+  done;
+  {
+    boundaries;
+    scenarios = boundaries * List.length modes;
+    events;
+    failures = List.rev !failures;
+  }
+
+let render o =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "crash-point sweep: %d boundaries x %d modes = %d scenarios over %d events: %s"
+       o.boundaries (List.length modes) o.scenarios o.events
+       (if o.failures = [] then "all recovered bit-identically"
+        else Printf.sprintf "%d FAILURES" (List.length o.failures)));
+  List.iteri
+    (fun i f ->
+      if i < 5 then
+        Buffer.add_string b
+          (Printf.sprintf "\n  boundary %d, mode %s: %s" f.boundary f.mode f.message))
+    o.failures;
+  if List.length o.failures > 5 then
+    Buffer.add_string b (Printf.sprintf "\n  ... and %d more" (List.length o.failures - 5));
+  Buffer.contents b

@@ -1,0 +1,47 @@
+(** Exhaustive crash-point sweep over the serve → journal → snapshot path.
+
+    One uninterrupted run of a canonical workload over {!Sim_fs} fixes the
+    number of I/O boundaries [B], the canonical event history, and the
+    reference final state ({!Dvbp_engine.Session.fingerprint}). Then, for
+    {e every} boundary [k < B] and every blanket crash mode (lose-unsynced,
+    keep-unsynced, torn), the same run is repeated with a crash planted at
+    [k]; after the power cut the surviving files are recovered, the
+    remainder of the workload is replayed through a resumed server, and the
+    final fingerprint must equal the reference bit for bit. Along the way
+    the recovered history must be a prefix of the canonical one, and every
+    replayed request must be accepted.
+
+    A rolled-back journal creation (nothing durable ever existed) is
+    handled the way an operator would: start a fresh server and replay the
+    whole workload.
+
+    Failures are collected, not thrown — the callers assert [failures = []]
+    (or, for the sensitivity smoke with a sabotaged backend, that failures
+    are present). *)
+
+type failure = { boundary : int; mode : string; message : string }
+
+type outcome = {
+  boundaries : int;  (** I/O boundaries in the uninterrupted run *)
+  scenarios : int;  (** boundaries x crash modes *)
+  events : int;  (** events in the canonical history *)
+  failures : failure list;
+}
+
+val run :
+  ?policy:string ->
+  ?seed:int ->
+  ?n:int ->
+  ?fsync_every:int ->
+  ?snapshot_every:int ->
+  ?wrap:(Dvbp_service.Io.t -> Dvbp_service.Io.t) ->
+  unit ->
+  outcome
+(** Defaults: [policy = "mtf"], [seed = 11], [n = 12] items, [fsync_every =
+    3], [snapshot_every = 5] (small batches so fsync batching and journal
+    truncation both land inside the sweep). [wrap] decorates the simulated
+    backend — the sensitivity smoke uses it to sabotage the torn-record
+    guard and prove the sweep notices. *)
+
+val render : outcome -> string
+(** One-line summary plus the first few failures. *)

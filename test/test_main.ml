@@ -8,5 +8,5 @@ let () =
    @ Test_lowerbound.suites @ Test_workload.suites @ Test_adversary.suites
    @ Test_registry.suites @ Test_analysis.suites @ Test_report.suites
    @ Test_experiments.suites @ Test_session.suites @ Test_golden.suites
-   @ Test_props.suites @ Test_service.suites @ Test_cli.suites
-   @ Test_printers.suites)
+   @ Test_props.suites @ Test_service.suites @ Test_sim.suites
+   @ Test_cli.suites @ Test_printers.suites)

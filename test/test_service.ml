@@ -266,7 +266,7 @@ let snapshot_tests =
         with_tmp_dir (fun dir ->
             let path = Filename.concat dir "s.snap" in
             Snapshot.write ~path (digest_of (replay_exn sample_events));
-            let snap' = ok_or_fail (Snapshot.load ~path) in
+            let snap' = ok_or_fail (Snapshot.load ~path ()) in
             check_int "history" (List.length sample_events)
               (List.length snap'.Snapshot.history)));
     Alcotest.test_case "event count mismatch rejected" `Quick (fun () ->
