@@ -466,7 +466,7 @@ let run_json path =
     lg_bare.Dvbp_service.Loadgen.events_per_sec;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"label\": \"pr3\",\n";
+  Buffer.add_string buf "  \"label\": \"pr5\",\n";
   Buffer.add_string buf "  \"generated_by\": \"bench/main.ml --json\",\n";
   Buffer.add_string buf
     "  \"workload\": { \"model\": \"uniform (Table 2)\", \"n_items\": 1000, \"span\": 1000, \"bin_size\": 100, \"record_trace\": false },\n";
@@ -504,12 +504,15 @@ let run_json path =
     (Printf.sprintf "    \"identical_across_jobs\": %b\n" identical);
   Buffer.add_string buf "  },\n";
   let lg_json name (r : Dvbp_service.Loadgen.report) =
+    let lat = r.Dvbp_service.Loadgen.latency_us in
     Printf.sprintf
       "    %S: { \"events\": %d, \"events_per_sec\": %.1f, \
-       \"latency_mean_us\": %.1f, \"latency_max_us\": %.1f }"
+       \"latency_mean_us\": %.1f, \"latency_p50_us\": %.1f, \
+       \"latency_p90_us\": %.1f, \"latency_p99_us\": %.1f, \
+       \"latency_max_us\": %.1f }"
       name r.Dvbp_service.Loadgen.events r.Dvbp_service.Loadgen.events_per_sec
-      (Dvbp_stats.Running.mean r.Dvbp_service.Loadgen.latency_us)
-      (Dvbp_stats.Running.max_value r.Dvbp_service.Loadgen.latency_us)
+      lat.Dvbp_obs.Histogram.mean lat.Dvbp_obs.Histogram.p50 lat.Dvbp_obs.Histogram.p90
+      lat.Dvbp_obs.Histogram.p99 lat.Dvbp_obs.Histogram.max_v
   in
   Buffer.add_string buf "  \"service_loadgen\": {\n";
   Buffer.add_string buf
@@ -549,7 +552,7 @@ let () =
         let path, rest =
           match rest with
           | p :: rest' when not (String.length p > 0 && p.[0] = '-') -> (p, rest')
-          | _ -> ("BENCH_pr3.json", rest)
+          | _ -> ("BENCH_pr5.json", rest)
         in
         parse ~json:(Some path) ~jobs rest
     | arg :: _ -> fail (Printf.sprintf "unknown argument %S" arg)

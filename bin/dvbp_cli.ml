@@ -11,7 +11,8 @@
      opt       exact optimal cost of a (small) CSV trace
      serve     durable online placement service (line protocol on stdio)
      recover   rebuild + verify service state from journal/snapshot
-     loadgen   replay a workload against a live server, report throughput *)
+     loadgen   replay a workload against a live server, report throughput
+     metrics   pretty-print a METRICS / --metrics-dump snapshot *)
 
 open Cmdliner
 module Rng = Dvbp_prelude.Rng
@@ -260,11 +261,18 @@ let serve_cmd =
              ~doc:"Recover from an existing journal/snapshot before serving \
                    (a fresh journal is started otherwise).")
   in
-  let action policy seed capacity journal snapshot snapshot_every fsync_every resume =
+  let metrics_dump_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-dump" ] ~docv:"FILE"
+             ~doc:"Write the final METRICS snapshot here on exit \
+                   (pretty-print it with $(b,dvbp metrics)).")
+  in
+  let action policy seed capacity journal snapshot snapshot_every fsync_every resume
+      metrics_dump =
     match
       Cli.Service_cli.serve
         { Cli.Service_cli.policy; seed; capacity; journal; snapshot;
-          snapshot_every; fsync_every; resume }
+          snapshot_every; fsync_every; resume; metrics_dump }
         stdin stdout
     with
     | Ok () -> 0
@@ -274,7 +282,8 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Durable online placement service: ARRIVE/DEPART line protocol on stdio")
     Term.(const action $ policy_arg $ seed_arg $ capacity_arg $ journal_arg
-          $ snapshot_arg $ snapshot_every_arg $ fsync_every_arg $ resume_arg)
+          $ snapshot_arg $ snapshot_every_arg $ fsync_every_arg $ resume_arg
+          $ metrics_dump_arg)
 
 let recover_cmd =
   let journal_pos =
@@ -328,12 +337,28 @@ let loadgen_cmd =
           $ rho_arg $ seed_arg $ policy_arg $ policy_seed_arg $ journal_arg
           $ snapshot_arg $ snapshot_every_arg $ emit_arg)
 
+let metrics_cmd =
+  let file_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"A metrics dump: the output of $(b,--metrics-dump) or a saved \
+                   METRICS reply.")
+  in
+  let action file =
+    match Cli.Metrics_report.of_file file with
+    | Ok rendered -> print_string rendered; 0
+    | Error e -> prerr_endline e; 1
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Pretty-print a Prometheus-style metrics snapshot")
+    Term.(const action $ file_pos)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dvbp" ~version:"1.0.0"
        ~doc:"MinUsageTime Dynamic Vector Bin Packing — simulator and experiments")
     [ run_cmd; figure4_cmd; table1_cmd; table2_cmd; figures_cmd; adversary_cmd;
-      describe_cmd; opt_cmd; serve_cmd; recover_cmd; loadgen_cmd ]
+      describe_cmd; opt_cmd; serve_cmd; recover_cmd; loadgen_cmd; metrics_cmd ]
 
 (* Error-path hardening: whatever escapes a subcommand becomes one line on
    stderr and a non-zero exit, never a raw backtrace. *)

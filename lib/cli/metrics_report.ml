@@ -1,0 +1,123 @@
+module Prom = Dvbp_obs.Prom
+module Table = Dvbp_report.Table
+
+let strip_suffix name suffix =
+  let nl = String.length name and sl = String.length suffix in
+  if nl > sl && String.sub name (nl - sl) sl = suffix then Some (String.sub name 0 (nl - sl))
+  else None
+
+let labels_string labels =
+  match labels with
+  | [] -> "-"
+  | _ -> String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+
+let fmt v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+(* Summary families render as several exposition rows (quantile samples
+   plus _count/_sum/_max); fold each back into one table row. A family is
+   recognised by its _count/_sum pair so empty histograms (which emit no
+   quantile samples) still fold. *)
+let summary_bases rows =
+  List.filter_map
+    (fun (r : Prom.row) ->
+      match strip_suffix r.Prom.name "_count" with
+      | Some base
+        when List.exists (fun (s : Prom.row) -> s.Prom.name = base ^ "_sum") rows ->
+          Some base
+      | _ -> None)
+    rows
+
+let of_text text =
+  match Prom.parse text with
+  | Error e -> Error (Printf.sprintf "unparseable metrics: %s" e)
+  | Ok rows ->
+      let bases = summary_bases rows in
+      let is_summary_row (r : Prom.row) =
+        List.mem r.Prom.name bases
+        || List.exists
+             (fun suffix ->
+               match strip_suffix r.Prom.name suffix with
+               | Some base -> List.mem base bases
+               | None -> false)
+             [ "_count"; "_sum"; "_max" ]
+      in
+      let scalars = List.filter (fun r -> not (is_summary_row r)) rows in
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf "counters and gauges:\n";
+      Buffer.add_string buf
+        (Table.render
+           ~header:[ "metric"; "labels"; "value" ]
+           ~rows:
+             (List.map
+                (fun (r : Prom.row) ->
+                  [ r.Prom.name; labels_string r.Prom.labels; fmt r.Prom.value ])
+                scalars));
+      (* one summary row per (family, labels-of-_count-row) *)
+      let summary_rows =
+        List.filter_map
+          (fun (r : Prom.row) ->
+            match strip_suffix r.Prom.name "_count" with
+            | Some base when List.mem base bases ->
+                let labels = r.Prom.labels in
+                let pick name extra_labels =
+                  Prom.find rows ~labels:(labels @ extra_labels) name
+                in
+                let count = r.Prom.value in
+                let sum =
+                  match pick (base ^ "_sum") [] with Some s -> s.Prom.value | None -> 0.0
+                in
+                let mean = if count > 0.0 then sum /. count else 0.0 in
+                let q v =
+                  match pick base [ ("quantile", v) ] with
+                  | Some s -> fmt s.Prom.value
+                  | None -> "-"
+                in
+                let mx =
+                  match pick (base ^ "_max") [] with
+                  | Some s -> fmt s.Prom.value
+                  | None -> "-"
+                in
+                Some
+                  [
+                    base; labels_string labels; fmt count; fmt mean; q "0.5"; q "0.9";
+                    q "0.99"; mx;
+                  ]
+            | _ -> None)
+          rows
+      in
+      if summary_rows <> [] then begin
+        Buffer.add_string buf "\nlatency summaries (seconds):\n";
+        Buffer.add_string buf
+          (Table.render
+             ~header:[ "metric"; "labels"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+             ~rows:summary_rows)
+      end;
+      (match Prom.parse_spans text with
+      | [] -> ()
+      | spans ->
+          Buffer.add_string buf "\nrecent spans:\n";
+          Buffer.add_string buf
+            (Table.render
+               ~header:[ "span"; "start"; "duration_s" ]
+               ~rows:
+                 (List.map
+                    (fun (s : Prom.span) ->
+                      [ s.Prom.sp_name; Printf.sprintf "%.6f" s.Prom.sp_start;
+                        Printf.sprintf "%.6f" s.Prom.sp_dur ])
+                    spans)));
+      Ok (Buffer.contents buf)
+
+let of_file path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "metrics dump %s does not exist" path)
+  else begin
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_text text
+  end

@@ -1,0 +1,11 @@
+(** Pretty-printer behind [dvbp metrics]: turns a Prometheus-style dump
+    (the [METRICS] reply or a [--metrics-dump] file) into operator-facing
+    tables — one for counters and gauges, one folding each latency-summary
+    family ([name{quantile=..}] plus [_count]/[_sum]/[_max]) into a single
+    count/mean/p50/p90/p99/max row, and one listing recent spans. *)
+
+val of_text : string -> (string, string) result
+(** Renders dump text; [Error] names the first unparseable line. *)
+
+val of_file : string -> (string, string) result
+(** {!of_text} over a file's contents; a missing file is a clean error. *)

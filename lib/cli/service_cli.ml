@@ -29,6 +29,7 @@ type serve_opts = {
   snapshot_every : int option;
   fsync_every : int;
   resume : bool;
+  metrics_dump : string option;
 }
 
 let server_config (o : serve_opts) =
@@ -50,16 +51,24 @@ let journal_has_content = Option.fold ~none:false ~some:Sys.file_exists
 
 let serve (o : serve_opts) ic oc =
   let* config = server_config o in
+  let metrics = Service.Metrics.create () in
   let* server =
     if o.resume && journal_has_content o.journal then
       let journal = Option.get o.journal in
       let* state = Service.Recovery.recover ?snapshot:o.snapshot ~journal () in
-      Service.Server.resume config state
+      Service.Server.resume ~metrics config state
     else if o.resume && o.journal = None then
       Error "--resume requires --journal"
-    else Service.Server.create config
+    else Service.Server.create ~metrics config
   in
   Service.Server.serve server ic oc;
+  (match o.metrics_dump with
+  | None -> ()
+  | Some path ->
+      let out = open_out path in
+      output_string out (Service.Metrics.render_text metrics);
+      output_char out '\n';
+      close_out out);
   Ok ()
 
 let recover ~journal ~snapshot =

@@ -20,12 +20,16 @@ type serve_opts = {
   snapshot_every : int option;
   fsync_every : int;
   resume : bool;  (** recover from the journal first, then keep serving *)
+  metrics_dump : string option;
+      (** write the final [METRICS] exposition here on exit *)
 }
 
 val serve : serve_opts -> in_channel -> out_channel -> (unit, string) result
 (** Runs the blocking request loop until QUIT/EOF. With [resume], an
     existing journal (plus snapshot, if present) is recovered and served
-    from; without it the journal is started fresh. *)
+    from; without it the journal is started fresh. With [metrics_dump],
+    the final metrics snapshot is written to that file when the loop
+    ends (readable back with [dvbp metrics]). *)
 
 val recover : journal:string -> snapshot:string option -> (string, string) result
 (** Recovers and verifies (placement-by-placement — see {!Dvbp_service.Recovery});

@@ -27,7 +27,14 @@ type t = {
   mutable stamp : int;
   mutable miss_size : int array;  (* compared physically *)
   mutable miss_stamp : int;
+  (* Observability tallies (two int stores per fit scan, never read on
+     the hot path; scraped by [scan_stats]). *)
+  mutable stat_scans : int;
+  mutable stat_candidates : int;
+  mutable stat_memo_hits : int;
 }
+
+type scan_stats = { scans : int; candidates : int; memo_hits : int }
 
 let create ~capacity =
   (* the dummy bin fills unused backing slots; it is never traversed *)
@@ -43,9 +50,19 @@ let create ~capacity =
     stamp = 0;
     miss_size = [||];
     miss_stamp = -1;
+    stat_scans = 0;
+    stat_candidates = 0;
+    stat_memo_hits = 0;
   }
 
 let count t = t.live
+
+let scan_stats t =
+  { scans = t.stat_scans; candidates = t.stat_candidates; memo_hits = t.stat_memo_hits }
+
+let[@inline] note_scan t examined =
+  t.stat_scans <- t.stat_scans + 1;
+  t.stat_candidates <- t.stat_candidates + examined
 
 let[@inline] write_free t slot (b : Bin.t) =
   let cap = (b.Bin.capacity :> int array)
@@ -195,6 +212,7 @@ let find_fitting t size =
   let size = coerce_size t size in
   let n = Dynarray.length t.bins in
   let i = scan_up t.free size t.dim n 0 in
+  note_scan t (if i < n then i + 1 else n);
   if i < n then Some (Dynarray.unsafe_get t.bins i)
   else begin
     record_miss t size;
@@ -219,6 +237,7 @@ let rfind_fitting t size =
       base := !base - d
     end
   done;
+  note_scan t (if !found then Dynarray.length bins - !i else Dynarray.length bins);
   if !found then Some (Dynarray.unsafe_get bins !i)
   else begin
     record_miss t size;
@@ -311,6 +330,7 @@ let extremal_loaded_fitting t (measure : Load_measure.t) size ~largest =
         end;
         i := next + 1
       done);
+  note_scan t n;
   if !best < 0 then begin
     record_miss t size;
     None
@@ -344,6 +364,7 @@ let recently_used_fitting t size =
     end;
     i := next + 1
   done;
+  note_scan t n;
   if !best < 0 then begin
     record_miss t size;
     None
@@ -361,14 +382,19 @@ let fold_fitting t size f init =
     if next < n then acc := f !acc (Dynarray.unsafe_get bins next);
     i := next + 1
   done;
+  note_scan t n;
   !acc
 
 let exists_fitting t size =
   let size = coerce_size t size in
-  if proven_miss t size then false
+  if proven_miss t size then begin
+    t.stat_memo_hits <- t.stat_memo_hits + 1;
+    false
+  end
   else begin
     let n = Dynarray.length t.bins in
     let i = scan_up t.free size t.dim n 0 in
+    note_scan t (if i < n then i + 1 else n);
     if i < n then true
     else begin
       record_miss t size;
@@ -386,6 +412,7 @@ let count_fitting t size =
     if next < n then incr c;
     i := next + 1
   done;
+  note_scan t n;
   if !c = 0 then record_miss t size;
   !c
 
@@ -404,6 +431,7 @@ let nth_fitting t size k =
         else decr remaining;
       i := next + 1
     done;
+    note_scan t (min !i n);
     !result
   end
 

@@ -93,5 +93,18 @@ val nth_fitting : t -> Dvbp_vec.Vec.t -> int -> Bin.t option
 val to_list : t -> Bin.t list
 (** Open bins, ascending open order. Allocates; for observers and tests. *)
 
+(** {1 Scan statistics (observability)} *)
+
+type scan_stats = {
+  scans : int;  (** fit scans performed (one per [*_fitting] call) *)
+  candidates : int;  (** total slots examined across all scans *)
+  memo_hits : int;  (** {!exists_fitting} calls answered by the miss memo *)
+}
+
+val scan_stats : t -> scan_stats
+(** Cumulative fit-scan tallies since {!create}. Maintained with two int
+    stores per scan; never read on the hot path (scraped by the metrics
+    layer at render time). *)
+
 val of_list : capacity:Dvbp_vec.Vec.t -> Bin.t list -> t
 (** Builds a registry holding exactly these bins (test helper). *)

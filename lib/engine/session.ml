@@ -36,6 +36,12 @@ type t = {
   mutable trace_rev : Trace.event list;
   mutable max_open : int;
   mutable finished : bool;
+  (* Observability tallies — scraped by the metrics layer at render
+     time, never read by the engine itself. Refused events are counted
+     here precisely because they leave everything else untouched. *)
+  mutable stat_placements : int;
+  mutable stat_departures : int;
+  mutable stat_rejects : int;
 }
 
 let create ?(record_trace = true) ?(expected_items = 64) ~capacity ~policy () =
@@ -62,6 +68,9 @@ let create ?(record_trace = true) ?(expected_items = 64) ~capacity ~policy () =
     trace_rev = [];
     max_open = 0;
     finished = false;
+    stat_placements = 0;
+    stat_departures = 0;
+    stat_rejects = 0;
   }
 
 let now t = t.clock.time
@@ -110,7 +119,7 @@ let open_fresh t ~at =
   t.max_open <- Int.max t.max_open (Bin_registry.count t.open_bins);
   b
 
-let arrive t ~at ?id ?departure ~size () =
+let arrive_core t ~at ?id ?departure ~size () =
   let given_id = match id with Some i -> i | None -> -1 in
   check_advance t at ~kind:'a' ~item:given_id;
   if Vec.dim size <> Vec.dim t.capacity then
@@ -181,7 +190,16 @@ let arrive t ~at ?id ?departure ~size () =
   t.policy.Policy.on_place ~bin:target ~now:at;
   { item_id; bin_id = target.Bin.id; opened_new_bin }
 
-let depart t ~at ~item_id =
+let arrive t ~at ?id ?departure ~size () =
+  match arrive_core t ~at ?id ?departure ~size () with
+  | p ->
+      t.stat_placements <- t.stat_placements + 1;
+      p
+  | exception (Session_error _ as e) ->
+      t.stat_rejects <- t.stat_rejects + 1;
+      raise e
+
+let depart_core t ~at ~item_id =
   check_advance t at ~kind:'d' ~item:item_id;
   let state =
     match Int_table.find t.items item_id with
@@ -207,6 +225,13 @@ let depart t ~at ~item_id =
   end
   else Bin_registry.refresh t.open_bins state.bin
 
+let depart t ~at ~item_id =
+  match depart_core t ~at ~item_id with
+  | () -> t.stat_departures <- t.stat_departures + 1
+  | exception (Session_error _ as e) ->
+      t.stat_rejects <- t.stat_rejects + 1;
+      raise e
+
 let open_bins t = Bin_registry.to_list t.open_bins
 
 let active_items t =
@@ -216,6 +241,12 @@ let active_items t =
 
 let bins_opened t = t.next_bin
 let max_open_bins t = t.max_open
+let open_bin_count t = Bin_registry.count t.open_bins
+let bins_closed t = t.next_bin - Bin_registry.count t.open_bins
+let placements t = t.stat_placements
+let departures t = t.stat_departures
+let rejects t = t.stat_rejects
+let scan_stats t = Bin_registry.scan_stats t.open_bins
 
 let cost_so_far t =
   let horizon = now t in

@@ -78,6 +78,27 @@ val bins_opened : t -> int
 val max_open_bins : t -> int
 (** Peak number of simultaneously open bins so far. *)
 
+val open_bin_count : t -> int
+(** Number of currently open bins. O(1). *)
+
+val bins_closed : t -> int
+(** Bins opened and since closed ([bins_opened - open_bin_count]). *)
+
+val placements : t -> int
+(** Successful {!arrive} calls so far. *)
+
+val departures : t -> int
+(** Successful {!depart} calls so far (including those forced by
+    {!finish}). *)
+
+val rejects : t -> int
+(** {!arrive}/{!depart} calls refused with {!Session_error}. Refused
+    events leave all other state untouched, so this is the only trace
+    they leave. *)
+
+val scan_stats : t -> Dvbp_core.Bin_registry.scan_stats
+(** Cumulative fit-scan tallies of the session's open-bin registry. *)
+
 val cost_so_far : t -> float
 (** Total bin-time accumulated up to [now] (open bins billed to [now]). *)
 

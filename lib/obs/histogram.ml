@@ -1,0 +1,114 @@
+(* Bucket layout: slot 0 holds zero/negative/NaN observations; slots
+   1 .. octaves*subs cover the frexp-exponent range (min_e, max_e], each
+   octave split into [subs] linear sub-buckets. With frexp giving
+   v = m * 2^e, m in [0.5, 1), the sub-bucket is the top three mantissa
+   bits below the leading one — so a value exactly 2^k (m = 0.5) is the
+   first sub-bucket of its octave and its bucket lower bound is 2^k
+   itself. *)
+
+let subs = 8
+let min_e = -34 (* exponents <= min_e clamp into the first octave *)
+let max_e = 30 (* exponents > max_e clamp into the last octave *)
+let octaves = max_e - min_e
+let nbuckets = 1 + (octaves * subs)
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable total : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () =
+  { counts = Array.make nbuckets 0; n = 0; total = 0.0; lo = infinity; hi = neg_infinity }
+
+let index v =
+  if not (v > 0.0) then 0 (* zero, negative, NaN *)
+  else if v = infinity then nbuckets - 1
+  else begin
+    let m, e = Float.frexp v in
+    if e <= min_e then 1
+    else if e > max_e then nbuckets - 1
+    else begin
+      (* m in [0.5, 1): (m - 0.5) * 16 in [0, 8) *)
+      let s = int_of_float ((m -. 0.5) *. 16.0) in
+      let s = if s < 0 then 0 else if s >= subs then subs - 1 else s in
+      1 + ((e - 1 - min_e) * subs) + s
+    end
+  end
+
+(* lower bound of bucket [i >= 1]: (0.5 + s/16) * 2^e *)
+let lower_bound i =
+  let o = (i - 1) / subs and s = (i - 1) mod subs in
+  Float.ldexp (0.5 +. (float_of_int s /. 16.0)) (min_e + 1 + o)
+
+let observe t v =
+  t.counts.(index v) <- t.counts.(index v) + 1;
+  t.n <- t.n + 1;
+  if not (Float.is_nan v) then begin
+    t.total <- t.total +. v;
+    if v < t.lo then t.lo <- v;
+    if v > t.hi then t.hi <- v
+  end
+
+let count t = t.n
+let sum t = t.total
+let min_value t = if t.n = 0 || t.lo = infinity then 0.0 else t.lo
+let max_value t = if t.n = 0 || t.hi = neg_infinity then 0.0 else t.hi
+
+let quantile t q =
+  if t.n = 0 then 0.0
+  else if q <= 0.0 then min_value t
+  else if q >= 1.0 then max_value t
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int t.n)) in
+    let rank = if rank < 1 then 1 else if rank > t.n then t.n else rank in
+    let idx = ref 0 and cum = ref 0 in
+    (try
+       for i = 0 to nbuckets - 1 do
+         cum := !cum + t.counts.(i);
+         if !cum >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let rep = if !idx = 0 then 0.0 else lower_bound !idx in
+    let lo = min_value t and hi = max_value t in
+    if rep < lo then lo else if rep > hi then hi else rep
+  end
+
+type snapshot = {
+  n : int;
+  total : float;
+  mean : float;
+  min_v : float;
+  max_v : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let snapshot (t : t) =
+  {
+    n = t.n;
+    total = t.total;
+    mean = (if t.n = 0 then 0.0 else t.total /. float_of_int t.n);
+    min_v = min_value t;
+    max_v = max_value t;
+    p50 = quantile t 0.5;
+    p90 = quantile t 0.9;
+    p99 = quantile t 0.99;
+  }
+
+let merge a b =
+  {
+    counts = Array.init nbuckets (fun i -> a.counts.(i) + b.counts.(i));
+    n = a.n + b.n;
+    total = a.total +. b.total;
+    lo = Float.min a.lo b.lo;
+    hi = Float.max a.hi b.hi;
+  }
+
+let bucket_counts t = Array.copy t.counts

@@ -1,0 +1,70 @@
+(** Fixed-bucket log-linear histogram for latency-like quantities.
+
+    Values are non-negative floats (a latency in seconds, a byte count).
+    The bucket layout is fixed at creation — no resizing, no allocation
+    per observation beyond the [frexp] pair — and log-linear: every
+    power-of-two octave [[2{^k}, 2{^k+1})] is split into 8 linear
+    sub-buckets, covering [2{^-34} .. 2{^30}] (values outside clamp to
+    the edge buckets; zero, negative and NaN observations land in a
+    dedicated zero bucket). Relative quantile error is therefore bounded
+    by one sub-bucket width, 1/8 of the value, and a value that is
+    {e exactly} a power of two sits exactly on a bucket boundary: a
+    histogram holding only [2.0 ** k] reports every quantile as
+    [2.0 ** k], bit-for-bit.
+
+    Count, sum, min and max are tracked exactly on the side, so means and
+    maxima in rendered snapshots are not subject to bucket rounding.
+    Quantiles are monotone in the requested rank and clamped to the
+    observed [[min, max]] range. {!merge} is pointwise and associative.
+
+    The structure is single-domain; wrap observations in your own lock if
+    several domains share one histogram. *)
+
+type t
+
+val create : unit -> t
+(** An empty histogram (513 buckets, ~4 KB). *)
+
+val observe : t -> float -> unit
+(** Records one value. Zero, negative and NaN values are counted in the
+    zero bucket ([min]/[max]/[sum] still see the raw value, except NaN,
+    which only bumps the count). *)
+
+val count : t -> int
+val sum : t -> float
+
+val min_value : t -> float
+(** Smallest observed value; [0.] when empty. *)
+
+val max_value : t -> float
+(** Largest observed value, exact; [0.] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [[0, 1]]: the lower bound of the bucket
+    holding the value of rank [ceil (q * count)], clamped to the observed
+    [[min, max]]. Monotone in [q]; [0.] when empty; [q <= 0]/[q >= 1]
+    return the exact min/max. *)
+
+type snapshot = {
+  n : int;
+  total : float;  (** exact sum of observations *)
+  mean : float;  (** [total / n]; [0.] when empty *)
+  min_v : float;
+  max_v : float;  (** exact extremes; [0.] when empty *)
+  p50 : float;
+  p90 : float;
+  p99 : float;  (** bucketed quantiles (see {!quantile}) *)
+}
+
+val snapshot : t -> snapshot
+(** All-zero (never NaN) when the histogram is empty. *)
+
+val merge : t -> t -> t
+(** Pointwise union, as if every observation of both histograms had been
+    fed to one fresh histogram. Associative and commutative: bucket
+    counts, [count], [min] and [max] exactly; [sum] up to float-addition
+    reassociation. *)
+
+val bucket_counts : t -> int array
+(** A copy of the raw bucket counts (index 0 is the zero bucket), for
+    tests and serialisation. *)

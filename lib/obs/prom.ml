@@ -1,0 +1,99 @@
+type row = { name : string; labels : (string * string) list; value : float }
+
+exception Bad of string
+
+let is_name_char = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+
+let parse_sample line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do incr i done;
+  if !i = 0 then raise (Bad "missing metric name");
+  let name = String.sub line 0 !i in
+  let labels = ref [] in
+  if !i < n && line.[!i] = '{' then begin
+    incr i;
+    let rec pairs () =
+      if !i < n && line.[!i] = '}' then incr i
+      else begin
+        let k0 = !i in
+        while !i < n && line.[!i] <> '=' do incr i done;
+        if !i >= n then raise (Bad "unterminated labels");
+        let key = String.sub line k0 (!i - k0) in
+        incr i;
+        if !i >= n || line.[!i] <> '"' then raise (Bad "expected opening quote");
+        incr i;
+        let buf = Buffer.create 16 in
+        let rec scan () =
+          if !i >= n then raise (Bad "unterminated label value")
+          else
+            match line.[!i] with
+            | '"' -> incr i
+            | '\\' ->
+                if !i + 1 >= n then raise (Bad "bad escape");
+                Buffer.add_char buf (match line.[!i + 1] with 'n' -> '\n' | c -> c);
+                i := !i + 2;
+                scan ()
+            | c ->
+                Buffer.add_char buf c;
+                incr i;
+                scan ()
+        in
+        scan ();
+        labels := (key, Buffer.contents buf) :: !labels;
+        if !i < n && line.[!i] = ',' then begin
+          incr i;
+          pairs ()
+        end
+        else if !i < n && line.[!i] = '}' then incr i
+        else raise (Bad "expected , or } after label")
+      end
+    in
+    pairs ()
+  end;
+  while !i < n && line.[!i] = ' ' do incr i done;
+  if !i >= n then raise (Bad "missing value");
+  let vstr = String.trim (String.sub line !i (n - !i)) in
+  match float_of_string_opt vstr with
+  | Some v -> { name; labels = List.rev !labels; value = v }
+  | None -> raise (Bad ("unparseable value " ^ vstr))
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc rest
+        else begin
+          match parse_sample line with
+          | row -> go (row :: acc) rest
+          | exception Bad msg -> Error (Printf.sprintf "%s: %s" msg line)
+        end
+  in
+  go [] lines
+
+let find rows ?(labels = []) name =
+  List.find_opt
+    (fun r ->
+      r.name = name
+      && List.for_all (fun (k, v) -> List.assoc_opt k r.labels = Some v) labels)
+    rows
+
+type span = { sp_name : string; sp_start : float; sp_dur : float }
+
+let parse_spans text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         let prefix = "# span " in
+         if String.length line > String.length prefix
+            && String.sub line 0 (String.length prefix) = prefix
+         then begin
+           let rest = String.sub line (String.length prefix) (String.length line - String.length prefix) in
+           try
+             Scanf.sscanf rest "name=%s start=%f dur=%f" (fun sp_name sp_start sp_dur ->
+                 Some { sp_name; sp_start; sp_dur })
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+         end
+         else None)

@@ -1,0 +1,29 @@
+(** Parser for the Prometheus-style text rendered by {!Registry.render}.
+
+    This is the read side of the exposition format: the `dvbp metrics`
+    subcommand and the test suite use it to turn a `METRICS` reply or a
+    [--metrics-dump] file back into structured rows. It understands
+    exactly what {!Registry.render} emits — [name{label="v"} value]
+    sample lines, [#]-prefixed comments (including [# span ...] trace
+    lines) and blank lines — and reports the first malformed line as
+    [Error]. It is not a general OpenMetrics parser. *)
+
+type row = {
+  name : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+val parse : string -> (row list, string) result
+(** Parses sample lines in order, skipping blank lines and comments.
+    Label values are unescaped. [Error msg] names the offending line. *)
+
+val find : row list -> ?labels:(string * string) list -> string -> row option
+(** First row with the given name whose labels include every pair in
+    [labels]. *)
+
+type span = { sp_name : string; sp_start : float; sp_dur : float }
+
+val parse_spans : string -> span list
+(** Extracts [# span name=... start=... dur=...] comment lines;
+    malformed span comments are skipped. *)

@@ -1,0 +1,115 @@
+(** Metrics registry: typed counters, gauges, histograms and span traces.
+
+    A {!t} owns a set of named instruments and renders them as
+    Prometheus-style text exposition (see {!render} and {!Prom} for the
+    matching parser). Instruments come in two flavours:
+
+    - {e push} instruments ({!Counter.make}, {!Gauge.make},
+      {!Histo.make}) own their state and are updated through the
+      registry API;
+    - {e pull} instruments ({!Counter.pull}, {!Gauge.pull}) wrap a
+      closure sampled at render time, so hot code can keep plain [int]
+      fields and pay nothing per event — the registry only reads them
+      when a scrape happens.
+
+    A registry created with {!noop} registers nothing and renders
+    nothing; instruments made against it are still safe to update (they
+    are ordinary values), so instrumented code needs no [if] guards.
+    Sweeps and batch experiments pass the noop registry and opt out
+    entirely.
+
+    Span tracing ({!Span}) records [enter]/[exit] pairs with the
+    registry clock into a fixed ring of recent spans, rendered as
+    comment lines so the exposition stays parseable.
+
+    The registry is single-domain, like the rest of the service layer. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A live registry. [clock] (default [Sys.time]) timestamps spans; the
+    service layer passes [Unix.gettimeofday] to keep [lib/obs] free of
+    dependencies. *)
+
+val noop : unit -> t
+(** A registry that records and renders nothing. *)
+
+val is_noop : t -> bool
+
+val now : t -> float
+(** The registry clock; [0.] on a noop registry (never calls the
+    clock). *)
+
+module Counter : sig
+  type registry := t
+  type t
+
+  val make : registry -> ?help:string -> ?labels:(string * string) list -> string -> t
+  (** A monotone integer counter. Re-registering an existing
+      name+labels pair raises [Invalid_argument]; names must match
+      [[a-zA-Z_][a-zA-Z0-9_]*]. *)
+
+  val pull :
+    registry -> ?help:string -> ?labels:(string * string) list -> string -> (unit -> int) -> unit
+  (** Registers a counter whose value is sampled from the closure at
+      render time. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type registry := t
+  type t
+
+  val make : registry -> ?help:string -> ?labels:(string * string) list -> string -> t
+
+  val pull :
+    registry -> ?help:string -> ?labels:(string * string) list -> string -> (unit -> float) -> unit
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histo : sig
+  type registry := t
+
+  type t = Histogram.t
+  (** Histogram instruments are plain {!Histogram.t} values, so they can
+      be observed, merged and snapshotted directly. *)
+
+  val make : registry -> ?help:string -> ?labels:(string * string) list -> string -> t
+  (** Registered histograms render as summaries: [name{quantile="0.5"}]
+      lines plus [name_count], [name_sum] and [name_max]. *)
+
+  val observe : t -> float -> unit
+  val snapshot : t -> Histogram.snapshot
+end
+
+module Span : sig
+  type registry := t
+
+  type span = { sp_name : string; sp_start : float; sp_dur : float }
+
+  val enter : registry -> string -> float
+  (** Start timestamp for a span (reads the registry clock; [0.] and no
+      clock read on noop). *)
+
+  val exit : registry -> string -> float -> unit
+  (** [exit r name start] records a completed span into the ring
+      (capacity {!capacity}, oldest evicted first). No-op on noop. *)
+
+  val recent : registry -> span list
+  (** Completed spans, oldest first. *)
+
+  val capacity : int
+end
+
+val render : ?spans:bool -> t -> string
+(** Prometheus-style text: [# HELP]/[# TYPE] comment pairs then
+    [name{label="v"} value] lines, instruments in registration order.
+    With [~spans:true], recent spans are appended as
+    [# span name=... start=... dur=...] comment lines. Empty string on a
+    noop registry. *)

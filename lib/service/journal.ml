@@ -240,6 +240,7 @@ let read_file ?(io = Real_io.v) path =
 type writer = {
   w_path : string;
   io : Io.t;
+  metrics : Metrics.t;
   mutable out : Io.out;
   mutable header : header;
   fsync_every : int;
@@ -257,13 +258,15 @@ let validate_fsync_every fsync_every =
 
 let open_append io path = io.Io.open_out ~append:true path
 
-let create ?(io = Real_io.v) ?(fsync_every = 64) ~path header =
+let create ?(io = Real_io.v) ?metrics ?(fsync_every = 64) ~path header =
+  let metrics = match metrics with Some m -> m | None -> Metrics.noop () in
   validate_fsync_every fsync_every;
   if header.base < 0 then invalid_arg "journal base must be non-negative";
   Io.atomic_replace io ~path (header_string header);
   {
     w_path = path;
     io;
+    metrics;
     out = open_append io path;
     header;
     fsync_every;
@@ -272,10 +275,11 @@ let create ?(io = Real_io.v) ?(fsync_every = 64) ~path header =
     closed = false;
   }
 
-let append_to ?(io = Real_io.v) ?(fsync_every = 64) ~path header =
+let append_to ?(io = Real_io.v) ?metrics ?(fsync_every = 64) ~path header =
+  let metrics = match metrics with Some m -> m | None -> Metrics.noop () in
   validate_fsync_every fsync_every;
   let fresh () =
-    let w = create ~io ~fsync_every ~path header in
+    let w = create ~io ~metrics ~fsync_every ~path header in
     Ok (w, { header; events = []; dropped_torn = false })
   in
   if not (io.Io.file_exists path) then fresh ()
@@ -309,6 +313,7 @@ let append_to ?(io = Real_io.v) ?(fsync_every = 64) ~path header =
                  is false, yet still missing its terminator. *)
               let unterminated = text.[String.length text - 1] <> '\n' in
               if r.dropped_torn || unterminated then begin
+                Metrics.on_heal metrics;
                 let buf = Buffer.create 4096 in
                 Buffer.add_string buf (header_string r.header);
                 List.iter
@@ -322,6 +327,7 @@ let append_to ?(io = Real_io.v) ?(fsync_every = 64) ~path header =
                 ( {
                     w_path = path;
                     io;
+                    metrics;
                     out = open_append io path;
                     header = r.header;
                     fsync_every;
@@ -336,35 +342,38 @@ let check_open w = if w.closed then invalid_arg "journal writer is closed"
 
 let append w e =
   check_open w;
-  w.out.Io.write (encode_event e);
+  let line = encode_event e in
+  w.out.Io.write line;
   w.out.Io.write "\n";
   w.out.Io.flush ();
+  Metrics.on_append w.metrics ~bytes:(String.length line + 1);
   w.appended <- w.appended + 1;
   w.unsynced <- w.unsynced + 1;
   if w.unsynced >= w.fsync_every then begin
-    w.out.Io.fsync ();
+    Metrics.time_fsync w.metrics (fun () -> w.out.Io.fsync ());
     w.unsynced <- 0
   end
 
 let sync w =
   check_open w;
-  w.out.Io.fsync ();
+  Metrics.time_fsync w.metrics (fun () -> w.out.Io.fsync ());
   w.unsynced <- 0
 
 let truncate w ~new_base =
   check_open w;
   if new_base < 0 then invalid_arg "journal base must be non-negative";
-  w.out.Io.fsync ();
+  Metrics.time_fsync w.metrics (fun () -> w.out.Io.fsync ());
   w.out.Io.close ();
   let header = { w.header with base = new_base } in
   Io.atomic_replace w.io ~path:w.w_path (header_string header);
+  Metrics.on_truncate w.metrics;
   w.header <- header;
   w.out <- open_append w.io w.w_path;
   w.unsynced <- 0
 
 let close w =
   if not w.closed then begin
-    w.out.Io.fsync ();
+    Metrics.time_fsync w.metrics (fun () -> w.out.Io.fsync ());
     w.out.Io.close ();
     w.closed <- true
   end

@@ -83,14 +83,21 @@ val read_file : ?io:Io.t -> string -> (read, string) result
 
 type writer
 
-val create : ?io:Io.t -> ?fsync_every:int -> path:string -> header -> writer
+val create :
+  ?io:Io.t -> ?metrics:Metrics.t -> ?fsync_every:int -> path:string -> header -> writer
 (** Truncates/creates [path] and writes the header. [fsync_every] (default
-    [64]) batches fsyncs; [1] syncs every record.
+    [64]) batches fsyncs; [1] syncs every record. [metrics] (default
+    {!Metrics.noop}) receives append/fsync/truncate/heal tallies.
     @raise Sys_error on IO failure (with the default backend).
     @raise Invalid_argument if [fsync_every < 1] or [header.base < 0]. *)
 
 val append_to :
-  ?io:Io.t -> ?fsync_every:int -> path:string -> header -> (writer * read, string) result
+  ?io:Io.t ->
+  ?metrics:Metrics.t ->
+  ?fsync_every:int ->
+  path:string ->
+  header ->
+  (writer * read, string) result
 (** Re-opens an existing journal for appending after validating that its
     header equals [header] (a policy/capacity/seed mismatch is an error, not
     a silent divergence); returns the already-present records too. A missing

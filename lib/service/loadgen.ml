@@ -1,6 +1,6 @@
 module Vec = Dvbp_vec.Vec
 module Rng = Dvbp_prelude.Rng
-module Running = Dvbp_stats.Running
+module Histogram = Dvbp_obs.Histogram
 module Instance = Dvbp_core.Instance
 module Item = Dvbp_core.Item
 module Policy = Dvbp_core.Policy
@@ -10,8 +10,9 @@ type report = {
   events : int;
   wall_seconds : float;
   events_per_sec : float;
-  latency_us : Running.t;
+  latency_us : Histogram.snapshot;
   server_stats : string;
+  server_metrics : string;
 }
 
 let ( let* ) = Result.bind
@@ -99,14 +100,31 @@ let run ~policy ~seed ?journal ?snapshot ?snapshot_every ?(fsync_every = 64)
     | reply -> Ok reply
     | exception End_of_file -> Error (Printf.sprintf "server died on %S" line)
   in
-  let latency = Running.create () in
+  (* read a METRICS reply: every line up to (excluding) the terminator *)
+  let request_multiline line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    let buf = Buffer.create 4096 in
+    let rec go () =
+      match input_line ic with
+      | "# EOF" -> Ok (Buffer.contents buf)
+      | reply ->
+          Buffer.add_string buf reply;
+          Buffer.add_char buf '\n';
+          go ()
+      | exception End_of_file -> Error (Printf.sprintf "server died on %S" line)
+    in
+    go ()
+  in
+  let latency = Histogram.create () in
   let outcome =
     let rec drive = function
       | [] -> Ok ()
       | (line, expected) :: rest ->
           let t0 = Unix.gettimeofday () in
           let* reply = request line in
-          Running.add latency ((Unix.gettimeofday () -. t0) *. 1e6);
+          Histogram.observe latency ((Unix.gettimeofday () -. t0) *. 1e6);
           if reply <> expected then
             Error
               (Printf.sprintf "divergence on %S: server said %S, shadow session says %S"
@@ -117,6 +135,7 @@ let run ~policy ~seed ?journal ?snapshot ?snapshot_every ?(fsync_every = 64)
     let* () = drive pairs in
     let wall = Unix.gettimeofday () -. t0 in
     let* stats = request "STATS" in
+    let* metrics_text = request_multiline "METRICS" in
     let* bye = request "QUIT" in
     let* () =
       if bye <> "BYE" then Error (Printf.sprintf "expected BYE, got %S" bye) else Ok ()
@@ -127,8 +146,9 @@ let run ~policy ~seed ?journal ?snapshot ?snapshot_every ?(fsync_every = 64)
         events = n;
         wall_seconds = wall;
         events_per_sec = (if wall > 0.0 then float_of_int n /. wall else 0.0);
-        latency_us = latency;
+        latency_us = Histogram.snapshot latency;
         server_stats = stats;
+        server_metrics = metrics_text;
       }
   in
   close_out_noerr oc;
@@ -137,13 +157,14 @@ let run ~policy ~seed ?journal ?snapshot ?snapshot_every ?(fsync_every = 64)
   outcome
 
 let render r =
+  let lat = r.latency_us in
   let lat_line =
-    if Running.count r.latency_us = 0 then "latency: n/a"
+    if lat.Histogram.n = 0 then "latency: n/a"
     else
-      Printf.sprintf "latency: mean %.1f us, stddev %.1f us, max %.1f us"
-        (Running.mean r.latency_us)
-        (Running.stddev r.latency_us)
-        (Running.max_value r.latency_us)
+      Printf.sprintf
+        "latency: mean %.1f us, p50 %.1f us, p90 %.1f us, p99 %.1f us, max %.1f us"
+        lat.Histogram.mean lat.Histogram.p50 lat.Histogram.p90 lat.Histogram.p99
+        lat.Histogram.max_v
   in
   Printf.sprintf
     "loadgen: %d events in %.3f s -> %.0f events/s\n%s\nserver: %s\n" r.events

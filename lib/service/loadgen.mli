@@ -14,8 +14,12 @@ type report = {
   events : int;  (** protocol requests sent (arrivals + departures) *)
   wall_seconds : float;
   events_per_sec : float;
-  latency_us : Dvbp_stats.Running.t;  (** client-observed round-trip, µs *)
+  latency_us : Dvbp_obs.Histogram.snapshot;
+      (** client-observed round-trip, µs (mean and p50/p90/p99/max) *)
   server_stats : string;  (** the server's final [STATS] reply *)
+  server_metrics : string;
+      (** the server's final [METRICS] reply (Prometheus-style text,
+          without the [# EOF] terminator) *)
 }
 
 val script : Dvbp_core.Instance.t -> string list
@@ -32,8 +36,9 @@ val run :
   Dvbp_core.Instance.t ->
   (report, string) result
 (** Starts a fresh server (journaling to [journal] if given), replays the
-    instance, verifies every reply against the shadow session, then [STATS]
-    and [QUIT]. Any unexpected reply is an error naming the request. *)
+    instance, verifies every reply against the shadow session, then [STATS],
+    [METRICS] and [QUIT]. Any unexpected reply is an error naming the
+    request. *)
 
 val render : report -> string
 (** Operator-facing summary. *)

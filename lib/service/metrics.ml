@@ -1,0 +1,196 @@
+module R = Dvbp_obs.Registry
+module Histogram = Dvbp_obs.Histogram
+
+type kind = Arrive | Depart | Stats | Snapshot | Metrics | Other
+
+let kind_index = function
+  | Arrive -> 0
+  | Depart -> 1
+  | Stats -> 2
+  | Snapshot -> 3
+  | Metrics -> 4
+  | Other -> 5
+
+let kind_name = function
+  | Arrive -> "arrive"
+  | Depart -> "depart"
+  | Stats -> "stats"
+  | Snapshot -> "snapshot"
+  | Metrics -> "metrics"
+  | Other -> "other"
+
+let all_kinds = [ Arrive; Depart; Stats; Snapshot; Metrics; Other ]
+
+let kind_of_line line =
+  let n = String.length line in
+  let stop = ref 0 in
+  while !stop < n && line.[!stop] <> ' ' && line.[!stop] <> '\r' do incr stop done;
+  match String.sub line 0 !stop with
+  | "ARRIVE" -> Arrive
+  | "DEPART" -> Depart
+  | "STATS" -> Stats
+  | "SNAPSHOT" -> Snapshot
+  | "METRICS" -> Metrics
+  | _ -> Other
+
+type t = {
+  reg : R.t;
+  j_appends : R.Counter.t;
+  j_bytes : R.Counter.t;
+  j_fsyncs : R.Counter.t;
+  j_fsync_seconds : Histogram.t;
+  j_truncates : R.Counter.t;
+  j_heals : R.Counter.t;
+  req_total : R.Counter.t array;  (* indexed by kind *)
+  req_seconds : Histogram.t array;
+  journal_append_seconds : Histogram.t;
+  snapshot_seconds : Histogram.t;
+}
+
+let build reg =
+  let j_appends =
+    R.Counter.make reg "dvbp_journal_records_appended_total"
+      ~help:"Records appended to the journal by this process"
+  in
+  let j_bytes =
+    R.Counter.make reg "dvbp_journal_bytes_written_total"
+      ~help:"Journal record bytes written (including newlines)"
+  in
+  let j_fsyncs =
+    R.Counter.make reg "dvbp_journal_fsyncs_total" ~help:"fsync(2) calls on the journal"
+  in
+  let j_fsync_seconds =
+    R.Histo.make reg "dvbp_journal_fsync_seconds" ~help:"Latency of journal fsync calls"
+  in
+  let j_truncates =
+    R.Counter.make reg "dvbp_journal_truncates_total"
+      ~help:"Journal truncations (one per snapshot over a journaled server)"
+  in
+  let j_heals =
+    R.Counter.make reg "dvbp_journal_torn_heals_total"
+      ~help:"Torn or unterminated journal tails healed on open"
+  in
+  let req_total =
+    Array.of_list
+      (List.map
+         (fun k ->
+           R.Counter.make reg "dvbp_server_requests_total"
+             ~help:"Protocol lines handled, by request kind"
+             ~labels:[ ("kind", kind_name k) ])
+         all_kinds)
+  in
+  let req_seconds =
+    Array.of_list
+      (List.map
+         (fun k ->
+           R.Histo.make reg "dvbp_server_request_seconds"
+             ~help:"End-to-end request handling latency, by request kind"
+             ~labels:[ ("kind", kind_name k) ])
+         all_kinds)
+  in
+  let journal_append_seconds =
+    R.Histo.make reg "dvbp_server_journal_append_seconds"
+      ~help:"Journal-before-reply write latency per applied event"
+  in
+  let snapshot_seconds =
+    R.Histo.make reg "dvbp_server_snapshot_seconds"
+      ~help:"Snapshot write latency (manual and auto)"
+  in
+  {
+    reg;
+    j_appends;
+    j_bytes;
+    j_fsyncs;
+    j_fsync_seconds;
+    j_truncates;
+    j_heals;
+    req_total;
+    req_seconds;
+    journal_append_seconds;
+    snapshot_seconds;
+  }
+
+let create ?(clock = Unix.gettimeofday) () = build (R.create ~clock ())
+let noop () = build (R.noop ())
+let is_noop t = R.is_noop t.reg
+let registry t = t.reg
+let now t = R.now t.reg
+
+let on_append t ~bytes =
+  R.Counter.incr t.j_appends;
+  R.Counter.add t.j_bytes bytes
+
+let time_fsync t f =
+  if R.is_noop t.reg then f ()
+  else begin
+    let t0 = R.now t.reg in
+    f ();
+    Histogram.observe t.j_fsync_seconds (R.now t.reg -. t0);
+    R.Counter.incr t.j_fsyncs
+  end
+
+let on_truncate t = R.Counter.incr t.j_truncates
+let on_heal t = R.Counter.incr t.j_heals
+let on_request t kind = R.Counter.incr t.req_total.(kind_index kind)
+
+let observe_request t kind ~seconds =
+  if not (R.is_noop t.reg) then Histogram.observe t.req_seconds.(kind_index kind) seconds
+
+let time_journal_append t f =
+  if R.is_noop t.reg then f ()
+  else begin
+    let t0 = R.now t.reg in
+    let r = f () in
+    Histogram.observe t.journal_append_seconds (R.now t.reg -. t0);
+    r
+  end
+
+let time_snapshot t f =
+  if R.is_noop t.reg then f ()
+  else begin
+    let t0 = R.Span.enter t.reg "snapshot" in
+    let r = f () in
+    R.Span.exit t.reg "snapshot" t0;
+    Histogram.observe t.snapshot_seconds (R.now t.reg -. t0);
+    r
+  end
+
+let request_summary t =
+  Histogram.snapshot (Array.fold_left Histogram.merge (Histogram.create ()) t.req_seconds)
+
+let attach_session t ~policy session =
+  if not (R.is_noop t.reg) then begin
+    let module S = Dvbp_engine.Session in
+    let labels = [ ("policy", policy) ] in
+    let counter name help f = R.Counter.pull t.reg name ~help ~labels f in
+    let gauge name help f = R.Gauge.pull t.reg name ~help ~labels f in
+    counter "dvbp_engine_placements_total" "Successful arrivals placed" (fun () ->
+        S.placements session);
+    counter "dvbp_engine_departures_total" "Successful departures" (fun () ->
+        S.departures session);
+    counter "dvbp_engine_rejects_total" "Events refused with Session_error" (fun () ->
+        S.rejects session);
+    counter "dvbp_engine_bins_opened_total" "Bins opened since session start" (fun () ->
+        S.bins_opened session);
+    counter "dvbp_engine_bins_closed_total" "Bins opened and since closed" (fun () ->
+        S.bins_closed session);
+    gauge "dvbp_engine_open_bins" "Currently open bins" (fun () ->
+        float_of_int (S.open_bin_count session));
+    gauge "dvbp_engine_active_items" "Items placed and not yet departed" (fun () ->
+        float_of_int (S.active_items session));
+    gauge "dvbp_engine_max_open_bins" "Peak simultaneously open bins" (fun () ->
+        float_of_int (S.max_open_bins session));
+    gauge "dvbp_engine_clock" "Session clock (workload time)" (fun () -> S.now session);
+    gauge "dvbp_engine_cost_bin_seconds" "Accumulated MinUsageTime cost" (fun () ->
+        S.cost_so_far session);
+    counter "dvbp_engine_fit_scans_total" "Fit scans over the open-bin registry"
+      (fun () -> (S.scan_stats session).Dvbp_core.Bin_registry.scans);
+    counter "dvbp_engine_fit_scan_candidates_total"
+      "Open-bin slots examined across all fit scans" (fun () ->
+        (S.scan_stats session).Dvbp_core.Bin_registry.candidates);
+    counter "dvbp_engine_recheck_memo_hits_total"
+      "Any-Fit conformance rechecks answered by the miss memo" (fun () ->
+        (S.scan_stats session).Dvbp_core.Bin_registry.memo_hits)
+  end
+
+let render_text t = R.render ~spans:true t.reg ^ "# EOF"

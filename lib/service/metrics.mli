@@ -1,0 +1,85 @@
+(** The service's observability bundle: one {!Dvbp_obs.Registry} plus the
+    journal- and server-side instruments, wired for the [METRICS] command.
+
+    Layering: [lib/obs] knows nothing about the service; this module owns
+    the metric {e names} (documented one by one in [OPERATIONS.md]) and
+    the instruments behind them. The engine keeps plain counters
+    ({!Dvbp_engine.Session.placements} and friends) that are registered
+    here as pull metrics — sampled at render time, costing the hot path
+    nothing — while the journal and server, where a syscall or a request
+    dwarfs a histogram update, use push instruments.
+
+    A {!noop} bundle (built on {!Dvbp_obs.Registry.noop}) never reads the
+    clock and renders nothing; the sim sweeps and batch experiments pass
+    it so instrumentation is compiled in but entirely inert. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A live bundle. [clock] defaults to [Unix.gettimeofday]; tests pass a
+    fake clock for deterministic latencies and spans. *)
+
+val noop : unit -> t
+(** Records nothing, renders [""] (plus the [# EOF] terminator). *)
+
+val is_noop : t -> bool
+
+val registry : t -> Dvbp_obs.Registry.t
+(** For registering additional pull metrics (the server adds its own
+    request-level families). *)
+
+val now : t -> float
+(** The bundle clock; [0.] on noop (clock never called). *)
+
+(** {1 Request kinds} *)
+
+type kind = Arrive | Depart | Stats | Snapshot | Metrics | Other
+
+val kind_of_line : string -> kind
+(** Classifies a protocol line by its first token (for per-kind request
+    counters and latency histograms). *)
+
+val kind_name : kind -> string
+
+(** {1 Journal-side hooks} *)
+
+val on_append : t -> bytes:int -> unit
+(** One record appended ([bytes] includes the newline). *)
+
+val time_fsync : t -> (unit -> unit) -> unit
+(** Runs an fsync, counting it and timing it into the fsync-latency
+    histogram. *)
+
+val on_truncate : t -> unit
+val on_heal : t -> unit
+(** A torn or unterminated journal tail was rewritten on open. *)
+
+(** {1 Server-side hooks} *)
+
+val on_request : t -> kind -> unit
+(** One request line handled (counted even when the reply is ERR). *)
+
+val observe_request : t -> kind -> seconds:float -> unit
+(** End-to-end handling latency of one request (measured by the serve
+    loop; in-process [handle_line] drivers don't produce latencies). *)
+
+val time_journal_append : t -> (unit -> 'a) -> 'a
+(** Times the journal-before-reply write of one applied event. *)
+
+val time_snapshot : t -> (unit -> 'a) -> 'a
+(** Times a snapshot (manual or auto), also recording a ["snapshot"]
+    span. *)
+
+val request_summary : t -> Dvbp_obs.Histogram.snapshot
+(** All per-kind request latency histograms merged — the source of the
+    [STATS] line's backward-compatible [latency_mean_us]/[latency_max_us]
+    fields. *)
+
+val attach_session : t -> policy:string -> Dvbp_engine.Session.t -> unit
+(** Registers the engine pull family ([dvbp_engine_*], labelled
+    [policy="..."]) reading the session's counters at render time. *)
+
+val render_text : t -> string
+(** The full Prometheus-style exposition including spans, terminated by
+    a final [# EOF] line (no trailing newline) — the [METRICS] reply and
+    the [--metrics-dump] payload. *)

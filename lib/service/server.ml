@@ -1,8 +1,8 @@
 module Vec = Dvbp_vec.Vec
 module Rng = Dvbp_prelude.Rng
-module Running = Dvbp_stats.Running
 module Policy = Dvbp_core.Policy
 module Session = Dvbp_engine.Session
+module R = Dvbp_obs.Registry
 
 type config = {
   policy : string;
@@ -38,7 +38,7 @@ type t = {
   mutable departures : int;
   mutable errors : int;
   mutable snapshots : int;
-  latency : Running.t;
+  obs : Metrics.t;
   mutable closed : bool;
 }
 
@@ -61,27 +61,50 @@ let validate_config c =
   in
   Ok ()
 
-let make_t config ~io session journal ~history ~since_snapshot =
+let make_t config ~io ~obs session journal ~history ~since_snapshot =
   let history_rev = List.rev history in
-  {
-    config;
-    io;
-    session;
-    journal;
-    history_rev;
-    events = List.length history;
-    since_snapshot;
-    requests = 0;
-    placements = 0;
-    rejections = 0;
-    departures = 0;
-    errors = 0;
-    snapshots = 0;
-    latency = Running.create ();
-    closed = false;
-  }
+  let t =
+    {
+      config;
+      io;
+      session;
+      journal;
+      history_rev;
+      events = List.length history;
+      since_snapshot;
+      requests = 0;
+      placements = 0;
+      rejections = 0;
+      departures = 0;
+      errors = 0;
+      snapshots = 0;
+      obs;
+      closed = false;
+    }
+  in
+  if not (Metrics.is_noop obs) then begin
+    let reg = Metrics.registry obs in
+    Metrics.attach_session obs ~policy:config.policy session;
+    R.Counter.pull reg "dvbp_server_placements_total" ~help:"PLACED replies" (fun () ->
+        t.placements);
+    R.Counter.pull reg "dvbp_server_rejections_total" ~help:"REJECT replies" (fun () ->
+        t.rejections);
+    R.Counter.pull reg "dvbp_server_departures_total" ~help:"Successful DEPART requests"
+      (fun () -> t.departures);
+    R.Counter.pull reg "dvbp_server_errors_total" ~help:"ERR replies" (fun () -> t.errors);
+    R.Counter.pull reg "dvbp_server_snapshots_total"
+      ~help:"Snapshots taken by this process (manual and auto)" (fun () -> t.snapshots);
+    R.Counter.pull reg "dvbp_server_events_total"
+      ~help:"Applied events (placements + departures) since genesis, replayed included"
+      (fun () -> t.events);
+    let start = Metrics.now obs in
+    R.Gauge.pull reg "dvbp_server_uptime_seconds" ~help:"Wall time since this server started"
+      (fun () -> Metrics.now obs -. start)
+  end;
+  t
 
-let create ?(io = Real_io.v) config =
+let create ?(io = Real_io.v) ?metrics config =
+  let obs = match metrics with Some m -> m | None -> Metrics.create () in
   let* () = validate_config config in
   let* policy = Policy.of_name ~rng:(Rng.create ~seed:config.seed) config.policy in
   let session = Session.create ~record_trace:false ~capacity:config.capacity ~policy () in
@@ -90,16 +113,17 @@ let create ?(io = Real_io.v) config =
     | None -> Ok None
     | Some path -> (
         match
-          Journal.create ~io ~fsync_every:config.fsync_every ~path
+          Journal.create ~io ~metrics:obs ~fsync_every:config.fsync_every ~path
             { Journal.policy = config.policy; seed = config.seed;
               capacity = config.capacity; base = 0 }
         with
         | w -> Ok (Some w)
         | exception Sys_error msg -> Error msg)
   in
-  Ok (make_t config ~io session journal ~history:[] ~since_snapshot:0)
+  Ok (make_t config ~io ~obs session journal ~history:[] ~since_snapshot:0)
 
-let resume ?(io = Real_io.v) config (st : Recovery.state) =
+let resume ?(io = Real_io.v) ?metrics config (st : Recovery.state) =
+  let obs = match metrics with Some m -> m | None -> Metrics.create () in
   let* () = validate_config config in
   let* () =
     if st.Recovery.policy <> config.policy then
@@ -122,7 +146,7 @@ let resume ?(io = Real_io.v) config (st : Recovery.state) =
     | None -> Ok None
     | Some path ->
         let* w, r =
-          Journal.append_to ~io ~fsync_every:config.fsync_every ~path
+          Journal.append_to ~io ~metrics:obs ~fsync_every:config.fsync_every ~path
             { Journal.policy = config.policy; seed = config.seed;
               capacity = config.capacity; base = 0 }
         in
@@ -137,7 +161,7 @@ let resume ?(io = Real_io.v) config (st : Recovery.state) =
         Ok (Some w)
   in
   Ok
-    (make_t config ~io st.Recovery.session journal ~history:st.Recovery.history
+    (make_t config ~io ~obs st.Recovery.session journal ~history:st.Recovery.history
        ~since_snapshot:st.Recovery.from_journal)
 
 let metrics t =
@@ -152,12 +176,17 @@ let metrics t =
   }
 
 let session t = t.session
-let latency_us t = t.latency
+let observability t = t.obs
+let latency_summary t = Metrics.request_summary t.obs
 
 let stats_line t =
+  (* The field list and order are a compatibility contract: scripts parse
+     this line (regression-tested in test_service). New telemetry goes to
+     METRICS, not here. *)
+  let lat = Metrics.request_summary t.obs in
   let lat_mean, lat_max =
-    if Running.count t.latency = 0 then (0.0, 0.0)
-    else (Running.mean t.latency, Running.max_value t.latency)
+    if lat.Dvbp_obs.Histogram.n = 0 then (0.0, 0.0)
+    else (lat.Dvbp_obs.Histogram.mean *. 1e6, lat.Dvbp_obs.Histogram.max_v *. 1e6)
   in
   Printf.sprintf
     "STATS requests=%d placements=%d rejections=%d departures=%d errors=%d \
@@ -172,7 +201,9 @@ let stats_line t =
     lat_mean lat_max
 
 let record t e =
-  (match t.journal with Some w -> Journal.append w e | None -> ());
+  (match t.journal with
+  | Some w -> Metrics.time_journal_append t.obs (fun () -> Journal.append w e)
+  | None -> ());
   t.history_rev <- e :: t.history_rev;
   t.events <- t.events + 1;
   t.since_snapshot <- t.since_snapshot + 1
@@ -181,14 +212,15 @@ let take_snapshot t =
   match t.config.snapshot with
   | None -> Error "no snapshot path configured"
   | Some path ->
-      let digest =
-        Snapshot.digest_of_session ~policy:t.config.policy ~seed:t.config.seed
-          ~capacity:t.config.capacity ~history:(List.rev t.history_rev) t.session
-      in
-      Snapshot.write ~io:t.io ~path digest;
-      (match t.journal with
-      | Some w -> Journal.truncate w ~new_base:t.events
-      | None -> ());
+      Metrics.time_snapshot t.obs (fun () ->
+          let digest =
+            Snapshot.digest_of_session ~policy:t.config.policy ~seed:t.config.seed
+              ~capacity:t.config.capacity ~history:(List.rev t.history_rev) t.session
+          in
+          Snapshot.write ~io:t.io ~path digest;
+          match t.journal with
+          | Some w -> Journal.truncate w ~new_base:t.events
+          | None -> ());
       t.since_snapshot <- 0;
       t.snapshots <- t.snapshots + 1;
       Ok path
@@ -258,6 +290,7 @@ let handle_depart t ~time ~item_id =
 
 let handle_line t line =
   t.requests <- t.requests + 1;
+  Metrics.on_request t.obs (Metrics.kind_of_line line);
   (* tolerate CRLF clients and stray blanks between fields *)
   let line =
     let n = String.length line in
@@ -285,6 +318,7 @@ let handle_line t line =
       | Error msg -> err t msg)
   | "DEPART" :: _ -> err t "usage: DEPART <t> <id>"
   | [ "STATS" ] -> (stats_line t, false)
+  | [ "METRICS" ] -> (Metrics.render_text t.obs, false)
   | [ "SNAPSHOT" ] -> (
       match take_snapshot t with
       | Ok path -> (Printf.sprintf "OK snapshot %s events=%d" path t.events, false)
@@ -304,9 +338,10 @@ let serve t ic oc =
     match input_line ic with
     | exception End_of_file -> ()
     | line ->
-        let t0 = Unix.gettimeofday () in
+        let kind = Metrics.kind_of_line line in
+        let t0 = Metrics.now t.obs in
         let reply, quit = handle_line t line in
-        Running.add t.latency ((Unix.gettimeofday () -. t0) *. 1e6);
+        Metrics.observe_request t.obs kind ~seconds:(Metrics.now t.obs -. t0);
         output_string oc reply;
         output_char oc '\n';
         flush oc;

@@ -7,10 +7,15 @@
                                   |   REJECT <reason>      (session refused it)
     DEPART <t> <id>               ->  OK
     STATS                         ->  STATS k=v k=v ...
+    METRICS                       ->  Prometheus-style text, final line "# EOF"
     SNAPSHOT                      ->  OK snapshot <path> events=<n>
     QUIT                          ->  BYE
     anything else                 ->  ERR <msg>
     v}
+
+    [METRICS] is the only multi-line reply; clients read until the
+    [# EOF] terminator line. The metric families it carries are
+    documented name-by-name in [OPERATIONS.md].
 
     Per-request error isolation: a malformed request answers [ERR] and the
     loop keeps serving; an arrival the session refuses (oversized item,
@@ -44,17 +49,22 @@ type metrics = {
   events : int;  (** applied events (placements + departures) since genesis *)
 }
 
-val create : ?io:Io.t -> config -> (t, string) result
+val create : ?io:Io.t -> ?metrics:Metrics.t -> config -> (t, string) result
 (** Fresh server: empty session, fresh journal (truncates an existing file —
     use {!resume} to continue one). [io] (default {!Real_io.v}) is the
-    backend journal and snapshot writes go through.
+    backend journal and snapshot writes go through. [metrics] (default a
+    fresh {!Metrics.create}) receives all instrumentation; pass
+    {!Metrics.noop} to disable it (the sim sweeps do).
     Errors on an unknown policy, an invalid [snapshot_every]/[fsync_every],
     or [snapshot_every] without a snapshot path. *)
 
-val resume : ?io:Io.t -> config -> Recovery.state -> (t, string) result
+val resume : ?io:Io.t -> ?metrics:Metrics.t -> config -> Recovery.state -> (t, string) result
 (** Continue serving from a recovered state. The config must agree with the
     recovered policy/seed/capacity; the journal is re-opened for appending
-    (validating its header) rather than truncated. *)
+    (validating its header) rather than truncated. Metric counters restart
+    from zero except [events], which counts from genesis (the engine pull
+    family reflects the recovered session, so replayed events are counted
+    once, not twice). *)
 
 val handle_line : t -> string -> string * bool
 (** [handle_line t line] is [(reply, quit)]; [quit] is true only for QUIT.
@@ -62,15 +72,24 @@ val handle_line : t -> string -> string * bool
 
 val serve : t -> in_channel -> out_channel -> unit
 (** Read-eval-reply until QUIT or EOF, then {!close}. Replies are flushed
-    per request. Per-request handling latency is recorded into
-    {!latency_us}. *)
+    per request. Per-request handling latency is recorded into the
+    per-kind request histograms (see {!latency_summary}). *)
 
 val metrics : t -> metrics
 val stats_line : t -> string
-(** The [STATS] reply. *)
+(** The [STATS] reply. Its field list and order are frozen for
+    backward compatibility ([latency_mean_us]/[latency_max_us] are now
+    computed from the request histograms); richer telemetry lives in the
+    [METRICS] reply. *)
 
-val latency_us : t -> Dvbp_stats.Running.t
-(** Per-request handling latency in microseconds (populated by {!serve}). *)
+val latency_summary : t -> Dvbp_obs.Histogram.snapshot
+(** Request-handling latency in seconds, all request kinds merged
+    (populated by {!serve}; empty for in-process {!handle_line}
+    drivers). *)
+
+val observability : t -> Metrics.t
+(** The metrics bundle this server reports into (the one passed to
+    {!create}/{!resume}, or the default it built). *)
 
 val session : t -> Dvbp_engine.Session.t
 (** Read-only access for tests and reporting. *)

@@ -3,6 +3,7 @@ module Io = Dvbp_service.Io
 module Journal = Dvbp_service.Journal
 module Recovery = Dvbp_service.Recovery
 module Server = Dvbp_service.Server
+module Metrics = Dvbp_service.Metrics
 module Loadgen = Dvbp_service.Loadgen
 module Session = Dvbp_engine.Session
 module Uniform_model = Dvbp_workload.Uniform_model
@@ -60,7 +61,7 @@ let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
   let fs0 = Sim_fs.create ~seed () in
   let io0 = wrap (Sim_fs.io fs0) in
   let server =
-    match Server.create ~io:io0 config with
+    match Server.create ~io:io0 ~metrics:(Metrics.noop ()) config with
     | Ok s -> s
     | Error e -> failwith ("sweep baseline: " ^ e)
   in
@@ -83,7 +84,7 @@ let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
     let io = wrap (Sim_fs.io fs) in
     Sim_fs.plan_crash fs ~at_op:k;
     (try
-       match Server.create ~io config with
+       match Server.create ~io ~metrics:(Metrics.noop ()) config with
        | Error e -> failwith ("server create: " ^ e)
        | Ok server ->
            List.iter (fun line -> ignore (Server.handle_line server line)) lines;
@@ -99,13 +100,13 @@ let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
             if not (is_prefix st.Recovery.history ~of_:canonical) then
               failwith "recovered history is not a prefix of the canonical history";
             let m = List.length st.Recovery.history in
-            (match Server.resume ~io config st with
+            (match Server.resume ~io ~metrics:(Metrics.noop ()) config st with
             | Ok s -> (s, m)
             | Error e -> failwith ("resume: " ^ e))
       else
         (* the journal's creation itself was rolled back: no durable state
            ever existed, so the operator starts from scratch *)
-        match Server.create ~io config with
+        match Server.create ~io ~metrics:(Metrics.noop ()) config with
         | Ok s -> (s, 0)
         | Error e -> failwith ("fresh restart: " ^ e)
     in

@@ -118,7 +118,7 @@ let contains_sub msg sub =
   go 0
 
 let serve_opts ?(policy = "mtf") ?(seed = 7) ?(capacity = "100,100") ?journal
-    ?snapshot ?snapshot_every ?(fsync_every = 64) ?(resume = false) () =
+    ?snapshot ?snapshot_every ?(fsync_every = 64) ?(resume = false) ?metrics_dump () =
   {
     Service_cli.policy;
     seed;
@@ -128,6 +128,7 @@ let serve_opts ?(policy = "mtf") ?(seed = 7) ?(capacity = "100,100") ?journal
     snapshot_every;
     fsync_every;
     resume;
+    metrics_dump;
   }
 
 let with_tmp_dir f =

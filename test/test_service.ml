@@ -739,7 +739,7 @@ let server_tests =
         check_string "bye" "BYE" (input_line ic);
         Domain.join domain;
         check_bool "latency recorded" true
-          (Dvbp_stats.Running.count (Server.latency_us t) >= 3);
+          ((Server.latency_summary t).Dvbp_obs.Histogram.n >= 3);
         close_out_noerr oc;
         close_in_noerr ic);
   ]
@@ -781,10 +781,20 @@ let loadgen_tests =
             in
             check_int "all events" 120 report.Loadgen.events;
             check_bool "throughput positive" true (report.Loadgen.events_per_sec > 0.0);
-            check_int "latency samples" 120
-              (Dvbp_stats.Running.count report.Loadgen.latency_us);
+            check_int "latency samples" 120 report.Loadgen.latency_us.Dvbp_obs.Histogram.n;
             check_bool "server stats attached" true
               (contains_sub report.Loadgen.server_stats "placements=60");
+            (* the METRICS reply captured at the end of the run parses and
+               agrees with the server-side counters *)
+            let rows =
+              ok_or_fail
+                (Result.map_error
+                   (fun e -> "server_metrics: " ^ e)
+                   (Dvbp_obs.Prom.parse report.Loadgen.server_metrics))
+            in
+            (match Dvbp_obs.Prom.find rows "dvbp_engine_placements_total" with
+            | Some r -> check_int "metrics placements" 60 (int_of_float r.Dvbp_obs.Prom.value)
+            | None -> Alcotest.fail "dvbp_engine_placements_total missing");
             (* and what the run journaled must recover cleanly *)
             let st = ok_or_fail (Recovery.recover ~snapshot ~journal ()) in
             check_int "all recovered" 120
@@ -800,6 +810,125 @@ let loadgen_tests =
           (Result.is_error (Loadgen.run ~policy:"zzz" ~seed:7 inst)));
   ]
 
+(* -------------------------------------------------------------------- *)
+(* Observability: the METRICS exposition, journal hooks, and the frozen
+   STATS contract. *)
+
+let metric_rows m =
+  match Dvbp_obs.Prom.parse (Metrics.render_text m) with
+  | Ok rows -> rows
+  | Error e -> Alcotest.failf "metrics exposition unparseable: %s" e
+
+let metric_value rows ?labels name =
+  match Dvbp_obs.Prom.find rows ?labels name with
+  | Some r -> int_of_float r.Dvbp_obs.Prom.value
+  | None -> Alcotest.failf "metric %s missing" name
+
+let metrics_tests =
+  [
+    Alcotest.test_case "STATS line shape is frozen" `Quick (fun () ->
+        (* Scripts parse STATS; its field list, order and formatting are a
+           compatibility contract. If this test fails, you have broken that
+           contract — add new telemetry to METRICS instead. *)
+        let t = fresh_server () in
+        expect t "ARRIVE 0 0 60,10" "PLACED 0 1";
+        expect t "DEPART 1 0" "OK";
+        let reply, _ = Server.handle_line t "STATS" in
+        check_string "exact line"
+          "STATS requests=3 placements=1 rejections=0 departures=1 errors=0 \
+           snapshots=0 events=2 open_bins=0 bins_opened=1 active_items=0 \
+           clock=1 cost=1.0000 latency_mean_us=0.0 latency_max_us=0.0"
+          reply;
+        Server.close t);
+    Alcotest.test_case "METRICS replies with a parseable exposition" `Quick
+      (fun () ->
+        let t = fresh_server () in
+        expect t "ARRIVE 0 0 60,10" "PLACED 0 1";
+        expect t "ARRIVE 1 1 50,50" "PLACED 1 1";
+        let reply, _ = Server.handle_line t "ARRIVE 2 0 5,5" in
+        check_bool "dup rejected" true (contains_sub reply "REJECT");
+        expect t "DEPART 3 0" "OK";
+        let text, quit = Server.handle_line t "METRICS" in
+        check_bool "no quit" false quit;
+        check_bool "terminated" true (contains_sub text "# EOF");
+        let rows = ok_or_fail (Dvbp_obs.Prom.parse text) in
+        let engine name = metric_value rows ~labels:[ ("policy", "mtf") ] name in
+        check_int "engine placements" 2 (engine "dvbp_engine_placements_total");
+        check_int "engine rejects" 1 (engine "dvbp_engine_rejects_total");
+        check_int "engine departures" 1 (engine "dvbp_engine_departures_total");
+        check_int "engine bins opened" 2 (engine "dvbp_engine_bins_opened_total");
+        check_int "engine bins closed" 1 (engine "dvbp_engine_bins_closed_total");
+        check_int "engine open bins" 1 (engine "dvbp_engine_open_bins");
+        check_int "server placements" 2
+          (metric_value rows "dvbp_server_placements_total");
+        check_int "server rejections" 1
+          (metric_value rows "dvbp_server_rejections_total");
+        check_int "arrive requests" 3
+          (metric_value rows ~labels:[ ("kind", "arrive") ]
+             "dvbp_server_requests_total");
+        check_int "depart requests" 1
+          (metric_value rows ~labels:[ ("kind", "depart") ]
+             "dvbp_server_requests_total");
+        (* the METRICS request itself is counted before rendering *)
+        check_int "metrics requests" 1
+          (metric_value rows ~labels:[ ("kind", "metrics") ]
+             "dvbp_server_requests_total");
+        Server.close t);
+    Alcotest.test_case "journal hooks count appends, bytes and fsyncs" `Quick
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let m = Metrics.create () in
+            let w = Journal.create ~metrics:m ~fsync_every:1 ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            Journal.close w;
+            let rows = metric_rows m in
+            let n = List.length sample_events in
+            check_int "appends" n (metric_value rows "dvbp_journal_records_appended_total");
+            (* one fsync per append (fsync_every=1) plus one on close *)
+            check_int "fsyncs" (n + 1) (metric_value rows "dvbp_journal_fsyncs_total");
+            check_int "fsync latencies sampled" (n + 1)
+              (metric_value rows "dvbp_journal_fsync_seconds_count");
+            check_bool "bytes counted" true
+              (metric_value rows "dvbp_journal_bytes_written_total" > n);
+            check_int "no heals" 0 (metric_value rows "dvbp_journal_torn_heals_total")));
+    Alcotest.test_case "healing a torn tail increments the heal counter" `Quick
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            Journal.close w;
+            let full = In_channel.with_open_bin path In_channel.input_all in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc
+                  (String.sub full 0 (String.length full - 5)));
+            let m = Metrics.create () in
+            let w, r = ok_or_fail (Journal.append_to ~metrics:m ~path (header ())) in
+            check_bool "torn reported" true r.Journal.dropped_torn;
+            Journal.close w;
+            check_int "heal counted" 1
+              (metric_value (metric_rows m) "dvbp_journal_torn_heals_total")));
+    Alcotest.test_case "truncation is counted" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let m = Metrics.create () in
+            let w = Journal.create ~metrics:m ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            Journal.truncate w ~new_base:(List.length sample_events);
+            Journal.close w;
+            check_int "truncates" 1
+              (metric_value (metric_rows m) "dvbp_journal_truncates_total")));
+    Alcotest.test_case "noop metrics render empty and cost no clock reads" `Quick
+      (fun () ->
+        let m = Metrics.noop () in
+        check_bool "is_noop" true (Metrics.is_noop m);
+        Metrics.on_append m ~bytes:10;
+        Metrics.observe_request m Metrics.Arrive ~seconds:0.5;
+        check_string "render" "# EOF" (Metrics.render_text m);
+        Alcotest.(check (float 0.0)) "now" 0.0 (Metrics.now m));
+  ]
+
 let suites =
   [
     ("service.journal", journal_tests);
@@ -807,4 +936,5 @@ let suites =
     ("service.recovery", recovery_tests);
     ("service.server", server_tests);
     ("service.loadgen", loadgen_tests);
+    ("service.metrics", metrics_tests);
   ]
