@@ -1,0 +1,8 @@
+(* Standalone fit-kernel microbenchmark: scalar vs SWAR scan cost per
+   slot, across live-bin counts and dimensions. See kernel_bench.ml for
+   what is measured; main.exe --json embeds the same rows in the
+   BENCH_*.json snapshot. *)
+
+let () =
+  print_endline "fit-kernel microbenchmark (ns per slot fit test)";
+  print_string (Kernel_bench.render (Kernel_bench.run ()))

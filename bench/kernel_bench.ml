@@ -1,0 +1,110 @@
+(* Fit-kernel microbenchmark: times the scalar vs SWAR registry scan in
+   isolation, over synthetic registries of live bins — no engine, no
+   policy, no workload generation — so kernel regressions are visible
+   without the noise of the full bench. Used by both the standalone
+   [fit_kernel.exe] table and the [main.exe --json] snapshot.
+
+   The timed operation is {!Dvbp_core.Bin_registry.count_fitting}: it
+   examines every slot with no early exit and no block pruning, so the
+   measured cost is purely the per-slot fit test of the selected kernel. *)
+
+module Vec = Dvbp_vec.Vec
+module Rng = Dvbp_prelude.Rng
+module Bin = Dvbp_core.Bin
+module Item = Dvbp_core.Item
+module Bin_registry = Dvbp_core.Bin_registry
+
+type row = {
+  d : int;
+  bins : int;
+  scalar_ns : float;  (* ns per slot fit test, scalar kernel *)
+  swar_ns : float;  (* same registry content, SWAR kernel *)
+  speedup : float;  (* scalar_ns / swar_ns *)
+}
+
+(* capacity component: the Table 2 bin size where a byte lane holds it,
+   the narrower lane payload at d = 7 and 8 *)
+let cap_component d = min 100 (Vec.max_packable ~lane_bits:(63 / d))
+
+let build_registry ~kernel ~d ~bins ~rng =
+  let cap_c = cap_component d in
+  let capacity = Vec.make ~dim:d cap_c in
+  let t = Bin_registry.create ~kernel ~capacity () in
+  for i = 0 to bins - 1 do
+    let b = Bin.create ~id:i ~capacity ~now:0.0 ~touch:i in
+    let load =
+      Array.init d (fun _ -> Rng.int rng (cap_c + 1))
+    in
+    if Array.exists (fun x -> x > 0) load then
+      Bin.place b
+        (Item.make ~id:(10_000 + i) ~arrival:0.0 ~departure:1.0
+           ~size:(Vec.of_array load))
+        ~touch:i;
+    Bin_registry.add t b
+  done;
+  t
+
+(* the same query mix for both kernels: sizes in the workload's item
+   range, so scans hit and miss like a real arrival stream *)
+let query_sizes ~d ~rng =
+  Array.init 16 (fun _ ->
+      Vec.of_array (Array.init d (fun _ -> 1 + Rng.int rng 30)))
+
+let time_kernel ~kernel ~d ~bins ~iters =
+  let rng = Rng.create ~seed:(97 * d + bins) in
+  let t = build_registry ~kernel ~d ~bins ~rng in
+  let sizes = query_sizes ~d ~rng in
+  let sink = ref 0 in
+  (* warm-up pass, off the clock *)
+  Array.iter (fun s -> sink := !sink + Bin_registry.count_fitting t s) sizes;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    Array.iter (fun s -> sink := !sink + Bin_registry.count_fitting t s) sizes
+  done;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let slot_tests = float_of_int (iters * Array.length sizes * bins) in
+  ignore (Sys.opaque_identity !sink);
+  seconds *. 1e9 /. slot_tests
+
+let measure ~d ~bins =
+  (* size the repetition count so each cell runs ~10M slot tests *)
+  let iters = max 1 (10_000_000 / (16 * bins)) in
+  let scalar_ns = time_kernel ~kernel:`Scalar ~d ~bins ~iters in
+  let swar_ns = time_kernel ~kernel:`Auto ~d ~bins ~iters in
+  { d; bins; scalar_ns; swar_ns; speedup = scalar_ns /. swar_ns }
+
+let default_grid =
+  [ (1, 64); (1, 1024); (2, 1024); (5, 64); (5, 1024); (5, 8192); (8, 1024) ]
+
+let run ?(grid = default_grid) () =
+  List.map (fun (d, bins) -> measure ~d ~bins) grid
+
+let render rows =
+  Dvbp_report.Table.render
+    ~header:[ "d"; "live bins"; "scalar ns/slot"; "swar ns/slot"; "speedup" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.d;
+             string_of_int r.bins;
+             Printf.sprintf "%.2f" r.scalar_ns;
+             Printf.sprintf "%.2f" r.swar_ns;
+             Printf.sprintf "%.2fx" r.speedup;
+           ])
+         rows)
+
+let to_json rows =
+  let cells =
+    List.map
+      (fun r ->
+        Printf.sprintf
+          "      { \"d\": %d, \"bins\": %d, \"scalar_ns_per_slot\": %.3f, \
+           \"swar_ns_per_slot\": %.3f, \"speedup\": %.3f }"
+          r.d r.bins r.scalar_ns r.swar_ns r.speedup)
+      rows
+  in
+  Printf.sprintf
+    "  \"fit_kernel\": {\n    \"timed_op\": \"count_fitting (full scan, no \
+     pruning)\",\n    \"rows\": [\n%s\n    ]\n  }"
+    (String.concat ",\n" cells)

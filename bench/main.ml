@@ -341,7 +341,12 @@ let run_micro () =
        is bit-identical across jobs values. *)
 
 let bench_grid = [ (1, 10); (1, 200); (5, 10); (5, 200) ]
-let bench_n_items = 1000
+
+(* every grid cell shares the Table 2 item count / span / bin size; the
+   JSON workload block below is printed from this same record, so the
+   snapshot can never disagree with what actually ran *)
+let bench_params = W.Uniform_model.table2 ~d:1 ~mu:10
+let bench_n_items = bench_params.W.Uniform_model.n
 
 let json_instance ~d ~mu =
   W.Uniform_model.generate
@@ -466,10 +471,14 @@ let run_json path =
     lg_bare.Dvbp_service.Loadgen.events_per_sec;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"label\": \"pr5\",\n";
+  Buffer.add_string buf "  \"label\": \"pr6\",\n";
   Buffer.add_string buf "  \"generated_by\": \"bench/main.ml --json\",\n";
   Buffer.add_string buf
-    "  \"workload\": { \"model\": \"uniform (Table 2)\", \"n_items\": 1000, \"span\": 1000, \"bin_size\": 100, \"record_trace\": false },\n";
+    (Printf.sprintf
+       "  \"workload\": { \"model\": \"uniform (Table 2)\", \"n_items\": %d, \
+        \"span\": %d, \"bin_size\": %d, \"record_trace\": false },\n"
+       bench_params.W.Uniform_model.n bench_params.W.Uniform_model.span
+       bench_params.W.Uniform_model.bin_size);
   Buffer.add_string buf "  \"throughput_items_per_sec\": {\n";
   List.iteri
     (fun i (name, cells) ->
@@ -503,6 +512,16 @@ let run_json path =
   Buffer.add_string buf
     (Printf.sprintf "    \"identical_across_jobs\": %b\n" identical);
   Buffer.add_string buf "  },\n";
+  (* scalar-vs-SWAR fit-kernel microbench (see bench/kernel_bench.ml) *)
+  let fk_rows = Kernel_bench.run () in
+  List.iter
+    (fun (r : Kernel_bench.row) ->
+      Printf.eprintf "bench fit_kernel d=%d bins=%-5d  scalar %6.2f ns  swar %6.2f ns  %.2fx\n%!"
+        r.Kernel_bench.d r.Kernel_bench.bins r.Kernel_bench.scalar_ns
+        r.Kernel_bench.swar_ns r.Kernel_bench.speedup)
+    fk_rows;
+  Buffer.add_string buf (Kernel_bench.to_json fk_rows);
+  Buffer.add_string buf ",\n";
   let lg_json name (r : Dvbp_service.Loadgen.report) =
     let lat = r.Dvbp_service.Loadgen.latency_us in
     Printf.sprintf
@@ -552,7 +571,7 @@ let () =
         let path, rest =
           match rest with
           | p :: rest' when not (String.length p > 0 && p.[0] = '-') -> (p, rest')
-          | _ -> ("BENCH_pr5.json", rest)
+          | _ -> ("BENCH_pr6.json", rest)
         in
         parse ~json:(Some path) ~jobs rest
     | arg :: _ -> fail (Printf.sprintf "unknown argument %S" arg)

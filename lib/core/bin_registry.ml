@@ -6,16 +6,127 @@ module Dynarray = Dvbp_prelude.Dynarray
    slot in one flat int array. The fit scan — one test per open bin per
    arrival, the hottest loop in a simulation — then reads a few KB of
    contiguous memory instead of chasing each bin's record and load
-   vector through the heap. Dead slots have their first residual set to
-   [-1], which no non-negative size fits, so the scan needs no separate
-   liveness test. The price is that the engine must call {!refresh}
+   vector through the heap.
+
+   On top of that scalar mirror, when the capacity is small enough
+   (byte-sized components, dim <= 8) the registry maintains a second,
+   SWAR mirror: ALL [dim] residuals of a slot in ONE native int, one
+   [lane = 63/dim]-bit lane per dimension. Each lane is
+
+        bit lane-1   bit lane-2    bits lane-3 .. 0
+       [ guard = 1 ][ slack = 0 ][ residual (payload) ]
+
+   and a whole slot's fit test is one masked subtract:
+
+        ((word - item_word) land guard_mask) = guard_mask
+
+   where [item_word] packs the item's coordinates into the payload bits
+   of the same lanes. Within a lane the subtraction computes
+   [2^(lane-1) + r_j - s_j]; both r_j and s_j fit in [lane - 2] payload
+   bits, so the lane's value stays in (0, 2^lane) — no borrow ever
+   crosses a lane boundary — and its guard bit survives iff
+   [r_j >= s_j]. Dead slots (tombstones of closed bins) store the poison
+   word whose every lane is [2^(lane-1) - 1] (guard clear, payload and
+   slack bits all set): subtracting any payload-bounded item leaves each
+   lane in [2^(lane-2), 2^(lane-1) - 1] — still borrow-free, guard still
+   clear — so tombstones fail the test for free, for every item
+   including the all-zero one. That slack bit is what makes the poison
+   airtight: with only a guard above the payload, [0 - s] wraps and sets
+   the guard for any positive [s].
+
+   The kernel is chosen once at [create] (see [swar_lane_bits]); when the
+   precondition fails (dim > 8, or a capacity component above the lane
+   payload) every scan falls back to the per-dimension scalar loop over
+   [free]. Both kernels walk slots in the same order and are counted by
+   the same [note_scan] bookkeeping, so results AND scan statistics are
+   bit-identical — pinned by the differential tests in test_registry.ml.
+
+   The price of the mirrors is that the engine must call {!refresh}
    after mutating a bin's load; the session does this in exactly two
-   places (place, remove). *)
+   places (place, remove).
+
+   Finally the registry keeps a per-dimension tightest-residual index
+   over blocks of [block_slots] slots: [blk_lo] ([blk_hi]) holds, per
+   block and dimension, a lower (upper) bound on every live slot's
+   residual. Bounds are clamped outward in {!write_free}, so a stale
+   bound is always conservative, and rebuilt tight on compaction. The
+   fused BF/WF argmax scans turn them into per-block score bounds
+   (monotone measures only) and stop as soon as the best score seen can
+   no longer be strictly beaten by any remaining block — the early exit
+   never changes the selected bin, because ties already keep the
+   earliest candidate. *)
+
+let block_shift = 5
+let block_slots = 1 lsl block_shift (* 32 *)
+
+(* Lane width of the SWAR word for this dimension, or 0 when the kernel
+   is unavailable. The packability of the capacity itself is delegated
+   to the bounds-checked {!Vec.pack_u8} codec, so the precondition lives
+   in exactly one place: dim <= 8 and every component at most
+   [Vec.max_packable ~lane_bits:(63 / dim)] — the full u8 range 255 for
+   dim <= 6, then 127 at dim = 7 and 31 at dim = 8, where the 63-bit
+   word runs out of payload bits. *)
+let swar_lane_bits capacity =
+  let dim = Vec.dim capacity in
+  if dim > 8 then 0
+  else
+    let lane = 63 / dim in
+    match Vec.pack_u8 ~lane_bits:lane capacity with
+    | (_ : int) -> lane
+    | exception Invalid_argument _ -> 0
+
+(* Per-dimension lookup tables for the fill ratio fl((c_j - f) / c_j),
+   indexed by the residual [f] in [0, c_j]. Built once at [create] when
+   the capacity components are small (they always are under the SWAR
+   precondition); each entry is computed with exactly the float
+   operations {!measure_of_slot} would otherwise perform, so a lookup is
+   bit-identical to the division it replaces. An empty table (component
+   above the build threshold) or an out-of-range index (the block-bound
+   sentinels [max_int] / [-1]) falls back to the live computation. *)
+let ratio_table_max_component = 65535
+
+let build_ratio_tables (cap : int array) =
+  Array.map
+    (fun c ->
+      if c < 0 || c > ratio_table_max_component then [||]
+      else
+        Array.init (c + 1) (fun f -> float_of_int (c - f) /. float_of_int c))
+    cap
+
+let[@inline] ratio_at (rat : float array array) (cap : int array) j f =
+  let rj = Array.unsafe_get rat j in
+  if f >= 0 && f < Array.length rj then Array.unsafe_get rj f
+  else
+    let c = Array.unsafe_get cap j in
+    float_of_int (c - f) /. float_of_int c
+
 type t = {
   dim : int;
   cap : int array;  (* the shared bin capacity, for measure evaluation *)
+  rat : float array array;  (* fill-ratio tables, one per dimension *)
   bins : Bin.t Dynarray.t;  (* ascending open order; closed bins = tombstones *)
   mutable free : int array;  (* packed residuals, [dim] per slot *)
+  (* SWAR kernel parameters, fixed at [create]; [lane = 0] means scalar *)
+  swar : bool;
+  lane : int;
+  gmask : int;  (* one guard bit per lane *)
+  pmax : int;  (* largest packable coordinate; above it nothing fits *)
+  dead_word : int;  (* the tombstone poison: every lane 2^(lane-1) - 1 *)
+  mutable packed : int array;  (* one SWAR word per slot (swar only) *)
+  (* per-slot load-measure caches, refreshed by {!write_free} with the
+     exact float operations of {!measure_of_slot}: the BF/WF argmax
+     reads one float per fitting candidate instead of recomputing the
+     measure from [dim] residuals. Dead slots keep a stale score that no
+     scan ever reads (their fit test always fails). Lp is not cached —
+     its exponent is a per-call parameter. *)
+  mutable linf : float array;
+  mutable l1 : float array;
+  (* tightest-residual block index: per block of [block_slots] slots and
+     per dimension, a conservative lower/upper bound on the residuals of
+     the block's live slots *)
+  mutable blk_lo : int array;
+  mutable blk_hi : int array;
+  mutable suffix : float array;  (* per-scan scratch for suffix score bounds *)
   mutable live : int;
   mutable dead : int;
   (* Proof memo for the strict Any Fit law: when a whole-registry scan
@@ -36,15 +147,38 @@ type t = {
 
 type scan_stats = { scans : int; candidates : int; memo_hits : int }
 
-let create ~capacity =
+let[@inline] blocks_for slots = (slots + block_slots - 1) lsr block_shift
+
+let create ?(kernel = `Auto) ~capacity () =
   (* the dummy bin fills unused backing slots; it is never traversed *)
   let dummy = Bin.create ~id:(-1) ~capacity ~now:0.0 ~touch:0 in
   let dim = Vec.dim capacity in
+  let lane = match kernel with `Scalar -> 0 | `Auto -> swar_lane_bits capacity in
+  let swar = lane > 0 in
+  let gmask = ref 0 and dead_word = ref 0 in
+  if swar then
+    for j = 0 to dim - 1 do
+      gmask := !gmask lor (1 lsl ((lane * j) + lane - 1));
+      dead_word := !dead_word lor (((1 lsl (lane - 1)) - 1) lsl (lane * j))
+    done;
+  let slots = 8 in
   {
     dim;
     cap = (capacity :> int array);
+    rat = build_ratio_tables (capacity :> int array);
     bins = Dynarray.create ~dummy ();
-    free = Array.make (dim * 8) (-1);
+    free = Array.make (dim * slots) (-1);
+    swar;
+    lane;
+    gmask = !gmask;
+    pmax = (if swar then Vec.max_packable ~lane_bits:lane else 0);
+    dead_word = !dead_word;
+    packed = (if swar then Array.make slots !dead_word else [||]);
+    linf = Array.make slots 0.0;
+    l1 = Array.make slots 0.0;
+    blk_lo = Array.make (blocks_for slots * dim) max_int;
+    blk_hi = Array.make (blocks_for slots * dim) (-1);
+    suffix = [||];
     live = 0;
     dead = 0;
     stamp = 0;
@@ -56,6 +190,7 @@ let create ~capacity =
   }
 
 let count t = t.live
+let kernel_name t = if t.swar then "swar" else "scalar"
 
 let scan_stats t =
   { scans = t.stat_scans; candidates = t.stat_candidates; memo_hits = t.stat_memo_hits }
@@ -64,25 +199,88 @@ let[@inline] note_scan t examined =
   t.stat_scans <- t.stat_scans + 1;
   t.stat_candidates <- t.stat_candidates + examined
 
+(* Re-mirrors slot [slot] from the bin record: the scalar residuals, the
+   SWAR word, the cached Linf/L1 scores, and the block bounds (clamped
+   outward only — a residual that shrank back leaves a stale,
+   conservative bound behind). The score accumulation mirrors
+   {!measure_of_slot} operation for operation, so a cached score and a
+   recomputed one are the same float. *)
 let[@inline] write_free t slot (b : Bin.t) =
   let cap = (b.Bin.capacity :> int array)
   and load = (b.Bin.load :> int array) in
-  let free = t.free in
-  let base = slot * t.dim in
-  for j = 0 to t.dim - 1 do
-    Array.unsafe_set free (base + j)
-      (Array.unsafe_get cap j - Array.unsafe_get load j)
-  done
+  let free = t.free and blk_lo = t.blk_lo and blk_hi = t.blk_hi in
+  let rat = t.rat in
+  let d = t.dim in
+  let base = slot * d in
+  let bbase = (slot lsr block_shift) * d in
+  let best = ref 0.0 and sum = ref 0.0 in
+  if t.swar then begin
+    let lane = t.lane in
+    let word = ref t.gmask in
+    for j = 0 to d - 1 do
+      let r = Array.unsafe_get cap j - Array.unsafe_get load j in
+      Array.unsafe_set free (base + j) r;
+      if r < Array.unsafe_get blk_lo (bbase + j) then
+        Array.unsafe_set blk_lo (bbase + j) r;
+      if r > Array.unsafe_get blk_hi (bbase + j) then
+        Array.unsafe_set blk_hi (bbase + j) r;
+      let ratio = ratio_at rat cap j r in
+      if ratio > !best then best := ratio;
+      sum := !sum +. ratio;
+      word := !word lor (r lsl (lane * j))
+    done;
+    Array.unsafe_set t.packed slot !word
+  end
+  else
+    for j = 0 to d - 1 do
+      let r = Array.unsafe_get cap j - Array.unsafe_get load j in
+      Array.unsafe_set free (base + j) r;
+      if r < Array.unsafe_get blk_lo (bbase + j) then
+        Array.unsafe_set blk_lo (bbase + j) r;
+      if r > Array.unsafe_get blk_hi (bbase + j) then
+        Array.unsafe_set blk_hi (bbase + j) r;
+      let ratio = ratio_at rat cap j r in
+      if ratio > !best then best := ratio;
+      sum := !sum +. ratio
+    done;
+  Array.unsafe_set t.linf slot !best;
+  Array.unsafe_set t.l1 slot !sum
 
-let[@inline] kill_slot t slot = t.free.(slot * t.dim) <- -1
+let[@inline] kill_slot t slot =
+  t.free.(slot * t.dim) <- -1;
+  if t.swar then t.packed.(slot) <- t.dead_word
 
 let ensure_free_capacity t slots =
   let need = slots * t.dim in
   if Array.length t.free < need then begin
-    let bigger = Array.make (max need (2 * Array.length t.free)) (-1) in
+    let grown = max need (2 * Array.length t.free) in
+    let bigger = Array.make grown (-1) in
     Array.blit t.free 0 bigger 0 (Array.length t.free);
-    t.free <- bigger
+    t.free <- bigger;
+    let grown_slots = (grown + t.dim - 1) / t.dim in
+    if t.swar then begin
+      let bigger = Array.make grown_slots t.dead_word in
+      Array.blit t.packed 0 bigger 0 (Array.length t.packed);
+      t.packed <- bigger
+    end;
+    let linf = Array.make grown_slots 0.0 and l1 = Array.make grown_slots 0.0 in
+    Array.blit t.linf 0 linf 0 (Array.length t.linf);
+    Array.blit t.l1 0 l1 0 (Array.length t.l1);
+    t.linf <- linf;
+    t.l1 <- l1
+  end;
+  let bneed = blocks_for slots * t.dim in
+  if Array.length t.blk_lo < bneed then begin
+    let grown = max bneed (2 * Array.length t.blk_lo) in
+    let lo = Array.make grown max_int and hi = Array.make grown (-1) in
+    Array.blit t.blk_lo 0 lo 0 (Array.length t.blk_lo);
+    Array.blit t.blk_hi 0 hi 0 (Array.length t.blk_hi);
+    t.blk_lo <- lo;
+    t.blk_hi <- hi
   end
+
+let ensure_suffix t n =
+  if Array.length t.suffix < n then t.suffix <- Array.make (max n 16) 0.0
 
 let[@inline] bump t = t.stamp <- t.stamp + 1
 
@@ -111,6 +309,9 @@ let refresh t (b : Bin.t) =
 
 let compact t =
   Dynarray.filter_in_place t.bins Bin.is_open;
+  (* reset the block bounds so the rebuild below leaves them tight *)
+  Array.fill t.blk_lo 0 (Array.length t.blk_lo) max_int;
+  Array.fill t.blk_hi 0 (Array.length t.blk_hi) (-1);
   for i = 0 to Dynarray.length t.bins - 1 do
     let b = Dynarray.unsafe_get t.bins i in
     write_free t i b;
@@ -178,23 +379,48 @@ let fold t f init =
   in
   go init 0
 
-(* Fit scans: direct while-loops over the packed residual array. The
-   per-slot test is branchless: [size] fits iff every [free_j - size_j]
-   is non-negative, i.e. iff OR-ing the differences leaves the sign bit
-   clear. An early-exit comparison loop looks cheaper but its exit point
-   varies per slot, and the resulting branch mispredictions dominated
-   the scan; a dead slot's [-1] poison residual drives the OR negative
-   just like any other miss. *)
+(* Fit scans. Two interchangeable inner kernels, selected once per scan:
+
+   - scalar: a direct while-loop over the per-dimension residual mirror.
+     The per-slot test is branchless — [size] fits iff every
+     [free_j - size_j] is non-negative, i.e. iff OR-ing the differences
+     leaves the sign bit clear. An early-exit comparison loop looks
+     cheaper but its exit point varies per slot, and the resulting branch
+     mispredictions dominated the scan; a dead slot's [-1] poison
+     residual drives the OR negative just like any other miss.
+
+   - swar: one masked subtract per slot over the packed-word mirror (see
+     the module header). The item's word is packed once per scan.
+
+   Both walk the same slot order and return the same indices, so every
+   caller's result and candidate count are kernel-independent. *)
 
 let[@inline] coerce_size t (size : Vec.t) =
   if Vec.dim size <> t.dim then
     invalid_arg "Bin_registry: size dimension does not match capacity";
   (size :> int array)
 
-(* first slot index >= [i0] whose residuals fit [size], or [n] *)
-let[@inline] scan_up (free : int array) (size : int array) d n i0 =
+(* The item's SWAR word, or -1 when some coordinate exceeds the lane
+   payload — capacities are bounded by [pmax], so such an item fits
+   nowhere and the caller answers "miss" with full-scan statistics,
+   exactly like the scalar kernel scanning every slot. *)
+let[@inline] pack_size t (size : int array) =
+  let d = t.dim and lane = t.lane and pmax = t.pmax in
+  let word = ref 0 and j = ref 0 and ok = ref true in
+  while !ok && !j < d do
+    let s = Array.unsafe_get size !j in
+    if s > pmax then ok := false
+    else begin
+      word := !word lor (s lsl (lane * !j));
+      incr j
+    end
+  done;
+  if !ok then !word else -1
+
+(* first slot index in [i0, stop) whose residuals fit [size], else [stop] *)
+let[@inline] scan_up (free : int array) (size : int array) d stop i0 =
   let i = ref i0 and base = ref (i0 * d) and found = ref false in
-  while (not !found) && !i < n do
+  while (not !found) && !i < stop do
     let acc = ref 0 in
     for j = 0 to d - 1 do
       acc :=
@@ -208,10 +434,26 @@ let[@inline] scan_up (free : int array) (size : int array) d n i0 =
   done;
   !i
 
+(* SWAR twin of [scan_up]: one word per slot, [iw] packed once by the
+   caller. *)
+let[@inline] scan_up_swar (packed : int array) iw gmask stop i0 =
+  let i = ref i0 and found = ref false in
+  while (not !found) && !i < stop do
+    if (Array.unsafe_get packed !i - iw) land gmask = gmask then found := true
+    else incr i
+  done;
+  !i
+
 let find_fitting t size =
   let size = coerce_size t size in
   let n = Dynarray.length t.bins in
-  let i = scan_up t.free size t.dim n 0 in
+  let i =
+    if t.swar then begin
+      let iw = pack_size t size in
+      if iw < 0 then n else scan_up_swar t.packed iw t.gmask n 0
+    end
+    else scan_up t.free size t.dim n 0
+  in
   note_scan t (if i < n then i + 1 else n);
   if i < n then Some (Dynarray.unsafe_get t.bins i)
   else begin
@@ -219,12 +461,9 @@ let find_fitting t size =
     None
   end
 
-let rfind_fitting t size =
-  let size = coerce_size t size in
-  let d = t.dim and free = t.free in
-  let bins = t.bins in
-  let i = ref (Dynarray.length bins - 1) and found = ref false in
-  let base = ref (!i * d) in
+(* last slot index in [0, top] whose residuals fit, else -1 *)
+let[@inline] scan_down (free : int array) (size : int array) d top =
+  let i = ref top and base = ref (top * d) and found = ref false in
   while (not !found) && !i >= 0 do
     let acc = ref 0 in
     for j = 0 to d - 1 do
@@ -237,8 +476,28 @@ let rfind_fitting t size =
       base := !base - d
     end
   done;
-  note_scan t (if !found then Dynarray.length bins - !i else Dynarray.length bins);
-  if !found then Some (Dynarray.unsafe_get bins !i)
+  !i
+
+let[@inline] scan_down_swar (packed : int array) iw gmask top =
+  let i = ref top and found = ref false in
+  while (not !found) && !i >= 0 do
+    if (Array.unsafe_get packed !i - iw) land gmask = gmask then found := true
+    else decr i
+  done;
+  !i
+
+let rfind_fitting t size =
+  let size = coerce_size t size in
+  let n = Dynarray.length t.bins in
+  let i =
+    if t.swar then begin
+      let iw = pack_size t size in
+      if iw < 0 then -1 else scan_down_swar t.packed iw t.gmask (n - 1)
+    end
+    else scan_down t.free size t.dim (n - 1)
+  in
+  note_scan t (if i >= 0 then n - i else n);
+  if i >= 0 then Some (Dynarray.unsafe_get t.bins i)
   else begin
     record_miss t size;
     None
@@ -249,88 +508,141 @@ let rfind_fitting t size =
    so recovering the load and applying the same float operations in the
    same order yields the bit-identical value {!Bin.load_measure} returns
    — argmax/argmin ties therefore break exactly as they would when
-   scoring the bin records. *)
-let measure_of_slot (m : Load_measure.t) (free : int array) (cap : int array) d
-    base =
+   scoring the bin records. The fill ratio comes from the per-dimension
+   table when the residual indexes it (every live slot does); the
+   fallback division computes the very same value, so the two paths are
+   interchangeable bit for bit. *)
+let measure_of_slot t (m : Load_measure.t) (free : int array) base =
+  let d = t.dim and cap = t.cap and rat = t.rat in
   match m with
   | Load_measure.Linf ->
       let best = ref 0.0 in
       for j = 0 to d - 1 do
-        let c = Array.unsafe_get cap j in
-        let l = c - Array.unsafe_get free (base + j) in
-        let r = float_of_int l /. float_of_int c in
+        let r = ratio_at rat cap j (Array.unsafe_get free (base + j)) in
         if r > !best then best := r
       done;
       !best
   | Load_measure.L1 ->
       let acc = ref 0.0 in
       for j = 0 to d - 1 do
-        let c = Array.unsafe_get cap j in
-        let l = c - Array.unsafe_get free (base + j) in
-        acc := !acc +. (float_of_int l /. float_of_int c)
+        acc := !acc +. ratio_at rat cap j (Array.unsafe_get free (base + j))
       done;
       !acc
   | Load_measure.Lp p ->
       let acc = ref 0.0 in
       for j = 0 to d - 1 do
-        let c = Array.unsafe_get cap j in
-        let l = c - Array.unsafe_get free (base + j) in
-        acc := !acc +. ((float_of_int l /. float_of_int c) ** p)
+        acc :=
+          !acc +. (ratio_at rat cap j (Array.unsafe_get free (base + j)) ** p)
       done;
       !acc ** (1.0 /. p)
 
+(* The block-bound pruning is sound only for measures that are monotone
+   in every residual under the float operations actually performed:
+   integer subtraction is exact, [fl(l / c)] is monotone in [l], and max
+   and same-order summation preserve weak monotonicity. [x ** p] makes
+   no such promise, so Lp scans never prune. *)
+let bound_supported = function
+  | Load_measure.Linf | Load_measure.L1 -> true
+  | Load_measure.Lp _ -> false
+
 (* Argmax/argmin of the load measure over the fitting bins, fused into
-   the packed-residual scan (best-fit/worst-fit never touch the bin
-   records until the winner is known). Strict improvement replaces, so
-   ties keep the earliest-opened bin. The Linf case is unrolled into the
-   loop: it is every standard policy's measure, and keeping the score in
-   registers avoids boxing a float per candidate. *)
+   the mirror scan (best-fit/worst-fit never touch the bin records until
+   the winner is known). Strict improvement replaces, so ties keep the
+   earliest-opened bin.
+
+   Per-block early exit: evaluating the measure on a block's [blk_lo]
+   ([blk_hi]) residual bounds gives an upper (lower) bound on every live
+   slot's score in that block — the measures are monotone decreasing in
+   each residual — and a right-to-left pass turns those into suffix
+   bounds. Once some fitting bin is in hand and its score meets the
+   suffix bound, no remaining slot can STRICTLY beat it, and a
+   non-strict tie would lose to the earlier candidate anyway, so the
+   scan stops — same winner, fewer slots examined. Both kernels share
+   this logic, so candidate counts stay kernel-independent. *)
 let extremal_loaded_fitting t (measure : Load_measure.t) size ~largest =
   let size = coerce_size t size in
-  let d = t.dim and free = t.free and cap = t.cap in
+  let d = t.dim and free = t.free in
   let n = Dynarray.length t.bins in
+  let nblocks = blocks_for n in
+  let prune = nblocks > 1 && bound_supported measure in
+  (* The suffix score bounds are built lazily, at the first block
+     boundary reached with a candidate in hand — a scan that finds no
+     fitting bin (the common case once bins saturate) never consults
+     them, so it never pays for the build. Values are identical
+     whenever consulted, so examined counts and winners match the eager
+     build exactly. *)
+  let suffix_built = ref false in
+  let build_suffix () =
+    suffix_built := true;
+    ensure_suffix t (nblocks + 1);
+    let s = t.suffix in
+    s.(nblocks) <- (if largest then neg_infinity else infinity);
+    for b = nblocks - 1 downto 0 do
+      let bound =
+        measure_of_slot t measure
+          (if largest then t.blk_lo else t.blk_hi)
+          (b * d)
+      in
+      s.(b) <-
+        (if largest then Float.max bound s.(b + 1) else Float.min bound s.(b + 1))
+    done
+  in
+  let swar = t.swar and packed = t.packed and gmask = t.gmask in
+  (* cached per-slot scores where the measure has a cache (Linf, L1);
+     an empty array routes Lp through the live computation *)
+  let scores =
+    match measure with
+    | Load_measure.Linf -> t.linf
+    | Load_measure.L1 -> t.l1
+    | Load_measure.Lp _ -> [||]
+  in
+  let cached = Array.length scores > 0 in
   let best = ref (-1) and best_score = ref 0.0 in
-  (match measure with
-  | Load_measure.Linf ->
-      let i = ref 0 in
-      while !i < n do
-        let next = scan_up free size d n !i in
-        if next < n then begin
-          let base = next * d in
-          let score = ref 0.0 in
-          for j = 0 to d - 1 do
-            let c = Array.unsafe_get cap j in
-            let l = c - Array.unsafe_get free (base + j) in
-            let r = float_of_int l /. float_of_int c in
-            if r > !score then score := r
-          done;
-          if
-            !best < 0
-            || (if largest then !score > !best_score else !score < !best_score)
-          then begin
-            best := next;
-            best_score := !score
-          end
-        end;
-        i := next + 1
-      done
-  | _ ->
-      let i = ref 0 in
-      while !i < n do
-        let next = scan_up free size d n !i in
-        if next < n then begin
-          let score = measure_of_slot measure free cap d (next * d) in
-          if
-            !best < 0
-            || (if largest then score > !best_score else score < !best_score)
-          then begin
-            best := next;
-            best_score := score
-          end
-        end;
-        i := next + 1
-      done);
-  note_scan t n;
+  let examined = ref n in
+  let iw = if swar then pack_size t size else 0 in
+  if swar && iw < 0 then ()
+  else begin
+    let b = ref 0 and stop = ref false in
+    while (not !stop) && !b lsl block_shift < n do
+      let lo = !b lsl block_shift in
+      if
+        prune && !best >= 0
+        &&
+        (if not !suffix_built then build_suffix ();
+         let s = Array.unsafe_get t.suffix !b in
+         if largest then !best_score >= s else !best_score <= s)
+      then begin
+        examined := lo;
+        stop := true
+      end
+      else begin
+        let hi = Int.min n (lo + block_slots) in
+        let i = ref lo in
+        while !i < hi do
+          let next =
+            if swar then scan_up_swar packed iw gmask hi !i
+            else scan_up free size d hi !i
+          in
+          if next < hi then begin
+            let score =
+              if cached then Array.unsafe_get scores next
+              else measure_of_slot t measure free (next * d)
+            in
+            if
+              !best < 0
+              || (if largest then score > !best_score else score < !best_score)
+            then begin
+              best := next;
+              best_score := score
+            end
+          end;
+          i := next + 1
+        done;
+        incr b
+      end
+    done
+  end;
+  note_scan t !examined;
   if !best < 0 then begin
     record_miss t size;
     None
@@ -345,25 +657,35 @@ let least_loaded_fitting t ~measure size =
 
 (* Most-recently-used fitting bin (move-to-front). [last_used] values are
    unique (the session's touch counter increments per use), so comparing
-   them as ints selects the same bin as the old float argmax. *)
+   them as ints selects the same bin as the old float argmax. No block
+   pruning here — the argmax key lives in the bin records, not the
+   residual mirror. *)
 let recently_used_fitting t size =
   let size = coerce_size t size in
   let d = t.dim and free = t.free in
   let bins = t.bins in
   let n = Dynarray.length bins in
   let best = ref (-1) and best_touch = ref (-1) in
-  let i = ref 0 in
-  while !i < n do
-    let next = scan_up free size d n !i in
-    if next < n then begin
-      let touch = (Dynarray.unsafe_get bins next).Bin.last_used in
-      if touch > !best_touch then begin
-        best := next;
-        best_touch := touch
-      end
-    end;
-    i := next + 1
-  done;
+  let swar = t.swar and packed = t.packed and gmask = t.gmask in
+  let iw = if swar then pack_size t size else 0 in
+  if swar && iw < 0 then ()
+  else begin
+    let i = ref 0 in
+    while !i < n do
+      let next =
+        if swar then scan_up_swar packed iw gmask n !i
+        else scan_up free size d n !i
+      in
+      if next < n then begin
+        let touch = (Dynarray.unsafe_get bins next).Bin.last_used in
+        if touch > !best_touch then begin
+          best := next;
+          best_touch := touch
+        end
+      end;
+      i := next + 1
+    done
+  end;
   note_scan t n;
   if !best < 0 then begin
     record_miss t size;
@@ -376,12 +698,21 @@ let fold_fitting t size f init =
   let d = t.dim and free = t.free in
   let bins = t.bins in
   let n = Dynarray.length bins in
-  let acc = ref init and i = ref 0 in
-  while !i < n do
-    let next = scan_up free size d n !i in
-    if next < n then acc := f !acc (Dynarray.unsafe_get bins next);
-    i := next + 1
-  done;
+  let acc = ref init in
+  let swar = t.swar and packed = t.packed and gmask = t.gmask in
+  let iw = if swar then pack_size t size else 0 in
+  if swar && iw < 0 then ()
+  else begin
+    let i = ref 0 in
+    while !i < n do
+      let next =
+        if swar then scan_up_swar packed iw gmask n !i
+        else scan_up free size d n !i
+      in
+      if next < n then acc := f !acc (Dynarray.unsafe_get bins next);
+      i := next + 1
+    done
+  end;
   note_scan t n;
   !acc
 
@@ -393,7 +724,13 @@ let exists_fitting t size =
   end
   else begin
     let n = Dynarray.length t.bins in
-    let i = scan_up t.free size t.dim n 0 in
+    let i =
+      if t.swar then begin
+        let iw = pack_size t size in
+        if iw < 0 then n else scan_up_swar t.packed iw t.gmask n 0
+      end
+      else scan_up t.free size t.dim n 0
+    in
     note_scan t (if i < n then i + 1 else n);
     if i < n then true
     else begin
@@ -406,12 +743,21 @@ let count_fitting t size =
   let size = coerce_size t size in
   let d = t.dim and free = t.free in
   let n = Dynarray.length t.bins in
-  let c = ref 0 and i = ref 0 in
-  while !i < n do
-    let next = scan_up free size d n !i in
-    if next < n then incr c;
-    i := next + 1
-  done;
+  let c = ref 0 in
+  let swar = t.swar and packed = t.packed and gmask = t.gmask in
+  let iw = if swar then pack_size t size else 0 in
+  if swar && iw < 0 then ()
+  else begin
+    let i = ref 0 in
+    while !i < n do
+      let next =
+        if swar then scan_up_swar packed iw gmask n !i
+        else scan_up free size d n !i
+      in
+      if next < n then incr c;
+      i := next + 1
+    done
+  end;
   note_scan t n;
   if !c = 0 then record_miss t size;
   !c
@@ -424,21 +770,28 @@ let nth_fitting t size k =
   if k < 0 then None
   else begin
     let remaining = ref k and i = ref 0 and result = ref None in
-    while !result == None && !i < n do
-      let next = scan_up free size d n !i in
-      if next < n then
-        if !remaining = 0 then result := Some (Dynarray.unsafe_get bins next)
-        else decr remaining;
-      i := next + 1
-    done;
+    let swar = t.swar and packed = t.packed and gmask = t.gmask in
+    let iw = if swar then pack_size t size else 0 in
+    if swar && iw < 0 then i := n
+    else
+      while !result == None && !i < n do
+        let next =
+          if swar then scan_up_swar packed iw gmask n !i
+          else scan_up free size d n !i
+        in
+        if next < n then
+          if !remaining = 0 then result := Some (Dynarray.unsafe_get bins next)
+          else decr remaining;
+        i := next + 1
+      done;
     note_scan t (min !i n);
     !result
   end
 
 let to_list t = List.rev (fold t (fun acc b -> b :: acc) [])
 
-let of_list ~capacity bins =
-  let t = create ~capacity in
+let of_list ?kernel ~capacity bins =
+  let t = create ?kernel ~capacity () in
   List.iter
     (fun b ->
       Dynarray.push t.bins b;

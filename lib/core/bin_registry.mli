@@ -11,9 +11,14 @@
     The registry also mirrors each open bin's residual capacity
     ([capacity - load]) into one packed int array, so the per-arrival fit
     scan reads contiguous memory instead of dereferencing every bin
-    record. The mirror is the engine's responsibility: after mutating a
-    bin's load it must call {!refresh} (the session does, in its place and
-    remove steps).
+    record. When the capacity is byte-sized and [dim <= 8] it additionally
+    keeps a SWAR mirror — all residuals of a slot in one native int, one
+    lane per dimension — and every fit test becomes a single masked
+    subtract (see DESIGN.md §7.3 for the word layout). The kernel is
+    chosen once at {!create}; both kernels visit slots in the same order,
+    so results and {!scan_stats} are bit-identical. The mirror is the
+    engine's responsibility: after mutating a bin's load it must call
+    {!refresh} (the session does, in its place and remove steps).
 
     The engine owns the mutators ({!add}, {!note_closed}, {!refresh});
     policies and the conformance replayer only use the read-only view
@@ -21,9 +26,17 @@
 
 type t
 
-val create : capacity:Dvbp_vec.Vec.t -> t
+val create : ?kernel:[ `Auto | `Scalar ] -> capacity:Dvbp_vec.Vec.t -> unit -> t
 (** An empty registry for bins of the given capacity (used only to build
-    the internal dummy slot filler). *)
+    the internal dummy slot filler). [kernel] (default [`Auto]) selects
+    the fit-scan kernel: [`Auto] uses the SWAR word-at-a-time kernel
+    whenever [dim <= 8] and every capacity component is at most
+    [Vec.max_packable ~lane_bits:(63 / dim)] (255 up to [d = 6], 127 at
+    [d = 7], 31 at [d = 8]) and the scalar per-dimension loop otherwise;
+    [`Scalar] forces the scalar loop (differential tests, benchmarks). *)
+
+val kernel_name : t -> string
+(** ["swar"] or ["scalar"] — which fit kernel {!create} chose. *)
 
 (** {1 Engine-only mutation} *)
 
@@ -106,5 +119,7 @@ val scan_stats : t -> scan_stats
     stores per scan; never read on the hot path (scraped by the metrics
     layer at render time). *)
 
-val of_list : capacity:Dvbp_vec.Vec.t -> Bin.t list -> t
-(** Builds a registry holding exactly these bins (test helper). *)
+val of_list :
+  ?kernel:[ `Auto | `Scalar ] -> capacity:Dvbp_vec.Vec.t -> Bin.t list -> t
+(** Builds a registry holding exactly these bins (test helper). [kernel]
+    as in {!create}. *)

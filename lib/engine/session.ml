@@ -44,7 +44,8 @@ type t = {
   mutable stat_rejects : int;
 }
 
-let create ?(record_trace = true) ?(expected_items = 64) ~capacity ~policy () =
+let create ?(record_trace = true) ?(expected_items = 64) ?(fit_kernel = `Auto)
+    ~capacity ~policy () =
   (* the dummy state fills the item table's empty slots; it is never read *)
   let dummy_state =
     {
@@ -62,7 +63,7 @@ let create ?(record_trace = true) ?(expected_items = 64) ~capacity ~policy () =
     next_item = 0;
     next_bin = 0;
     touch = 0;
-    open_bins = Bin_registry.create ~capacity;
+    open_bins = Bin_registry.create ~kernel:fit_kernel ~capacity ();
     all_bins_desc = [];
     items = Int_table.create ~expected:expected_items ~dummy:dummy_state ();
     trace_rev = [];
@@ -247,6 +248,7 @@ let placements t = t.stat_placements
 let departures t = t.stat_departures
 let rejects t = t.stat_rejects
 let scan_stats t = Bin_registry.scan_stats t.open_bins
+let fit_kernel t = Bin_registry.kernel_name t.open_bins
 
 let cost_so_far t =
   let horizon = now t in

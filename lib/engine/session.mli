@@ -24,6 +24,7 @@ exception Session_error of string
 val create :
   ?record_trace:bool ->
   ?expected_items:int ->
+  ?fit_kernel:[ `Auto | `Scalar ] ->
   capacity:Dvbp_vec.Vec.t ->
   policy:Dvbp_core.Policy.t ->
   unit ->
@@ -34,7 +35,11 @@ val create :
     paths (e.g. ratio sweeps) that never read the trace — {!trace} then
     returns an empty trace. [expected_items] pre-sizes the item table when
     the caller knows the workload size (the batch engine does), avoiding
-    rehashes mid-run. *)
+    rehashes mid-run. [fit_kernel] (default [`Auto]) is forwarded to
+    {!Dvbp_core.Bin_registry.create}: [`Scalar] forces the per-dimension
+    fit-scan loop even when the capacity qualifies for the SWAR kernel
+    (differential tests, benchmarks). Kernel choice never changes
+    placements or statistics — only scan speed. *)
 
 val arrive :
   t ->
@@ -98,6 +103,10 @@ val rejects : t -> int
 
 val scan_stats : t -> Dvbp_core.Bin_registry.scan_stats
 (** Cumulative fit-scan tallies of the session's open-bin registry. *)
+
+val fit_kernel : t -> string
+(** {!Dvbp_core.Bin_registry.kernel_name} of the session's registry:
+    ["swar"] or ["scalar"]. *)
 
 val cost_so_far : t -> float
 (** Total bin-time accumulated up to [now] (open bins billed to [now]). *)

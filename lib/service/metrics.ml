@@ -190,7 +190,14 @@ let attach_session t ~policy session =
         (S.scan_stats session).Dvbp_core.Bin_registry.candidates);
     counter "dvbp_engine_recheck_memo_hits_total"
       "Any-Fit conformance rechecks answered by the miss memo" (fun () ->
-        (S.scan_stats session).Dvbp_core.Bin_registry.memo_hits)
+        (S.scan_stats session).Dvbp_core.Bin_registry.memo_hits);
+    (* info-style gauge: constant 1, the kernel lives in the label, so a
+       scrape can tell which fit kernel the registry selected at create *)
+    let kernel_labels = ("kernel", S.fit_kernel session) :: labels in
+    R.Gauge.pull t.reg "dvbp_engine_fit_kernel_info"
+      ~help:"Fit-scan kernel selected at session create (swar or scalar)"
+      ~labels:kernel_labels
+      (fun () -> 1.0)
   end
 
 let render_text t = R.render ~spans:true t.reg ^ "# EOF"

@@ -129,6 +129,48 @@ let height ~cap v =
     v;
   !best
 
+(* Lane codec for the SWAR fit kernel: coordinate [j] occupies bits
+   [lane_bits*j .. lane_bits*(j+1)-1] of one native int. The top two bits
+   of every lane are reserved — a guard bit the kernel's masked subtract
+   reports through, and one slack bit that keeps the dead-slot poison word
+   borrow-free — so a packable coordinate must fit in [lane_bits - 2]
+   payload bits (and in a byte: the kernel's precondition is u8-sized
+   capacities). *)
+
+let max_packable ~lane_bits = min 255 ((1 lsl (lane_bits - 2)) - 1)
+
+let check_lanes name ~lane_bits v =
+  if lane_bits < 3 then
+    invalid_arg (Printf.sprintf "Vec.%s: lane_bits %d < 3" name lane_bits);
+  if Array.length v * lane_bits > 63 then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: %d lanes of %d bits exceed one 63-bit word" name
+         (Array.length v) lane_bits)
+
+let pack_u8 ?(lane_bits = 10) v =
+  check_lanes "pack_u8" ~lane_bits v;
+  let bound = max_packable ~lane_bits in
+  let word = ref 0 in
+  Array.iteri
+    (fun j x ->
+      if x > bound then
+        invalid_arg
+          (Printf.sprintf
+             "Vec.pack_u8: coordinate %d is %d, above the %d-bit-lane bound %d"
+             j x lane_bits bound);
+      word := !word lor (x lsl (lane_bits * j)))
+    v;
+  !word
+
+let unpack_u8 ?(lane_bits = 10) ~dim word =
+  if dim <= 0 then invalid_arg "Vec.unpack_u8: non-positive dimension";
+  if lane_bits < 3 then invalid_arg "Vec.unpack_u8: lane_bits < 3";
+  if dim * lane_bits > 63 then
+    invalid_arg "Vec.unpack_u8: lanes exceed one 63-bit word";
+  if word < 0 then invalid_arg "Vec.unpack_u8: negative word";
+  let payload = (1 lsl (lane_bits - 2)) - 1 in
+  Array.init dim (fun j -> (word lsr (lane_bits * j)) land payload)
+
 let pp ppf v =
   Format.fprintf ppf "(%a)"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")

@@ -124,6 +124,33 @@ val height : cap:t -> t -> int
 (** [max_j ⌈v_j / cap_j⌉] — the minimum number of bins forced by this total
     load in its most loaded dimension (the integrand of Lemma 1 (i)). *)
 
+(** {1 Lane codec (SWAR fit kernel)}
+
+    Packs a whole vector into one native int, one fixed-width lane per
+    coordinate: coordinate [j] occupies bits
+    [lane_bits*j .. lane_bits*(j+1)-1]. The top two bits of every lane are
+    reserved for the SWAR fit test (a guard bit the masked subtract reports
+    through, plus one slack bit that keeps the dead-slot poison word
+    borrow-free), so a packable coordinate must fit in [lane_bits - 2]
+    payload bits — and always in a byte, hence the [u8] name: the fit
+    kernel's precondition is byte-sized capacities. *)
+
+val max_packable : lane_bits:int -> int
+(** Largest packable coordinate: [min 255 (2{^lane_bits - 2} - 1)]. *)
+
+val pack_u8 : ?lane_bits:int -> t -> int
+(** [pack_u8 ~lane_bits v] is the packed word. [lane_bits] defaults to 10
+    (8 payload bits — the full u8 range — per lane, up to 6 lanes).
+    @raise Invalid_argument if [lane_bits < 3], if
+    [dim v * lane_bits > 63], or if any coordinate exceeds
+    {!max_packable}. *)
+
+val unpack_u8 : ?lane_bits:int -> dim:int -> int -> t
+(** Inverse of {!pack_u8} on its image: extracts the low [lane_bits - 2]
+    payload bits of each of [dim] lanes.
+    @raise Invalid_argument on a negative word, [dim <= 0], [lane_bits < 3]
+    or [dim * lane_bits > 63]. *)
+
 (** {1 Printing} *)
 
 val pp : Format.formatter -> t -> unit

@@ -245,6 +245,40 @@ let conformance_tests =
                   | Error [] -> assert false))
             [ "ff"; "lf"; "bf"; "wf"; "mtf"; "nf" ]
         done);
+    Alcotest.test_case "scalar-kernel instances (d=9, bin_size=256) still conform"
+      `Quick (fun () ->
+        (* both parameterisations fail the SWAR precondition, so these runs
+           pin the fallback fit kernel against the replayer *)
+        let param_sets =
+          [
+            { Uniform_model.d = 9; n = 80; mu = 8; span = 40; bin_size = 10 };
+            { Uniform_model.d = 2; n = 80; mu = 8; span = 40; bin_size = 256 };
+          ]
+        in
+        List.iter
+          (fun params ->
+            let capacity = Uniform_model.capacity params in
+            Alcotest.(check string)
+              "selects scalar" "scalar"
+              (Bin_registry.kernel_name (Bin_registry.create ~capacity ()));
+            let instance =
+              Uniform_model.generate params ~rng:(Rng.create ~seed:11)
+            in
+            List.iter
+              (fun name ->
+                match Conformance.semantics_of_name name with
+                | None -> ()
+                | Some semantics -> (
+                    let run = Engine.run ~policy:(Policy.of_name_exn name) instance in
+                    match Conformance.check semantics instance run.Engine.trace with
+                    | Ok () -> ()
+                    | Error (violation :: _) ->
+                        Alcotest.failf "%s (d=%d bin_size=%d): %s" name
+                          params.Uniform_model.d params.Uniform_model.bin_size
+                          (Format.asprintf "%a" Conformance.pp_violation violation)
+                    | Error [] -> assert false))
+              [ "ff"; "lf"; "bf"; "wf"; "mtf"; "nf" ])
+          param_sets);
     Alcotest.test_case "a first-fit trace violates best-fit semantics somewhere"
       `Quick (fun () ->
         (* bins at 50 and 70; the 30 goes first-fit to bin 0 but best-fit

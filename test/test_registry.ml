@@ -77,11 +77,12 @@ let close (b : Bin.t) =
   Bin.close b ~now:1.0
 
 let ids bins = List.map (fun (b : Bin.t) -> b.Bin.id) bins
+let registry ?kernel () = Bin_registry.create ?kernel ~capacity:cap2 ()
 
 let registry_tests =
   [
     Alcotest.test_case "add and count" `Quick (fun () ->
-        let t = Bin_registry.create ~capacity:cap2 in
+        let t = registry () in
         check_int "empty" 0 (Bin_registry.count t);
         Bin_registry.add t (bin 0);
         Bin_registry.add t (bin 1);
@@ -89,19 +90,19 @@ let registry_tests =
         Alcotest.(check (list int)) "ascending" [ 0; 1 ]
           (ids (Bin_registry.to_list t)));
     Alcotest.test_case "adding a closed bin rejected" `Quick (fun () ->
-        let t = Bin_registry.create ~capacity:cap2 in
+        let t = registry () in
         let b = bin 0 in
         close b;
         check_bool "raises" true
           (try Bin_registry.add t b; false with Invalid_argument _ -> true));
     Alcotest.test_case "note_closed on an open bin rejected" `Quick (fun () ->
-        let t = Bin_registry.create ~capacity:cap2 in
+        let t = registry () in
         let b = bin 0 in
         Bin_registry.add t b;
         check_bool "raises" true
           (try Bin_registry.note_closed t b; false with Invalid_argument _ -> true));
     Alcotest.test_case "closed bins vanish from the view" `Quick (fun () ->
-        let t = Bin_registry.create ~capacity:cap2 in
+        let t = registry () in
         let bins = List.init 5 bin in
         List.iter (Bin_registry.add t) bins;
         let b2 = List.nth bins 2 in
@@ -113,7 +114,7 @@ let registry_tests =
         check_bool "find skips closed" true
           (Bin_registry.find t (fun b -> b.Bin.id = 2) = None));
     Alcotest.test_case "order survives heavy closing (compaction)" `Quick (fun () ->
-        let t = Bin_registry.create ~capacity:cap2 in
+        let t = registry () in
         let bins = List.init 20 bin in
         List.iter (Bin_registry.add t) bins;
         (* close all even bins: dead outnumbers live midway, forcing an
@@ -130,7 +131,7 @@ let registry_tests =
           [ 1; 3; 5; 7; 9; 11; 13; 15; 17; 19 ]
           (ids (Bin_registry.to_list t)));
     Alcotest.test_case "find / rfind direction" `Quick (fun () ->
-        let t = Bin_registry.create ~capacity:cap2 in
+        let t = registry () in
         List.iter (Bin_registry.add t) (List.init 4 bin);
         let id = function Some (b : Bin.t) -> Some b.Bin.id | None -> None in
         Alcotest.(check (option int)) "find" (Some 0)
@@ -138,7 +139,7 @@ let registry_tests =
         Alcotest.(check (option int)) "rfind" (Some 3)
           (id (Bin_registry.rfind t (fun _ -> true))));
     Alcotest.test_case "fitting primitives agree" `Quick (fun () ->
-        let t = Bin_registry.create ~capacity:cap2 in
+        let t = registry () in
         (* loads 9,1,8,2: a (5,5) item fits bins 1 and 3 only *)
         List.iteri
           (fun i load -> Bin_registry.add t (bin ~load:[ load; load ] i))
@@ -162,8 +163,213 @@ let registry_tests =
           (Bin_registry.fold_fitting t size (fun acc b -> acc + b.Bin.id) 0));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* SWAR fit kernel: selection boundary, forced fallback, and the
+   differential property that both kernels are observationally
+   identical — same bins returned, same scan statistics. *)
+
+let kernel_of cap_list =
+  Bin_registry.kernel_name (Bin_registry.create ~capacity:(v cap_list) ())
+
+let kernel_selection_tests =
+  [
+    Alcotest.test_case "byte capacities up to d=6 select SWAR" `Quick (fun () ->
+        let check_string = Alcotest.(check string) in
+        check_string "d=1" "swar" (kernel_of [ 255 ]);
+        check_string "d=2" "swar" (kernel_of [ 10; 10 ]);
+        check_string "d=5 bin_size=100" "swar" (kernel_of [ 100; 100; 100; 100; 100 ]);
+        check_string "d=6 at 255" "swar"
+          (kernel_of [ 255; 255; 255; 255; 255; 255 ]));
+    Alcotest.test_case "precondition boundary picks scalar" `Quick (fun () ->
+        let check_string = Alcotest.(check string) in
+        (* bin_size 256 exceeds a byte even at d=1 *)
+        check_string "bin_size=256" "scalar" (kernel_of [ 256 ]);
+        (* the 63-bit word narrows the payload at d=7 and d=8 *)
+        check_string "d=7 at 127" "swar" (kernel_of (List.init 7 (fun _ -> 127)));
+        check_string "d=7 at 128" "scalar" (kernel_of (List.init 7 (fun _ -> 128)));
+        check_string "d=8 at 31" "swar" (kernel_of (List.init 8 (fun _ -> 31)));
+        check_string "d=8 at 32" "scalar" (kernel_of (List.init 8 (fun _ -> 32)));
+        check_string "d=9" "scalar" (kernel_of (List.init 9 (fun _ -> 1))));
+    Alcotest.test_case "`Scalar forces the fallback kernel" `Quick (fun () ->
+        Alcotest.(check string) "forced" "scalar"
+          (Bin_registry.kernel_name (registry ~kernel:`Scalar ())));
+    Alcotest.test_case "fitting primitives agree under forced scalar" `Quick
+      (fun () ->
+        (* the registry_tests fixture capacity is SWAR-eligible, so those
+           suites pin the SWAR kernel; this one pins the fallback *)
+        let t = registry ~kernel:`Scalar () in
+        List.iteri
+          (fun i load -> Bin_registry.add t (bin ~load:[ load; load ] i))
+          [ 9; 1; 8; 2 ];
+        let size = v [ 5; 5 ] in
+        let id = function Some (b : Bin.t) -> Some b.Bin.id | None -> None in
+        check_int "count_fitting" 2 (Bin_registry.count_fitting t size);
+        Alcotest.(check (option int)) "first" (Some 1)
+          (id (Bin_registry.find_fitting t size));
+        Alcotest.(check (option int)) "last" (Some 3)
+          (id (Bin_registry.rfind_fitting t size));
+        check_bool "exists" true (Bin_registry.exists_fitting t size));
+  ]
+
+(* One generated scenario: a capacity, a bin population (initial load,
+   an optional second placement after registration, a closed flag), and
+   a batch of query sizes. Each twin registry gets its own freshly built
+   bins (a bin can only live in one registry), driven through the exact
+   same add / refresh / note_closed sequence, so compaction and the
+   block-bound index evolve identically. *)
+type diff_spec = {
+  d : int;
+  cap : int array;
+  bins_raw : (int array * int array * bool * bool) list;
+      (* load mode per dim, raw value per dim, place-second, close *)
+  sizes_raw : (int array * int array) list;  (* size mode / raw per dim *)
+}
+
+let diff_gen =
+  QCheck2.Gen.(
+    let* d = 1 -- 8 in
+    let maxp = Vec.max_packable ~lane_bits:(63 / d) in
+    let* cap =
+      array_repeat d
+        (frequency [ (2, pure maxp); (1, pure 1); (4, 1 -- maxp) ])
+    in
+    let* nbins = 0 -- 40 in
+    let* bins_raw =
+      list_repeat nbins
+        (let* mode = array_repeat d (0 -- 4) in
+         let* raw = array_repeat d (0 -- 100_000) in
+         let* second = bool in
+         let* closed = frequency [ (3, pure false); (1, pure true) ] in
+         pure (mode, raw, second, closed))
+    in
+    let* nq = 1 -- 8 in
+    let* sizes_raw =
+      list_repeat nq
+        (let* mode = array_repeat d (0 -- 5) in
+         let* raw = array_repeat d (0 -- 100_000) in
+         pure (mode, raw))
+    in
+    pure { d; cap; bins_raw; sizes_raw })
+
+(* mode 0/1 pin the extremes (empty bin → residual = cap, full bin →
+   residual = 0); the rest spread uniformly *)
+let load_of_mode cap_j mode raw =
+  match mode with 0 -> 0 | 1 -> cap_j | _ -> raw mod (cap_j + 1)
+
+(* query sizes also probe just-above-capacity (never fits) and far
+   beyond the SWAR lane payload (the pack_size sentinel path) *)
+let size_of_mode cap_j mode raw =
+  match mode with
+  | 0 -> 0
+  | 1 -> cap_j
+  | 2 -> cap_j + 1
+  | 3 -> 300 + (raw mod 100)
+  | _ -> raw mod (cap_j + 2)
+
+let build_diff_registry ~kernel { d; cap; bins_raw; _ } =
+  let capv = Vec.of_array cap in
+  let t = Bin_registry.create ~kernel ~capacity:capv () in
+  let bins =
+    List.mapi
+      (fun i (mode, raw, second, _) ->
+        let b = Bin.create ~id:i ~capacity:capv ~now:0.0 ~touch:i in
+        let load = Array.init d (fun j -> load_of_mode cap.(j) mode.(j) raw.(j)) in
+        (if Array.exists (fun x -> x > 0) load then
+           Bin.place b
+             (Item.make ~id:(1000 + i) ~arrival:0.0 ~departure:1.0
+                ~size:(Vec.of_array load))
+             ~touch:i);
+        Bin_registry.add t b;
+        (* a placement after registration exercises the refresh path and
+           the downward clamp of the block bounds *)
+        let item2 =
+          if second then begin
+            let room = Array.init d (fun j -> (cap.(j) - load.(j)) / 2) in
+            if Array.exists (fun x -> x > 0) room then begin
+              let it =
+                Item.make ~id:(2000 + i) ~arrival:0.0 ~departure:1.0
+                  ~size:(Vec.of_array room)
+              in
+              Bin.place b it ~touch:(100 + i);
+              Bin_registry.refresh t b;
+              Some it
+            end
+            else None
+          end
+          else None
+        in
+        (b, item2))
+      bins_raw
+  in
+  (* closes (with their compactions) interleave with the removals below *)
+  List.iteri
+    (fun i (_, _, _, closed) ->
+      if closed then begin
+        let b, _ = List.nth bins i in
+        close b;
+        Bin_registry.note_closed t b
+      end)
+    bins_raw;
+  (* removing the second item grows the residual back — the upward clamp
+     of the block bounds, and the stale-but-conservative lower bound *)
+  List.iteri
+    (fun i (_, _, _, closed) ->
+      if not closed then
+        match snd (List.nth bins i) with
+        | Some it ->
+            let b = fst (List.nth bins i) in
+            Bin.remove b it;
+            Bin_registry.refresh t b
+        | None -> ())
+    bins_raw;
+  t
+
+let id_of = function Some (b : Bin.t) -> b.Bin.id | None -> -1
+
+let queries_agree swar scalar { d; cap; sizes_raw; _ } =
+  List.for_all
+    (fun (mode, raw) ->
+      let size =
+        Vec.of_array (Array.init d (fun j -> size_of_mode cap.(j) mode.(j) raw.(j)))
+      in
+      let agree f = f swar size = f scalar size in
+      agree (fun t s -> id_of (Bin_registry.find_fitting t s))
+      && agree (fun t s -> id_of (Bin_registry.rfind_fitting t s))
+      && agree (fun t s -> Bin_registry.count_fitting t s)
+      && agree (fun t s -> Bin_registry.exists_fitting t s)
+      && agree (fun t s -> id_of (Bin_registry.nth_fitting t s 0))
+      && agree (fun t s -> id_of (Bin_registry.nth_fitting t s 1))
+      && agree (fun t s -> id_of (Bin_registry.recently_used_fitting t s))
+      && List.for_all
+           (fun m ->
+             agree (fun t s -> id_of (Bin_registry.most_loaded_fitting t ~measure:m s))
+             && agree (fun t s ->
+                    id_of (Bin_registry.least_loaded_fitting t ~measure:m s)))
+           [ Load_measure.Linf; Load_measure.L1; Load_measure.Lp 2.0 ]
+      && agree (fun t s ->
+             Bin_registry.fold_fitting t s (fun acc b -> (7 * acc) + b.Bin.id) 1))
+    sizes_raw
+
+let prop_kernels_agree =
+  QCheck2.Test.make
+    ~name:"SWAR and scalar kernels agree on every primitive and on scan_stats"
+    ~count:300 diff_gen (fun spec ->
+      let swar = build_diff_registry ~kernel:`Auto spec in
+      let scalar = build_diff_registry ~kernel:`Scalar spec in
+      (* every generated capacity is SWAR-eligible by construction *)
+      Bin_registry.kernel_name swar = "swar"
+      && Bin_registry.kernel_name scalar = "scalar"
+      && Bin_registry.count swar = Bin_registry.count scalar
+      && queries_agree swar scalar spec
+      && Bin_registry.scan_stats swar = Bin_registry.scan_stats scalar)
+
+let kernel_property_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_kernels_agree ]
+
 let suites =
   [
     ("prelude.dynarray", dynarray_tests);
     ("core.bin_registry", registry_tests);
+    ("core.fit_kernel", kernel_selection_tests);
+    ("core.fit_kernel_props", kernel_property_tests);
   ]

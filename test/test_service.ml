@@ -919,6 +919,53 @@ let metrics_tests =
             Journal.close w;
             check_int "truncates" 1
               (metric_value (metric_rows m) "dvbp_journal_truncates_total")));
+    Alcotest.test_case "fit-scan metrics agree across kernels on one trace" `Quick
+      (fun () ->
+        (* same deterministic event stream into a SWAR session and a forced
+           scalar one: the scan-stats metric families must not drift between
+           kernels (OPERATIONS.md documents them kernel-independently) *)
+        let drive fit_kernel =
+          let m = Metrics.create () in
+          let s =
+            Session.create ~fit_kernel ~capacity:cap
+              ~policy:(Dvbp_core.Policy.of_name_exn "bf") ()
+          in
+          Metrics.attach_session m ~policy:"bf" s;
+          let sizes =
+            [| (60, 10); (10, 60); (40, 40); (25, 75); (90, 5); (5, 90) |]
+          in
+          for i = 0 to 39 do
+            let a, b = sizes.(i mod 6) in
+            ignore (Session.arrive s ~at:(float_of_int i) ~size:(v [ a; b ]) ());
+            if i >= 5 then
+              Session.depart s ~at:(float_of_int i +. 0.5) ~item_id:(i - 5)
+          done;
+          (m, s)
+        in
+        let m_swar, s_swar = drive `Auto and m_scalar, s_scalar = drive `Scalar in
+        check_string "kernels differ" "swar" (Session.fit_kernel s_swar);
+        check_string "forced scalar" "scalar" (Session.fit_kernel s_scalar);
+        check_string "identical session state" (Session.fingerprint s_swar)
+          (Session.fingerprint s_scalar);
+        let rows_swar = metric_rows m_swar and rows_scalar = metric_rows m_scalar in
+        List.iter
+          (fun fam ->
+            check_int fam
+              (metric_value rows_scalar ~labels:[ ("policy", "bf") ] fam)
+              (metric_value rows_swar ~labels:[ ("policy", "bf") ] fam))
+          [
+            "dvbp_engine_fit_scans_total"; "dvbp_engine_fit_scan_candidates_total";
+            "dvbp_engine_recheck_memo_hits_total"; "dvbp_engine_placements_total";
+            "dvbp_engine_bins_opened_total";
+          ];
+        check_int "info gauge (swar)" 1
+          (metric_value rows_swar
+             ~labels:[ ("policy", "bf"); ("kernel", "swar") ]
+             "dvbp_engine_fit_kernel_info");
+        check_int "info gauge (scalar)" 1
+          (metric_value rows_scalar
+             ~labels:[ ("policy", "bf"); ("kernel", "scalar") ]
+             "dvbp_engine_fit_kernel_info"));
     Alcotest.test_case "noop metrics render empty and cost no clock reads" `Quick
       (fun () ->
         let m = Metrics.noop () in

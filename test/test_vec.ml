@@ -107,6 +107,56 @@ let norm_tests =
         check_int "lots" 5 (Vec.height ~cap (v [ 50; 3 ])));
   ]
 
+let codec_tests =
+  [
+    Alcotest.test_case "pack places each coordinate in its lane" `Quick (fun () ->
+        (* default 10-bit lanes: coordinate j sits at bits 10j.. *)
+        check_int "word" (1 lor (2 lsl 10) lor (3 lsl 20))
+          (Vec.pack_u8 (v [ 1; 2; 3 ])));
+    Alcotest.test_case "unpack inverts pack" `Quick (fun () ->
+        let x = v [ 0; 255; 17; 100 ] in
+        check_bool "roundtrip" true
+          (Vec.equal x (Vec.unpack_u8 ~dim:4 (Vec.pack_u8 x))));
+    Alcotest.test_case "max_packable narrows with the lane" `Quick (fun () ->
+        (* payload is lane_bits - 2, capped at a byte *)
+        check_int "10-bit lane" 255 (Vec.max_packable ~lane_bits:10);
+        check_int "12-bit lane" 255 (Vec.max_packable ~lane_bits:12);
+        check_int "9-bit lane" 127 (Vec.max_packable ~lane_bits:9);
+        check_int "7-bit lane" 31 (Vec.max_packable ~lane_bits:7));
+    Alcotest.test_case "pack rejects out-of-lane coordinates" `Quick (fun () ->
+        check_bool "256 over a 10-bit lane" true
+          (try ignore (Vec.pack_u8 (v [ 256 ])); false
+           with Invalid_argument _ -> true);
+        check_bool "128 over a 9-bit lane" true
+          (try ignore (Vec.pack_u8 ~lane_bits:9 (v [ 128 ])); false
+           with Invalid_argument _ -> true);
+        check_bool "127 fits a 9-bit lane" true
+          (Vec.pack_u8 ~lane_bits:9 (v [ 127 ]) = 127));
+    Alcotest.test_case "pack rejects words wider than 63 bits" `Quick (fun () ->
+        check_bool "7 lanes of 10 bits" true
+          (try ignore (Vec.pack_u8 (Vec.make ~dim:7 1)); false
+           with Invalid_argument _ -> true);
+        check_bool "10 lanes of 7 bits" true
+          (try ignore (Vec.pack_u8 ~lane_bits:7 (Vec.make ~dim:10 1)); false
+           with Invalid_argument _ -> true);
+        (* 9 lanes of 7 bits are exactly 63 — still one word *)
+        check_bool "9 lanes of 7 bits" true
+          (Vec.pack_u8 ~lane_bits:7 (Vec.zero ~dim:9) = 0));
+  ]
+
+let prop_pack_roundtrip =
+  QCheck2.Test.make ~name:"unpack_u8 inverts pack_u8 at every SWAR dimension"
+    ~count:500
+    QCheck2.Gen.(
+      let* d = 1 -- 8 in
+      let lane = 63 / d in
+      let* a = array_repeat d (0 -- Vec.max_packable ~lane_bits:lane) in
+      return (lane, a))
+    (fun (lane, a) ->
+      let x = Vec.of_array a in
+      Vec.equal x (Vec.unpack_u8 ~lane_bits:lane ~dim:(Array.length a)
+                     (Vec.pack_u8 ~lane_bits:lane x)))
+
 (* Property 1 of the paper: ‖Σ v_i‖∞ <= Σ ‖v_i‖∞ <= d ‖Σ v_i‖∞. *)
 let vec_gen =
   QCheck2.Gen.(
@@ -183,7 +233,7 @@ let property_tests =
     [
       prop_proposition_1; prop_scale_homogeneous; prop_fits_iff_le;
       prop_add_commutative_associative; prop_sub_inverts_add;
-      prop_height_matches_float_ceil;
+      prop_height_matches_float_ceil; prop_pack_roundtrip;
     ]
 
 let suites =
@@ -192,5 +242,6 @@ let suites =
     ("vec.algebra", algebra_tests);
     ("vec.fit", fit_tests);
     ("vec.norms", norm_tests);
+    ("vec.codec", codec_tests);
     ("vec.properties", property_tests);
   ]

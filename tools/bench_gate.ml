@@ -1,0 +1,169 @@
+(* Bench gate: compares the FF/BF/MTF throughput lines of a fresh
+   [bench/main.exe --json] snapshot against a committed baseline and
+   fails (exit 1) when any line regresses past the tolerance.
+
+     bench_gate.exe --baseline BENCH_pr3.json --current /tmp/bench.json \
+       [--min-ratio 0.8] [--policies ff,bf,mtf]
+
+   The parser is deliberately dependency-free: it only understands the
+   flat shape bench/main.ml emits —
+
+     "throughput_items_per_sec": {
+       "ff": { "d1_mu10": 1234.5, ... },
+       ...
+     }
+
+   — and fails loudly when a policy or cell it was asked to gate is
+   missing from either file, so a silently renamed line can never pass
+   the gate by absence. *)
+
+let read_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf "bench_gate: cannot open %s: %s\n" path msg;
+      exit 2
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let find_from txt needle start =
+  let n = String.length txt and k = String.length needle in
+  let rec go i =
+    if i + k > n then None
+    else if String.sub txt i k = needle then Some i
+    else go (i + 1)
+  in
+  go start
+
+(* [policy_block txt name] is the ["name": { ... }] object body for
+   [name] inside the throughput section. *)
+let policy_block txt name =
+  match find_from txt "\"throughput_items_per_sec\"" 0 with
+  | None -> None
+  | Some start -> (
+      match find_from txt (Printf.sprintf "\"%s\":" name) start with
+      | None -> None
+      | Some i -> (
+          match String.index_from_opt txt i '{' with
+          | None -> None
+          | Some opening -> (
+              match String.index_from_opt txt opening '}' with
+              | None -> None
+              | Some closing ->
+                  Some (String.sub txt (opening + 1) (closing - opening - 1)))))
+
+(* ["d1_mu10": 1234.5] pairs from a policy block body *)
+let cells body =
+  let cells = ref [] in
+  let n = String.length body in
+  let i = ref 0 in
+  while !i < n do
+    match String.index_from_opt body !i '"' with
+    | None -> i := n
+    | Some q1 -> (
+        match String.index_from_opt body (q1 + 1) '"' with
+        | None -> i := n
+        | Some q2 ->
+            let key = String.sub body (q1 + 1) (q2 - q1 - 1) in
+            let rest = ref (q2 + 1) in
+            while
+              !rest < n
+              && (body.[!rest] = ':' || body.[!rest] = ' ' || body.[!rest] = '\n')
+            do
+              incr rest
+            done;
+            let num_start = !rest in
+            while
+              !rest < n
+              &&
+              match body.[!rest] with
+              | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+              | _ -> false
+            do
+              incr rest
+            done;
+            (if !rest > num_start then
+               match
+                 float_of_string_opt (String.sub body num_start (!rest - num_start))
+               with
+               | Some v -> cells := (key, v) :: !cells
+               | None -> ());
+            i := !rest)
+  done;
+  List.rev !cells
+
+let () =
+  let baseline = ref "" and current = ref "" in
+  let min_ratio = ref 0.8 in
+  let policies = ref "ff,bf,mtf" in
+  let spec =
+    [
+      ("--baseline", Arg.Set_string baseline, "PATH committed baseline JSON");
+      ("--current", Arg.Set_string current, "PATH freshly generated JSON");
+      ( "--min-ratio",
+        Arg.Set_float min_ratio,
+        "R fail when current/baseline < R in any gated line (default 0.8)" );
+      ( "--policies",
+        Arg.Set_string policies,
+        "CSV policies to gate (default ff,bf,mtf)" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench_gate --baseline BASE.json --current NEW.json [--min-ratio 0.8]";
+  if !baseline = "" || !current = "" then begin
+    Printf.eprintf "bench_gate: --baseline and --current are required\n";
+    exit 2
+  end;
+  let base_txt = read_file !baseline and cur_txt = read_file !current in
+  let failures = ref 0 and checked = ref 0 in
+  let gate policy =
+    match (policy_block base_txt policy, policy_block cur_txt policy) with
+    | None, _ ->
+        Printf.eprintf "bench_gate: policy %S missing from %s\n" policy !baseline;
+        incr failures
+    | _, None ->
+        Printf.eprintf "bench_gate: policy %S missing from %s\n" policy !current;
+        incr failures
+    | Some bb, Some cb ->
+        let base_cells = cells bb and cur_cells = cells cb in
+        if base_cells = [] then begin
+          Printf.eprintf "bench_gate: no cells for %S in %s\n" policy !baseline;
+          incr failures
+        end;
+        List.iter
+          (fun (cell, bv) ->
+            match List.assoc_opt cell cur_cells with
+            | None ->
+                Printf.eprintf "bench_gate: %s.%s missing from %s\n" policy cell
+                  !current;
+                incr failures
+            | Some cv ->
+                incr checked;
+                let ratio = cv /. bv in
+                let ok = ratio >= !min_ratio in
+                Printf.printf "%-4s %-10s baseline %12.1f  current %12.1f  %5.2fx  %s\n"
+                  policy cell bv cv ratio
+                  (if ok then "ok" else "REGRESSION");
+                if not ok then incr failures)
+          base_cells
+  in
+  String.split_on_char ',' !policies
+  |> List.iter (fun p ->
+         let p = String.trim p in
+         if p <> "" then gate p);
+  if !checked = 0 then begin
+    Printf.eprintf "bench_gate: nothing checked\n";
+    exit 2
+  end;
+  if !failures > 0 then begin
+    Printf.printf "bench_gate: FAIL (%d regression(s)/missing line(s), floor %.2fx)\n"
+      !failures !min_ratio;
+    exit 1
+  end
+  else
+    Printf.printf "bench_gate: PASS (%d lines, floor %.2fx of %s)\n" !checked
+      !min_ratio !baseline
