@@ -254,6 +254,12 @@ let fsync_every_arg =
        & info [ "fsync-every" ] ~docv:"N"
            ~doc:"Journal fsync batch size (1 = fsync every record).")
 
+let serve_jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"INT"
+           ~doc:"Tenant shards (worker domains) for batched requests. Per-tenant \
+                 packings are bit-identical for any value.")
+
 let serve_cmd =
   let resume_arg =
     Arg.(value & flag
@@ -267,12 +273,18 @@ let serve_cmd =
              ~doc:"Write the final METRICS snapshot here on exit \
                    (pretty-print it with $(b,dvbp metrics)).")
   in
-  let action policy seed capacity journal snapshot snapshot_every fsync_every resume
-      metrics_dump =
+  let listen_arg =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"SOCK"
+             ~doc:"Serve many concurrent clients on this unix socket path \
+                   (group commit across connections) instead of stdio.")
+  in
+  let action policy seed capacity journal snapshot snapshot_every fsync_every jobs
+      listen resume metrics_dump =
     match
       Cli.Service_cli.serve
         { Cli.Service_cli.policy; seed; capacity; journal; snapshot;
-          snapshot_every; fsync_every; resume; metrics_dump }
+          snapshot_every; fsync_every; jobs; listen; resume; metrics_dump }
         stdin stdout
     with
     | Ok () -> 0
@@ -280,10 +292,11 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Durable online placement service: ARRIVE/DEPART line protocol on stdio")
+       ~doc:"Durable online placement service: ARRIVE/DEPART line protocol on \
+             stdio or a unix socket")
     Term.(const action $ policy_arg $ seed_arg $ capacity_arg $ journal_arg
-          $ snapshot_arg $ snapshot_every_arg $ fsync_every_arg $ resume_arg
-          $ metrics_dump_arg)
+          $ snapshot_arg $ snapshot_every_arg $ fsync_every_arg $ serve_jobs_arg
+          $ listen_arg $ resume_arg $ metrics_dump_arg)
 
 let recover_cmd =
   let journal_pos =
@@ -318,14 +331,45 @@ let loadgen_cmd =
          & info [ "policy-seed" ] ~docv:"INT"
              ~doc:"Policy rng seed (workload generation uses --seed).")
   in
+  let clients_arg =
+    Arg.(value & opt int 0
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Drive N concurrent clients (tenants t0..t{N-1}) against one \
+                   event-loop server; 0 = classic single-client pipe driver.")
+  in
+  let lg_jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"INT"
+             ~doc:"Server-side tenant shards in multi-client mode.")
+  in
+  let window_arg =
+    Arg.(value & opt int 256
+         & info [ "window" ] ~docv:"N"
+             ~doc:"Per-client pipelining depth in multi-client mode.")
+  in
+  let lg_fsync_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fsync-every" ] ~docv:"N"
+             ~doc:"Journal fsync batch size / group-commit ceiling \
+                   (default: 64 single-client, 1024 multi-client).")
+  in
+  let connect_arg =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"SOCK"
+             ~doc:"Drive an external $(b,dvbp serve --listen) server at this \
+                   unix socket instead of an in-process one (server death \
+                   mid-run is tolerated and reported).")
+  in
   let action workload trace d mu n rho seed policy policy_seed journal snapshot
-      snapshot_every emit =
+      snapshot_every fsync_every clients jobs window connect emit =
     let source = { Cli.Workload_select.workload; trace; d; mu; n; rho; seed } in
     match
       Cli.Service_cli.loadgen
         { Cli.Service_cli.source; lg_policy = policy; lg_seed = policy_seed;
           lg_journal = journal; lg_snapshot = snapshot;
-          lg_snapshot_every = snapshot_every; emit }
+          lg_snapshot_every = snapshot_every; lg_fsync_every = fsync_every;
+          lg_clients = clients; lg_jobs = jobs; lg_window = window;
+          lg_connect = connect; emit }
     with
     | Ok out -> print_string out; 0
     | Error e -> prerr_endline e; 1
@@ -335,7 +379,8 @@ let loadgen_cmd =
        ~doc:"Replay a workload through the protocol against a live server")
     Term.(const action $ workload_arg $ trace_arg $ d_arg $ mu_arg $ n_arg
           $ rho_arg $ seed_arg $ policy_arg $ policy_seed_arg $ journal_arg
-          $ snapshot_arg $ snapshot_every_arg $ emit_arg)
+          $ snapshot_arg $ snapshot_every_arg $ lg_fsync_arg $ clients_arg
+          $ lg_jobs_arg $ window_arg $ connect_arg $ emit_arg)
 
 let metrics_cmd =
   let file_pos =

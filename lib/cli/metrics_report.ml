@@ -94,6 +94,31 @@ let of_text text =
              ~header:[ "metric"; "labels"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
              ~rows:summary_rows)
       end;
+      (* group-commit effectiveness: how many journal records each fsync
+         amortises. 1.0 means no batching; the group-commit loop should
+         push this well below the per-event floor. *)
+      (let scalar name =
+         match Prom.find rows ~labels:[] name with
+         | Some r -> Some r.Prom.value
+         | None -> None
+       in
+       match
+         (scalar "dvbp_journal_records_appended_total", scalar "dvbp_journal_fsyncs_total")
+       with
+       | Some records, Some fsyncs when records > 0.0 ->
+           Buffer.add_string buf "\ngroup commit:\n";
+           Buffer.add_string buf
+             (Table.render
+                ~header:[ "derived metric"; "value" ]
+                ~rows:
+                  [
+                    [ "journal records per fsync";
+                      (if fsyncs > 0.0 then Printf.sprintf "%.1f" (records /. fsyncs)
+                       else "inf (no fsync yet)") ];
+                    [ "fsyncs per journaled event";
+                      Printf.sprintf "%.4f" (fsyncs /. records) ];
+                  ])
+       | _ -> ());
       (match Prom.parse_spans text with
       | [] -> ()
       | spans ->

@@ -28,6 +28,8 @@ type serve_opts = {
   snapshot : string option;
   snapshot_every : int option;
   fsync_every : int;
+  jobs : int;
+  listen : string option;
   resume : bool;
   metrics_dump : string option;
 }
@@ -45,10 +47,14 @@ let server_config (o : serve_opts) =
       snapshot = o.snapshot;
       snapshot_every = o.snapshot_every;
       fsync_every = o.fsync_every;
+      jobs = o.jobs;
     }
 
 let journal_has_content = Option.fold ~none:false ~some:Sys.file_exists
 
+(* --listen: a unix-domain event loop accepting many concurrent clients
+   (group commit across all of them); without it, the classic blocking
+   stdin/stdout conversation. *)
 let serve (o : serve_opts) ic oc =
   let* config = server_config o in
   let metrics = Service.Metrics.create () in
@@ -61,7 +67,33 @@ let serve (o : serve_opts) ic oc =
       Error "--resume requires --journal"
     else Service.Server.create ~metrics config
   in
-  Service.Server.serve server ic oc;
+  let* () =
+    match o.listen with
+    | None ->
+        Service.Server.serve server ic oc;
+        Ok ()
+    | Some path -> (
+        match
+          let () = if Sys.file_exists path then Sys.remove path in
+          let fd = Unix.socket ~cloexec:false Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.bind fd (Unix.ADDR_UNIX path);
+          Unix.listen fd 64;
+          fd
+        with
+        | exception Unix.Unix_error (e, fn, _) ->
+            Service.Server.close server;
+            Error
+              (Printf.sprintf "--listen %s: %s: %s" path fn (Unix.error_message e))
+        | listen_fd ->
+            Fun.protect
+              ~finally:(fun () ->
+                (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+                if Sys.file_exists path then Sys.remove path)
+              (fun () ->
+                Service.Event_loop.serve ~listen:listen_fd ~stop_when_drained:false
+                  server);
+            Ok ())
+  in
   (match o.metrics_dump with
   | None -> ()
   | Some path ->
@@ -86,16 +118,44 @@ type loadgen_opts = {
   lg_journal : string option;
   lg_snapshot : string option;
   lg_snapshot_every : int option;
+  lg_fsync_every : int option;
+  lg_clients : int;  (* 0 = classic single-client pipe driver *)
+  lg_jobs : int;
+  lg_window : int;
+  lg_connect : string option;  (* drive an external --listen server *)
   emit : bool;
 }
 
 let loadgen (o : loadgen_opts) =
   let* instance = Workload_select.build o.source in
   if o.emit then Ok (String.concat "\n" (Service.Loadgen.script instance) ^ "\n")
+  else if o.lg_clients < 0 then Error "--clients must be >= 0"
   else
-    let* report =
-      Service.Loadgen.run ~policy:o.lg_policy ~seed:o.lg_seed
-        ?journal:o.lg_journal ?snapshot:o.lg_snapshot
-        ?snapshot_every:o.lg_snapshot_every instance
-    in
-    Ok (Service.Loadgen.render report)
+    match o.lg_connect with
+    | Some path ->
+        let clients = max 1 o.lg_clients in
+        let instances = List.init clients (fun _ -> instance) in
+        let* report =
+          Service.Loadgen.run_connect ~policy:o.lg_policy ~seed:o.lg_seed ~path
+            ~window:o.lg_window instances
+        in
+        Ok (Service.Loadgen.render_multi report)
+    | None ->
+        if o.lg_clients = 0 then
+          let* report =
+            Service.Loadgen.run ~policy:o.lg_policy ~seed:o.lg_seed
+              ?journal:o.lg_journal ?snapshot:o.lg_snapshot
+              ?snapshot_every:o.lg_snapshot_every
+              ?fsync_every:o.lg_fsync_every instance
+          in
+          Ok (Service.Loadgen.render report)
+        else
+          let instances = List.init o.lg_clients (fun _ -> instance) in
+          let* report =
+            Service.Loadgen.run_multi ~policy:o.lg_policy ~seed:o.lg_seed
+              ?journal:o.lg_journal ?snapshot:o.lg_snapshot
+              ?snapshot_every:o.lg_snapshot_every
+              ?fsync_every:o.lg_fsync_every ~jobs:o.lg_jobs ~window:o.lg_window
+              instances
+          in
+          Ok (Service.Loadgen.render_multi report)

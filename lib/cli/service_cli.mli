@@ -19,6 +19,10 @@ type serve_opts = {
   snapshot : string option;
   snapshot_every : int option;
   fsync_every : int;
+  jobs : int;  (** tenant shards for the batch path (domains) *)
+  listen : string option;
+      (** unix socket path: serve many concurrent clients through the
+          {!Dvbp_service.Event_loop} instead of stdin/stdout *)
   resume : bool;  (** recover from the journal first, then keep serving *)
   metrics_dump : string option;
       (** write the final [METRICS] exposition here on exit *)
@@ -29,7 +33,12 @@ val serve : serve_opts -> in_channel -> out_channel -> (unit, string) result
     existing journal (plus snapshot, if present) is recovered and served
     from; without it the journal is started fresh. With [metrics_dump],
     the final metrics snapshot is written to that file when the loop
-    ends (readable back with [dvbp metrics]). *)
+    ends (readable back with [dvbp metrics]).
+
+    With [listen], the channels are ignored: a unix-domain listener is
+    bound at that path and the multi-client event loop serves group-commit
+    batches until the process is killed (each client may QUIT its own
+    connection; the listener itself stays up). *)
 
 val recover : journal:string -> snapshot:string option -> (string, string) result
 (** Recovers and verifies (placement-by-placement — see {!Dvbp_service.Recovery});
@@ -42,9 +51,19 @@ type loadgen_opts = {
   lg_journal : string option;
   lg_snapshot : string option;
   lg_snapshot_every : int option;
+  lg_fsync_every : int option;  (** [None] = library default *)
+  lg_clients : int;
+      (** [0] = classic single-client pipe driver; [n > 0] = [n] concurrent
+          clients (tenants [t0..t{n-1}]) against one event-loop server *)
+  lg_jobs : int;  (** server-side tenant shards (multi-client mode) *)
+  lg_window : int;  (** per-client pipelining depth (multi-client mode) *)
+  lg_connect : string option;
+      (** drive an external [dvbp serve --listen] server at this socket
+          path instead of an in-process one; server death mid-run is
+          tolerated (kill-smoke mode) *)
   emit : bool;  (** print the protocol script instead of driving a server *)
 }
 
 val loadgen : loadgen_opts -> (string, string) result
 (** Either the protocol script ([emit]) or the throughput/latency report of
-    a live run against an in-process server. *)
+    a live run against an in-process or external server. *)

@@ -52,6 +52,17 @@ let observe t v =
     if v > t.hi then t.hi <- v
   end
 
+let observe_n t v k =
+  if k > 0 then begin
+    t.counts.(index v) <- t.counts.(index v) + k;
+    t.n <- t.n + k;
+    if not (Float.is_nan v) then begin
+      t.total <- t.total +. (v *. float_of_int k);
+      if v < t.lo then t.lo <- v;
+      if v > t.hi then t.hi <- v
+    end
+  end
+
 let count t = t.n
 let sum t = t.total
 let min_value t = if t.n = 0 || t.lo = infinity then 0.0 else t.lo

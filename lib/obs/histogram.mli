@@ -30,6 +30,12 @@ val observe : t -> float -> unit
     zero bucket ([min]/[max]/[sum] still see the raw value, except NaN,
     which only bumps the count). *)
 
+val observe_n : t -> float -> int -> unit
+(** [observe_n t v k] records [k] copies of [v] in one bucket update —
+    what a group-commit batch wants when all [k] requests shared one
+    commit wait. Equivalent to calling {!observe} [k] times; [k <= 0] is
+    a no-op. *)
+
 val count : t -> int
 val sum : t -> float
 

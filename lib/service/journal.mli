@@ -7,21 +7,26 @@
     versioned CSV in the same spirit as {!Dvbp_workload.Trace_io}:
 
     {v
-    # dvbp-journal v1
+    # dvbp-journal v2
     policy,mtf
     seed,42
     capacity,100,100
     base,0
-    arrive,0,0,0,1,30,20,~0f3a
-    depart,5,0,~1b22
+    arrive,default,0,0,0,1,30,20,~0f3a
+    depart,default,5,0,~1b22
     v}
 
     [base] is the number of session events that precede this file — [0] for
     a fresh journal, and the pre-truncation event count after a snapshot
     rewrote the journal (records before [base] then live in the snapshot's
-    history, {!Snapshot}). Record layout:
-    - [arrive,<t>,<item>,<bin>,<new01>,<s1>,...,<sd>,~<sum>]
-    - [depart,<t>,<item>,~<sum>]
+    history, {!Snapshot}). Record layout (v2):
+    - [arrive,<tenant>,<t>,<item>,<bin>,<new01>,<s1>,...,<sd>,~<sum>]
+    - [depart,<tenant>,<t>,<item>,~<sum>]
+
+    v1 files (no tenant field — every record belongs to {!Tenant.default})
+    are still read; {!append_to} upgrades them to v2 in place before the
+    first new record, so old journals keep replaying bit-identically.
+    New files are always written v2.
 
     [~<sum>] is a 16-bit checksum of the record body, so a torn (partially
     written) final record is {e detected} and dropped rather than silently
@@ -47,26 +52,31 @@ type header = {
 
 type event =
   | Arrive of {
+      tenant : string;
       time : float;
       item_id : int;
       size : Dvbp_vec.Vec.t;
       bin_id : int;  (** the placement the live policy chose *)
       opened_new_bin : bool;
     }
-  | Depart of { time : float; item_id : int }
+  | Depart of { tenant : string; time : float; item_id : int }
 
 val event_time : event -> float
 val event_item : event -> int
+val event_tenant : event -> string
 val equal_event : event -> event -> bool
 val pp_event : Format.formatter -> event -> unit
 
 (** {1 Record codec} *)
 
 val encode_event : event -> string
-(** One record line, checksum included, no trailing newline. *)
+(** One v2 record line, checksum included, no trailing newline. *)
 
-val decode_event : string -> (event, string) result
-(** Inverse of {!encode_event}; validates syntax and checksum. *)
+val decode_event : ?version:int -> string -> (event, string) result
+(** Inverse of {!encode_event}; validates syntax and checksum.
+    [version] (default [2]) selects the record grammar — the two are not
+    self-distinguishing, so callers must pass the version named by the
+    file's magic line. v1 records decode with [Tenant.default]. *)
 
 (** {1 Reading} *)
 
@@ -74,6 +84,7 @@ type read = {
   header : header;
   events : event list;  (** journal order (oldest first) *)
   dropped_torn : bool;  (** an unterminated, unparseable tail was dropped *)
+  version : int;  (** 1 or 2, from the magic line *)
 }
 
 val of_string : string -> (read, string) result
@@ -104,7 +115,18 @@ val append_to :
     or empty file is created fresh. *)
 
 val append : writer -> event -> unit
-(** Appends one record and flushes it to the OS; fsyncs per the batch. *)
+(** Streaming append: one record, flushed to the OS; fsyncs per the
+    [fsync_every] cadence (a power cut may lose up to the last cadence
+    window of {e acked} records — the blocking server's contract). *)
+
+val append_batch : writer -> event list -> unit
+(** Group commit: appends the whole batch as one buffered write and
+    issues exactly {e one} fsync — after which every record in the batch
+    (and any earlier unsynced streaming append; fsync covers the file) is
+    durable. An empty batch is a no-op (no write, no fsync). Callers
+    release replies only after this returns, so a power cut can never
+    lose a batch-acked record. Batch sizing (the [fsync_every] per-batch
+    ceiling) is the caller's job — see {!Server.handle_batch}. *)
 
 val sync : writer -> unit
 (** Forces an fsync now. *)

@@ -29,24 +29,28 @@ let events (instance : Instance.t) =
 let sizes_field size =
   String.concat "," (List.map string_of_int (Array.to_list (Vec.to_array size)))
 
-let request_line (time, kind, (r : Item.t)) =
+(* [tenant = None] emits the un-prefixed (default tenant) grammar, pinning
+   the compat contract alongside the tenant-prefixed form *)
+let request_line ?tenant (time, kind, (r : Item.t)) =
+  let prefix = match tenant with None -> "" | Some tn -> tn ^ " " in
   if kind = 1 then
-    Printf.sprintf "ARRIVE %.17g %d %s" time r.Item.id (sizes_field r.Item.size)
-  else Printf.sprintf "DEPART %.17g %d" time r.Item.id
+    Printf.sprintf "ARRIVE %s%.17g %d %s" prefix time r.Item.id (sizes_field r.Item.size)
+  else Printf.sprintf "DEPART %s%.17g %d" prefix time r.Item.id
 
-let script instance = List.map request_line (events instance)
+let script instance = List.map (request_line ?tenant:None) (events instance)
 
 (* the shadow session: the deterministic reference every reply is checked
    against — a server answering anything else is diverging *)
-let expected_replies ~policy ~seed (instance : Instance.t) =
-  let* p = Policy.of_name ~rng:(Rng.create ~seed) policy in
+let expected_replies ?tenant ~policy ~seed (instance : Instance.t) =
+  let tenant_name = Option.value tenant ~default:Tenant.default in
+  let* p = Policy.of_name ~rng:(Tenant.rng ~seed tenant_name) policy in
   let session =
     Session.create ~record_trace:false ~capacity:instance.Instance.capacity ~policy:p ()
   in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | ((time, kind, (r : Item.t)) as ev) :: rest -> (
-        let line = request_line ev in
+        let line = request_line ?tenant ev in
         match
           if kind = 1 then
             let pl = Session.arrive session ~at:time ~id:r.Item.id ~size:r.Item.size () in
@@ -76,6 +80,7 @@ let run ~policy ~seed ?journal ?snapshot ?snapshot_every ?(fsync_every = 64)
         snapshot;
         snapshot_every;
         fsync_every;
+        jobs = 1;
       }
   in
   let req_r, req_w = Unix.pipe ~cloexec:false () in
@@ -155,6 +160,402 @@ let run ~policy ~seed ?journal ?snapshot ?snapshot_every ?(fsync_every = 64)
   close_in_noerr ic;
   Domain.join dom;
   outcome
+
+(* {2 Multi-client driver} *)
+
+type client_report = {
+  tenant : string;
+  client_events : int;
+  client_latency_us : Histogram.snapshot;
+}
+
+type multi_report = {
+  clients : int;
+  jobs : int;
+  total_events : int;
+  mr_wall_seconds : float;
+  mr_events_per_sec : float;
+  mr_latency_us : Histogram.snapshot;
+  per_client : client_report list;
+  mr_server_stats : string;
+  mr_server_metrics : string;
+}
+
+let client_tenant i = Printf.sprintf "t%d" i
+
+exception Diverged of string
+
+exception Died of string
+
+(* Chunked pipelining over a blocking socket: write a window of requests
+   in one syscall, bulk-read the window of replies, verify the whole
+   window against the pre-joined shadow replies with a single string
+   compare (the per-line path only runs on divergence or a dead server).
+   Every reply in a window shares the window's wall time as its latency —
+   each of them waited for the same group commit(s). Returns the number
+   of verified replies; with [tolerate_death] a dead server ends the run
+   normally at that count (the SIGKILL smoke drives a server that is
+   killed mid-traffic on purpose). *)
+(* Pre-joined pipelining windows: each is [(lo, hi, request_blob,
+   expected_blob)] over [pairs.(lo..hi-1)]. Built by the callers *before*
+   the throughput clock starts, so serialising the script is setup cost,
+   not measured server time. *)
+type prepped = { pc_pairs : (string * string) array; pc_windows : (int * int * string * string) list }
+
+let prep_windows ~window pairs =
+  let arr = Array.of_list pairs in
+  let n = Array.length arr in
+  let wins = ref [] in
+  let i = ref 0 in
+  let req = Buffer.create (window * 48) in
+  let expected = Buffer.create (window * 12) in
+  while !i < n do
+    let hi = min n (!i + window) in
+    Buffer.clear req;
+    Buffer.clear expected;
+    for k = !i to hi - 1 do
+      Buffer.add_string req (fst arr.(k));
+      Buffer.add_char req '\n';
+      Buffer.add_string expected (snd arr.(k));
+      Buffer.add_char expected '\n'
+    done;
+    wins := (!i, hi, Buffer.contents req, Buffer.contents expected) :: !wins;
+    i := hi
+  done;
+  { pc_pairs = arr; pc_windows = List.rev !wins }
+
+let drive_client ?(tolerate_death = false) fd prep hist =
+  let arr = prep.pc_pairs in
+  let n = Array.length arr in
+  let completed = ref 0 in
+  let inbuf = Bytes.create 65536 in
+  let write_all s =
+    let len = String.length s in
+    let off = ref 0 in
+    while !off < len do
+      off := !off + Unix.write_substring fd s !off (len - !off)
+    done
+  in
+  (* slow path: line-by-line compare of whatever came back; a trailing
+     torn line (server killed mid-reply) is not compared *)
+  let verify_slow got lo hi =
+    let lines =
+      match List.rev (String.split_on_char '\n' got) with
+      | _torn_or_empty :: rest -> List.rev rest
+      | [] -> []
+    in
+    let k = ref lo in
+    List.iter
+      (fun line ->
+        if !k < hi then begin
+          if line <> snd arr.(!k) then
+            raise
+              (Diverged
+                 (Printf.sprintf
+                    "divergence on %S: server said %S, shadow session says %S"
+                    (fst arr.(!k)) line (snd arr.(!k))));
+          incr completed;
+          incr k
+        end)
+      lines
+  in
+  let outcome =
+    try
+      List.iter
+        (fun (lo, hi, req, expected) ->
+          let want = hi - lo in
+          let t0 = Unix.gettimeofday () in
+          write_all req;
+          let got = Buffer.create (String.length expected) in
+          let seen = ref 0 in
+          while !seen < want do
+            match Unix.read fd inbuf 0 (Bytes.length inbuf) with
+            | 0 ->
+                verify_slow (Buffer.contents got) lo hi;
+                raise
+                  (Died
+                     (Printf.sprintf "server died on %S"
+                        (fst arr.(min !completed (n - 1)))))
+            | r ->
+                for j = 0 to r - 1 do
+                  if Bytes.unsafe_get inbuf j = '\n' then incr seen
+                done;
+                Buffer.add_subbytes got inbuf 0 r
+          done;
+          let dt_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+          if
+            String.length (Buffer.contents got) = String.length expected
+            && String.equal (Buffer.contents got) expected
+          then begin
+            completed := !completed + want;
+            Histogram.observe_n hist dt_us want
+          end
+          else verify_slow (Buffer.contents got) lo hi)
+        prep.pc_windows;
+      write_all "QUIT\n";
+      let got = Buffer.create 8 in
+      let eof = ref false in
+      while (not !eof) && not (String.contains (Buffer.contents got) '\n') do
+        match Unix.read fd inbuf 0 (Bytes.length inbuf) with
+        | 0 -> eof := true
+        | r -> Buffer.add_subbytes got inbuf 0 r
+      done;
+      (match String.split_on_char '\n' (Buffer.contents got) with
+      | ("BYE" | "") :: _ | [] -> ()
+      | reply :: _ ->
+          raise (Diverged (Printf.sprintf "expected BYE, got %S" reply)));
+      Ok !completed
+    with
+    | Diverged msg -> Error msg
+    | Died msg -> if tolerate_death then Ok !completed else Error msg
+    | Sys_error msg -> if tolerate_death then Ok !completed else Error msg
+    | Unix.Unix_error (e, fn, _) ->
+        if tolerate_death then Ok !completed
+        else Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  outcome
+
+(* Drive every client concurrently — one thread per (tenant, prepped
+   windows, fd) triple — and return the per-client results in client
+   order. Callers build the [prepped] values before starting the clock. *)
+let run_clients ?tolerate_death clients =
+  let arr = Array.of_list clients in
+  let results =
+    Array.map (fun ((tenant, _), _) -> (tenant, 0, Histogram.create (), Ok 0)) arr
+  in
+  let threads =
+    Array.mapi
+      (fun i ((tenant, prep), fd) ->
+        Thread.create
+          (fun () ->
+            let hist = Histogram.create () in
+            let outcome = drive_client ?tolerate_death fd prep hist in
+            let n = match outcome with Ok c -> c | Error _ -> 0 in
+            results.(i) <- (tenant, n, hist, outcome))
+          ())
+      arr
+  in
+  Array.iter Thread.join threads;
+  Array.to_list results
+
+let run_multi ~policy ~seed ?journal ?snapshot ?snapshot_every ?(fsync_every = 1024)
+    ?(jobs = 1) ?(window = 256) (instances : Instance.t list) =
+  let* () = if instances = [] then Error "run_multi: no client instances" else Ok () in
+  let capacity = (List.hd instances).Instance.capacity in
+  let* () =
+    if List.for_all (fun (i : Instance.t) -> Vec.equal i.Instance.capacity capacity) instances
+    then Ok ()
+    else Error "run_multi: client instances disagree on capacity"
+  in
+  let clients = List.length instances in
+  let* scripts =
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | inst :: rest ->
+          let tenant = client_tenant i in
+          let* pairs = expected_replies ~tenant ~policy ~seed inst in
+          go (i + 1) ((tenant, pairs) :: acc) rest
+    in
+    go 0 [] instances
+  in
+  let* server =
+    Server.create
+      {
+        Server.policy;
+        seed;
+        capacity;
+        journal;
+        snapshot;
+        snapshot_every;
+        fsync_every;
+        jobs;
+      }
+  in
+  (* one socketpair per client plus a control connection for the epilogue *)
+  let endpoints =
+    List.map
+      (fun _ -> Unix.socketpair ~cloexec:false Unix.PF_UNIX Unix.SOCK_STREAM 0)
+      scripts
+  in
+  let ctl_client, ctl_server =
+    Unix.socketpair ~cloexec:false Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let server_fds = List.map snd endpoints @ [ ctl_server ] in
+  let server_dom =
+    Domain.spawn (fun () -> Event_loop.serve ~conns:server_fds server)
+  in
+  (* one sys-thread per client, all in the calling domain: blocking socket
+     I/O releases the runtime lock, so the clients still overlap with each
+     other and with the server domain, without paying one OS-scheduled
+     domain (plus its share of every stop-the-world pause) per client *)
+  let preps =
+    List.map (fun (tenant, pairs) -> (tenant, prep_windows ~window pairs)) scripts
+  in
+  let t0 = Unix.gettimeofday () in
+  let finished = run_clients (List.combine preps (List.map fst endpoints)) in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* epilogue on the control connection: stats + metrics, then release the
+     loop (it stops once every connection is gone) *)
+  let ctl_oc = Unix.out_channel_of_descr ctl_client in
+  let ctl_ic = Unix.in_channel_of_descr ctl_client in
+  let request line =
+    output_string ctl_oc line;
+    output_char ctl_oc '\n';
+    flush ctl_oc;
+    match input_line ctl_ic with
+    | reply -> Ok reply
+    | exception End_of_file -> Error (Printf.sprintf "server died on %S" line)
+  in
+  let request_multiline line =
+    output_string ctl_oc line;
+    output_char ctl_oc '\n';
+    flush ctl_oc;
+    let buf = Buffer.create 4096 in
+    let rec go () =
+      match input_line ctl_ic with
+      | "# EOF" -> Ok (Buffer.contents buf)
+      | reply ->
+          Buffer.add_string buf reply;
+          Buffer.add_char buf '\n';
+          go ()
+      | exception End_of_file -> Error (Printf.sprintf "server died on %S" line)
+    in
+    go ()
+  in
+  let epilogue =
+    let* stats = request "STATS" in
+    let* metrics_text = request_multiline "METRICS" in
+    let* bye = request "QUIT" in
+    let* () =
+      if bye <> "BYE" then Error (Printf.sprintf "expected BYE, got %S" bye) else Ok ()
+    in
+    Ok (stats, metrics_text)
+  in
+  close_out_noerr ctl_oc;
+  Domain.join server_dom;
+  let* () =
+    List.fold_left
+      (fun acc (tenant, _, _, outcome) ->
+        let* () = acc in
+        match outcome with
+        | Ok _ -> Ok ()
+        | Error e -> Error (Printf.sprintf "client %s: %s" tenant e))
+      (Ok ()) finished
+  in
+  let* stats, metrics_text = epilogue in
+  let merged =
+    List.fold_left
+      (fun acc (_, _, hist, _) -> Histogram.merge acc hist)
+      (Histogram.create ()) finished
+  in
+  let total = List.fold_left (fun acc (_, n, _, _) -> acc + n) 0 finished in
+  Ok
+    {
+      clients;
+      jobs;
+      total_events = total;
+      mr_wall_seconds = wall;
+      mr_events_per_sec = (if wall > 0.0 then float_of_int total /. wall else 0.0);
+      mr_latency_us = Histogram.snapshot merged;
+      per_client =
+        List.map
+          (fun (tenant, n, hist, _) ->
+            { tenant; client_events = n; client_latency_us = Histogram.snapshot hist })
+          finished;
+      mr_server_stats = stats;
+      mr_server_metrics = metrics_text;
+    }
+
+(* External-server mode: connect [clients] sockets to a unix socket path
+   served by an already-running [dvbp serve --listen]. Used by the CI kill
+   smoke, so a server death mid-traffic is a normal outcome (clients report
+   how far they got); a wrong reply is still an error. *)
+let run_connect ~policy ~seed ~path ?(window = 256) (instances : Instance.t list) =
+  let* () = if instances = [] then Error "run_connect: no client instances" else Ok () in
+  let clients = List.length instances in
+  let* scripts =
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | inst :: rest ->
+          let tenant = client_tenant i in
+          let* pairs = expected_replies ~tenant ~policy ~seed inst in
+          go (i + 1) ((tenant, pairs) :: acc) rest
+    in
+    go 0 [] instances
+  in
+  let* fds =
+    try
+      Ok
+        (List.map
+           (fun _ ->
+             let fd = Unix.socket ~cloexec:false Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+             Unix.connect fd (Unix.ADDR_UNIX path);
+             fd)
+           scripts)
+    with Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "connect %s: %s: %s" path fn (Unix.error_message e))
+  in
+  let preps =
+    List.map (fun (tenant, pairs) -> (tenant, prep_windows ~window pairs)) scripts
+  in
+  let t0 = Unix.gettimeofday () in
+  let finished = run_clients ~tolerate_death:true (List.combine preps fds) in
+  let wall = Unix.gettimeofday () -. t0 in
+  let* () =
+    List.fold_left
+      (fun acc (tenant, _, _, outcome) ->
+        let* () = acc in
+        match outcome with
+        | Ok _ -> Ok ()
+        | Error e -> Error (Printf.sprintf "client %s: %s" tenant e))
+      (Ok ()) finished
+  in
+  let merged =
+    List.fold_left
+      (fun acc (_, _, hist, _) -> Histogram.merge acc hist)
+      (Histogram.create ()) finished
+  in
+  let total = List.fold_left (fun acc (_, n, _, _) -> acc + n) 0 finished in
+  Ok
+    {
+      clients;
+      jobs = 0;
+      total_events = total;
+      mr_wall_seconds = wall;
+      mr_events_per_sec = (if wall > 0.0 then float_of_int total /. wall else 0.0);
+      mr_latency_us = Histogram.snapshot merged;
+      per_client =
+        List.map
+          (fun (tenant, n, hist, _) ->
+            { tenant; client_events = n; client_latency_us = Histogram.snapshot hist })
+          finished;
+      mr_server_stats = "(external server)";
+      mr_server_metrics = "";
+    }
+
+let render_latency lat =
+  if lat.Histogram.n = 0 then "n/a"
+  else
+    Printf.sprintf "mean %.1f us, p50 %.1f us, p90 %.1f us, p99 %.1f us, max %.1f us"
+      lat.Histogram.mean lat.Histogram.p50 lat.Histogram.p90 lat.Histogram.p99
+      lat.Histogram.max_v
+
+let render_multi r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "loadgen: %d clients, %d events in %.3f s -> %.0f events/s (jobs=%d)\n"
+       r.clients r.total_events r.mr_wall_seconds r.mr_events_per_sec r.jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "aggregate latency: %s\n" (render_latency r.mr_latency_us));
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %d events, %s\n" c.tenant c.client_events
+           (render_latency c.client_latency_us)))
+    r.per_client;
+  Buffer.add_string buf (Printf.sprintf "server: %s\n" r.mr_server_stats);
+  Buffer.contents buf
 
 let render r =
   let lat = r.latency_us in

@@ -8,7 +8,15 @@
 
     {!run} drives a real server over an in-process channel pair (two OS
     pipes, the server loop in its own domain), so the measured path is the
-    full serialise → pipe → parse → place → journal → reply round trip. *)
+    full serialise → pipe → parse → place → journal → reply round trip.
+
+    {!run_multi} drives [N] concurrent clients (one domain each, one
+    socketpair each, one tenant each — [t0], [t1], ...) against a single
+    {!Event_loop} server, measuring the group-commit path: requests
+    pipeline in windows, the server batches across clients, and one fsync
+    covers many events. Every reply is still verified against that
+    tenant's own shadow session, so concurrency never relaxes
+    correctness. *)
 
 type report = {
   events : int;  (** protocol requests sent (arrivals + departures) *)
@@ -42,3 +50,69 @@ val run :
 
 val render : report -> string
 (** Operator-facing summary. *)
+
+(** {1 Multi-client group-commit driver} *)
+
+type client_report = {
+  tenant : string;
+  client_events : int;
+  client_latency_us : Dvbp_obs.Histogram.snapshot;
+}
+
+type multi_report = {
+  clients : int;
+  jobs : int;  (** server-side tenant shards *)
+  total_events : int;
+  mr_wall_seconds : float;
+  mr_events_per_sec : float;
+  mr_latency_us : Dvbp_obs.Histogram.snapshot;
+      (** all clients merged; includes the group-commit wait *)
+  per_client : client_report list;
+  mr_server_stats : string;
+  mr_server_metrics : string;
+}
+
+val expected_replies :
+  ?tenant:string ->
+  policy:string ->
+  seed:int ->
+  Dvbp_core.Instance.t ->
+  ((string * string) list, string) result
+(** The (request, expected reply) pairs a correct server must produce for
+    this instance — [tenant] (default {!Tenant.default}) selects the
+    request grammar and the shadow session's rng ({!Tenant.rng}). *)
+
+val run_multi :
+  policy:string ->
+  seed:int ->
+  ?journal:string ->
+  ?snapshot:string ->
+  ?snapshot_every:int ->
+  ?fsync_every:int ->
+  ?jobs:int ->
+  ?window:int ->
+  Dvbp_core.Instance.t list ->
+  (multi_report, string) result
+(** One client per instance (all instances must share a capacity); client
+    [i] is tenant [t<i>]. [fsync_every] (default [1024]) is the per-batch
+    commit ceiling, [jobs] (default [1]) the server's shard count,
+    [window] (default [256]) the per-client pipelining depth. Fails on any
+    reply divergence, naming the client. *)
+
+val run_connect :
+  policy:string ->
+  seed:int ->
+  path:string ->
+  ?window:int ->
+  Dvbp_core.Instance.t list ->
+  (multi_report, string) result
+(** Like {!run_multi}, but against an {e external} server already listening
+    on the unix socket [path] ([dvbp serve --listen]). Built for the kill
+    smoke: a server dying mid-traffic is a normal outcome (each client
+    reports the events it completed), while a {e wrong} reply is still an
+    error. [mr_server_stats]/[mr_server_metrics] are placeholders — the
+    server may be gone by the epilogue. [jobs] is reported as [0]
+    (unknown: it lives in the server's own configuration). *)
+
+val render_multi : multi_report -> string
+(** Operator-facing summary: aggregate and per-client percentiles. *)

@@ -41,10 +41,15 @@ type t = {
   j_fsync_seconds : Histogram.t;
   j_truncates : R.Counter.t;
   j_heals : R.Counter.t;
+  j_batch_size : R.Histo.t;
+  gc_waiters : R.Gauge.t;
   req_total : R.Counter.t array;  (* indexed by kind *)
   req_seconds : Histogram.t array;
   journal_append_seconds : Histogram.t;
   snapshot_seconds : Histogram.t;
+  (* per-tenant request instruments, created on a tenant's first event
+     request (label cardinality = live tenants, bounded by the workload) *)
+  tenant_req : (string, R.Counter.t * R.Histo.t) Hashtbl.t;
 }
 
 let build reg =
@@ -69,6 +74,14 @@ let build reg =
   let j_heals =
     R.Counter.make reg "dvbp_journal_torn_heals_total"
       ~help:"Torn or unterminated journal tails healed on open"
+  in
+  let j_batch_size =
+    R.Histo.make reg "dvbp_journal_batch_size"
+      ~help:"Records per group-commit batch (one fsync each)"
+  in
+  let gc_waiters =
+    R.Gauge.make reg "dvbp_journal_group_commit_waiters"
+      ~help:"Replies staged behind the in-flight group commit"
   in
   let req_total =
     Array.of_list
@@ -104,10 +117,13 @@ let build reg =
     j_fsync_seconds;
     j_truncates;
     j_heals;
+    j_batch_size;
+    gc_waiters;
     req_total;
     req_seconds;
     journal_append_seconds;
     snapshot_seconds;
+    tenant_req = Hashtbl.create 16;
   }
 
 let create ?(clock = Unix.gettimeofday) () = build (R.create ~clock ())
@@ -119,6 +135,14 @@ let now t = R.now t.reg
 let on_append t ~bytes =
   R.Counter.incr t.j_appends;
   R.Counter.add t.j_bytes bytes
+
+let on_append_batch t ~records ~bytes =
+  R.Counter.add t.j_appends records;
+  R.Counter.add t.j_bytes bytes;
+  if not (R.is_noop t.reg) then
+    Histogram.observe t.j_batch_size (float_of_int records)
+
+let set_group_commit_waiters t n = R.Gauge.set t.gc_waiters (float_of_int n)
 
 let time_fsync t f =
   if R.is_noop t.reg then f ()
@@ -135,6 +159,10 @@ let on_request t kind = R.Counter.incr t.req_total.(kind_index kind)
 
 let observe_request t kind ~seconds =
   if not (R.is_noop t.reg) then Histogram.observe t.req_seconds.(kind_index kind) seconds
+
+let observe_request_n t kind ~seconds k =
+  if k > 0 && not (R.is_noop t.reg) then
+    Histogram.observe_n t.req_seconds.(kind_index kind) seconds k
 
 let time_journal_append t f =
   if R.is_noop t.reg then f ()
@@ -158,10 +186,47 @@ let time_snapshot t f =
 let request_summary t =
   Histogram.snapshot (Array.fold_left Histogram.merge (Histogram.create ()) t.req_seconds)
 
-let attach_session t ~policy session =
+(* Per-tenant instruments are registered on the tenant's first event and
+   memoized — [Registry] treats re-registering a (name, labels) pair as a
+   programming error, so the Hashtbl is the single registration site. *)
+let tenant_instruments t tenant =
+  match Hashtbl.find_opt t.tenant_req tenant with
+  | Some pair -> pair
+  | None ->
+      let labels = [ ("tenant", tenant) ] in
+      let c =
+        R.Counter.make t.reg "dvbp_server_tenant_requests_total"
+          ~help:"Event requests handled, by tenant" ~labels
+      in
+      let h =
+        R.Histo.make t.reg "dvbp_server_tenant_request_seconds"
+          ~help:"Event request handling latency, by tenant" ~labels
+      in
+      Hashtbl.add t.tenant_req tenant (c, h);
+      (c, h)
+
+let observe_tenant_request t ~tenant ~seconds =
+  if not (R.is_noop t.reg) then begin
+    let c, h = tenant_instruments t tenant in
+    R.Counter.incr c;
+    Histogram.observe h seconds
+  end
+
+let observe_tenant_request_n t ~tenant ~seconds k =
+  if k > 0 && not (R.is_noop t.reg) then begin
+    let c, h = tenant_instruments t tenant in
+    R.Counter.add c k;
+    Histogram.observe_n h seconds k
+  end
+
+let attach_session t ?tenant ~policy session =
   if not (R.is_noop t.reg) then begin
     let module S = Dvbp_engine.Session in
-    let labels = [ ("policy", policy) ] in
+    let labels =
+      match tenant with
+      | Some name when name <> Tenant.default -> [ ("policy", policy); ("tenant", name) ]
+      | _ -> [ ("policy", policy) ]
+    in
     let counter name help f = R.Counter.pull t.reg name ~help ~labels f in
     let gauge name help f = R.Gauge.pull t.reg name ~help ~labels f in
     counter "dvbp_engine_placements_total" "Successful arrivals placed" (fun () ->

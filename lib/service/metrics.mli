@@ -46,6 +46,17 @@ val kind_name : kind -> string
 val on_append : t -> bytes:int -> unit
 (** One record appended ([bytes] includes the newline). *)
 
+val on_append_batch : t -> records:int -> bytes:int -> unit
+(** One group-commit batch appended as a single buffered write: bumps the
+    append/byte counters by the whole batch and records [records] into the
+    [dvbp_journal_batch_size] histogram. The batch's single fsync is
+    reported separately through {!time_fsync}. *)
+
+val set_group_commit_waiters : t -> int -> unit
+(** Gauge [dvbp_journal_group_commit_waiters]: replies currently staged
+    behind the in-flight group commit (set just before the batch fsync,
+    reset to [0] once the replies are released). *)
+
 val time_fsync : t -> (unit -> unit) -> unit
 (** Runs an fsync, counting it and timing it into the fsync-latency
     histogram. *)
@@ -63,6 +74,11 @@ val observe_request : t -> kind -> seconds:float -> unit
 (** End-to-end handling latency of one request (measured by the serve
     loop; in-process [handle_line] drivers don't produce latencies). *)
 
+val observe_request_n : t -> kind -> seconds:float -> int -> unit
+(** [observe_request_n t kind ~seconds k]: [k] requests of [kind] that all
+    shared one latency — the group-commit batch path records a whole run
+    with one bucket update instead of [k]. *)
+
 val time_journal_append : t -> (unit -> 'a) -> 'a
 (** Times the journal-before-reply write of one applied event. *)
 
@@ -70,14 +86,26 @@ val time_snapshot : t -> (unit -> 'a) -> 'a
 (** Times a snapshot (manual or auto), also recording a ["snapshot"]
     span. *)
 
+val observe_tenant_request : t -> tenant:string -> seconds:float -> unit
+(** One event request for [tenant]: bumps
+    [dvbp_server_tenant_requests_total{tenant=...}] and observes the
+    latency into [dvbp_server_tenant_request_seconds{tenant=...}].
+    Instruments are registered on the tenant's first event and memoized;
+    cardinality is bounded by the number of live tenants. *)
+
+val observe_tenant_request_n : t -> tenant:string -> seconds:float -> int -> unit
+(** Bulk form of {!observe_tenant_request}: [k] event requests for
+    [tenant] that shared one batch latency. *)
+
 val request_summary : t -> Dvbp_obs.Histogram.snapshot
 (** All per-kind request latency histograms merged — the source of the
     [STATS] line's backward-compatible [latency_mean_us]/[latency_max_us]
     fields. *)
 
-val attach_session : t -> policy:string -> Dvbp_engine.Session.t -> unit
+val attach_session : t -> ?tenant:string -> policy:string -> Dvbp_engine.Session.t -> unit
 (** Registers the engine pull family ([dvbp_engine_*], labelled
-    [policy="..."]) reading the session's counters at render time. *)
+    [policy="..."] and, when [tenant] names a non-default tenant,
+    [tenant="..."]) reading the session's counters at render time. *)
 
 val render_text : t -> string
 (** The full Prometheus-style exposition including spans, terminated by

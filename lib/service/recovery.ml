@@ -1,12 +1,11 @@
 module Vec = Dvbp_vec.Vec
-module Rng = Dvbp_prelude.Rng
 module Policy = Dvbp_core.Policy
 module Bin = Dvbp_core.Bin
 module Item = Dvbp_core.Item
 module Session = Dvbp_engine.Session
 
 type state = {
-  session : Session.t;
+  sessions : (string * Session.t) list;
   policy : string;
   seed : int;
   capacity : Vec.t;
@@ -18,8 +17,47 @@ type state = {
 
 let ( let* ) = Result.bind
 
-let apply_one session ~policy_name ~index = function
-  | Journal.Arrive { time; item_id; size; bin_id; opened_new_bin } -> (
+let fresh_session ~policy ~seed ~capacity ~tenant =
+  match Policy.of_name ~rng:(Tenant.rng ~seed tenant) policy with
+  | Error e -> Error e
+  | Ok p -> Ok (Session.create ~record_trace:false ~capacity ~policy:p ())
+
+(* Tenant sessions in first-appearance order. The default tenant is created
+   eagerly so a recovered empty service matches what a fresh server holds. *)
+type sessions = {
+  tbl : (string, Session.t) Hashtbl.t;
+  mutable order_rev : string list;
+  policy : string;
+  seed : int;
+  capacity : Vec.t;
+}
+
+let make_sessions ~policy ~seed ~capacity =
+  let s =
+    { tbl = Hashtbl.create 8; order_rev = []; policy; seed; capacity }
+  in
+  let* default = fresh_session ~policy ~seed ~capacity ~tenant:Tenant.default in
+  Hashtbl.add s.tbl Tenant.default default;
+  s.order_rev <- [ Tenant.default ];
+  Ok s
+
+let session_for s tenant =
+  match Hashtbl.find_opt s.tbl tenant with
+  | Some session -> Ok session
+  | None ->
+      let* session =
+        fresh_session ~policy:s.policy ~seed:s.seed ~capacity:s.capacity ~tenant
+      in
+      Hashtbl.add s.tbl tenant session;
+      s.order_rev <- tenant :: s.order_rev;
+      Ok session
+
+let to_list s =
+  List.rev_map (fun t -> (t, Hashtbl.find s.tbl t)) s.order_rev
+
+let apply_one s ~policy_name ~index = function
+  | Journal.Arrive { tenant; time; item_id; size; bin_id; opened_new_bin } -> (
+      let* session = session_for s tenant in
       match Session.arrive session ~at:time ~id:item_id ~size () with
       | exception Session.Session_error msg ->
           Error (Printf.sprintf "event %d (item %d at %g): replay failed: %s" index item_id time msg)
@@ -28,47 +66,48 @@ let apply_one session ~policy_name ~index = function
           then
             Error
               (Printf.sprintf
-                 "event %d (item %d at %g): recorded placement bin %d new=%b, but \
-                  policy %s recomputed bin %d new=%b — corrupt journal or \
-                  policy/version mismatch"
-                 index item_id time bin_id opened_new_bin policy_name p.Session.bin_id
-                 p.Session.opened_new_bin)
+                 "event %d (tenant %s, item %d at %g): recorded placement bin %d \
+                  new=%b, but policy %s recomputed bin %d new=%b — corrupt \
+                  journal or policy/version mismatch"
+                 index tenant item_id time bin_id opened_new_bin policy_name
+                 p.Session.bin_id p.Session.opened_new_bin)
           else Ok ())
-  | Journal.Depart { time; item_id } -> (
+  | Journal.Depart { tenant; time; item_id } -> (
+      let* session = session_for s tenant in
       match Session.depart session ~at:time ~item_id with
       | exception Session.Session_error msg ->
           Error (Printf.sprintf "event %d (item %d at %g): replay failed: %s" index item_id time msg)
       | () -> Ok ())
 
-let replay_into session ~policy_name ~first_index events =
+let replay_into s ~policy_name ~first_index events =
   let rec go index = function
     | [] -> Ok ()
     | e :: rest ->
-        let* () = apply_one session ~policy_name ~index e in
+        let* () = apply_one s ~policy_name ~index e in
         go (index + 1) rest
   in
   go first_index events
 
-let fresh_session ~policy ~seed ~capacity =
-  match Policy.of_name ~rng:(Rng.create ~seed) policy with
-  | Error e -> Error e
-  | Ok p -> Ok (Session.create ~record_trace:false ~capacity ~policy:p ())
-
 let replay ~policy ~seed ~capacity events =
-  let* session = fresh_session ~policy ~seed ~capacity in
-  let* () = replay_into session ~policy_name:policy ~first_index:0 events in
-  Ok session
+  let* s = make_sessions ~policy ~seed ~capacity in
+  let* () = replay_into s ~policy_name:policy ~first_index:0 events in
+  Ok (to_list s)
 
-(* compare the rebuilt session against the snapshot's state digest *)
-let check_digest session (s : Snapshot.t) =
-  let fail fmt = Printf.ksprintf (fun m -> Error ("snapshot digest mismatch: " ^ m)) fmt in
-  if Session.now session <> s.Snapshot.clock then
-    fail "clock %.17g, snapshot says %.17g" (Session.now session) s.Snapshot.clock
-  else if Session.cost_so_far session <> s.Snapshot.cost then
-    fail "cost %.17g, snapshot says %.17g" (Session.cost_so_far session) s.Snapshot.cost
-  else if Session.bins_opened session <> s.Snapshot.bins_opened then
+(* compare one rebuilt tenant session against its snapshot digest *)
+let check_one_digest session (d : Snapshot.digest) =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Error (Printf.sprintf "snapshot digest mismatch (tenant %s): %s" d.Snapshot.tenant m))
+      fmt
+  in
+  if Session.now session <> d.Snapshot.clock then
+    fail "clock %.17g, snapshot says %.17g" (Session.now session) d.Snapshot.clock
+  else if Session.cost_so_far session <> d.Snapshot.cost then
+    fail "cost %.17g, snapshot says %.17g" (Session.cost_so_far session) d.Snapshot.cost
+  else if Session.bins_opened session <> d.Snapshot.bins_opened then
     fail "bins_opened %d, snapshot says %d" (Session.bins_opened session)
-      s.Snapshot.bins_opened
+      d.Snapshot.bins_opened
   else
     let live =
       List.map
@@ -78,7 +117,7 @@ let check_digest session (s : Snapshot.t) =
             |> List.sort Int.compare ))
         (Session.open_bins session)
     in
-    if live <> s.Snapshot.open_bins then
+    if live <> d.Snapshot.open_bins then
       let render bins =
         String.concat "; "
           (List.map
@@ -87,8 +126,36 @@ let check_digest session (s : Snapshot.t) =
                  (String.concat "," (List.map string_of_int occ)))
              bins)
       in
-      fail "open bins [%s], snapshot says [%s]" (render live) (render s.Snapshot.open_bins)
+      fail "open bins [%s], snapshot says [%s]" (render live)
+        (render d.Snapshot.open_bins)
     else Ok ()
+
+(* Every digest must match its rebuilt session (a digest for a tenant the
+   history never touched is checked against a fresh zero-state session —
+   the server snapshots sessions that exist but have applied nothing, e.g.
+   a tenant whose only request was rejected), and every tenant the history
+   touched must carry a digest. *)
+let check_digests s (snap : Snapshot.t) =
+  let rec each = function
+    | [] -> Ok ()
+    | (d : Snapshot.digest) :: rest ->
+        let* session = session_for s d.Snapshot.tenant in
+        let* () = check_one_digest session d in
+        each rest
+  in
+  let* () = each snap.Snapshot.digests in
+  let missing =
+    List.filter
+      (fun (tenant, _) -> Snapshot.find_digest snap tenant = None)
+      (to_list s)
+  in
+  match missing with
+  | [] -> Ok ()
+  | (tenant, _) :: _ ->
+      Error
+        (Printf.sprintf
+           "snapshot has no digest for tenant %s though its history touches it"
+           tenant)
 
 let rec drop n = function
   | rest when n <= 0 -> rest
@@ -121,13 +188,13 @@ let recover ?(io = Real_io.v) ?snapshot ~journal () =
               snapshotted prefix is missing"
              journal header.Journal.base)
       else
-        let* session =
+        let* sessions =
           replay ~policy:header.Journal.policy ~seed:header.Journal.seed
             ~capacity:header.Journal.capacity j.Journal.events
         in
         Ok
           {
-            session;
+            sessions;
             policy = header.Journal.policy;
             seed = header.Journal.seed;
             capacity = header.Journal.capacity;
@@ -174,22 +241,22 @@ let recover ?(io = Real_io.v) ?snapshot ~journal () =
              history — mismatched files"
         else
           let suffix = drop overlap_len j.Journal.events in
-          let* session =
-            fresh_session ~policy:header.Journal.policy ~seed:header.Journal.seed
+          let* sessions =
+            make_sessions ~policy:header.Journal.policy ~seed:header.Journal.seed
               ~capacity:header.Journal.capacity
           in
           let* () =
-            replay_into session ~policy_name:header.Journal.policy ~first_index:0
+            replay_into sessions ~policy_name:header.Journal.policy ~first_index:0
               s.Snapshot.history
           in
-          let* () = check_digest session s in
+          let* () = check_digests sessions s in
           let* () =
-            replay_into session ~policy_name:header.Journal.policy
+            replay_into sessions ~policy_name:header.Journal.policy
               ~first_index:snapshot_events suffix
           in
           Ok
             {
-              session;
+              sessions = to_list sessions;
               policy = header.Journal.policy;
               seed = header.Journal.seed;
               capacity = header.Journal.capacity;
@@ -200,32 +267,43 @@ let recover ?(io = Real_io.v) ?snapshot ~journal () =
             }
       end
 
-let render st =
+let session st =
+  match List.assoc_opt Tenant.default st.sessions with
+  | Some s -> s
+  | None -> invalid_arg "Recovery.session: no default tenant session"
+
+let render (st : state) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "recovered: policy=%s seed=%d capacity=%s\n" st.policy st.seed
-       (Vec.to_string st.capacity));
+    (Printf.sprintf "recovered: policy=%s seed=%d capacity=%s tenants=%d\n" st.policy
+       st.seed
+       (Vec.to_string st.capacity)
+       (List.length st.sessions));
   Buffer.add_string buf
     (Printf.sprintf "events: %d from snapshot + %d from journal = %d total%s\n"
        st.from_snapshot st.from_journal
        (st.from_snapshot + st.from_journal)
        (if st.dropped_torn then " (dropped a torn final journal record)" else ""));
-  Buffer.add_string buf
-    (Printf.sprintf "clock=%g cost=%.4f bins_opened=%d max_open=%d active_items=%d\n"
-       (Session.now st.session)
-       (Session.cost_so_far st.session)
-       (Session.bins_opened st.session)
-       (Session.max_open_bins st.session)
-       (Session.active_items st.session));
-  let open_bins = Session.open_bins st.session in
-  Buffer.add_string buf (Printf.sprintf "open bins (%d):\n" (List.length open_bins));
   List.iter
-    (fun (b : Bin.t) ->
+    (fun (tenant, session) ->
       Buffer.add_string buf
-        (Printf.sprintf "  bin %d load=%s items=[%s]\n" b.Bin.id
-           (Vec.to_string b.Bin.load)
-           (String.concat ","
-              (List.map (fun (r : Item.t) -> r.Item.id) b.Bin.active_items
-              |> List.sort Int.compare |> List.map string_of_int))))
-    open_bins;
+        (Printf.sprintf
+           "tenant %s: clock=%g cost=%.4f bins_opened=%d max_open=%d active_items=%d\n"
+           tenant (Session.now session)
+           (Session.cost_so_far session)
+           (Session.bins_opened session)
+           (Session.max_open_bins session)
+           (Session.active_items session));
+      let open_bins = Session.open_bins session in
+      Buffer.add_string buf (Printf.sprintf "  open bins (%d):\n" (List.length open_bins));
+      List.iter
+        (fun (b : Bin.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    bin %d load=%s items=[%s]\n" b.Bin.id
+               (Vec.to_string b.Bin.load)
+               (String.concat ","
+                  (List.map (fun (r : Item.t) -> r.Item.id) b.Bin.active_items
+                  |> List.sort Int.compare |> List.map string_of_int))))
+        open_bins)
+    st.sessions;
   Buffer.contents buf

@@ -1,27 +1,36 @@
-(** Rebuild a live session from snapshot + journal, verifying as it goes.
+(** Rebuild live tenant sessions from snapshot + journal, verifying as it
+    goes.
 
-    The recovery invariant: replaying the recorded event history through a
-    fresh deterministic session must reproduce {e exactly} the placements
+    The recovery invariant: replaying the recorded event history through
+    fresh deterministic sessions must reproduce {e exactly} the placements
     the original server recorded — same bin id, same opened-new-bin flag,
-    event by event. Sessions are deterministic (the golden tests pin this),
-    so any deviation means the files are corrupt, were produced by a
-    different policy/seed/capacity, or the library's behaviour changed; all
-    three must be a hard error, never silent divergence.
+    event by event. Sessions are deterministic (the golden tests pin this)
+    and tenant shard/rng assignment is a pure function of the tenant name
+    ({!Tenant}), so any deviation means the files are corrupt, were produced
+    by a different policy/seed/capacity, or the library's behaviour changed;
+    all three must be a hard error, never silent divergence.
 
     Order of operations:
     + load the snapshot if one exists (its absence is fine: the journal then
       must start at event 0);
-    + replay the snapshot's history, verifying each recorded placement;
-    + cross-check the rebuilt session against the snapshot's state digest
-      (clock, cost, bins opened, open bins with occupants);
+    + replay the snapshot's history (arrival order across tenants, each
+      event routed to its tenant's session, sessions created on first
+      touch), verifying each recorded placement;
+    + cross-check every rebuilt session against the snapshot's per-tenant
+      state digests (clock, cost, bins opened, open bins with occupants) —
+      both directions: a digest without a matching session is checked
+      against a fresh zero-state one, a touched tenant without a digest is
+      an error;
     + replay the journal suffix (records the snapshot has already absorbed
       are skipped after checking they match the snapshot history), verifying
       each recorded placement.
 
-    The returned session is live: a server can resume serving from it. *)
+    The returned sessions are live: a server can resume serving from them. *)
 
 type state = {
-  session : Dvbp_engine.Session.t;
+  sessions : (string * Dvbp_engine.Session.t) list;
+      (** tenant sessions in first-appearance order; the {!Tenant.default}
+          session always exists and comes first *)
   policy : string;
   seed : int;
   capacity : Dvbp_vec.Vec.t;
@@ -33,15 +42,18 @@ type state = {
   dropped_torn : bool;  (** the journal's torn final record was dropped *)
 }
 
+val session : state -> Dvbp_engine.Session.t
+(** The {!Tenant.default} tenant's session (always present). *)
+
 val replay :
   policy:string ->
   seed:int ->
   capacity:Dvbp_vec.Vec.t ->
   Journal.event list ->
-  (Dvbp_engine.Session.t, string) result
-(** Fresh session, events applied in order, each recorded placement checked
-    against the recomputed one. Also the building block of the loadgen's
-    shadow check. *)
+  ((string * Dvbp_engine.Session.t) list, string) result
+(** Fresh sessions, events applied in order (routed by tenant), each
+    recorded placement checked against the recomputed one. Also the
+    building block of the loadgen's shadow check. *)
 
 val recover :
   ?io:Io.t -> ?snapshot:string -> journal:string -> unit -> (state, string) result

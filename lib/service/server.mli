@@ -1,12 +1,18 @@
-(** Blocking line-protocol request loop around {!Dvbp_engine.Session}.
+(** Multi-tenant line-protocol request handling around
+    {!Dvbp_engine.Session} — one isolated packing session per tenant.
 
-    Requests, one per line (fields space-separated, sizes comma-separated):
+    Requests, one per line (fields space-separated, sizes comma-separated).
+    Event commands take an optional leading tenant name (from
+    [A-Za-z0-9_.-], see {!Tenant}); the un-prefixed form is the
+    {!Tenant.default} tenant, so pre-tenant clients and scripts keep
+    working unchanged (the two grammars are told apart by token count):
 
     {v
-    ARRIVE <t> <id> <s1,...,sd>   ->  PLACED <bin> <1|0>   (1 = opened new bin)
+    ARRIVE [tenant] <t> <id> <s1,...,sd>
+                                  ->  PLACED <bin> <1|0>   (1 = opened new bin)
                                   |   REJECT <reason>      (session refused it)
-    DEPART <t> <id>               ->  OK
-    STATS                         ->  STATS k=v k=v ...
+    DEPART [tenant] <t> <id>      ->  OK
+    STATS                         ->  STATS k=v k=v ...    (aggregated over tenants)
     METRICS                       ->  Prometheus-style text, final line "# EOF"
     SNAPSHOT                      ->  OK snapshot <path> events=<n>
     QUIT                          ->  BYE
@@ -20,21 +26,35 @@
     Per-request error isolation: a malformed request answers [ERR] and the
     loop keeps serving; an arrival the session refuses (oversized item,
     duplicate id, non-monotonic time, ...) answers [REJECT] and the loop
-    keeps serving. Only IO failures escape.
+    keeps serving. Only IO failures escape. Tenants are isolated: each has
+    its own bins, clock, and policy rng ({!Tenant.rng}), and item ids /
+    time monotonicity are per-tenant.
 
-    Durability: applied events are journaled {e before} the reply is
-    written, so any placement a client has seen is recoverable. When
-    [snapshot_every = Some n], a snapshot is taken (and the journal
-    truncated) every [n] applied events, also before the reply. *)
+    Durability comes in two strengths:
+    - {!handle_line} (the blocking {!serve} loop): applied events are
+      journaled and the fsync follows the [fsync_every] cadence, so an
+      acked event can be lost to a power cut within the cadence window;
+    - {!handle_batch} (the {!Event_loop} path): {b group commit} — every
+      applied event in the batch is journaled and fsynced {e before} the
+      replies are released, so an acked event is always durable. One fsync
+      covers up to [fsync_every] records (the per-batch ceiling), which is
+      what makes the multi-client path both stronger {e and} faster.
+
+    When [snapshot_every = Some n], a snapshot is taken (and the journal
+    truncated) every [n] applied events — exactly at the event on the
+    streaming path, at the next run boundary on the batch path. *)
 
 type config = {
   policy : string;  (** short name for [Policy.of_name] *)
-  seed : int;  (** rng seed (Random Fit); recorded in the journal header *)
+  seed : int;  (** root rng seed; each tenant derives its own ({!Tenant.rng}) *)
   capacity : Dvbp_vec.Vec.t;
   journal : string option;  (** no journaling when [None] *)
   snapshot : string option;  (** required for [SNAPSHOT] / [snapshot_every] *)
   snapshot_every : int option;  (** auto-snapshot every [n] applied events *)
-  fsync_every : int;  (** journal fsync batch size *)
+  fsync_every : int;
+      (** streaming path: journal fsync cadence; batch path: per-batch
+          ceiling — one group commit never spans more records than this *)
+  jobs : int;  (** tenant shards for {!handle_batch} (1 = no domains) *)
 }
 
 type t
@@ -50,25 +70,36 @@ type metrics = {
 }
 
 val create : ?io:Io.t -> ?metrics:Metrics.t -> config -> (t, string) result
-(** Fresh server: empty session, fresh journal (truncates an existing file —
-    use {!resume} to continue one). [io] (default {!Real_io.v}) is the
+(** Fresh server: a {!Tenant.default} session, fresh journal (truncates an
+    existing file — use {!resume} to continue one). Other tenant sessions
+    are created on first contact. [io] (default {!Real_io.v}) is the
     backend journal and snapshot writes go through. [metrics] (default a
     fresh {!Metrics.create}) receives all instrumentation; pass
     {!Metrics.noop} to disable it (the sim sweeps do).
-    Errors on an unknown policy, an invalid [snapshot_every]/[fsync_every],
-    or [snapshot_every] without a snapshot path. *)
+    Errors on an unknown policy or an invalid
+    [snapshot_every]/[fsync_every]/[jobs] combination. *)
 
 val resume : ?io:Io.t -> ?metrics:Metrics.t -> config -> Recovery.state -> (t, string) result
-(** Continue serving from a recovered state. The config must agree with the
-    recovered policy/seed/capacity; the journal is re-opened for appending
-    (validating its header) rather than truncated. Metric counters restart
-    from zero except [events], which counts from genesis (the engine pull
-    family reflects the recovered session, so replayed events are counted
-    once, not twice). *)
+(** Continue serving from a recovered state (all tenant sessions). The
+    config must agree with the recovered policy/seed/capacity; the journal
+    is re-opened for appending (validating its header) rather than
+    truncated. Metric counters restart from zero except [events], which
+    counts from genesis (the engine pull family reflects the recovered
+    sessions, so replayed events are counted once, not twice). *)
 
 val handle_line : t -> string -> string * bool
 (** [handle_line t line] is [(reply, quit)]; [quit] is true only for QUIT.
-    Exposed for in-process drivers ({!Loadgen}) and tests. *)
+    Exposed for in-process drivers ({!Loadgen}) and tests. Streaming
+    durability (fsync cadence), like {!serve}. *)
+
+val handle_batch : t -> string array -> (string * bool) array
+(** Group commit: handles every line (arrival order across connections —
+    slot [i] answers line [i]) and returns only after all applied events
+    are journaled {e and fsynced}, in chunks of at most [fsync_every]
+    records each. Event lines are applied sharded by
+    tenant over [config.jobs] domains; per-tenant results are
+    bit-identical for any [jobs]. Control lines (STATS, SNAPSHOT, QUIT,
+    malformed input) are handled between commits on the calling domain. *)
 
 val serve : t -> in_channel -> out_channel -> unit
 (** Read-eval-reply until QUIT or EOF, then {!close}. Replies are flushed
@@ -77,22 +108,30 @@ val serve : t -> in_channel -> out_channel -> unit
 
 val metrics : t -> metrics
 val stats_line : t -> string
-(** The [STATS] reply. Its field list and order are frozen for
-    backward compatibility ([latency_mean_us]/[latency_max_us] are now
-    computed from the request histograms); richer telemetry lives in the
-    [METRICS] reply. *)
+(** The [STATS] reply. Its field list and order are frozen for backward
+    compatibility; the engine fields aggregate across tenants (sums;
+    [clock] is the max). Richer telemetry lives in the [METRICS] reply. *)
 
 val latency_summary : t -> Dvbp_obs.Histogram.snapshot
 (** Request-handling latency in seconds, all request kinds merged
-    (populated by {!serve}; empty for in-process {!handle_line}
-    drivers). *)
+    (populated by {!serve} and {!handle_batch}; empty for in-process
+    {!handle_line} drivers). *)
 
 val observability : t -> Metrics.t
 (** The metrics bundle this server reports into (the one passed to
     {!create}/{!resume}, or the default it built). *)
 
 val session : t -> Dvbp_engine.Session.t
-(** Read-only access for tests and reporting. *)
+(** The {!Tenant.default} tenant's session (always present). Read-only
+    access for tests and reporting. *)
+
+val sessions : t -> (string * Dvbp_engine.Session.t) list
+(** All tenant sessions in first-appearance order ({!Tenant.default}
+    first). Read-only access for tests and reporting. *)
+
+val take_snapshot : t -> (string, string) result
+(** What the [SNAPSHOT] command runs: write a {!Snapshot} of every tenant
+    and truncate the journal. Exposed for drivers. *)
 
 val close : t -> unit
 (** Syncs and closes the journal. Idempotent. *)

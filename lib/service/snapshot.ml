@@ -3,20 +3,26 @@ module Bin = Dvbp_core.Bin
 module Item = Dvbp_core.Item
 module Session = Dvbp_engine.Session
 
-let magic = "# dvbp-snapshot v1"
+let magic = "# dvbp-snapshot v2"
+let magic_v1 = "# dvbp-snapshot v1"
+
+type digest = {
+  tenant : string;
+  clock : float;
+  cost : float;
+  bins_opened : int;
+  open_bins : (int * int list) list;
+}
 
 type t = {
   policy : string;
   seed : int;
   capacity : Vec.t;
-  clock : float;
-  cost : float;
-  bins_opened : int;
-  open_bins : (int * int list) list;
+  digests : digest list;
   history : Journal.event list;
 }
 
-let digest_of_session ~policy ~seed ~capacity ~history session =
+let digest_of_session ~tenant session =
   let open_bins =
     List.map
       (fun (b : Bin.t) ->
@@ -26,15 +32,17 @@ let digest_of_session ~policy ~seed ~capacity ~history session =
       (Session.open_bins session)
   in
   {
-    policy;
-    seed;
-    capacity;
+    tenant;
     clock = Session.now session;
     cost = Session.cost_so_far session;
     bins_opened = Session.bins_opened session;
     open_bins;
-    history;
   }
+
+(* Digest sections are written in tenant-name order so the snapshot bytes
+   are a pure function of the state, not of arrival interleaving. *)
+let sort_digests ds =
+  List.sort (fun a b -> String.compare a.tenant b.tenant) ds
 
 let to_string s =
   let buf = Buffer.create 4096 in
@@ -45,16 +53,20 @@ let to_string s =
   Buffer.add_string buf "capacity";
   Array.iter (fun c -> Buffer.add_string buf (Printf.sprintf ",%d" c)) (Vec.to_array s.capacity);
   Buffer.add_char buf '\n';
-  Buffer.add_string buf (Printf.sprintf "clock,%.17g\n" s.clock);
-  Buffer.add_string buf (Printf.sprintf "cost,%.17g\n" s.cost);
-  Buffer.add_string buf (Printf.sprintf "bins_opened,%d\n" s.bins_opened);
   Buffer.add_string buf (Printf.sprintf "events,%d\n" (List.length s.history));
   List.iter
-    (fun (bin_id, occupants) ->
-      Buffer.add_string buf (Printf.sprintf "open,%d" bin_id);
-      List.iter (fun id -> Buffer.add_string buf (Printf.sprintf ",%d" id)) occupants;
-      Buffer.add_char buf '\n')
-    s.open_bins;
+    (fun d ->
+      Buffer.add_string buf (Printf.sprintf "tenant,%s\n" d.tenant);
+      Buffer.add_string buf (Printf.sprintf "clock,%.17g\n" d.clock);
+      Buffer.add_string buf (Printf.sprintf "cost,%.17g\n" d.cost);
+      Buffer.add_string buf (Printf.sprintf "bins_opened,%d\n" d.bins_opened);
+      List.iter
+        (fun (bin_id, occupants) ->
+          Buffer.add_string buf (Printf.sprintf "open,%d" bin_id);
+          List.iter (fun id -> Buffer.add_string buf (Printf.sprintf ",%d" id)) occupants;
+          Buffer.add_char buf '\n')
+        d.open_bins)
+    (sort_digests s.digests);
   List.iter
     (fun e ->
       Buffer.add_string buf (Journal.encode_event e);
@@ -81,15 +93,21 @@ let rec collect_ints ~line what = function
       let* xs = collect_ints ~line what rest in
       Ok (x :: xs)
 
+(* Mutable accumulator for one tenant's digest section. *)
+type dacc = {
+  d_tenant : string;
+  mutable d_clock : float option;
+  mutable d_cost : float option;
+  mutable d_bins_opened : int option;
+  mutable d_open_rev : (int * int list) list;
+}
+
 type acc = {
   mutable policy : string option;
   mutable seed : int option;
   mutable capacity : Vec.t option;
-  mutable clock : float option;
-  mutable cost : float option;
-  mutable bins_opened : int option;
   mutable events : int option;
-  mutable open_rev : (int * int list) list;
+  mutable digests_rev : dacc list;  (* current section at the head *)
   mutable history_rev : Journal.event list;
   mutable saw_history : bool;
 }
@@ -98,25 +116,59 @@ let require what = function
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "missing %s row" what)
 
+let finish_digest (d : dacc) =
+  let* clock = require (d.d_tenant ^ " clock") d.d_clock in
+  let* cost = require (d.d_tenant ^ " cost") d.d_cost in
+  let* bins_opened = require (d.d_tenant ^ " bins_opened") d.d_bins_opened in
+  Ok
+    {
+      tenant = d.d_tenant;
+      clock;
+      cost;
+      bins_opened;
+      open_bins = List.rev d.d_open_rev;
+    }
+
 let of_string text =
   if String.trim text = "" then Error "empty snapshot"
   else begin
+    let version = ref 2 in
     let lines = String.split_on_char '\n' text in
     let a =
       {
         policy = None;
         seed = None;
         capacity = None;
-        clock = None;
-        cost = None;
-        bins_opened = None;
         events = None;
-        open_rev = [];
+        digests_rev = [];
         history_rev = [];
         saw_history = false;
       }
     in
     let scalar ~line what current store v =
+      if current <> None then Error (Printf.sprintf "line %d: duplicate %s row" line what)
+      else begin
+        store v;
+        Ok ()
+      end
+    in
+    (* The v1 format has no tenant rows: its single digest section belongs
+       to the default tenant and starts implicitly. *)
+    let current_digest ~line =
+      match a.digests_rev with
+      | d :: _ -> Ok d
+      | [] ->
+          if !version = 1 then begin
+            let d =
+              { d_tenant = Tenant.default; d_clock = None; d_cost = None;
+                d_bins_opened = None; d_open_rev = [] }
+            in
+            a.digests_rev <- [ d ];
+            Ok d
+          end
+          else Error (Printf.sprintf "line %d: digest row before any tenant row" line)
+    in
+    let dscalar ~line what current store v =
       if current <> None then Error (Printf.sprintf "line %d: duplicate %s row" line what)
       else begin
         store v;
@@ -147,25 +199,41 @@ let of_string text =
                 scalar ~line "capacity" a.capacity
                   (fun v -> a.capacity <- Some v)
                   (Vec.of_list cs))
-        | "clock" :: [ s ] ->
-            let* v = parse_float ~line "clock" s in
-            scalar ~line "clock" a.clock (fun v -> a.clock <- Some v) v
-        | "cost" :: [ s ] ->
-            let* v = parse_float ~line "cost" s in
-            scalar ~line "cost" a.cost (fun v -> a.cost <- Some v) v
-        | "bins_opened" :: [ s ] ->
-            let* v = parse_int ~line "bins_opened" s in
-            scalar ~line "bins_opened" a.bins_opened (fun v -> a.bins_opened <- Some v) v
         | "events" :: [ s ] ->
             let* v = parse_int ~line "events" s in
             scalar ~line "events" a.events (fun v -> a.events <- Some v) v
+        | "tenant" :: [ name ] ->
+            let name = String.trim name in
+            let* name = Tenant.validate name in
+            if List.exists (fun d -> d.d_tenant = name) a.digests_rev then
+              Error (Printf.sprintf "line %d: duplicate tenant section %S" line name)
+            else begin
+              a.digests_rev <-
+                { d_tenant = name; d_clock = None; d_cost = None;
+                  d_bins_opened = None; d_open_rev = [] }
+                :: a.digests_rev;
+              Ok ()
+            end
+        | "clock" :: [ s ] ->
+            let* v = parse_float ~line "clock" s in
+            let* d = current_digest ~line in
+            dscalar ~line "clock" d.d_clock (fun v -> d.d_clock <- Some v) v
+        | "cost" :: [ s ] ->
+            let* v = parse_float ~line "cost" s in
+            let* d = current_digest ~line in
+            dscalar ~line "cost" d.d_cost (fun v -> d.d_cost <- Some v) v
+        | "bins_opened" :: [ s ] ->
+            let* v = parse_int ~line "bins_opened" s in
+            let* d = current_digest ~line in
+            dscalar ~line "bins_opened" d.d_bins_opened (fun v -> d.d_bins_opened <- Some v) v
         | "open" :: bin :: occupants ->
             let* bin_id = parse_int ~line "bin id" bin in
             let* occupants = collect_ints ~line "occupant id" occupants in
-            a.open_rev <- (bin_id, occupants) :: a.open_rev;
+            let* d = current_digest ~line in
+            d.d_open_rev <- (bin_id, occupants) :: d.d_open_rev;
             Ok ()
         | ("arrive" | "depart") :: _ -> (
-            match Journal.decode_event trimmed with
+            match Journal.decode_event ~version:!version trimmed with
             | Ok e ->
                 a.saw_history <- true;
                 a.history_rev <- e :: a.history_rev;
@@ -179,6 +247,10 @@ let of_string text =
           let trimmed = String.trim raw in
           if line = 1 then
             if trimmed = magic then go 2 rest
+            else if trimmed = magic_v1 then begin
+              version := 1;
+              go 2 rest
+            end
             else Error (Printf.sprintf "line 1: expected %S, got %S" magic trimmed)
           else if trimmed = "" || trimmed.[0] = '#' then go (line + 1) rest
           else
@@ -189,29 +261,25 @@ let of_string text =
     let* policy = require "policy" a.policy in
     let* seed = require "seed" a.seed in
     let* capacity = require "capacity" a.capacity in
-    let* clock = require "clock" a.clock in
-    let* cost = require "cost" a.cost in
-    let* bins_opened = require "bins_opened" a.bins_opened in
     let* events = require "events" a.events in
+    let rec finish_all acc = function
+      | [] -> Ok acc
+      | d :: rest ->
+          let* digest = finish_digest d in
+          finish_all (digest :: acc) rest
+    in
+    (* digests_rev is newest-first, so folding restores section order *)
+    let* digests = finish_all [] a.digests_rev in
     let history = List.rev a.history_rev in
     if List.length history <> events then
       Error
         (Printf.sprintf
            "snapshot records %d events but its history holds %d — truncated or corrupt"
            events (List.length history))
-    else
-      Ok
-        {
-          policy;
-          seed;
-          capacity;
-          clock;
-          cost;
-          bins_opened;
-          open_bins = List.rev a.open_rev;
-          history;
-        }
+    else Ok { policy; seed; capacity; digests; history }
   end
+
+let find_digest s tenant = List.find_opt (fun d -> d.tenant = tenant) s.digests
 
 let write ?(io = Real_io.v) ~path s = Io.atomic_replace io ~path (to_string s)
 

@@ -9,43 +9,50 @@
     Random Fit's rng stream), the checkpoint stores two complementary
     sections and recovery uses both:
 
-    - a {b state digest} — clock, accumulated usage-time cost, bins opened,
-      and every open bin with its occupant item ids — which is what the
-      operator reads and what recovery {e verifies} against;
-    - the {b event history} since genesis (same checksummed record format as
-      the journal), which is what recovery {e replays} to rebuild the exact
-      session, policy state included.
+    - one {b state digest} per tenant — clock, accumulated usage-time cost,
+      bins opened, and every open bin with its occupant item ids — which is
+      what the operator reads and what recovery {e verifies} against;
+    - the {b event history} since genesis in arrival order across all
+      tenants (same checksummed record format as the journal), which is
+      what recovery {e replays} to rebuild the exact sessions, policy state
+      included.
 
-    Replaying the history through a fresh deterministic session and then
-    checking the result against the digest means corruption, a policy
+    Replaying the history through fresh deterministic sessions and then
+    checking the result against the digests means corruption, a policy
     mismatch, or a library behaviour change is a hard error, never silent
     divergence (see {!Recovery}).
+
+    Format v2 groups digest rows under [tenant,<name>] section headers
+    (written in tenant-name order so the bytes are independent of arrival
+    interleaving). v1 files — one implicit digest section belonging to
+    {!Tenant.default}, v1 history records — still load; new snapshots are
+    always written v2.
 
     Snapshots are written atomically (temp file, fsync, rename), so unlike
     the journal a torn snapshot cannot exist; any parse failure on load is
     reported as corruption. *)
 
-type t = {
-  policy : string;
-  seed : int;
-  capacity : Dvbp_vec.Vec.t;
-  clock : float;  (** timestamp of the last applied event *)
+type digest = {
+  tenant : string;
+  clock : float;  (** timestamp of the tenant's last applied event *)
   cost : float;  (** usage-time cost accumulated up to [clock] *)
   bins_opened : int;
   open_bins : (int * int list) list;
       (** open bins in opening order; occupant item ids ascending *)
-  history : Journal.event list;  (** every applied event since genesis *)
 }
 
-val digest_of_session :
-  policy:string ->
-  seed:int ->
-  capacity:Dvbp_vec.Vec.t ->
-  history:Journal.event list ->
-  Dvbp_engine.Session.t ->
-  t
-(** Reads the digest fields off a live session. [history] must be exactly
-    the events the session has applied. *)
+type t = {
+  policy : string;
+  seed : int;
+  capacity : Dvbp_vec.Vec.t;
+  digests : digest list;  (** one per tenant, section order (tenant-name order when written by {!to_string}) *)
+  history : Journal.event list;  (** every applied event since genesis, arrival order *)
+}
+
+val digest_of_session : tenant:string -> Dvbp_engine.Session.t -> digest
+(** Reads one tenant's digest fields off its live session. *)
+
+val find_digest : t -> string -> digest option
 
 val to_string : t -> string
 val of_string : string -> (t, string) result

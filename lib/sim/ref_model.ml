@@ -1,16 +1,21 @@
 module Journal = Dvbp_service.Journal
+module Tenant = Dvbp_service.Tenant
 module Session = Dvbp_engine.Session
 module Bin = Dvbp_core.Bin
 module Item = Dvbp_core.Item
 
-type t = {
+type tenant_model = {
   clock : float;
   cost : float;
   bins_opened : int;
   open_bins : (int * int list) list; (* opening order; occupants in placement order *)
 }
 
-let initial = { clock = 0.0; cost = 0.0; bins_opened = 0; open_bins = [] }
+type t = (string * tenant_model) list (* first-appearance order *)
+
+let empty_tenant = { clock = 0.0; cost = 0.0; bins_opened = 0; open_bins = [] }
+
+let initial = []
 
 let accrue m time =
   {
@@ -19,7 +24,7 @@ let accrue m time =
     clock = time;
   }
 
-let apply m = function
+let apply_tenant m = function
   | Journal.Arrive { time; item_id; bin_id; opened_new_bin; _ } ->
       let m = accrue m time in
       if opened_new_bin then
@@ -36,7 +41,7 @@ let apply m = function
               (fun (b, occ) -> if b = bin_id then (b, occ @ [ item_id ]) else (b, occ))
               m.open_bins;
         }
-  | Journal.Depart { time; item_id } ->
+  | Journal.Depart { time; item_id; _ } ->
       let m = accrue m time in
       {
         m with
@@ -51,10 +56,23 @@ let apply m = function
             m.open_bins;
       }
 
+let find t tenant =
+  Option.value (List.assoc_opt tenant t) ~default:empty_tenant
+
+let apply t event =
+  let tenant = Journal.event_tenant event in
+  if List.mem_assoc tenant t then
+    List.map
+      (fun (tn, m) -> if tn = tenant then (tn, apply_tenant m event) else (tn, m))
+      t
+  else t @ [ (tenant, apply_tenant empty_tenant event) ]
+
 let of_events events = List.fold_left apply initial events
 
-let agrees_with m session =
-  let fail fmt = Printf.ksprintf (fun s -> Error ("model mismatch: " ^ s)) fmt in
+let agrees_with_session m tenant session =
+  let fail fmt =
+    Printf.ksprintf (fun s -> Error (Printf.sprintf "model mismatch (tenant %s): %s" tenant s)) fmt
+  in
   if Session.now session <> m.clock then
     fail "clock %.17g, model says %.17g" (Session.now session) m.clock
   else if Session.cost_so_far session <> m.cost then
@@ -82,3 +100,27 @@ let agrees_with m session =
       in
       fail "open bins [%s], model says [%s]" (render live) (render m.open_bins)
     else Ok ()
+
+let ( let* ) = Result.bind
+
+let agrees_with t sessions =
+  (* every tenant the model touched must have a matching session; sessions
+     the model never touched must still be empty *)
+  let rec check_model = function
+    | [] -> Ok ()
+    | (tenant, m) :: rest -> (
+        match List.assoc_opt tenant sessions with
+        | None -> Error (Printf.sprintf "model has tenant %s but no session exists" tenant)
+        | Some session ->
+            let* () = agrees_with_session m tenant session in
+            check_model rest)
+  in
+  let rec check_sessions = function
+    | [] -> Ok ()
+    | (tenant, session) :: rest ->
+        let m = find t tenant in
+        let* () = agrees_with_session m tenant session in
+        check_sessions rest
+  in
+  let* () = check_model t in
+  check_sessions sessions

@@ -2,16 +2,17 @@
 
     Deliberately {e independent} of the engine: it never consults a policy
     or a [Session] — it folds over the recorded events (arrival placements
-    as the live server replied them, departures) with its own five-line
-    bookkeeping of clock, accumulated bin-time cost, bins opened, and the
-    open-bin occupancy map. A recovered session that disagrees with this
-    fold has corrupted state, whatever the engine's own invariants say.
+    as the live server replied them, departures) with its own few lines of
+    per-tenant bookkeeping: clock, accumulated bin-time cost, bins opened,
+    and the open-bin occupancy map, each keyed by the event's tenant.
+    Recovered sessions that disagree with this fold have corrupted state,
+    whatever the engine's own invariants say.
 
     Cost comparison is exact float equality; the state-machine test feeds
     integer-valued timestamps, for which both the model's incremental
     accrual and the session's per-bin summation are exact. *)
 
-type t = {
+type tenant_model = {
   clock : float;
   cost : float;
   bins_opened : int;
@@ -19,14 +20,30 @@ type t = {
       (** opening order; occupants in placement order *)
 }
 
+type t = (string * tenant_model) list
+(** One model per tenant, first-appearance order. *)
+
 val initial : t
 
+val empty_tenant : tenant_model
+
+val find : t -> string -> tenant_model
+(** The tenant's model, {!empty_tenant} if never touched. *)
+
 val apply : t -> Dvbp_service.Journal.event -> t
-(** Pure: accrue cost to the event's time, then apply the placement or
-    departure (a departure emptying a bin closes it). *)
+(** Pure: route to the event's tenant, accrue cost to the event's time,
+    then apply the placement or departure (a departure emptying a bin
+    closes it). *)
 
 val of_events : Dvbp_service.Journal.event list -> t
 
-val agrees_with : t -> Dvbp_engine.Session.t -> (unit, string) result
+val agrees_with_session :
+  tenant_model -> string -> Dvbp_engine.Session.t -> (unit, string) result
 (** Exact comparison of clock, cost, bins opened, and open-bin occupancy
-    (ids in opening order, occupants compared as sets). *)
+    (ids in opening order, occupants compared as sets) for one tenant. *)
+
+val agrees_with :
+  t -> (string * Dvbp_engine.Session.t) list -> (unit, string) result
+(** Both directions: every tenant in the model must match its session, and
+    every session must match its (possibly empty) model — so an untouched
+    tenant session must be in its initial state. *)

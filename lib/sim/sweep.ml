@@ -24,27 +24,101 @@ let modes = [ Sim_fs.Lose_unsynced; Sim_fs.Keep_unsynced; Sim_fs.Torn ]
 let rec drop n l =
   if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
 
+let rec take n l =
+  if n <= 0 then [] else match l with [] -> [] | x :: tl -> x :: take (n - 1) tl
+
 let rec is_prefix xs ~of_ =
   match (xs, of_) with
   | [], _ -> true
   | _ :: _, [] -> false
   | x :: xs, y :: ys -> Journal.equal_event x y && is_prefix xs ~of_:ys
 
-(* Drive one protocol line and insist it was applied: the canonical workload
-   is all-accepting, so a REJECT/ERR anywhere means the recovered session
-   diverged from the uninterrupted one. *)
-let apply_line server line =
-  let reply, quit = Server.handle_line server line in
+let check_applied line reply quit =
   if quit then failwith "unexpected QUIT reply";
   match reply.[0] with
   | 'P' | 'O' -> ()
   | _ -> failwith (Printf.sprintf "request %S refused: %s" line reply)
 
+(* Drive one protocol line and insist it was applied: the canonical workload
+   is all-accepting, so a REJECT/ERR anywhere means the recovered session
+   diverged from the uninterrupted one. *)
+let apply_line server line =
+  let reply, quit = Server.handle_line server line in
+  check_applied line reply quit
+
+(* Drive the whole script. [batch = Some b] exercises the group-commit path
+   ({!Server.handle_batch}, [b] lines per call); [None] the streaming one.
+   [check] is off while a planned crash is pending (replies then never
+   arrive — the run dies mid-script by design). *)
+let apply_all ?batch ~check server lines =
+  match batch with
+  | None ->
+      List.iter
+        (fun line ->
+          if check then apply_line server line
+          else ignore (Server.handle_line server line))
+        lines
+  | Some b ->
+      let rec go = function
+        | [] -> ()
+        | lines ->
+            let chunk = take b lines in
+            let arr = Array.of_list chunk in
+            let replies = Server.handle_batch server arr in
+            if check then
+              Array.iteri
+                (fun i (reply, quit) -> check_applied arr.(i) reply quit)
+                replies;
+            go (drop b lines)
+      in
+      go lines
+
+(* All tenant sessions folded into one comparable string (sorted by tenant
+   so first-appearance order can't mask or fake a divergence). *)
+let fingerprint_server server =
+  Server.sessions server
+  |> List.map (fun (tn, s) -> tn ^ "=" ^ Session.fingerprint s)
+  |> List.sort String.compare
+  |> String.concat ";"
+
+(* [tenants > 1] round-robins the script across [t0..t{tenants-1}] with the
+   tenant-prefixed grammar — every tenant runs the same item schedule in
+   its own isolated session. [tenants = 1] keeps the un-prefixed grammar
+   (the pre-tenant sweep, byte-for-byte). *)
+let make_lines ~tenants inst =
+  let base = Loadgen.script inst in
+  if tenants <= 1 then base
+  else
+    let prefixed tn =
+      List.map
+        (fun line ->
+          match String.index_opt line ' ' with
+          | Some sp ->
+              String.sub line 0 sp
+              ^ Printf.sprintf " t%d" tn
+              ^ String.sub line sp (String.length line - sp)
+          | None -> line)
+        base
+    in
+    let scripts = List.init tenants prefixed in
+    let rec interleave acc scripts =
+      if List.for_all (( = ) []) scripts then List.rev acc
+      else
+        let heads, tails =
+          List.fold_right
+            (fun s (hs, ts) ->
+              match s with [] -> (hs, [] :: ts) | h :: t -> (h :: hs, t :: ts))
+            scripts ([], [])
+        in
+        interleave (List.rev_append heads acc) tails
+    in
+    interleave [] scripts
+
 let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
-    ?(snapshot_every = 5) ?(wrap = fun io -> io) () =
+    ?(snapshot_every = 5) ?(wrap = fun io -> io) ?batch ?(tenants = 1) ?(jobs = 1) () =
   let params = { Uniform_model.d = 2; n; mu = 10; span = 60; bin_size = 100 } in
   let inst = Uniform_model.generate params ~rng:(Rng.create ~seed:(seed + 1)) in
-  let lines = Loadgen.script inst in
+  let lines = make_lines ~tenants inst in
   let config =
     {
       Server.policy;
@@ -54,6 +128,7 @@ let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
       snapshot = Some snapshot_path;
       snapshot_every = Some snapshot_every;
       fsync_every;
+      jobs;
     }
   in
   (* Uninterrupted run: fixes the boundary count, the canonical event
@@ -65,8 +140,8 @@ let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
     | Ok s -> s
     | Error e -> failwith ("sweep baseline: " ^ e)
   in
-  List.iter (apply_line server) lines;
-  let baseline_fp = Session.fingerprint (Server.session server) in
+  apply_all ?batch ~check:true server lines;
+  let baseline_fp = fingerprint_server server in
   Server.close server;
   let boundaries = Sim_fs.ops fs0 in
   let canonical =
@@ -87,7 +162,7 @@ let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
        match Server.create ~io ~metrics:(Metrics.noop ()) config with
        | Error e -> failwith ("server create: " ^ e)
        | Ok server ->
-           List.iter (fun line -> ignore (Server.handle_line server line)) lines;
+           apply_all ?batch ~check:false server lines;
            Server.close server;
            failwith "planned crash never fired"
      with Sim_fs.Crash -> ());
@@ -110,8 +185,8 @@ let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
         | Ok s -> (s, 0)
         | Error e -> failwith ("fresh restart: " ^ e)
     in
-    List.iter (apply_line resumed) (drop recovered_events lines);
-    let fp = Session.fingerprint (Server.session resumed) in
+    apply_all ?batch ~check:true resumed (drop recovered_events lines);
+    let fp = fingerprint_server resumed in
     Server.close resumed;
     if fp <> baseline_fp then
       failwith

@@ -35,13 +35,26 @@ val run :
   ?fsync_every:int ->
   ?snapshot_every:int ->
   ?wrap:(Dvbp_service.Io.t -> Dvbp_service.Io.t) ->
+  ?batch:int ->
+  ?tenants:int ->
+  ?jobs:int ->
   unit ->
   outcome
 (** Defaults: [policy = "mtf"], [seed = 11], [n = 12] items, [fsync_every =
     3], [snapshot_every = 5] (small batches so fsync batching and journal
     truncation both land inside the sweep). [wrap] decorates the simulated
     backend — the sensitivity smoke uses it to sabotage the torn-record
-    guard and prove the sweep notices. *)
+    guard and prove the sweep notices.
+
+    [batch = Some b] drives the {b group-commit} path instead of the
+    streaming one: lines go through {!Dvbp_service.Server.handle_batch},
+    [b] per call, so every crash boundary inside
+    {!Dvbp_service.Journal.append_batch}'s write+fsync is swept too — a
+    crash may lose only whole un-fsynced batch suffixes. [tenants > 1]
+    round-robins the workload across that many tenants with the
+    tenant-prefixed grammar (each tenant an isolated session); [jobs]
+    shards the batch path over domains — final states must stay
+    bit-identical to [jobs = 1]. *)
 
 val render : outcome -> string
 (** One-line summary plus the first few failures. *)

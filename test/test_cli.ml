@@ -118,7 +118,8 @@ let contains_sub msg sub =
   go 0
 
 let serve_opts ?(policy = "mtf") ?(seed = 7) ?(capacity = "100,100") ?journal
-    ?snapshot ?snapshot_every ?(fsync_every = 64) ?(resume = false) ?metrics_dump () =
+    ?snapshot ?snapshot_every ?(fsync_every = 64) ?(jobs = 1) ?listen
+    ?(resume = false) ?metrics_dump () =
   {
     Service_cli.policy;
     seed;
@@ -127,6 +128,8 @@ let serve_opts ?(policy = "mtf") ?(seed = 7) ?(capacity = "100,100") ?journal
     snapshot;
     snapshot_every;
     fsync_every;
+    jobs;
+    listen;
     resume;
     metrics_dump;
   }
@@ -243,6 +246,11 @@ let service_tests =
             lg_journal = None;
             lg_snapshot = None;
             lg_snapshot_every = None;
+            lg_fsync_every = None;
+            lg_clients = 0;
+            lg_jobs = 1;
+            lg_window = 256;
+            lg_connect = None;
             emit = true;
           }
         in
@@ -261,6 +269,11 @@ let service_tests =
             lg_journal = None;
             lg_snapshot = None;
             lg_snapshot_every = None;
+            lg_fsync_every = None;
+            lg_clients = 0;
+            lg_jobs = 1;
+            lg_window = 256;
+            lg_connect = None;
             emit = false;
           }
         in

@@ -13,6 +13,7 @@ module Uniform_model = Dvbp_workload.Uniform_model
 
 let v = Vec.of_list
 let cap = v [ 100; 100 ]
+let dflt = Tenant.default
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
@@ -74,6 +75,7 @@ let record_raw ?(policy = "mtf") ?(seed = 7) ?(capacity = cap) raw =
           let p = Session.arrive s ~at:time ~id:item_id ~size () in
           Journal.Arrive
             {
+              tenant = dflt;
               time;
               item_id;
               size;
@@ -82,7 +84,7 @@ let record_raw ?(policy = "mtf") ?(seed = 7) ?(capacity = cap) raw =
             }
       | `Depart (time, item_id) ->
           Session.depart s ~at:time ~item_id;
-          Journal.Depart { time; item_id })
+          Journal.Depart { tenant = dflt; time; item_id })
     raw
 
 let sample_events = record_raw sample_raw
@@ -99,7 +101,7 @@ let journal_tests =
     Alcotest.test_case "codec survives awkward floats" `Quick (fun () ->
         List.iter
           (fun time ->
-            let e = Journal.Depart { time; item_id = 3 } in
+            let e = Journal.Depart { tenant = dflt; time; item_id = 3 } in
             match Journal.decode_event (Journal.encode_event e) with
             | Ok e' -> check_bool "time" true (Journal.equal_event e e')
             | Error msg -> Alcotest.fail msg)
@@ -190,7 +192,7 @@ let journal_tests =
             let w, r = ok_or_fail (Journal.append_to ~path (header ())) in
             check_int "existing events" (List.length sample_events)
               (List.length r.Journal.events);
-            Journal.append w (Journal.Depart { time = 9.0; item_id = 99 });
+            Journal.append w (Journal.Depart { tenant = dflt; time = 9.0; item_id = 99 });
             Journal.close w;
             let r = ok_or_fail (Journal.read_file path) in
             check_int "one more" (List.length sample_events + 1)
@@ -206,7 +208,7 @@ let journal_tests =
                 Out_channel.output_string oc (String.sub full 0 (String.length full - 5)));
             let w, r = ok_or_fail (Journal.append_to ~path (header ())) in
             check_bool "torn reported" true r.Journal.dropped_torn;
-            Journal.append w (Journal.Depart { time = 9.0; item_id = 99 });
+            Journal.append w (Journal.Depart { tenant = dflt; time = 9.0; item_id = 99 });
             Journal.close w;
             (* the new record must not weld onto the dropped fragment *)
             let r = ok_or_fail (Journal.read_file path) in
@@ -218,7 +220,7 @@ let journal_tests =
             let w = Journal.create ~path (header ()) in
             List.iter (Journal.append w) sample_events;
             Journal.truncate w ~new_base:(List.length sample_events);
-            Journal.append w (Journal.Depart { time = 9.0; item_id = 99 });
+            Journal.append w (Journal.Depart { tenant = dflt; time = 9.0; item_id = 99 });
             Journal.close w;
             let r = ok_or_fail (Journal.read_file path) in
             check_int "base" (List.length sample_events) r.Journal.header.Journal.base;
@@ -233,13 +235,21 @@ let journal_tests =
                with Invalid_argument _ -> true)));
   ]
 
-(* Replays [events] through a fresh session, asserting each recorded
-   placement; returns the session. *)
+(* Replays [events] through fresh sessions, asserting each recorded
+   placement; returns the default tenant's session. *)
 let replay_exn events =
-  ok_or_fail (Recovery.replay ~policy:"mtf" ~seed:7 ~capacity:cap events)
+  match Recovery.replay ~policy:"mtf" ~seed:7 ~capacity:cap events with
+  | Ok sessions -> List.assoc dflt sessions
+  | Error e -> Alcotest.fail e
 
 let digest_of ?(history = sample_events) session =
-  Snapshot.digest_of_session ~policy:"mtf" ~seed:7 ~capacity:cap ~history session
+  {
+    Snapshot.policy = "mtf";
+    seed = 7;
+    capacity = cap;
+    digests = [ Snapshot.digest_of_session ~tenant:dflt session ];
+    history;
+  }
 
 let snapshot_tests =
   [
@@ -247,21 +257,24 @@ let snapshot_tests =
         let snap = digest_of (replay_exn sample_events) in
         let snap' = ok_or_fail (Snapshot.of_string (Snapshot.to_string snap)) in
         check_string "policy" snap.Snapshot.policy snap'.Snapshot.policy;
-        check_bool "clock" true (snap.Snapshot.clock = snap'.Snapshot.clock);
-        check_bool "cost" true (snap.Snapshot.cost = snap'.Snapshot.cost);
-        check_int "bins_opened" snap.Snapshot.bins_opened snap'.Snapshot.bins_opened;
-        check_bool "open bins" true (snap.Snapshot.open_bins = snap'.Snapshot.open_bins);
+        let d = List.hd snap.Snapshot.digests
+        and d' = List.hd snap'.Snapshot.digests in
+        check_string "tenant" d.Snapshot.tenant d'.Snapshot.tenant;
+        check_bool "clock" true (d.Snapshot.clock = d'.Snapshot.clock);
+        check_bool "cost" true (d.Snapshot.cost = d'.Snapshot.cost);
+        check_int "bins_opened" d.Snapshot.bins_opened d'.Snapshot.bins_opened;
+        check_bool "open bins" true (d.Snapshot.open_bins = d'.Snapshot.open_bins);
         check_bool "history" true
           (List.equal Journal.equal_event snap.Snapshot.history snap'.Snapshot.history));
     Alcotest.test_case "digest reflects the live session" `Quick (fun () ->
         (* cut before the departures: bins 0 and 1 still open *)
         let prefix = List.filteri (fun i _ -> i < 3) sample_events in
-        let snap = digest_of ~history:prefix (replay_exn prefix) in
-        check_int "bins opened" 2 snap.Snapshot.bins_opened;
+        let d = Snapshot.digest_of_session ~tenant:dflt (replay_exn prefix) in
+        check_int "bins opened" 2 d.Snapshot.bins_opened;
         (* mtf keeps bin 1 at the front after placing item 1, so item 2 lands
            there too *)
         check_bool "occupants" true
-          (snap.Snapshot.open_bins = [ (0, [ 0 ]); (1, [ 1; 2 ]) ]));
+          (d.Snapshot.open_bins = [ (0, [ 0 ]); (1, [ 1; 2 ]) ]));
     Alcotest.test_case "file round trip" `Quick (fun () ->
         with_tmp_dir (fun dir ->
             let path = Filename.concat dir "s.snap" in
@@ -277,13 +290,17 @@ let snapshot_tests =
     Alcotest.test_case "corrupt history record rejected by its checksum" `Quick
       (fun () ->
         let text = Snapshot.to_string (digest_of (replay_exn sample_events)) in
-        let doctored = replace_sub text ~sub:"depart,3,0" ~by:"depart,4,0" in
+        (* v2 times are hex floats: 3.0 = 0x1.8p+1, 4.0 = 0x1p+2 *)
+        let doctored =
+          replace_sub text ~sub:"depart,default,0x1.8p+1,0"
+            ~by:"depart,default,0x1p+2,0"
+        in
         check_bool "error" true (Result.is_error (Snapshot.of_string doctored)));
   ]
 
 let event_of_record = function
   | Journal.Arrive { time; item_id; size; _ } -> `Arrive (time, item_id, size)
-  | Journal.Depart { time; item_id } -> `Depart (time, item_id)
+  | Journal.Depart { time; item_id; _ } -> `Depart (time, item_id)
 
 (* Applies the raw (unrecorded) side of [events] to [session], returning the
    observed placements for arrivals. *)
@@ -313,6 +330,7 @@ let server_history ~policy ~n ~dir =
       snapshot = Some snapshot;
       snapshot_every = None;
       fsync_every = 1000;
+      jobs = 1;
     }
   in
   let server = ok_or_fail (Server.create config) in
@@ -410,7 +428,7 @@ let recovery_tests =
               (* replay the remaining raw events; placements must equal the
                  recorded ones bit for bit *)
               let rest = List.filteri (fun i _ -> i >= k) events in
-              let observed = apply_raw st.Recovery.session rest in
+              let observed = apply_raw (Recovery.session st) rest in
               let recorded =
                 List.filter_map
                   (function
@@ -428,7 +446,7 @@ let recovery_tests =
               check_bool
                 (Printf.sprintf "cost identical at cut %d" k)
                 true
-                (Session.cost_so_far st.Recovery.session = uncut_cost);
+                (Session.cost_so_far (Recovery.session st) = uncut_cost);
               Sys.remove path
             done;
             Unix.rmdir cut_dir));
@@ -450,7 +468,7 @@ let recovery_tests =
                 Journal.close w;
                 let st = ok_or_fail (Recovery.recover ~journal:path ()) in
                 let rest = List.filteri (fun i _ -> i >= k) events in
-                ignore (apply_raw st.Recovery.session rest);
+                ignore (apply_raw (Recovery.session st) rest);
                 Sys.remove path)
               [ 0; 1; total / 2; total - 1; total ];
             Unix.rmdir cut_dir));
@@ -470,9 +488,9 @@ let recovery_tests =
             check_int "from journal" 3 st.Recovery.from_journal;
             let direct = replay_exn sample_events in
             check_bool "same cost" true
-              (Session.cost_so_far st.Recovery.session = Session.cost_so_far direct);
+              (Session.cost_so_far (Recovery.session st) = Session.cost_so_far direct);
             check_int "same bins" (Session.bins_opened direct)
-              (Session.bins_opened st.Recovery.session)));
+              (Session.bins_opened (Recovery.session st))));
     Alcotest.test_case "crash between snapshot and truncation is survivable"
       `Quick (fun () ->
         (* snapshot written, but the journal still holds the whole history
@@ -489,7 +507,7 @@ let recovery_tests =
             check_int "from snapshot" 4 st.Recovery.from_snapshot;
             check_int "journal suffix only" 2 st.Recovery.from_journal;
             check_int "nothing double-applied" 0
-              (Session.active_items st.Recovery.session)));
+              (Session.active_items (Recovery.session st))));
     Alcotest.test_case "overlap divergence between the files is a hard error"
       `Quick (fun () ->
         with_tmp_dir (fun dir ->
@@ -502,7 +520,8 @@ let recovery_tests =
             let doctored =
               List.mapi
                 (fun i e ->
-                  if i = 3 then Journal.Depart { time = 3.0; item_id = 2 } else e)
+                  if i = 3 then Journal.Depart { tenant = dflt; time = 3.0; item_id = 2 }
+                  else e)
                 sample_events
             in
             let w = Journal.create ~path:journal (header ()) in
@@ -535,6 +554,7 @@ let fresh_server ?journal ?snapshot ?snapshot_every () =
          snapshot;
          snapshot_every;
          fsync_every = 64;
+         jobs = 1;
        })
 
 let expect t line reply =
@@ -649,7 +669,7 @@ let server_tests =
             check_int "from snapshot" 2 st.Recovery.from_snapshot;
             check_int "from journal" 1 st.Recovery.from_journal;
             check_int "one bin left" 1
-              (List.length (Session.open_bins st.Recovery.session))));
+              (List.length (Session.open_bins (Recovery.session st)))));
     Alcotest.test_case "snapshot_every auto-checkpoints" `Quick (fun () ->
         with_tmp_dir (fun dir ->
             let journal = Filename.concat dir "j.log" in
@@ -673,12 +693,15 @@ let server_tests =
             snapshot = None;
             snapshot_every = None;
             fsync_every = 64;
+            jobs = 1;
           }
         in
         check_bool "unknown policy" true
           (Result.is_error (Server.create { base with Server.policy = "zzz" }));
         check_bool "fsync_every 0" true
           (Result.is_error (Server.create { base with Server.fsync_every = 0 }));
+        check_bool "jobs 0" true
+          (Result.is_error (Server.create { base with Server.jobs = 0 }));
         check_bool "snapshot_every without snapshot path" true
           (Result.is_error
              (Server.create { base with Server.snapshot_every = Some 5 }));
@@ -708,6 +731,7 @@ let server_tests =
                 snapshot = None;
                 snapshot_every = None;
                 fsync_every = 64;
+                jobs = 1;
               }
             in
             check_bool "policy mismatch" true
@@ -976,12 +1000,249 @@ let metrics_tests =
         Alcotest.(check (float 0.0)) "now" 0.0 (Metrics.now m));
   ]
 
+(* -------------------------------------------------------------------- *)
+(* Group commit and the multi-client front end: handle_batch isolation,
+   the fsync-per-batch ceiling, shard-count determinism, the event loop's
+   ordering guarantees, and v1 journal compatibility. *)
+
+let fresh_server_jobs ?journal ?metrics ~jobs () =
+  ok_or_fail
+    (Server.create ?metrics
+       {
+         Server.policy = "mtf";
+         seed = 7;
+         capacity = cap;
+         journal;
+         snapshot = None;
+         snapshot_every = None;
+         fsync_every = 64;
+         jobs;
+       })
+
+(* the same deterministic multi-tenant request mix used by the shard
+   determinism tests: four tenants, interleaved arrivals and departures *)
+let tenant_mix_lines () =
+  let lines = ref [] in
+  let emit fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  let tenants = [| "alpha"; "beta"; "gamma"; "delta" |] in
+  for i = 0 to 39 do
+    let tn = tenants.(i mod 4) in
+    let t = i / 4 in
+    if i >= 24 && i mod 8 < 2 then emit "DEPART %s %d %d" tn t (i mod 8)
+    else emit "ARRIVE %s %d %d %d,%d" tn t i ((i * 13 mod 50) + 5) ((i * 7 mod 40) + 5)
+  done;
+  Array.of_list (List.rev !lines)
+
+let batch_tests =
+  [
+    Alcotest.test_case "handle_batch isolates failures and interleaves control"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let t = fresh_server ~journal () in
+            let replies =
+              Server.handle_batch t
+                [|
+                  "ARRIVE 0 0 60,10";
+                  "ARRIVE t1 0 0 60,10";  (* same id, own tenant: placed *)
+                  "BOGUS LINE";
+                  "ARRIVE 1 0 5,5";  (* duplicate id in default tenant *)
+                  "STATS";
+                  "DEPART t1 2 0";
+                  "QUIT";
+                |]
+            in
+            check_int "every line answered" 7 (Array.length replies);
+            let reply i = fst replies.(i) in
+            check_string "default placed" "PLACED 0 1" (reply 0);
+            check_string "tenant t1 isolated" "PLACED 0 1" (reply 1);
+            check_bool "malformed is ERR" true (contains_sub (reply 2) "ERR");
+            check_bool "duplicate is REJECT" true (contains_sub (reply 3) "REJECT");
+            check_bool "STATS mid-batch" true (contains_sub (reply 4) "placements=2");
+            check_string "t1 departure" "OK" (reply 5);
+            check_string "quit reply" "BYE" (reply 6);
+            check_bool "quit flag only on QUIT" true
+              (Array.for_all (fun (_, q) -> not q) (Array.sub replies 0 6)
+              && snd replies.(6));
+            Server.close t;
+            (* only the three applied events were journaled, tenants intact *)
+            let r = ok_or_fail (Journal.read_file journal) in
+            let tenants =
+              List.map
+                (function
+                  | Journal.Arrive { tenant; _ } | Journal.Depart { tenant; _ } ->
+                      tenant)
+                r.Journal.events
+            in
+            check_bool "journal holds applied events with tenants" true
+              (tenants = [ dflt; "t1"; "t1" ])));
+    Alcotest.test_case "group commit fsyncs at the per-batch ceiling" `Quick
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let m = Metrics.create () in
+            let t =
+              ok_or_fail
+                (Server.create ~metrics:m
+                   {
+                     Server.policy = "mtf";
+                     seed = 7;
+                     capacity = cap;
+                     journal = Some journal;
+                     snapshot = None;
+                     snapshot_every = None;
+                     fsync_every = 4;
+                     jobs = 1;
+                   })
+            in
+            let arrive i = Printf.sprintf "ARRIVE %d %d 5,5" i i in
+            let batch_of lo n = Array.init n (fun k -> arrive (lo + k)) in
+            let fsyncs () = metric_value (metric_rows m) "dvbp_journal_fsyncs_total" in
+            (* 10 events at ceiling 4 -> ceil(10/4) = 3 commits *)
+            ignore (Server.handle_batch t (batch_of 0 10));
+            check_int "ceil(10/4) fsyncs" 3 (fsyncs ());
+            (* exactly one ceiling's worth -> exactly one more *)
+            ignore (Server.handle_batch t (batch_of 10 4));
+            check_int "one full chunk" 4 (fsyncs ());
+            (* control-only batches commit nothing *)
+            ignore (Server.handle_batch t [| "STATS"; "BOGUS" |]);
+            check_int "no events, no fsync" 4 (fsyncs ());
+            let rows = metric_rows m in
+            check_int "batch size histogram counts chunks" 4
+              (metric_value rows "dvbp_journal_batch_size_count");
+            check_int "batch size histogram sums events" 14
+              (metric_value rows "dvbp_journal_batch_size_sum");
+            check_int "waiters gauge resets after release" 0
+              (metric_value rows "dvbp_journal_group_commit_waiters");
+            Server.close t));
+    Alcotest.test_case "jobs=4 batch results are bit-identical to jobs=1" `Quick
+      (fun () ->
+        let lines = tenant_mix_lines () in
+        let t1 = fresh_server_jobs ~jobs:1 () in
+        let t4 = fresh_server_jobs ~jobs:4 () in
+        let r1 = Server.handle_batch t1 lines in
+        let r4 = Server.handle_batch t4 lines in
+        Array.iteri
+          (fun i (reply, _) -> check_string lines.(i) reply (fst r4.(i)))
+          r1;
+        (* everything up to the wall-clock latency fields is deterministic *)
+        let counters line =
+          let marker = " latency_mean_us" in
+          let n = String.length line and m = String.length marker in
+          let rec find i =
+            if i + m > n then line
+            else if String.sub line i m = marker then String.sub line 0 i
+            else find (i + 1)
+          in
+          find 0
+        in
+        check_string "aggregate STATS agree"
+          (counters (Server.stats_line t1))
+          (counters (Server.stats_line t4));
+        List.iter2
+          (fun (tn1, s1) (tn4, s4) ->
+            check_string "tenant order" tn1 tn4;
+            check_string ("fingerprint " ^ tn1) (Session.fingerprint s1)
+              (Session.fingerprint s4))
+          (Server.sessions t1) (Server.sessions t4);
+        Server.close t1;
+        Server.close t4);
+    Alcotest.test_case "event loop: per-connection FIFO, tenants isolated"
+      `Quick (fun () ->
+        (* two clients over socketpairs issue the same script under their
+           own tenants: each must see its own replies, in its own order,
+           with identical placements (isolation = same fresh packing) *)
+        let s_a, c_a = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let s_b, c_b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let t = fresh_server () in
+        let loop =
+          Domain.spawn (fun () -> Event_loop.serve ~conns:[ s_a; s_b ] t)
+        in
+        let script tn =
+          Printf.sprintf
+            "ARRIVE %s 0 0 60,10\nARRIVE %s 1 1 50,50\nDEPART %s 2 0\nQUIT\n" tn
+            tn tn
+        in
+        let send fd s =
+          ignore (Unix.write_substring fd s 0 (String.length s))
+        in
+        send c_a (script "a");
+        send c_b (script "b");
+        let read_all fd =
+          let buf = Bytes.create 4096 in
+          let out = Buffer.create 256 in
+          let rec go () =
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> Buffer.contents out
+            | n ->
+                Buffer.add_subbytes out buf 0 n;
+                go ()
+          in
+          go ()
+        in
+        let got_a = read_all c_a and got_b = read_all c_b in
+        Domain.join loop;
+        let expected = "PLACED 0 1\nPLACED 1 1\nOK\nBYE\n" in
+        check_string "client a FIFO replies" expected got_a;
+        check_string "client b FIFO replies" expected got_b;
+        Unix.close c_a;
+        Unix.close c_b);
+    Alcotest.test_case "append_to upgrades a v1 journal in place" `Quick
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let seal body =
+              let sum =
+                String.fold_left
+                  (fun acc c -> ((acc * 31) + Char.code c) land 0xffff)
+                  0 body
+              in
+              Printf.sprintf "%s,~%04x" body sum
+            in
+            (* v1: decimal times, no tenant field *)
+            let oc = open_out path in
+            output_string oc
+              (String.concat "\n"
+                 [
+                   "# dvbp-journal v1";
+                   "policy,mtf";
+                   "seed,7";
+                   "capacity,100,100";
+                   "base,0";
+                   seal "arrive,0.5,0,0,1,60,10";
+                   seal "depart,2,0";
+                   "";
+                 ]);
+            close_out oc;
+            let w, r = ok_or_fail (Journal.append_to ~path (header ())) in
+            check_int "read as v1" 1 r.Journal.version;
+            check_bool "v1 events own the default tenant" true
+              (List.for_all
+                 (function
+                   | Journal.Arrive { tenant; _ } | Journal.Depart { tenant; _ }
+                     -> tenant = dflt)
+                 r.Journal.events);
+            Journal.append w
+              (Journal.Depart { tenant = "t9"; time = 3.0; item_id = 99 });
+            Journal.close w;
+            (* the file is now v2 end to end and replays both grammars'
+               worth of history *)
+            let r' = ok_or_fail (Journal.read_file path) in
+            check_int "upgraded" 2 r'.Journal.version;
+            check_int "all events" 3 (List.length r'.Journal.events);
+            match List.hd r'.Journal.events with
+            | Journal.Arrive { time; _ } ->
+                check_bool "decimal time survives re-encode" true (time = 0.5)
+            | _ -> Alcotest.fail "first event should be the v1 arrival"));
+  ]
+
 let suites =
   [
     ("service.journal", journal_tests);
     ("service.snapshot", snapshot_tests);
     ("service.recovery", recovery_tests);
     ("service.server", server_tests);
+    ("service.batch", batch_tests);
     ("service.loadgen", loadgen_tests);
     ("service.metrics", metrics_tests);
   ]

@@ -31,6 +31,7 @@ module Server = Dvbp_service.Server
 module Loadgen = Dvbp_service.Loadgen
 module Metrics = Dvbp_service.Metrics
 module Session = Dvbp_engine.Session
+module Tenant = Dvbp_service.Tenant
 module Uniform_model = Dvbp_workload.Uniform_model
 module Vec = Dvbp_vec.Vec
 module Rng = Dvbp_prelude.Rng
@@ -256,6 +257,7 @@ let completed_run ~wrap n =
       snapshot = Some "sim/s.snap";
       snapshot_every = Some 4;
       fsync_every = 2;
+      jobs = 1;
     }
   in
   let inst =
@@ -293,6 +295,23 @@ let sweep_tests =
         let o = Sweep.run ~policy:"rf" ~seed:23 ~n:8 () in
         Printf.printf "%s\n" (Sweep.render o);
         check_bool "covered at least one boundary" true (o.Sweep.boundaries > 0);
+        check_bool "no failures" true (o.Sweep.failures = []));
+    Alcotest.test_case
+      "group-commit sweep: batched, multi-tenant recovery is bit-identical"
+      `Slow (fun () ->
+        (* the same exhaustive crash sweep, but lines driven through
+           handle_batch (group commit) with the workload spread over three
+           tenants — every boundary inside append_batch's write+fsync is
+           crashed too *)
+        let o = Sweep.run ~batch:4 ~tenants:3 ~n:(6 * budget) () in
+        Printf.printf "batched %s\n" (Sweep.render o);
+        check_bool "covered at least one boundary" true (o.Sweep.boundaries > 0);
+        check_bool "no failures" true (o.Sweep.failures = []));
+    Alcotest.test_case
+      "group-commit sweep: jobs=4 shards recover bit-identically too" `Slow
+      (fun () ->
+        let o = Sweep.run ~batch:4 ~tenants:3 ~jobs:4 ~n:(4 * budget) () in
+        Printf.printf "sharded %s\n" (Sweep.render o);
         check_bool "no failures" true (o.Sweep.failures = []));
     Alcotest.test_case "sensitivity smoke: sabotaged torn-record guard is caught"
       `Slow (fun () ->
@@ -342,6 +361,7 @@ let sweep_tests =
             snapshot = None;
             snapshot_every = None;
             fsync_every = 1;
+            jobs = 1;
           }
         in
         let m1 = Metrics.create () in
@@ -417,8 +437,14 @@ let sm_fsync_every = 3
    in a pure model. Crashes power-cut the fs, recovery is checked against
    the model (prefix-of-acked history, bounded loss, exact state agreement),
    then the model is rebased onto the surviving history and the schedule
-   continues on a resumed server. Raises [Failure] on any mismatch. *)
-let run_case (fs_seed, cmds) =
+   continues on a resumed server. Raises [Failure] on any mismatch.
+
+   [batch = Some b] drives requests through {!Server.handle_batch}, [b]
+   lines at a time (the group-commit path). Acks then carry a stronger
+   promise — a reply is only released after the whole batch is fsynced —
+   so the durability check tightens from "lose at most the fsync window"
+   to "lose {e nothing} acked", under every crash mode. *)
+let run_case ?batch (fs_seed, cmds) =
   let fs = Sim_fs.create ~seed:fs_seed () in
   let io = Sim_fs.io fs in
   let config =
@@ -430,6 +456,7 @@ let run_case (fs_seed, cmds) =
       snapshot = Some sm_snapshot;
       snapshot_every = None;
       fsync_every = sm_fsync_every;
+      jobs = 1;
     }
   in
   let server =
@@ -441,7 +468,9 @@ let run_case (fs_seed, cmds) =
   let clock = ref 0 in
   let next_id = ref 0 in
   let pending_mode = ref Sim_fs.Lose_unsynced in
-  let live_items () = List.concat_map snd !model.Ref_model.open_bins in
+  let live_items () =
+    List.concat_map snd (Ref_model.find !model Tenant.default).Ref_model.open_bins
+  in
   let recover_after mode =
     Sim_fs.crash fs ~mode;
     (* also clears any planted-but-unfired crash *)
@@ -464,12 +493,15 @@ let run_case (fs_seed, cmds) =
           let history = st.Recovery.history in
           let lh = List.length history in
           (* durability: what survived is a prefix of what was attempted —
-             the acked events plus at most one un-acked in-flight record *)
+             the acked events plus un-acked in-flight records (at most one
+             on the streaming path; up to a whole unreleased batch on the
+             group-commit path) *)
+          let slack = match batch with Some b -> b | None -> 1 in
           let rec agree i xs ys =
             match (xs, ys) with
             | _, [] -> ()
-            | [], _ :: extra ->
-                if extra <> [] then
+            | [], extra ->
+                if List.length extra > slack then
                   failwith
                     (Printf.sprintf "recovered %d events but only %d were acked"
                        lh la)
@@ -480,18 +512,26 @@ let run_case (fs_seed, cmds) =
                 else agree (i + 1) xs ys
           in
           agree 0 acked history;
-          if lh < la && la - lh > sm_fsync_every then
-            failwith
-              (Printf.sprintf
-                 "lost %d acked events, more than the fsync window of %d"
-                 (la - lh) sm_fsync_every);
-          (match mode with
-          | Sim_fs.Keep_unsynced ->
+          (match batch with
+          | Some _ ->
+              (* batch-ack invariant: a group-commit reply is released only
+                 after its fsync, so no crash mode may lose an acked event *)
               if lh < la then
-                failwith "keep-unsynced crash lost an acked (flushed) event"
-          | _ -> ());
+                failwith
+                  (Printf.sprintf "group commit lost %d acked events" (la - lh))
+          | None ->
+              if lh < la && la - lh > sm_fsync_every then
+                failwith
+                  (Printf.sprintf
+                     "lost %d acked events, more than the fsync window of %d"
+                     (la - lh) sm_fsync_every);
+              (match mode with
+              | Sim_fs.Keep_unsynced ->
+                  if lh < la then
+                    failwith "keep-unsynced crash lost an acked (flushed) event"
+              | _ -> ()));
           let m = Ref_model.of_events history in
-          (match Ref_model.agrees_with m st.Recovery.session with
+          (match Ref_model.agrees_with m st.Recovery.sessions with
           | Ok () -> ()
           | Error e -> failwith ("recovered session: " ^ e));
           (match Server.resume ~io config st with
@@ -500,10 +540,29 @@ let run_case (fs_seed, cmds) =
           model := m;
           applied := List.rev history
   in
+  (* group-commit driver: queue lines and submit them [b] at a time; a
+     crash mid-batch releases no replies, so the whole in-flight batch
+     goes un-acked (its events may still have reached the journal — the
+     recovery slack above) *)
+  let pending_batch = Queue.create () in
+  let flush_batch () =
+    if not (Queue.is_empty pending_batch) then begin
+      let items = Array.of_seq (Queue.to_seq pending_batch) in
+      Queue.clear pending_batch;
+      match Server.handle_batch !server (Array.map fst items) with
+      | replies -> Array.iteri (fun i (reply, _quit) -> snd items.(i) reply) replies
+      | exception Sim_fs.Crash -> recover_after !pending_mode
+    end
+  in
   let exec line on_reply =
-    match Server.handle_line !server line with
-    | reply, _quit -> on_reply reply
-    | exception Sim_fs.Crash -> recover_after !pending_mode
+    match batch with
+    | Some b ->
+        Queue.add (line, on_reply) pending_batch;
+        if Queue.length pending_batch >= b then flush_batch ()
+    | None -> (
+        match Server.handle_line !server line with
+        | reply, _quit -> on_reply reply
+        | exception Sim_fs.Crash -> recover_after !pending_mode)
   in
   List.iter
     (fun cmd ->
@@ -521,6 +580,7 @@ let run_case (fs_seed, cmds) =
                   let e =
                     Journal.Arrive
                       {
+                        tenant = Tenant.default;
                         time = float_of_int t;
                         item_id = id;
                         size = v [ s1; s2 ];
@@ -547,23 +607,37 @@ let run_case (fs_seed, cmds) =
               exec
                 (Printf.sprintf "DEPART %d %d" t id)
                 (fun reply ->
-                  if reply <> "OK" then
-                    failwith ("unexpected reply to DEPART: " ^ reply);
-                  let e = Journal.Depart { time = float_of_int t; item_id = id } in
-                  model := Ref_model.apply !model e;
-                  applied := e :: !applied))
+                  if reply = "OK" then begin
+                    let e =
+                      Journal.Depart
+                        { tenant = Tenant.default; time = float_of_int t; item_id = id }
+                    in
+                    model := Ref_model.apply !model e;
+                    applied := e :: !applied
+                  end
+                  else if
+                    (* batch mode picks the victim before earlier queued
+                       lines apply: a double departure inside one batch is
+                       refused, which is itself the isolation contract *)
+                    not
+                      (batch <> None
+                      && (String.length reply >= 3 && String.sub reply 0 3 = "ERR"))
+                  then failwith ("unexpected reply to DEPART: " ^ reply)))
       | Snap ->
           exec "SNAPSHOT" (fun reply ->
               if String.length reply < 2 || String.sub reply 0 2 <> "OK" then
                 failwith ("unexpected reply to SNAPSHOT: " ^ reply))
-      | Crash_now m -> recover_after (mode_of_int m)
+      | Crash_now m ->
+          flush_batch ();
+          recover_after (mode_of_int m)
       | Crash_at (ahead, m) ->
           pending_mode := mode_of_int m;
           Sim_fs.plan_crash fs ~at_op:(Sim_fs.ops fs + ahead))
     cmds;
+  flush_batch ();
   (* defuse any unfired planted crash, then check the live session *)
   Sim_fs.plan_crash fs ~at_op:max_int;
-  (match Ref_model.agrees_with !model (Server.session !server) with
+  (match Ref_model.agrees_with !model (Server.sessions !server) with
   | Ok () -> ()
   | Error e -> failwith ("live session: " ^ e));
   (* end with one more power cut: the final state must recover too *)
@@ -607,9 +681,24 @@ let sm_print (fs_seed, cmds) =
 let prop_state_machine =
   QCheck2.Test.make
     ~name:"random serve/crash/recover schedules agree with the pure model"
-    ~count:(200 * budget) ~print:sm_print sm_gen run_case
+    ~count:(200 * budget) ~print:sm_print sm_gen
+    (fun case -> run_case case)
 
-let statemachine_tests = [ qcheck prop_state_machine ]
+let sm_batch_gen =
+  QCheck2.Gen.(
+    let* b = 2 -- 7 in
+    let* case = sm_gen in
+    return (b, case))
+
+let prop_state_machine_batch =
+  QCheck2.Test.make
+    ~name:"group-commit schedules: every batch-acked event survives any crash"
+    ~count:(120 * budget)
+    ~print:(fun (b, case) -> Printf.sprintf "batch=%d %s" b (sm_print case))
+    sm_batch_gen
+    (fun (b, case) -> run_case ~batch:b case)
+
+let statemachine_tests = [ qcheck prop_state_machine; qcheck prop_state_machine_batch ]
 
 (* ------------------------------------------------------------------ *)
 (* sim.corruption: the record codec rejects single-byte corruption     *)
@@ -620,6 +709,7 @@ let event_gen =
     let* half_t = 0 -- 80 in
     let time = float_of_int half_t /. 2.0 in
     let* id = 0 -- 50 in
+    let* tenant = oneofl [ Tenant.default; "t1"; "acme-2"; "a.b_c" ] in
     let* is_arrive = bool in
     if is_arrive then
       let* d = 1 -- 3 in
@@ -628,8 +718,8 @@ let event_gen =
       let* opened_new_bin = bool in
       return
         (Journal.Arrive
-           { time; item_id = id; size = v sizes; bin_id; opened_new_bin })
-    else return (Journal.Depart { time; item_id = id }))
+           { tenant; time; item_id = id; size = v sizes; bin_id; opened_new_bin })
+    else return (Journal.Depart { tenant; time; item_id = id }))
 
 (* The checksum field is parsed case-insensitively ("0x" prefix hex), so a
    flip inside it can yield a cosmetically different record that decodes to
@@ -662,9 +752,10 @@ let corruption_tests =
         let w = Journal.create ~io ~path:"sim/j.log" header in
         Journal.append w
           (Journal.Arrive
-             { time = 0.0; item_id = 0; size = v [ 30; 20 ]; bin_id = 0;
-               opened_new_bin = true });
-        Journal.append w (Journal.Depart { time = 2.0; item_id = 0 });
+             { tenant = Tenant.default; time = 0.0; item_id = 0;
+               size = v [ 30; 20 ]; bin_id = 0; opened_new_bin = true });
+        Journal.append w
+          (Journal.Depart { tenant = Tenant.default; time = 2.0; item_id = 0 });
         Journal.close w;
         let content = Option.get (Sim_fs.contents fs "sim/j.log") in
         let len = String.length content in
@@ -709,11 +800,17 @@ let hygiene_tests =
             let session = Dvbp_engine.Session.create ~capacity:cap
                 ~policy:(ok_or_fail (Dvbp_core.Policy.of_name
                                         ~rng:(Rng.create ~seed:1) "mtf")) () in
-            let digest =
-              Snapshot.digest_of_session ~policy:"mtf" ~seed:1 ~capacity:cap
-                ~history:[] session
+            let snap =
+              {
+                Snapshot.policy = "mtf";
+                seed = 1;
+                capacity = cap;
+                digests =
+                  [ Snapshot.digest_of_session ~tenant:Tenant.default session ];
+                history = [];
+              }
             in
-            Snapshot.write ~path digest;
+            Snapshot.write ~path snap;
             check_bool "snapshot written" true (Sys.file_exists path);
             check_bool "no tmp leftover" false (Sys.file_exists (path ^ ".tmp"))));
     Alcotest.test_case
@@ -734,14 +831,14 @@ let hygiene_tests =
           (List.length before.Recovery.history)
           (List.length after.Recovery.history);
         check_string "same recovered state"
-          (Session.fingerprint before.Recovery.session)
-          (Session.fingerprint after.Recovery.session);
+          (Session.fingerprint (Recovery.session before))
+          (Session.fingerprint (Recovery.session after));
         (* resume serving and snapshot again: the stale tmps are overwritten
            harmlessly and renamed away *)
         let server = ok_or_fail (Server.resume ~io
           { Server.policy = "mtf"; seed = 7; capacity = cap;
             journal = Some "sim/j.log"; snapshot = Some "sim/s.snap";
-            snapshot_every = Some 4; fsync_every = 2 } after) in
+            snapshot_every = Some 4; fsync_every = 2; jobs = 1 } after) in
         let reply, _ = Server.handle_line server "SNAPSHOT" in
         check_bool "snapshot succeeds over stale tmps" true
           (String.length reply >= 2 && String.sub reply 0 2 = "OK");

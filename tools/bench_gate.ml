@@ -95,6 +95,42 @@ let cells body =
   done;
   List.rev !cells
 
+(* first JSON number following [key], starting the search at [start] *)
+let number_after txt key start =
+  match find_from txt key start with
+  | None -> None
+  | Some i ->
+      let n = String.length txt in
+      let j = ref (i + String.length key) in
+      while
+        !j < n && (match txt.[!j] with ':' | ' ' | '\n' -> true | _ -> false)
+      do
+        incr j
+      done;
+      let num_start = !j in
+      while
+        !j < n
+        &&
+        match txt.[!j] with
+        | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+        | _ -> false
+      do
+        incr j
+      done;
+      if !j > num_start then
+        float_of_string_opt (String.sub txt num_start (!j - num_start))
+      else None
+
+(* the journaled events/s of the single-client service loadgen line:
+   "service_loadgen": { ..., "journaled": { ..., "events_per_sec": V } } *)
+let service_journaled_eps txt =
+  match find_from txt "\"service_loadgen\"" 0 with
+  | None -> None
+  | Some s -> (
+      match find_from txt "\"journaled\"" s with
+      | None -> None
+      | Some j -> number_after txt "\"events_per_sec\"" j)
+
 let () =
   let baseline = ref "" and current = ref "" in
   let min_ratio = ref 0.8 in
@@ -155,6 +191,26 @@ let () =
   |> List.iter (fun p ->
          let p = String.trim p in
          if p <> "" then gate p);
+  (* the durable-service line rides the same floor: journaled events/s
+     must not regress either (missing from either file = loud failure,
+     so renaming the section can never pass the gate by absence) *)
+  (match (service_journaled_eps base_txt, service_journaled_eps cur_txt) with
+  | None, _ ->
+      Printf.eprintf "bench_gate: service_loadgen journaled line missing from %s\n"
+        !baseline;
+      incr failures
+  | _, None ->
+      Printf.eprintf "bench_gate: service_loadgen journaled line missing from %s\n"
+        !current;
+      incr failures
+  | Some bv, Some cv ->
+      incr checked;
+      let ratio = cv /. bv in
+      let ok = ratio >= !min_ratio in
+      Printf.printf "%-4s %-10s baseline %12.1f  current %12.1f  %5.2fx  %s\n"
+        "svc" "journaled" bv cv ratio
+        (if ok then "ok" else "REGRESSION");
+      if not ok then incr failures);
   if !checked = 0 then begin
     Printf.eprintf "bench_gate: nothing checked\n";
     exit 2
