@@ -133,7 +133,27 @@ let regenerate_scenarios () =
   banner "SCENARIO — flash crowd (burst arrivals; alignment stress)";
   print_string
     (X.Scenarios.render ~title:"cost / LB; * = clairvoyant"
-       (X.Scenarios.flash_crowd ~instances:20 ()))
+       (X.Scenarios.flash_crowd ~instances:20 ()));
+  banner "SCENARIO — diurnal arrivals (sinusoidal rate; trough consolidation)";
+  print_string
+    (X.Scenarios.render ~title:"cost / LB; * = clairvoyant"
+       (X.Scenarios.diurnal ~instances:20 ()));
+  banner "SCENARIO — heavy-tailed durations (Pareto lifetimes; stragglers)";
+  print_string
+    (X.Scenarios.render ~title:"cost / LB; * = clairvoyant"
+       (X.Scenarios.heavy_tail ~instances:20 ()));
+  banner "SCENARIO — flash crowd with decay (spike + exponential trail-off)";
+  print_string
+    (X.Scenarios.render ~title:"cost / LB; * = clairvoyant"
+       (X.Scenarios.flash_crowd_decay ~instances:20 ()));
+  banner "SCENARIO — azure mix (2-d cpu:mem catalogue; correlated demands)";
+  print_string
+    (X.Scenarios.render ~title:"cost / LB; * = clairvoyant"
+       (X.Scenarios.azure_mix ~instances:20 ()));
+  banner "SWEEP — diurnal amplitude 0 -> 0.9 (drain-and-refill exploitation)";
+  print_string
+    (X.Scenarios.render_sweep ~title:"cost / LB; * = clairvoyant"
+       (X.Scenarios.diurnal_amplitude_sweep ~instances:12 ()))
 
 let regenerate_significance () =
   banner "SIGNIFICANCE — is the Figure 4 ordering statistically real?";
@@ -518,9 +538,49 @@ let run_json path =
   in
   Printf.eprintf "bench loadgen multi x%d  %12.0f events/sec (journaled)\n%!"
     mc_clients lg_mc.Dvbp_service.Loadgen.mr_events_per_sec;
+  (* trace store: compile a sharded binary trace, then stream it straight
+     into an engine session — the raw replay path, no server in the way *)
+  let tr_shards = 4 in
+  let tr_shard_n = 25_000 in
+  let tr_stats =
+    let tmp = Filename.temp_file "dvbp_bench_trace" ".dvbpt" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+      (fun () ->
+        let fatal e =
+          prerr_endline ("FATAL: trace replay bench failed: " ^ e);
+          exit 1
+        in
+        let gen k =
+          W.Uniform_model.generate
+            { (W.Uniform_model.table2 ~d:2 ~mu:100) with W.Uniform_model.n = tr_shard_n }
+            ~rng:(Rng.create ~seed:(7 + k))
+        in
+        (match
+           Dvbp_tracestore.Compile.sharded ~path:tmp ~shards:tr_shards ~gen ()
+         with
+        | Ok _ -> ()
+        | Error e -> fatal e);
+        match
+          Dvbp_tracestore.Trace_reader.with_file tmp (fun reader ->
+              let policy = Core.Policy.of_name_exn ~rng:(Rng.create ~seed:3) "mtf" in
+              let session =
+                Engine_session.create ~record_trace:false
+                  ~capacity:(Dvbp_tracestore.Trace_reader.header reader).Dvbp_tracestore.Binfmt.capacity
+                  ~policy ()
+              in
+              Dvbp_tracestore.Replay.into_session ~clock:Unix.gettimeofday
+                reader session)
+        with
+        | Ok stats -> stats
+        | Error e -> fatal e)
+  in
+  Printf.eprintf "bench trace replay       %12.0f events/sec (%d events)\n%!"
+    tr_stats.Dvbp_tracestore.Replay.events_per_sec
+    tr_stats.Dvbp_tracestore.Replay.events;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"label\": \"pr7\",\n";
+  Buffer.add_string buf "  \"label\": \"pr8\",\n";
   Buffer.add_string buf "  \"generated_by\": \"bench/main.ml --json\",\n";
   Buffer.add_string buf
     (Printf.sprintf
@@ -622,7 +682,17 @@ let run_json path =
            (if i = n_clients - 1 then "" else ",")))
     lg_mc.Dvbp_service.Loadgen.per_client;
   Buffer.add_string buf "    }\n";
-  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"trace_replay\": { \"shards\": %d, \"items_per_shard\": %d, \
+        \"events\": %d, \"blocks\": %d, \"wall_seconds\": %.3f, \
+        \"events_per_sec\": %.1f, \"resident_bytes_max\": %d }\n"
+       tr_shards tr_shard_n tr_stats.Dvbp_tracestore.Replay.events
+       tr_stats.Dvbp_tracestore.Replay.blocks
+       tr_stats.Dvbp_tracestore.Replay.wall_seconds
+       tr_stats.Dvbp_tracestore.Replay.events_per_sec
+       tr_stats.Dvbp_tracestore.Replay.resident_bytes_max);
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -654,7 +724,7 @@ let () =
         let path, rest =
           match rest with
           | p :: rest' when not (String.length p > 0 && p.[0] = '-') -> (p, rest')
-          | _ -> ("BENCH_pr7.json", rest)
+          | _ -> ("BENCH_pr8.json", rest)
         in
         parse ~json:(Some path) ~jobs rest
     | arg :: _ -> fail (Printf.sprintf "unknown argument %S" arg)

@@ -12,7 +12,8 @@
      serve     durable online placement service (line protocol on stdio)
      recover   rebuild + verify service state from journal/snapshot
      loadgen   replay a workload against a live server, report throughput
-     metrics   pretty-print a METRICS / --metrics-dump snapshot *)
+     metrics   pretty-print a METRICS / --metrics-dump snapshot
+     trace     compile / info / verify / replay binary traces *)
 
 open Cmdliner
 module Rng = Dvbp_prelude.Rng
@@ -41,14 +42,19 @@ let instances_arg default =
 
 module Cli = Dvbp_cli_lib
 
+let workload_names = String.concat ", " Cli.Workload_select.known_workloads
+
 let workload_arg =
   Arg.(value & opt string "uniform"
        & info [ "workload" ] ~docv:"NAME"
-           ~doc:"Workload: uniform, gaming, vm, correlated, or bursty.")
+           ~doc:("Workload: " ^ workload_names
+                 ^ ". See $(b,dvbp describe --list) for one-line blurbs."))
 
 let trace_arg =
   Arg.(value & opt (some file) None
-       & info [ "trace" ] ~docv:"FILE" ~doc:"Replay a CSV trace instead of generating.")
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Replay a trace file (CSV or compiled binary, sniffed by \
+                 magic) instead of generating.")
 
 let policy_arg =
   Arg.(value & opt string "mtf"
@@ -195,16 +201,27 @@ let adversary_cmd =
 (* ---------- describe ---------- *)
 
 let describe_cmd =
-  let action workload trace d mu n rho seed =
-    match build_instance ~workload ~trace ~d ~mu ~n ~rho ~seed with
-    | Error e -> prerr_endline e; 1
-    | Ok instance ->
-        print_string (W.Describe.render (W.Describe.measure instance));
-        0
+  let list_arg =
+    Arg.(value & flag
+         & info [ "list" ]
+             ~doc:"List every workload family with a one-line description and \
+                   exit.")
+  in
+  let action list workload trace d mu n rho seed =
+    if list then begin
+      print_string (W.Describe.render_families ());
+      0
+    end
+    else
+      match build_instance ~workload ~trace ~d ~mu ~n ~rho ~seed with
+      | Error e -> prerr_endline e; 1
+      | Ok instance ->
+          print_string (W.Describe.render (W.Describe.measure instance));
+          0
   in
   Cmd.v (Cmd.info "describe" ~doc:"Summary statistics of a workload or trace")
-    Term.(const action $ workload_arg $ trace_arg $ d_arg $ mu_arg $ n_arg
-          $ rho_arg $ seed_arg)
+    Term.(const action $ list_arg $ workload_arg $ trace_arg $ d_arg $ mu_arg
+          $ n_arg $ rho_arg $ seed_arg)
 
 (* ---------- opt ---------- *)
 
@@ -398,12 +415,86 @@ let metrics_cmd =
     (Cmd.info "metrics" ~doc:"Pretty-print a Prometheus-style metrics snapshot")
     Term.(const action $ file_pos)
 
+(* ---------- trace ---------- *)
+
+let trace_group_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output trace path.")
+  in
+  let block_size_arg =
+    Arg.(value & opt (some int) None
+         & info [ "block-size" ] ~docv:"RECORDS"
+             ~doc:"Records per block (default 512) — the unit of streaming \
+                   reads and of seeking.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Chain $(docv) re-seeded copies of the source end to end \
+                   (times shifted, ids offset). Compile memory stays \
+                   O(one shard), so this is how multi-million-event traces \
+                   are built.")
+  in
+  let from_model_arg =
+    Arg.(value & opt string "uniform"
+         & info [ "from-model" ] ~docv:"NAME"
+             ~doc:("Generator family to compile: " ^ workload_names ^ "."))
+  in
+  let file_pos =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE")
+  in
+  let emit = function
+    | Ok out -> print_string out; 0
+    | Error e -> prerr_endline e; 1
+  in
+  let compile_cmd =
+    let action workload trace d mu n rho seed out block_size shards =
+      emit
+        (Cli.Trace_cli.compile
+           { Cli.Trace_cli.co_source =
+               { Cli.Workload_select.workload; trace; d; mu; n; rho; seed };
+             co_out = out; co_block_size = block_size; co_shards = shards })
+    in
+    Cmd.v
+      (Cmd.info "compile"
+         ~doc:"Compile a generator family or CSV trace to the binary format")
+      Term.(const action $ from_model_arg $ trace_arg $ d_arg $ mu_arg $ n_arg
+            $ rho_arg $ seed_arg $ out_arg $ block_size_arg $ shards_arg)
+  in
+  let info_cmd =
+    let action path = emit (Cli.Trace_cli.info path) in
+    Cmd.v (Cmd.info "info" ~doc:"Print a binary trace's header and geometry")
+      Term.(const action $ file_pos)
+  in
+  let verify_cmd =
+    let action path = emit (Cli.Trace_cli.verify path) in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Full-scan integrity check: every CRC and the event sort order")
+      Term.(const action $ file_pos)
+  in
+  let replay_cmd =
+    let action path policy seed =
+      emit (Cli.Trace_cli.replay ~policy ~seed path)
+    in
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:"Stream a binary trace through an engine session and report \
+               throughput")
+      Term.(const action $ file_pos $ policy_arg $ seed_arg)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Compile, inspect, verify and replay binary traces")
+    [ compile_cmd; info_cmd; verify_cmd; replay_cmd ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dvbp" ~version:"1.0.0"
        ~doc:"MinUsageTime Dynamic Vector Bin Packing — simulator and experiments")
     [ run_cmd; figure4_cmd; table1_cmd; table2_cmd; figures_cmd; adversary_cmd;
-      describe_cmd; opt_cmd; serve_cmd; recover_cmd; loadgen_cmd; metrics_cmd ]
+      describe_cmd; opt_cmd; serve_cmd; recover_cmd; loadgen_cmd; metrics_cmd;
+      trace_group_cmd ]
 
 (* Error-path hardening: whatever escapes a subcommand becomes one line on
    stderr and a non-zero exit, never a raw backtrace. *)

@@ -126,7 +126,23 @@ type loadgen_opts = {
   emit : bool;
 }
 
-let loadgen (o : loadgen_opts) =
+(* A binary --trace streams through {!Service.Loadgen.run_stream} (bounded
+   memory, any length); everything else materialises an instance first.
+   [--emit] still materialises even a binary trace — it has to print the
+   whole script anyway. *)
+let loadgen_stream (o : loadgen_opts) path =
+  if o.lg_clients > 1 then
+    Error "--clients > 1 is not supported when streaming a binary trace"
+  else
+    let* report =
+      Service.Loadgen.run_stream ~policy:o.lg_policy ~seed:o.lg_seed
+        ?journal:o.lg_journal ?snapshot:o.lg_snapshot
+        ?snapshot_every:o.lg_snapshot_every ?fsync_every:o.lg_fsync_every
+        ?connect:o.lg_connect path
+    in
+    Ok (Service.Loadgen.render_stream report)
+
+let loadgen_materialised (o : loadgen_opts) =
   let* instance = Workload_select.build o.source in
   if o.emit then Ok (String.concat "\n" (Service.Loadgen.script instance) ^ "\n")
   else if o.lg_clients < 0 then Error "--clients must be >= 0"
@@ -159,3 +175,10 @@ let loadgen (o : loadgen_opts) =
               instances
           in
           Ok (Service.Loadgen.render_multi report)
+
+let loadgen (o : loadgen_opts) =
+  match o.source.Workload_select.trace with
+  | Some path when (not o.emit) && Dvbp_tracestore.Trace_reader.sniff_magic path
+    ->
+      loadgen_stream o path
+  | _ -> loadgen_materialised o

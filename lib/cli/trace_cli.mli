@@ -1,0 +1,23 @@
+(** The [dvbp trace] subcommand family: compile, inspect, verify and
+    replay binary traces. Lives in the library so every path (including
+    the error messages) is unit-testable without spawning the binary. *)
+
+type compile_opts = {
+  co_source : Workload_select.source;
+      (** what to compile: a generator family ([--from-model]) or an
+          existing CSV trace *)
+  co_out : string;
+  co_block_size : int option;
+  co_shards : int;
+      (** > 1 chains that many re-seeded copies of the source end to end
+          with O(shard) compile memory *)
+}
+
+val compile : compile_opts -> (string, string) result
+val info : string -> (string, string) result
+val verify : string -> (string, string) result
+
+val replay :
+  policy:string -> seed:int -> string -> (string, string) result
+(** Streams the trace through an in-process engine session and reports
+    replay throughput, the resident window and the packing outcome. *)

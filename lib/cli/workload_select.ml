@@ -11,11 +11,20 @@ type source = {
   seed : int;
 }
 
-let known_workloads = [ "uniform"; "gaming"; "vm"; "correlated"; "bursty" ]
+let known_workloads = List.map fst W.Describe.families
+
+(* A --trace file may be CSV or the compiled binary format; sniff the
+   magic rather than trusting an extension. The binary path materialises
+   the instance (fine for describe/run/opt on modest traces) — streaming
+   replay lives in Loadgen/Replay and never comes through here. *)
+let read_trace path =
+  if Dvbp_tracestore.Trace_reader.sniff_magic path then
+    Dvbp_tracestore.Trace_reader.with_file path Dvbp_tracestore.Compile.to_instance
+  else W.Trace_io.read_file path
 
 let build s =
   match s.trace with
-  | Some path -> W.Trace_io.read_file path
+  | Some path -> read_trace path
   | None -> (
       let rng = Rng.create ~seed:s.seed in
       let uniform_params =
@@ -36,6 +45,20 @@ let build s =
         | "bursty" ->
             Ok (W.Bursty.generate
                   { W.Bursty.default with W.Bursty.base = uniform_params } ~rng)
+        | "diurnal" ->
+            Ok (W.Diurnal.generate
+                  { W.Diurnal.default with W.Diurnal.base = uniform_params } ~rng)
+        | "heavytail" ->
+            Ok (W.Heavy_tail.generate
+                  { W.Heavy_tail.default with W.Heavy_tail.base = uniform_params }
+                  ~rng)
+        | "flashcrowd" ->
+            Ok (W.Flash_crowd.generate
+                  { W.Flash_crowd.default with W.Flash_crowd.base = uniform_params }
+                  ~rng)
+        | "azure" ->
+            Ok (W.Azure_mix.generate
+                  { W.Azure_mix.default with W.Azure_mix.n = s.n } ~rng)
         | other ->
             Error
               (Printf.sprintf "unknown workload %S (known: %s)" other

@@ -75,6 +75,7 @@ let create ?(record_trace = true) ?(expected_items = 64) ?(fit_kernel = `Auto)
   }
 
 let now t = t.clock.time
+let capacity t = t.capacity
 
 (* [kind]/[item] name the offending event in time errors so they are
    diagnosable from a journal replay. Both are immediates ([item] is [-1]
@@ -232,6 +233,16 @@ let depart t ~at ~item_id =
   | exception (Session_error _ as e) ->
       t.stat_rejects <- t.stat_rejects + 1;
       raise e
+
+type event =
+  | Arrive of { at : float; id : int option; size : Vec.t }
+  | Depart of { at : float; item_id : int }
+
+let apply t = function
+  | Arrive { at; id; size } -> Some (arrive t ~at ?id ~size ())
+  | Depart { at; item_id } ->
+      depart t ~at ~item_id;
+      None
 
 let open_bins t = Bin_registry.to_list t.open_bins
 

@@ -63,6 +63,17 @@ val depart : t -> at:float -> item_id:int -> unit
     @raise Session_error on unknown or already-departed items, or
     non-monotonic time. *)
 
+type event =
+  | Arrive of { at : float; id : int option; size : Dvbp_vec.Vec.t }
+  | Depart of { at : float; item_id : int }
+      (** A session event as a value — what streaming drivers (the trace
+          store's replay, the service loadgen) carry around instead of
+          closures over {!arrive}/{!depart}. *)
+
+val apply : t -> event -> placement option
+(** Feeds one event: [Arrive] calls {!arrive} (returning [Some placement]),
+    [Depart] calls {!depart} (returning [None]). Same exceptions. *)
+
 val finish : t -> at:float -> Dvbp_core.Packing.t
 (** Departs every still-active item at [at] and returns the final packing.
     The session cannot be used afterwards.
@@ -72,6 +83,9 @@ val finish : t -> at:float -> Dvbp_core.Packing.t
 
 val now : t -> float
 (** Timestamp of the last event ([0.] for a fresh session). *)
+
+val capacity : t -> Dvbp_vec.Vec.t
+(** The bin capacity the session was created with. *)
 
 val open_bins : t -> Dvbp_core.Bin.t list
 (** Currently open bins in opening order. Callers must not mutate. *)

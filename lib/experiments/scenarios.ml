@@ -28,4 +28,55 @@ let flash_crowd ?pool ?jobs ?(instances = 30) ?(seed = 42) () =
     ~gen:(fun ~rng -> W.Bursty.generate W.Bursty.default ~rng)
     ~competitors:(competitors ()) ()
 
+(* {2 Cloud-calibrated families (trace-store PR)} *)
+
+let diurnal ?pool ?jobs ?(instances = 30) ?(seed = 42) ?(n = 600) () =
+  let base = { W.Diurnal.default.W.Diurnal.base with W.Uniform_model.n } in
+  let params = { W.Diurnal.default with W.Diurnal.base = base } in
+  Runner.ratio_stats ?pool ?jobs ~instances ~seed
+    ~gen:(fun ~rng -> W.Diurnal.generate params ~rng)
+    ~competitors:(competitors ()) ()
+
+let heavy_tail ?pool ?jobs ?(instances = 30) ?(seed = 42) ?(n = 600) () =
+  let base = { W.Heavy_tail.default.W.Heavy_tail.base with W.Uniform_model.n } in
+  let params = { W.Heavy_tail.default with W.Heavy_tail.base = base } in
+  Runner.ratio_stats ?pool ?jobs ~instances ~seed
+    ~gen:(fun ~rng -> W.Heavy_tail.generate params ~rng)
+    ~competitors:(competitors ()) ()
+
+(* distinct from {!flash_crowd} above (the Bursty flat-window model):
+   this is the asymmetric spike-and-decay family *)
+let flash_crowd_decay ?pool ?jobs ?(instances = 30) ?(seed = 42) () =
+  Runner.ratio_stats ?pool ?jobs ~instances ~seed
+    ~gen:(fun ~rng -> W.Flash_crowd.generate W.Flash_crowd.default ~rng)
+    ~competitors:(competitors ()) ()
+
+let azure_mix ?pool ?jobs ?(instances = 30) ?(seed = 42) ?(n = 600) () =
+  let params = { W.Azure_mix.default with W.Azure_mix.n } in
+  Runner.ratio_stats ?pool ?jobs ~instances ~seed
+    ~gen:(fun ~rng -> W.Azure_mix.generate params ~rng)
+    ~competitors:(competitors ()) ()
+
+(* Figure-4-style parameter sweep over the diurnal modulation depth: at
+   amplitude 0 this degenerates to a plain Poisson stream, at 0.9 the
+   troughs nearly empty — the sweep shows which policies exploit the
+   drain-and-refill cycles. *)
+let diurnal_amplitude_sweep ?pool ?jobs ?(instances = 30) ?(seed = 42)
+    ?(amplitudes = [ 0.0; 0.3; 0.6; 0.9 ]) () =
+  List.map
+    (fun amplitude ->
+      let params = { W.Diurnal.default with W.Diurnal.amplitude = amplitude } in
+      ( amplitude,
+        Runner.ratio_stats ?pool ?jobs ~instances ~seed
+          ~gen:(fun ~rng -> W.Diurnal.generate params ~rng)
+          ~competitors:(competitors ()) () ))
+    amplitudes
+
 let render = Ablations.render
+
+let render_sweep ~title rows =
+  String.concat ""
+    (List.map
+       (fun (amplitude, stats) ->
+         render ~title:(Printf.sprintf "%s (amplitude %.1f)" title amplitude) stats)
+       rows)

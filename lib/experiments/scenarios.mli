@@ -19,4 +19,40 @@ val vm_placement :
 val flash_crowd :
   ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> unit -> (string * Runner.stats) list
 
+(** {1 Cloud-calibrated families}
+
+    The four generator families added with the trace store, run through
+    the same ratio harness. *)
+
+val diurnal :
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> ?n:int -> unit -> (string * Runner.stats) list
+
+val heavy_tail :
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> ?n:int -> unit -> (string * Runner.stats) list
+
+val flash_crowd_decay :
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> unit -> (string * Runner.stats) list
+(** The asymmetric spike-and-decay family ({!Dvbp_workload.Flash_crowd}),
+    as opposed to {!flash_crowd}, which runs the older flat-window
+    {!Dvbp_workload.Bursty} model. *)
+
+val azure_mix :
+  ?pool:Dvbp_parallel.Domain_pool.t -> ?jobs:int -> ?instances:int -> ?seed:int -> ?n:int -> unit -> (string * Runner.stats) list
+
+val diurnal_amplitude_sweep :
+  ?pool:Dvbp_parallel.Domain_pool.t ->
+  ?jobs:int ->
+  ?instances:int ->
+  ?seed:int ->
+  ?amplitudes:float list ->
+  unit ->
+  (float * (string * Runner.stats) list) list
+(** Figure-4-style sweep over the diurnal modulation depth (default
+    amplitudes 0, 0.3, 0.6, 0.9): how much of the drain-and-refill cycle
+    each policy converts into fewer open bins. *)
+
 val render : title:string -> (string * Runner.stats) list -> string
+
+val render_sweep :
+  title:string -> (float * (string * Runner.stats) list) list -> string
+(** One {!render} block per amplitude. *)

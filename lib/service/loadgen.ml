@@ -534,6 +534,226 @@ let run_connect ~policy ~seed ~path ?(window = 256) (instances : Instance.t list
       mr_server_metrics = "";
     }
 
+(* {2 Streaming trace driver} *)
+
+module Trace_reader = Dvbp_tracestore.Trace_reader
+module Binfmt = Dvbp_tracestore.Binfmt
+module Replay = Dvbp_tracestore.Replay
+
+type stream_report = {
+  st_report : report;
+  st_blocks : int;
+  st_resident_bytes_max : int;
+}
+
+let stream_request_line (ev : Binfmt.event) =
+  match ev.Binfmt.ev_kind with
+  | `Arrive ->
+      Printf.sprintf "ARRIVE %.17g %d %s" ev.Binfmt.ev_time ev.Binfmt.ev_id
+        (String.concat ","
+           (List.map string_of_int (Array.to_list ev.Binfmt.ev_size)))
+  | `Depart -> Printf.sprintf "DEPART %.17g %d" ev.Binfmt.ev_time ev.Binfmt.ev_id
+
+(* the incremental shadow: expected reply for one streamed event *)
+let stream_expected shadow (ev : Binfmt.event) =
+  match ev.Binfmt.ev_kind with
+  | `Arrive ->
+      let pl =
+        Session.arrive shadow ~at:ev.Binfmt.ev_time ~id:ev.Binfmt.ev_id
+          ~size:(Vec.of_array ev.Binfmt.ev_size) ()
+      in
+      Printf.sprintf "PLACED %d %d" pl.Session.bin_id
+        (if pl.Session.opened_new_bin then 1 else 0)
+  | `Depart ->
+      Session.depart shadow ~at:ev.Binfmt.ev_time ~item_id:ev.Binfmt.ev_id;
+      "OK"
+
+(* Drive a server straight from a compiled binary trace, one block at a
+   time, never materialising the instance: the shadow session advances
+   event by event alongside the reader, and each block's requests are
+   pipelined as one write / one verified bulk read. Memory is the
+   reader's window plus one block of request/reply text plus the shadow's
+   active items — independent of the trace length. *)
+let run_stream ~policy ~seed ?journal ?snapshot ?snapshot_every
+    ?(fsync_every = 64) ?connect ?probe path =
+  let* reader = Trace_reader.open_file path in
+  Fun.protect ~finally:(fun () -> Trace_reader.close reader) @@ fun () ->
+  let header = Trace_reader.header reader in
+  let capacity = header.Binfmt.capacity in
+  (match probe with None -> () | Some p -> Replay.touch p reader);
+  let* shadow_policy = Policy.of_name ~rng:(Tenant.rng ~seed Tenant.default) policy in
+  let shadow =
+    Session.create ~record_trace:false ~capacity ~policy:shadow_policy ()
+  in
+  (* transport: an in-process server on pipes (as in {!run}) or an
+     external [serve --listen] unix socket *)
+  let* ic, oc, join =
+    match connect with
+    | Some path -> (
+        try
+          let fd = Unix.socket ~cloexec:false Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          Ok
+            ( Unix.in_channel_of_descr fd,
+              Unix.out_channel_of_descr fd,
+              fun () -> () )
+        with Unix.Unix_error (e, fn, _) ->
+          Error (Printf.sprintf "connect %s: %s: %s" path fn (Unix.error_message e)))
+    | None ->
+        let* server =
+          Server.create
+            {
+              Server.policy;
+              seed;
+              capacity;
+              journal;
+              snapshot;
+              snapshot_every;
+              fsync_every;
+              jobs = 1;
+            }
+        in
+        let req_r, req_w = Unix.pipe ~cloexec:false () in
+        let resp_r, resp_w = Unix.pipe ~cloexec:false () in
+        let dom =
+          Domain.spawn (fun () ->
+              let ic = Unix.in_channel_of_descr req_r in
+              let oc = Unix.out_channel_of_descr resp_w in
+              Fun.protect
+                ~finally:(fun () ->
+                  close_in_noerr ic;
+                  close_out_noerr oc)
+                (fun () -> Server.serve server ic oc))
+        in
+        Ok
+          ( Unix.in_channel_of_descr resp_r,
+            Unix.out_channel_of_descr req_w,
+            fun () -> Domain.join dom )
+  in
+  let latency = Histogram.create () in
+  let req = Buffer.create 65536 in
+  let expected = Buffer.create 8192 in
+  let events = ref 0 in
+  let blocks = Trace_reader.blocks reader in
+  let drive_block i =
+    let* evs = Trace_reader.read_block reader i in
+    Buffer.clear req;
+    Buffer.clear expected;
+    let* want =
+      try
+        List.iter
+          (fun ev ->
+            Buffer.add_string req (stream_request_line ev);
+            Buffer.add_char req '\n';
+            Buffer.add_string expected (stream_expected shadow ev);
+            Buffer.add_char expected '\n')
+          evs;
+        Ok (List.length evs)
+      with Session.Session_error msg ->
+        Error (Printf.sprintf "shadow session refused block %d: %s" i msg)
+    in
+    let t0 = Unix.gettimeofday () in
+    Buffer.output_buffer oc req;
+    flush oc;
+    let got = Buffer.create (Buffer.length expected) in
+    let rec collect seen =
+      if seen = want then Ok ()
+      else
+        match input_line ic with
+        | line ->
+            Buffer.add_string got line;
+            Buffer.add_char got '\n';
+            collect (seen + 1)
+        | exception End_of_file ->
+            Error (Printf.sprintf "server died in block %d" i)
+    in
+    let* () = collect 0 in
+    Histogram.observe_n latency ((Unix.gettimeofday () -. t0) *. 1e6) want;
+    if not (String.equal (Buffer.contents got) (Buffer.contents expected)) then
+      (* re-derive the offending line for the error message *)
+      let got_lines = String.split_on_char '\n' (Buffer.contents got) in
+      let exp_lines = String.split_on_char '\n' (Buffer.contents expected) in
+      let req_lines = String.split_on_char '\n' (Buffer.contents req) in
+      let rec first_diff = function
+        | g :: gs, e :: es, r :: rs ->
+            if g <> e then (r, g, e) else first_diff (gs, es, rs)
+        | _ -> ("?", "?", "?")
+      in
+      let r, g, e = first_diff (got_lines, exp_lines, req_lines) in
+      Error
+        (Printf.sprintf "divergence on %S: server said %S, shadow session says %S"
+           r g e)
+    else begin
+      events := !events + want;
+      (match probe with
+      | None -> ()
+      | Some p -> Replay.touch p ~events:want ~blocks:1 reader);
+      Ok ()
+    end
+  in
+  let request line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    match input_line ic with
+    | reply -> Ok reply
+    | exception End_of_file -> Error (Printf.sprintf "server died on %S" line)
+  in
+  let request_metrics () =
+    output_string oc "METRICS\n";
+    flush oc;
+    let buf = Buffer.create 4096 in
+    let rec go () =
+      match input_line ic with
+      | "# EOF" -> Ok (Buffer.contents buf)
+      | reply ->
+          Buffer.add_string buf reply;
+          Buffer.add_char buf '\n';
+          go ()
+      | exception End_of_file -> Error "server died on METRICS"
+    in
+    go ()
+  in
+  let outcome =
+    let t0 = Unix.gettimeofday () in
+    let rec go i = if i = blocks then Ok () else let* () = drive_block i in go (i + 1) in
+    let* () = go 0 in
+    let wall = Unix.gettimeofday () -. t0 in
+    let eps = if wall > 0.0 then float_of_int !events /. wall else 0.0 in
+    (match probe with None -> () | Some p -> Replay.set_throughput p eps);
+    let* stats, metrics_text =
+      match connect with
+      | Some _ -> Ok ("(external server)", "")
+      | None ->
+          let* stats = request "STATS" in
+          let* metrics_text = request_metrics () in
+          Ok (stats, metrics_text)
+    in
+    let* bye = request "QUIT" in
+    let* () =
+      if bye <> "BYE" then Error (Printf.sprintf "expected BYE, got %S" bye)
+      else Ok ()
+    in
+    Ok
+      {
+        st_report =
+          {
+            events = !events;
+            wall_seconds = wall;
+            events_per_sec = eps;
+            latency_us = Histogram.snapshot latency;
+            server_stats = stats;
+            server_metrics = metrics_text;
+          };
+        st_blocks = blocks;
+        st_resident_bytes_max = Trace_reader.resident_bytes_max reader;
+      }
+  in
+  close_out_noerr oc;
+  close_in_noerr ic;
+  join ();
+  outcome
+
 let render_latency lat =
   if lat.Histogram.n = 0 then "n/a"
   else
@@ -570,3 +790,8 @@ let render r =
   Printf.sprintf
     "loadgen: %d events in %.3f s -> %.0f events/s\n%s\nserver: %s\n" r.events
     r.wall_seconds r.events_per_sec lat_line r.server_stats
+
+let render_stream r =
+  Printf.sprintf
+    "trace replay: %d blocks streamed, reader resident window <= %d bytes\n%s"
+    r.st_blocks r.st_resident_bytes_max (render r.st_report)

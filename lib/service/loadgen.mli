@@ -116,3 +116,36 @@ val run_connect :
 
 val render_multi : multi_report -> string
 (** Operator-facing summary: aggregate and per-client percentiles. *)
+
+(** {1 Streaming binary-trace driver} *)
+
+type stream_report = {
+  st_report : report;
+  st_blocks : int;
+  st_resident_bytes_max : int;
+      (** the trace reader's resident window (block buffer + index) *)
+}
+
+val run_stream :
+  policy:string ->
+  seed:int ->
+  ?journal:string ->
+  ?snapshot:string ->
+  ?snapshot_every:int ->
+  ?fsync_every:int ->
+  ?connect:string ->
+  ?probe:Dvbp_tracestore.Replay.probe ->
+  string ->
+  (stream_report, string) result
+(** [run_stream ... path] drives a server straight from the compiled
+    binary trace at [path] — block by block, never materialising the
+    instance, so arbitrarily long traces replay in bounded memory. Each
+    block's requests are pipelined as one write and the replies verified
+    in bulk against an incrementally-advanced shadow session (divergence
+    errors name the request, as in {!run}). By default the server runs
+    in-process as in {!run}; [connect] drives an external
+    [dvbp serve --listen] unix socket instead (stats/metrics are then
+    placeholders, as in {!run_connect}). [probe] feeds the replay
+    progress gauges ({!Dvbp_tracestore.Replay.probe}). *)
+
+val render_stream : stream_report -> string

@@ -1,0 +1,185 @@
+module Vec = Dvbp_vec.Vec
+
+let header_magic = "DVBPTRC1"
+let trailer_magic = "DVBPTIDX"
+let version = 1
+let default_block_size = 512
+let max_block_size = 1 lsl 20
+let trailer_size = 24
+let index_entry_size = 20
+
+type event = {
+  ev_time : float;
+  ev_kind : [ `Depart | `Arrive ];
+  ev_id : int;
+  ev_size : int array;  (** length [d]; all zeros on departures *)
+}
+
+type header = {
+  d : int;
+  block_size : int;
+  events : int;
+  t_min : float;
+  t_max : float;
+  capacity : Vec.t;
+}
+
+type index_entry = { blk_offset : int; blk_first_time : float; blk_records : int }
+
+let record_width ~d = 17 + (4 * d)
+let header_size ~d = 48 + (4 * d)
+
+let compare_event a b =
+  (* departures precede arrivals at equal instants (half-open intervals),
+     ties broken by id — the session's replay order *)
+  match Float.compare a.ev_time b.ev_time with
+  | 0 -> (
+      let ka = match a.ev_kind with `Depart -> 0 | `Arrive -> 1 in
+      let kb = match b.ev_kind with `Depart -> 0 | `Arrive -> 1 in
+      match Int.compare ka kb with 0 -> Int.compare a.ev_id b.ev_id | c -> c)
+  | c -> c
+
+(* {2 little-endian scalar codecs} *)
+
+let put_u32 b pos v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Binfmt: u32 out of range";
+  Bytes.set_int32_le b pos (Int32.of_int v)
+
+let get_u32 b pos = Int32.to_int (Bytes.get_int32_le b pos) land 0xFFFFFFFF
+let put_u64 b pos v = Bytes.set_int64_le b pos (Int64.of_int v)
+
+let get_u64 b pos =
+  let v = Bytes.get_int64_le b pos in
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    invalid_arg "Binfmt: u64 out of int range";
+  Int64.to_int v
+
+let put_f64 b pos v = Bytes.set_int64_le b pos (Int64.bits_of_float v)
+let get_f64 b pos = Int64.float_of_bits (Bytes.get_int64_le b pos)
+
+(* {2 records} *)
+
+let encode_record ~d buf pos (ev : event) =
+  if Array.length ev.ev_size <> d then
+    invalid_arg
+      (Printf.sprintf "Binfmt.encode_record: event has %d size entries, trace has d=%d"
+         (Array.length ev.ev_size) d);
+  let w = record_width ~d in
+  Bytes.set buf pos (Char.chr (match ev.ev_kind with `Depart -> 0 | `Arrive -> 1));
+  put_f64 buf (pos + 1) ev.ev_time;
+  put_u32 buf (pos + 9) ev.ev_id;
+  Array.iteri (fun j s -> put_u32 buf (pos + 13 + (4 * j)) s) ev.ev_size;
+  put_u32 buf (pos + w - 4) (Crc32.bytes ~pos ~len:(w - 4) buf)
+
+let decode_record ~d buf pos =
+  let w = record_width ~d in
+  let stored = get_u32 buf (pos + w - 4) in
+  let computed = Crc32.bytes ~pos ~len:(w - 4) buf in
+  if stored <> computed then
+    Error (Printf.sprintf "record CRC mismatch (stored %08x, computed %08x)" stored computed)
+  else
+    match Char.code (Bytes.get buf pos) with
+    | (0 | 1) as k ->
+        Ok
+          {
+            ev_time = get_f64 buf (pos + 1);
+            ev_kind = (if k = 0 then `Depart else `Arrive);
+            ev_id = get_u32 buf (pos + 9);
+            ev_size = Array.init d (fun j -> get_u32 buf (pos + 13 + (4 * j)));
+          }
+    | k -> Error (Printf.sprintf "bad record kind byte %d" k)
+
+(* {2 header} *)
+
+let encode_header (h : header) =
+  let d = h.d in
+  let buf = Bytes.create (header_size ~d) in
+  Bytes.blit_string header_magic 0 buf 0 8;
+  put_u32 buf 8 version;
+  put_u32 buf 12 d;
+  put_u32 buf 16 h.block_size;
+  put_u64 buf 20 h.events;
+  put_f64 buf 28 h.t_min;
+  put_f64 buf 36 h.t_max;
+  Array.iteri (fun j c -> put_u32 buf (44 + (4 * j)) c) (Vec.to_array h.capacity);
+  put_u32 buf (44 + (4 * d)) (Crc32.bytes ~len:(44 + (4 * d)) buf);
+  buf
+
+let decode_header buf =
+  if Bytes.length buf < 48 then Error "file too short for a trace header"
+  else if Bytes.sub_string buf 0 8 <> header_magic then
+    Error
+      (Printf.sprintf "bad magic %S (not a dvbp binary trace)" (Bytes.sub_string buf 0 8))
+  else
+    let v = get_u32 buf 8 in
+    if v <> version then Error (Printf.sprintf "unsupported trace version %d" v)
+    else
+      let d = get_u32 buf 12 in
+      if d <= 0 || d > 1024 then Error (Printf.sprintf "implausible dimension count %d" d)
+      else if Bytes.length buf < header_size ~d then
+        Error "file too short for the capacity vector"
+      else
+        let stored = get_u32 buf (44 + (4 * d)) in
+        let computed = Crc32.bytes ~len:(44 + (4 * d)) buf in
+        if stored <> computed then
+          Error
+            (Printf.sprintf "header CRC mismatch (stored %08x, computed %08x)" stored
+               computed)
+        else
+          let block_size = get_u32 buf 16 in
+          if block_size <= 0 || block_size > max_block_size then
+            Error (Printf.sprintf "implausible block size %d" block_size)
+          else
+            let capacity = Array.init d (fun j -> get_u32 buf (44 + (4 * j))) in
+            if Array.exists (fun c -> c <= 0) capacity then
+              Error "non-positive capacity entry"
+            else
+              Ok
+                {
+                  d;
+                  block_size;
+                  events = get_u64 buf 20;
+                  t_min = get_f64 buf 28;
+                  t_max = get_f64 buf 36;
+                  capacity = Vec.of_array capacity;
+                }
+
+(* {2 index + trailer} *)
+
+let encode_index entries =
+  let buf = Bytes.create (List.length entries * index_entry_size) in
+  List.iteri
+    (fun i e ->
+      let pos = i * index_entry_size in
+      put_u64 buf pos e.blk_offset;
+      put_f64 buf (pos + 8) e.blk_first_time;
+      put_u32 buf (pos + 16) e.blk_records)
+    entries;
+  buf
+
+let decode_index buf ~blocks =
+  if Bytes.length buf <> blocks * index_entry_size then
+    Error "index size disagrees with the trailer block count"
+  else
+    Ok
+      (Array.init blocks (fun i ->
+           let pos = i * index_entry_size in
+           {
+             blk_offset = get_u64 buf pos;
+             blk_first_time = get_f64 buf (pos + 8);
+             blk_records = get_u32 buf (pos + 16);
+           }))
+
+let encode_trailer ~index_offset ~blocks ~index_crc =
+  let buf = Bytes.create trailer_size in
+  put_u64 buf 0 index_offset;
+  put_u32 buf 8 blocks;
+  put_u32 buf 12 index_crc;
+  Bytes.blit_string trailer_magic 0 buf 16 8;
+  buf
+
+let decode_trailer buf =
+  if Bytes.length buf <> trailer_size then Error "short trailer"
+  else if Bytes.sub_string buf 16 8 <> trailer_magic then
+    Error "missing index trailer magic (truncated or not a dvbp binary trace)"
+  else Ok (get_u64 buf 0, get_u32 buf 8, get_u32 buf 12)

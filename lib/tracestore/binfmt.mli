@@ -1,0 +1,76 @@
+(** Byte-level layout of the binary trace format (DESIGN.md §11).
+
+    A compiled trace is
+
+    {v
+    [header][block 0][block 1]...[block B-1][index][trailer]
+    v}
+
+    - {b header} ([48 + 4d] bytes, CRC'd): magic ["DVBPTRC1"], version,
+      dimension count [d], block size (records per block), event count,
+      time span [t_min..t_max], and the capacity vector;
+    - {b records} are fixed width ([17 + 4d] bytes, one CRC each): kind
+      byte (0 = depart, 1 = arrive), IEEE-754 time, item id, and [d]
+      [u32] size coordinates (zero on departures);
+    - {b blocks} group [block_size] consecutive records (the last block
+      may be short) — the unit of streaming reads and of seeking;
+    - {b index}: one 20-byte entry per block (file offset, first record
+      timestamp, record count), CRC'd as a whole;
+    - {b trailer} (24 bytes at EOF): index offset, block count, index
+      CRC, magic ["DVBPTIDX"].
+
+    All scalars are little-endian. Records are sorted by
+    [(time, kind, id)] with departures before arrivals at equal
+    instants — exactly the replay order {!Dvbp_engine.Session} expects. *)
+
+type event = {
+  ev_time : float;
+  ev_kind : [ `Depart | `Arrive ];
+  ev_id : int;
+  ev_size : int array;  (** length [d]; all zeros on departures *)
+}
+
+type header = {
+  d : int;
+  block_size : int;  (** records per block *)
+  events : int;
+  t_min : float;
+  t_max : float;
+  capacity : Dvbp_vec.Vec.t;
+}
+
+type index_entry = { blk_offset : int; blk_first_time : float; blk_records : int }
+
+val header_magic : string
+val trailer_magic : string
+val version : int
+val default_block_size : int
+val max_block_size : int
+val trailer_size : int
+val index_entry_size : int
+
+val record_width : d:int -> int
+val header_size : d:int -> int
+
+val compare_event : event -> event -> int
+(** The canonical record order: [(time, kind, id)], departures first. *)
+
+val encode_record : d:int -> bytes -> int -> event -> unit
+(** Writes one record (including its CRC) at the given offset.
+    @raise Invalid_argument on a dimension mismatch or out-of-range id or
+    size coordinate (all must fit in [u32]). *)
+
+val decode_record : d:int -> bytes -> int -> (event, string) result
+(** Validates the record CRC and kind byte before decoding. *)
+
+val encode_header : header -> bytes
+val decode_header : bytes -> (header, string) result
+(** Validates magic, version, CRC and field plausibility. The buffer may
+    be longer than the header. *)
+
+val encode_index : index_entry list -> bytes
+val decode_index : bytes -> blocks:int -> (index_entry array, string) result
+
+val encode_trailer : index_offset:int -> blocks:int -> index_crc:int -> bytes
+val decode_trailer : bytes -> (int * int * int, string) result
+(** [(index_offset, blocks, index_crc)]. *)

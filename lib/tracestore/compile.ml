@@ -1,0 +1,108 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Item = Dvbp_core.Item
+
+let events_of_instance ?(time_offset = 0.0) ?(id_offset = 0) (inst : Instance.t) =
+  let zero = Array.make (Instance.dim inst) 0 in
+  let evs =
+    List.concat_map
+      (fun (it : Item.t) ->
+        [
+          {
+            Binfmt.ev_time = it.Item.arrival +. time_offset;
+            ev_kind = `Arrive;
+            ev_id = it.Item.id + id_offset;
+            ev_size = Vec.to_array it.Item.size;
+          };
+          {
+            Binfmt.ev_time = it.Item.departure +. time_offset;
+            ev_kind = `Depart;
+            ev_id = it.Item.id + id_offset;
+            ev_size = zero;
+          };
+        ])
+      inst.Instance.items
+  in
+  List.sort Binfmt.compare_event evs
+
+let of_instance ~path ?block_size (inst : Instance.t) =
+  match
+    let w = Trace_writer.create ~path ~capacity:inst.Instance.capacity ?block_size () in
+    List.iter (Trace_writer.add w) (events_of_instance inst);
+    Trace_writer.close w
+  with
+  | summary -> Ok summary
+  | exception Invalid_argument m -> Error m
+  | exception Sys_error m -> Error m
+
+let sharded ~path ?block_size ~shards ~gen () =
+  if shards <= 0 then invalid_arg "Compile.sharded: shards must be positive";
+  match
+    let first = gen 0 in
+    let capacity = first.Instance.capacity in
+    let w = Trace_writer.create ~path ~capacity ?block_size () in
+    let feed inst ~time_offset ~id_offset =
+      if not (Vec.equal inst.Instance.capacity capacity) then
+        invalid_arg "Compile.sharded: shards disagree on capacity";
+      List.iter (Trace_writer.add w)
+        (events_of_instance ~time_offset ~id_offset inst);
+      (time_offset +. Instance.horizon inst +. 1.0, id_offset + Instance.size inst)
+    in
+    let rec go k (time_offset, id_offset) =
+      if k = shards then ()
+      else
+        let inst = if k = 0 then first else gen k in
+        go (k + 1) (feed inst ~time_offset ~id_offset)
+    in
+    go 0 (0.0, 0);
+    Trace_writer.close w
+  with
+  | summary -> Ok summary
+  | exception Invalid_argument m -> Error m
+  | exception Sys_error m -> Error m
+
+let to_instance reader =
+  let pending = Hashtbl.create 1024 in
+  let rows = ref [] in
+  let err = ref None in
+  let fail m = if !err = None then err := Some m in
+  let res =
+    Trace_reader.iter_from reader (fun ev ->
+        if !err = None then
+          match ev.Binfmt.ev_kind with
+          | `Arrive ->
+              if Hashtbl.mem pending ev.Binfmt.ev_id then
+                fail
+                  (Printf.sprintf "item %d arrives twice without departing"
+                     ev.Binfmt.ev_id)
+              else
+                Hashtbl.replace pending ev.Binfmt.ev_id
+                  (ev.Binfmt.ev_time, ev.Binfmt.ev_size)
+          | `Depart -> (
+              match Hashtbl.find_opt pending ev.Binfmt.ev_id with
+              | None ->
+                  fail
+                    (Printf.sprintf "item %d departs without arriving"
+                       ev.Binfmt.ev_id)
+              | Some (arrival, size) ->
+                  Hashtbl.remove pending ev.Binfmt.ev_id;
+                  rows :=
+                    (arrival, ev.Binfmt.ev_id, ev.Binfmt.ev_time, size) :: !rows))
+  in
+  match (res, !err) with
+  | Error m, _ -> Error m
+  | Ok (), Some m -> Error m
+  | Ok (), None ->
+      if Hashtbl.length pending > 0 then
+        Error
+          (Printf.sprintf "%d items never depart (open-ended trace)"
+             (Hashtbl.length pending))
+      else
+        let specs =
+          !rows
+          |> List.sort (fun (a1, i1, _, _) (a2, i2, _, _) ->
+                 match Float.compare a1 a2 with 0 -> Int.compare i1 i2 | c -> c)
+          |> List.map (fun (a, _, e, s) -> (a, e, Vec.of_array s))
+        in
+        Instance.of_specs
+          ~capacity:(Trace_reader.header reader).Binfmt.capacity specs

@@ -1,0 +1,39 @@
+(** Compiling problem instances to binary traces, and back.
+
+    The forward direction turns an in-memory {!Dvbp_core.Instance} into the
+    event stream the engine replays — one arrival and one departure per
+    item, sorted by [(time, kind, id)] with departures first at equal
+    instants — and writes it through {!Trace_writer}. {!sharded} chains
+    several generated instances into one long trace with bounded memory:
+    each shard is materialised, compiled, and dropped before the next is
+    generated, with times shifted past the previous shard's horizon and
+    ids offset so the concatenation is itself a valid event stream. *)
+
+val events_of_instance :
+  ?time_offset:float -> ?id_offset:int -> Dvbp_core.Instance.t -> Binfmt.event list
+(** The instance's sorted event stream. Departure events carry a zero
+    size vector. *)
+
+val of_instance :
+  path:string ->
+  ?block_size:int ->
+  Dvbp_core.Instance.t ->
+  (Trace_writer.summary, string) result
+
+val sharded :
+  path:string ->
+  ?block_size:int ->
+  shards:int ->
+  gen:(int -> Dvbp_core.Instance.t) ->
+  unit ->
+  (Trace_writer.summary, string) result
+(** [sharded ~path ~shards ~gen ()] compiles [gen 0 .. gen (shards-1)]
+    into one trace. Every shard must use the same capacity vector.
+    Compile memory is O(largest shard), not O(total trace). *)
+
+val to_instance : Trace_reader.t -> (Dvbp_core.Instance.t, string) result
+(** Materialises the whole trace as an instance. Ids are re-assigned in
+    [(arrival, id)] order — the arrival/departure/size content round-trips
+    exactly, the original item ids only when they already followed arrival
+    order. Use only when the trace is known to be small — this is the
+    CSV-equivalent convenience path, not replay. *)

@@ -1,0 +1,111 @@
+module Vec = Dvbp_vec.Vec
+module Session = Dvbp_engine.Session
+module Registry = Dvbp_obs.Registry
+
+type stats = {
+  events : int;
+  arrivals : int;
+  departures : int;
+  blocks : int;
+  wall_seconds : float;
+  events_per_sec : float;
+  resident_bytes_max : int;
+}
+
+type probe = {
+  mutable p_events : int;
+  mutable p_blocks : int;
+  mutable p_resident : int;
+  mutable p_resident_max : int;
+  mutable p_eps : float;
+}
+
+let probe ?registry () =
+  let p =
+    { p_events = 0; p_blocks = 0; p_resident = 0; p_resident_max = 0; p_eps = 0.0 }
+  in
+  (match registry with
+  | None -> ()
+  | Some reg ->
+      Registry.Counter.pull reg "dvbp_trace_replay_events_total"
+        ~help:"Events streamed out of binary traces" (fun () -> p.p_events);
+      Registry.Counter.pull reg "dvbp_trace_replay_blocks_total"
+        ~help:"Trace blocks read during replay" (fun () -> p.p_blocks);
+      Registry.Gauge.pull reg "dvbp_trace_resident_bytes"
+        ~help:"Resident window of the current trace reader (bytes)" (fun () ->
+          float_of_int p.p_resident);
+      Registry.Gauge.pull reg "dvbp_trace_resident_bytes_max"
+        ~help:"Largest trace-reader resident window seen (bytes)" (fun () ->
+          float_of_int p.p_resident_max);
+      Registry.Gauge.pull reg "dvbp_trace_replay_events_per_sec"
+        ~help:"Throughput of the last completed trace replay" (fun () -> p.p_eps));
+  p
+
+let touch p ?(events = 0) ?(blocks = 0) reader =
+  let r = Trace_reader.resident_bytes_max reader in
+  p.p_resident <- r;
+  p.p_resident_max <- max p.p_resident_max r;
+  p.p_events <- p.p_events + events;
+  p.p_blocks <- p.p_blocks + blocks
+
+let set_throughput p eps =
+  p.p_eps <- eps;
+  p.p_resident <- 0
+
+let note_reader probe reader =
+  match probe with None -> () | Some p -> touch p reader
+
+let into_session ?probe:p ?(clock = Sys.time) reader session =
+  note_reader p reader;
+  let d = (Trace_reader.header reader).Binfmt.d in
+  let sd = Vec.dim (Session.capacity session) in
+  if d <> sd then
+    Error (Printf.sprintf "trace dimension %d but session capacity has d=%d" d sd)
+  else begin
+    let arrivals = ref 0 and departures = ref 0 and blocks = Trace_reader.blocks reader in
+    let t0 = clock () in
+    let feed (ev : Binfmt.event) =
+      (match ev.Binfmt.ev_kind with
+      | `Arrive ->
+          incr arrivals;
+          ignore
+            (Session.apply session
+               (Session.Arrive
+                  {
+                    at = ev.Binfmt.ev_time;
+                    id = Some ev.Binfmt.ev_id;
+                    size = Vec.of_array ev.Binfmt.ev_size;
+                  }))
+      | `Depart ->
+          incr departures;
+          ignore
+            (Session.apply session
+               (Session.Depart { at = ev.Binfmt.ev_time; item_id = ev.Binfmt.ev_id })));
+      match p with
+      | None -> ()
+      | Some pr -> pr.p_events <- pr.p_events + 1
+    in
+    match Trace_reader.iter_from reader feed with
+    | Error _ as e -> e
+    | exception Session.Session_error m -> Error ("replay: " ^ m)
+    | Ok () ->
+        let wall = Float.max 1e-9 (clock () -. t0) in
+        let events = !arrivals + !departures in
+        let eps = float_of_int events /. wall in
+        (match p with
+        | None -> ()
+        | Some pr ->
+            pr.p_blocks <- pr.p_blocks + blocks;
+            pr.p_eps <- eps;
+            pr.p_resident <- 0);
+        Ok
+          {
+            events;
+            arrivals = !arrivals;
+            departures = !departures;
+            blocks;
+            wall_seconds = wall;
+            events_per_sec = eps;
+            resident_bytes_max = Trace_reader.resident_bytes_max reader;
+          }
+  end

@@ -1,0 +1,201 @@
+module Vec = Dvbp_vec.Vec
+
+type t = {
+  ic : in_channel;
+  header : Binfmt.header;
+  index : Binfmt.index_entry array;
+  rw : int;
+  buf : Bytes.t;  (* one block's worth of records *)
+  mutable resident_max : int;
+  mutable closed : bool;
+}
+
+let sniff_magic path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      let ok =
+        try
+          let m = really_input_string ic 8 in
+          m = Binfmt.header_magic
+        with End_of_file -> false
+      in
+      close_in_noerr ic;
+      ok
+
+let read_exact ic ~pos ~len =
+  let buf = Bytes.create len in
+  seek_in ic pos;
+  really_input ic buf 0 len;
+  buf
+
+let open_file path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic -> (
+      let close_err m =
+        close_in_noerr ic;
+        Error (Printf.sprintf "%s: %s" path m)
+      in
+      let file_len = in_channel_length ic in
+      if file_len < 48 + Binfmt.trailer_size then
+        close_err "file too short to be a binary trace"
+      else
+        match
+          (* the capacity vector length is only known after the fixed
+             header prefix, so read a generous prefix first *)
+          Binfmt.decode_header
+            (read_exact ic ~pos:0 ~len:(min file_len (Binfmt.header_size ~d:1024)))
+        with
+        | Error m -> close_err m
+        | Ok header -> (
+            match
+              Binfmt.decode_trailer
+                (read_exact ic ~pos:(file_len - Binfmt.trailer_size)
+                   ~len:Binfmt.trailer_size)
+            with
+            | Error m -> close_err m
+            | Ok (index_offset, blocks, index_crc) ->
+                let index_len = blocks * Binfmt.index_entry_size in
+                if
+                  index_offset < Binfmt.header_size ~d:header.Binfmt.d
+                  || index_offset + index_len + Binfmt.trailer_size > file_len
+                then close_err "index offset out of bounds (truncated trace?)"
+                else
+                  let index_bytes = read_exact ic ~pos:index_offset ~len:index_len in
+                  if Crc32.bytes index_bytes <> index_crc then
+                    close_err "index CRC mismatch"
+                  else (
+                    match Binfmt.decode_index index_bytes ~blocks with
+                    | Error m -> close_err m
+                    | Ok index ->
+                        let rw = Binfmt.record_width ~d:header.Binfmt.d in
+                        let total =
+                          Array.fold_left
+                            (fun acc e -> acc + e.Binfmt.blk_records)
+                            0 index
+                        in
+                        if total <> header.Binfmt.events then
+                          close_err
+                            (Printf.sprintf
+                               "index records (%d) disagree with header event \
+                                count (%d)"
+                               total header.Binfmt.events)
+                        else
+                          Ok
+                            {
+                              ic;
+                              header;
+                              index;
+                              rw;
+                              buf =
+                                Bytes.create (header.Binfmt.block_size * rw);
+                              resident_max =
+                                (header.Binfmt.block_size * rw)
+                                + index_len
+                                + Binfmt.header_size ~d:header.Binfmt.d;
+                              closed = false;
+                            })))
+
+let header t = t.header
+let blocks t = Array.length t.index
+let resident_bytes_max t = t.resident_max
+
+let block_first_time t i =
+  if i < 0 || i >= Array.length t.index then
+    invalid_arg "Trace_reader.block_first_time: block index out of range";
+  t.index.(i).Binfmt.blk_first_time
+
+(* First block that could contain an event with time >= t0: binary-search
+   for the first block whose first_time >= t0, then step back one block —
+   an event with time >= t0 may sit mid-block after earlier events. *)
+let seek t t0 =
+  let n = Array.length t.index in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.index.(mid).Binfmt.blk_first_time >= t0 then hi := mid else lo := mid + 1
+  done;
+  max 0 (!lo - 1)
+
+let read_block t i =
+  if t.closed then invalid_arg "Trace_reader.read_block: reader is closed";
+  if i < 0 || i >= Array.length t.index then
+    invalid_arg "Trace_reader.read_block: block index out of range";
+  let e = t.index.(i) in
+  let len = e.Binfmt.blk_records * t.rw in
+  match
+    seek_in t.ic e.Binfmt.blk_offset;
+    really_input t.ic t.buf 0 len
+  with
+  | exception End_of_file -> Error (Printf.sprintf "block %d truncated" i)
+  | exception Sys_error m -> Error (Printf.sprintf "block %d: %s" i m)
+  | () ->
+      let rec decode acc r =
+        if r = e.Binfmt.blk_records then Ok (List.rev acc)
+        else
+          match Binfmt.decode_record ~d:t.header.Binfmt.d t.buf (r * t.rw) with
+          | Error m -> Error (Printf.sprintf "block %d record %d: %s" i r m)
+          | Ok ev -> decode (ev :: acc) (r + 1)
+      in
+      decode [] 0
+
+let iter_from ?(time = Float.neg_infinity) t f =
+  let n = Array.length t.index in
+  let rec go i =
+    if i >= n then Ok ()
+    else
+      match read_block t i with
+      | Error m -> Error m
+      | Ok evs ->
+          List.iter (fun ev -> if ev.Binfmt.ev_time >= time then f ev) evs;
+          go (i + 1)
+  in
+  go (if time = Float.neg_infinity then 0 else seek t time)
+
+let verify t =
+  let n = Array.length t.index in
+  let last = ref (Float.neg_infinity, 0) in
+  let seen = ref 0 in
+  let rec go i =
+    if i >= n then
+      if !seen <> t.header.Binfmt.events then
+        Error
+          (Printf.sprintf "decoded %d events but the header claims %d" !seen
+             t.header.Binfmt.events)
+      else Ok !seen
+    else
+      match read_block t i with
+      | Error m -> Error m
+      | Ok evs -> (
+          match
+            List.find_map
+              (fun ev ->
+                let k = match ev.Binfmt.ev_kind with `Depart -> 0 | `Arrive -> 1 in
+                let lt, lk = !last in
+                if ev.Binfmt.ev_time < lt || (ev.Binfmt.ev_time = lt && k < lk)
+                then
+                  Some
+                    (Printf.sprintf "block %d: event out of (time, kind) order" i)
+                else begin
+                  last := (ev.Binfmt.ev_time, k);
+                  incr seen;
+                  None
+                end)
+              evs
+          with
+          | Some m -> Error m
+          | None -> go (i + 1))
+  in
+  go 0
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_in_noerr t.ic
+  end
+
+let with_file path f =
+  match open_file path with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

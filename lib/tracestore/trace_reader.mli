@@ -1,0 +1,44 @@
+(** Streaming reader for the binary trace format ({!Binfmt}).
+
+    Opening a trace reads only the header, the block index, and the
+    trailer; event data is then streamed one block at a time through a
+    single reusable buffer, so replay memory is O(block), independent of
+    the trace length. The block index makes seeking by timestamp a binary
+    search plus at most one extra block scan. *)
+
+type t
+
+val sniff_magic : string -> bool
+(** [true] iff the file starts with the binary-trace magic. Used to pick
+    between the CSV and binary paths without committing to a parse. *)
+
+val open_file : string -> (t, string) result
+(** Validates magic, version, header CRC, trailer magic, index CRC, and
+    the index/header event-count agreement before returning. *)
+
+val with_file : string -> (t -> ('a, string) result) -> ('a, string) result
+
+val header : t -> Binfmt.header
+val blocks : t -> int
+val block_first_time : t -> int -> float
+
+val resident_bytes_max : t -> int
+(** Upper bound on the reader's resident heap: one block buffer plus the
+    decoded index and header. *)
+
+val seek : t -> float -> int
+(** [seek t t0] is the first block index from which a scan is guaranteed
+    to encounter every event with time >= [t0]. *)
+
+val read_block : t -> int -> (Binfmt.event list, string) result
+(** Reads and CRC-checks one block. Fails on truncation or corruption. *)
+
+val iter_from : ?time:float -> t -> (Binfmt.event -> unit) -> (unit, string) result
+(** Streams events in file order, skipping those before [time]
+    (default: all events). Stops with [Error] on a corrupt block. *)
+
+val verify : t -> (int, string) result
+(** Full scan: every record CRC, the global [(time, kind)] sort order,
+    and the header event count. Returns the event count on success. *)
+
+val close : t -> unit

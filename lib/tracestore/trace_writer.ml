@@ -1,0 +1,142 @@
+module Vec = Dvbp_vec.Vec
+
+type summary = {
+  events : int;
+  blocks : int;
+  t_min : float;
+  t_max : float;
+  file_bytes : int;
+}
+
+type t = {
+  oc : out_channel;
+  d : int;
+  capacity : Vec.t;
+  block_size : int;
+  rw : int;  (* record width *)
+  block : Bytes.t;  (* staging buffer for the current block *)
+  mutable in_block : int;  (* records staged *)
+  mutable block_first : float;
+  mutable index_rev : Binfmt.index_entry list;
+  mutable offset : int;  (* file offset of the next block *)
+  mutable events : int;
+  mutable t_min : float;
+  mutable t_max : float;
+  mutable last : float * int;  (* (time, kind) of the last event, for ordering *)
+  mutable closed : bool;
+}
+
+let create ~path ~capacity ?(block_size = Binfmt.default_block_size) () =
+  if block_size <= 0 || block_size > Binfmt.max_block_size then
+    invalid_arg
+      (Printf.sprintf "Trace_writer: block_size must lie in [1, %d], got %d"
+         Binfmt.max_block_size block_size);
+  let d = Vec.dim capacity in
+  let oc = open_out_bin path in
+  (* placeholder header — event count and span are patched on close *)
+  let header =
+    {
+      Binfmt.d;
+      block_size;
+      events = 0;
+      t_min = 0.0;
+      t_max = 0.0;
+      capacity;
+    }
+  in
+  output_bytes oc (Binfmt.encode_header header);
+  {
+    oc;
+    d;
+    capacity;
+    block_size;
+    rw = Binfmt.record_width ~d;
+    block = Bytes.create (block_size * Binfmt.record_width ~d);
+    in_block = 0;
+    block_first = 0.0;
+    index_rev = [];
+    offset = Binfmt.header_size ~d;
+    events = 0;
+    t_min = Float.infinity;
+    t_max = Float.neg_infinity;
+    last = (Float.neg_infinity, 0);
+    closed = false;
+  }
+
+let flush_block t =
+  if t.in_block > 0 then begin
+    let len = t.in_block * t.rw in
+    output_bytes t.oc (Bytes.sub t.block 0 len);
+    t.index_rev <-
+      {
+        Binfmt.blk_offset = t.offset;
+        blk_first_time = t.block_first;
+        blk_records = t.in_block;
+      }
+      :: t.index_rev;
+    t.offset <- t.offset + len;
+    t.in_block <- 0
+  end
+
+let add t (ev : Binfmt.event) =
+  if t.closed then invalid_arg "Trace_writer.add: writer is closed";
+  if Array.length ev.Binfmt.ev_size <> t.d then
+    invalid_arg
+      (Printf.sprintf "Trace_writer.add: event has %d size entries, trace has d=%d"
+         (Array.length ev.Binfmt.ev_size) t.d);
+  if not (Float.is_finite ev.Binfmt.ev_time) then
+    invalid_arg "Trace_writer.add: non-finite event time";
+  let kind = match ev.Binfmt.ev_kind with `Depart -> 0 | `Arrive -> 1 in
+  let last_t, last_k = t.last in
+  if ev.Binfmt.ev_time < last_t || (ev.Binfmt.ev_time = last_t && kind < last_k) then
+    invalid_arg
+      (Printf.sprintf
+         "Trace_writer.add: events out of order (%.17g kind %d after %.17g kind %d)"
+         ev.Binfmt.ev_time kind last_t last_k);
+  if t.in_block = 0 then t.block_first <- ev.Binfmt.ev_time;
+  Binfmt.encode_record ~d:t.d t.block (t.in_block * t.rw) ev;
+  t.in_block <- t.in_block + 1;
+  t.events <- t.events + 1;
+  t.t_min <- Float.min t.t_min ev.Binfmt.ev_time;
+  t.t_max <- Float.max t.t_max ev.Binfmt.ev_time;
+  t.last <- (ev.Binfmt.ev_time, kind);
+  if t.in_block = t.block_size then flush_block t
+
+let event_count t = t.events
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    flush_block t;
+    let index = List.rev t.index_rev in
+    let index_bytes = Binfmt.encode_index index in
+    let index_offset = t.offset in
+    output_bytes t.oc index_bytes;
+    output_bytes t.oc
+      (Binfmt.encode_trailer ~index_offset ~blocks:(List.length index)
+         ~index_crc:(Crc32.bytes index_bytes));
+    (* patch the header now that the event count and span are known *)
+    let t_min = if t.events = 0 then 0.0 else t.t_min in
+    let t_max = if t.events = 0 then 0.0 else t.t_max in
+    seek_out t.oc 0;
+    output_bytes t.oc
+      (Binfmt.encode_header
+         {
+           Binfmt.d = t.d;
+           block_size = t.block_size;
+           events = t.events;
+           t_min;
+           t_max;
+           capacity = t.capacity;
+         });
+    close_out t.oc;
+    {
+      events = t.events;
+      blocks = List.length index;
+      t_min;
+      t_max;
+      file_bytes = index_offset + Bytes.length index_bytes + Binfmt.trailer_size;
+    }
+  end
+  else
+    invalid_arg "Trace_writer.close: already closed"

@@ -1,0 +1,39 @@
+(** Streaming writer for the binary trace format ({!Binfmt}).
+
+    Events are fed one at a time in {!Binfmt.compare_event} order (the
+    writer enforces the [(time, kind)] monotonicity; feeding out of order
+    raises) and staged into fixed-size blocks, so compiling a trace needs
+    O(block) memory plus one 20-byte index entry per block. The header is
+    written up front with placeholder totals and patched on {!close}, when
+    the event count and time span are known. *)
+
+type summary = {
+  events : int;
+  blocks : int;
+  t_min : float;
+  t_max : float;
+  file_bytes : int;
+}
+
+type t
+
+val create :
+  path:string -> capacity:Dvbp_vec.Vec.t -> ?block_size:int -> unit -> t
+(** Opens [path] for writing (truncating) and writes the placeholder
+    header. [block_size] (default {!Binfmt.default_block_size}) is the
+    number of records per block.
+    @raise Invalid_argument on a non-positive or oversized block size.
+    @raise Sys_error on IO failure. *)
+
+val add : t -> Binfmt.event -> unit
+(** Appends one event.
+    @raise Invalid_argument on a closed writer, a dimension mismatch, a
+    non-finite time, an id or size coordinate outside [u32], or an event
+    that sorts before the previous one. *)
+
+val event_count : t -> int
+
+val close : t -> summary
+(** Flushes the final (possibly short) block, writes the index and
+    trailer, patches the header, and closes the file.
+    @raise Invalid_argument if already closed. *)

@@ -1,0 +1,113 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Rng = Dvbp_prelude.Rng
+module Floatx = Dvbp_prelude.Floatx
+
+let dimension_names = [ "cores"; "memory_gb" ]
+
+type vm_type = { cores : int; memory_gb : int; weight : float }
+
+(* Core counts × memory ratios seen in public cloud VM catalogues:
+   most requests are small, memory generally scales 2/4/8 GB per core. *)
+let default_catalogue =
+  [
+    { cores = 1; memory_gb = 2; weight = 0.18 };
+    { cores = 1; memory_gb = 4; weight = 0.10 };
+    { cores = 2; memory_gb = 4; weight = 0.22 };
+    { cores = 2; memory_gb = 8; weight = 0.14 };
+    { cores = 4; memory_gb = 8; weight = 0.12 };
+    { cores = 4; memory_gb = 16; weight = 0.09 };
+    { cores = 4; memory_gb = 32; weight = 0.03 };
+    { cores = 8; memory_gb = 16; weight = 0.05 };
+    { cores = 8; memory_gb = 32; weight = 0.03 };
+    { cores = 8; memory_gb = 64; weight = 0.01 };
+    { cores = 16; memory_gb = 64; weight = 0.02 };
+    { cores = 24; memory_gb = 64; weight = 0.01 };
+  ]
+
+type params = {
+  n : int;
+  catalogue : vm_type list;
+  server_cores : int;
+  server_memory_gb : int;
+  base_rate : float;
+  amplitude : float;
+  period : float;
+  mean_lifetime : float;
+  pareto_shape : float;
+  max_lifetime : float;
+}
+
+let default =
+  {
+    n = 800;
+    catalogue = default_catalogue;
+    server_cores = 48;
+    server_memory_gb = 192;
+    base_rate = 8.0;
+    amplitude = 0.5;
+    period = 24.0;
+    mean_lifetime = 6.0;
+    pareto_shape = 1.4;
+    max_lifetime = 168.0;
+  }
+
+let validate p =
+  if p.n <= 0 then Error "Azure_mix: n must be positive"
+  else if p.catalogue = [] then Error "Azure_mix: empty VM catalogue"
+  else if p.server_cores <= 0 || p.server_memory_gb <= 0 then
+    Error "Azure_mix: server capacities must be positive"
+  else if
+    List.exists
+      (fun v ->
+        v.cores <= 0 || v.memory_gb <= 0 || v.weight <= 0.0
+        || v.cores > p.server_cores
+        || v.memory_gb > p.server_memory_gb)
+      p.catalogue
+  then Error "Azure_mix: VM type out of server range or bad weight"
+  else if p.mean_lifetime <= 0.0 || p.max_lifetime < 1.0 then
+    Error "Azure_mix: lifetimes must be positive (max >= 1)"
+  else if p.pareto_shape <= 1.0 then Error "Azure_mix: pareto_shape must exceed 1"
+  else
+    match
+      Arrival_process.validate
+        (Arrival_process.Modulated_poisson
+           { base_rate = p.base_rate; amplitude = p.amplitude; period = p.period })
+    with
+    | Error e -> Error ("Azure_mix: " ^ e)
+    | Ok () -> Ok ()
+
+let pick_type catalogue ~rng =
+  let total = List.fold_left (fun acc v -> acc +. v.weight) 0.0 catalogue in
+  let x = Rng.float rng total in
+  let rec go acc = function
+    | [ v ] -> v
+    | v :: rest -> if x < acc +. v.weight then v else go (acc +. v.weight) rest
+    | [] -> assert false
+  in
+  go 0.0 catalogue
+
+let pareto_scale p = p.mean_lifetime *. (p.pareto_shape -. 1.0) /. p.pareto_shape
+
+let generate p ~rng =
+  (match validate p with Ok () -> () | Error e -> invalid_arg e);
+  let capacity = Vec.of_list [ p.server_cores; p.server_memory_gb ] in
+  let scale = pareto_scale p in
+  let arrivals =
+    Arrival_process.generate
+      (Arrival_process.Modulated_poisson
+         { base_rate = p.base_rate; amplitude = p.amplitude; period = p.period })
+      ~n:p.n ~rng
+  in
+  let specs =
+    List.map
+      (fun arrival ->
+        let v = pick_type p.catalogue ~rng in
+        let lifetime =
+          Floatx.clamp ~lo:1.0 ~hi:p.max_lifetime
+            (Rng.pareto rng ~shape:p.pareto_shape ~scale)
+        in
+        (arrival, arrival +. lifetime, Vec.of_list [ v.cores; v.memory_gb ]))
+      arrivals
+  in
+  Instance.of_specs_exn ~capacity specs

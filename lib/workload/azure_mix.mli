@@ -1,0 +1,41 @@
+(** Azure-style VM mix: correlated cpu:mem demands on two dimensions.
+
+    Calibrated to the shape of public cloud VM traces (Azure's published
+    dataset and instance catalogues): requests come from a discrete
+    catalogue of (cores, memory) types whose memory scales 2/4/8 GB per
+    core, weighted towards small instances; arrivals follow a diurnal
+    modulated-Poisson day; lifetimes are truncated-Pareto heavy-tailed.
+    Because demand vectors are {e correlated across dimensions} (memory is
+    a small multiple of cores), the effective packing is nearly
+    one-dimensional with occasional memory-heavy outliers — the structure
+    that separates vector-aware policies from ones that only watch the
+    dominant dimension. *)
+
+val dimension_names : string list
+(** [\["cores"; "memory_gb"\]]. *)
+
+type vm_type = { cores : int; memory_gb : int; weight : float }
+
+val default_catalogue : vm_type list
+
+type params = {
+  n : int;
+  catalogue : vm_type list;
+  server_cores : int;
+  server_memory_gb : int;
+  base_rate : float;  (** mean arrivals per hour *)
+  amplitude : float;  (** diurnal modulation depth, in [\[0, 1)] *)
+  period : float;  (** hours per day *)
+  mean_lifetime : float;  (** hours *)
+  pareto_shape : float;
+  max_lifetime : float;  (** truncation, hours *)
+}
+
+val default : params
+(** 800 VMs on 48-core / 192 GB servers, rate 8/h with 0.5 amplitude
+    over a 24 h day, mean lifetime 6 h truncated at one week. *)
+
+val validate : params -> (unit, string) result
+
+val generate : params -> rng:Dvbp_prelude.Rng.t -> Dvbp_core.Instance.t
+(** @raise Invalid_argument when {!validate} fails. *)

@@ -78,3 +78,25 @@ let render t =
         row "mean active items" (Printf.sprintf "%.2f" t.mean_active);
         row "time-space utilisation" (Printf.sprintf "%.3f" t.utilisation);
       ]
+
+(* The CLI's workload catalogue: every generator selectable by name, with
+   the one-liner `dvbp describe`/help print. Workload_select derives its
+   dispatch list from this, so adding a family here (and there) keeps the
+   two in sync — the describe-completeness test enforces it. *)
+let families =
+  [
+    ("uniform", "Table 2 i.i.d. uniform sizes, durations and arrivals");
+    ("gaming", "cloud-gaming sessions: short-lived, Poisson arrivals");
+    ("vm", "4-d VM flavours, diurnal arrivals, Pareto lifetimes");
+    ("correlated", "Table 2 sizes with cross-dimension correlation rho");
+    ("bursty", "quiet baseline plus flat arrival bursts in short windows");
+    ("diurnal", "sinusoidal modulated-Poisson arrival rate over Table 2 items");
+    ("heavytail", "truncated-Pareto durations: few stragglers pin bins open");
+    ("flashcrowd", "spike arrivals with exponential trail-off over a baseline");
+    ("azure", "2-d cpu:mem VM catalogue mix, diurnal rate, Pareto lifetimes");
+  ]
+
+let render_families () =
+  Dvbp_report.Table.render
+    ~header:[ "workload"; "description" ]
+    ~rows:(List.map (fun (name, blurb) -> [ name; blurb ]) families)

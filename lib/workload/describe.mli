@@ -19,3 +19,11 @@ val measure : Dvbp_core.Instance.t -> t
 
 val render : t -> string
 (** Aligned key/value table. *)
+
+val families : (string * string) list
+(** Every generator family the CLI can select by name, with a one-line
+    description — the source of truth for [Workload_select] and the
+    [dvbp] help text. *)
+
+val render_families : unit -> string
+(** {!families} as an aligned table. *)

@@ -1,0 +1,55 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Rng = Dvbp_prelude.Rng
+
+type params = {
+  base : Uniform_model.params;
+  base_rate : float;
+  amplitude : float;
+  period : float;
+}
+
+let default =
+  {
+    base = Uniform_model.default;
+    base_rate = 2.0;
+    amplitude = 0.7;
+    period = 200.0;
+  }
+
+let validate p =
+  match Uniform_model.validate p.base with
+  | Error _ as e -> e
+  | Ok () -> (
+      match
+        Arrival_process.validate
+          (Arrival_process.Modulated_poisson
+             { base_rate = p.base_rate; amplitude = p.amplitude; period = p.period })
+      with
+      | Error e -> Error ("Diurnal: " ^ e)
+      | Ok () -> Ok ())
+
+let generate p ~rng =
+  (match validate p with Ok () -> () | Error e -> invalid_arg e);
+  let b = p.base in
+  let arrivals =
+    Arrival_process.generate
+      (Arrival_process.Modulated_poisson
+         { base_rate = p.base_rate; amplitude = p.amplitude; period = p.period })
+      ~n:b.Uniform_model.n ~rng
+  in
+  let specs =
+    List.map
+      (fun arrival ->
+        let duration =
+          float_of_int (Rng.int_incl rng ~lo:1 ~hi:b.Uniform_model.mu)
+        in
+        let size =
+          Vec.of_array
+            (Array.init b.Uniform_model.d (fun _ ->
+                 Rng.int_incl rng ~lo:1 ~hi:b.Uniform_model.bin_size))
+        in
+        (arrival, arrival +. duration, size))
+      arrivals
+  in
+  Instance.of_specs_exn ~capacity:(Uniform_model.capacity b) specs

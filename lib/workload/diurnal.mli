@@ -1,0 +1,27 @@
+(** Diurnal workload: sinusoidally modulated Poisson arrivals over the
+    paper's Table 2 size/duration model.
+
+    Cloud request rates follow the day: a [base·(1 + a·sin(2πt/period))]
+    intensity (exact, via Lewis–Shedler thinning in {!Arrival_process})
+    concentrates arrivals into peaks and drains the troughs. Packings feel
+    this as a breathing open-bin count — the regime where the MinUsageTime
+    objective separates policies that consolidate during troughs from
+    those that strand bins. Sizes and durations stay Table 2 uniform, so
+    the {e only} difference from the [uniform] family is arrival timing. *)
+
+type params = {
+  base : Uniform_model.params;
+      (** sizes/durations/bin size; [base.n] is the item count and
+          [base.span] is ignored (the rate fixes the horizon) *)
+  base_rate : float;  (** mean arrivals per time unit *)
+  amplitude : float;  (** modulation depth, in [\[0, 1)] *)
+  period : float;  (** length of one day *)
+}
+
+val default : params
+(** 1000 items at rate 2 with amplitude 0.7 over a 200-unit day. *)
+
+val validate : params -> (unit, string) result
+
+val generate : params -> rng:Dvbp_prelude.Rng.t -> Dvbp_core.Instance.t
+(** @raise Invalid_argument when {!validate} fails. *)

@@ -1,0 +1,69 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Rng = Dvbp_prelude.Rng
+
+type params = {
+  base : Uniform_model.params;
+  crowds : int;
+  crowd_size : int;
+  ramp : float;
+  decay : float;
+}
+
+let default =
+  {
+    base = { Uniform_model.default with Uniform_model.n = 500 };
+    crowds = 4;
+    crowd_size = 150;
+    ramp = 1.0;
+    decay = 15.0;
+  }
+
+let validate p =
+  match Uniform_model.validate p.base with
+  | Error _ as e -> e
+  | Ok () ->
+      if p.crowds < 0 then Error "Flash_crowd: negative crowd count"
+      else if p.crowd_size <= 0 then Error "Flash_crowd: crowd_size must be positive"
+      else if p.ramp <= 0.0 then Error "Flash_crowd: ramp must be positive"
+      else if p.decay <= 0.0 then Error "Flash_crowd: decay must be positive"
+      else if
+        p.ramp +. p.decay >= float_of_int p.base.Uniform_model.span
+      then Error "Flash_crowd: ramp + decay exceeds the span"
+      else Ok ()
+
+let generate p ~rng =
+  (match validate p with Ok () -> () | Error e -> invalid_arg e);
+  let b = p.base in
+  let size () =
+    Vec.of_array
+      (Array.init b.Uniform_model.d (fun _ ->
+           Rng.int_incl rng ~lo:1 ~hi:b.Uniform_model.bin_size))
+  in
+  let duration () = float_of_int (Rng.int_incl rng ~lo:1 ~hi:b.Uniform_model.mu) in
+  let window = float_of_int (b.Uniform_model.span - b.Uniform_model.mu) in
+  let baseline =
+    List.init b.Uniform_model.n (fun _ ->
+        let arrival = float_of_int (Rng.int_incl rng ~lo:0 ~hi:(b.Uniform_model.span - b.Uniform_model.mu)) in
+        (arrival, arrival +. duration (), size ()))
+  in
+  (* Each crowd: arrivals ramp up uniformly over [onset, onset+ramp), then
+     trail off with exponential(decay) offsets — the news-spike shape, as
+     opposed to Bursty's flat window. *)
+  let crowd_items =
+    List.concat
+      (List.init p.crowds (fun _ ->
+           let onset =
+             Rng.float rng (Float.max 1e-9 (window -. p.ramp -. p.decay))
+           in
+           List.init p.crowd_size (fun _ ->
+               let offset =
+                 if Rng.float rng 1.0 < 0.5 then Rng.float rng p.ramp
+                 else p.ramp +. Rng.exponential rng ~mean:(p.decay /. 4.0)
+               in
+               let arrival = Float.min (onset +. offset) (onset +. p.ramp +. p.decay) in
+               (arrival, arrival +. duration (), size ()))))
+  in
+  Instance.of_specs_exn
+    ~capacity:(Uniform_model.capacity b)
+    (baseline @ crowd_items)

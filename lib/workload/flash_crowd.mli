@@ -1,0 +1,27 @@
+(** Flash crowds: sudden arrival spikes with an exponential trail-off.
+
+    A launch, a broadcast, a failover — demand jumps from baseline to a
+    sharp peak within a short ramp, then decays exponentially as the
+    crowd loses interest. This differs from {!Bursty} (a flat clump in a
+    fixed window) in the {e asymmetry}: the onset is near-vertical while
+    the tail stretches several mean durations, so bins opened at the peak
+    drain gradually and reward policies that re-fill them (Best Fit,
+    Move To Front) over those that keep opening (Next Fit). Sizes and
+    durations follow the Table 2 uniform model. *)
+
+type params = {
+  base : Uniform_model.params;
+      (** sizes/durations/bin size; [base.n] is the {e baseline} count *)
+  crowds : int;  (** number of flash-crowd episodes *)
+  crowd_size : int;  (** items per episode *)
+  ramp : float;  (** near-vertical onset width (time units) *)
+  decay : float;  (** exponential trail-off scale *)
+}
+
+val default : params
+(** 500 baseline items plus 4 crowds of 150, ramp 1, decay 15. *)
+
+val validate : params -> (unit, string) result
+
+val generate : params -> rng:Dvbp_prelude.Rng.t -> Dvbp_core.Instance.t
+(** @raise Invalid_argument when {!validate} fails. *)

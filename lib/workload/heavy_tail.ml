@@ -1,0 +1,58 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Rng = Dvbp_prelude.Rng
+module Floatx = Dvbp_prelude.Floatx
+
+type params = {
+  base : Uniform_model.params;
+  shape : float;
+  mean_duration : float;
+  max_duration : float;
+}
+
+let default =
+  {
+    base = Uniform_model.default;
+    shape = 1.3;
+    mean_duration = 8.0;
+    max_duration = 400.0;
+  }
+
+let validate p =
+  match Uniform_model.validate p.base with
+  | Error _ as e -> e
+  | Ok () ->
+      if p.shape <= 1.0 then Error "Heavy_tail: shape must exceed 1"
+      else if p.mean_duration <= 0.0 then
+        Error "Heavy_tail: mean_duration must be positive"
+      else if p.max_duration < 1.0 then
+        Error "Heavy_tail: max_duration must be at least 1"
+      else if float_of_int p.base.Uniform_model.span <= p.max_duration then
+        Error "Heavy_tail: span must exceed max_duration"
+      else Ok ()
+
+(* Pareto(shape a, scale s) has mean s·a/(a−1); pick s for the target mean. *)
+let scale p = p.mean_duration *. (p.shape -. 1.0) /. p.shape
+
+let generate p ~rng =
+  (match validate p with Ok () -> () | Error e -> invalid_arg e);
+  let b = p.base in
+  let s = scale p in
+  let arrival_hi =
+    max 0 (b.Uniform_model.span - int_of_float (Float.ceil p.max_duration))
+  in
+  let specs =
+    List.init b.Uniform_model.n (fun _ ->
+        let arrival = float_of_int (Rng.int_incl rng ~lo:0 ~hi:arrival_hi) in
+        let duration =
+          Floatx.clamp ~lo:1.0 ~hi:p.max_duration
+            (Rng.pareto rng ~shape:p.shape ~scale:s)
+        in
+        let size =
+          Vec.of_array
+            (Array.init b.Uniform_model.d (fun _ ->
+                 Rng.int_incl rng ~lo:1 ~hi:b.Uniform_model.bin_size))
+        in
+        (arrival, arrival +. duration, size))
+  in
+  Instance.of_specs_exn ~capacity:(Uniform_model.capacity b) specs

@@ -1,0 +1,27 @@
+(** Heavy-tailed durations: Pareto lifetimes under Table 2 arrivals and
+    sizes.
+
+    Measured VM lifetimes are heavy-tailed — most instances die in
+    minutes, a few live for weeks. A Pareto(shape) duration clamped to
+    [\[1, max_duration\]] reproduces that: the effective [µ] (max/min
+    duration ratio) explodes, which is exactly the parameter the paper's
+    lower bounds grow with. Long-lived stragglers pin bins open long
+    after their cohort departs, so this family punishes policies that
+    mix lifetimes in one bin. *)
+
+type params = {
+  base : Uniform_model.params;
+      (** [d]/[n]/[span]/[bin_size] as in Table 2; [base.mu] is unused
+          (the Pareto tail replaces it) *)
+  shape : float;  (** Pareto tail index, must exceed 1 (finite mean) *)
+  mean_duration : float;
+  max_duration : float;  (** truncation point; durations lie in [\[1, max\]] *)
+}
+
+val default : params
+(** Shape 1.3 (very heavy), mean 8, truncated at 400 over a 1000 span. *)
+
+val validate : params -> (unit, string) result
+
+val generate : params -> rng:Dvbp_prelude.Rng.t -> Dvbp_core.Instance.t
+(** @raise Invalid_argument when {!validate} fails. *)

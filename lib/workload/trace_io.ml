@@ -21,23 +21,26 @@ let to_string (inst : Instance.t) =
     inst.Instance.items;
   Buffer.contents buf
 
-let parse_int ~line what s =
+(* [field] is the 1-based position within the comma-separated row (the
+   row tag — "item"/"capacity" — is field 1), so an error pinpoints both
+   the line and the offending field. *)
+let parse_int ~line ~field what s =
   match int_of_string_opt (String.trim s) with
   | Some x -> Ok x
-  | None -> Error (Printf.sprintf "line %d: bad %s %S" line what s)
+  | None -> Error (Printf.sprintf "line %d, field %d: bad %s %S" line field what s)
 
-let parse_float ~line what s =
+let parse_float ~line ~field what s =
   match float_of_string_opt (String.trim s) with
   | Some x -> Ok x
-  | None -> Error (Printf.sprintf "line %d: bad %s %S" line what s)
+  | None -> Error (Printf.sprintf "line %d, field %d: bad %s %S" line field what s)
 
 let ( let* ) = Result.bind
 
-let rec collect_ints ~line what = function
+let rec collect_ints ~line ~field what = function
   | [] -> Ok []
   | s :: rest ->
-      let* x = parse_int ~line what s in
-      let* xs = collect_ints ~line what rest in
+      let* x = parse_int ~line ~field what s in
+      let* xs = collect_ints ~line ~field:(field + 1) what rest in
       Ok (x :: xs)
 
 let of_string text =
@@ -51,7 +54,7 @@ let of_string text =
       | "capacity" :: fields -> (
           if capacity <> None then Error (Printf.sprintf "line %d: duplicate capacity row" line)
           else
-            let* cs = collect_ints ~line "capacity entry" fields in
+            let* cs = collect_ints ~line ~field:2 "capacity entry" fields in
             match cs with
             | [] -> Error (Printf.sprintf "line %d: empty capacity" line)
             | _ ->
@@ -59,13 +62,23 @@ let of_string text =
                   Error (Printf.sprintf "line %d: non-positive capacity" line)
                 else Ok (line, Some (Vec.of_list cs), items))
       | "item" :: id :: arrival :: departure :: sizes -> (
-          let* id = parse_int ~line "item id" id in
-          let* arrival = parse_float ~line "arrival" arrival in
-          let* departure = parse_float ~line "departure" departure in
-          let* sizes = collect_ints ~line "size entry" sizes in
+          let* id = parse_int ~line ~field:2 "item id" id in
+          let* arrival = parse_float ~line ~field:3 "arrival" arrival in
+          let* departure = parse_float ~line ~field:4 "departure" departure in
+          let* sizes = collect_ints ~line ~field:5 "size entry" sizes in
           match sizes with
           | [] -> Error (Printf.sprintf "line %d: item with no size" line)
           | _ -> (
+              let* () =
+                match capacity with
+                | Some cap when List.length sizes <> Vec.dim cap ->
+                    Error
+                      (Printf.sprintf
+                         "line %d: item has %d size entries but capacity has \
+                          %d dimensions"
+                         line (List.length sizes) (Vec.dim cap))
+                | _ -> Ok ()
+              in
               if List.exists (fun s -> s < 0) sizes then
                 Error (Printf.sprintf "line %d: negative size" line)
               else

@@ -9,4 +9,5 @@ let () =
    @ Test_registry.suites @ Test_analysis.suites @ Test_report.suites
    @ Test_experiments.suites @ Test_session.suites @ Test_golden.suites
    @ Test_props.suites @ Test_service.suites @ Test_sim.suites
-   @ Test_cli.suites @ Test_printers.suites @ Test_obs.suites)
+   @ Test_cli.suites @ Test_printers.suites @ Test_obs.suites
+   @ Test_tracestore.suites)

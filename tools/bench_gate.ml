@@ -131,6 +131,13 @@ let service_journaled_eps txt =
       | None -> None
       | Some j -> number_after txt "\"events_per_sec\"" j)
 
+(* the trace-store replay throughput:
+   "trace_replay": { ..., "events_per_sec": V, ... } *)
+let trace_replay_eps txt =
+  match find_from txt "\"trace_replay\"" 0 with
+  | None -> None
+  | Some s -> number_after txt "\"events_per_sec\"" s
+
 let () =
   let baseline = ref "" and current = ref "" in
   let min_ratio = ref 0.8 in
@@ -209,6 +216,23 @@ let () =
       let ok = ratio >= !min_ratio in
       Printf.printf "%-4s %-10s baseline %12.1f  current %12.1f  %5.2fx  %s\n"
         "svc" "journaled" bv cv ratio
+        (if ok then "ok" else "REGRESSION");
+      if not ok then incr failures);
+  (* the binary-trace replay path is gated the same way: streaming a
+     compiled trace into a session must not get slower *)
+  (match (trace_replay_eps base_txt, trace_replay_eps cur_txt) with
+  | None, _ ->
+      Printf.eprintf "bench_gate: trace_replay line missing from %s\n" !baseline;
+      incr failures
+  | _, None ->
+      Printf.eprintf "bench_gate: trace_replay line missing from %s\n" !current;
+      incr failures
+  | Some bv, Some cv ->
+      incr checked;
+      let ratio = cv /. bv in
+      let ok = ratio >= !min_ratio in
+      Printf.printf "%-4s %-10s baseline %12.1f  current %12.1f  %5.2fx  %s\n"
+        "trc" "replay" bv cv ratio
         (if ok then "ok" else "REGRESSION");
       if not ok then incr failures);
   if !checked = 0 then begin
