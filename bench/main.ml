@@ -473,10 +473,21 @@ let run_json path =
     W.Uniform_model.generate (W.Uniform_model.table2 ~d:2 ~mu:100)
       ~rng:(Rng.create ~seed:5)
   in
+  (* the journal is a segment chain (tmp.000000.seg...), so cleanup must
+     sweep every file sharing the prefix, not just the prefix itself *)
+  let remove_journal_files tmp =
+    (try Sys.remove tmp with Sys_error _ -> ());
+    let dir = Filename.dirname tmp and base = Filename.basename tmp in
+    Array.iter
+      (fun f ->
+        if String.starts_with ~prefix:(base ^ ".") f then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||])
+  in
   let lg_run ?journal () =
     let tmp = Option.map (fun _ -> Filename.temp_file "dvbp_bench" ".journal") journal in
     Fun.protect
-      ~finally:(fun () -> Option.iter Sys.remove tmp)
+      ~finally:(fun () -> Option.iter remove_journal_files tmp)
       (fun () ->
         match
           Dvbp_service.Loadgen.run ~policy:"mtf" ~seed:3 ?journal:tmp
@@ -514,7 +525,7 @@ let run_json path =
     let one () =
       let tmp = Filename.temp_file "dvbp_bench_mc" ".journal" in
       Fun.protect
-        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        ~finally:(fun () -> remove_journal_files tmp)
         (fun () ->
           match
             Dvbp_service.Loadgen.run_multi ~policy:"mtf" ~seed:3 ~journal:tmp
@@ -580,7 +591,7 @@ let run_json path =
     tr_stats.Dvbp_tracestore.Replay.events;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"label\": \"pr8\",\n";
+  Buffer.add_string buf "  \"label\": \"pr9\",\n";
   Buffer.add_string buf "  \"generated_by\": \"bench/main.ml --json\",\n";
   Buffer.add_string buf
     (Printf.sprintf
@@ -724,7 +735,7 @@ let () =
         let path, rest =
           match rest with
           | p :: rest' when not (String.length p > 0 && p.[0] = '-') -> (p, rest')
-          | _ -> ("BENCH_pr8.json", rest)
+          | _ -> ("BENCH_pr9.json", rest)
         in
         parse ~json:(Some path) ~jobs rest
     | arg :: _ -> fail (Printf.sprintf "unknown argument %S" arg)

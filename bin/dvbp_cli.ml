@@ -11,6 +11,7 @@
      opt       exact optimal cost of a (small) CSV trace
      serve     durable online placement service (line protocol on stdio)
      recover   rebuild + verify service state from journal/snapshot
+     compact   snapshot the journal frontier, retire sealed segments
      loadgen   replay a workload against a live server, report throughput
      metrics   pretty-print a METRICS / --metrics-dump snapshot
      trace     compile / info / verify / replay binary traces *)
@@ -277,6 +278,20 @@ let serve_jobs_arg =
            ~doc:"Tenant shards (worker domains) for batched requests. Per-tenant \
                  packings are bit-identical for any value.")
 
+let segment_bytes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "segment-bytes" ] ~docv:"BYTES"
+           ~doc:"Journal segment roll threshold (default 1048576): the active \
+                 segment is sealed and a new one opened once it passes this \
+                 size.")
+
+let retain_segments_arg =
+  Arg.(value & opt (some int) None
+       & info [ "retain-segments" ] ~docv:"N"
+           ~doc:"Arm online compaction: once more than N sealed segments \
+                 accumulate, snapshot and retire the covered ones between \
+                 batches. Requires --journal and --snapshot.")
+
 let serve_cmd =
   let resume_arg =
     Arg.(value & flag
@@ -297,11 +312,12 @@ let serve_cmd =
                    (group commit across connections) instead of stdio.")
   in
   let action policy seed capacity journal snapshot snapshot_every fsync_every jobs
-      listen resume metrics_dump =
+      segment_bytes retain_segments listen resume metrics_dump =
     match
       Cli.Service_cli.serve
         { Cli.Service_cli.policy; seed; capacity; journal; snapshot;
-          snapshot_every; fsync_every; jobs; listen; resume; metrics_dump }
+          snapshot_every; fsync_every; jobs; segment_bytes; retain_segments;
+          listen; resume; metrics_dump }
         stdin stdout
     with
     | Ok () -> 0
@@ -313,6 +329,7 @@ let serve_cmd =
              stdio or a unix socket")
     Term.(const action $ policy_arg $ seed_arg $ capacity_arg $ journal_arg
           $ snapshot_arg $ snapshot_every_arg $ fsync_every_arg $ serve_jobs_arg
+          $ segment_bytes_arg $ retain_segments_arg
           $ listen_arg $ resume_arg $ metrics_dump_arg)
 
 let recover_cmd =
@@ -336,6 +353,28 @@ let recover_cmd =
     (Cmd.info "recover"
        ~doc:"Rebuild service state from journal + snapshot, verifying every placement")
     Term.(const action $ journal_pos $ snapshot_arg $ verify_arg)
+
+let compact_cmd =
+  let journal_req =
+    Arg.(required & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE" ~doc:"Journal to compact.")
+  in
+  let snapshot_req =
+    Arg.(required & opt (some string) None
+         & info [ "snapshot" ] ~docv:"FILE"
+             ~doc:"Snapshot to write at the recovered frontier (an existing \
+                   one is read first and replaced atomically).")
+  in
+  let action journal snapshot segment_bytes =
+    match Cli.Service_cli.compact ~journal ~snapshot ?segment_bytes () with
+    | Ok out -> print_endline out; 0
+    | Error e -> prerr_endline e; 1
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Offline journal compaction: snapshot the recovered frontier, \
+             then retire every sealed segment it covers")
+    Term.(const action $ journal_req $ snapshot_req $ segment_bytes_arg)
 
 let loadgen_cmd =
   let emit_arg =
@@ -493,8 +532,8 @@ let main_cmd =
     (Cmd.info "dvbp" ~version:"1.0.0"
        ~doc:"MinUsageTime Dynamic Vector Bin Packing — simulator and experiments")
     [ run_cmd; figure4_cmd; table1_cmd; table2_cmd; figures_cmd; adversary_cmd;
-      describe_cmd; opt_cmd; serve_cmd; recover_cmd; loadgen_cmd; metrics_cmd;
-      trace_group_cmd ]
+      describe_cmd; opt_cmd; serve_cmd; recover_cmd; compact_cmd; loadgen_cmd;
+      metrics_cmd; trace_group_cmd ]
 
 (* Error-path hardening: whatever escapes a subcommand becomes one line on
    stderr and a non-zero exit, never a raw backtrace. *)

@@ -29,6 +29,8 @@ type serve_opts = {
   snapshot_every : int option;
   fsync_every : int;
   jobs : int;
+  segment_bytes : int option;
+  retain_segments : int option;
   listen : string option;
   resume : bool;
   metrics_dump : string option;
@@ -48,9 +50,13 @@ let server_config (o : serve_opts) =
       snapshot_every = o.snapshot_every;
       fsync_every = o.fsync_every;
       jobs = o.jobs;
+      segment_bytes = o.segment_bytes;
+      retain_segments = o.retain_segments;
     }
 
-let journal_has_content = Option.fold ~none:false ~some:Sys.file_exists
+(* a journal "exists" in either form: legacy single file or segment chain *)
+let journal_has_content =
+  Option.fold ~none:false ~some:(fun path -> Service.Journal.exists path)
 
 (* --listen: a unix-domain event loop accepting many concurrent clients
    (group commit across all of them); without it, the classic blocking
@@ -105,11 +111,47 @@ let serve (o : serve_opts) ic oc =
 
 let recover ~journal ~snapshot =
   let* () =
-    if Sys.file_exists journal then Ok ()
+    if Service.Journal.exists journal then Ok ()
     else Error (Printf.sprintf "journal %s does not exist" journal)
   in
   let* state = Service.Recovery.recover ?snapshot ~journal () in
   Ok (Service.Recovery.render state)
+
+(* [dvbp compact]: offline whole-pass compaction — recover the state the
+   journal (and any prior snapshot) describes, write a fresh snapshot at
+   the recovered frontier, retire every sealed segment it covers. The
+   active segment keeps its tail, so a serve --resume afterwards appends
+   where the journal left off. *)
+let compact ~journal ~snapshot ?segment_bytes () =
+  let* () =
+    if Service.Journal.exists journal then Ok ()
+    else Error (Printf.sprintf "journal %s does not exist" journal)
+  in
+  let* state = Service.Recovery.recover ~snapshot ~journal () in
+  let config =
+    {
+      Service.Server.policy = state.Service.Recovery.policy;
+      seed = state.Service.Recovery.seed;
+      capacity = state.Service.Recovery.capacity;
+      journal = Some journal;
+      snapshot = Some snapshot;
+      snapshot_every = None;
+      fsync_every = 64;
+      jobs = 1;
+      segment_bytes;
+      retain_segments = None;
+    }
+  in
+  let* server = Service.Server.resume config state in
+  let outcome = Service.Server.compact server in
+  Service.Server.close server;
+  let* path, retired = outcome in
+  Ok
+    (Printf.sprintf "compacted: snapshot %s covers %d events, %d sealed segment%s retired"
+       path
+       (List.length state.Service.Recovery.history)
+       retired
+       (if retired = 1 then "" else "s"))
 
 type loadgen_opts = {
   source : Workload_select.source;

@@ -20,6 +20,11 @@ type serve_opts = {
   snapshot_every : int option;
   fsync_every : int;
   jobs : int;  (** tenant shards for the batch path (domains) *)
+  segment_bytes : int option;
+      (** journal segment roll threshold (bytes, default 1 MiB) *)
+  retain_segments : int option;
+      (** arm online compaction: snapshot + retire once more than this
+          many sealed segments accumulate *)
   listen : string option;
       (** unix socket path: serve many concurrent clients through the
           {!Dvbp_service.Event_loop} instead of stdin/stdout *)
@@ -43,6 +48,13 @@ val serve : serve_opts -> in_channel -> out_channel -> (unit, string) result
 val recover : journal:string -> snapshot:string option -> (string, string) result
 (** Recovers and verifies (placement-by-placement — see {!Dvbp_service.Recovery});
     returns the rendered state summary. *)
+
+val compact :
+  journal:string -> snapshot:string -> ?segment_bytes:int -> unit -> (string, string) result
+(** [dvbp compact]: offline whole-pass compaction. Recovers the state,
+    writes a fresh snapshot at the recovered frontier, and retires every
+    sealed segment the snapshot covers; the active segment keeps its tail.
+    Returns a one-line summary (events covered, segments retired). *)
 
 type loadgen_opts = {
   source : Workload_select.source;  (** what to replay *)

@@ -12,6 +12,7 @@ type t = {
   rename : src:string -> dst:string -> unit;
   fsync_dir : string -> unit;
   remove : string -> unit;
+  list_dir : string -> string list;
 }
 
 let close_noerr o = try o.close () with _ -> ()

@@ -35,6 +35,10 @@ type t = {
   fsync_dir : string -> unit;
       (** make the directory's entries (creations, renames) durable *)
   remove : string -> unit;
+  list_dir : string -> string list;
+      (** entry basenames, sorted; [[]] for a missing directory. The
+          segmented journal scans its directory through this, so the
+          simulated backend can expose crash-resolved entry states. *)
 }
 
 val close_noerr : out -> unit

@@ -3,9 +3,16 @@ module Vec = Dvbp_vec.Vec
 let magic = "# dvbp-journal v2"
 let magic_v1 = "# dvbp-journal v1"
 
-type header = { policy : string; seed : int; capacity : Vec.t; base : int }
+(* the codec lives in {!Record} (shared with {!Segment}); re-exported here
+   so every existing caller keeps reading [Journal.Arrive]/[Journal.header] *)
+type header = Record.header = {
+  policy : string;
+  seed : int;
+  capacity : Vec.t;
+  base : int;
+}
 
-type event =
+type event = Record.event =
   | Arrive of {
       tenant : string;
       time : float;
@@ -16,236 +23,13 @@ type event =
     }
   | Depart of { tenant : string; time : float; item_id : int }
 
-let event_time = function Arrive { time; _ } | Depart { time; _ } -> time
-let event_item = function Arrive { item_id; _ } | Depart { item_id; _ } -> item_id
-let event_tenant = function Arrive { tenant; _ } | Depart { tenant; _ } -> tenant
-
-let equal_event a b =
-  match (a, b) with
-  | Arrive a, Arrive b ->
-      String.equal a.tenant b.tenant && a.time = b.time && a.item_id = b.item_id
-      && Vec.equal a.size b.size && a.bin_id = b.bin_id
-      && a.opened_new_bin = b.opened_new_bin
-  | Depart a, Depart b ->
-      String.equal a.tenant b.tenant && a.time = b.time && a.item_id = b.item_id
-  | Arrive _, Depart _ | Depart _, Arrive _ -> false
-
-let pp_tenant ppf tenant =
-  if not (String.equal tenant Tenant.default) then
-    Format.fprintf ppf "tenant=%s " tenant
-
-let pp_event ppf = function
-  | Arrive { tenant; time; item_id; size; bin_id; opened_new_bin } ->
-      Format.fprintf ppf "arrive %at=%g item=%d size=%a -> bin %d%s" pp_tenant
-        tenant time item_id Vec.pp size bin_id
-        (if opened_new_bin then " (new)" else "")
-  | Depart { tenant; time; item_id } ->
-      Format.fprintf ppf "depart %at=%g item=%d" pp_tenant tenant time item_id
-
-(* ---------- record codec ---------- *)
-
-(* 16-bit rolling checksum over the record body: enough to tell a torn
-   final record from a complete one (a truncated prefix that still passes
-   both the syntax check and the checksum is a 1-in-65536 coincidence per
-   crash, vs certainty of misparse for records whose prefix is valid). *)
-let checksum body =
-  String.fold_left (fun acc c -> ((acc * 31) + Char.code c) land 0xffff) 0 body
-
-let hex_digits = "0123456789abcdef"
-
-(* Hot-path record writer: every journaled event pays encode cost before
-   its reply can be released, so fields go into a reusable byte scratch
-   (no per-record [Buffer], no [Printf]), the checksum runs over those
-   bytes in place, and the sealed record is blitted into the batch
-   buffer in one move. *)
-module Scratch = struct
-  type t = { mutable buf : Bytes.t; mutable pos : int }
-
-  let create () = { buf = Bytes.create 256; pos = 0 }
-  let reset t = t.pos <- 0
-
-  let ensure t extra =
-    let need = t.pos + extra in
-    if need > Bytes.length t.buf then begin
-      let nb = Bytes.create (max need (2 * Bytes.length t.buf)) in
-      Bytes.blit t.buf 0 nb 0 t.pos;
-      t.buf <- nb
-    end
-
-  let add_char t c =
-    ensure t 1;
-    Bytes.unsafe_set t.buf t.pos c;
-    t.pos <- t.pos + 1
-
-  let add_string t s =
-    let len = String.length s in
-    ensure t len;
-    Bytes.blit_string s 0 t.buf t.pos len;
-    t.pos <- t.pos + len
-
-  let add_int t n = add_string t (string_of_int n)
-
-  let checksum t =
-    let acc = ref 0 in
-    for i = 0 to t.pos - 1 do
-      acc := ((!acc * 31) + Char.code (Bytes.unsafe_get t.buf i)) land 0xffff
-    done;
-    !acc
-end
-
-(* v2 times are hex floats (e.g. [0x1.8p+1] for 3.0): they round-trip
-   exactly like ["%.17g"] but cost a fraction to format, and
-   [float_of_string] reads both spellings, so v1 journals (decimal
-   times) replay unchanged. Written digit-by-digit from the IEEE bits
-   rather than via ["%h"] because [Printf]'s dispatch alone costs more
-   than the record's other fields combined. *)
-let add_time s v =
-  let bits = Int64.bits_of_float v in
-  if Int64.logand bits Int64.min_int <> 0L then Scratch.add_char s '-';
-  let e = Int64.to_int (Int64.shift_right_logical bits 52) land 0x7ff in
-  let m = Int64.logand bits 0xF_FFFF_FFFF_FFFFL in
-  if e = 0x7ff then Scratch.add_string s (if m = 0L then "inf" else "nan")
-  else if e = 0 && m = 0L then Scratch.add_string s "0x0p+0"
-  else begin
-    (* subnormals keep the raw [0x0.<m>p-1022] form: still exact binary,
-       still one [float_of_string] away from the original *)
-    let lead, exp = if e = 0 then ('0', -1022) else ('1', e - 1023) in
-    Scratch.add_string s "0x";
-    Scratch.add_char s lead;
-    if m <> 0L then begin
-      Scratch.add_char s '.';
-      let nib i = Int64.to_int (Int64.shift_right_logical m ((12 - i) * 4)) land 0xf in
-      let last = ref 12 in
-      while nib !last = 0 do decr last done;
-      for i = 0 to !last do Scratch.add_char s hex_digits.[nib i] done
-    end;
-    Scratch.add_char s 'p';
-    if exp >= 0 then Scratch.add_char s '+';
-    Scratch.add_int s exp
-  end
-
-let encode_into s = function
-  | Arrive { tenant; time; item_id; size; bin_id; opened_new_bin } ->
-      Scratch.add_string s "arrive,";
-      Scratch.add_string s tenant;
-      Scratch.add_char s ',';
-      add_time s time;
-      Scratch.add_char s ',';
-      Scratch.add_int s item_id;
-      Scratch.add_char s ',';
-      Scratch.add_int s bin_id;
-      Scratch.add_string s (if opened_new_bin then ",1" else ",0");
-      for i = 0 to Vec.dim size - 1 do
-        Scratch.add_char s ',';
-        Scratch.add_int s (Vec.get size i)
-      done
-  | Depart { tenant; time; item_id } ->
-      Scratch.add_string s "depart,";
-      Scratch.add_string s tenant;
-      Scratch.add_char s ',';
-      add_time s time;
-      Scratch.add_char s ',';
-      Scratch.add_int s item_id
-
-(* append the sealed record ([body ^ ",~%04x"] of the body checksum) to
-   [buf] — the only place record bytes are copied out of the scratch *)
-let seal_to buf s =
-  let sum = Scratch.checksum s in
-  Buffer.add_subbytes buf s.Scratch.buf 0 s.Scratch.pos;
-  Buffer.add_string buf ",~";
-  Buffer.add_char buf hex_digits.[(sum lsr 12) land 0xf];
-  Buffer.add_char buf hex_digits.[(sum lsr 8) land 0xf];
-  Buffer.add_char buf hex_digits.[(sum lsr 4) land 0xf];
-  Buffer.add_char buf hex_digits.[sum land 0xf]
-
-let encode_event e =
-  let s = Scratch.create () in
-  encode_into s e;
-  let buf = Buffer.create (s.Scratch.pos + 6) in
-  seal_to buf s;
-  Buffer.contents buf
-
-let ( let* ) = Result.bind
-
-let parse_int what s =
-  match int_of_string_opt (String.trim s) with
-  | Some x -> Ok x
-  | None -> Error (Printf.sprintf "bad %s %S" what s)
-
-let parse_float what s =
-  match float_of_string_opt (String.trim s) with
-  | Some x when Float.is_finite x -> Ok x
-  | Some _ | None -> Error (Printf.sprintf "bad %s %S" what s)
-
-let rec collect_ints what = function
-  | [] -> Ok []
-  | s :: rest ->
-      let* x = parse_int what s in
-      let* xs = collect_ints what rest in
-      Ok (x :: xs)
-
-let split_checksum line =
-  match String.rindex_opt line ',' with
-  | Some i
-    when i + 1 < String.length line
-         && line.[i + 1] = '~'
-         && String.length line - i - 2 = 4 -> (
-      let body = String.sub line 0 i in
-      let hex = String.sub line (i + 2) 4 in
-      match int_of_string_opt ("0x" ^ hex) with
-      | Some sum when sum = checksum body -> Ok body
-      | Some _ -> Error "checksum mismatch"
-      | None -> Error (Printf.sprintf "bad checksum field %S" hex))
-  | _ -> Error "missing checksum field"
-
-(* v1 records carry no tenant field (they all belong to [Tenant.default]);
-   v2 records put the tenant right after the kind. The version comes from
-   the file's magic line — the two grammars are not self-distinguishing
-   (a v1 arrive's timestamp sits where a v2 tenant would). *)
-let decode_event ?(version = 2) line =
-  let* body = split_checksum line in
-  let parse_tenant tenant =
-    Result.map_error (fun _ -> Printf.sprintf "bad tenant %S" tenant)
-      (Tenant.validate tenant)
-  in
-  let arrive ~tenant ~time ~item ~bin ~fresh ~sizes =
-    let* tenant = parse_tenant tenant in
-    let* time = parse_float "arrival time" time in
-    let* item_id = parse_int "item id" item in
-    let* bin_id = parse_int "bin id" bin in
-    let* fresh = parse_int "opened-new-bin flag" fresh in
-    let* opened_new_bin =
-      match fresh with
-      | 0 -> Ok false
-      | 1 -> Ok true
-      | n -> Error (Printf.sprintf "opened-new-bin flag must be 0 or 1, got %d" n)
-    in
-    let* sizes = collect_ints "size entry" sizes in
-    match sizes with
-    | [] -> Error "arrive record with no size"
-    | _ ->
-        if List.exists (fun s -> s < 0) sizes then Error "negative size"
-        else
-          Ok
-            (Arrive
-               { tenant; time; item_id; size = Vec.of_list sizes; bin_id; opened_new_bin })
-  in
-  let depart ~tenant ~time ~item =
-    let* tenant = parse_tenant tenant in
-    let* time = parse_float "departure time" time in
-    let* item_id = parse_int "item id" item in
-    Ok (Depart { tenant; time; item_id })
-  in
-  match (version, String.split_on_char ',' body) with
-  | 2, "arrive" :: tenant :: time :: item :: bin :: fresh :: sizes ->
-      arrive ~tenant ~time ~item ~bin ~fresh ~sizes
-  | 2, [ "depart"; tenant; time; item ] -> depart ~tenant ~time ~item
-  | 1, "arrive" :: time :: item :: bin :: fresh :: sizes ->
-      arrive ~tenant:Tenant.default ~time ~item ~bin ~fresh ~sizes
-  | 1, [ "depart"; time; item ] -> depart ~tenant:Tenant.default ~time ~item
-  | _, ("arrive" | "depart") :: _ -> Error "malformed record"
-  | _, kind :: _ -> Error (Printf.sprintf "unrecognised record kind %S" kind)
-  | _, [] -> Error "empty record"
+let event_time = Record.event_time
+let event_item = Record.event_item
+let event_tenant = Record.event_tenant
+let equal_event = Record.equal_event
+let pp_event = Record.pp_event
+let encode_event = Record.encode_event
+let decode_event = Record.decode_event
 
 (* ---------- reading ---------- *)
 
@@ -256,73 +40,11 @@ type read = {
   version : int;
 }
 
-let header_string h =
-  let buf = Buffer.create 128 in
-  Buffer.add_string buf magic;
-  Buffer.add_char buf '\n';
-  Buffer.add_string buf (Printf.sprintf "policy,%s\n" h.policy);
-  Buffer.add_string buf (Printf.sprintf "seed,%d\n" h.seed);
-  Buffer.add_string buf "capacity";
-  Array.iter (fun c -> Buffer.add_string buf (Printf.sprintf ",%d" c)) (Vec.to_array h.capacity);
-  Buffer.add_char buf '\n';
-  Buffer.add_string buf (Printf.sprintf "base,%d\n" h.base);
-  Buffer.contents buf
-
-type partial_header = {
-  mutable p_policy : string option;
-  mutable p_seed : int option;
-  mutable p_capacity : Vec.t option;
-  mutable p_base : int option;
-}
-
-let finish_header p =
-  match (p.p_policy, p.p_seed, p.p_capacity, p.p_base) with
-  | Some policy, Some seed, Some capacity, Some base ->
-      if base < 0 then Error "negative base" else Ok { policy; seed; capacity; base }
-  | None, _, _, _ -> Error "incomplete header: missing policy row"
-  | _, None, _, _ -> Error "incomplete header: missing seed row"
-  | _, _, None, _ -> Error "incomplete header: missing capacity row"
-  | _, _, _, None -> Error "incomplete header: missing base row"
-
-let header_row ~line p trimmed =
-  let dup what = Error (Printf.sprintf "line %d: duplicate %s row" line what) in
-  match String.split_on_char ',' trimmed with
-  | "policy" :: [ name ] ->
-      if p.p_policy <> None then dup "policy"
-      else if String.trim name = "" then Error (Printf.sprintf "line %d: empty policy" line)
-      else (p.p_policy <- Some (String.trim name); Ok ())
-  | "seed" :: [ s ] ->
-      if p.p_seed <> None then dup "seed"
-      else
-        let* seed = Result.map_error (Printf.sprintf "line %d: %s" line) (parse_int "seed" s) in
-        p.p_seed <- Some seed;
-        Ok ()
-  | "capacity" :: fields -> (
-      if p.p_capacity <> None then dup "capacity"
-      else
-        let* cs =
-          Result.map_error (Printf.sprintf "line %d: %s" line)
-            (collect_ints "capacity entry" fields)
-        in
-        match cs with
-        | [] -> Error (Printf.sprintf "line %d: empty capacity" line)
-        | _ ->
-            if List.exists (fun c -> c <= 0) cs then
-              Error (Printf.sprintf "line %d: non-positive capacity" line)
-            else (p.p_capacity <- Some (Vec.of_list cs); Ok ()))
-  | "base" :: [ s ] ->
-      if p.p_base <> None then dup "base"
-      else
-        let* base = Result.map_error (Printf.sprintf "line %d: %s" line) (parse_int "base" s) in
-        p.p_base <- Some base;
-        Ok ()
-  | _ -> Error (Printf.sprintf "line %d: unrecognised header row %S" line trimmed)
-
-let is_record trimmed =
-  String.length trimmed >= 7
-  && (String.sub trimmed 0 7 = "arrive," || String.sub trimmed 0 7 = "depart,")
-
+(* legacy single-file reader (v1/v2 magic). Kept for reading journals from
+   before the segmented format; {!append_to} migrates such a file into an
+   active segment before the first new record. *)
 let of_string text =
+  let ( let* ) = Result.bind in
   if String.trim text = "" then Error "empty journal"
   else begin
     let terminated = text.[String.length text - 1] = '\n' in
@@ -333,21 +55,21 @@ let of_string text =
         match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
       else lines
     in
-    let p = { p_policy = None; p_seed = None; p_capacity = None; p_base = None } in
+    let p = Record.empty_partial () in
     let version = ref 2 in
     (* The final line of an unterminated file is a torn-write candidate: if
        it fails to parse it is dropped (the crash interrupted the append),
        never reported as corruption. Everywhere else, failures are hard. *)
     let rec go line ~events = function
       | [] ->
-          let* header = finish_header p in
+          let* header = Record.finish_header p in
           Ok { header; events = List.rev events; dropped_torn = false; version = !version }
       | raw :: rest -> (
           let torn_candidate = rest = [] && not terminated in
           let trimmed = String.trim raw in
           let tear_or error =
             if torn_candidate then
-              let* header = finish_header p in
+              let* header = Record.finish_header p in
               Ok { header; events = List.rev events; dropped_torn = true; version = !version }
             else error ()
           in
@@ -359,33 +81,70 @@ let of_string text =
             end
             else Error (Printf.sprintf "line 1: expected %S, got %S" magic trimmed)
           else if trimmed = "" || trimmed.[0] = '#' then go (line + 1) ~events rest
-          else if is_record trimmed then
+          else if Record.is_record trimmed then
             (* records may only follow a complete header *)
-            let* _ = finish_header p in
-            match decode_event ~version:!version trimmed with
+            let* _ = Record.finish_header p in
+            match Record.decode_event ~version:!version trimmed with
             | Ok e -> go (line + 1) ~events:(e :: events) rest
             | Error msg ->
                 tear_or (fun () -> Error (Printf.sprintf "line %d: %s" line msg))
           else
-            match header_row ~line p trimmed with
+            match Record.header_row ~line p trimmed with
             | Ok () -> go (line + 1) ~events rest
             | Error msg -> tear_or (fun () -> Error msg))
     in
     go 1 ~events:[] lines
   end
 
+let view_read (v : Log.view) =
+  {
+    header = v.Log.v_header;
+    events = v.Log.v_events;
+    dropped_torn = v.Log.v_dropped_torn;
+    version = 2;
+  }
+
 let read_file ?(io = Real_io.v) path =
-  match io.Io.read_file path with Ok text -> of_string text | Error msg -> Error msg
+  if io.Io.file_exists path then
+    match io.Io.read_file path with Ok text -> of_string text | Error msg -> Error msg
+  else
+    match Log.read ~io path with
+    | Error msg -> Error msg
+    | Ok (Some v) -> Ok (view_read v)
+    | Ok None -> Error (Printf.sprintf "%s: no journal (no file, no segments)" path)
+
+(* A journal "exists" once it holds durable state a resume must not ignore:
+   a legacy file, any segment with a complete header — or unreadable
+   segments, which must surface as a resume error rather than be shadowed
+   by a silent fresh start. *)
+let exists ?(io = Real_io.v) path =
+  io.Io.file_exists path
+  || (match Log.read ~io path with Ok None -> false | Ok (Some _) | Error _ -> true)
 
 (* ---------- writing ---------- *)
+
+type sealed_info = {
+  si_idx : int;
+  si_base : int;
+  si_count : int;
+  si_bytes : int;
+  si_path : string;
+}
 
 type writer = {
   w_path : string;
   io : Io.t;
   metrics : Metrics.t;
-  mutable out : Io.out;
-  mutable header : header;
   fsync_every : int;
+  segment_bytes : int;
+  shape : header;  (* policy/seed/capacity template for new segment headers *)
+  mutable out : Io.out;
+  mutable active_idx : int;
+  mutable active_base : int;
+  mutable active_count : int;
+  mutable active_bytes : int;  (* active file size, header included *)
+  mutable crc : int;  (* running CRC-32 of the active record region *)
+  mutable sealed : sealed_info list;  (* ascending index *)
   mutable unsynced : int;
   mutable appended : int;
   mutable closed : bool;
@@ -393,108 +152,139 @@ type writer = {
 
 let path w = w.w_path
 let appended w = w.appended
+let default_segment_bytes = 1 lsl 20
 
 let validate_fsync_every fsync_every =
   if fsync_every < 1 then
     invalid_arg (Printf.sprintf "fsync_every must be >= 1, got %d" fsync_every)
 
-let open_append io path = io.Io.open_out ~append:true path
+let validate_segment_bytes segment_bytes =
+  if segment_bytes < 64 then
+    invalid_arg (Printf.sprintf "segment_bytes must be >= 64, got %d" segment_bytes)
 
-let create ?(io = Real_io.v) ?metrics ?(fsync_every = 64) ~path header =
+let crc_add crc s =
+  Dvbp_tracestore.Crc32.update crc
+    (Bytes.unsafe_of_string s)
+    ~pos:0 ~len:(String.length s)
+
+let frontier w = w.active_base + w.active_count
+let sealed_segments w = List.length w.sealed
+
+let live_bytes w =
+  List.fold_left (fun acc s -> acc + s.si_bytes) w.active_bytes w.sealed
+
+let gauges w =
+  Metrics.set_journal_live w.metrics
+    ~segments:(List.length w.sealed + 1)
+    ~bytes:(live_bytes w)
+
+(* open a fresh active segment and make its header durable; the caller
+   issues the directory fsync (usually batched with other entry changes) *)
+let open_active ~(io : Io.t) ~path ~idx ~base shape =
+  let p = Segment.name path ~idx Segment.Active in
+  let out = io.Io.open_out ~append:false p in
+  let hdr = Segment.header_string { shape with base } in
+  out.Io.write hdr;
+  out.Io.fsync ();
+  (out, String.length hdr)
+
+let create ?(io = Real_io.v) ?metrics ?(fsync_every = 64)
+    ?(segment_bytes = default_segment_bytes) ~path header =
   let metrics = match metrics with Some m -> m | None -> Metrics.noop () in
   validate_fsync_every fsync_every;
+  validate_segment_bytes segment_bytes;
   if header.base < 0 then invalid_arg "journal base must be non-negative";
-  Io.atomic_replace io ~path (header_string header);
-  {
-    w_path = path;
-    io;
-    metrics;
-    out = open_append io path;
-    header;
-    fsync_every;
-    unsynced = 0;
-    appended = 0;
-    closed = false;
-  }
-
-let append_to ?(io = Real_io.v) ?metrics ?(fsync_every = 64) ~path header =
-  let metrics = match metrics with Some m -> m | None -> Metrics.noop () in
-  validate_fsync_every fsync_every;
-  let fresh () =
-    let w = create ~io ~metrics ~fsync_every ~path header in
-    Ok (w, { header; events = []; dropped_torn = false; version = 2 })
+  (* wipe whatever previous journal lived at this path: the legacy single
+     file and any segment files (including crashed-genesis leftovers) *)
+  let leftovers =
+    (if io.Io.file_exists path then [ path ] else []) @ Log.all_paths ~io path
   in
-  if not (io.Io.file_exists path) then fresh ()
-  else
-    match io.Io.read_file path with
-    | Error msg -> Error msg
-    | Ok "" -> fresh ()
-    | Ok text -> (
-        match of_string text with
-        | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
-        | Ok r ->
-            if r.header.policy <> header.policy then
-              Error
-                (Printf.sprintf "%s: journal was written by policy %s, not %s" path
-                   r.header.policy header.policy)
-            else if r.header.seed <> header.seed then
-              Error
-                (Printf.sprintf "%s: journal was written with seed %d, not %d" path
-                   r.header.seed header.seed)
-            else if not (Vec.equal r.header.capacity header.capacity) then
-              Error
-                (Printf.sprintf "%s: journal capacity %s does not match %s" path
-                   (Vec.to_string r.header.capacity)
-                   (Vec.to_string header.capacity))
-            else begin
-              (* an unterminated tail must not stay on disk: appending after
-                 it would weld the fragment to the next record and corrupt
-                 the file. Two shapes need the rewrite: a torn (unparseable)
-                 fragment, and a record whose bytes all survived a crash
-                 except the trailing newline — parseable, so [dropped_torn]
-                 is false, yet still missing its terminator. A v1 file is
-                 rewritten too (mixing tenantless v1 records with v2
-                 appends under one magic would be unparseable), upgrading
-                 it in place. *)
-              let unterminated = text.[String.length text - 1] <> '\n' in
-              if r.dropped_torn || unterminated || r.version < 2 then begin
-                if r.dropped_torn || unterminated then Metrics.on_heal metrics;
-                let buf = Buffer.create 4096 in
-                Buffer.add_string buf (header_string r.header);
-                List.iter
-                  (fun e ->
-                    Buffer.add_string buf (encode_event e);
-                    Buffer.add_char buf '\n')
-                  r.events;
-                Io.atomic_replace io ~path (Buffer.contents buf)
-              end;
-              Ok
-                ( {
-                    w_path = path;
-                    io;
-                    metrics;
-                    out = open_append io path;
-                    header = r.header;
-                    fsync_every;
-                    unsynced = 0;
-                    appended = 0;
-                    closed = false;
-                  },
-                  r )
-            end)
+  List.iter (fun p -> io.Io.remove p) leftovers;
+  if leftovers <> [] then io.Io.fsync_dir (Filename.dirname path);
+  let out, hbytes = open_active ~io ~path ~idx:0 ~base:header.base header in
+  io.Io.fsync_dir (Filename.dirname path);
+  let w =
+    {
+      w_path = path;
+      io;
+      metrics;
+      fsync_every;
+      segment_bytes;
+      shape = header;
+      out;
+      active_idx = 0;
+      active_base = header.base;
+      active_count = 0;
+      active_bytes = hbytes;
+      crc = 0;
+      sealed = [];
+      unsynced = 0;
+      appended = 0;
+      closed = false;
+    }
+  in
+  gauges w;
+  w
+
+(* Seal protocol: footer (count + region CRC), fsync, close, rename [.open]
+   → [.seg], open the successor active with its header, one directory
+   fsync covering both entry changes. The content fsync {e precedes} the
+   rename, so a file named [.seg] is complete by construction — the read
+   side ({!Segment.parse}) leans on that to reject any torn sealed file.
+   With the {!Log.defeat_seal_check} test hook on, footer and fsync are
+   skipped — the sweep uses that to prove the protocol is load-bearing. *)
+let seal_active w =
+  let dir = Filename.dirname w.w_path in
+  if not !Log.defeat_seal_check then begin
+    let footer = Segment.footer_string ~count:w.active_count ~crc:w.crc in
+    w.out.Io.write footer;
+    w.active_bytes <- w.active_bytes + String.length footer;
+    Metrics.time_fsync w.metrics (fun () -> w.out.Io.fsync ())
+  end;
+  w.out.Io.close ();
+  let src = Segment.name w.w_path ~idx:w.active_idx Segment.Active in
+  let dst = Segment.name w.w_path ~idx:w.active_idx Segment.Sealed in
+  w.io.Io.rename ~src ~dst;
+  w.sealed <-
+    w.sealed
+    @ [
+        {
+          si_idx = w.active_idx;
+          si_base = w.active_base;
+          si_count = w.active_count;
+          si_bytes = w.active_bytes;
+          si_path = dst;
+        };
+      ];
+  Metrics.on_seal w.metrics;
+  let idx = w.active_idx + 1 and base = w.active_base + w.active_count in
+  let out, hbytes = open_active ~io:w.io ~path:w.w_path ~idx ~base w.shape in
+  w.io.Io.fsync_dir dir;
+  w.out <- out;
+  w.active_idx <- idx;
+  w.active_base <- base;
+  w.active_count <- 0;
+  w.active_bytes <- hbytes;
+  w.crc <- 0;
+  w.unsynced <- 0;
+  gauges w
 
 let check_open w = if w.closed then invalid_arg "journal writer is closed"
 
 let append w e =
   check_open w;
-  let line = encode_event e in
+  let line = Record.encode_event e in
   w.out.Io.write line;
   w.out.Io.write "\n";
   w.out.Io.flush ();
   Metrics.on_append w.metrics ~bytes:(String.length line + 1);
   w.appended <- w.appended + 1;
+  w.active_count <- w.active_count + 1;
+  w.active_bytes <- w.active_bytes + String.length line + 1;
+  w.crc <- crc_add (crc_add w.crc line) "\n";
   w.unsynced <- w.unsynced + 1;
-  if w.unsynced >= w.fsync_every then begin
+  if w.active_bytes >= w.segment_bytes then seal_active w
+  else if w.unsynced >= w.fsync_every then begin
     Metrics.time_fsync w.metrics (fun () -> w.out.Io.fsync ());
     w.unsynced <- 0
   end
@@ -502,47 +292,96 @@ let append w e =
 (* Group commit: the whole batch becomes one buffered write and exactly
    one fsync — which, because fsync covers the file, also makes durable
    any records a streaming [append] left unsynced. An empty batch does
-   nothing (no write, no fsync). *)
+   nothing (no write, no fsync). The roll check runs once per batch, so
+   a segment may overshoot its target by at most one batch. *)
 let append_batch w events =
   check_open w;
   match events with
   | [] -> ()
   | _ ->
       let buf = Buffer.create 65536 in
-      let scratch = Scratch.create () in
+      let scratch = Record.Scratch.create () in
       let n = ref 0 in
       List.iter
         (fun e ->
-          Scratch.reset scratch;
-          encode_into scratch e;
-          seal_to buf scratch;
+          Record.Scratch.reset scratch;
+          Record.encode_into scratch e;
+          Record.seal_to buf scratch;
           Buffer.add_char buf '\n';
           incr n)
         events;
-      let bytes = Buffer.length buf in
-      w.out.Io.write (Buffer.contents buf);
+      let s = Buffer.contents buf in
+      let bytes = String.length s in
+      w.out.Io.write s;
       w.out.Io.flush ();
       Metrics.on_append_batch w.metrics ~records:!n ~bytes;
       w.appended <- w.appended + !n;
+      w.active_count <- w.active_count + !n;
+      w.active_bytes <- w.active_bytes + bytes;
+      w.crc <- crc_add w.crc s;
       Metrics.time_fsync w.metrics (fun () -> w.out.Io.fsync ());
-      w.unsynced <- 0
+      w.unsynced <- 0;
+      if w.active_bytes >= w.segment_bytes then seal_active w
 
 let sync w =
   check_open w;
   Metrics.time_fsync w.metrics (fun () -> w.out.Io.fsync ());
   w.unsynced <- 0
 
+(* Drop everything: a snapshot absorbed the whole prefix. A fresh active
+   segment with [base = new_base] is created and made durable {e before}
+   the old files are unlinked, so a crash anywhere in between leaves a
+   readable chain (the old active's end equals the new base, so both chain
+   together until the removes land; a torn old active simply drops out as
+   stale, its records covered by the snapshot). *)
 let truncate w ~new_base =
   check_open w;
   if new_base < 0 then invalid_arg "journal base must be non-negative";
   Metrics.time_fsync w.metrics (fun () -> w.out.Io.fsync ());
   w.out.Io.close ();
-  let header = { w.header with base = new_base } in
-  Io.atomic_replace w.io ~path:w.w_path (header_string header);
+  let dir = Filename.dirname w.w_path in
+  let old_active = Segment.name w.w_path ~idx:w.active_idx Segment.Active in
+  let idx = w.active_idx + 1 in
+  let out, hbytes = open_active ~io:w.io ~path:w.w_path ~idx ~base:new_base w.shape in
+  w.io.Io.fsync_dir dir;
+  List.iter (fun s -> w.io.Io.remove s.si_path) w.sealed;
+  w.io.Io.remove old_active;
+  w.io.Io.fsync_dir dir;
   Metrics.on_truncate w.metrics;
-  w.header <- header;
-  w.out <- open_append w.io w.w_path;
-  w.unsynced <- 0
+  w.out <- out;
+  w.active_idx <- idx;
+  w.active_base <- new_base;
+  w.active_count <- 0;
+  w.active_bytes <- hbytes;
+  w.crc <- 0;
+  w.sealed <- [];
+  w.unsynced <- 0;
+  gauges w
+
+(* Online compaction's disk-reclaim half: unlink sealed segments whose
+   records all fall at or below [upto] (an event frontier some durable
+   snapshot covers), oldest first so any crash leaves a contiguous
+   suffix. Bounded by [max_segments] per call to keep event-loop ticks
+   short. Returns the number retired. *)
+let retire_sealed ?(max_segments = max_int) w ~upto =
+  check_open w;
+  let rec split acc n = function
+    | s :: rest when n < max_segments && s.si_base + s.si_count <= upto ->
+        split (s :: acc) (n + 1) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let victims, keep = split [] 0 w.sealed in
+  match victims with
+  | [] -> 0
+  | _ ->
+      List.iter (fun s -> w.io.Io.remove s.si_path) victims;
+      w.io.Io.fsync_dir (Filename.dirname w.w_path);
+      w.sealed <- keep;
+      Metrics.on_retire w.metrics
+        ~segments:(List.length victims)
+        ~bytes:(List.fold_left (fun acc s -> acc + s.si_bytes) 0 victims);
+      gauges w;
+      List.length victims
 
 let close w =
   if not w.closed then begin
@@ -550,3 +389,166 @@ let close w =
     w.out.Io.close ();
     w.closed <- true
   end
+
+let ( let* ) = Result.bind
+
+let check_shape ~path (expected : header) (h : header) =
+  if h.policy <> expected.policy then
+    Error
+      (Printf.sprintf "%s: journal was written by policy %s, not %s" path h.policy
+         expected.policy)
+  else if h.seed <> expected.seed then
+    Error
+      (Printf.sprintf "%s: journal was written with seed %d, not %d" path h.seed
+         expected.seed)
+  else if not (Vec.equal h.capacity expected.capacity) then
+    Error
+      (Printf.sprintf "%s: journal capacity %s does not match %s" path
+         (Vec.to_string h.capacity)
+         (Vec.to_string expected.capacity))
+  else Ok ()
+
+let encode_region events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Record.encode_event e);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let append_to ?(io = Real_io.v) ?metrics ?(fsync_every = 64)
+    ?(segment_bytes = default_segment_bytes) ~path header =
+  let metrics = match metrics with Some m -> m | None -> Metrics.noop () in
+  validate_fsync_every fsync_every;
+  validate_segment_bytes segment_bytes;
+  let dir = Filename.dirname path in
+  let fresh () =
+    let w = create ~io ~metrics ~fsync_every ~segment_bytes ~path header in
+    Ok (w, { header; events = []; dropped_torn = false; version = 2 })
+  in
+  let mk_writer ~out ~active_idx ~active_base ~active_count ~active_bytes ~crc
+      ~sealed =
+    let w =
+      {
+        w_path = path;
+        io;
+        metrics;
+        fsync_every;
+        segment_bytes;
+        shape = header;
+        out;
+        active_idx;
+        active_base;
+        active_count;
+        active_bytes;
+        crc;
+        sealed;
+        unsynced = 0;
+        appended = 0;
+        closed = false;
+      }
+    in
+    gauges w;
+    w
+  in
+  if io.Io.file_exists path then begin
+    (* Legacy single-file journal: validate, heal, then migrate it into one
+       active segment — segment made durable, then the legacy file removed
+       (and the removal dirsynced) before any new append, so at every crash
+       point either the legacy file or a superset segment is authoritative,
+       never neither. *)
+    match io.Io.read_file path with
+    | Error msg -> Error msg
+    | Ok "" -> fresh ()
+    | Ok text -> (
+        match of_string text with
+        | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+        | Ok r ->
+            let* () = check_shape ~path header r.header in
+            let unterminated = text.[String.length text - 1] <> '\n' in
+            if r.dropped_torn || unterminated then Metrics.on_heal metrics;
+            let hdr = Segment.header_string r.header in
+            let region = encode_region r.events in
+            let apath = Segment.name path ~idx:0 Segment.Active in
+            let out = io.Io.open_out ~append:false apath in
+            out.Io.write hdr;
+            out.Io.write region;
+            out.Io.fsync ();
+            io.Io.fsync_dir dir;
+            io.Io.remove path;
+            io.Io.fsync_dir dir;
+            Ok
+              ( mk_writer ~out ~active_idx:0 ~active_base:r.header.base
+                  ~active_count:(List.length r.events)
+                  ~active_bytes:(String.length hdr + String.length region)
+                  ~crc:(crc_add 0 region) ~sealed:[],
+                r ))
+  end
+  else
+    match Log.read ~io path with
+    | Error msg -> Error msg
+    | Ok None -> fresh ()
+    | Ok (Some v) ->
+        let* () = check_shape ~path header v.Log.v_header in
+        (* directory maintenance before reopening: finish seals whose
+           rename a crash rolled back, drop stale files the chain walk
+           excluded (retire/truncate leftovers, crashed births) *)
+        let sealed_path (s : Log.seg) =
+          Segment.name path ~idx:s.Log.s_idx Segment.Sealed
+        in
+        List.iter
+          (fun (s : Log.seg) -> io.Io.rename ~src:s.Log.s_path ~dst:(sealed_path s))
+          v.Log.v_misnamed;
+        List.iter (fun p -> io.Io.remove p) v.Log.v_stale;
+        if v.Log.v_misnamed <> [] || v.Log.v_stale <> [] then io.Io.fsync_dir dir;
+        let sealed =
+          List.filter (fun (s : Log.seg) -> s.Log.s_sealed) v.Log.v_chain
+          |> List.map (fun (s : Log.seg) ->
+                 {
+                   si_idx = s.Log.s_idx;
+                   si_base = Log.s_base s;
+                   si_count = s.Log.s_count;
+                   si_bytes = s.Log.s_bytes;
+                   si_path = sealed_path s;
+                 })
+        in
+        let r = view_read v in
+        (match v.Log.v_active with
+        | Some a ->
+            (* an unterminated tail must not stay on disk: appending after
+               it would weld the fragment to the next record. Rewrite the
+               active segment in place (atomically) when its tail was torn
+               or merely missed its final newline. Sealed segments never
+               take this path — a short read there was a hard error. *)
+            let needs_heal = a.Log.s_dropped_torn || a.Log.s_unterminated in
+            if needs_heal then Metrics.on_heal metrics;
+            let hdr = Segment.header_string a.Log.s_header in
+            let region =
+              if needs_heal then begin
+                let region = encode_region a.Log.s_events in
+                Io.atomic_replace io ~path:a.Log.s_path (hdr ^ region);
+                region
+              end
+              else a.Log.s_region
+            in
+            Ok
+              ( mk_writer
+                  ~out:(io.Io.open_out ~append:true a.Log.s_path)
+                  ~active_idx:a.Log.s_idx ~active_base:(Log.s_base a)
+                  ~active_count:a.Log.s_count
+                  ~active_bytes:(String.length hdr + String.length region)
+                  ~crc:(crc_add 0 region) ~sealed,
+                r )
+        | None ->
+            (* every chain segment is sealed (or the directory only held
+               sealed files): start a fresh active above the frontier *)
+            let base = Log.frontier v in
+            let out, hbytes =
+              open_active ~io ~path ~idx:v.Log.v_next_idx ~base header
+            in
+            io.Io.fsync_dir dir;
+            Ok
+              ( mk_writer ~out ~active_idx:v.Log.v_next_idx ~active_base:base
+                  ~active_count:0 ~active_bytes:hbytes ~crc:0 ~sealed,
+                r ))

@@ -1,56 +1,69 @@
-(** Append-only write-ahead log of session events.
+(** Append-only write-ahead log of session events, stored as a sequence of
+    fixed-size {e segments}.
 
     The journal is the service's source of truth: every applied arrival and
     departure — together with the placement decision the policy made — is
     appended as one text record before the client sees the reply, so a
-    crashed server can be rebuilt exactly (see {!Recovery}). The format is a
-    versioned CSV in the same spirit as {!Dvbp_workload.Trace_io}:
+    crashed server can be rebuilt exactly (see {!Recovery}).
 
-    {v
-    # dvbp-journal v2
-    policy,mtf
-    seed,42
-    capacity,100,100
-    base,0
-    arrive,default,0,0,0,1,30,20,~0f3a
-    depart,default,5,0,~1b22
-    v}
+    {b On-disk layout.} A journal configured at [path] is the family of
+    sibling files [path.NNNNNN.seg] (sealed) and [path.NNNNNN.seg.open]
+    (active), each a {!Segment}: a header naming the policy/seed/capacity
+    and the {e base} — the global index of the segment's first record —
+    followed by record lines. Records stream into the single active
+    segment; when it reaches [segment_bytes] it is {e sealed}: a
+    [seal,<count>,<crc32>] footer is written, the content fsynced, the file
+    renamed [.open] → [.seg], and a fresh active segment opened. Because
+    the fsync precedes the rename, a sealed segment is complete by
+    construction — any torn tail or CRC mismatch inside one is corruption
+    and reading fails hard; only the active segment's unterminated final
+    line is healed (dropped) after a crash.
 
-    [base] is the number of session events that precede this file — [0] for
-    a fresh journal, and the pre-truncation event count after a snapshot
-    rewrote the journal (records before [base] then live in the snapshot's
-    history, {!Snapshot}). Record layout (v2):
+    Recovery reads the {e chain}: the longest event-contiguous suffix of
+    segments (each segment's base equals its predecessor's base + count).
+    Files below a contiguity gap are stale leftovers of a crashed
+    {!truncate}/{!retire_sealed} and are deleted on the next {!append_to};
+    whether the snapshot actually covers the chain's base is {!Recovery}'s
+    existing missing-records check.
+
+    Sealing enables {e online compaction} ({!Server.compaction_step}):
+    once a snapshot's durable frontier covers a sealed segment entirely,
+    the segment is unlinked ({!retire_sealed}) without touching the active
+    write path — disk stays bounded while the server keeps serving.
+
+    Record layout (v2, same codec as the legacy format — see {!Record}):
     - [arrive,<tenant>,<t>,<item>,<bin>,<new01>,<s1>,...,<sd>,~<sum>]
     - [depart,<tenant>,<t>,<item>,~<sum>]
 
-    v1 files (no tenant field — every record belongs to {!Tenant.default})
-    are still read; {!append_to} upgrades them to v2 in place before the
-    first new record, so old journals keep replaying bit-identically.
-    New files are always written v2.
+    [~<sum>] is a 16-bit checksum of the record body, so a torn final
+    record in the {e active} segment is detected and dropped rather than
+    misparsed.
 
-    [~<sum>] is a 16-bit checksum of the record body, so a torn (partially
-    written) final record is {e detected} and dropped rather than silently
-    misparsed as a shorter-but-valid record. Reads are fully validated and
-    report the offending line; a checksum or syntax failure anywhere except
-    an unterminated final line is a hard error.
+    {b Legacy journals.} A pre-segment single file at [path] itself
+    ([# dvbp-journal v1]/[v2] magic) is still read, and {!append_to}
+    migrates it into an active segment — segment first made durable, then
+    the legacy file unlinked — so old journals keep replaying
+    bit-identically and the migration is crash-safe at every boundary.
 
     Durability: the writer flushes every record to the OS ([write(2)]) as it
     is appended — a [SIGKILL] loses nothing already appended — and batches
     the much more expensive [fsync(2)] every [fsync_every] records (plus on
-    {!sync}/{!close}), so a power failure can lose at most the last batch.
+    seal/{!sync}/{!close}), so a power failure can lose at most the last
+    batch.
 
     All file access goes through an injectable {!Io} backend (default
     {!Real_io.v}); the deterministic simulation tests swap in a simulated
-    filesystem that crashes at every I/O boundary. *)
+    filesystem that crashes at every I/O boundary — including every seal,
+    rename, retire and directory fsync of this module. *)
 
-type header = {
+type header = Record.header = {
   policy : string;  (** policy short name, as accepted by [Policy.of_name] *)
   seed : int;  (** root seed of the policy's rng (used by ["rf"]) *)
   capacity : Dvbp_vec.Vec.t;
   base : int;  (** events preceding this file (snapshotted prefix length) *)
 }
 
-type event =
+type event = Record.event =
   | Arrive of {
       tenant : string;
       time : float;
@@ -81,43 +94,73 @@ val decode_event : ?version:int -> string -> (event, string) result
 (** {1 Reading} *)
 
 type read = {
-  header : header;
+  header : header;  (** [base] = index of the first event below *)
   events : event list;  (** journal order (oldest first) *)
-  dropped_torn : bool;  (** an unterminated, unparseable tail was dropped *)
-  version : int;  (** 1 or 2, from the magic line *)
+  dropped_torn : bool;  (** the active segment's torn tail was dropped *)
+  version : int;  (** segmented journals read as [2]; legacy files report
+                      their magic's version *)
 }
 
 val of_string : string -> (read, string) result
+(** Parse a {e legacy} single-file journal (v1/v2 magic). Segment files are
+    parsed by {!Segment.parse}. *)
+
 val read_file : ?io:Io.t -> string -> (read, string) result
+(** Read the journal configured at [path]: the legacy file if one exists,
+    otherwise the segment chain. Fails on corruption (including any damage
+    inside a sealed segment) and when neither form is present. *)
+
+val exists : ?io:Io.t -> string -> bool
+(** Whether [path] holds durable journal state a resume must consult: a
+    legacy file or at least one readable segment. Unreadable segments
+    count as existing — corruption must surface as a resume error, not be
+    shadowed by a fresh start. *)
 
 (** {1 Writing} *)
 
 type writer
 
 val create :
-  ?io:Io.t -> ?metrics:Metrics.t -> ?fsync_every:int -> path:string -> header -> writer
-(** Truncates/creates [path] and writes the header. [fsync_every] (default
-    [64]) batches fsyncs; [1] syncs every record. [metrics] (default
-    {!Metrics.noop}) receives append/fsync/truncate/heal tallies.
+  ?io:Io.t ->
+  ?metrics:Metrics.t ->
+  ?fsync_every:int ->
+  ?segment_bytes:int ->
+  path:string ->
+  header ->
+  writer
+(** Starts a fresh journal at [path]: removes any previous journal files
+    (legacy and segments) and opens active segment [000000]. [fsync_every]
+    (default [64]) batches fsyncs; [1] syncs every record. [segment_bytes]
+    (default 1 MiB) is the roll threshold: an append that carries the
+    active segment past it triggers a seal. [metrics] (default
+    {!Metrics.noop}) receives append/fsync/seal/retire/truncate/heal
+    tallies.
     @raise Sys_error on IO failure (with the default backend).
-    @raise Invalid_argument if [fsync_every < 1] or [header.base < 0]. *)
+    @raise Invalid_argument if [fsync_every < 1], [segment_bytes < 64] or
+    [header.base < 0]. *)
 
 val append_to :
   ?io:Io.t ->
   ?metrics:Metrics.t ->
   ?fsync_every:int ->
+  ?segment_bytes:int ->
   path:string ->
   header ->
   (writer * read, string) result
 (** Re-opens an existing journal for appending after validating that its
     header equals [header] (a policy/capacity/seed mismatch is an error, not
-    a silent divergence); returns the already-present records too. A missing
-    or empty file is created fresh. *)
+    a silent divergence); returns the already-present records too. Performs
+    all resume-time maintenance: heals the active segment's torn tail
+    (never a sealed segment's — that is corruption), completes seal renames
+    a crash rolled back, deletes stale below-chain files, and migrates a
+    legacy single-file journal into segments. A missing or empty journal is
+    created fresh. *)
 
 val append : writer -> event -> unit
 (** Streaming append: one record, flushed to the OS; fsyncs per the
     [fsync_every] cadence (a power cut may lose up to the last cadence
-    window of {e acked} records — the blocking server's contract). *)
+    window of {e acked} records — the blocking server's contract). May
+    seal the active segment and open the next one. *)
 
 val append_batch : writer -> event list -> unit
 (** Group commit: appends the whole batch as one buffered write and
@@ -126,20 +169,39 @@ val append_batch : writer -> event list -> unit
     durable. An empty batch is a no-op (no write, no fsync). Callers
     release replies only after this returns, so a power cut can never
     lose a batch-acked record. Batch sizing (the [fsync_every] per-batch
-    ceiling) is the caller's job — see {!Server.handle_batch}. *)
+    ceiling) is the caller's job — see {!Server.handle_batch}. The roll
+    check runs once per batch (after the fsync), so a segment may
+    overshoot [segment_bytes] by at most one batch. *)
 
 val sync : writer -> unit
 (** Forces an fsync now. *)
 
 val truncate : writer -> new_base:int -> unit
-(** Atomically replaces the file with an empty journal whose header carries
-    [base = new_base] — called after a successful snapshot absorbed the
-    prefix. Written via {!Io.atomic_replace} (temp file, fsync, rename,
-    directory fsync). *)
+(** Drops every segment: a snapshot absorbed the whole prefix. A fresh
+    active segment with [base = new_base] is created and made durable
+    {e before} the old files are unlinked, so a crash at any boundary
+    leaves a readable chain. *)
+
+val retire_sealed : ?max_segments:int -> writer -> upto:int -> int
+(** Unlinks sealed segments whose records all fall at or below event
+    frontier [upto] (which a durable snapshot must cover), oldest first,
+    at most [max_segments] (default: all eligible) per call — the bounded
+    unit of online compaction. Returns the number retired; [0] when none
+    qualify (never an error). *)
 
 val close : writer -> unit
 (** {!sync} then close. The writer is unusable afterwards. *)
 
 val path : writer -> string
+
 val appended : writer -> int
 (** Records appended through this writer (excludes pre-existing ones). *)
+
+val frontier : writer -> int
+(** Global index one past the newest record ([base +] records written). *)
+
+val sealed_segments : writer -> int
+(** Sealed segments currently on disk (retire candidates). *)
+
+val live_bytes : writer -> int
+(** Total bytes across all live segment files, active included. *)

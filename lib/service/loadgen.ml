@@ -68,7 +68,7 @@ let expected_replies ?tenant ~policy ~seed (instance : Instance.t) =
   go [] (events instance)
 
 let run ~policy ~seed ?journal ?snapshot ?snapshot_every ?(fsync_every = 64)
-    (instance : Instance.t) =
+    ?segment_bytes ?retain_segments (instance : Instance.t) =
   let* pairs = expected_replies ~policy ~seed instance in
   let* server =
     Server.create
@@ -81,6 +81,8 @@ let run ~policy ~seed ?journal ?snapshot ?snapshot_every ?(fsync_every = 64)
         snapshot_every;
         fsync_every;
         jobs = 1;
+        segment_bytes;
+        retain_segments;
       }
   in
   let req_r, req_w = Unix.pipe ~cloexec:false () in
@@ -340,7 +342,8 @@ let run_clients ?tolerate_death clients =
   Array.to_list results
 
 let run_multi ~policy ~seed ?journal ?snapshot ?snapshot_every ?(fsync_every = 1024)
-    ?(jobs = 1) ?(window = 256) (instances : Instance.t list) =
+    ?segment_bytes ?retain_segments ?(jobs = 1) ?(window = 256)
+    (instances : Instance.t list) =
   let* () = if instances = [] then Error "run_multi: no client instances" else Ok () in
   let capacity = (List.hd instances).Instance.capacity in
   let* () =
@@ -370,6 +373,8 @@ let run_multi ~policy ~seed ?journal ?snapshot ?snapshot_every ?(fsync_every = 1
         snapshot_every;
         fsync_every;
         jobs;
+        segment_bytes;
+        retain_segments;
       }
   in
   (* one socketpair per client plus a control connection for the epilogue *)
@@ -611,6 +616,8 @@ let run_stream ~policy ~seed ?journal ?snapshot ?snapshot_every
               snapshot_every;
               fsync_every;
               jobs = 1;
+              segment_bytes = None;
+              retain_segments = None;
             }
         in
         let req_r, req_w = Unix.pipe ~cloexec:false () in

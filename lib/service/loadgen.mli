@@ -41,12 +41,16 @@ val run :
   ?snapshot:string ->
   ?snapshot_every:int ->
   ?fsync_every:int ->
+  ?segment_bytes:int ->
+  ?retain_segments:int ->
   Dvbp_core.Instance.t ->
   (report, string) result
 (** Starts a fresh server (journaling to [journal] if given), replays the
     instance, verifies every reply against the shadow session, then [STATS],
     [METRICS] and [QUIT]. Any unexpected reply is an error naming the
-    request. *)
+    request. [segment_bytes]/[retain_segments] are passed through to the
+    server config — the disk-bound regression test drives tiny segments
+    with aggressive compaction through these. *)
 
 val render : report -> string
 (** Operator-facing summary. *)
@@ -89,6 +93,8 @@ val run_multi :
   ?snapshot:string ->
   ?snapshot_every:int ->
   ?fsync_every:int ->
+  ?segment_bytes:int ->
+  ?retain_segments:int ->
   ?jobs:int ->
   ?window:int ->
   Dvbp_core.Instance.t list ->

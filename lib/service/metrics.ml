@@ -42,6 +42,14 @@ type t = {
   j_truncates : R.Counter.t;
   j_heals : R.Counter.t;
   j_batch_size : R.Histo.t;
+  j_seals : R.Counter.t;
+  j_retired : R.Counter.t;
+  j_retired_bytes : R.Counter.t;
+  j_live_segments : R.Gauge.t;
+  j_live_bytes : R.Gauge.t;
+  compactions : R.Counter.t;
+  compaction_seconds : Histogram.t;
+  compaction_lag : R.Gauge.t;
   gc_waiters : R.Gauge.t;
   req_total : R.Counter.t array;  (* indexed by kind *)
   req_seconds : Histogram.t array;
@@ -78,6 +86,38 @@ let build reg =
   let j_batch_size =
     R.Histo.make reg "dvbp_journal_batch_size"
       ~help:"Records per group-commit batch (one fsync each)"
+  in
+  let j_seals =
+    R.Counter.make reg "dvbp_journal_segments_sealed_total"
+      ~help:"Journal segments sealed (footer written, renamed .seg)"
+  in
+  let j_retired =
+    R.Counter.make reg "dvbp_journal_segments_retired_total"
+      ~help:"Sealed segments unlinked by compaction"
+  in
+  let j_retired_bytes =
+    R.Counter.make reg "dvbp_journal_retired_bytes_total"
+      ~help:"Disk bytes reclaimed by retiring sealed segments"
+  in
+  let j_live_segments =
+    R.Gauge.make reg "dvbp_journal_segments"
+      ~help:"Live journal segment files (active included)"
+  in
+  let j_live_bytes =
+    R.Gauge.make reg "dvbp_journal_live_bytes"
+      ~help:"Total bytes across live journal segment files"
+  in
+  let compactions =
+    R.Counter.make reg "dvbp_server_compactions_total"
+      ~help:"Completed compaction passes (snapshot + segment retirement)"
+  in
+  let compaction_seconds =
+    R.Histo.make reg "dvbp_server_compaction_seconds"
+      ~help:"Wall time of a compaction pass, snapshot to last retire"
+  in
+  let compaction_lag =
+    R.Gauge.make reg "dvbp_server_compaction_lag_events"
+      ~help:"Events applied since the last durable snapshot frontier"
   in
   let gc_waiters =
     R.Gauge.make reg "dvbp_journal_group_commit_waiters"
@@ -118,6 +158,14 @@ let build reg =
     j_truncates;
     j_heals;
     j_batch_size;
+    j_seals;
+    j_retired;
+    j_retired_bytes;
+    j_live_segments;
+    j_live_bytes;
+    compactions;
+    compaction_seconds;
+    compaction_lag;
     gc_waiters;
     req_total;
     req_seconds;
@@ -155,6 +203,21 @@ let time_fsync t f =
 
 let on_truncate t = R.Counter.incr t.j_truncates
 let on_heal t = R.Counter.incr t.j_heals
+let on_seal t = R.Counter.incr t.j_seals
+
+let on_retire t ~segments ~bytes =
+  R.Counter.add t.j_retired segments;
+  R.Counter.add t.j_retired_bytes bytes
+
+let set_journal_live t ~segments ~bytes =
+  R.Gauge.set t.j_live_segments (float_of_int segments);
+  R.Gauge.set t.j_live_bytes (float_of_int bytes)
+
+let on_compaction t ~seconds =
+  R.Counter.incr t.compactions;
+  if not (R.is_noop t.reg) then Histogram.observe t.compaction_seconds seconds
+
+let set_compaction_lag t events = R.Gauge.set t.compaction_lag (float_of_int events)
 let on_request t kind = R.Counter.incr t.req_total.(kind_index kind)
 
 let observe_request t kind ~seconds =

@@ -37,4 +37,11 @@ let v =
     rename = (fun ~src ~dst -> Sys.rename src dst);
     fsync_dir;
     remove = Sys.remove;
+    list_dir =
+      (fun dir ->
+        match Sys.readdir dir with
+        | entries ->
+            let l = Array.to_list entries in
+            List.sort String.compare l
+        | exception Sys_error _ -> []);
   }

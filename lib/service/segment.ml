@@ -1,0 +1,233 @@
+(* One fixed-size log segment of the segmented journal (see {!Log} for the
+   directory view and {!Journal} for the writer facade).
+
+   File format (text, like the legacy journal):
+
+   {v
+   # dvbp-segment v1
+   policy,mtf
+   seed,42
+   capacity,100,100
+   base,17
+   arrive,default,0x1.8p+1,3,0,1,30,20,~0f3a
+   seal,1,9ae1c2d4
+   v}
+
+   [base] is the global index of the segment's first record. A {e sealed}
+   segment ([<journal>.NNNNNN.seg]) ends with a [seal,<count>,<crc32>]
+   footer: [count] records, CRC-32 over the record-region bytes (everything
+   between the header's last row and the footer, newlines included). The
+   seal invariant — content fsynced before the [.open] → [.seg] rename —
+   means a sealed segment is complete by construction, so {e any} short
+   read, torn tail or footer mismatch inside one is a hard error, never
+   healed. Only the {e active} segment ([.seg.open]) may end mid-record
+   after a crash; its unterminated final line is dropped exactly like the
+   legacy journal's torn tail. *)
+
+let magic = "# dvbp-segment v1"
+
+type kind = Sealed | Active
+
+(* [<prefix>.%06d.seg[.open]] — sibling files of the configured journal
+   path, so no directory-creation protocol is needed and `ls <journal>.*`
+   finds every segment *)
+let name prefix ~idx = function
+  | Sealed -> Printf.sprintf "%s.%06d.seg" prefix idx
+  | Active -> Printf.sprintf "%s.%06d.seg.open" prefix idx
+
+(* classify a directory entry against the journal path's basename;
+   anything that is not exactly [<base>.<digits>.seg[.open]] is ignored
+   (tmp files, the legacy journal itself, unrelated files) *)
+let classify ~basename entry =
+  let prefix = basename ^ "." in
+  let pn = String.length prefix in
+  let en = String.length entry in
+  if en <= pn || not (String.equal (String.sub entry 0 pn) prefix) then None
+  else
+    let rest = String.sub entry pn (en - pn) in
+    let with_suffix suffix kind =
+      let sn = String.length suffix in
+      let rn = String.length rest in
+      if rn <= sn || not (String.equal (String.sub rest (rn - sn) sn) suffix) then None
+      else
+        let digits = String.sub rest 0 (rn - sn) in
+        if
+          String.length digits > 0
+          && String.for_all (fun c -> c >= '0' && c <= '9') digits
+          && String.length digits <= 9
+        then Some (int_of_string digits, kind)
+        else None
+    in
+    match with_suffix ".seg.open" Active with
+    | Some _ as r -> r
+    | None -> with_suffix ".seg" Sealed
+
+let header_string h = magic ^ "\n" ^ Record.header_rows h
+
+let footer_string ~count ~crc = Printf.sprintf "seal,%d,%08x\n" count crc
+
+let is_footer trimmed =
+  String.length trimmed >= 5 && String.sub trimmed 0 5 = "seal,"
+
+let parse_footer trimmed =
+  match String.split_on_char ',' trimmed with
+  | [ "seal"; count; crc ] -> (
+      match (int_of_string_opt count, int_of_string_opt ("0x" ^ crc)) with
+      | Some c, Some x when c >= 0 && String.length crc = 8 -> Some (c, x)
+      | _ -> None)
+  | _ -> None
+
+type parsed =
+  | Incomplete
+      (* the header never finished — reachable only when a crash cut the
+         segment's birth (header write precedes the first record and its
+         fsync, and tearing removes suffixes), so there is nothing to
+         recover: the segment is treated as absent *)
+  | Complete of {
+      header : Record.header;
+      events : Record.event list;
+      sealed : bool;  (* a valid seal footer was present and verified *)
+      dropped_torn : bool;  (* active only: unterminated final line dropped *)
+      unterminated : bool;  (* final record parsed but missed its newline *)
+      region : string;  (* record-region bytes (post-heal, newlines incl.) *)
+    }
+
+let ( let* ) = Result.bind
+
+(* [expect_sealed] turns every healing path into a hard error and requires
+   the footer — the read side of the seal invariant. {!Log} passes [false]
+   for the active segment (and, with the test-only sensitivity hook on,
+   for sealed ones too, which is exactly what the sweep must catch). *)
+let parse ~expect_sealed text =
+  if String.trim text = "" then
+    if expect_sealed then Error "empty sealed segment" else Ok Incomplete
+  else begin
+    let n = String.length text in
+    let terminated = text.[n - 1] = '\n' in
+    (* (line, start offset, is_last) triples *)
+    let lines =
+      let acc = ref [] and start = ref 0 in
+      (try
+         while true do
+           let nl = String.index_from text !start '\n' in
+           acc := (String.sub text !start (nl - !start), !start) :: !acc;
+           start := nl + 1
+         done
+       with Not_found ->
+         if !start < n then acc := (String.sub text !start (n - !start), !start) :: !acc);
+      List.rev !acc
+    in
+    let last_index = List.length lines - 1 in
+    let p = Record.empty_partial () in
+    (* record region: [region_lo] is set when the first record (or the
+       footer of an empty sealed segment) is reached; [region_hi] advances
+       past each accepted record so a healed tail is excluded *)
+    let region_lo = ref (-1) and region_hi = ref (-1) in
+    let finish_active ~events ~dropped_torn ~unterminated =
+      match Record.finish_header p with
+      | Error _ ->
+          if events <> [] then Error "records before a complete header"
+          else Ok Incomplete
+      | Ok header ->
+          let region =
+            if !region_lo < 0 then ""
+            else String.sub text !region_lo (!region_hi - !region_lo)
+          in
+          Ok
+            (Complete
+               { header; events = List.rev events; sealed = false; dropped_torn;
+                 unterminated; region })
+    in
+    let rec go i ~events = function
+      | [] ->
+          if expect_sealed then Error "sealed segment is missing its seal footer"
+          else finish_active ~events ~dropped_torn:false ~unterminated:false
+      | (raw, off) :: rest -> (
+          let lineno = i + 1 in
+          let is_last = i = last_index in
+          let line_end = if is_last && not terminated then n else off + String.length raw + 1 in
+          let torn_candidate = is_last && (not terminated) && not expect_sealed in
+          let trimmed = String.trim raw in
+          let tear_or error =
+            if torn_candidate then
+              finish_active ~events ~dropped_torn:true ~unterminated:false
+            else error ()
+          in
+          if i = 0 then
+            if trimmed = magic then go 1 ~events rest
+            else if torn_candidate then Ok Incomplete
+            else Error (Printf.sprintf "line 1: expected %S, got %S" magic trimmed)
+          else if trimmed = "" || trimmed.[0] = '#' then begin
+            if !region_lo >= 0 then
+              tear_or (fun () ->
+                  Error (Printf.sprintf "line %d: blank or comment line inside the record region" lineno))
+            else go (i + 1) ~events rest
+          end
+          else if Record.is_record trimmed then begin
+            match Record.finish_header p with
+            | Error _ ->
+                tear_or (fun () ->
+                    Error (Printf.sprintf "line %d: record before a complete header" lineno))
+            | Ok _ -> (
+                match Record.decode_event ~version:2 trimmed with
+                | Ok e ->
+                    if !region_lo < 0 then region_lo := off;
+                    region_hi := line_end;
+                    if is_last && not terminated then
+                      finish_active ~events:(e :: events) ~dropped_torn:false
+                        ~unterminated:true
+                    else go (i + 1) ~events:(e :: events) rest
+                | Error msg ->
+                    tear_or (fun () -> Error (Printf.sprintf "line %d: %s" lineno msg)))
+          end
+          else if is_footer trimmed then begin
+            match Record.finish_header p with
+            | Error _ ->
+                tear_or (fun () ->
+                    Error (Printf.sprintf "line %d: seal footer before a complete header" lineno))
+            | Ok header -> (
+                if is_last && not terminated then
+                  (* a torn footer: the seal never completed — the segment
+                     is still active (the rename cannot have happened, it
+                     follows the footer's fsync) *)
+                  tear_or (fun () ->
+                      Error (Printf.sprintf "line %d: unterminated seal footer" lineno))
+                else if not is_last then
+                  Error (Printf.sprintf "line %d: data after the seal footer" lineno)
+                else
+                  match parse_footer trimmed with
+                  | None -> Error (Printf.sprintf "line %d: malformed seal footer %S" lineno trimmed)
+                  | Some (count, crc) ->
+                      if !region_lo < 0 then begin
+                        region_lo := off;
+                        region_hi := off
+                      end;
+                      let region = String.sub text !region_lo (!region_hi - !region_lo) in
+                      let events = List.rev events in
+                      if List.length events <> count then
+                        Error
+                          (Printf.sprintf
+                             "seal footer says %d records but the segment holds %d"
+                             count (List.length events))
+                      else if Dvbp_tracestore.Crc32.string region <> crc then
+                        Error "seal footer CRC mismatch — sealed segment corrupted"
+                      else
+                        Ok
+                          (Complete
+                             { header; events; sealed = true; dropped_torn = false;
+                               unterminated = false; region }))
+          end
+          else begin
+            match Record.header_row ~line:lineno p trimmed with
+            | Ok () ->
+                if !region_lo >= 0 then
+                  Error (Printf.sprintf "line %d: header row inside the record region" lineno)
+                else go (i + 1) ~events rest
+            | Error msg -> tear_or (fun () -> Error msg)
+          end)
+    in
+    let* r = go 0 ~events:[] lines in
+    match r with
+    | Incomplete when expect_sealed -> Error "sealed segment header is incomplete"
+    | r -> Ok r
+  end

@@ -12,6 +12,8 @@ type config = {
   snapshot_every : int option;
   fsync_every : int;
   jobs : int;
+  segment_bytes : int option;  (* journal segment roll threshold *)
+  retain_segments : int option;  (* sealed-segment count that triggers compaction *)
 }
 
 type metrics = {
@@ -24,12 +26,19 @@ type metrics = {
   events : int;
 }
 
+(* Online compaction is a two-phase pass driven one bounded step at a time
+   from the event loop: first snapshot the current frontier (making every
+   record at or below it redundant), then retire covered sealed segments a
+   few files per tick — group-commit acks never wait on a retire. *)
+type compaction = C_idle | C_retiring of { frontier : int; started : float }
+
 type t = {
   config : config;
   io : Io.t;
   tenants : (string, Session.t) Hashtbl.t;
   mutable tenant_order_rev : string list;
   journal : Journal.writer option;
+  mutable compaction : compaction;
   mutable history_rev : Journal.event list;
   mutable events : int;
   mutable since_snapshot : int;
@@ -64,6 +73,23 @@ let validate_config c =
         Error "snapshot-every requires a journal path (there is nothing to truncate)"
     | Some _ | None -> Ok ()
   in
+  let* () =
+    match c.segment_bytes with
+    | Some n when n < 64 -> Error (Printf.sprintf "segment-bytes must be >= 64, got %d" n)
+    | Some _ when c.journal = None ->
+        Error "segment-bytes requires a journal path"
+    | Some _ | None -> Ok ()
+  in
+  let* () =
+    match c.retain_segments with
+    | Some n when n < 0 ->
+        Error (Printf.sprintf "retain-segments must be >= 0, got %d" n)
+    | Some _ when c.snapshot = None ->
+        Error "retain-segments requires a snapshot path (compaction snapshots first)"
+    | Some _ when c.journal = None ->
+        Error "retain-segments requires a journal path (there is nothing to retire)"
+    | Some _ | None -> Ok ()
+  in
   Ok ()
 
 let register_tenant t tenant session =
@@ -83,6 +109,7 @@ let make_t config ~io ~obs ~tenant_sessions journal ~history ~since_snapshot =
       tenants = Hashtbl.create 8;
       tenant_order_rev = [];
       journal;
+      compaction = C_idle;
       history_rev;
       events = List.length history;
       since_snapshot;
@@ -135,7 +162,8 @@ let create ?(io = Real_io.v) ?metrics config =
     | None -> Ok None
     | Some path -> (
         match
-          Journal.create ~io ~metrics:obs ~fsync_every:config.fsync_every ~path
+          Journal.create ~io ~metrics:obs ~fsync_every:config.fsync_every
+            ?segment_bytes:config.segment_bytes ~path
             { Journal.policy = config.policy; seed = config.seed;
               capacity = config.capacity; base = 0 }
         with
@@ -171,7 +199,8 @@ let resume ?(io = Real_io.v) ?metrics config (st : Recovery.state) =
     | None -> Ok None
     | Some path ->
         let* w, r =
-          Journal.append_to ~io ~metrics:obs ~fsync_every:config.fsync_every ~path
+          Journal.append_to ~io ~metrics:obs ~fsync_every:config.fsync_every
+            ?segment_bytes:config.segment_bytes ~path
             { Journal.policy = config.policy; seed = config.seed;
               capacity = config.capacity; base = 0 }
         in
@@ -253,27 +282,36 @@ let record t e =
   | None -> ());
   t.history_rev <- e :: t.history_rev;
   t.events <- t.events + 1;
-  t.since_snapshot <- t.since_snapshot + 1
+  t.since_snapshot <- t.since_snapshot + 1;
+  Metrics.set_compaction_lag t.obs t.since_snapshot
+
+(* Write a durable snapshot of the whole current state at [path]. What
+   happens to the journal afterwards is the caller's choice: the classic
+   snapshot path truncates everything, compaction retires covered sealed
+   segments while the active one keeps streaming. *)
+let write_snapshot t path =
+  Metrics.time_snapshot t.obs (fun () ->
+      let digests =
+        List.map
+          (fun (tenant, session) -> Snapshot.digest_of_session ~tenant session)
+          (sessions t)
+      in
+      Snapshot.write ~io:t.io ~path
+        { Snapshot.policy = t.config.policy; seed = t.config.seed;
+          capacity = t.config.capacity; digests;
+          history = List.rev t.history_rev });
+  t.since_snapshot <- 0;
+  t.snapshots <- t.snapshots + 1;
+  Metrics.set_compaction_lag t.obs 0
 
 let take_snapshot t =
   match t.config.snapshot with
   | None -> Error "no snapshot path configured"
   | Some path ->
-      Metrics.time_snapshot t.obs (fun () ->
-          let digests =
-            List.map
-              (fun (tenant, session) -> Snapshot.digest_of_session ~tenant session)
-              (sessions t)
-          in
-          Snapshot.write ~io:t.io ~path
-            { Snapshot.policy = t.config.policy; seed = t.config.seed;
-              capacity = t.config.capacity; digests;
-              history = List.rev t.history_rev };
-          match t.journal with
-          | Some w -> Journal.truncate w ~new_base:t.events
-          | None -> ());
-      t.since_snapshot <- 0;
-      t.snapshots <- t.snapshots + 1;
+      write_snapshot t path;
+      (match t.journal with
+      | Some w -> Journal.truncate w ~new_base:t.events
+      | None -> ());
       Ok path
 
 let maybe_auto_snapshot t =
@@ -283,6 +321,57 @@ let maybe_auto_snapshot t =
       | Ok _ -> ()
       | Error msg -> failwith msg (* excluded by validate_config *))
   | Some _ | None -> ()
+
+(* {2 Online compaction}
+
+   Driven by the event loop between select ticks: when the sealed-segment
+   count exceeds [retain_segments], one step snapshots the frontier (every
+   record at or below it is now redundant), and subsequent steps retire
+   covered sealed segments a few files at a time. Each step is a bounded
+   amount of work, so group-commit acks never queue behind a whole
+   compaction pass. *)
+
+let retire_batch = 4 (* sealed segments unlinked per step *)
+
+let compaction_pending t =
+  match t.compaction with
+  | C_retiring _ -> true
+  | C_idle -> (
+      match (t.config.retain_segments, t.journal) with
+      | Some retain, Some w -> Journal.sealed_segments w > retain
+      | _ -> false)
+
+let compaction_step t =
+  match t.compaction with
+  | C_retiring { frontier; started } -> (
+      match t.journal with
+      | None -> t.compaction <- C_idle
+      | Some w ->
+          let retired = Journal.retire_sealed ~max_segments:retire_batch w ~upto:frontier in
+          if retired < retire_batch then begin
+            (* nothing left at or below the frontier: the pass is done *)
+            Metrics.on_compaction t.obs ~seconds:(Metrics.now t.obs -. started);
+            t.compaction <- C_idle
+          end)
+  | C_idle when compaction_pending t -> (
+      match t.config.snapshot with
+      | None -> () (* excluded by validate_config *)
+      | Some path ->
+          write_snapshot t path;
+          t.compaction <- C_retiring { frontier = t.events; started = Metrics.now t.obs })
+  | C_idle -> ()
+
+let compact t =
+  match (t.config.snapshot, t.journal) with
+  | None, _ -> Error "no snapshot path configured"
+  | _, None -> Error "no journal configured"
+  | Some path, Some w ->
+      let started = Metrics.now t.obs in
+      write_snapshot t path;
+      let retired = Journal.retire_sealed w ~upto:t.events in
+      Metrics.on_compaction t.obs ~seconds:(Metrics.now t.obs -. started);
+      t.compaction <- C_idle;
+      Ok (path, retired)
 
 let parse_float what s =
   match float_of_string_opt s with
@@ -710,6 +799,7 @@ let process_run t lines (replies : (string * bool) array) ~lo ~hi =
         replies.(lo + k) <- ("OK", false)
   done;
   flush_staged t !staged_rev ~waiters:n;
+  Metrics.set_compaction_lag t.obs t.since_snapshot;
   maybe_auto_snapshot t;
   if not (Metrics.is_noop t.obs) then begin
     (* batch latency: every line in the run waited for the same commit,
@@ -777,6 +867,9 @@ let serve t ic oc =
         output_string oc reply;
         output_char oc '\n';
         flush oc;
+        (* the event loop steps compaction between select ticks; the
+           blocking loop's equivalent beat is one step per request *)
+        compaction_step t;
         if not quit then loop ()
   in
   Fun.protect ~finally:(fun () -> close t) loop

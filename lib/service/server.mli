@@ -55,6 +55,15 @@ type config = {
       (** streaming path: journal fsync cadence; batch path: per-batch
           ceiling — one group commit never spans more records than this *)
   jobs : int;  (** tenant shards for {!handle_batch} (1 = no domains) *)
+  segment_bytes : int option;
+      (** journal segment roll threshold in bytes (default 1 MiB); an
+          append that carries the active segment past it seals the segment
+          and opens the next *)
+  retain_segments : int option;
+      (** online compaction trigger: when more than this many {e sealed}
+          segments are on disk, the event loop snapshots and retires the
+          covered ones ({!compaction_step}). [None] disables compaction.
+          Requires journal and snapshot paths. *)
 }
 
 type t
@@ -132,6 +141,33 @@ val sessions : t -> (string * Dvbp_engine.Session.t) list
 val take_snapshot : t -> (string, string) result
 (** What the [SNAPSHOT] command runs: write a {!Snapshot} of every tenant
     and truncate the journal. Exposed for drivers. *)
+
+(** {1 Online compaction}
+
+    A compaction pass bounds journal disk usage without stopping the
+    world: snapshot the current frontier (making every record at or below
+    it redundant), then unlink the sealed segments the snapshot covers, a
+    few files per step. The active segment is never touched, so appends
+    and group commits proceed throughout. *)
+
+val compaction_pending : t -> bool
+(** Whether {!compaction_step} has work: a pass is mid-flight, or the
+    sealed-segment count exceeds [retain_segments]. The event loop polls
+    this to keep its select timeout at zero while compacting. *)
+
+val compaction_step : t -> unit
+(** One bounded unit of compaction: either start a pass (write the
+    snapshot, remember the frontier) or retire up to a handful of covered
+    sealed segments. No-op when nothing is pending. Called by
+    {!Event_loop} once per tick, between request batches. *)
+
+val compact : t -> (string * int, string) result
+(** Synchronous whole pass (the [dvbp compact] command and the sim's
+    [Compact] action): snapshot, then retire {e all} covered sealed
+    segments at once. Returns the snapshot path and the number of segments
+    retired. Unlike {!take_snapshot} this never truncates the active
+    segment — the journal keeps its tail. Errors when no snapshot or no
+    journal path is configured. *)
 
 val close : t -> unit
 (** Syncs and closes the journal. Idempotent. *)

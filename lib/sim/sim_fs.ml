@@ -10,6 +10,7 @@ type mode =
   | Directed of {
       keep_rename : dst:string -> bool;
       keep_create : path:string -> bool;
+      keep_remove : path:string -> bool;
       tear : path:string -> synced:int -> length:int -> int;
     }
 
@@ -39,6 +40,7 @@ type t = {
   live : (string, file) Hashtbl.t;
   mutable pending_renames : pending_rename list; (* newest first *)
   mutable pending_creates : (string * file) list;
+  mutable pending_removes : (string * file) list; (* newest first *)
   mutable handles : handle list;
   mutable op_count : int;
   mutable planned : int option;
@@ -51,6 +53,7 @@ let create ?(seed = 0) () =
     live = Hashtbl.create 16;
     pending_renames = [];
     pending_creates = [];
+    pending_removes = [];
     handles = [];
     op_count = 0;
     planned = None;
@@ -163,11 +166,28 @@ let io t =
         t.pending_renames <-
           List.filter (fun pr -> dirname pr.pr_dst <> dir) t.pending_renames;
         t.pending_creates <-
-          List.filter (fun (path, _) -> dirname path <> dir) t.pending_creates);
+          List.filter (fun (path, _) -> dirname path <> dir) t.pending_creates;
+        t.pending_removes <-
+          List.filter (fun (path, _) -> dirname path <> dir) t.pending_removes);
     remove =
       (fun path ->
         boundary t;
-        Hashtbl.remove t.live path);
+        (* an unlink is a directory-entry change like a rename: durable only
+           after fsync_dir, else the crash mode decides whether the entry is
+           really gone *)
+        match Hashtbl.find_opt t.live path with
+        | None -> ()
+        | Some f ->
+            Hashtbl.remove t.live path;
+            t.pending_removes <- (path, f) :: t.pending_removes);
+    list_dir =
+      (fun dir ->
+        ensure_alive t;
+        Hashtbl.fold
+          (fun path _ acc ->
+            if dirname path = dir then Filename.basename path :: acc else acc)
+          t.live []
+        |> List.sort String.compare);
   }
 
 let crash t ~mode =
@@ -181,6 +201,22 @@ let crash t ~mode =
       Buffer.clear h.h_buf)
     t.handles;
   t.handles <- [];
+  (* removes first: a rolled-back unlink resurrects the file — unless a
+     newer entry occupies the path (crashed unlink-then-recreate leaves the
+     old or the new entry, never both). Resurrection precedes the create
+     pass so a file whose creation also rolls back is dropped again below. *)
+  List.iter
+    (fun (path, f) ->
+      let keep =
+        match mode with
+        | Lose_unsynced -> false
+        | Keep_unsynced -> true
+        | Torn -> Rng.bool t.rng
+        | Directed d -> d.keep_remove ~path
+      in
+      if (not keep) && not (Hashtbl.mem t.live path) then Hashtbl.replace t.live path f)
+    t.pending_removes;
+  t.pending_removes <- [];
   (* directory entries: renames newest first, so shadowed renames only roll
      back if their destination still points at the file they moved *)
   let kept_renames =

@@ -16,13 +16,15 @@
     - bytes flushed but not fsynced are {e torn} at a byte offset chosen by
       the crash mode — anywhere between the synced prefix and the full
       cache view, so a record can be cut mid-line;
-    - renames and creations not yet covered by a directory fsync are kept
-      or rolled back per the mode — rolling back a tmp-file rename restores
-      the old destination {e and} resurrects the [.tmp]; rolling back a
-      creation drops the inode's directory entries, except that an entry a
-      {e kept} rename installed over an existing file falls back to the file
-      it replaced (a crashed [rename(2)] leaves the old or the new entry,
-      never a dangling one).
+    - renames, creations and removals not yet covered by a directory fsync
+      are kept or rolled back per the mode — rolling back a tmp-file rename
+      restores the old destination {e and} resurrects the [.tmp]; rolling
+      back a creation drops the inode's directory entries, except that an
+      entry a {e kept} rename installed over an existing file falls back to
+      the file it replaced (a crashed [rename(2)] leaves the old or the new
+      entry, never a dangling one); rolling back an unlink resurrects the
+      removed file — the window the segmented journal's compaction (retire
+      = unlink sealed segments) must survive.
 
     Simplification: truncating an existing file discards its old contents
     even at a crash. Service code only truncates fresh [.tmp] files whose
@@ -43,6 +45,9 @@ type mode =
   | Directed of {
       keep_rename : dst:string -> bool;
       keep_create : path:string -> bool;
+      keep_remove : path:string -> bool;
+          (** [true] keeps the unlink (file stays gone); [false] rolls it
+              back, resurrecting the file unless the path was re-created *)
       tear : path:string -> synced:int -> length:int -> int;
           (** returns the surviving length, clamped to [[synced, length]] *)
     }

@@ -49,14 +49,18 @@ let apply_line server line =
 (* Drive the whole script. [batch = Some b] exercises the group-commit path
    ({!Server.handle_batch}, [b] lines per call); [None] the streaming one.
    [check] is off while a planned crash is pending (replies then never
-   arrive — the run dies mid-script by design). *)
-let apply_all ?batch ~check server lines =
+   arrive — the run dies mid-script by design). [tick] runs after every
+   line (or chunk) — the compaction sweeps pass {!Server.compaction_step}
+   so segment retirement interleaves with traffic exactly as the event
+   loop interleaves it, and its I/O boundaries are swept like any other. *)
+let apply_all ?batch ~check ~tick server lines =
   match batch with
   | None ->
       List.iter
         (fun line ->
           if check then apply_line server line
-          else ignore (Server.handle_line server line))
+          else ignore (Server.handle_line server line);
+          tick server)
         lines
   | Some b ->
       let rec go = function
@@ -69,6 +73,7 @@ let apply_all ?batch ~check server lines =
               Array.iteri
                 (fun i (reply, quit) -> check_applied arr.(i) reply quit)
                 replies;
+            tick server;
             go (drop b lines)
       in
       go lines
@@ -115,7 +120,8 @@ let make_lines ~tenants inst =
     interleave [] scripts
 
 let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
-    ?(snapshot_every = 5) ?(wrap = fun io -> io) ?batch ?(tenants = 1) ?(jobs = 1) () =
+    ?(snapshot_every = 5) ?(snapshot = true) ?segment_bytes ?retain_segments
+    ?(wrap = fun io -> io) ?batch ?(tenants = 1) ?(jobs = 1) () =
   let params = { Uniform_model.d = 2; n; mu = 10; span = 60; bin_size = 100 } in
   let inst = Uniform_model.generate params ~rng:(Rng.create ~seed:(seed + 1)) in
   let lines = make_lines ~tenants inst in
@@ -125,11 +131,24 @@ let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
       seed;
       capacity = Uniform_model.capacity params;
       journal = Some journal_path;
-      snapshot = Some snapshot_path;
-      snapshot_every = Some snapshot_every;
+      snapshot = (if snapshot then Some snapshot_path else None);
+      (* with compaction armed, snapshots come from the compaction pass —
+         the truncate-everything auto-snapshot would retire every sealed
+         segment out from under it *)
+      snapshot_every =
+        (if snapshot && retain_segments = None then Some snapshot_every else None);
       fsync_every;
       jobs;
+      segment_bytes;
+      retain_segments;
     }
+  in
+  (* with a retention trigger configured, step compaction after every
+     line/chunk — the event loop's once-per-tick cadence *)
+  let tick =
+    match retain_segments with
+    | None -> fun _ -> ()
+    | Some _ -> fun server -> Server.compaction_step server
   in
   (* Uninterrupted run: fixes the boundary count, the canonical event
      history, and the reference final state. *)
@@ -140,7 +159,7 @@ let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
     | Ok s -> s
     | Error e -> failwith ("sweep baseline: " ^ e)
   in
-  apply_all ?batch ~check:true server lines;
+  apply_all ?batch ~check:true ~tick server lines;
   let baseline_fp = fingerprint_server server in
   Server.close server;
   let boundaries = Sim_fs.ops fs0 in
@@ -162,13 +181,13 @@ let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
        match Server.create ~io ~metrics:(Metrics.noop ()) config with
        | Error e -> failwith ("server create: " ^ e)
        | Ok server ->
-           apply_all ?batch ~check:false server lines;
+           apply_all ?batch ~check:false ~tick server lines;
            Server.close server;
            failwith "planned crash never fired"
      with Sim_fs.Crash -> ());
     Sim_fs.crash fs ~mode;
     let resumed, recovered_events =
-      if Sim_fs.exists fs journal_path then
+      if Journal.exists ~io journal_path then
         match Recovery.recover ~io ~snapshot:snapshot_path ~journal:journal_path () with
         | Error e -> failwith ("recovery: " ^ e)
         | Ok st ->
@@ -185,7 +204,7 @@ let run ?(policy = "mtf") ?(seed = 11) ?(n = 12) ?(fsync_every = 3)
         | Ok s -> (s, 0)
         | Error e -> failwith ("fresh restart: " ^ e)
     in
-    apply_all ?batch ~check:true resumed (drop recovered_events lines);
+    apply_all ?batch ~check:true ~tick resumed (drop recovered_events lines);
     let fp = fingerprint_server resumed in
     Server.close resumed;
     if fp <> baseline_fp then

@@ -34,6 +34,9 @@ val run :
   ?n:int ->
   ?fsync_every:int ->
   ?snapshot_every:int ->
+  ?snapshot:bool ->
+  ?segment_bytes:int ->
+  ?retain_segments:int ->
   ?wrap:(Dvbp_service.Io.t -> Dvbp_service.Io.t) ->
   ?batch:int ->
   ?tenants:int ->
@@ -45,6 +48,15 @@ val run :
     truncation both land inside the sweep). [wrap] decorates the simulated
     backend — the sensitivity smoke uses it to sabotage the torn-record
     guard and prove the sweep notices.
+
+    [segment_bytes] shrinks the journal's segment roll threshold so seals
+    land inside the sweep; [retain_segments] arms online compaction, which
+    the sweep then steps after every line (or chunk) the way the event
+    loop steps it per tick — every segment open/seal/rename/retire/dir-sync
+    boundary becomes a swept crash point. [snapshot = false] strips the
+    snapshot path entirely (and [snapshot_every] with it): recovery then
+    leans on the journal chain alone, which the seal-sensitivity smoke
+    uses to prove a defeated seal check is caught.
 
     [batch = Some b] drives the {b group-commit} path instead of the
     streaming one: lines go through {!Dvbp_service.Server.handle_batch},

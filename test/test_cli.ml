@@ -118,8 +118,8 @@ let contains_sub msg sub =
   go 0
 
 let serve_opts ?(policy = "mtf") ?(seed = 7) ?(capacity = "100,100") ?journal
-    ?snapshot ?snapshot_every ?(fsync_every = 64) ?(jobs = 1) ?listen
-    ?(resume = false) ?metrics_dump () =
+    ?snapshot ?snapshot_every ?(fsync_every = 64) ?(jobs = 1) ?segment_bytes
+    ?retain_segments ?listen ?(resume = false) ?metrics_dump () =
   {
     Service_cli.policy;
     seed;
@@ -129,6 +129,8 @@ let serve_opts ?(policy = "mtf") ?(seed = 7) ?(capacity = "100,100") ?journal
     snapshot_every;
     fsync_every;
     jobs;
+    segment_bytes;
+    retain_segments;
     listen;
     resume;
     metrics_dump;
@@ -236,6 +238,45 @@ let service_tests =
                 Out_channel.output_string oc "not a journal at all\n");
             check_bool "error" true
               (Result.is_error (Service_cli.recover ~journal ~snapshot:None))));
+    Alcotest.test_case "serve rejects retain-segments without snapshot path"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            check_bool "error" true
+              (Result.is_error
+                 (serve_script
+                    (serve_opts ~journal ~retain_segments:1 ())
+                    "QUIT\n"))));
+    Alcotest.test_case "compact reports a missing journal" `Quick (fun () ->
+        match
+          Service_cli.compact ~journal:"/nonexistent/j.log"
+            ~snapshot:"/nonexistent/s.snap" ()
+        with
+        | Error msg -> check_bool "names the path" true (contains_sub msg "j.log")
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "compact retires the sealed chain behind a snapshot"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let snapshot = Filename.concat dir "s.snap" in
+            (* tiny segments: every journaled event seals its own segment *)
+            (match
+               serve_script
+                 (serve_opts ~journal ~segment_bytes:64 ())
+                 "ARRIVE 0 0 60,10\nARRIVE 1 1 50,50\nDEPART 2 0\nQUIT\n"
+             with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail e);
+            (match Service_cli.compact ~journal ~snapshot () with
+            | Error e -> Alcotest.fail e
+            | Ok out ->
+                check_bool "events covered" true (contains_sub out "3 events");
+                check_bool "segments retired" true
+                  (contains_sub out "3 sealed segments retired"));
+            (* the compacted state still recovers: snapshot plus tail *)
+            match Service_cli.recover ~journal ~snapshot:(Some snapshot) with
+            | Ok out -> check_bool "recovers" true (contains_sub out "mtf")
+            | Error e -> Alcotest.fail e));
     Alcotest.test_case "loadgen --emit prints the protocol script" `Quick
       (fun () ->
         let opts =

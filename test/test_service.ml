@@ -47,6 +47,12 @@ let with_tmp_dir f =
 let header ?(policy = "mtf") ?(seed = 7) ?(capacity = cap) ?(base = 0) () =
   { Journal.policy; seed; capacity; base }
 
+(* the segmented journal's files for a journal configured at [path]; tests
+   that doctor bytes on disk target the active segment — the only file the
+   torn-tail rules allow to heal *)
+let active_seg ?(idx = 0) path = Printf.sprintf "%s.%06d.seg.open" path idx
+let sealed_seg ~idx path = Printf.sprintf "%s.%06d.seg" path idx
+
 (* A deterministic little event script exercising placements across several
    bins, departures, and bin reuse. The recorded placements are computed by
    a real mtf session, so they are exactly what a server would journal. *)
@@ -141,9 +147,9 @@ let journal_tests =
             let w = Journal.create ~path (header ()) in
             List.iter (Journal.append w) sample_events;
             Journal.close w;
-            let full = In_channel.with_open_bin path In_channel.input_all in
+            let full = In_channel.with_open_bin (active_seg path) In_channel.input_all in
             (* chop mid-way through the final record: no trailing newline *)
-            Out_channel.with_open_bin path (fun oc ->
+            Out_channel.with_open_bin (active_seg path) (fun oc ->
                 Out_channel.output_string oc (String.sub full 0 (String.length full - 5)));
             let r = ok_or_fail (Journal.read_file path) in
             check_bool "torn flagged" true r.Journal.dropped_torn;
@@ -158,8 +164,8 @@ let journal_tests =
             List.iter (Journal.append w) sample_events;
             Journal.close w;
             (* a malformed line *with* its newline cannot be a torn write *)
-            Out_channel.with_open_gen [ Open_append ] 0o600 path (fun oc ->
-                Out_channel.output_string oc "arrive,gibberish,~0000\n");
+            Out_channel.with_open_gen [ Open_append ] 0o600 (active_seg path)
+              (fun oc -> Out_channel.output_string oc "arrive,gibberish,~0000\n");
             check_bool "error" true (Result.is_error (Journal.read_file path))));
     Alcotest.test_case "corrupt mid-file record is a hard error even with torn tail"
       `Quick (fun () ->
@@ -168,12 +174,12 @@ let journal_tests =
             let w = Journal.create ~path (header ()) in
             List.iter (Journal.append w) sample_events;
             Journal.close w;
-            let full = In_channel.with_open_bin path In_channel.input_all in
+            let full = In_channel.with_open_bin (active_seg path) In_channel.input_all in
             (* corrupt a record in the middle; the file still ends torn *)
             let b = Bytes.of_string (String.sub full 0 (String.length full - 5)) in
             let mid = Bytes.length b - 40 in
             Bytes.set b mid (if Bytes.get b mid = '0' then '1' else '0');
-            Out_channel.with_open_bin path (fun oc ->
+            Out_channel.with_open_bin (active_seg path) (fun oc ->
                 Out_channel.output_string oc (Bytes.to_string b));
             check_bool "error" true (Result.is_error (Journal.read_file path))));
     Alcotest.test_case "missing magic line rejected" `Quick (fun () ->
@@ -203,8 +209,8 @@ let journal_tests =
             let w = Journal.create ~path (header ()) in
             List.iter (Journal.append w) sample_events;
             Journal.close w;
-            let full = In_channel.with_open_bin path In_channel.input_all in
-            Out_channel.with_open_bin path (fun oc ->
+            let full = In_channel.with_open_bin (active_seg path) In_channel.input_all in
+            Out_channel.with_open_bin (active_seg path) (fun oc ->
                 Out_channel.output_string oc (String.sub full 0 (String.length full - 5)));
             let w, r = ok_or_fail (Journal.append_to ~path (header ())) in
             check_bool "torn reported" true r.Journal.dropped_torn;
@@ -233,6 +239,153 @@ let journal_tests =
                  ignore (Journal.create ~fsync_every:0 ~path (header ()));
                  false
                with Invalid_argument _ -> true)));
+  ]
+
+(* -------------------------------------------------------------------- *)
+(* The segmented on-disk layout: rolling, sealing, the chain read,
+   retirement, and migration from the legacy single-file formats. At
+   [segment_bytes = 64] the ~60-byte header alone nearly fills a segment,
+   so every append seals — the densest possible chain. *)
+
+let legacy_header_text =
+  "policy,mtf\nseed,7\ncapacity,100,100\nbase,0\n"
+
+let segment_tests =
+  [
+    Alcotest.test_case "appends roll into sealed segments; reads chain them"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~segment_bytes:64 ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            let n = List.length sample_events in
+            check_int "every append sealed its segment" n
+              (Journal.sealed_segments w);
+            check_int "frontier" n (Journal.frontier w);
+            (* the writer's byte accounting agrees with the directory *)
+            let on_disk =
+              Array.fold_left
+                (fun acc f ->
+                  acc + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+                0 (Sys.readdir dir)
+            in
+            check_int "live_bytes matches disk" on_disk (Journal.live_bytes w);
+            Journal.close w;
+            check_bool "sealed file present" true
+              (Sys.file_exists (sealed_seg ~idx:0 path));
+            check_bool "active file present" true
+              (Sys.file_exists (active_seg ~idx:n path));
+            let r = ok_or_fail (Journal.read_file path) in
+            check_int "chain base" 0 r.Journal.header.Journal.base;
+            check_bool "all events, journal order" true
+              (List.equal Journal.equal_event sample_events r.Journal.events)));
+    Alcotest.test_case "append_to resumes a multi-segment chain" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let first, rest =
+              (List.filteri (fun i _ -> i < 3) sample_events,
+               List.filteri (fun i _ -> i >= 3) sample_events)
+            in
+            let w = Journal.create ~segment_bytes:64 ~path (header ()) in
+            List.iter (Journal.append w) first;
+            Journal.close w;
+            let w, r =
+              ok_or_fail (Journal.append_to ~segment_bytes:64 ~path (header ()))
+            in
+            check_int "existing events" 3 (List.length r.Journal.events);
+            check_int "resumed frontier" 3 (Journal.frontier w);
+            List.iter (Journal.append w) rest;
+            Journal.close w;
+            let r = ok_or_fail (Journal.read_file path) in
+            check_bool "full history" true
+              (List.equal Journal.equal_event sample_events r.Journal.events)));
+    Alcotest.test_case "retire_sealed unlinks only covered segments, oldest first"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let w = Journal.create ~segment_bytes:64 ~path (header ()) in
+            List.iter (Journal.append w) sample_events;
+            (* one record per segment: event frontier 3 covers segments 0-2 *)
+            check_int "covered segments retired" 3 (Journal.retire_sealed w ~upto:3);
+            check_int "survivors" 3 (Journal.sealed_segments w);
+            check_bool "oldest gone" false (Sys.file_exists (sealed_seg ~idx:0 path));
+            check_bool "uncovered kept" true (Sys.file_exists (sealed_seg ~idx:3 path));
+            (* the bound caps one call's work; a second call finishes *)
+            check_int "bounded call" 2
+              (Journal.retire_sealed ~max_segments:2 w ~upto:6);
+            check_int "remainder" 1 (Journal.retire_sealed w ~upto:6);
+            check_int "nothing left to retire" 0 (Journal.retire_sealed w ~upto:6);
+            Journal.close w;
+            (* the surviving chain reads back with its base above the gap *)
+            let r = ok_or_fail (Journal.read_file path) in
+            check_int "base" 6 r.Journal.header.Journal.base;
+            check_int "events" 0 (List.length r.Journal.events)));
+    Alcotest.test_case "a v2 single-file journal migrates into segments" `Quick
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let oc = open_out path in
+            output_string oc ("# dvbp-journal v2\n" ^ legacy_header_text);
+            List.iter
+              (fun e ->
+                output_string oc (Journal.encode_event e);
+                output_char oc '\n')
+              sample_events;
+            close_out oc;
+            check_bool "legacy file exists" true (Journal.exists path);
+            let w, r = ok_or_fail (Journal.append_to ~path (header ())) in
+            check_int "read as v2" 2 r.Journal.version;
+            check_bool "events preserved" true
+              (List.equal Journal.equal_event sample_events r.Journal.events);
+            check_bool "legacy file replaced" false (Sys.file_exists path);
+            check_bool "active segment holds the history" true
+              (Sys.file_exists (active_seg path));
+            Journal.close w;
+            (* the migrated chain replays bit-identically *)
+            let st = ok_or_fail (Recovery.recover ~journal:path ()) in
+            check_int "replayed" (List.length sample_events)
+              st.Recovery.from_journal));
+    Alcotest.test_case "a torn v1 file heals, then migrates" `Quick (fun () ->
+        (* the legacy formats keep their torn-tail healing through the
+           migration: chop the v1 file mid-record, append_to must drop the
+           fragment and carry the intact prefix into the segment *)
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            let seal body =
+              let sum =
+                String.fold_left
+                  (fun acc c -> ((acc * 31) + Char.code c) land 0xffff)
+                  0 body
+              in
+              Printf.sprintf "%s,~%04x" body sum
+            in
+            let oc = open_out path in
+            output_string oc ("# dvbp-journal v1\n" ^ legacy_header_text);
+            output_string oc (seal "arrive,0.5,0,0,1,60,10" ^ "\n");
+            output_string oc "depart,2,0,~12";  (* torn: no newline *)
+            close_out oc;
+            let w, r = ok_or_fail (Journal.append_to ~path (header ())) in
+            check_bool "torn reported" true r.Journal.dropped_torn;
+            check_int "intact prefix" 1 (List.length r.Journal.events);
+            Journal.close w;
+            let r' = ok_or_fail (Journal.read_file path) in
+            check_bool "clean after migration" false r'.Journal.dropped_torn;
+            check_int "one event" 1 (List.length r'.Journal.events)));
+    Alcotest.test_case "exists: absent / segmented / unreadable" `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "j.log" in
+            check_bool "absent" false (Journal.exists path);
+            let w = Journal.create ~path (header ()) in
+            Journal.close w;
+            check_bool "segmented" true (Journal.exists path);
+            (* wreck the active segment's header: the journal must still
+               "exist" so a resume surfaces the corruption instead of
+               silently starting fresh over it *)
+            Out_channel.with_open_bin (active_seg path) (fun oc ->
+                Out_channel.output_string oc "garbage\n");
+            check_bool "unreadable still exists" true (Journal.exists path);
+            check_bool "and reading it fails" true
+              (Result.is_error (Journal.read_file path))));
   ]
 
 (* Replays [events] through fresh sessions, asserting each recorded
@@ -331,6 +484,8 @@ let server_history ~policy ~n ~dir =
       snapshot_every = None;
       fsync_every = 1000;
       jobs = 1;
+      segment_bytes = None;
+      retain_segments = None;
     }
   in
   let server = ok_or_fail (Server.create config) in
@@ -447,7 +602,7 @@ let recovery_tests =
                 (Printf.sprintf "cost identical at cut %d" k)
                 true
                 (Session.cost_so_far (Recovery.session st) = uncut_cost);
-              Sys.remove path
+              Sys.remove (active_seg path)
             done;
             Unix.rmdir cut_dir));
     Alcotest.test_case "keystone holds for the seeded random-fit policy" `Slow
@@ -469,7 +624,7 @@ let recovery_tests =
                 let st = ok_or_fail (Recovery.recover ~journal:path ()) in
                 let rest = List.filteri (fun i _ -> i >= k) events in
                 ignore (apply_raw (Recovery.session st) rest);
-                Sys.remove path)
+                Sys.remove (active_seg path))
               [ 0; 1; total / 2; total - 1; total ];
             Unix.rmdir cut_dir));
     Alcotest.test_case "recovery across a snapshot matches the journal-only run"
@@ -543,7 +698,8 @@ let recovery_tests =
             check_bool "open bins" true (contains_sub out "bin ")));
   ]
 
-let fresh_server ?journal ?snapshot ?snapshot_every () =
+let fresh_server ?journal ?snapshot ?snapshot_every ?segment_bytes
+    ?retain_segments () =
   ok_or_fail
     (Server.create
        {
@@ -555,6 +711,8 @@ let fresh_server ?journal ?snapshot ?snapshot_every () =
          snapshot_every;
          fsync_every = 64;
          jobs = 1;
+         segment_bytes;
+         retain_segments;
        })
 
 let expect t line reply =
@@ -694,6 +852,8 @@ let server_tests =
             snapshot_every = None;
             fsync_every = 64;
             jobs = 1;
+            segment_bytes = None;
+            retain_segments = None;
           }
         in
         check_bool "unknown policy" true
@@ -713,6 +873,42 @@ let server_tests =
                   Server.snapshot_every = Some 0;
                   snapshot = Some "/tmp/s.snap";
                   journal = Some "/tmp/j.log";
+                }));
+        check_bool "segment_bytes below the floor" true
+          (Result.is_error
+             (Server.create
+                {
+                  base with
+                  Server.segment_bytes = Some 32;
+                  journal = Some "/tmp/j.log";
+                }));
+        check_bool "segment_bytes without journal path" true
+          (Result.is_error
+             (Server.create { base with Server.segment_bytes = Some 4096 }));
+        check_bool "retain_segments negative" true
+          (Result.is_error
+             (Server.create
+                {
+                  base with
+                  Server.retain_segments = Some (-1);
+                  snapshot = Some "/tmp/s.snap";
+                  journal = Some "/tmp/j.log";
+                }));
+        check_bool "retain_segments without snapshot path" true
+          (Result.is_error
+             (Server.create
+                {
+                  base with
+                  Server.retain_segments = Some 2;
+                  journal = Some "/tmp/j.log";
+                }));
+        check_bool "retain_segments without journal path" true
+          (Result.is_error
+             (Server.create
+                {
+                  base with
+                  Server.retain_segments = Some 2;
+                  snapshot = Some "/tmp/s.snap";
                 })));
     Alcotest.test_case "resume validates config against the recovered state"
       `Quick (fun () ->
@@ -732,6 +928,8 @@ let server_tests =
                 snapshot_every = None;
                 fsync_every = 64;
                 jobs = 1;
+                segment_bytes = None;
+                retain_segments = None;
               }
             in
             check_bool "policy mismatch" true
@@ -825,6 +1023,40 @@ let loadgen_tests =
               (st.Recovery.from_snapshot + st.Recovery.from_journal);
             let out = Loadgen.render report in
             check_bool "render mentions events/s" true (contains_sub out "events/s")));
+    Alcotest.test_case "tiny segments + compaction keep journal bytes bounded"
+      `Quick (fun () ->
+        (* the disk-bound regression: a run that writes ~12 KiB of records
+           through 256-byte segments with retain_segments=2 must end with
+           the journal's on-disk footprint near the retention window — and
+           still recover every event through the compaction snapshots *)
+        with_tmp_dir (fun dir ->
+            let inst =
+              Uniform_model.generate
+                { Uniform_model.d = 2; n = 150; mu = 8; span = 50; bin_size = 40 }
+                ~rng:(Rng.create ~seed:5)
+            in
+            let journal = Filename.concat dir "j.log" in
+            let snapshot = Filename.concat dir "s.snap" in
+            let report =
+              ok_or_fail
+                (Loadgen.run ~policy:"mtf" ~seed:7 ~journal ~snapshot
+                   ~segment_bytes:256 ~retain_segments:2 inst)
+            in
+            check_int "all events" 300 report.Loadgen.events;
+            let journal_bytes =
+              Array.fold_left
+                (fun acc f ->
+                  if f = "s.snap" then acc
+                  else acc + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+                0 (Sys.readdir dir)
+            in
+            check_bool
+              (Printf.sprintf "journal bytes bounded (%d on disk)" journal_bytes)
+              true
+              (journal_bytes < 4096);
+            let st = ok_or_fail (Recovery.recover ~snapshot ~journal ()) in
+            check_int "every event recovered" 300
+              (st.Recovery.from_snapshot + st.Recovery.from_journal)));
     Alcotest.test_case "unknown policy is a clean error" `Quick (fun () ->
         let inst =
           Dvbp_core.Instance.of_specs_exn ~capacity:(v [ 10; 10 ])
@@ -923,8 +1155,8 @@ let metrics_tests =
             let w = Journal.create ~path (header ()) in
             List.iter (Journal.append w) sample_events;
             Journal.close w;
-            let full = In_channel.with_open_bin path In_channel.input_all in
-            Out_channel.with_open_bin path (fun oc ->
+            let full = In_channel.with_open_bin (active_seg path) In_channel.input_all in
+            Out_channel.with_open_bin (active_seg path) (fun oc ->
                 Out_channel.output_string oc
                   (String.sub full 0 (String.length full - 5)));
             let m = Metrics.create () in
@@ -1001,6 +1233,130 @@ let metrics_tests =
   ]
 
 (* -------------------------------------------------------------------- *)
+(* Online compaction: the snapshot-then-retire pass, its bounded steps,
+   its metric families, and the serve loop keeping disk usage flat. The
+   64-byte segment target seals on every append (header ~60 bytes), so a
+   six-event script leaves six sealed segments to compact. *)
+
+let drive_sample_protocol t =
+  expect t "ARRIVE 0 0 60,10" "PLACED 0 1";
+  expect t "ARRIVE 1 1 50,50" "PLACED 1 1";
+  expect t "ARRIVE 1.5 2 30,20" "PLACED 1 0";
+  expect t "DEPART 3 0" "OK";
+  expect t "DEPART 4 2" "OK";
+  expect t "DEPART 5.5 1" "OK"
+
+let compaction_tests =
+  [
+    Alcotest.test_case "compact snapshots the frontier and retires the chain"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let snapshot = Filename.concat dir "s.snap" in
+            let t = fresh_server ~journal ~snapshot ~segment_bytes:64 () in
+            drive_sample_protocol t;
+            (match Server.compact t with
+            | Error e -> Alcotest.fail e
+            | Ok (path, retired) ->
+                check_string "snapshot path" snapshot path;
+                check_int "all sealed segments retired" 6 retired);
+            (* the active segment keeps its tail: serving continues and new
+               appends chain onto the snapshotted frontier *)
+            let reply, _ = Server.handle_line t "ARRIVE 7 9 5,5" in
+            check_bool "still serving" true (contains_sub reply "PLACED");
+            Server.close t;
+            let st = ok_or_fail (Recovery.recover ~snapshot ~journal ()) in
+            check_int "snapshot covers the compacted prefix" 6
+              st.Recovery.from_snapshot;
+            check_int "post-compact tail replays from the journal" 1
+              st.Recovery.from_journal));
+    Alcotest.test_case "compact without snapshot or journal is a clean error"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let t = fresh_server ~journal () in
+            check_bool "no snapshot path" true (Result.is_error (Server.compact t));
+            Server.close t;
+            let t = fresh_server () in
+            check_bool "no journal" true (Result.is_error (Server.compact t));
+            Server.close t));
+    Alcotest.test_case "retain_segments arms pending; bounded steps converge"
+      `Quick (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let snapshot = Filename.concat dir "s.snap" in
+            let t =
+              fresh_server ~journal ~snapshot ~segment_bytes:64
+                ~retain_segments:1 ()
+            in
+            drive_sample_protocol t;
+            check_bool "six sealed > retain 1" true (Server.compaction_pending t);
+            (* first step writes the snapshot and arms the retire pass *)
+            Server.compaction_step t;
+            check_bool "snapshot written" true (Sys.file_exists snapshot);
+            check_bool "pass mid-flight" true (Server.compaction_pending t);
+            let steps = ref 1 in
+            while Server.compaction_pending t && !steps < 32 do
+              Server.compaction_step t;
+              incr steps
+            done;
+            (* 6 segments at 4 per retire step: snapshot + two retire steps *)
+            check_int "converges in bounded steps" 3 !steps;
+            Server.compaction_step t;  (* idle: a spurious step is a no-op *)
+            Server.close t;
+            let st = ok_or_fail (Recovery.recover ~snapshot ~journal ()) in
+            check_int "nothing lost" 6
+              (st.Recovery.from_snapshot + st.Recovery.from_journal)));
+    Alcotest.test_case "compaction updates the segment metric families" `Quick
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let journal = Filename.concat dir "j.log" in
+            let snapshot = Filename.concat dir "s.snap" in
+            let m = Metrics.create () in
+            let t =
+              ok_or_fail
+                (Server.create ~metrics:m
+                   {
+                     Server.policy = "mtf";
+                     seed = 7;
+                     capacity = cap;
+                     journal = Some journal;
+                     snapshot = Some snapshot;
+                     snapshot_every = None;
+                     fsync_every = 64;
+                     jobs = 1;
+                     segment_bytes = Some 64;
+                     retain_segments = Some 1;
+                   })
+            in
+            drive_sample_protocol t;
+            let rows = metric_rows m in
+            check_int "seals counted" 6
+              (metric_value rows "dvbp_journal_segments_sealed_total");
+            check_bool "lag tracks unsnapshotted events" true
+              (metric_value rows "dvbp_server_compaction_lag_events" > 0);
+            while Server.compaction_pending t do
+              Server.compaction_step t
+            done;
+            let rows = metric_rows m in
+            check_int "segments gauge: active only" 1
+              (metric_value rows "dvbp_journal_segments");
+            check_int "retirements counted" 6
+              (metric_value rows "dvbp_journal_segments_retired_total");
+            check_bool "retired bytes counted" true
+              (metric_value rows "dvbp_journal_retired_bytes_total" > 0);
+            check_int "one compaction pass" 1
+              (metric_value rows "dvbp_server_compactions_total");
+            check_int "pass duration sampled" 1
+              (metric_value rows "dvbp_server_compaction_seconds_count");
+            check_int "lag reset by the pass" 0
+              (metric_value rows "dvbp_server_compaction_lag_events");
+            check_bool "live bytes back to the active segment" true
+              (metric_value rows "dvbp_journal_live_bytes" < 128);
+            Server.close t));
+  ]
+
+(* -------------------------------------------------------------------- *)
 (* Group commit and the multi-client front end: handle_batch isolation,
    the fsync-per-batch ceiling, shard-count determinism, the event loop's
    ordering guarantees, and v1 journal compatibility. *)
@@ -1017,6 +1373,8 @@ let fresh_server_jobs ?journal ?metrics ~jobs () =
          snapshot_every = None;
          fsync_every = 64;
          jobs;
+         segment_bytes = None;
+         retain_segments = None;
        })
 
 (* the same deterministic multi-tenant request mix used by the shard
@@ -1093,6 +1451,8 @@ let batch_tests =
                      snapshot_every = None;
                      fsync_every = 4;
                      jobs = 1;
+                     segment_bytes = None;
+                     retain_segments = None;
                    })
             in
             let arrive i = Printf.sprintf "ARRIVE %d %d 5,5" i i in
@@ -1239,9 +1599,11 @@ let batch_tests =
 let suites =
   [
     ("service.journal", journal_tests);
+    ("service.segments", segment_tests);
     ("service.snapshot", snapshot_tests);
     ("service.recovery", recovery_tests);
     ("service.server", server_tests);
+    ("service.compaction", compaction_tests);
     ("service.batch", batch_tests);
     ("service.loadgen", loadgen_tests);
     ("service.metrics", metrics_tests);

@@ -234,12 +234,14 @@ let defeat_torn_guard io =
 let no_dirsync io = { io with Io.fsync_dir = (fun _ -> ()) }
 
 (* The crash-after-rename-before-dirsync window, made deterministic: keep
-   the journal truncation's rename but roll back the snapshot's. *)
+   every journal-side op (segment creates, seal renames, truncate removes)
+   but roll back the snapshot's rename. *)
 let dirsync_window_mode =
   Sim_fs.Directed
     {
-      keep_rename = (fun ~dst -> Filename.check_suffix dst ".log");
+      keep_rename = (fun ~dst -> not (Filename.check_suffix dst ".snap"));
       keep_create = (fun ~path:_ -> true);
+      keep_remove = (fun ~path:_ -> true);
       tear = (fun ~path:_ ~synced:_ ~length -> length);
     }
 
@@ -258,6 +260,8 @@ let completed_run ~wrap n =
       snapshot_every = Some 4;
       fsync_every = 2;
       jobs = 1;
+      segment_bytes = None;
+      retain_segments = None;
     }
   in
   let inst =
@@ -313,6 +317,38 @@ let sweep_tests =
         let o = Sweep.run ~batch:4 ~tenants:3 ~jobs:4 ~n:(4 * budget) () in
         Printf.printf "sharded %s\n" (Sweep.render o);
         check_bool "no failures" true (o.Sweep.failures = []));
+    Alcotest.test_case
+      "segmented compaction sweep: every seal/retire boundary recovers, > 133 \
+       boundaries" `Slow (fun () ->
+        (* tiny segments + an aggressive retention trigger: seals, segment
+           opens, snapshot writes and retires all land inside the swept
+           window, and compaction interleaves with traffic exactly as the
+           event loop interleaves it *)
+        let o =
+          Sweep.run ~segment_bytes:112 ~retain_segments:1 ~n:16 ()
+        in
+        Printf.printf "segmented %s\n" (Sweep.render o);
+        Printf.printf "segmented sweep boundary count: %d\n%!" o.Sweep.boundaries;
+        check_bool
+          (Printf.sprintf "swept %d boundaries, need strictly more than 133"
+             o.Sweep.boundaries)
+          true
+          (o.Sweep.boundaries > 133);
+        (match o.Sweep.failures with
+        | [] -> ()
+        | f :: _ ->
+            Alcotest.failf "%d failures, first at boundary %d (%s): %s"
+              (List.length o.Sweep.failures) f.Sweep.boundary f.Sweep.mode
+              f.Sweep.message));
+    Alcotest.test_case
+      "segmented group-commit sweep: compaction under batches is bit-identical"
+      `Slow (fun () ->
+        let o =
+          Sweep.run ~segment_bytes:112 ~retain_segments:1 ~batch:4 ~tenants:2
+            ~n:(8 * budget) ()
+        in
+        Printf.printf "segmented batched %s\n" (Sweep.render o);
+        check_bool "no failures" true (o.Sweep.failures = []));
     Alcotest.test_case "sensitivity smoke: sabotaged torn-record guard is caught"
       `Slow (fun () ->
         let o = Sweep.run ~wrap:defeat_torn_guard ~n:10 () in
@@ -321,6 +357,24 @@ let sweep_tests =
           (o.Sweep.failures <> []);
         check_bool "and only in the mode that tears mid-record" true
           (List.for_all (fun f -> f.Sweep.mode = "torn") o.Sweep.failures));
+    Alcotest.test_case "sensitivity smoke: defeated seal-footer check is caught"
+      `Slow (fun () ->
+        (* With the seal invariant sabotaged — no footer, no pre-rename
+           fsync, lenient sealed reads — a power cut after a seal rename
+           tears records out of a "sealed" segment silently, the chain
+           breaks, and (with no snapshot to fall back on) recovery cannot
+           reach event 0. The sweep must demonstrably fail: a sweep that
+           still passes would mean the seal check verifies nothing. *)
+        Dvbp_service.Log.defeat_seal_check := true;
+        Fun.protect
+          ~finally:(fun () -> Dvbp_service.Log.defeat_seal_check := false)
+          (fun () ->
+            let o =
+              Sweep.run ~segment_bytes:112 ~snapshot:false ~fsync_every:8 ~n:10 ()
+            in
+            Printf.printf "seal-sabotaged %s\n" (Sweep.render o);
+            check_bool "the sweep must fail when the seal check is defeated" true
+              (o.Sweep.failures <> [])));
     Alcotest.test_case
       "dirsync window: without the parent-dir fsync the snapshot can outrun \
        its journal" `Quick (fun () ->
@@ -336,7 +390,8 @@ let sweep_tests =
            same power cut strands a truncated journal with no snapshot *)
         let fs, io = completed_run ~wrap:no_dirsync 16 in
         Sim_fs.crash fs ~mode:dirsync_window_mode;
-        check_bool "the truncated journal survived" true (Sim_fs.exists fs "sim/j.log");
+        check_bool "the truncated journal survived" true
+          (Journal.exists ~io "sim/j.log");
         check_bool "the snapshot rename was rolled back" true
           (not (Sim_fs.exists fs "sim/s.snap"));
         match Recovery.recover ~io ~snapshot:"sim/s.snap" ~journal:"sim/j.log" () with
@@ -362,6 +417,8 @@ let sweep_tests =
             snapshot_every = None;
             fsync_every = 1;
             jobs = 1;
+            segment_bytes = None;
+            retain_segments = None;
           }
         in
         let m1 = Metrics.create () in
@@ -413,6 +470,7 @@ type cmd =
   | Arrive of int * int * int  (* time step, size1, size2 *)
   | Depart of int * int  (* time step, index among live items *)
   | Snap
+  | Compact  (* synchronous compaction pass: snapshot + retire sealed *)
   | Crash_now of int  (* crash mode index, power cut between requests *)
   | Crash_at of int * int  (* ops ahead, crash mode index: mid-request cut *)
 
@@ -425,6 +483,7 @@ let show_cmd = function
   | Arrive (dt, a, b) -> Printf.sprintf "Arrive(+%d,%dx%d)" dt a b
   | Depart (dt, i) -> Printf.sprintf "Depart(+%d,#%d)" dt i
   | Snap -> "Snapshot"
+  | Compact -> "Compact"
   | Crash_now m -> Printf.sprintf "Crash_now(%s)" (Sim_fs.mode_name (mode_of_int m))
   | Crash_at (k, m) ->
       Printf.sprintf "Crash_at(+%dops,%s)" k (Sim_fs.mode_name (mode_of_int m))
@@ -457,6 +516,10 @@ let run_case ?batch (fs_seed, cmds) =
       snapshot_every = None;
       fsync_every = sm_fsync_every;
       jobs = 1;
+      (* records are ~40 bytes, so segments seal every few events and the
+         Compact action has sealed files to retire *)
+      segment_bytes = Some 128;
+      retain_segments = None;
     }
   in
   let server =
@@ -476,7 +539,7 @@ let run_case ?batch (fs_seed, cmds) =
     (* also clears any planted-but-unfired crash *)
     let acked = List.rev !applied in
     let la = List.length acked in
-    if not (Sim_fs.exists fs sm_journal) then begin
+    if not (Journal.exists ~io sm_journal) then begin
       (* only reachable while the journal's genesis creation is still
          un-dirsynced: nothing durable ever existed, start over *)
       io.Io.remove sm_snapshot;
@@ -627,6 +690,14 @@ let run_case ?batch (fs_seed, cmds) =
           exec "SNAPSHOT" (fun reply ->
               if String.length reply < 2 || String.sub reply 0 2 <> "OK" then
                 failwith ("unexpected reply to SNAPSHOT: " ^ reply))
+      | Compact -> (
+          (* not a protocol line: drain queued requests first so the
+             snapshot covers everything acked, then run a whole pass *)
+          flush_batch ();
+          match Server.compact !server with
+          | Ok _ -> ()
+          | Error e -> failwith ("compact: " ^ e)
+          | exception Sim_fs.Crash -> recover_after !pending_mode)
       | Crash_now m ->
           flush_batch ();
           recover_after (mode_of_int m)
@@ -663,6 +734,7 @@ let sm_gen =
                let* idx = 0 -- 7 in
                return (Depart (dt, idx)) );
              (1, return Snap);
+             (1, return Compact);
              ( 1,
                let* m = 0 -- 2 in
                return (Crash_now m) );
@@ -757,7 +829,10 @@ let corruption_tests =
         Journal.append w
           (Journal.Depart { tenant = Tenant.default; time = 2.0; item_id = 0 });
         Journal.close w;
-        let content = Option.get (Sim_fs.contents fs "sim/j.log") in
+        (* the records live in the active segment — the file the torn-tail
+           heuristics apply to *)
+        let seg0 = "sim/j.log.000000.seg.open" in
+        let content = Option.get (Sim_fs.contents fs seg0) in
         let len = String.length content in
         check_bool "journal is newline-terminated" true (content.[len - 1] = '\n');
         (* flip the last body byte of the final record, keep the terminator:
@@ -765,7 +840,7 @@ let corruption_tests =
         let b = Bytes.of_string content in
         let pos = len - 8 in
         Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
-        write_file io "sim/j.log" (Bytes.to_string b);
+        write_file io seg0 (Bytes.to_string b);
         (match Journal.read_file ~io "sim/j.log" with
         | Error e ->
             check_bool "error names the checksum" true
@@ -773,10 +848,47 @@ let corruption_tests =
         | Ok _ -> Alcotest.fail "terminated corrupt record was accepted");
         (* whereas the same corruption *unterminated* is a torn tail: healed
            by dropping the final record *)
-        write_file io "sim/j.log" (String.sub content 0 (len - 5));
+        write_file io seg0 (String.sub content 0 (len - 5));
         let r = ok_or_fail (Journal.read_file ~io "sim/j.log") in
         check_bool "torn tail dropped" true r.Journal.dropped_torn;
         check_int "only the intact record survives" 1 (List.length r.Journal.events));
+    Alcotest.test_case
+      "a sealed segment never heals: torn tail inside it is a hard error"
+      `Quick (fun () ->
+        (* Build a journal whose tiny segment size forces at least one
+           seal, then truncate bytes off a *sealed* file. The active
+           segment's healing heuristics must not apply: content fsynced
+           before the seal rename means a short sealed file is corruption,
+           and reading has to fail loudly. *)
+        let fs = Sim_fs.create () in
+        let io = Sim_fs.io fs in
+        let header = { Journal.policy = "mtf"; seed = 1; capacity = cap; base = 0 } in
+        let w = Journal.create ~io ~segment_bytes:64 ~path:"sim/j.log" header in
+        for i = 0 to 3 do
+          Journal.append w
+            (Journal.Arrive
+               { tenant = Tenant.default; time = float_of_int i; item_id = i;
+                 size = v [ 10; 10 ]; bin_id = 0; opened_new_bin = (i = 0) })
+        done;
+        Journal.close w;
+        check_bool "at least one segment sealed" true (Journal.sealed_segments w >= 1);
+        let sealed = "sim/j.log.000000.seg" in
+        let content = Option.get (Sim_fs.contents fs sealed) in
+        ignore (ok_or_fail (Journal.read_file ~io "sim/j.log"));
+        (* drop the footer line: complete records, missing seal *)
+        let no_footer =
+          let cut = String.rindex_from content (String.length content - 2) '\n' in
+          String.sub content 0 (cut + 1)
+        in
+        write_file io sealed no_footer;
+        (match Journal.read_file ~io "sim/j.log" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "sealed segment without its footer was accepted");
+        (* tear mid-record: must also be a hard error, never healed *)
+        write_file io sealed (String.sub content 0 (String.length content - 9));
+        (match Journal.read_file ~io "sim/j.log" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "torn sealed segment was healed"));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -838,15 +950,19 @@ let hygiene_tests =
         let server = ok_or_fail (Server.resume ~io
           { Server.policy = "mtf"; seed = 7; capacity = cap;
             journal = Some "sim/j.log"; snapshot = Some "sim/s.snap";
-            snapshot_every = Some 4; fsync_every = 2; jobs = 1 } after) in
+            snapshot_every = Some 4; fsync_every = 2; jobs = 1;
+            segment_bytes = None; retain_segments = None } after) in
         let reply, _ = Server.handle_line server "SNAPSHOT" in
         check_bool "snapshot succeeds over stale tmps" true
           (String.length reply >= 2 && String.sub reply 0 2 = "OK");
         Server.close server;
         check_bool "stale snapshot tmp is gone" true
           (Sim_fs.contents fs "sim/s.snap.tmp" <> Some "GARBAGE");
-        check_bool "stale journal tmp is gone" true
-          (Sim_fs.contents fs "sim/j.log.tmp" <> Some "GARBAGE"));
+        (* the stray journal tmp is inert under the segmented layout: it is
+           never classified as a segment, so the chain reads clean past it *)
+        let r = ok_or_fail (Journal.read_file ~io "sim/j.log") in
+        check_int "journal chain unaffected by the stray tmp" 0
+          (List.length r.Journal.events));
   ]
 
 (* ------------------------------------------------------------------ *)
