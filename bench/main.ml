@@ -181,11 +181,19 @@ let regenerate_worst_case () =
     List.map
       (fun (policy, d) ->
         (policy, { X.Worst_case_search.default with X.Worst_case_search.d; steps = 300 }))
-      [ ("mtf", 1); ("ff", 1); ("nf", 1); ("mtf", 2); ("ff", 2); ("nf", 2) ]
+      [
+        ("mtf", 1); ("ff", 1); ("nf", 1); ("mtf", 2); ("ff", 2); ("nf", 2);
+        (* repack specs: Thm 5 does not constrain these — attack them too *)
+        ("ff+both2", 1); ("ff+both2", 2);
+      ]
   in
   List.iter
     (fun (policy, result) -> print_string (X.Worst_case_search.render ~policy result))
     (X.Worst_case_search.search_many cases)
+
+let regenerate_frontier () =
+  banner "MIGRATION FRONTIER — budgeted repacking vs the Any Fit ceiling";
+  print_string (X.Migration_frontier.render (X.Migration_frontier.run ()))
 
 let regenerate_ablations () =
   banner "ABLATION — Best Fit load measure (d=2, mu=10)";
@@ -301,6 +309,13 @@ let tests =
                      ~item_id:r.Core.Item.id)
                events;
              Engine_session.finish session ~at:(Engine_session.now session)));
+      (* MIGRATION FRONTIER: the same workload through the repack session *)
+      Test.make ~name:"frontier/run-ff+both2"
+        (Staged.stage (fun () ->
+             let instance = Lazy.force uniform_instance in
+             Dvbp_engine.Repack.run
+               ~config:(Dvbp_engine.Repack.config ~budget:2 ())
+               ~policy:(Core.Policy.first_fit ()) instance));
       (* FIGURE-1/2: decomposition analyses *)
       Test.make ~name:"figure1/mtf-decomposition"
         (Staged.stage (fun () ->
@@ -756,5 +771,6 @@ let () =
       regenerate_significance ();
       regenerate_ablations ();
       regenerate_worst_case ();
+      regenerate_frontier ();
       if Sys.getenv_opt "DVBP_SKIP_MICRO" = None then run_micro ();
       print_newline ()

@@ -13,6 +13,7 @@
      recover   rebuild + verify service state from journal/snapshot
      compact   snapshot the journal frontier, retire sealed segments
      loadgen   replay a workload against a live server, report throughput
+     frontier  sweep the migration budget/cost frontier (repacking)
      metrics   pretty-print a METRICS / --metrics-dump snapshot
      trace     compile / info / verify / replay binary traces *)
 
@@ -20,6 +21,8 @@ open Cmdliner
 module Rng = Dvbp_prelude.Rng
 module Core = Dvbp_core
 module Engine = Dvbp_engine.Engine
+module Repack = Dvbp_engine.Repack
+module Reduce = Dvbp_reduce.Reduce
 module Bounds = Dvbp_lowerbound.Bounds
 module Opt = Dvbp_lowerbound.Opt
 module W = Dvbp_workload
@@ -79,20 +82,135 @@ let build_instance ~workload ~trace ~d ~mu ~n ~rho ~seed =
   Cli.Workload_select.build
     { Cli.Workload_select.workload; trace; d; mu; n; rho; seed }
 
+let reduce_arg =
+  Arg.(value & flag
+       & info [ "reduce" ]
+           ~doc:"Preprocess the instance (twin merging; geometric rounding with \
+                 $(b,--reduce-gamma)), run on the reduced instance and lift the \
+                 packing back, printing the reduction certificate.")
+
+let reduce_gamma_arg =
+  Arg.(value & opt float 1.0
+       & info [ "reduce-gamma" ] ~docv:"FLOAT"
+           ~doc:"Geometric rounding base for $(b,--reduce) (1.0 = exact, no \
+                 rounding).")
+
+let repack_arg =
+  Arg.(value & opt (some int) None
+       & info [ "repack" ] ~docv:"K"
+           ~doc:"Budgeted-migration repacking: allow up to K live migrations \
+                 per event (strict Any Fit base policies only).")
+
+let repack_strategy_arg =
+  Arg.(value & opt string "both"
+       & info [ "repack-strategy" ] ~docv:"NAME"
+           ~doc:"Repacking strategy: el (drain a bin after departures), cons \
+                 (evict to avoid opening bins) or both (default).")
+
+(* Flag cross-validation for run: every error names the offending flag
+   and its valid range, before any instance is generated. *)
+let run_configs ~reduce ~reduce_gamma ~repack ~repack_strategy =
+  let reduce_cfg =
+    if not reduce then
+      if reduce_gamma <> 1.0 then Error "--reduce-gamma requires --reduce"
+      else Ok None
+    else if not (Float.is_finite reduce_gamma) || reduce_gamma < 1.0 then
+      Error
+        (Printf.sprintf "--reduce-gamma must be a finite float >= 1.0 (got %g)"
+           reduce_gamma)
+    else Ok (Some { Reduce.gamma = reduce_gamma; merge_twins = true })
+  in
+  let repack_cfg =
+    match repack with
+    | None ->
+        if repack_strategy <> "both" then Error "--repack-strategy requires --repack"
+        else Ok None
+    | Some k ->
+        if k < 0 || k > Repack.max_budget then
+          Error
+            (Printf.sprintf "--repack must be in 0..%d (got %d)" Repack.max_budget k)
+        else (
+          match Repack.strategy_of_name repack_strategy with
+          | Error e -> Error ("--repack-strategy: " ^ e)
+          | Ok strategy -> Ok (Some { Repack.budget = k; strategy }))
+  in
+  match (reduce_cfg, repack_cfg) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok reduce, Ok repack -> Ok (reduce, repack)
+
 let run_cmd =
-  let action workload trace policy d mu n rho seed gantt export trajectory =
-    match build_instance ~workload ~trace ~d ~mu ~n ~rho ~seed with
+  let action workload trace policy d mu n rho seed gantt export trajectory reduce
+      reduce_gamma repack repack_strategy =
+    match run_configs ~reduce ~reduce_gamma ~repack ~repack_strategy with
     | Error e -> prerr_endline e; 1
-    | Ok instance -> (
-        match
-          Cli.Run_report.run_one ?export ~trajectory ~policy ~seed instance ~gantt
-        with
+    | Ok (reduce, repack) -> (
+        match build_instance ~workload ~trace ~d ~mu ~n ~rho ~seed with
         | Error e -> prerr_endline e; 1
-        | Ok () -> 0)
+        | Ok instance -> (
+            match
+              Cli.Run_report.run_one ?export ~trajectory ?reduce ?repack ~policy
+                ~seed instance ~gantt
+            with
+            | Error e -> prerr_endline e; 1
+            | Ok () -> 0))
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one policy on a workload or trace")
     Term.(const action $ workload_arg $ trace_arg $ policy_arg $ d_arg $ mu_arg
-          $ n_arg $ rho_arg $ seed_arg $ gantt_arg $ export_arg $ trajectory_arg)
+          $ n_arg $ rho_arg $ seed_arg $ gantt_arg $ export_arg $ trajectory_arg
+          $ reduce_arg $ reduce_gamma_arg $ repack_arg $ repack_strategy_arg)
+
+(* ---------- frontier ---------- *)
+
+let frontier_cmd =
+  let base_arg =
+    Arg.(value & opt string "ff"
+         & info [ "base" ] ~docv:"POLICY"
+             ~doc:("Base policy of the repack family ("
+                   ^ Dvbp_engine.Repack.supported_base_names ^ ")."))
+  in
+  let strategy_arg =
+    Arg.(value & opt string "both"
+         & info [ "strategy" ] ~docv:"NAME"
+             ~doc:"Repacking strategy: el, cons or both.")
+  in
+  let ks_arg =
+    Arg.(value & opt (list int) [ 0; 1; 2; 4; 8 ]
+         & info [ "k" ] ~docv:"K1,K2,.."
+             ~doc:"Comma-separated migration budgets to sweep.")
+  in
+  let fd_arg = Arg.(value & opt int 2 & info [ "d" ] ~docv:"INT" ~doc:"Dimensions.") in
+  let fmu_arg =
+    Arg.(value & opt int 100 & info [ "mu" ] ~docv:"INT" ~doc:"Max duration.")
+  in
+  let fn_arg =
+    Arg.(value & opt int 200 & info [ "n" ] ~docv:"INT" ~doc:"Item count.")
+  in
+  let action base strategy ks m seed d mu n jobs =
+    match
+      match jobs with
+      | Some j when j < 1 ->
+          invalid_arg (Printf.sprintf "--jobs must be a positive integer (got %d)" j)
+      | Some j -> Dvbp_parallel.Domain_pool.set_default_jobs j
+      | None -> ignore (Dvbp_parallel.Domain_pool.default_jobs ())
+    with
+    | exception Invalid_argument msg -> prerr_endline msg; 1
+    | () -> (
+        match Repack.strategy_of_name strategy with
+        | Error e -> prerr_endline ("--strategy: " ^ e); 1
+        | Ok strategy -> (
+            match
+              X.Migration_frontier.run ~instances:m ~seed ~base ~strategy ~ks ~d
+                ~mu ~n ()
+            with
+            | exception Invalid_argument msg -> prerr_endline msg; 1
+            | f -> print_string (X.Migration_frontier.render f); 0))
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:"Sweep the migration budget/cost frontier: Any Fit references vs \
+             budgeted repacking, against Lemma 1 and exact OPT")
+    Term.(const action $ base_arg $ strategy_arg $ ks_arg $ instances_arg 40
+          $ seed_arg $ fd_arg $ fmu_arg $ fn_arg $ jobs_arg)
 
 (* ---------- figure4 ---------- *)
 
@@ -532,8 +650,8 @@ let main_cmd =
     (Cmd.info "dvbp" ~version:"1.0.0"
        ~doc:"MinUsageTime Dynamic Vector Bin Packing — simulator and experiments")
     [ run_cmd; figure4_cmd; table1_cmd; table2_cmd; figures_cmd; adversary_cmd;
-      describe_cmd; opt_cmd; serve_cmd; recover_cmd; compact_cmd; loadgen_cmd;
-      metrics_cmd; trace_group_cmd ]
+      describe_cmd; opt_cmd; frontier_cmd; serve_cmd; recover_cmd; compact_cmd;
+      loadgen_cmd; metrics_cmd; trace_group_cmd ]
 
 (* Error-path hardening: whatever escapes a subcommand becomes one line on
    stderr and a non-zero exit, never a raw backtrace. *)

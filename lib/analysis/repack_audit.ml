@@ -1,0 +1,48 @@
+module Repack = Dvbp_engine.Repack
+
+type report = {
+  events : int;
+  max_per_event : int;
+  drains : int;
+  make_rooms : int;
+  self_moves : int;
+  over_budget_events : int;
+}
+
+let audit ~config (ledger : Repack.migration list) =
+  let events = Hashtbl.create 32 in
+  let drains = ref 0 and make_rooms = ref 0 and self_moves = ref 0 in
+  List.iter
+    (fun (m : Repack.migration) ->
+      let key = m.Repack.event in
+      Hashtbl.replace events key (1 + Option.value ~default:0 (Hashtbl.find_opt events key));
+      (match m.Repack.reason with
+      | Repack.Drain -> incr drains
+      | Repack.Make_room -> incr make_rooms);
+      if m.Repack.from_bin = m.Repack.to_bin then incr self_moves)
+    ledger;
+  let max_per_event = Hashtbl.fold (fun _ n acc -> Int.max n acc) events 0 in
+  let over_budget_events =
+    Hashtbl.fold
+      (fun _ n acc -> if n > config.Repack.budget then acc + 1 else acc)
+      events 0
+  in
+  {
+    events = Hashtbl.length events;
+    max_per_event;
+    drains = !drains;
+    make_rooms = !make_rooms;
+    self_moves = !self_moves;
+    over_budget_events;
+  }
+
+let ok r = r.self_moves = 0 && r.over_budget_events = 0
+
+let render r =
+  Printf.sprintf
+    "repack audit: %d migration events, max %d migrations/event, %d drain + %d make-room moves%s"
+    r.events r.max_per_event r.drains r.make_rooms
+    (if ok r then " [ok]"
+     else
+       Printf.sprintf " [VIOLATION: %d self-moves, %d over-budget events]"
+         r.self_moves r.over_budget_events)

@@ -1,0 +1,25 @@
+(** Post-hoc verification of a repacking run's migration ledger.
+
+    The repack engine promises a hard per-event budget and meaningful
+    moves (an item never "migrates" to the bin it is already in). This
+    module re-checks both promises from the {e ledger alone} — grouped
+    by the ledger's event ordinal, so two events sharing a timestamp are
+    still audited separately — which is how the property tests certify
+    the engine without trusting its internal counters. *)
+
+type report = {
+  events : int;  (** distinct events that committed migrations *)
+  max_per_event : int;  (** largest migration batch one event committed *)
+  drains : int;  (** moves with reason {!Dvbp_engine.Repack.Drain} *)
+  make_rooms : int;  (** moves with reason {!Dvbp_engine.Repack.Make_room} *)
+  self_moves : int;  (** moves with [from_bin = to_bin] — always a bug *)
+  over_budget_events : int;  (** events exceeding [config.budget] — always a bug *)
+}
+
+val audit : config:Dvbp_engine.Repack.config -> Dvbp_engine.Repack.migration list -> report
+
+val ok : report -> bool
+(** No self-moves and no over-budget events. *)
+
+val render : report -> string
+(** One line, ending in [[ok]] or a [[VIOLATION: ...]] summary. *)

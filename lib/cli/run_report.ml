@@ -1,37 +1,118 @@
 (* Shared bits of the CLI: run one named policy on an instance and print a
-   cost report (plus optional Gantt). *)
+   cost report (plus optional Gantt), with optional instance reduction
+   (--reduce) or budgeted-migration repacking (--repack). *)
 
 module Rng = Dvbp_prelude.Rng
 module Core = Dvbp_core
 module Engine = Dvbp_engine.Engine
+module Repack = Dvbp_engine.Repack
+module Reduce = Dvbp_reduce.Reduce
 module Bounds = Dvbp_lowerbound.Bounds
 module An = Dvbp_analysis
 
-let run_one ?export ?(trajectory = false) ~policy ~seed instance ~gantt =
+let print_instance_line instance =
+  Printf.printf "instance: n=%d d=%d mu=%.2f span=%.2f\n"
+    (Core.Instance.size instance)
+    (Core.Instance.dim instance)
+    (Core.Instance.mu instance)
+    (Core.Instance.span instance)
+
+(* The repack engine keeps no final assignment (bins close and are
+   summarised as they go), so packing-shaped outputs are rejected up
+   front with the offending flag named. *)
+let repack_rejects ~gantt ~export ~trajectory ~reduce =
+  if gantt then Error "--gantt is not available with --repack (no final assignment is kept)"
+  else if export <> None then
+    Error "--export is not available with --repack (no final assignment is kept)"
+  else if trajectory then
+    Error "--trajectory is not available with --repack (no live trace is kept)"
+  else if reduce <> None then
+    Error
+      "--reduce cannot be combined with --repack (repacking keeps no final \
+       assignment to lift back to the original instance)"
+  else Ok ()
+
+let run_repack ~config ~policy ~seed instance =
+  match Core.Policy.of_name ~rng:(Rng.create ~seed) policy with
+  | Error e -> Error e
+  | Ok p when not (Repack.supported_base p) ->
+      Error
+        (Printf.sprintf "--repack: policy %s does not support migration (supported bases: %s)"
+           p.Core.Policy.name Repack.supported_base_names)
+  | Ok p ->
+      let r = Repack.run ~config ~policy:p instance in
+      let lb = Bounds.height_integral instance in
+      print_instance_line instance;
+      Printf.printf "policy %s: cost=%.4f bins=%d peak=%d cost/LB=%.4f\n"
+        (Repack.spec_to_string ~base:p.Core.Policy.name config)
+        r.Repack.cost r.Repack.bins_opened r.Repack.max_open_bins
+        (r.Repack.cost /. lb);
+      let s = r.Repack.stats in
+      Printf.printf
+        "repack: %d migrations over %d events, %d bins drained, %d consolidations, \
+         %d budget-exhausted declines\n"
+        s.Repack.migrations s.Repack.migration_events s.Repack.drained_bins
+        s.Repack.consolidations s.Repack.budget_exhausted;
+      print_endline (An.Repack_audit.render (An.Repack_audit.audit ~config r.Repack.ledger));
+      Ok ()
+
+let run_one ?export ?(trajectory = false) ?reduce ?repack ~policy ~seed instance
+    ~gantt =
+  match repack with
+  | Some config -> (
+      match repack_rejects ~gantt ~export ~trajectory ~reduce with
+      | Error _ as e -> e
+      | Ok () -> run_repack ~config ~policy ~seed instance)
+  | None ->
+  if reduce <> None && trajectory then
+    Error
+      "--trajectory is not available with --reduce (the live trace is over \
+       the reduced instance, not the original)"
+  else
   let clairvoyant = policy = "daf" || policy = "hff" in
   match Core.Policy.of_name ~rng:(Rng.create ~seed) policy with
   | Error e -> Error e
   | Ok p ->
-      let run = Engine.run ~clairvoyant ~policy:p instance in
+      let reduction = Option.map (fun config -> Reduce.apply ~config instance) reduce in
+      let run_instance =
+        match reduction with Some r -> Reduce.instance r | None -> instance
+      in
+      let run = Engine.run ~clairvoyant ~policy:p run_instance in
+      (* Lift a reduced run's packing back to the original instance: the
+         report below (cost, diagnostics, validation, Gantt, export) is
+         entirely about the original-instance packing. *)
+      let packing =
+        match reduction with
+        | Some r -> Reduce.lift r run.Engine.packing
+        | None -> run.Engine.packing
+      in
+      let cost = Core.Packing.cost packing in
       let lb = Bounds.height_integral instance in
-      Printf.printf "instance: n=%d d=%d mu=%.2f span=%.2f\n"
-        (Core.Instance.size instance)
-        (Core.Instance.dim instance)
-        (Core.Instance.mu instance)
-        (Core.Instance.span instance);
+      print_instance_line instance;
+      (match reduction with
+      | Some r ->
+          let cert = Reduce.certificate r in
+          print_endline (Reduce.Certificate.render cert);
+          if not (Reduce.Certificate.is_lossless cert) then begin
+            let raw = Engine.run ~clairvoyant ~policy:p instance in
+            let raw_cost = Engine.cost raw in
+            Printf.printf "reduce: raw cost=%.4f reduced-then-lifted=%.4f (%+.2f%%)\n"
+              raw_cost cost
+              (100.0 *. (cost -. raw_cost) /. raw_cost)
+          end
+      | None -> ());
       Printf.printf "policy %s%s: cost=%.4f bins=%d peak=%d cost/LB=%.4f\n"
         p.Core.Policy.name
         (if clairvoyant then " (clairvoyant)" else "")
-        (Engine.cost run) run.Engine.bins_opened run.Engine.max_open_bins
-        (Engine.cost run /. lb);
-      let m = An.Diagnostics.measure run.Engine.packing in
+        cost run.Engine.bins_opened run.Engine.max_open_bins (cost /. lb);
+      let m = An.Diagnostics.measure packing in
       Format.printf "diagnostics: %a@." An.Diagnostics.pp m;
-      (match Core.Packing.validate instance run.Engine.packing with
+      (match Core.Packing.validate instance packing with
       | Ok () -> print_endline "packing: valid"
       | Error es ->
           print_endline "packing: INVALID";
           List.iter print_endline es);
-      if gantt then print_string (An.Gantt.render run.Engine.packing);
+      if gantt then print_string (An.Gantt.render packing);
       if trajectory then begin
         let points = An.Online_monitor.trajectory instance run.Engine.trace in
         let series =
@@ -57,7 +138,7 @@ let run_one ?export ?(trajectory = false) ~policy ~seed instance ~gantt =
       (match export with
       | Some path ->
           Out_channel.with_open_text path (fun oc ->
-              Out_channel.output_string oc (Core.Packing.to_csv run.Engine.packing));
+              Out_channel.output_string oc (Core.Packing.to_csv packing));
           Printf.printf "assignments written to %s\n" path
       | None -> ());
       Ok ()

@@ -5,6 +5,8 @@
 val run_one :
   ?export:string ->
   ?trajectory:bool ->
+  ?reduce:Dvbp_reduce.Reduce.config ->
+  ?repack:Dvbp_engine.Repack.config ->
   policy:string ->
   seed:int ->
   Dvbp_core.Instance.t ->
@@ -14,4 +16,18 @@ val run_one :
     {!Dvbp_core.Policy.of_name} name; clairvoyant policies (["daf"],
     ["hff"]) run with departures visible. [export] writes the final
     assignment as CSV to the given path; [trajectory] (default false) also
-    plots the live cost / observable-lower-bound ratio over time. *)
+    plots the live cost / observable-lower-bound ratio over time.
+
+    [reduce] preprocesses the instance ({!Dvbp_reduce.Reduce.apply}),
+    runs the policy on the reduced instance and lifts the packing back:
+    the printed certificate states losslessness, and when rounding
+    changed anything a raw-vs-reduced cost delta is printed too. The
+    report (validation, Gantt, export) is always about the
+    original-instance packing.
+
+    [repack] runs the budgeted-migration engine
+    ({!Dvbp_engine.Repack.run}) instead of the plain one, printing the
+    migration statistics and a ledger audit line. It keeps no final
+    assignment, so [gantt]/[export]/[trajectory] (and [reduce]) are
+    rejected with an error naming the offending flag; so are base
+    policies without migration support. *)

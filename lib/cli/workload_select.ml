@@ -56,6 +56,9 @@ let build s =
             Ok (W.Flash_crowd.generate
                   { W.Flash_crowd.default with W.Flash_crowd.base = uniform_params }
                   ~rng)
+        | "twinned" ->
+            Ok (W.Twinned.generate
+                  { W.Twinned.default with W.Twinned.base = uniform_params } ~rng)
         | "azure" ->
             Ok (W.Azure_mix.generate
                   { W.Azure_mix.default with W.Azure_mix.n = s.n } ~rng)

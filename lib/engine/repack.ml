@@ -1,0 +1,579 @@
+module Vec = Dvbp_vec.Vec
+module Int_table = Dvbp_prelude.Int_table
+module Floatx = Dvbp_prelude.Floatx
+module Core = Dvbp_core
+module Bin = Core.Bin
+module Bin_registry = Core.Bin_registry
+module Item = Core.Item
+module Policy = Core.Policy
+module Load_measure = Core.Load_measure
+
+exception Repack_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Repack_error s)) fmt
+
+type strategy = Empty_on_departure | Consolidate_on_arrival | Combined
+
+let strategy_name = function
+  | Empty_on_departure -> "el"
+  | Consolidate_on_arrival -> "cons"
+  | Combined -> "both"
+
+let strategy_of_name = function
+  | "el" -> Ok Empty_on_departure
+  | "cons" -> Ok Consolidate_on_arrival
+  | "both" -> Ok Combined
+  | s -> Error (Printf.sprintf "unknown repack strategy %S (valid: el, cons, both)" s)
+
+type config = { budget : int; strategy : strategy }
+
+let max_budget = 64
+
+let config ~budget ?(strategy = Combined) () =
+  if budget < 0 || budget > max_budget then
+    invalid_arg
+      (Printf.sprintf "Repack.config: budget must be in 0..%d (got %d)" max_budget budget);
+  { budget; strategy }
+
+let default_config = { budget = 2; strategy = Combined }
+
+let supported_base (p : Policy.t) = p.Policy.strict_any_fit
+let supported_base_names = "ff, lf, bf, wf, mtf, rf"
+
+let drains = function Empty_on_departure | Combined -> true | Consolidate_on_arrival -> false
+let consolidates = function Consolidate_on_arrival | Combined -> true | Empty_on_departure -> false
+
+type reason = Drain | Make_room
+
+type migration = {
+  time : float;
+  event : int;
+  item_id : int;
+  from_bin : int;
+  to_bin : int;
+  reason : reason;
+}
+
+type stats = {
+  migrations : int;
+  migration_events : int;
+  drained_bins : int;
+  consolidations : int;
+  budget_exhausted : int;
+}
+
+type item_state = { item : Item.t; mutable bin : Bin.t; mutable departed_at : float option }
+
+type clock = { mutable time : float }
+
+type t = {
+  capacity : Vec.t;
+  policy : Policy.t;
+  cfg : config;
+  record_ledger : bool;
+  observe_migration : (seconds:float -> unit) option;
+  wall : (unit -> float) option;
+  clock : clock;
+  mutable started : bool;
+  mutable events_seen : int;
+  mutable next_item : int;
+  mutable next_bin : int;
+  mutable touch : int;
+  reg : Bin_registry.t;
+  mutable all_bins_desc : Bin.t list;
+  items : item_state Int_table.t;
+  mutable max_open : int;
+  mutable finished : bool;
+  mutable ledger_rev : migration list;
+  mutable stat_migrations : int;
+  mutable stat_migration_events : int;
+  mutable stat_drained : int;
+  mutable stat_consolidations : int;
+  mutable stat_budget_exhausted : int;
+}
+
+type placement = { item_id : int; bin_id : int; opened_new_bin : bool }
+
+let create ?(record_ledger = true) ?(expected_items = 64) ?(fit_kernel = `Auto)
+    ?observe_migration ?clock:wall ~capacity ~policy ~config:cfg () =
+  if cfg.budget < 0 || cfg.budget > max_budget then
+    invalid_arg
+      (Printf.sprintf "Repack.create: budget must be in 0..%d (got %d)" max_budget cfg.budget);
+  if not (supported_base policy) then
+    invalid_arg
+      (Printf.sprintf
+         "Repack.create: policy %s does not support migration (it keeps private bin state); supported bases: %s"
+         policy.Policy.name supported_base_names);
+  let dummy_state =
+    {
+      item = Item.make ~id:0 ~arrival:0.0 ~departure:1.0 ~size:capacity;
+      bin = Bin.create ~id:(-1) ~capacity ~now:0.0 ~touch:0;
+      departed_at = None;
+    }
+  in
+  {
+    capacity;
+    policy;
+    cfg;
+    record_ledger;
+    observe_migration;
+    wall;
+    clock = { time = 0.0 };
+    started = false;
+    events_seen = 0;
+    next_item = 0;
+    next_bin = 0;
+    touch = 0;
+    reg = Bin_registry.create ~kernel:fit_kernel ~capacity ();
+    all_bins_desc = [];
+    items = Int_table.create ~expected:expected_items ~dummy:dummy_state ();
+    max_open = 0;
+    finished = false;
+    ledger_rev = [];
+    stat_migrations = 0;
+    stat_migration_events = 0;
+    stat_drained = 0;
+    stat_consolidations = 0;
+    stat_budget_exhausted = 0;
+  }
+
+let now t = t.clock.time
+
+let check_advance t at ~what =
+  if t.finished then error "%s at %g: repack session already finished" what at;
+  if not (Float.is_finite at) then error "%s: non-finite timestamp %g" what at;
+  if t.started && at < t.clock.time then
+    error "%s: time went backwards: %g after %g" what at t.clock.time
+
+let commit_advance t at =
+  t.clock.time <- at;
+  t.events_seen <- t.events_seen + 1;
+  t.started <- true
+
+let next_touch t =
+  t.touch <- t.touch + 1;
+  t.touch
+
+let open_fresh t ~at =
+  let b = Bin.create ~id:t.next_bin ~capacity:t.capacity ~now:at ~touch:(next_touch t) in
+  t.next_bin <- t.next_bin + 1;
+  Bin_registry.add t.reg b;
+  t.all_bins_desc <- b :: t.all_bins_desc;
+  t.max_open <- Int.max t.max_open (Bin_registry.count t.reg);
+  b
+
+(* {2 Migration primitives}
+
+   A relocation plan is executed eagerly — each move mutates the bins and
+   the registry mirror so the next target search sees it — and rolled
+   back in reverse if the plan cannot complete. Reversing in reverse
+   order restores exactly the pre-plan loads, so every rollback [place]
+   is guaranteed to fit. *)
+
+type move = { mi : Item.t; msrc : Bin.t; mdst : Bin.t; melapsed : float }
+
+(* Most-loaded other open bin the item fits (Best-Fit style target,
+   earliest opened wins ties), via the registry's kernel scan. *)
+let best_target t ~exclude size =
+  Bin_registry.fold_fitting t.reg size
+    (fun acc b ->
+      if b == exclude then acc
+      else
+        let m = Bin.load_measure Load_measure.Linf b in
+        match acc with Some (_, bm) when bm >= m -> acc | _ -> Some (b, m))
+    None
+
+let execute_move t x ~src ~dst =
+  let timed = t.wall <> None && t.observe_migration <> None in
+  let t0 = match t.wall with Some c when timed -> c () | _ -> 0.0 in
+  Bin.remove src x;
+  Bin_registry.refresh t.reg src;
+  Bin.place dst x ~touch:(next_touch t);
+  Bin_registry.refresh t.reg dst;
+  (Int_table.find t.items x.Item.id).bin <- dst;
+  let elapsed = match t.wall with Some c when timed -> c () -. t0 | _ -> 0.0 in
+  { mi = x; msrc = src; mdst = dst; melapsed = elapsed }
+
+let undo_move t { mi = x; msrc = src; mdst = dst; _ } =
+  Bin.remove dst x;
+  Bin_registry.refresh t.reg dst;
+  Bin.place src x ~touch:(next_touch t);
+  Bin_registry.refresh t.reg src;
+  (Int_table.find t.items x.Item.id).bin <- src
+
+let rollback t moves = List.iter (undo_move t) moves (* moves are newest-first *)
+
+let commit t ~at ~reason moves_newest_first =
+  let moves = List.rev moves_newest_first in
+  let n = List.length moves in
+  if n > 0 then begin
+    t.stat_migrations <- t.stat_migrations + n;
+    t.stat_migration_events <- t.stat_migration_events + 1;
+    List.iter
+      (fun m ->
+        if t.record_ledger then
+          t.ledger_rev <-
+            {
+              time = at;
+              event = t.events_seen;
+              item_id = m.mi.Item.id;
+              from_bin = m.msrc.Bin.id;
+              to_bin = m.mdst.Bin.id;
+              reason;
+            }
+            :: t.ledger_rev;
+        match t.observe_migration with
+        | Some f when t.wall <> None -> f ~seconds:m.melapsed
+        | Some _ | None -> ())
+      moves
+  end;
+  n
+
+(* {2 Strategy: empty the lightest bin on departure} *)
+
+(* Fewest active items; ties by smaller total load, then youngest bin
+   (the ascending fold replaces on ties, and bins ascend in id). *)
+let drain_victim t =
+  Bin_registry.fold t.reg
+    (fun acc b ->
+      let n = List.length b.Bin.active_items in
+      let l = Vec.sum_coords b.Bin.load in
+      match acc with
+      | Some (_, bn, bl) when bn < n || (bn = n && bl < l) -> acc
+      | Some _ | None -> Some (b, n, l))
+    None
+
+let eviction_order items =
+  List.filter (fun (x : Item.t) -> Vec.sum_coords x.Item.size > 0) items
+  |> List.sort (fun (a : Item.t) (b : Item.t) ->
+         let c = compare (Vec.sum_coords b.Item.size) (Vec.sum_coords a.Item.size) in
+         if c <> 0 then c else compare a.Item.id b.Item.id)
+
+let try_drain t ~at =
+  match drain_victim t with
+  | None -> ()
+  | Some (victim, n_items, _) ->
+      if n_items > t.cfg.budget then
+        (* a drain opportunity existed but the budget cannot cover it *)
+        t.stat_budget_exhausted <- t.stat_budget_exhausted + 1
+      else begin
+        let plan = eviction_order victim.Bin.active_items in
+        (* zero-size items cannot be drained anywhere meaningful but also
+           block closing the bin only if left behind; they always fit any
+           open bin, so keep them in the plan *)
+        let plan =
+          plan
+          @ List.filter
+              (fun (x : Item.t) -> Vec.sum_coords x.Item.size = 0)
+              victim.Bin.active_items
+        in
+        let rec go moves = function
+          | [] -> Ok moves
+          | x :: rest -> (
+              match best_target t ~exclude:victim x.Item.size with
+              | None -> Error moves
+              | Some (dst, _) -> go (execute_move t x ~src:victim ~dst :: moves) rest)
+        in
+        match go [] plan with
+        | Error moves -> rollback t moves
+        | Ok moves ->
+            Bin.close victim ~now:at;
+            Bin_registry.note_closed t.reg victim;
+            t.policy.Policy.on_close ~bin:victim ~now:at;
+            t.stat_drained <- t.stat_drained + 1;
+            ignore (commit t ~at ~reason:Drain moves)
+      end
+
+(* {2 Strategy: consolidate on arrival} *)
+
+(* Try to make [size] fit into [b] by evicting up to [budget] of its
+   items (largest first) into other bins. Returns the executed moves
+   (newest first) or rolls back and reports whether the budget was the
+   binding constraint. *)
+let try_evict_into t b ~size ~budget_hit =
+  let rec go moves n =
+    if Bin.fits b size then Ok moves
+    else if n >= t.cfg.budget then begin
+      budget_hit := true;
+      Error moves
+    end
+    else
+      let rec first_movable = function
+        | [] -> None
+        | x :: rest -> (
+            match best_target t ~exclude:b x.Item.size with
+            | Some (dst, _) -> Some (x, dst)
+            | None -> first_movable rest)
+      in
+      match first_movable (eviction_order b.Bin.active_items) with
+      | None -> Error moves
+      | Some (x, dst) -> go (execute_move t x ~src:b ~dst :: moves) (n + 1)
+  in
+  match go [] 0 with
+  | Ok moves -> Some moves
+  | Error moves ->
+      rollback t moves;
+      None
+
+let try_make_room t ~size =
+  if t.cfg.budget = 0 then None
+  else begin
+    let budget_hit = ref false in
+    let candidates = Bin_registry.to_list t.reg in
+    let rec try_bins = function
+      | [] ->
+          if !budget_hit then
+            t.stat_budget_exhausted <- t.stat_budget_exhausted + 1;
+          None
+      | b :: rest -> (
+          match try_evict_into t b ~size ~budget_hit with
+          | Some moves -> Some (b, moves)
+          | None -> try_bins rest)
+    in
+    try_bins candidates
+  end
+
+(* {2 Events} *)
+
+let arrive t ~at ?id ~size () =
+  let given_id = match id with Some i -> i | None -> -1 in
+  let what =
+    if given_id < 0 then "arrival" else Printf.sprintf "arrival of item %d" given_id
+  in
+  check_advance t at ~what;
+  if Vec.dim size <> Vec.dim t.capacity then
+    error "%s at %g: item dimension %d does not match capacity dimension %d" what at
+      (Vec.dim size) (Vec.dim t.capacity);
+  if not (Vec.le size t.capacity) then
+    error "%s at %g: item size %s exceeds the bin capacity %s" what at
+      (Vec.to_string size) (Vec.to_string t.capacity);
+  (match id with
+  | Some id ->
+      if id < 0 then error "arrival at %g: negative item id %d" at id;
+      if Int_table.mem t.items id then error "arrival at %g: duplicate item id %d" at id
+  | None -> ());
+  commit_advance t at;
+  let view = { Policy.size; arrival = at; departure = None } in
+  let target, opened_new_bin =
+    match t.policy.Policy.select ~item:view ~open_bins:t.reg with
+    | Policy.Existing b ->
+        if not (Bin.is_open b) then
+          error "%s at %g: policy %s selected closed bin %d" what at t.policy.Policy.name
+            b.Bin.id;
+        if not (Bin.fits b size) then
+          error "%s at %g: policy %s selected bin %d, where the item does not fit" what at
+            t.policy.Policy.name b.Bin.id;
+        (b, false)
+    | Policy.Fresh -> (
+        if consolidates t.cfg.strategy then
+          match try_make_room t ~size with
+          | Some (b, moves) ->
+              t.stat_consolidations <- t.stat_consolidations + 1;
+              ignore (commit t ~at ~reason:Make_room moves);
+              (b, false)
+          | None -> (open_fresh t ~at, true)
+        else (open_fresh t ~at, true))
+  in
+  let item_id =
+    match id with
+    | Some id -> id
+    | None ->
+        while Int_table.mem t.items t.next_item do
+          t.next_item <- t.next_item + 1
+        done;
+        t.next_item
+  in
+  if item_id = t.next_item then t.next_item <- t.next_item + 1;
+  let item = Item.make ~id:item_id ~arrival:at ~departure:(at +. 1.0) ~size in
+  Bin.place target item ~touch:(next_touch t);
+  Bin_registry.refresh t.reg target;
+  Int_table.replace t.items item_id { item; bin = target; departed_at = None };
+  t.policy.Policy.on_place ~bin:target ~now:at;
+  { item_id; bin_id = target.Bin.id; opened_new_bin }
+
+let depart_core t ~at ~item_id ~drain =
+  let what = Printf.sprintf "departure of item %d" item_id in
+  check_advance t at ~what;
+  let state =
+    match Int_table.find t.items item_id with
+    | s -> s
+    | exception Not_found -> error "departure at %g: unknown item id %d" at item_id
+  in
+  (match state.departed_at with
+  | Some earlier -> error "departure at %g: item %d already departed at %g" at item_id earlier
+  | None -> ());
+  if at <= state.item.Item.arrival then
+    error "departure at %g: item %d cannot depart, it arrived at %g" at item_id
+      state.item.Item.arrival;
+  commit_advance t at;
+  state.departed_at <- Some at;
+  Bin.remove state.bin state.item;
+  if Bin.is_empty state.bin then begin
+    Bin.close state.bin ~now:at;
+    Bin_registry.note_closed t.reg state.bin;
+    t.policy.Policy.on_close ~bin:state.bin ~now:at
+  end
+  else Bin_registry.refresh t.reg state.bin;
+  if drain && drains t.cfg.strategy && t.cfg.budget > 0 && Bin_registry.count t.reg >= 2
+  then try_drain t ~at
+
+let depart t ~at ~item_id = depart_core t ~at ~item_id ~drain:true
+
+let active_items t =
+  Int_table.fold t.items
+    (fun _ s acc -> match s.departed_at with None -> acc + 1 | Some _ -> acc)
+    0
+
+let bins_opened t = t.next_bin
+let max_open_bins t = t.max_open
+let open_bin_count t = Bin_registry.count t.reg
+
+let cost t =
+  let horizon = now t in
+  (* ascending bin id, Kahan — exactly Packing.cost's summation order *)
+  Floatx.kahan_sum
+    (List.rev_map
+       (fun (b : Bin.t) ->
+         Option.value ~default:horizon b.Bin.closed_at -. b.Bin.opened_at)
+       t.all_bins_desc)
+
+let stats t =
+  {
+    migrations = t.stat_migrations;
+    migration_events = t.stat_migration_events;
+    drained_bins = t.stat_drained;
+    consolidations = t.stat_consolidations;
+    budget_exhausted = t.stat_budget_exhausted;
+  }
+
+let ledger t = List.rev t.ledger_rev
+
+let finish t ~at =
+  let still_active =
+    Int_table.fold t.items
+      (fun id s acc -> match s.departed_at with None -> id :: acc | Some _ -> acc)
+      []
+    |> List.sort Int.compare
+  in
+  List.iter (fun id -> depart_core t ~at ~item_id:id ~drain:false) still_active;
+  check_advance t at ~what:"finish";
+  commit_advance t at;
+  t.finished <- true
+
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "clock=%.17g cost=%.17g opened=%d max_open=%d active=%d mig=%d drained=%d cons=%d open=["
+       (now t) (cost t) (bins_opened t) (max_open_bins t) (active_items t)
+       t.stat_migrations t.stat_drained t.stat_consolidations);
+  List.iteri
+    (fun i (b : Bin.t) ->
+      if i > 0 then Buffer.add_char buf ';';
+      Buffer.add_string buf (Printf.sprintf "%d{" b.Bin.id);
+      List.map (fun (r : Item.t) -> r.Item.id) b.Bin.active_items
+      |> List.sort Int.compare
+      |> List.iteri (fun j id ->
+             if j > 0 then Buffer.add_char buf ',';
+             Buffer.add_string buf (string_of_int id));
+      Buffer.add_char buf '}')
+    (Bin_registry.to_list t.reg);
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+(* {2 Batch driver} *)
+
+type run = {
+  cost : float;
+  bins_opened : int;
+  max_open_bins : int;
+  stats : stats;
+  ledger : migration list;
+}
+
+let run ?(config = default_config) ?(record_ledger = true) ?(fit_kernel = `Auto) ~policy
+    (instance : Core.Instance.t) =
+  let arrivals = Array.of_list instance.Core.Instance.items in
+  let n = Array.length arrivals in
+  Array.sort
+    (fun (a : Item.t) (b : Item.t) ->
+      let c = Float.compare a.Item.arrival b.Item.arrival in
+      if c <> 0 then c else Int.compare a.Item.id b.Item.id)
+    arrivals;
+  let departures = Array.copy arrivals in
+  Array.sort
+    (fun (a : Item.t) (b : Item.t) ->
+      let c = Float.compare a.Item.departure b.Item.departure in
+      if c <> 0 then c else Int.compare a.Item.id b.Item.id)
+    departures;
+  let session =
+    create ~record_ledger ~expected_items:n ~fit_kernel
+      ~capacity:instance.Core.Instance.capacity ~policy ~config ()
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < n || !j < n do
+    if
+      !i >= n
+      || (!j < n && departures.(!j).Item.departure <= arrivals.(!i).Item.arrival)
+    then begin
+      let r = departures.(!j) in
+      incr j;
+      depart session ~at:r.Item.departure ~item_id:r.Item.id
+    end
+    else begin
+      let r = arrivals.(!i) in
+      incr i;
+      ignore (arrive session ~at:r.Item.arrival ~id:r.Item.id ~size:r.Item.size ())
+    end
+  done;
+  finish session ~at:(now session);
+  {
+    cost = cost session;
+    bins_opened = bins_opened session;
+    max_open_bins = max_open_bins session;
+    stats = stats session;
+    ledger = ledger session;
+  }
+
+(* {2 Competitor specs} *)
+
+let spec_to_string ~base cfg =
+  Printf.sprintf "%s+%s%d" base (strategy_name cfg.strategy) cfg.budget
+
+let is_digit c = c >= '0' && c <= '9'
+
+let spec_of_string s =
+  match String.index_opt s '+' with
+  | None -> Ok (s, None)
+  | Some i -> (
+      let base = String.sub s 0 i in
+      let suffix = String.sub s (i + 1) (String.length s - i - 1) in
+      if base = "" then
+        Error
+          (Printf.sprintf
+             "repack spec %S: empty base policy (expected <policy>+<strategy><budget>, e.g. ff+el2)"
+             s)
+      else
+        let n = String.length suffix in
+        let j = ref 0 in
+        while !j < n && not (is_digit suffix.[!j]) do
+          incr j
+        done;
+        let strat = String.sub suffix 0 !j and num = String.sub suffix !j (n - !j) in
+        match strategy_of_name strat with
+        | Error e -> Error (Printf.sprintf "repack spec %S: %s" s e)
+        | Ok strategy -> (
+            if num = "" then
+              Error
+                (Printf.sprintf
+                   "repack spec %S: missing migration budget (expected e.g. %s+%s2)" s base
+                   strat)
+            else
+              match int_of_string_opt num with
+              | None ->
+                  Error (Printf.sprintf "repack spec %S: invalid budget %S" s num)
+              | Some b when b < 0 || b > max_budget ->
+                  Error
+                    (Printf.sprintf "repack spec %S: budget must be in 0..%d (got %d)" s
+                       max_budget b)
+              | Some budget -> Ok (base, Some { budget; strategy })))

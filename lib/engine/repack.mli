@@ -1,0 +1,222 @@
+(** Budgeted-migration repacking: the algorithm family beyond Any Fit.
+
+    Theorem 5 of Murhekar et al. caps {e every} Any Fit policy at a
+    competitive ratio of at least [(µ+1)d] — the bound is a property of
+    never touching placed items, not of any particular selection rule.
+    Real clusters escape it with {e live migration}: on an arrival or
+    departure the scheduler may move a few running jobs between servers.
+    This module implements that family with a hard per-event budget: on
+    each event at most [k] items migrate ([k = 0] degenerates to the
+    plain engine, bit-identically in cost).
+
+    Two concrete strategies are provided (and composable):
+
+    {ul
+    {- {!Empty_on_departure} ({e drain}): after a departure, find the
+       open bin with the fewest active items (ties: smallest total load,
+       then the youngest bin). If its items number at most the remaining
+       budget and {e every one} of them fits elsewhere — each into the
+       most-loaded other bin that fits it, Best-Fit style — migrate them
+       all and close the bin. The relocation plan is executed
+       transactionally: if any item has no target the moves already made
+       are rolled back and the bin stays open.}
+    {- {!Consolidate_on_arrival} ({e make room}): when the base policy
+       answers {!Dvbp_core.Policy.Fresh} (no open bin fits), try each
+       open bin in opening order and attempt to evict up to [k] of its
+       items — largest first — into other bins until the arrival fits;
+       the first bin where the plan succeeds receives the item and no
+       fresh bin is opened. Failed attempts are rolled back.}}
+
+    Candidate scans reuse the {!Dvbp_core.Bin_registry} fit kernel
+    (SWAR word-at-a-time when eligible), so a migration target search
+    costs the same as a Best Fit select.
+
+    {b Base policies.} Migration is only defined for bases whose
+    state is entirely {e in the bins} — the strict Any Fit policies
+    (ff, lf, bf, wf, mtf, rf). Policies that keep private bin lists
+    (nf, next-k-fit, harmonic, hff) have no defined semantics when a
+    bin they track is drained away; {!create} rejects them. Note that
+    migrations update the touched bins' recency, so an mtf base sees
+    migration targets as recently used — that is part of the policy
+    family's definition here, not an artefact.
+
+    {b Determinism and replay.} Repacking adds no randomness: victim
+    choice, eviction order and target choice are all total orders over
+    bin/item ids, loads and the registry's opening order. A repack run
+    is a pure function of the event sequence, so migrations are {e not}
+    journaled by the service — they are re-derived by replaying the
+    journaled arrivals/departures through the same configuration
+    (DESIGN.md §13.3 states the argument; the jobs-determinism test
+    pins it). *)
+
+exception Repack_error of string
+(** Raised on invalid events (same conditions as
+    {!Session.Session_error}) and on internal invariant violations. *)
+
+(** {1 Configuration} *)
+
+type strategy =
+  | Empty_on_departure  (** drain the lightest bin after departures *)
+  | Consolidate_on_arrival  (** evict to make room instead of opening *)
+  | Combined  (** both; the default *)
+
+val strategy_name : strategy -> string
+(** ["el"], ["cons"], ["both"]. *)
+
+val strategy_of_name : string -> (strategy, string) result
+(** Parses [strategy_name] output; the error lists the valid names. *)
+
+type config = {
+  budget : int;  (** max migrations per event, [0..max_budget] *)
+  strategy : strategy;
+}
+
+val max_budget : int
+(** [64] — a sanity cap: per-event migration beyond this is outside any
+    realistic live-migration regime and only hides quadratic blowups. *)
+
+val config : budget:int -> ?strategy:strategy -> unit -> config
+(** Validating constructor ([strategy] defaults to {!Combined}).
+    @raise Invalid_argument when [budget] is outside [0..max_budget],
+    naming the valid range. *)
+
+val default_config : config
+(** [{ budget = 2; strategy = Combined }]. *)
+
+val supported_base : Dvbp_core.Policy.t -> bool
+(** Whether migration is defined under this base policy
+    (its {!Dvbp_core.Policy.t.strict_any_fit} flag). *)
+
+val supported_base_names : string
+(** ["ff, lf, bf, wf, mtf, rf"] — for error messages. *)
+
+(** {1 Migration ledger} *)
+
+type reason =
+  | Drain  (** the source bin was being emptied after a departure *)
+  | Make_room  (** evicted so an arrival could consolidate *)
+
+type migration = {
+  time : float;
+  event : int;
+      (** ordinal of the triggering event in the session (arrivals and
+          departures both count) — migrations sharing it were committed
+          by one event, so per-event budget compliance is auditable even
+          when distinct events share a timestamp *)
+  item_id : int;
+  from_bin : int;
+  to_bin : int;
+  reason : reason;
+}
+
+type stats = {
+  migrations : int;  (** items moved (committed plans only) *)
+  migration_events : int;  (** events on which >= 1 migration committed *)
+  drained_bins : int;  (** bins closed early by the drain strategy *)
+  consolidations : int;  (** arrivals placed by eviction instead of a fresh bin *)
+  budget_exhausted : int;
+      (** opportunities declined only because the budget was too small *)
+}
+
+(** {1 Incremental sessions} *)
+
+type t
+
+type placement = { item_id : int; bin_id : int; opened_new_bin : bool }
+
+val create :
+  ?record_ledger:bool ->
+  ?expected_items:int ->
+  ?fit_kernel:[ `Auto | `Scalar ] ->
+  ?observe_migration:(seconds:float -> unit) ->
+  ?clock:(unit -> float) ->
+  capacity:Dvbp_vec.Vec.t ->
+  policy:Dvbp_core.Policy.t ->
+  config:config ->
+  unit ->
+  t
+(** A fresh repacking session. [record_ledger] (default [true]) keeps
+    the per-run {!migration} list; sweeps turn it off. When both
+    [observe_migration] and [clock] are given, each committed
+    migration's wall time is reported (the metrics layer feeds these
+    into the [dvbp_repack_migration_seconds] histogram).
+    @raise Invalid_argument when the policy is not a supported base
+    (the message names {!supported_base_names}) or the budget is out of
+    range. *)
+
+val arrive :
+  t -> at:float -> ?id:int -> size:Dvbp_vec.Vec.t -> unit -> placement
+(** Processes one arrival (validations as in {!Session.arrive}); may
+    commit up to [budget] migrations first under
+    {!Consolidate_on_arrival}. @raise Repack_error on invalid events —
+    the session is left untouched. *)
+
+val depart : t -> at:float -> item_id:int -> unit
+(** Processes one departure; may then drain a bin (up to [budget]
+    migrations) under {!Empty_on_departure}. @raise Repack_error on
+    invalid events. *)
+
+val finish : t -> at:float -> unit
+(** Departs every still-active item at [at] ({e without} triggering
+    drains — everything is leaving anyway) and seals the session. *)
+
+(** {1 Observers} *)
+
+val now : t -> float
+val active_items : t -> int
+val bins_opened : t -> int
+val max_open_bins : t -> int
+val open_bin_count : t -> int
+
+val cost : t -> float
+(** Total usage time over all bins, open bins charged up to {!now}.
+    Summed exactly as {!Dvbp_core.Packing.cost} does (Kahan, ascending
+    bin id), so a [budget = 0] run's final cost is bit-identical to the
+    plain engine's. *)
+
+val stats : t -> stats
+
+val ledger : t -> migration list
+(** Committed migrations in chronological order ([[]] when
+    [record_ledger] was off). *)
+
+val fingerprint : t -> string
+(** One-line digest of clock, cost, counters and open-bin contents —
+    the determinism tests' comparison key. *)
+
+(** {1 Batch driver} *)
+
+type run = {
+  cost : float;
+  bins_opened : int;
+  max_open_bins : int;
+  stats : stats;
+  ledger : migration list;
+}
+
+val run :
+  ?config:config ->
+  ?record_ledger:bool ->
+  ?fit_kernel:[ `Auto | `Scalar ] ->
+  policy:Dvbp_core.Policy.t ->
+  Dvbp_core.Instance.t ->
+  run
+(** Replays the instance through a repacking session in the engine's
+    event order (departures before arrivals at equal times, ids break
+    ties). [config] defaults to {!default_config}. *)
+
+(** {1 Competitor specs}
+
+    Sweeps name repacking competitors with a compact spec,
+    [<base>+<strategy><budget>]: ["ff+el2"] is First Fit with
+    drain-on-departure and budget 2, ["bf+both8"] Best Fit with both
+    strategies and budget 8. A bare policy name has no repacking. *)
+
+val spec_of_string : string -> (string * config option, string) result
+(** Splits a competitor spec into the base policy name and the
+    repacking configuration. The base name is {e not} resolved here —
+    the caller looks it up — but a present repack suffix is fully
+    validated (strategy name, budget range) with messages naming the
+    valid forms. *)
+
+val spec_to_string : base:string -> config -> string

@@ -16,6 +16,7 @@ let best_fit_measures ?pool ?jobs ?(instances = 60) ?(seed = 42) ~d ~mu () =
           Runner.label = "bf-" ^ Load_measure.name measure;
           make = (fun ~rng:_ -> Policy.best_fit ~measure ());
           oracle = Runner.No_departure_info;
+          repack = None;
         })
       Load_measure.all_standard
   in
@@ -28,6 +29,7 @@ let named_competitors names =
         Runner.label = name;
         make = (fun ~rng -> Policy.of_name_exn ~rng name);
         oracle = Runner.No_departure_info;
+        repack = None;
       })
     names
 
@@ -48,6 +50,7 @@ let clairvoyance ?pool ?jobs ?(instances = 60) ?(seed = 42) ~d ~mu () =
       Runner.label;
       make = (fun ~rng -> Policy.of_name_exn ~rng name);
       oracle = Runner.Exact_departures;
+      repack = None;
     }
   in
   Runner.ratio_stats ?pool ?jobs ~instances ~seed ~gen:(uniform_gen ~d ~mu)
@@ -91,6 +94,7 @@ let next_k_sweep ?pool ?jobs ?(instances = 60) ?(seed = 42) ~d ~mu ~ks () =
       Runner.label = Printf.sprintf "nf%d" k;
       make = (fun ~rng:_ -> Policy.next_k_fit ~k ());
       oracle = Runner.No_departure_info;
+      repack = None;
     }
   in
   Runner.ratio_stats ?pool ?jobs ~instances ~seed ~gen:(uniform_gen ~d ~mu)
@@ -104,6 +108,7 @@ let size_classes ?pool ?jobs ?(instances = 60) ?(seed = 42) ~d ~mu () =
       Runner.label = "harmonic";
       make = (fun ~rng:_ -> Policy.harmonic_fit ~capacity ());
       oracle = Runner.No_departure_info;
+      repack = None;
     }
   in
   Runner.ratio_stats ?pool ?jobs ~instances ~seed ~gen:(uniform_gen ~d ~mu)
@@ -116,6 +121,7 @@ let prediction_error ?pool ?jobs ?(instances = 60) ?(seed = 42) ~d ~mu ~sigmas (
       Runner.label;
       make = (fun ~rng -> Policy.of_name_exn ~rng "daf");
       oracle;
+      repack = None;
     }
   in
   let competitors =

@@ -1,0 +1,107 @@
+module Rng = Dvbp_prelude.Rng
+module Repack = Dvbp_engine.Repack
+module Opt = Dvbp_lowerbound.Opt
+module U = Dvbp_workload.Uniform_model
+module Table = Dvbp_report.Table
+
+type frontier = {
+  base : string;
+  strategy : Repack.strategy;
+  ks : int list;
+  params : U.params;
+  lb_rows : (string * Runner.stats) list;
+  opt_params : U.params;
+  opt_rows : (string * Runner.stats) list;
+}
+
+let repack_comp ~base ~strategy k =
+  match Runner.repack_competitor ~base (Repack.config ~budget:k ~strategy ()) with
+  | Ok c -> c
+  | Error e -> invalid_arg ("Migration_frontier: " ^ e)
+
+let run ?pool ?jobs ?(instances = 40) ?(seed = 42) ?(base = "ff")
+    ?(strategy = Repack.Combined) ?(ks = [ 0; 1; 2; 4; 8 ]) ?(d = 2) ?(mu = 100)
+    ?(n = 200) () =
+  if ks = [] then invalid_arg "Migration_frontier.run: empty budget list";
+  List.iter
+    (fun k ->
+      if k < 0 || k > Repack.max_budget then
+        invalid_arg
+          (Printf.sprintf "Migration_frontier.run: budget must be in 0..%d (got %d)"
+             Repack.max_budget k))
+    ks;
+  let params = { U.d; n; mu; span = 1000; bin_size = 100 } in
+  let anyfit = Runner.standard_competitors () in
+  let frontier_comps = List.map (repack_comp ~base ~strategy) ks in
+  let lb_rows =
+    Runner.ratio_stats ?pool ?jobs ~instances ~seed
+      ~gen:(fun ~rng -> U.generate params ~rng)
+      ~competitors:(anyfit @ frontier_comps) ()
+  in
+  (* Exact-OPT column: instances small enough for the branch-and-bound
+     optimum (low concurrency by construction), d = 1. *)
+  let opt_params = { U.d = 1; n = 8; mu = 4; span = 12; bin_size = 10 } in
+  let opt_rows =
+    Runner.ratio_stats ?pool ?jobs ~instances ~seed:(seed + 1)
+      ~denominator:(fun inst -> Opt.exact_exn inst)
+      ~gen:(fun ~rng -> U.generate opt_params ~rng)
+      ~competitors:(anyfit @ List.map (repack_comp ~base ~strategy) ks)
+      ()
+  in
+  { base; strategy; ks; params; lb_rows; opt_params; opt_rows }
+
+let render_table ~title rows =
+  title ^ "\n"
+  ^ Table.render
+      ~header:[ "policy"; "mean"; "std"; "min"; "max"; "n" ]
+      ~rows:
+        (List.map
+           (fun (label, (s : Runner.stats)) ->
+             [
+               label;
+               Printf.sprintf "%.4f" s.Runner.mean;
+               Printf.sprintf "%.4f" s.Runner.std;
+               Printf.sprintf "%.4f" s.Runner.min;
+               Printf.sprintf "%.4f" s.Runner.max;
+               string_of_int s.Runner.n;
+             ])
+           rows)
+
+let best_anyfit rows ~ks ~base ~strategy =
+  let is_frontier label =
+    List.exists
+      (fun k ->
+        label = Repack.spec_to_string ~base (Repack.config ~budget:k ~strategy ()))
+      ks
+  in
+  List.filter (fun (label, _) -> not (is_frontier label)) rows
+  |> List.fold_left
+       (fun acc (label, (s : Runner.stats)) ->
+         match acc with
+         | Some (_, (b : Runner.stats)) when b.Runner.mean <= s.Runner.mean -> acc
+         | _ -> Some (label, s))
+       None
+
+let render f =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (render_table
+       ~title:
+         (Printf.sprintf
+            "migration frontier vs Lemma 1 LB: uniform d=%d mu=%d n=%d (cost / height-integral LB)"
+            f.params.U.d f.params.U.mu f.params.U.n)
+       f.lb_rows);
+  (match best_anyfit f.lb_rows ~ks:f.ks ~base:f.base ~strategy:f.strategy with
+  | Some (label, s) ->
+      Buffer.add_string b
+        (Printf.sprintf "best Any Fit: %s (mean %.4f)\n" label s.Runner.mean)
+  | None -> ());
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (render_table
+       ~title:
+         (Printf.sprintf
+            "migration frontier vs exact OPT: uniform d=%d mu=%d n=%d (cost / OPT)"
+            f.opt_params.U.d f.opt_params.U.mu f.opt_params.U.n)
+       f.opt_rows);
+  Buffer.contents b

@@ -1,0 +1,50 @@
+(** The migration-budget/cost frontier: how much does a repacking policy
+    buy at each budget [k]?
+
+    One sweep runs the seven Any Fit references plus the configured
+    repack family at budgets [ks] over the paper's uniform workload,
+    charging everything against the Lemma 1 height-integral lower bound;
+    a second, tiny-instance sweep ([d = 1], low concurrency) charges
+    against the {e exact} optimum, where the branch-and-bound solver is
+    feasible. Both tables use {!Runner.ratio_stats} — paired instances,
+    bit-identical at any [--jobs].
+
+    EXPERIMENTS.md §migration-frontier commits one rendered output of
+    this module together with the reproduction command
+    ([dvbp frontier]). *)
+
+type frontier = {
+  base : string;  (** base policy of the repack family *)
+  strategy : Dvbp_engine.Repack.strategy;
+  ks : int list;  (** budgets swept, e.g. [\[0; 1; 2; 4; 8\]] *)
+  params : Dvbp_workload.Uniform_model.params;  (** LB-table workload *)
+  lb_rows : (string * Runner.stats) list;
+      (** [cost / height-integral LB]: the seven Any Fit policies, then
+          one row per budget (labels like ["ff+both2"]) *)
+  opt_params : Dvbp_workload.Uniform_model.params;
+      (** exact-OPT-table workload (small) *)
+  opt_rows : (string * Runner.stats) list;  (** [cost / exact OPT] *)
+}
+
+val run :
+  ?pool:Dvbp_parallel.Domain_pool.t ->
+  ?jobs:int ->
+  ?instances:int ->
+  ?seed:int ->
+  ?base:string ->
+  ?strategy:Dvbp_engine.Repack.strategy ->
+  ?ks:int list ->
+  ?d:int ->
+  ?mu:int ->
+  ?n:int ->
+  unit ->
+  frontier
+(** Defaults: 40 instances, seed 42, base ["ff"], strategy
+    {!Dvbp_engine.Repack.Combined}, budgets [0;1;2;4;8], uniform
+    workload [d = 2], [mu = 100], [n = 200] (span 1000, bin 100).
+    @raise Invalid_argument on an empty or out-of-range budget list or
+    an unsupported base. *)
+
+val render : frontier -> string
+(** Both tables plus the best-Any-Fit summary line, in the repo's
+    standard table format. *)

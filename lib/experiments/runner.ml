@@ -1,6 +1,8 @@
 module Rng = Dvbp_prelude.Rng
 module Policy = Dvbp_core.Policy
 module Engine = Dvbp_engine.Engine
+module Repack = Dvbp_engine.Repack
+module Reduce = Dvbp_reduce.Reduce
 module Bounds = Dvbp_lowerbound.Bounds
 module Running = Dvbp_stats.Running
 
@@ -12,15 +14,35 @@ type competitor = {
   label : string;
   make : rng:Rng.t -> Policy.t;
   oracle : oracle;
+  repack : Repack.config option;
 }
 
 let plain name = {
   label = name;
   make = (fun ~rng -> Policy.of_name_exn ~rng name);
   oracle = No_departure_info;
+  repack = None;
 }
 
 let standard_competitors () = List.map plain Policy.standard_names
+
+let repack_competitor ~base config =
+  match Policy.of_name ~rng:(Rng.create ~seed:0) base with
+  | Error e -> Error e
+  | Ok probe ->
+      if not (Repack.supported_base probe) then
+        Error
+          (Printf.sprintf
+             "policy %s does not support migration (supported bases: %s)" base
+             Repack.supported_base_names)
+      else
+        Ok
+          {
+            label = Repack.spec_to_string ~base config;
+            make = (fun ~rng -> Policy.of_name_exn ~rng base);
+            oracle = No_departure_info;
+            repack = Some config;
+          }
 
 let competitor_of_name name =
   match String.lowercase_ascii name with
@@ -30,6 +52,7 @@ let competitor_of_name name =
           label = "daf";
           make = (fun ~rng -> Policy.of_name_exn ~rng "daf");
           oracle = Exact_departures;
+          repack = None;
         }
   | "hff" | "hybrid-first-fit" ->
       Ok
@@ -37,12 +60,17 @@ let competitor_of_name name =
           label = "hff";
           make = (fun ~rng -> Policy.of_name_exn ~rng "hff");
           oracle = Exact_departures;
+          repack = None;
         }
   | other -> (
-      (* probe the registry so unknown names fail here, not mid-experiment *)
-      match Policy.of_name ~rng:(Rng.create ~seed:0) other with
-      | Ok _ -> Ok (plain other)
-      | Error e -> Error e)
+      match Repack.spec_of_string other with
+      | Error e -> Error e
+      | Ok (base, Some config) -> repack_competitor ~base config
+      | Ok (_, None) -> (
+          (* probe the registry so unknown names fail here, not mid-experiment *)
+          match Policy.of_name ~rng:(Rng.create ~seed:0) other with
+          | Ok _ -> Ok (plain other)
+          | Error e -> Error e))
 
 let ratio_samples ?pool ?jobs ?(denominator = Bounds.height_integral) ~instances
     ~seed ~gen ~competitors () =
@@ -81,28 +109,100 @@ let ratio_samples ?pool ?jobs ?(denominator = Bounds.height_integral) ~instances
                 in
                 Some (r.Dvbp_core.Item.arrival +. Float.max floor_duration predicted)
         in
-        (* ratio sweeps never read the trace; skip recording it *)
-        let run = Engine.run ~departure_oracle ~record_trace:false ~policy instance in
-        outs.(pi).(i) <- Engine.cost run /. lb)
+        let cost =
+          match c.repack with
+          | Some config ->
+              (* repacking bases are non-clairvoyant; the oracle is unused *)
+              (Repack.run ~config ~record_ledger:false ~policy instance).Repack.cost
+          | None ->
+              (* ratio sweeps never read the trace; skip recording it *)
+              Engine.cost
+                (Engine.run ~departure_oracle ~record_trace:false ~policy instance)
+        in
+        outs.(pi).(i) <- cost /. lb)
       comps
   in
   Dvbp_parallel.Parallel.chunked_for ?pool ?jobs ~n:instances run_instance;
   List.init (Array.length comps) (fun pi -> (comps.(pi).label, outs.(pi)))
 
+let summarize out =
+  let acc = Running.create () in
+  Array.iter (Running.add acc) out;
+  {
+    mean = Running.mean acc;
+    std = Running.stddev acc;
+    min = Running.min_value acc;
+    max = Running.max_value acc;
+    n = Running.count acc;
+  }
+
 let ratio_stats ?pool ?jobs ?denominator ~instances ~seed ~gen ~competitors () =
-  let samples =
-    ratio_samples ?pool ?jobs ?denominator ~instances ~seed ~gen ~competitors ()
+  ratio_samples ?pool ?jobs ?denominator ~instances ~seed ~gen ~competitors ()
+  |> List.map (fun (label, out) -> (label, summarize out))
+
+type reduction_delta = { raw : stats; reduced : stats }
+
+type reduction_report = {
+  deltas : (string * reduction_delta) list;
+  lossless : int;
+  mean_item_shrink : float;
+  max_inflation : float;
+}
+
+let reduction_report ?pool ?jobs ?(denominator = Bounds.height_integral)
+    ?(config = Reduce.default_config) ~instances ~seed ~gen ~competitors () =
+  if instances <= 0 then invalid_arg "Runner.reduction_report: instances <= 0";
+  let labels = List.map (fun c -> c.label) competitors in
+  if List.length (List.sort_uniq String.compare labels) <> List.length labels then
+    invalid_arg "Runner.reduction_report: duplicate competitor labels";
+  let root = Rng.create ~seed in
+  let comps = Array.of_list competitors in
+  let raw_out = Array.map (fun _ -> Array.make instances 0.0) comps in
+  let red_out = Array.map (fun _ -> Array.make instances 0.0) comps in
+  let lossless = Array.make instances false in
+  let shrink = Array.make instances 0.0 in
+  let inflation = Array.make instances 1.0 in
+  (* Same sharding discipline as [ratio_samples]: instance [i] derives its
+     streams from [split ~key:i] and writes only slot [i] — bit-identical
+     at any [jobs]. Both runs are charged against the {e raw} instance's
+     lower bound, so the reduced column reads directly as "what the
+     reduction cost (or saved) on the original problem" (the lifted
+     packing's cost equals the reduced run's cost exactly). *)
+  let run_instance i =
+    let inst_rng = Rng.split (Rng.split root ~key:0) ~key:i in
+    let instance = gen ~rng:inst_rng in
+    let lb = denominator instance in
+    let reduction = Reduce.apply ~config instance in
+    let cert = Reduce.certificate reduction in
+    lossless.(i) <- Reduce.Certificate.is_lossless cert;
+    shrink.(i) <-
+      float_of_int cert.Reduce.Certificate.reduced_items
+      /. float_of_int cert.Reduce.Certificate.original_items;
+    inflation.(i) <- Reduce.Certificate.size_inflation cert;
+    Array.iteri
+      (fun pi c ->
+        let policy_rng = Rng.split (Rng.split (Rng.split root ~key:1) ~key:i) ~key:pi in
+        let cost_on inst =
+          (* a fresh policy per run: policies carry private mutable state *)
+          let policy = c.make ~rng:policy_rng in
+          match c.repack with
+          | Some config ->
+              (Repack.run ~config ~record_ledger:false ~policy inst).Repack.cost
+          | None -> Engine.cost (Engine.run ~record_trace:false ~policy inst)
+        in
+        raw_out.(pi).(i) <- cost_on instance /. lb;
+        red_out.(pi).(i) <- cost_on (Reduce.instance reduction) /. lb)
+      comps
   in
-  List.map
-    (fun (label, out) ->
-      let acc = Running.create () in
-      Array.iter (Running.add acc) out;
-      ( label,
-        {
-          mean = Running.mean acc;
-          std = Running.stddev acc;
-          min = Running.min_value acc;
-          max = Running.max_value acc;
-          n = Running.count acc;
-        } ))
-    samples
+  Dvbp_parallel.Parallel.chunked_for ?pool ?jobs ~n:instances run_instance;
+  let deltas =
+    List.init (Array.length comps) (fun pi ->
+        ( comps.(pi).label,
+          { raw = summarize raw_out.(pi); reduced = summarize red_out.(pi) } ))
+  in
+  let n_lossless = Array.fold_left (fun a b -> if b then a + 1 else a) 0 lossless in
+  let mean_item_shrink =
+    Array.fold_left ( +. ) 0.0 shrink /. float_of_int instances
+  in
+  let max_inflation = Array.fold_left Float.max 1.0 inflation in
+  { deltas; lossless = n_lossless; mean_item_shrink; max_inflation }

@@ -28,15 +28,27 @@ type competitor = {
   make : rng:Dvbp_prelude.Rng.t -> Dvbp_core.Policy.t;
       (** fresh policy per run; [rng] feeds stochastic policies *)
   oracle : oracle;  (** what the policy gets to know about departures *)
+  repack : Dvbp_engine.Repack.config option;
+      (** when set, runs through {!Dvbp_engine.Repack} (budgeted
+          migration) instead of the plain engine; the oracle is ignored
+          (the repacking bases are non-clairvoyant) *)
 }
 
 val standard_competitors : unit -> competitor list
 (** The paper's seven, in Figure 4's legend order:
     mtf, ff, bf, nf, wf, lf, rf (all non-clairvoyant). *)
 
+val repack_competitor :
+  base:string -> Dvbp_engine.Repack.config -> (competitor, string) result
+(** A budgeted-migration competitor over the named base policy, labelled
+    with {!Dvbp_engine.Repack.spec_to_string}. Errors when the base is
+    unknown or does not support migration. *)
+
 val competitor_of_name : string -> (competitor, string) result
 (** Standard names plus the clairvoyant extensions ["daf"]
-    (duration-aligned fit) and ["hff"] (hybrid first fit). *)
+    (duration-aligned fit) and ["hff"] (hybrid first fit), plus repack
+    specs like ["ff+el2"] or ["bf+both8"]
+    (see {!Dvbp_engine.Repack.spec_of_string}). *)
 
 val ratio_samples :
   ?pool:Dvbp_parallel.Domain_pool.t ->
@@ -66,4 +78,43 @@ val ratio_stats :
     returns the per-competitor distribution of [cost / denominator]
     (default denominator: the Lemma 1 (i) lower bound, as in the paper's
     experiments). Results are keyed by competitor label, in input order.
+    @raise Invalid_argument if [instances <= 0] or labels collide. *)
+
+(** {1 Reduced-vs-raw sweeps} *)
+
+type reduction_delta = {
+  raw : stats;  (** [cost / denominator] on the raw instances *)
+  reduced : stats;
+      (** [cost / denominator] running on the {e reduced} instances —
+          same denominator (the raw instance's lower bound), so the two
+          columns are directly comparable; the lifted packing's cost
+          equals the reduced run's cost exactly *)
+}
+
+type reduction_report = {
+  deltas : (string * reduction_delta) list;  (** competitor label order *)
+  lossless : int;  (** instances whose certificate was lossless *)
+  mean_item_shrink : float;
+      (** mean over instances of [reduced_items / original_items] *)
+  max_inflation : float;
+      (** largest certified size inflation over all instances *)
+}
+
+val reduction_report :
+  ?pool:Dvbp_parallel.Domain_pool.t ->
+  ?jobs:int ->
+  ?denominator:(Dvbp_core.Instance.t -> float) ->
+  ?config:Dvbp_reduce.Reduce.config ->
+  instances:int ->
+  seed:int ->
+  gen:(rng:Dvbp_prelude.Rng.t -> Dvbp_core.Instance.t) ->
+  competitors:competitor list ->
+  unit ->
+  reduction_report
+(** Runs every competitor on each instance twice — raw, and through
+    {!Dvbp_reduce.Reduce.apply} with [config] (default
+    {!Dvbp_reduce.Reduce.default_config}, the exact twin-merge) — and
+    reports both ratio distributions plus the certificate summary.
+    Sharding and rng discipline are identical to {!ratio_samples}
+    (paired, bit-identical at any [jobs]).
     @raise Invalid_argument if [instances <= 0] or labels collide. *)

@@ -7,6 +7,7 @@ let competitors () =
       Runner.label = name ^ "*";
       make = (fun ~rng -> Policy.of_name_exn ~rng name);
       oracle = Runner.Exact_departures;
+      repack = None;
     }
   in
   Runner.standard_competitors () @ [ clairvoyant "daf"; clairvoyant "hff" ]

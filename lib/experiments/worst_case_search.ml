@@ -3,6 +3,7 @@ module Vec = Dvbp_vec.Vec
 module Instance = Dvbp_core.Instance
 module Policy = Dvbp_core.Policy
 module Engine = Dvbp_engine.Engine
+module Repack = Dvbp_engine.Repack
 module Opt = Dvbp_lowerbound.Opt
 module Bound_check = Dvbp_analysis.Bound_check
 
@@ -78,13 +79,18 @@ let mutate config ~rng genes =
                 { g with sizes })
         genes
 
-let score ~policy config genes =
+let score ~base ~repack config genes =
   let instance = instance_of config genes in
   match Opt.exact instance with
   | Error (`Node_limit _) -> None
   | Ok opt ->
-      let p = Policy.of_name_exn policy in
-      let cost = Engine.cost (Engine.run ~policy:p instance) in
+      let p = Policy.of_name_exn base in
+      let cost =
+        match repack with
+        | Some rc ->
+            (Repack.run ~config:rc ~record_ledger:false ~policy:p instance).Repack.cost
+        | None -> Engine.cost (Engine.run ~record_trace:false ~policy:p instance)
+      in
       Some (cost /. opt, instance)
 
 let validate config =
@@ -94,8 +100,21 @@ let validate config =
 
 let search ~policy config =
   validate config;
-  (* fail early on unknown/stochastic policies *)
-  ignore (Policy.of_name_exn policy);
+  (* the policy may be a repack spec like "ff+el2" — split it first, then
+     fail early on unknown/stochastic/unsupported bases *)
+  let base, repack =
+    match Repack.spec_of_string policy with
+    | Ok (b, r) -> (b, r)
+    | Error e -> invalid_arg ("Worst_case_search: " ^ e)
+  in
+  let probe = Policy.of_name_exn base in
+  (match repack with
+  | Some _ when not (Repack.supported_base probe) ->
+      invalid_arg
+        (Printf.sprintf
+           "Worst_case_search: policy %s does not support migration (supported bases: %s)"
+           base Repack.supported_base_names)
+  | Some _ | None -> ());
   let rng = Rng.create ~seed:config.seed in
   let start =
     List.init
@@ -107,7 +126,7 @@ let search ~policy config =
      separately *)
   let current_genes = ref start in
   let current_score, best0 =
-    match score ~policy config start with
+    match score ~base ~repack config start with
     | Some (r, i) -> (ref r, (r, i))
     | None -> invalid_arg "Worst_case_search: initial instance too hard for exact OPT"
   in
@@ -115,7 +134,7 @@ let search ~policy config =
   let improvements = ref 0 in
   for _ = 1 to config.steps do
     let candidate = mutate config ~rng !current_genes in
-    match score ~policy config candidate with
+    match score ~base ~repack config candidate with
     | Some (r, i) when r >= !current_score -. 1e-12 ->
         current_genes := candidate;
         current_score := r;
@@ -130,8 +149,13 @@ let search ~policy config =
     instance;
     ratio;
     theoretical_bound =
-      Bound_check.theoretical_bound ~policy ~mu:(Instance.mu instance)
-        ~d:(Instance.dim instance);
+      (* Thm 5's Any Fit lower bound does not constrain repacking —
+         that headroom is the point of the family *)
+      (match repack with
+      | Some _ -> None
+      | None ->
+          Bound_check.theoretical_bound ~policy:base ~mu:(Instance.mu instance)
+            ~d:(Instance.dim instance));
     steps_taken = config.steps;
     improvements = !improvements;
   }

@@ -31,9 +31,14 @@ type result = {
 }
 
 val search : policy:string -> config -> result
-(** @raise Invalid_argument for unknown policies or non-positive config
-    fields. Stochastic policies are not supported (ratio must be a pure
-    function of the instance). *)
+(** [policy] is a plain policy name or a repack spec like ["ff+el2"]
+    (see {!Dvbp_engine.Repack.spec_of_string}) — the search then attacks
+    the budgeted-migration policy, and [theoretical_bound] is [None]
+    because Thm 5's Any Fit bound does not constrain repacking.
+    @raise Invalid_argument for unknown policies, repack specs over
+    unsupported bases, or non-positive config fields. Stochastic
+    policies are not supported (ratio must be a pure function of the
+    instance). *)
 
 val search_many :
   ?pool:Dvbp_parallel.Domain_pool.t ->

@@ -1,0 +1,286 @@
+module Vec = Dvbp_vec.Vec
+module Item = Dvbp_core.Item
+module Instance = Dvbp_core.Instance
+module Packing = Dvbp_core.Packing
+
+type config = { gamma : float; merge_twins : bool }
+
+let default_config = { gamma = 1.0; merge_twins = true }
+
+let config ~gamma ?(merge_twins = true) () =
+  if not (Float.is_finite gamma) || gamma < 1.0 then
+    invalid_arg
+      (Printf.sprintf "Reduce.config: gamma must be a finite float >= 1.0 (got %g)" gamma);
+  { gamma; merge_twins }
+
+module Certificate = struct
+  type status = Lossless | Rounded of { size_inflation : float }
+
+  type t = {
+    status : status;
+    original_items : int;
+    reduced_items : int;
+    distinct_types : int;
+    merged_items : int;
+    rounded_coords : int;
+  }
+
+  let is_lossless t = match t.status with Lossless -> true | Rounded _ -> false
+
+  let size_inflation t =
+    match t.status with Lossless -> 1.0 | Rounded { size_inflation } -> size_inflation
+
+  let render t =
+    match t.status with
+    | Lossless ->
+        Printf.sprintf "reduce: %d items unchanged, %d types [lossless]"
+          t.original_items t.distinct_types
+    | Rounded { size_inflation } ->
+        Printf.sprintf
+          "reduce: %d items -> %d (%d merged into twins), %d types, %d coords rounded, inflation <= %.4g %s"
+          t.original_items t.reduced_items t.merged_items t.distinct_types
+          t.rounded_coords size_inflation
+          (if t.rounded_coords = 0 then "[exact merge]" else "[rounded]")
+end
+
+type t = {
+  original : Instance.t;
+  reduced : Instance.t;
+  certificate : Certificate.t;
+  constituents : Item.t list array;  (* indexed by reduced item id *)
+  identity : bool;
+}
+
+(* Smallest grid point ceil(gamma^j) >= s, clamped at [cap] (so the
+   rounded coordinate still fits an empty bin). Requires gamma > 1. *)
+let round_up_grid ~gamma ~cap s =
+  if s <= 1 then s
+  else begin
+    let v = ref 1.0 and g = ref 1 in
+    while !g < s do
+      v := !v *. gamma;
+      g := int_of_float (Float.ceil !v)
+    done;
+    min !g cap
+  end
+
+(* One original item after the (optional) rounding pass. *)
+type rounded = { orig : Item.t; rsize : Vec.t }
+
+let round_pass ~gamma instance =
+  let cap = (instance.Instance.capacity :> int array) in
+  let rounded_coords = ref 0 and inflation = ref 1.0 in
+  let items =
+    List.map
+      (fun (it : Item.t) ->
+        if gamma <= 1.0 then { orig = it; rsize = it.Item.size }
+        else begin
+          let s = (it.Item.size :> int array) in
+          let changed = ref false in
+          let r =
+            Array.mapi
+              (fun j sj ->
+                let rj = round_up_grid ~gamma ~cap:cap.(j) sj in
+                if rj > sj then begin
+                  incr rounded_coords;
+                  changed := true;
+                  let ratio = float_of_int rj /. float_of_int sj in
+                  if ratio > !inflation then inflation := ratio
+                end;
+                rj)
+              s
+          in
+          let rsize = if !changed then Vec.of_array r else it.Item.size in
+          { orig = it; rsize }
+        end)
+      instance.Instance.items
+  in
+  (items, !rounded_coords, !inflation)
+
+(* A reduced item before re-iding: the constituents share arrival,
+   departure and rounded size; [size] is the combined size. *)
+type proto = {
+  first_id : int;
+  arrival : float;
+  departure : float;
+  size : Vec.t;
+  members : Item.t list;
+}
+
+let proto_of_single (r : rounded) =
+  {
+    first_id = r.orig.Item.id;
+    arrival = r.orig.Item.arrival;
+    departure = r.orig.Item.departure;
+    size = r.rsize;
+    members = [ r.orig ];
+  }
+
+(* Largest multiplicity c >= 1 with c * size <= cap componentwise. *)
+let max_multiplicity ~cap ~group_size size =
+  let cap = (cap : Vec.t :> int array) and s = (size : Vec.t :> int array) in
+  let c = ref group_size in
+  Array.iteri (fun j sj -> if sj > 0 then c := min !c (cap.(j) / sj)) s;
+  max 1 !c
+
+let merge_pass ~capacity rounded_items =
+  (* Group by (arrival, departure, rounded size), first-seen order. *)
+  let groups : (float * float * int array, int) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] and n_groups = ref 0 in
+  let members : rounded list ref array ref = ref (Array.make 16 (ref [])) in
+  List.iter
+    (fun (r : rounded) ->
+      let key = (r.orig.Item.arrival, r.orig.Item.departure, (r.rsize :> int array)) in
+      match Hashtbl.find_opt groups key with
+      | Some gi -> !members.(gi) := r :: !(!members.(gi))
+      | None ->
+          let gi = !n_groups in
+          incr n_groups;
+          if gi >= Array.length !members then begin
+            let bigger = Array.make (2 * Array.length !members) (ref []) in
+            Array.blit !members 0 bigger 0 (Array.length !members);
+            members := bigger
+          end;
+          !members.(gi) <- ref [ r ];
+          Hashtbl.replace groups key gi;
+          order := gi :: !order)
+    rounded_items;
+  let merged = ref 0 in
+  let protos =
+    List.concat_map
+      (fun gi ->
+        let group = List.rev !(!members.(gi)) in
+        match group with
+        | [] -> []
+        | first :: _ ->
+            let c = max_multiplicity ~cap:capacity ~group_size:(List.length group) first.rsize in
+            if c <= 1 then List.map proto_of_single group
+            else begin
+              (* Chunk the group into super-items of multiplicity <= c. *)
+              let rec chunk acc cur k = function
+                | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+                | r :: rest ->
+                    if k = c then chunk (List.rev cur :: acc) [ r ] 1 rest
+                    else chunk acc (r :: cur) (k + 1) rest
+              in
+              let chunks = chunk [] [] 0 group in
+              List.map
+                (fun ch ->
+                  let m = List.length ch in
+                  if m > 1 then merged := !merged + m;
+                  match ch with
+                  | [] -> assert false
+                  | hd :: _ ->
+                      {
+                        first_id = hd.orig.Item.id;
+                        arrival = hd.orig.Item.arrival;
+                        departure = hd.orig.Item.departure;
+                        size = Vec.scale m hd.rsize;
+                        members = List.map (fun r -> r.orig) ch;
+                      })
+                chunks
+            end)
+      (List.rev !order)
+  in
+  (protos, !merged)
+
+let distinct_types protos =
+  let seen = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace seen ((p.size :> int array)) ()) protos;
+  Hashtbl.length seen
+
+let apply ?(config = default_config) (instance : Instance.t) =
+  let n = List.length instance.Instance.items in
+  let rounded_items, rounded_coords, inflation = round_pass ~gamma:config.gamma instance in
+  let protos, merged_items =
+    if config.merge_twins then merge_pass ~capacity:instance.Instance.capacity rounded_items
+    else (List.map proto_of_single rounded_items, 0)
+  in
+  let types = distinct_types protos in
+  if rounded_coords = 0 && merged_items = 0 then
+    (* Nothing changed: keep the original instance (physical equality)
+       so downstream runs are trivially bit-identical. *)
+    let constituents = Array.make n [] in
+    List.iter (fun (it : Item.t) -> constituents.(it.Item.id) <- [ it ]) instance.Instance.items;
+    {
+      original = instance;
+      reduced = instance;
+      certificate =
+        {
+          Certificate.status = Lossless;
+          original_items = n;
+          reduced_items = n;
+          distinct_types = types;
+          merged_items = 0;
+          rounded_coords = 0;
+        };
+      constituents;
+      identity = true;
+    }
+  else begin
+    let protos =
+      List.sort
+        (fun a b ->
+          let c = Float.compare a.arrival b.arrival in
+          if c <> 0 then c else compare a.first_id b.first_id)
+        protos
+    in
+    let n' = List.length protos in
+    let constituents = Array.make n' [] in
+    let items =
+      List.mapi
+        (fun id p ->
+          constituents.(id) <- p.members;
+          Item.make ~id ~arrival:p.arrival ~departure:p.departure ~size:p.size)
+        protos
+    in
+    let reduced = Instance.make_exn ~capacity:instance.Instance.capacity items in
+    let size_inflation = if rounded_coords = 0 then 1.0 else inflation in
+    {
+      original = instance;
+      reduced;
+      certificate =
+        {
+          Certificate.status = Rounded { size_inflation };
+          original_items = n;
+          reduced_items = n';
+          distinct_types = types;
+          merged_items;
+          rounded_coords;
+        };
+      constituents;
+      identity = false;
+    }
+  end
+
+let instance t = t.reduced
+let original t = t.original
+let certificate t = t.certificate
+
+let constituents t id =
+  if id < 0 || id >= Array.length t.constituents then raise Not_found
+  else t.constituents.(id)
+
+let lift t (packing : Packing.t) =
+  if t.identity then packing
+  else begin
+    let records =
+      List.map
+        (fun (br : Packing.bin_record) ->
+          let items =
+            List.concat_map
+              (fun (it : Item.t) ->
+                match constituents t it.Item.id with
+                | members -> members
+                | exception Not_found ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "Reduce.lift: item %d is not part of the reduced instance"
+                         it.Item.id))
+              br.Packing.items
+          in
+          { br with Packing.items })
+        packing.Packing.bins
+    in
+    Packing.make ~capacity:t.original.Instance.capacity records
+  end

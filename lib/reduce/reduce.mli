@@ -1,0 +1,137 @@
+(** Instance preprocessing: round item sizes onto a geometric grid and
+    merge exact duplicate "types", with a machine-checkable certificate.
+
+    Van Bevern et al. ("On data reduction for dynamic vector bin
+    packing", PAPERS.md) observe that DVBP instances from real traces
+    are massively redundant: a few hundred {e item types} — identical
+    size vectors, often identical lifetimes — cover millions of items.
+    This module implements the two classic reduction moves for the
+    MinUsageTime objective:
+
+    {ul
+    {- {b Geometric rounding}: every size coordinate is rounded {e up}
+       to the next point of the grid [{⌈γ^j⌉ : j ≥ 0}] (clamped at the
+       bin capacity), collapsing the coordinate universe from [B] values
+       to [O(log_γ B)]. Rounding up means any packing of the rounded
+       instance is feasible for the original — at the price of a
+       bounded size inflation the certificate reports exactly.}
+    {- {b Twin merging}: items with identical arrival, departure {e and}
+       (rounded) size are fused into super-items of combined size, as
+       long as the combination still fits an empty bin. A twin group
+       occupies the same time interval, so fusing it changes no load
+       profile at any instant where the fused item is placed — the merge
+       is exact with respect to the cost model.}}
+
+    The output is a {e reduction}: the reduced {!Dvbp_core.Instance.t},
+    a {!Certificate.t} stating whether the rewrite was lossless, and an
+    inverse {!lift} that maps any packing of the reduced instance back
+    to a packing of the original with {e bit-identical cost} (bins keep
+    their usage intervals; each super-item is replaced by its
+    constituents, each rounded item by its original).
+
+    Guarantees, as pinned by the property tests:
+    {ul
+    {- [lift] of a valid packing of the reduced instance is a valid
+       packing of the original instance, with the same bin intervals and
+       therefore exactly the same {!Dvbp_core.Packing.cost}.}
+    {- When the certificate is {!Certificate.Lossless} the reduced
+       instance {e is} the original (physically equal), so every
+       deterministic policy produces a bit-identical run.}
+    {- When it is [Rounded], [size_inflation] is the exact maximum
+       per-coordinate ratio [rounded/original] over all rounded
+       coordinates — the factor by which the instance was made harder.}} *)
+
+(** {1 Configuration} *)
+
+type config = {
+  gamma : float;
+      (** Geometric rounding base, [>= 1.0]. With [gamma = 1.0] the grid
+          contains every integer and rounding is the identity. *)
+  merge_twins : bool;
+      (** Fuse identical [(arrival, departure, size)] groups into
+          super-items while the combined size fits the capacity. *)
+}
+
+val default_config : config
+(** [{ gamma = 1.0; merge_twins = true }] — the exact reduction:
+    twin merging only, no rounding. *)
+
+val config : gamma:float -> ?merge_twins:bool -> unit -> config
+(** Validating constructor.
+    @raise Invalid_argument when [gamma] is not finite or [< 1.0],
+    naming the offending value. *)
+
+(** {1 Certificates} *)
+
+module Certificate : sig
+  (** What the reduction did to the instance, and what it cost. *)
+
+  type status =
+    | Lossless
+        (** The reduced instance is the original: no coordinate was
+            changed by rounding and no items were merged. Any
+            deterministic policy runs bit-identically on it. *)
+    | Rounded of { size_inflation : float }
+        (** At least one coordinate was rounded up (or items merged).
+            [size_inflation] is the exact maximum ratio
+            [rounded_coord / original_coord] over all changed
+            coordinates ([1.0] if only merging occurred). The {e lifted}
+            cost is still exactly the reduced run's cost; the inflation
+            bounds how much harder the reduced instance may pack. *)
+
+  type t = {
+    status : status;
+    original_items : int;  (** [n] of the input instance *)
+    reduced_items : int;  (** [n'] of the reduced instance, [<= n] *)
+    distinct_types : int;
+        (** distinct (rounded) size vectors in the reduced instance *)
+    merged_items : int;
+        (** original items absorbed into some super-item
+            ([0] when no merging happened) *)
+    rounded_coords : int;
+        (** coordinates strictly increased by rounding, over all
+            original items *)
+  }
+
+  val is_lossless : t -> bool
+
+  val size_inflation : t -> float
+  (** [1.0] when {!Lossless}; the recorded factor otherwise. *)
+
+  val render : t -> string
+  (** One human-readable line, e.g.
+      ["reduce: 200 items -> 143 (57 merged into twins), 31 types, 86 coords rounded, inflation <= 1.094 [rounded]"]. *)
+end
+
+(** {1 Reductions} *)
+
+type t
+(** A reduction of one instance: the reduced instance, its certificate,
+    and the data needed to lift packings back. *)
+
+val apply : ?config:config -> Dvbp_core.Instance.t -> t
+(** Runs the configured passes (rounding, then merging). When neither
+    pass changes anything the reduction is lossless and {!instance}
+    returns the input unchanged (physical equality). *)
+
+val instance : t -> Dvbp_core.Instance.t
+(** The reduced instance — feed it to any engine. *)
+
+val original : t -> Dvbp_core.Instance.t
+
+val certificate : t -> Certificate.t
+
+val constituents : t -> int -> Dvbp_core.Item.t list
+(** [constituents t id] are the original items represented by reduced
+    item [id] (a single original for an unmerged item).
+    @raise Not_found on an id not in the reduced instance. *)
+
+val lift : t -> Dvbp_core.Packing.t -> Dvbp_core.Packing.t
+(** Maps a packing of {!instance} back to a packing of {!original}:
+    every bin keeps its id and usage interval; each reduced item is
+    replaced by its constituents. The lifted packing always validates
+    against {!original} and its {!Dvbp_core.Packing.cost} is
+    bit-identical to the input packing's (same interval list).
+    @raise Invalid_argument if the packing references an item id that is
+    not in the reduced instance (i.e. it is not a packing of
+    {!instance}). *)

@@ -55,6 +55,7 @@ type t = {
   req_seconds : Histogram.t array;
   journal_append_seconds : Histogram.t;
   snapshot_seconds : Histogram.t;
+  repack_migration_seconds : Histogram.t;
   (* per-tenant request instruments, created on a tenant's first event
      request (label cardinality = live tenants, bounded by the workload) *)
   tenant_req : (string, R.Counter.t * R.Histo.t) Hashtbl.t;
@@ -149,6 +150,10 @@ let build reg =
     R.Histo.make reg "dvbp_server_snapshot_seconds"
       ~help:"Snapshot write latency (manual and auto)"
   in
+  let repack_migration_seconds =
+    R.Histo.make reg "dvbp_repack_migration_seconds"
+      ~help:"Wall time attributed to one committed live migration"
+  in
   {
     reg;
     j_appends;
@@ -171,6 +176,7 @@ let build reg =
     req_seconds;
     journal_append_seconds;
     snapshot_seconds;
+    repack_migration_seconds;
     tenant_req = Hashtbl.create 16;
   }
 
@@ -326,6 +332,30 @@ let attach_session t ?tenant ~policy session =
       ~help:"Fit-scan kernel selected at session create (swar or scalar)"
       ~labels:kernel_labels
       (fun () -> 1.0)
+  end
+
+let observe_migration t ~seconds =
+  if not (R.is_noop t.reg) then Histogram.observe t.repack_migration_seconds seconds
+
+let attach_repack t ~policy repack =
+  if not (R.is_noop t.reg) then begin
+    let module Rp = Dvbp_engine.Repack in
+    let labels = [ ("policy", policy) ] in
+    let counter name help f =
+      R.Counter.pull t.reg name ~help ~labels (fun () -> f (Rp.stats repack))
+    in
+    counter "dvbp_repack_migrations_total" "Items live-migrated between bins"
+      (fun s -> s.Rp.migrations);
+    counter "dvbp_repack_migration_events_total"
+      "Events that committed at least one migration" (fun s -> s.Rp.migration_events);
+    counter "dvbp_repack_bins_emptied_total"
+      "Bins drained empty and closed early by migration" (fun s -> s.Rp.drained_bins);
+    counter "dvbp_repack_consolidations_total"
+      "Arrivals placed by eviction instead of opening a fresh bin" (fun s ->
+        s.Rp.consolidations);
+    counter "dvbp_repack_budget_exhausted_total"
+      "Migration opportunities declined only because the budget was too small"
+      (fun s -> s.Rp.budget_exhausted)
   end
 
 let render_text t = R.render ~spans:true t.reg ^ "# EOF"

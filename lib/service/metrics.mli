@@ -130,6 +130,18 @@ val attach_session : t -> ?tenant:string -> policy:string -> Dvbp_engine.Session
     [policy="..."] and, when [tenant] names a non-default tenant,
     [tenant="..."]) reading the session's counters at render time. *)
 
+val observe_migration : t -> seconds:float -> unit
+(** Wall time of one committed live migration, observed into the
+    [dvbp_repack_migration_seconds] histogram (pass
+    [observe_migration t] and the bundle clock to
+    {!Dvbp_engine.Repack.create}). *)
+
+val attach_repack : t -> policy:string -> Dvbp_engine.Repack.t -> unit
+(** Registers the repacking pull family ([dvbp_repack_*], labelled
+    [policy="..."]) reading the session's {!Dvbp_engine.Repack.stats}
+    at render time: migrations, migration events, bins emptied,
+    consolidations and budget-exhausted declines. *)
+
 val render_text : t -> string
 (** The full Prometheus-style exposition including spans, terminated by
     a final [# EOF] line (no trailing newline) — the [METRICS] reply and

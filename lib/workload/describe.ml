@@ -94,6 +94,7 @@ let families =
     ("heavytail", "truncated-Pareto durations: few stragglers pin bins open");
     ("flashcrowd", "spike arrivals with exponential trail-off over a baseline");
     ("azure", "2-d cpu:mem VM catalogue mix, diurnal rate, Pareto lifetimes");
+    ("twinned", "scale-out groups of byte-identical items (data-reduction showcase)");
   ]
 
 let render_families () =

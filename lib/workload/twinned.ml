@@ -1,0 +1,70 @@
+module Vec = Dvbp_vec.Vec
+module Instance = Dvbp_core.Instance
+module Rng = Dvbp_prelude.Rng
+
+type params = {
+  base : Uniform_model.params;
+  groups : int;
+  group_size : int;
+  singleton_fraction : float;
+}
+
+let default =
+  {
+    base = { Uniform_model.default with Uniform_model.n = 600 };
+    groups = 40;
+    group_size = 12;
+    singleton_fraction = 0.2;
+  }
+
+let validate p =
+  match Uniform_model.validate p.base with
+  | Error _ as e -> e
+  | Ok () ->
+      if p.groups <= 0 then Error "Twinned: groups must be positive"
+      else if p.group_size <= 0 then Error "Twinned: group_size must be positive"
+      else if p.singleton_fraction < 0.0 || p.singleton_fraction > 1.0 then
+        Error "Twinned: singleton_fraction must be in [0, 1]"
+      else Ok ()
+
+let generate p ~rng =
+  (match validate p with Ok () -> () | Error e -> invalid_arg e);
+  let b = p.base in
+  let size ~hi () =
+    Vec.of_array
+      (Array.init b.Uniform_model.d (fun _ -> Rng.int_incl rng ~lo:1 ~hi))
+  in
+  (* replicas of a scale-out group are small relative to a server (that is
+     why there are many of them): cap templates at a quarter bin so a
+     group's twins actually co-fit and the merge has room to act *)
+  let template_hi = Int.max 1 (b.Uniform_model.bin_size / 4) in
+  let duration () = float_of_int (Rng.int_incl rng ~lo:1 ~hi:b.Uniform_model.mu) in
+  let arrival () =
+    float_of_int
+      (Rng.int_incl rng ~lo:0 ~hi:(b.Uniform_model.span - b.Uniform_model.mu))
+  in
+  (* scale-out groups: one template VM, replicated group_size times with
+     identical arrival, departure and size — exactly what the reduction's
+     twin merge collapses *)
+  let group_items =
+    List.concat
+      (List.init p.groups (fun _ ->
+           let a = arrival () in
+           let d = a +. duration () in
+           let s = size ~hi:template_hi () in
+           List.init p.group_size (fun _ -> (a, d, s))))
+  in
+  let singletons =
+    let n =
+      int_of_float
+        (Float.round
+           (p.singleton_fraction
+           *. float_of_int (p.groups * p.group_size)))
+    in
+    List.init n (fun _ ->
+        let a = arrival () in
+        (a, a +. duration (), size ~hi:b.Uniform_model.bin_size ()))
+  in
+  Instance.of_specs_exn
+    ~capacity:(Uniform_model.capacity b)
+    (group_items @ singletons)

@@ -1,0 +1,31 @@
+(** Scale-out-group workload: clumps of {e identical} VMs.
+
+    Autoscaling groups and batch array jobs launch [k] byte-identical
+    instances at one instant that terminate together — the dominant
+    redundancy pattern van Bevern et al. exploit for data reduction.
+    This generator makes that structure explicit: [groups] templates,
+    each replicated [group_size] times with identical arrival, departure
+    and size, plus a fraction of unrelated singleton items. The
+    reduction's twin merge collapses each group to a handful of
+    super-items, so this family is the showcase workload for
+    [dvbp run --reduce] and the reduced-vs-raw sweep deltas. *)
+
+type params = {
+  base : Uniform_model.params;
+      (** sizes/durations/bin size; [base.n] is ignored — the item count
+          is [groups * group_size] plus the singletons *)
+  groups : int;  (** number of scale-out templates *)
+  group_size : int;  (** identical replicas per template *)
+  singleton_fraction : float;
+      (** singletons added, as a fraction of the grouped items,
+          in [\[0, 1\]] *)
+}
+
+val default : params
+(** 40 groups of 12 replicas (bin size 100, so most groups merge into a
+    few super-items), plus 20% singletons. *)
+
+val validate : params -> (unit, string) result
+
+val generate : params -> rng:Dvbp_prelude.Rng.t -> Dvbp_core.Instance.t
+(** @raise Invalid_argument when {!validate} fails. *)

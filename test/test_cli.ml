@@ -7,6 +7,11 @@ module Instance = Dvbp_core.Instance
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+let contains_sub msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
 let source ?(workload = "uniform") ?trace ?(d = 2) ?(mu = 5) ?(n = 50)
     ?(rho = 0.5) ?(seed = 1) () =
   { Workload_select.workload; trace; d; mu; n; rho; seed }
@@ -106,16 +111,58 @@ let report_tests =
         in
         check_bool "error" true
           (Result.is_error (Run_report.run_one ~policy:"zzz" ~seed:1 inst ~gantt:false)));
+    Alcotest.test_case "run_one --reduce and --repack paths succeed" `Quick
+      (fun () ->
+        let inst =
+          match Workload_select.build (source ~n:20 ()) with
+          | Ok i -> i
+          | Error e -> Alcotest.fail e
+        in
+        (match
+           Run_report.run_one
+             ~reduce:{ Dvbp_reduce.Reduce.gamma = 1.2; merge_twins = true }
+             ~policy:"ff" ~seed:1 inst ~gantt:false
+         with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        match
+          Run_report.run_one ~repack:Dvbp_engine.Repack.default_config
+            ~policy:"ff" ~seed:1 inst ~gantt:false
+        with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "run_one --repack rejections name the flag" `Quick
+      (fun () ->
+        let inst =
+          match Workload_select.build (source ~n:5 ()) with
+          | Ok i -> i
+          | Error e -> Alcotest.fail e
+        in
+        let repack = Dvbp_engine.Repack.default_config in
+        let expect flag = function
+          | Error msg -> check_bool (flag ^ " named") true (contains_sub msg flag)
+          | Ok () -> Alcotest.failf "%s: expected an error" flag
+        in
+        expect "--gantt" (Run_report.run_one ~repack ~policy:"ff" ~seed:1 inst ~gantt:true);
+        expect "--export"
+          (Run_report.run_one ~repack ~export:"/dev/null" ~policy:"ff" ~seed:1 inst
+             ~gantt:false);
+        expect "--trajectory"
+          (Run_report.run_one ~repack ~trajectory:true ~policy:"ff" ~seed:1 inst
+             ~gantt:false);
+        expect "--reduce"
+          (Run_report.run_one ~repack ~reduce:Dvbp_reduce.Reduce.default_config
+             ~policy:"ff" ~seed:1 inst ~gantt:false);
+        (match Run_report.run_one ~repack ~policy:"nf" ~seed:1 inst ~gantt:false with
+        | Error msg ->
+            check_bool "names supported bases" true
+              (contains_sub msg Dvbp_engine.Repack.supported_base_names)
+        | Ok () -> Alcotest.fail "nf: expected an error"));
   ]
 
 (* The service subcommands return [Error msg] on every bad input — the
    binary maps that to one line on stderr and a non-zero exit — so the
    error paths are all unit-testable here. *)
-
-let contains_sub msg sub =
-  let n = String.length msg and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
-  go 0
 
 let serve_opts ?(policy = "mtf") ?(seed = 7) ?(capacity = "100,100") ?journal
     ?snapshot ?snapshot_every ?(fsync_every = 64) ?(jobs = 1) ?segment_bytes

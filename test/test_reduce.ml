@@ -1,0 +1,216 @@
+(* Tests for lib/reduce: the data-reduction pipeline and its certificate.
+
+   The load-bearing guarantees (pinned by the qcheck properties below):
+   - lift of a valid packing of the reduced instance is a valid packing
+     of the original, with bit-identical cost;
+   - a Lossless certificate means the reduced instance IS the original
+     (physical equality), so any run on it is bit-identical;
+   - constituents partition the original item set exactly. *)
+
+open Dvbp_core
+module Reduce = Dvbp_reduce.Reduce
+module Engine = Dvbp_engine.Engine
+module Vec = Dvbp_vec.Vec
+module Rng = Dvbp_prelude.Rng
+module W = Dvbp_workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Random instances with deliberate duplicate (arrival, departure, size)
+   groups so twin merging actually fires, plus lone items. *)
+let instance_gen =
+  QCheck2.Gen.(
+    let* d = 1 -- 3 in
+    let* groups = 1 -- 6 in
+    let* specs =
+      list_repeat groups
+        (let* a = 0 -- 8 in
+         let* dur = 1 -- 5 in
+         let* size = array_repeat d (1 -- 9) in
+         let* replicas = 1 -- 4 in
+         return
+           (List.init replicas (fun _ ->
+                (float_of_int a, float_of_int (a + dur), size))))
+    in
+    let* gamma = oneofl [ 1.0; 1.3; 2.0 ] in
+    let* policy = oneofl [ "ff"; "bf"; "wf"; "lf"; "mtf" ] in
+    return (d, List.concat specs, gamma, policy))
+
+let build d specs =
+  Instance.of_specs_exn
+    ~capacity:(Vec.make ~dim:d 10)
+    (List.map (fun (a, e, s) -> (a, e, Vec.of_array s)) specs)
+
+let prop_lift_valid_and_cost_exact =
+  QCheck2.Test.make
+    ~name:"lift(pack(reduce inst)) validates against inst with bit-identical cost"
+    ~count:300 instance_gen (fun (d, specs, gamma, policy) ->
+      let inst = build d specs in
+      let r = Reduce.apply ~config:{ Reduce.gamma; merge_twins = true } inst in
+      let run = Engine.run ~policy:(Policy.of_name_exn policy) (Reduce.instance r) in
+      let lifted = Reduce.lift r run.Engine.packing in
+      (match Packing.validate inst lifted with
+      | Ok () -> ()
+      | Error es -> QCheck2.Test.fail_report (String.concat "; " es));
+      (* bit-identical, not approximately equal: lift keeps the interval
+         list, so the Kahan sums are the same sums *)
+      Packing.cost lifted = Packing.cost run.Engine.packing)
+
+let prop_lossless_is_physical_identity =
+  QCheck2.Test.make
+    ~name:"lossless certificate means the reduced instance is the original"
+    ~count:300 instance_gen (fun (d, specs, gamma, policy) ->
+      let inst = build d specs in
+      let r = Reduce.apply ~config:{ Reduce.gamma; merge_twins = true } inst in
+      let cert = Reduce.certificate r in
+      if Reduce.Certificate.is_lossless cert then (
+        (* physical equality is the whole point: every deterministic
+           policy then runs bit-identically *)
+        assert (Reduce.instance r == inst);
+        let a = Engine.run ~policy:(Policy.of_name_exn policy) inst in
+        let b = Engine.run ~policy:(Policy.of_name_exn policy) (Reduce.instance r) in
+        Engine.cost a = Engine.cost b)
+      else
+        (* a non-lossless certificate must have something to show for it *)
+        cert.Reduce.Certificate.rounded_coords > 0
+        || cert.Reduce.Certificate.merged_items > 0)
+
+let prop_constituents_partition =
+  QCheck2.Test.make
+    ~name:"constituents partition the original items exactly" ~count:300
+    instance_gen (fun (d, specs, gamma, _) ->
+      let inst = build d specs in
+      let r = Reduce.apply ~config:{ Reduce.gamma; merge_twins = true } inst in
+      let reduced = Reduce.instance r in
+      let seen = Hashtbl.create 32 in
+      List.iter
+        (fun (it : Item.t) ->
+          List.iter
+            (fun (orig : Item.t) ->
+              assert (not (Hashtbl.mem seen orig.Item.id));
+              Hashtbl.replace seen orig.Item.id ())
+            (Reduce.constituents r it.Item.id))
+        reduced.Instance.items;
+      Hashtbl.length seen = List.length inst.Instance.items)
+
+let prop_certificate_accounting =
+  QCheck2.Test.make ~name:"certificate counts are consistent" ~count:300
+    instance_gen (fun (d, specs, gamma, _) ->
+      let inst = build d specs in
+      let r = Reduce.apply ~config:{ Reduce.gamma; merge_twins = true } inst in
+      let c = Reduce.certificate r in
+      c.Reduce.Certificate.original_items = List.length inst.Instance.items
+      && c.Reduce.Certificate.reduced_items
+         = List.length (Reduce.instance r).Instance.items
+      && c.Reduce.Certificate.reduced_items <= c.Reduce.Certificate.original_items
+      && Reduce.Certificate.size_inflation c >= 1.0
+      && c.Reduce.Certificate.distinct_types <= c.Reduce.Certificate.reduced_items)
+
+let prop_gamma_one_never_rounds =
+  QCheck2.Test.make ~name:"gamma = 1.0 rounds no coordinate" ~count:200
+    instance_gen (fun (d, specs, _, _) ->
+      let inst = build d specs in
+      let r = Reduce.apply ~config:{ Reduce.gamma = 1.0; merge_twins = true } inst in
+      let c = Reduce.certificate r in
+      c.Reduce.Certificate.rounded_coords = 0
+      && Reduce.Certificate.size_inflation c = 1.0)
+
+let config_tests =
+  [
+    Alcotest.test_case "config validates gamma" `Quick (fun () ->
+        List.iter
+          (fun gamma ->
+            Alcotest.check_raises "bad gamma"
+              (Invalid_argument
+                 (Printf.sprintf
+                    "Reduce.config: gamma must be a finite float >= 1.0 (got %g)"
+                    gamma))
+              (fun () -> ignore (Reduce.config ~gamma ())))
+          [ 0.5; 0.0; -1.0 ];
+        check_bool "nan rejected" true
+          (match Reduce.config ~gamma:Float.nan () with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        let c = Reduce.config ~gamma:1.5 ~merge_twins:false () in
+        check_bool "fields" true (c.Reduce.gamma = 1.5 && not c.Reduce.merge_twins));
+    Alcotest.test_case "default config is the exact reduction" `Quick (fun () ->
+        check_bool "gamma 1" true (Reduce.default_config.Reduce.gamma = 1.0);
+        check_bool "merge on" true Reduce.default_config.Reduce.merge_twins);
+  ]
+
+let twinned_tests =
+  [
+    Alcotest.test_case "twinned workload merges most of its groups" `Quick
+      (fun () ->
+        let inst =
+          W.Twinned.generate W.Twinned.default ~rng:(Rng.create ~seed:7)
+        in
+        let r = Reduce.apply inst in
+        let c = Reduce.certificate r in
+        check_bool "shrinks a lot" true
+          (c.Reduce.Certificate.reduced_items * 2
+          < c.Reduce.Certificate.original_items);
+        check_int "no rounding at gamma 1" 0 c.Reduce.Certificate.rounded_coords;
+        check_bool "exact" true (Reduce.Certificate.size_inflation c = 1.0);
+        (* the merge must be invisible after lifting *)
+        let run = Engine.run ~policy:(Policy.of_name_exn "ff") (Reduce.instance r) in
+        let lifted = Reduce.lift r run.Engine.packing in
+        (match Packing.validate inst lifted with
+        | Ok () -> ()
+        | Error es -> Alcotest.fail (String.concat "; " es));
+        check_bool "cost preserved" true
+          (Packing.cost lifted = Packing.cost run.Engine.packing));
+    Alcotest.test_case "merge respects the capacity" `Quick (fun () ->
+        (* 5 twins of size 4 in a 10-capacity bin: multiplicity 2, so the
+           group becomes ceil(5/2) = 3 super-items, none above capacity *)
+        let inst =
+          Instance.of_specs_exn
+            ~capacity:(Vec.make ~dim:1 10)
+            (List.init 5 (fun _ -> (0.0, 5.0, Vec.of_array [| 4 |])))
+        in
+        let r = Reduce.apply inst in
+        let reduced = Reduce.instance r in
+        check_int "super-items" 3 (List.length reduced.Instance.items);
+        let zero = Vec.make ~dim:1 0 in
+        List.iter
+          (fun (it : Item.t) ->
+            check_bool "fits a bin" true
+              (Vec.fits ~cap:inst.Instance.capacity ~load:zero it.Item.size))
+          reduced.Instance.items);
+    Alcotest.test_case "certificate renders both shapes" `Quick (fun () ->
+        let twin =
+          Instance.of_specs_exn
+            ~capacity:(Vec.make ~dim:1 10)
+            [ (0.0, 5.0, Vec.of_array [| 2 |]); (0.0, 5.0, Vec.of_array [| 2 |]) ]
+        in
+        let merged = Reduce.certificate (Reduce.apply twin) in
+        let lossless =
+          Reduce.certificate
+            (Reduce.apply ~config:{ Reduce.gamma = 1.0; merge_twins = false } twin)
+        in
+        let has s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        check_bool "merged line" true
+          (has (Reduce.Certificate.render merged) "[exact merge]");
+        check_bool "lossless line" true
+          (has (Reduce.Certificate.render lossless) "[lossless]"));
+  ]
+
+let suites =
+  [
+    ( "reduce.props",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_lift_valid_and_cost_exact;
+          prop_lossless_is_physical_identity;
+          prop_constituents_partition;
+          prop_certificate_accounting;
+          prop_gamma_one_never_rounds;
+        ] );
+    ("reduce.config", config_tests);
+    ("reduce.twins", twinned_tests);
+  ]

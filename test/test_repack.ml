@@ -1,0 +1,321 @@
+(* Tests for lib/engine/repack: the budgeted-migration policy family.
+
+   The anchors:
+   - budget 0 degenerates to the plain engine with bit-identical cost;
+   - every committed ledger passes the Repack_audit (per-event budget,
+     no self-moves), and the stats agree with the ledger;
+   - two handcrafted scenarios pin each strategy's exact behaviour;
+   - sweeps over repack competitors are bit-identical at any --jobs. *)
+
+open Dvbp_core
+module Engine = Dvbp_engine.Engine
+module Repack = Dvbp_engine.Repack
+module Audit = Dvbp_analysis.Repack_audit
+module Runner = Dvbp_experiments.Runner
+module Vec = Dvbp_vec.Vec
+module Rng = Dvbp_prelude.Rng
+module Uniform_model = Dvbp_workload.Uniform_model
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let bases = [ "ff"; "bf"; "wf"; "lf"; "mtf" ]
+
+let instance_gen =
+  QCheck2.Gen.(
+    let* d = 1 -- 3 in
+    let* n = 1 -- 14 in
+    let* specs =
+      list_repeat n
+        (let* a = 0 -- 8 in
+         let* dur = 1 -- 5 in
+         let* size = array_repeat d (1 -- 9) in
+         return (float_of_int a, float_of_int (a + dur), size))
+    in
+    let* policy = oneofl bases in
+    let* budget = 0 -- 4 in
+    let* strategy =
+      oneofl
+        [ Repack.Empty_on_departure; Repack.Consolidate_on_arrival; Repack.Combined ]
+    in
+    return (d, specs, policy, budget, strategy))
+
+let build d specs =
+  Instance.of_specs_exn
+    ~capacity:(Vec.make ~dim:d 10)
+    (List.map (fun (a, e, s) -> (a, e, Vec.of_array s)) specs)
+
+let prop_budget_zero_is_plain_engine =
+  QCheck2.Test.make ~name:"budget 0 = plain engine, bit-identical cost"
+    ~count:300 instance_gen (fun (d, specs, policy, _, strategy) ->
+      let inst = build d specs in
+      let p () = Policy.of_name_exn policy in
+      let plain = Engine.run ~policy:(p ()) inst in
+      let r =
+        Repack.run ~config:{ Repack.budget = 0; strategy } ~policy:(p ()) inst
+      in
+      r.Repack.cost = Engine.cost plain
+      && r.Repack.bins_opened = plain.Engine.bins_opened
+      && r.Repack.max_open_bins = plain.Engine.max_open_bins
+      && r.Repack.stats.Repack.migrations = 0
+      && r.Repack.ledger = [])
+
+let prop_ledger_audits_clean =
+  QCheck2.Test.make ~name:"every ledger passes the audit, stats match it"
+    ~count:300 instance_gen (fun (d, specs, policy, budget, strategy) ->
+      let inst = build d specs in
+      let config = { Repack.budget; strategy } in
+      let r = Repack.run ~config ~policy:(Policy.of_name_exn policy) inst in
+      let report = Audit.audit ~config r.Repack.ledger in
+      Audit.ok report
+      && r.Repack.stats.Repack.migrations = List.length r.Repack.ledger
+      && r.Repack.stats.Repack.migration_events = report.Audit.events)
+
+let prop_strategy_scoping =
+  QCheck2.Test.make ~name:"each strategy only commits its own reason"
+    ~count:300 instance_gen (fun (d, specs, policy, budget, _) ->
+      let inst = build d specs in
+      let p () = Policy.of_name_exn policy in
+      let reasons strategy =
+        (Repack.run ~config:{ Repack.budget; strategy } ~policy:(p ()) inst)
+          .Repack.ledger
+        |> List.map (fun (m : Repack.migration) -> m.Repack.reason)
+      in
+      List.for_all (( = ) Repack.Drain) (reasons Repack.Empty_on_departure)
+      && List.for_all (( = ) Repack.Make_room)
+           (reasons Repack.Consolidate_on_arrival))
+
+let prop_run_deterministic =
+  QCheck2.Test.make ~name:"repack runs are deterministic" ~count:200
+    instance_gen (fun (d, specs, policy, budget, strategy) ->
+      let inst = build d specs in
+      let go () =
+        Repack.run
+          ~config:{ Repack.budget; strategy }
+          ~policy:(Policy.of_name_exn policy) inst
+      in
+      let a = go () and b = go () in
+      a.Repack.cost = b.Repack.cost && a.Repack.ledger = b.Repack.ledger)
+
+(* capacity 10, d = 1. A(6) and C(4) fill bin0; B(6) opens bin1; D(2)
+   lands in bin1. C leaves at t=5 (draining bin0 fails: A does not fit
+   next to B+D), B leaves at t=10 leaving D alone in bin1 — the drain
+   moves D into bin0 and closes bin1 at t=10 instead of t=100. *)
+let drain_instance () =
+  Instance.of_specs_exn
+    ~capacity:(Vec.make ~dim:1 10)
+    [
+      (0.0, 100.0, Vec.of_array [| 6 |]);
+      (0.0, 5.0, Vec.of_array [| 4 |]);
+      (0.0, 10.0, Vec.of_array [| 6 |]);
+      (3.0, 100.0, Vec.of_array [| 2 |]);
+    ]
+
+(* capacity 10, d = 1. bin0 = A(6) + x(2), bin1 = B(3). Z(8) at t=1 fits
+   nowhere, but evicting A from bin0 into bin1 makes room — budget 1
+   saves the third bin. *)
+let consolidate_instance () =
+  Instance.of_specs_exn
+    ~capacity:(Vec.make ~dim:1 10)
+    [
+      (0.0, 100.0, Vec.of_array [| 6 |]);
+      (0.0, 100.0, Vec.of_array [| 2 |]);
+      (0.0, 100.0, Vec.of_array [| 3 |]);
+      (1.0, 100.0, Vec.of_array [| 8 |]);
+    ]
+
+let scenario_tests =
+  [
+    Alcotest.test_case "drain closes the emptied bin early" `Quick (fun () ->
+        let inst = drain_instance () in
+        let plain = Engine.run ~policy:(Policy.of_name_exn "ff") inst in
+        Alcotest.(check (float 1e-9)) "plain keeps both bins open" 200.0
+          (Engine.cost plain);
+        let config = Repack.config ~budget:1 ~strategy:Repack.Empty_on_departure () in
+        let r = Repack.run ~config ~policy:(Policy.of_name_exn "ff") inst in
+        Alcotest.(check (float 1e-9)) "drained cost" 110.0 r.Repack.cost;
+        check_int "one migration" 1 r.Repack.stats.Repack.migrations;
+        check_int "one drained bin" 1 r.Repack.stats.Repack.drained_bins;
+        match r.Repack.ledger with
+        | [ m ] ->
+            check_bool "reason" true (m.Repack.reason = Repack.Drain);
+            check_int "item D" 3 m.Repack.item_id;
+            check_int "from bin1" 1 m.Repack.from_bin;
+            check_int "to bin0" 0 m.Repack.to_bin;
+            Alcotest.(check (float 0.0)) "at the departure" 10.0 m.Repack.time
+        | l -> Alcotest.failf "expected 1 ledger entry, got %d" (List.length l));
+    Alcotest.test_case "consolidation avoids opening a bin" `Quick (fun () ->
+        let inst = consolidate_instance () in
+        let plain = Engine.run ~policy:(Policy.of_name_exn "ff") inst in
+        check_int "plain opens three bins" 3 plain.Engine.bins_opened;
+        let config =
+          Repack.config ~budget:1 ~strategy:Repack.Consolidate_on_arrival ()
+        in
+        let r = Repack.run ~config ~policy:(Policy.of_name_exn "ff") inst in
+        check_int "repack stays at two" 2 r.Repack.bins_opened;
+        Alcotest.(check (float 1e-9)) "cost 2 bins * 100" 200.0 r.Repack.cost;
+        check_int "one consolidation" 1 r.Repack.stats.Repack.consolidations;
+        match r.Repack.ledger with
+        | [ m ] ->
+            check_bool "reason" true (m.Repack.reason = Repack.Make_room);
+            check_int "item A" 0 m.Repack.item_id;
+            check_int "from bin0" 0 m.Repack.from_bin;
+            check_int "to bin1" 1 m.Repack.to_bin
+        | l -> Alcotest.failf "expected 1 ledger entry, got %d" (List.length l));
+    Alcotest.test_case "budget 0 never migrates even when it would pay" `Quick
+      (fun () ->
+        let config = Repack.config ~budget:0 () in
+        let r =
+          Repack.run ~config ~policy:(Policy.of_name_exn "ff") (drain_instance ())
+        in
+        Alcotest.(check (float 1e-9)) "plain cost" 200.0 r.Repack.cost;
+        check_int "no migrations" 0 r.Repack.stats.Repack.migrations);
+  ]
+
+let config_tests =
+  [
+    Alcotest.test_case "config rejects out-of-range budgets" `Quick (fun () ->
+        List.iter
+          (fun budget ->
+            check_bool "raises" true
+              (match Repack.config ~budget () with
+              | exception Invalid_argument _ -> true
+              | _ -> false))
+          [ -1; Repack.max_budget + 1 ]);
+    Alcotest.test_case "unsupported bases are rejected by name" `Quick (fun () ->
+        List.iter
+          (fun name ->
+            let policy = Policy.of_name_exn ~rng:(Rng.create ~seed:1) name in
+            check_bool (name ^ " unsupported") false (Repack.supported_base policy);
+            check_bool "create raises" true
+              (match
+                 Repack.create ~capacity:(Vec.make ~dim:1 10) ~policy
+                   ~config:Repack.default_config ()
+               with
+              | exception Invalid_argument msg ->
+                  (* the message must name the valid bases *)
+                  let has s sub =
+                    let n = String.length s and m = String.length sub in
+                    let rec go i =
+                      i + m <= n && (String.sub s i m = sub || go (i + 1))
+                    in
+                    go 0
+                  in
+                  has msg Repack.supported_base_names
+              | _ -> false))
+          [ "nf"; "nf3" ];
+        List.iter
+          (fun name ->
+            check_bool (name ^ " supported") true
+              (Repack.supported_base
+                 (Policy.of_name_exn ~rng:(Rng.create ~seed:1) name)))
+          [ "ff"; "bf"; "wf"; "lf"; "mtf"; "rf" ]);
+    Alcotest.test_case "spec parsing round-trips and reports errors" `Quick
+      (fun () ->
+        (match Repack.spec_of_string "ff" with
+        | Ok ("ff", None) -> ()
+        | _ -> Alcotest.fail "bare name");
+        (match Repack.spec_of_string "bf+el2" with
+        | Ok ("bf", Some { Repack.budget = 2; strategy = Repack.Empty_on_departure })
+          ->
+            ()
+        | _ -> Alcotest.fail "bf+el2");
+        (match Repack.spec_of_string "mtf+both0" with
+        | Ok ("mtf", Some { Repack.budget = 0; strategy = Repack.Combined }) -> ()
+        | _ -> Alcotest.fail "mtf+both0");
+        check_string "round trip" "wf+cons8"
+          (Repack.spec_to_string ~base:"wf"
+             { Repack.budget = 8; strategy = Repack.Consolidate_on_arrival });
+        List.iter
+          (fun bad ->
+            check_bool (bad ^ " rejected") true
+              (Result.is_error (Repack.spec_of_string bad)))
+          [ "+el2"; "ff+zz2"; "ff+el"; "ff+el999"; "ff+el-1" ]);
+    Alcotest.test_case "strategy names round-trip" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Repack.strategy_of_name (Repack.strategy_name s) with
+            | Ok s' -> check_bool "same" true (s = s')
+            | Error e -> Alcotest.fail e)
+          [ Repack.Empty_on_departure; Repack.Consolidate_on_arrival; Repack.Combined ];
+        check_bool "unknown rejected" true
+          (Result.is_error (Repack.strategy_of_name "zz")));
+  ]
+
+let tiny_gen =
+  let params = { Uniform_model.d = 2; n = 40; mu = 5; span = 40; bin_size = 20 } in
+  fun ~rng -> Uniform_model.generate params ~rng
+
+let competitor name =
+  match Runner.competitor_of_name name with
+  | Ok c -> c
+  | Error e -> Alcotest.fail e
+
+let sweep_tests =
+  [
+    Alcotest.test_case "repack sweeps are bit-identical at any --jobs" `Quick
+      (fun () ->
+        let competitors = [ competitor "ff"; competitor "ff+both2" ] in
+        let go jobs =
+          Runner.ratio_samples ~jobs ~instances:6 ~seed:11 ~gen:tiny_gen
+            ~competitors ()
+        in
+        let a = go 1 and b = go 4 in
+        List.iter2
+          (fun (la, ra) (lb, rb) ->
+            check_string "label" la lb;
+            check_bool "identical floats" true (ra = rb))
+          a b);
+    Alcotest.test_case "reduction_report is bit-identical at any --jobs" `Quick
+      (fun () ->
+        let competitors = [ competitor "ff" ] in
+        let go jobs =
+          Runner.reduction_report ~jobs ~instances:5 ~seed:13 ~gen:tiny_gen
+            ~competitors ()
+        in
+        let a = go 1 and b = go 3 in
+        check_int "lossless" a.Runner.lossless b.Runner.lossless;
+        check_bool "shrink" true
+          (a.Runner.mean_item_shrink = b.Runner.mean_item_shrink);
+        check_bool "deltas" true (a.Runner.deltas = b.Runner.deltas));
+    Alcotest.test_case "competitor_of_name rejects bad repack specs" `Quick
+      (fun () ->
+        check_bool "nf+el2" true
+          (Result.is_error (Runner.competitor_of_name "nf+el2"));
+        check_bool "ff+zz1" true
+          (Result.is_error (Runner.competitor_of_name "ff+zz1")));
+    Alcotest.test_case "frontier smoke: shapes and k=0 parity" `Quick (fun () ->
+        let f =
+          Dvbp_experiments.Migration_frontier.run ~instances:3 ~seed:5 ~ks:[ 0; 2 ]
+            ~n:40 ~mu:10 ()
+        in
+        check_int "lb rows = 7 anyfit + 2 budgets" 9 (List.length f.lb_rows);
+        check_int "opt rows" 9 (List.length f.opt_rows);
+        let find label rows = List.assoc label rows in
+        let ff = find "ff" f.Dvbp_experiments.Migration_frontier.lb_rows in
+        let k0 = find "ff+both0" f.Dvbp_experiments.Migration_frontier.lb_rows in
+        check_bool "k=0 equals plain ff" true
+          (ff.Runner.mean = k0.Runner.mean && ff.Runner.std = k0.Runner.std);
+        check_bool "render mentions best Any Fit" true
+          (let s = Dvbp_experiments.Migration_frontier.render f in
+           let sub = "best Any Fit" in
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0));
+  ]
+
+let suites =
+  [
+    ( "repack.props",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_budget_zero_is_plain_engine;
+          prop_ledger_audits_clean;
+          prop_strategy_scoping;
+          prop_run_deterministic;
+        ] );
+    ("repack.scenarios", scenario_tests);
+    ("repack.config", config_tests);
+    ("repack.sweeps", sweep_tests);
+  ]
